@@ -1,0 +1,589 @@
+//! Fork-join mappings — the Section 6.3 extensions.
+//!
+//! The paper shows that every polynomial fork entry of Table 1 extends to
+//! fork-join graphs with the same complexity, by adding loops over the
+//! placement of the final stage `Sn+1`:
+//!
+//! * [`min_period`] — homogeneous platforms: replicating the whole graph on
+//!   all processors still reaches `(w0 + Σw + wn+1)/(p·s)` (any fork-join,
+//!   both models).
+//! * [`min_latency_hom`] and the bi-criteria variants — homogeneous
+//!   platform, homogeneous fork-join: the Theorem 11 shape enumeration
+//!   extended with the join group (either merged with the root group or
+//!   separate with its own `n1` leaves and `q1` processors).
+//! * [`min_period_uniform_het`] / [`min_latency_uniform_het`] and the
+//!   bi-criteria variants — heterogeneous platform, homogeneous fork-join,
+//!   no data-parallelism: the Theorem 14 probe with *two* marked processor
+//!   runs (root at `g0`, join at `g1`, possibly merged), `O(p⁴)` per probe.
+//!
+//! NP-hard fork cells stay NP-hard for fork-join (a fork is a fork-join
+//! with `wn+1 = 0`).
+
+use crate::hom_fork::UniformLeafDp;
+use crate::solution::Solved;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::ForkJoin;
+
+fn uniform_leaf_weight(fj: &ForkJoin) -> u64 {
+    assert!(
+        fj.is_homogeneous(),
+        "this algorithm requires a homogeneous fork-join (identical leaf weights)"
+    );
+    if fj.n_leaves() == 0 {
+        0
+    } else {
+        fj.weight(1)
+    }
+}
+
+/// Section 6.3 + Theorem 10: minimal period on a homogeneous platform by
+/// replicating the whole fork-join onto every processor (any fork-join).
+pub fn min_period(fj: &ForkJoin, platform: &Platform) -> Solved {
+    assert!(platform.is_homogeneous(), "requires a homogeneous platform");
+    let mapping = Mapping::whole(fj.n_stages(), platform.procs().collect(), Mode::Replicated);
+    let period = fj.period(platform, &mapping).expect("valid by construction");
+    let latency = fj.latency(platform, &mapping).expect("valid by construction");
+    Solved::for_period(mapping, period, latency)
+}
+
+struct Shape {
+    mapping: Mapping,
+    period: Rat,
+    latency: Rat,
+}
+
+/// Enumerates the candidate-optimal shapes of the Theorem 11 extension on
+/// homogeneous platforms: root group `(n0, q0)`, join either merged into
+/// the root group or separate `(n1, q1)`, remaining leaves as one
+/// data-parallel group (with dp) or any Pareto partition into replicated
+/// groups (without dp).
+fn shapes_hom(fj: &ForkJoin, platform: &Platform, allow_dp: bool) -> Vec<Shape> {
+    assert!(platform.is_homogeneous(), "requires a homogeneous platform");
+    let w = uniform_leaf_weight(fj);
+    let n = fj.n_leaves();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+    let join_id = fj.join_stage();
+    let mut out = Vec::new();
+    let mut leaf_dp = UniformLeafDp::new(w.max(1), s);
+
+    let mut push = |assignments: Vec<Assignment>| {
+        let mapping = Mapping::new(assignments);
+        let period = fj.period(platform, &mapping).expect("constructed shape valid");
+        let latency = fj.latency(platform, &mapping).expect("constructed shape valid");
+        out.push(Shape {
+            mapping,
+            period,
+            latency,
+        });
+    };
+
+    // Fills the "remaining leaves" cover, then pushes complete mappings.
+    let mut with_rest = |base: Vec<Assignment>,
+                         first_leaf: usize,
+                         rest: usize,
+                         first_proc: usize,
+                         push: &mut dyn FnMut(Vec<Assignment>)| {
+        let procs_rest = p - first_proc;
+        if rest == 0 {
+            push(base);
+            return;
+        }
+        if procs_rest == 0 {
+            return;
+        }
+        if allow_dp {
+            let mut assignments = base;
+            assignments.push(Assignment::new(
+                (first_leaf..first_leaf + rest).collect(),
+                (first_proc..p).map(ProcId).collect(),
+                if procs_rest >= 2 {
+                    Mode::DataParallel
+                } else {
+                    Mode::Replicated
+                },
+            ));
+            push(assignments);
+        } else {
+            for (_, _, split) in leaf_dp.frontier(rest, procs_rest) {
+                let mut assignments = base.clone();
+                let mut next_leaf = first_leaf;
+                let mut next_proc = first_proc;
+                for (c, k) in split {
+                    assignments.push(Assignment::new(
+                        (next_leaf..next_leaf + c).collect(),
+                        (next_proc..next_proc + k).map(ProcId).collect(),
+                        Mode::Replicated,
+                    ));
+                    next_leaf += c;
+                    next_proc += k;
+                }
+                push(assignments);
+            }
+        }
+    };
+
+    for n0 in 0..=n {
+        for q0 in 1..=p {
+            // ---- Case A: root and join share one replicated group ----
+            {
+                let mut stages = vec![0usize, join_id];
+                stages.extend(1..=n0);
+                let group = Assignment::new(
+                    stages,
+                    (0..q0).map(ProcId).collect(),
+                    Mode::Replicated,
+                );
+                with_rest(vec![group], n0 + 1, n - n0, q0, &mut push);
+            }
+            // ---- Case B: separate join group (n1 leaves, q1 procs) ----
+            let mut root_modes = vec![Mode::Replicated];
+            if allow_dp && n0 == 0 && q0 >= 2 {
+                root_modes.push(Mode::DataParallel);
+            }
+            for root_mode in root_modes {
+                let mut root_stages = vec![0usize];
+                root_stages.extend(1..=n0);
+                let root = Assignment::new(
+                    root_stages,
+                    (0..q0).map(ProcId).collect(),
+                    root_mode,
+                );
+                for n1 in 0..=(n - n0) {
+                    for q1 in 1..=(p - q0) {
+                        let mut join_modes = vec![Mode::Replicated];
+                        if allow_dp && n1 == 0 && q1 >= 2 {
+                            join_modes.push(Mode::DataParallel);
+                        }
+                        for join_mode in join_modes {
+                            let mut join_stages = vec![join_id];
+                            join_stages.extend(n0 + 1..=n0 + n1);
+                            let join = Assignment::new(
+                                join_stages,
+                                (q0..q0 + q1).map(ProcId).collect(),
+                                join_mode,
+                            );
+                            with_rest(
+                                vec![root.clone(), join],
+                                n0 + n1 + 1,
+                                n - n0 - n1,
+                                q0 + q1,
+                                &mut push,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Section 6.3 extension of Theorem 11: minimal latency of a homogeneous
+/// fork-join on a homogeneous platform.
+pub fn min_latency_hom(fj: &ForkJoin, platform: &Platform, allow_dp: bool) -> Solved {
+    shapes_hom(fj, platform, allow_dp)
+        .into_iter()
+        .map(|s| Solved::for_latency(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.latency, s.period))
+        .expect("at least one shape exists")
+}
+
+/// Section 6.3 / Theorem 11 bi-criteria: minimal latency under a period
+/// bound (homogeneous platform).
+pub fn min_latency_under_period_hom(
+    fj: &ForkJoin,
+    platform: &Platform,
+    allow_dp: bool,
+    period_bound: Rat,
+) -> Option<Solved> {
+    shapes_hom(fj, platform, allow_dp)
+        .into_iter()
+        .filter(|s| s.period <= period_bound)
+        .map(|s| Solved::for_latency(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.latency, s.period))
+}
+
+/// Section 6.3 / Theorem 11 bi-criteria: minimal period under a latency
+/// bound (homogeneous platform).
+pub fn min_period_under_latency_hom(
+    fj: &ForkJoin,
+    platform: &Platform,
+    allow_dp: bool,
+    latency_bound: Rat,
+) -> Option<Solved> {
+    shapes_hom(fj, platform, allow_dp)
+        .into_iter()
+        .filter(|s| s.latency <= latency_bound)
+        .map(|s| Solved::for_period(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.period, s.latency))
+}
+
+/// Max `m >= 0` with `base + m·w <= bound·x`; `None` if `m = 0` fails.
+fn max_count(bound: Rat, x: u64, base: u64, w: u64, n: usize) -> Option<usize> {
+    if bound == Rat::INFINITY {
+        return Some(n);
+    }
+    let slack = bound * Rat::int(x as i128) - Rat::int(base as i128);
+    if slack < Rat::ZERO {
+        return None;
+    }
+    if w == 0 {
+        return Some(n);
+    }
+    Some(((slack / Rat::int(w as i128)).floor().max(0) as usize).min(n))
+}
+
+/// Where the root and join stages live among the speed-sorted runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MarkPlan {
+    /// Root and join share the run starting at this position.
+    Together(usize),
+    /// Root run starts at `.0`, join run at `.1`.
+    Separate(usize, usize),
+}
+
+/// Theorem 14 extension: feasibility probe for a homogeneous fork-join on
+/// a heterogeneous platform (no data-parallelism) under period `k_bound`
+/// and latency `l_bound`.
+fn feasible_uniform_het(
+    fj: &ForkJoin,
+    platform: &Platform,
+    k_bound: Rat,
+    l_bound: Rat,
+) -> Option<Mapping> {
+    let n = fj.n_leaves();
+    let w = uniform_leaf_weight(fj);
+    let w0 = fj.root_weight();
+    let wj = fj.join_weight();
+    let join_id = fj.join_stage();
+    let order = platform.by_speed_asc();
+    let p = order.len();
+    let speed = |i: usize| platform.speed(order[i]);
+
+    let mut plans: Vec<MarkPlan> = (0..p).map(MarkPlan::Together).collect();
+    for g0 in 0..p {
+        for g1 in 0..p {
+            if g0 != g1 {
+                plans.push(MarkPlan::Separate(g0, g1));
+            }
+        }
+    }
+
+    for plan in plans {
+        let (g0, g_join) = match plan {
+            MarkPlan::Together(g) => (g, g),
+            MarkPlan::Separate(g0, g1) => (g0, g1),
+        };
+        // latency budget for "all leaves done" after subtracting the join
+        let l_all = if l_bound == Rat::INFINITY {
+            Rat::INFINITY
+        } else {
+            l_bound - Rat::ratio(wj, speed(g_join))
+        };
+        if l_all < Rat::ZERO {
+            continue;
+        }
+        let l_rest = if l_all == Rat::INFINITY {
+            Rat::INFINITY
+        } else {
+            l_all - Rat::ratio(w0, speed(g0))
+        };
+        if l_rest < Rat::ZERO {
+            continue;
+        }
+
+        let cap = |i: usize, j: usize| -> Option<usize> {
+            let len = (j - i + 1) as u64;
+            let s = speed(i);
+            match plan {
+                MarkPlan::Together(g) if i == g => {
+                    let by_k = max_count(k_bound, len * s, w0 + wj, w, n)?;
+                    let by_l = max_count(l_all, s, w0, w, n)?;
+                    Some(by_k.min(by_l))
+                }
+                MarkPlan::Separate(g0, _) if i == g0 => {
+                    let by_k = max_count(k_bound, len * s, w0, w, n)?;
+                    let by_l = max_count(l_all, s, w0, w, n)?;
+                    Some(by_k.min(by_l))
+                }
+                MarkPlan::Separate(_, g1) if i == g1 => {
+                    let by_k = max_count(k_bound, len * s, wj, w, n)?;
+                    let by_l = max_count(l_rest, s, 0, w, n)?;
+                    Some(by_k.min(by_l))
+                }
+                _ => {
+                    let by_k = max_count(k_bound, len * s, 0, w, n)?;
+                    let by_l = max_count(l_rest, s, 0, w, n)?;
+                    Some(by_k.min(by_l))
+                }
+            }
+        };
+
+        // positions that must start a run
+        let is_marked = |pos: usize| match plan {
+            MarkPlan::Together(g) => pos == g,
+            MarkPlan::Separate(g0, g1) => pos == g0 || pos == g1,
+        };
+
+        let mut best = vec![i64::MIN; p + 1];
+        let mut choice = vec![0usize; p + 1];
+        best[p] = 0;
+        for i in (0..p).rev() {
+            for j in i..p {
+                if (i + 1..=j).any(is_marked) {
+                    break; // a marked position must start its own run
+                }
+                if best[j + 1] == i64::MIN {
+                    continue;
+                }
+                if let Some(c) = cap(i, j) {
+                    let total = best[j + 1] + c as i64;
+                    if total > best[i] {
+                        best[i] = total;
+                        choice[i] = j;
+                    }
+                }
+            }
+        }
+        if best[0] < n as i64 {
+            continue;
+        }
+
+        // reconstruct
+        let mut assignments = Vec::new();
+        let mut next_leaf = 1usize;
+        let mut remaining = n;
+        let mut i = 0;
+        while i < p {
+            let j = choice[i];
+            let c = cap(i, j).expect("on optimal path").min(remaining);
+            let procs: Vec<ProcId> = order[i..=j].to_vec();
+            let mut stages: Vec<usize> = (next_leaf..next_leaf + c).collect();
+            next_leaf += c;
+            remaining -= c;
+            match plan {
+                MarkPlan::Together(g) if i == g => {
+                    stages.push(0);
+                    stages.push(join_id);
+                }
+                MarkPlan::Separate(g0, _) if i == g0 => stages.push(0),
+                MarkPlan::Separate(_, g1) if i == g1 => stages.push(join_id),
+                _ => {}
+            }
+            if !stages.is_empty() {
+                assignments.push(Assignment::new(stages, procs, Mode::Replicated));
+            }
+            i = j + 1;
+        }
+        debug_assert_eq!(remaining, 0);
+        return Some(Mapping::new(assignments));
+    }
+    None
+}
+
+fn k_candidates(fj: &ForkJoin, platform: &Platform) -> Vec<Rat> {
+    let n = fj.n_leaves() as u64;
+    let w = uniform_leaf_weight(fj);
+    let bases = [0, fj.root_weight(), fj.join_weight(), fj.root_weight() + fj.join_weight()];
+    let mut out = Vec::new();
+    for &s in platform.speeds() {
+        for k in 1..=platform.n_procs() as u64 {
+            for m in 0..=n {
+                for &b in &bases {
+                    if b + m * w > 0 {
+                        out.push(Rat::ratio(b + m * w, k * s));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn l_candidates(fj: &ForkJoin, platform: &Platform) -> Vec<Rat> {
+    let n = fj.n_leaves() as u64;
+    let w = uniform_leaf_weight(fj);
+    let w0 = fj.root_weight();
+    let wj = fj.join_weight();
+    let mut all_leaves_done = Vec::new();
+    for &su in platform.speeds() {
+        for m in 0..=n {
+            all_leaves_done.push(Rat::ratio(w0 + m * w, su));
+        }
+        for &sv in platform.speeds() {
+            for m in 1..=n {
+                all_leaves_done.push(Rat::ratio(w0, su) + Rat::ratio(m * w, sv));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &sx in platform.speeds() {
+        for &a in &all_leaves_done {
+            out.push(a + Rat::ratio(wj, sx));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn solved_from(fj: &ForkJoin, platform: &Platform, mapping: Mapping, by_period: bool) -> Solved {
+    let period = fj.period(platform, &mapping).expect("valid mapping");
+    let latency = fj.latency(platform, &mapping).expect("valid mapping");
+    if by_period {
+        Solved::for_period(mapping, period, latency)
+    } else {
+        Solved::for_latency(mapping, period, latency)
+    }
+}
+
+/// Theorem 14 extension: minimal period of a homogeneous fork-join on a
+/// heterogeneous platform (no data-parallelism).
+pub fn min_period_uniform_het(fj: &ForkJoin, platform: &Platform) -> Solved {
+    let candidates = k_candidates(fj, platform);
+    let idx = candidates
+        .partition_point(|&k| feasible_uniform_het(fj, platform, k, Rat::INFINITY).is_none());
+    let mapping = feasible_uniform_het(fj, platform, candidates[idx], Rat::INFINITY)
+        .expect("largest candidate feasible");
+    solved_from(fj, platform, mapping, true)
+}
+
+/// Theorem 14 extension: minimal latency of a homogeneous fork-join on a
+/// heterogeneous platform (no data-parallelism).
+pub fn min_latency_uniform_het(fj: &ForkJoin, platform: &Platform) -> Solved {
+    let candidates = l_candidates(fj, platform);
+    let idx = candidates
+        .partition_point(|&l| feasible_uniform_het(fj, platform, Rat::INFINITY, l).is_none());
+    let mapping = feasible_uniform_het(fj, platform, Rat::INFINITY, candidates[idx])
+        .expect("largest candidate feasible");
+    solved_from(fj, platform, mapping, false)
+}
+
+/// Bi-criteria: minimal latency under a period bound (heterogeneous
+/// platform, homogeneous fork-join, no data-parallelism).
+pub fn min_latency_under_period_uniform_het(
+    fj: &ForkJoin,
+    platform: &Platform,
+    period_bound: Rat,
+) -> Option<Solved> {
+    let candidates = l_candidates(fj, platform);
+    let idx = candidates
+        .partition_point(|&l| feasible_uniform_het(fj, platform, period_bound, l).is_none());
+    if idx == candidates.len() {
+        return None;
+    }
+    let mapping = feasible_uniform_het(fj, platform, period_bound, candidates[idx])
+        .expect("feasible by binary search");
+    Some(solved_from(fj, platform, mapping, false))
+}
+
+/// Bi-criteria: minimal period under a latency bound (heterogeneous
+/// platform, homogeneous fork-join, no data-parallelism).
+pub fn min_period_under_latency_uniform_het(
+    fj: &ForkJoin,
+    platform: &Platform,
+    latency_bound: Rat,
+) -> Option<Solved> {
+    let candidates = k_candidates(fj, platform);
+    let idx = candidates
+        .partition_point(|&k| feasible_uniform_het(fj, platform, k, latency_bound).is_none());
+    if idx == candidates.len() {
+        return None;
+    }
+    let mapping = feasible_uniform_het(fj, platform, candidates[idx], latency_bound)
+        .expect("feasible by binary search");
+    Some(solved_from(fj, platform, mapping, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_all_min_period() {
+        let fj = ForkJoin::new(1, vec![2, 3], 4); // heterogeneous ok
+        let plat = Platform::homogeneous(2, 1);
+        let sol = min_period(&fj, &plat);
+        assert_eq!(sol.period, Rat::int(5)); // 10/(2·1)
+    }
+
+    #[test]
+    fn scatter_gather_latency() {
+        // w0=2, two leaves of 4, join 2, p=3 s=1: root on P1 (2), leaves
+        // on P2/P3 (done at 6), join back on P1: 6 + 2 = 8.
+        let fj = ForkJoin::uniform(2, 2, 4, 2);
+        let plat = Platform::homogeneous(3, 1);
+        let sol = min_latency_hom(&fj, &plat, false);
+        assert_eq!(sol.latency, Rat::int(8));
+    }
+
+    #[test]
+    fn dp_join_improves_latency() {
+        // join is heavy: data-parallelizing it helps.
+        // w0=1, one leaf of 1, join 12, p=4, s=1.
+        // Without dp: root+leaf+join on one proc: 14; or root+leaf on P1,
+        // join on P2: AllLeavesDone=2, +12 = 14; root on P1, leaf on P2
+        // (AllLeavesDone = 1+1 = 2) join on P3: 14.
+        let fj = ForkJoin::uniform(1, 1, 1, 12);
+        let plat = Platform::homogeneous(4, 1);
+        let no_dp = min_latency_hom(&fj, &plat, false);
+        assert_eq!(no_dp.latency, Rat::int(14));
+        // With dp: join on three procs: AllLeavesDone 2 + 12/3 = 6.
+        let with_dp = min_latency_hom(&fj, &plat, true);
+        assert_eq!(with_dp.latency, Rat::int(6));
+    }
+
+    #[test]
+    fn het_platform_latency() {
+        // All stages on the fastest processor: (1+2+3)/3 = 2.
+        let fj = ForkJoin::uniform(1, 1, 2, 3);
+        let plat = Platform::heterogeneous(vec![3, 1]);
+        let sol = min_latency_uniform_het(&fj, &plat);
+        assert_eq!(sol.latency, Rat::int(2));
+    }
+
+    #[test]
+    fn het_platform_period() {
+        // root 1, leaves [2,2], join 1 (total 6) on speeds {3,1}: the
+        // winner puts the root alone on the slow processor (period 1) and
+        // {join, leaf, leaf} on the fast one: (1+4)/3 = 5/3. Everything on
+        // the fast processor gives 2; replicate-all gives 6/(2·1) = 3.
+        // (Cross-checked against repliflow-exact in integration tests.)
+        let fj = ForkJoin::uniform(1, 2, 2, 1);
+        let plat = Platform::heterogeneous(vec![3, 1]);
+        let sol = min_period_uniform_het(&fj, &plat);
+        assert_eq!(sol.period, Rat::new(5, 3));
+    }
+
+    #[test]
+    fn bicriteria_bounds_hold_het() {
+        let fj = ForkJoin::uniform(2, 3, 3, 2);
+        let plat = Platform::heterogeneous(vec![4, 2, 1]);
+        let best_k = min_period_uniform_het(&fj, &plat);
+        let best_l = min_latency_uniform_het(&fj, &plat);
+        let sol = min_latency_under_period_uniform_het(&fj, &plat, best_k.period).unwrap();
+        assert!(sol.period <= best_k.period && sol.latency >= best_l.latency);
+        let sol = min_period_under_latency_uniform_het(&fj, &plat, best_l.latency).unwrap();
+        assert!(sol.latency <= best_l.latency && sol.period >= best_k.period);
+        assert!(
+            min_latency_under_period_uniform_het(&fj, &plat, Rat::new(1, 1000)).is_none()
+        );
+    }
+
+    #[test]
+    fn bicriteria_hom_platform() {
+        let fj = ForkJoin::uniform(1, 3, 2, 1);
+        let plat = Platform::homogeneous(3, 1);
+        let min_p = min_period(&fj, &plat); // 8/3
+        let sol = min_latency_under_period_hom(&fj, &plat, false, min_p.period).unwrap();
+        assert!(sol.period <= min_p.period);
+        let best_l = min_latency_hom(&fj, &plat, false);
+        let sol = min_period_under_latency_hom(&fj, &plat, false, best_l.latency).unwrap();
+        assert!(sol.latency <= best_l.latency);
+    }
+}

@@ -1,0 +1,339 @@
+//! Fork mappings on **heterogeneous platforms** without data-parallelism —
+//! Theorem 14 (homogeneous fork, any objective).
+//!
+//! Lemma 4: there is an optimal solution that sorts the enrolled
+//! processors by non-decreasing speed and replicates leaf groups onto
+//! *intervals* of consecutive processors, one distinguished interval
+//! (starting at position `q0`) carrying the root stage `S0`.
+//!
+//! The solver follows the paper's scheme — an exact binary search over the
+//! finite candidate value sets, each probe deciding feasibility of a
+//! (period `K`, latency `L`) pair by a dynamic program — with one
+//! mechanical simplification: processor runs may carry zero leaves (idle
+//! processors), which subsumes the paper's outer loop over the number of
+//! enrolled processors. For each root position `g0` a linear DP packs the
+//! maximum number of leaves into consecutive runs (`O(p²)` per position,
+//! `O(p³)` per probe):
+//!
+//! * root run `[g0..e]`: `(w0 + m·w)/((e-g0+1)·s_{g0}) <= K` and delay
+//!   `(w0 + m·w)/s_{g0} <= L`;
+//! * other runs `[i..j]`: `m·w/((j-i+1)·s_i) <= K` and, because they start
+//!   only when `S0` finishes, `w0/s_{g0} + m·w/s_i <= L`.
+//!
+//! Every term above is one of `O(n·p²)` rational candidates, so the binary
+//! searches return exact optima.
+//!
+//! The heterogeneous-fork variants are NP-hard on heterogeneous platforms
+//! (Theorem 15) — see `repliflow-reductions`.
+
+use crate::solution::Solved;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+
+fn uniform_leaf_weight(fork: &Fork) -> u64 {
+    assert!(
+        fork.is_homogeneous(),
+        "this algorithm requires a homogeneous fork (identical leaf weights)"
+    );
+    if fork.n_leaves() == 0 {
+        0
+    } else {
+        fork.weight(1)
+    }
+}
+
+/// Max `m >= 0` with `num + m·w <= bound · denom_speed_terms`, i.e.
+/// `m <= (bound·x - base)/w`; `None` if even `m = 0` fails.
+fn max_count(bound: Rat, x: u64, base: u64, w: u64, n: usize) -> Option<usize> {
+    if bound == Rat::INFINITY {
+        return Some(n);
+    }
+    let slack = bound * Rat::int(x as i128) - Rat::int(base as i128);
+    if slack < Rat::ZERO {
+        return None;
+    }
+    if w == 0 {
+        return Some(n);
+    }
+    let m = (slack / Rat::int(w as i128)).floor();
+    Some((m.max(0) as usize).min(n))
+}
+
+/// Feasibility probe: a mapping with period `<= k_bound` and latency
+/// `<= l_bound`, if one exists.
+fn feasible_uniform(
+    fork: &Fork,
+    platform: &Platform,
+    k_bound: Rat,
+    l_bound: Rat,
+) -> Option<Mapping> {
+    let n = fork.n_leaves();
+    let w = uniform_leaf_weight(fork);
+    let w0 = fork.root_weight();
+    let order = platform.by_speed_asc();
+    let p = order.len();
+    let speed = |i: usize| platform.speed(order[i]);
+
+    for g0 in 0..p {
+        let s0 = speed(g0);
+        // latency budget left for non-root runs after S0 completes
+        let l_rest = if l_bound == Rat::INFINITY {
+            Rat::INFINITY
+        } else {
+            l_bound - Rat::ratio(w0, s0)
+        };
+        if l_rest < Rat::ZERO {
+            continue; // even an empty mapping cannot hide w0/s0 > L
+        }
+
+        // capacity of run [i..=j]
+        let cap = |i: usize, j: usize| -> Option<usize> {
+            let len = (j - i + 1) as u64;
+            let s = speed(i);
+            if i == g0 {
+                let by_k = max_count(k_bound, len * s, w0, w, n)?;
+                let by_l = max_count(l_bound, s, w0, w, n)?;
+                Some(by_k.min(by_l))
+            } else {
+                let by_k = max_count(k_bound, len * s, 0, w, n)?;
+                let by_l = max_count(l_rest, s, 0, w, n)?;
+                Some(by_k.min(by_l))
+            }
+        };
+
+        // best[i]: max leaves over partitions of processors i..p-1 into
+        // consecutive runs, none straddling g0.
+        let mut best = vec![i64::MIN; p + 1];
+        let mut choice = vec![0usize; p + 1];
+        best[p] = 0;
+        for i in (0..p).rev() {
+            for j in i..p {
+                if i < g0 && j >= g0 {
+                    break; // would straddle the root position
+                }
+                if best[j + 1] == i64::MIN {
+                    continue;
+                }
+                if let Some(c) = cap(i, j) {
+                    let total = best[j + 1] + c as i64;
+                    if total > best[i] {
+                        best[i] = total;
+                        choice[i] = j;
+                    }
+                }
+            }
+        }
+        if best[0] < n as i64 {
+            continue;
+        }
+
+        // reconstruct: walk runs, assign leaf counts greedily
+        let mut assignments = Vec::new();
+        let mut next_leaf = 1usize; // stage ids of leaves are 1..=n
+        let mut remaining = n;
+        let mut i = 0;
+        while i < p {
+            let j = choice[i];
+            let c = cap(i, j).expect("on optimal path").min(remaining);
+            let procs: Vec<ProcId> = order[i..=j].to_vec();
+            if i == g0 {
+                let mut stages = vec![0usize];
+                stages.extend(next_leaf..next_leaf + c);
+                assignments.push(Assignment::new(stages, procs, Mode::Replicated));
+                next_leaf += c;
+                remaining -= c;
+            } else if c > 0 && remaining > 0 {
+                let take = c.min(remaining);
+                assignments.push(Assignment::new(
+                    (next_leaf..next_leaf + take).collect(),
+                    procs,
+                    Mode::Replicated,
+                ));
+                next_leaf += take;
+                remaining -= take;
+            }
+            i = j + 1;
+        }
+        debug_assert_eq!(remaining, 0);
+        return Some(Mapping::new(assignments));
+    }
+    None
+}
+
+/// Candidate period values (every achievable group period).
+fn period_candidates(fork: &Fork, platform: &Platform) -> Vec<Rat> {
+    let n = fork.n_leaves() as u64;
+    let w = uniform_leaf_weight(fork);
+    let w0 = fork.root_weight();
+    let p = platform.n_procs() as u64;
+    let mut out = Vec::new();
+    for &s in platform.speeds() {
+        for k in 1..=p {
+            for m in 0..=n {
+                out.push(Rat::ratio(w0 + m * w, k * s));
+                if m > 0 {
+                    out.push(Rat::ratio(m * w, k * s));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Candidate latency values (every achievable latency).
+fn latency_candidates(fork: &Fork, platform: &Platform) -> Vec<Rat> {
+    let n = fork.n_leaves() as u64;
+    let w = uniform_leaf_weight(fork);
+    let w0 = fork.root_weight();
+    let mut out = Vec::new();
+    for &su in platform.speeds() {
+        for m in 0..=n {
+            out.push(Rat::ratio(w0 + m * w, su));
+        }
+        for &sv in platform.speeds() {
+            for m in 1..=n {
+                out.push(Rat::ratio(w0, su) + Rat::ratio(m * w, sv));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn solved_from(fork: &Fork, platform: &Platform, mapping: Mapping, by_period: bool) -> Solved {
+    let period = fork.period(platform, &mapping).expect("valid mapping");
+    let latency = fork.latency(platform, &mapping).expect("valid mapping");
+    if by_period {
+        Solved::for_period(mapping, period, latency)
+    } else {
+        Solved::for_latency(mapping, period, latency)
+    }
+}
+
+/// Theorem 14: minimal period of a homogeneous fork on a heterogeneous
+/// platform (no data-parallelism).
+pub fn min_period_uniform(fork: &Fork, platform: &Platform) -> Solved {
+    let candidates = period_candidates(fork, platform);
+    let idx = candidates
+        .partition_point(|&k| feasible_uniform(fork, platform, k, Rat::INFINITY).is_none());
+    let mapping = feasible_uniform(fork, platform, candidates[idx], Rat::INFINITY)
+        .expect("largest candidate is feasible");
+    solved_from(fork, platform, mapping, true)
+}
+
+/// Theorem 14: minimal latency of a homogeneous fork on a heterogeneous
+/// platform (no data-parallelism).
+pub fn min_latency_uniform(fork: &Fork, platform: &Platform) -> Solved {
+    let candidates = latency_candidates(fork, platform);
+    let idx = candidates
+        .partition_point(|&l| feasible_uniform(fork, platform, Rat::INFINITY, l).is_none());
+    let mapping = feasible_uniform(fork, platform, Rat::INFINITY, candidates[idx])
+        .expect("largest candidate is feasible");
+    solved_from(fork, platform, mapping, false)
+}
+
+/// Theorem 14 bi-criteria: minimal latency under a period bound.
+pub fn min_latency_under_period_uniform(
+    fork: &Fork,
+    platform: &Platform,
+    period_bound: Rat,
+) -> Option<Solved> {
+    let candidates = latency_candidates(fork, platform);
+    let idx = candidates
+        .partition_point(|&l| feasible_uniform(fork, platform, period_bound, l).is_none());
+    if idx == candidates.len() {
+        return None;
+    }
+    let mapping = feasible_uniform(fork, platform, period_bound, candidates[idx])
+        .expect("feasible by binary search");
+    Some(solved_from(fork, platform, mapping, false))
+}
+
+/// Theorem 14 bi-criteria: minimal period under a latency bound.
+pub fn min_period_under_latency_uniform(
+    fork: &Fork,
+    platform: &Platform,
+    latency_bound: Rat,
+) -> Option<Solved> {
+    let candidates = period_candidates(fork, platform);
+    let idx = candidates
+        .partition_point(|&k| feasible_uniform(fork, platform, k, latency_bound).is_none());
+    if idx == candidates.len() {
+        return None;
+    }
+    let mapping = feasible_uniform(fork, platform, candidates[idx], latency_bound)
+        .expect("feasible by binary search");
+    Some(solved_from(fork, platform, mapping, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_period_simple() {
+        // root 2, two leaves of 2 (total 6) on speeds {3, 1}. Exhaustive
+        // cases: everything on the fast processor = 6/3 = 2; replicate the
+        // whole fork on both = 6/(2·1) = 3; root+leaf on fast with the
+        // other leaf on slow = max(4/3, 2) = 2. Optimum: 2.
+        let fork = Fork::uniform(2, 2, 2);
+        let plat = Platform::heterogeneous(vec![3, 1]);
+        let sol = min_period_uniform(&fork, &plat);
+        assert_eq!(sol.period, Rat::int(2));
+    }
+
+    #[test]
+    fn min_latency_simple() {
+        // Everything on the fastest processor: (2 + 4)/3 = 2.
+        let fork = Fork::uniform(2, 2, 2);
+        let plat = Platform::heterogeneous(vec![3, 1]);
+        let sol = min_latency_uniform(&fork, &plat);
+        // root on fast (2/3), leaves: leaf on fast with root: (2+2)/3;
+        // leaf on slow: 2/3 + 2 = 8/3. max(4/3, 8/3) = 8/3 > 2. So 2.
+        assert_eq!(sol.latency, Rat::int(2));
+    }
+
+    #[test]
+    fn bicriteria_bounds_hold() {
+        let fork = Fork::uniform(3, 4, 5);
+        let plat = Platform::heterogeneous(vec![4, 2, 1]);
+        let by_period = min_period_uniform(&fork, &plat);
+        let by_latency = min_latency_uniform(&fork, &plat);
+        // constraining at each unconstrained optimum must be feasible
+        let sol =
+            min_latency_under_period_uniform(&fork, &plat, by_period.period).unwrap();
+        assert!(sol.period <= by_period.period);
+        assert!(sol.latency >= by_latency.latency);
+        let sol =
+            min_period_under_latency_uniform(&fork, &plat, by_latency.latency).unwrap();
+        assert!(sol.latency <= by_latency.latency);
+        assert!(sol.period >= by_period.period);
+        // absurd bounds are infeasible
+        assert!(min_latency_under_period_uniform(&fork, &plat, Rat::new(1, 1000)).is_none());
+        assert!(min_period_under_latency_uniform(&fork, &plat, Rat::new(1, 1000)).is_none());
+    }
+
+    #[test]
+    fn leafless_fork() {
+        let fork = Fork::new(6, vec![]);
+        let plat = Platform::heterogeneous(vec![1, 3]);
+        assert_eq!(min_latency_uniform(&fork, &plat).latency, Rat::int(2));
+        // period: replicate the root on both? runs are consecutive in
+        // ascending speed: [1,3] as one run: 6/(2·1) = 3; fast alone: 2.
+        assert_eq!(min_period_uniform(&fork, &plat).period, Rat::int(2));
+    }
+
+    #[test]
+    fn max_count_math() {
+        // m <= (K·x - base)/w
+        assert_eq!(max_count(Rat::int(5), 2, 4, 3, 100), Some(2)); // (10-4)/3
+        assert_eq!(max_count(Rat::int(1), 2, 4, 3, 100), None); // 2 < 4
+        assert_eq!(max_count(Rat::INFINITY, 2, 4, 3, 7), Some(7));
+        assert_eq!(max_count(Rat::int(2), 2, 4, 3, 100), Some(0));
+    }
+}

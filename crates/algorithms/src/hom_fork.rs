@@ -1,0 +1,310 @@
+//! Fork mappings on **homogeneous platforms** — Theorems 10 and 11.
+//!
+//! * [`min_period`] — Theorem 10: replicating the whole fork on all
+//!   processors reaches the lower bound `(w0 + Σw)/(p·s)`, for *any* fork
+//!   (homogeneous or not), with or without data-parallelism.
+//! * [`min_latency`] / [`min_latency_under_period`] /
+//!   [`min_period_under_latency`] — Theorem 11, for a *homogeneous fork*
+//!   (`n` identical leaves of weight `w`, root `w0`):
+//!   - **with data-parallelism**, the optimal shape enumerates `n0` (leaves
+//!     grouped with the root) and `q0` (processors of the root group); the
+//!     remaining leaves form a single data-parallel group on all remaining
+//!     processors (a single group dominates any split by the mediant
+//!     inequality, and data-parallelism dominates replication on
+//!     homogeneous platforms for both criteria);
+//!   - **without data-parallelism**, the remaining leaves are partitioned
+//!     into replicated groups; a memoized Pareto dynamic program over
+//!     (leaf count, processor count) explores every such partition, as in
+//!     the paper's `(P,L)(i,q)` recurrence.
+//!
+//! Latency minimization for a *heterogeneous* fork is NP-hard even on
+//! homogeneous platforms (Theorem 12) — see `repliflow-reductions`.
+
+use crate::solution::Solved;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+use std::collections::HashMap;
+
+fn assert_homogeneous_platform(platform: &Platform) {
+    assert!(
+        platform.is_homogeneous(),
+        "this algorithm requires a homogeneous platform"
+    );
+}
+
+fn uniform_leaf_weight(fork: &Fork) -> u64 {
+    assert!(
+        fork.is_homogeneous(),
+        "this algorithm requires a homogeneous fork (identical leaf weights)"
+    );
+    if fork.n_leaves() == 0 {
+        0
+    } else {
+        fork.weight(1)
+    }
+}
+
+/// Theorem 10: minimal period `(w0 + Σw)/(p·s)` by replicating the whole
+/// fork onto every processor (any fork, both models).
+pub fn min_period(fork: &Fork, platform: &Platform) -> Solved {
+    assert_homogeneous_platform(platform);
+    let mapping = Mapping::whole(fork.n_stages(), platform.procs().collect(), Mode::Replicated);
+    let period = fork.period(platform, &mapping).expect("valid by construction");
+    let latency = fork.latency(platform, &mapping).expect("valid by construction");
+    Solved::for_period(mapping, period, latency)
+}
+
+/// A partition of `i` identical leaves into replicated groups `(count,
+/// procs)`, Pareto-tracked by (max group period, max group delay).
+pub(crate) type LeafSplit = Vec<(usize, usize)>;
+pub(crate) type LeafFrontier = Vec<(Rat, Rat, LeafSplit)>;
+
+/// Memoized Pareto DP over (leaf count, processor budget) for covering
+/// identical leaves with replicated groups — the paper's `(P,L)(i,q)`.
+pub(crate) struct UniformLeafDp {
+    w: u64,
+    s: u64,
+    memo: HashMap<(usize, usize), LeafFrontier>,
+}
+
+impl UniformLeafDp {
+    pub(crate) fn new(w: u64, s: u64) -> Self {
+        UniformLeafDp {
+            w,
+            s,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn frontier(&mut self, leaves: usize, procs: usize) -> LeafFrontier {
+        if leaves == 0 {
+            return vec![(Rat::ZERO, Rat::ZERO, Vec::new())];
+        }
+        if procs == 0 {
+            return Vec::new();
+        }
+        if let Some(cached) = self.memo.get(&(leaves, procs)) {
+            return cached.clone();
+        }
+        let mut result: LeafFrontier = Vec::new();
+        // first group: c leaves on k processors (canonical: c is the
+        // largest group, avoiding permuted duplicates)
+        for c in 1..=leaves {
+            for k in 1..=procs {
+                let gp = Rat::ratio(c as u64 * self.w, k as u64 * self.s);
+                let gd = Rat::ratio(c as u64 * self.w, self.s);
+                for (sp, sd, split) in self.frontier(leaves - c, procs - k) {
+                    let cand = (gp.max(sp), gd.max(sd));
+                    if !result
+                        .iter()
+                        .any(|&(fp, fd, _)| fp <= cand.0 && fd <= cand.1)
+                    {
+                        result.retain(|&(fp, fd, _)| !(cand.0 <= fp && cand.1 <= fd));
+                        let mut split = split;
+                        split.push((c, k));
+                        result.push((cand.0, cand.1, split));
+                    }
+                }
+            }
+        }
+        self.memo.insert((leaves, procs), result.clone());
+        result
+    }
+}
+
+/// A candidate mapping shape explored by the Theorem 11 enumeration.
+struct Shape {
+    mapping: Mapping,
+    period: Rat,
+    latency: Rat,
+}
+
+/// Enumerates every optimal-candidate shape of Theorem 11 and evaluates
+/// (period, latency) through the core cost model.
+fn shapes(fork: &Fork, platform: &Platform, allow_dp: bool) -> Vec<Shape> {
+    assert_homogeneous_platform(platform);
+    let w = uniform_leaf_weight(fork);
+    let n = fork.n_leaves();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+    let mut out = Vec::new();
+    let mut leaf_dp = UniformLeafDp::new(w.max(1), s);
+
+    let mut push = |mapping: Mapping| {
+        let period = fork.period(platform, &mapping).expect("constructed shape valid");
+        let latency = fork.latency(platform, &mapping).expect("constructed shape valid");
+        out.push(Shape {
+            mapping,
+            period,
+            latency,
+        });
+    };
+
+    for n0 in 0..=n {
+        let rest = n - n0;
+        for q0 in 1..=p {
+            let procs_rest = p - q0;
+            if rest > 0 && procs_rest == 0 {
+                continue;
+            }
+            // root group: stages {0} ∪ first n0 leaves on processors 0..q0
+            let mut root_stages = vec![0usize];
+            root_stages.extend(1..=n0);
+            let root_procs: Vec<ProcId> = (0..q0).map(ProcId).collect();
+            let rest_procs: Vec<ProcId> = (q0..p).map(ProcId).collect();
+            let rest_stages: Vec<usize> = (n0 + 1..=n).collect();
+
+            let mut root_modes = vec![Mode::Replicated];
+            if allow_dp && n0 == 0 && q0 >= 2 {
+                root_modes.push(Mode::DataParallel);
+            }
+            for root_mode in root_modes {
+                let root = Assignment::new(root_stages.clone(), root_procs.clone(), root_mode);
+                if rest == 0 {
+                    push(Mapping::new(vec![root.clone()]));
+                    continue;
+                }
+                if allow_dp {
+                    // single data-parallel group on all remaining processors
+                    let group = Assignment::new(
+                        rest_stages.clone(),
+                        rest_procs.clone(),
+                        if procs_rest >= 2 {
+                            Mode::DataParallel
+                        } else {
+                            Mode::Replicated
+                        },
+                    );
+                    push(Mapping::new(vec![root.clone(), group]));
+                } else {
+                    // every Pareto-optimal partition into replicated groups
+                    for (_, _, split) in leaf_dp.frontier(rest, procs_rest) {
+                        let mut assignments = vec![root.clone()];
+                        let mut next_leaf = n0 + 1;
+                        let mut next_proc = q0;
+                        for (c, k) in split {
+                            assignments.push(Assignment::new(
+                                (next_leaf..next_leaf + c).collect(),
+                                (next_proc..next_proc + k).map(ProcId).collect(),
+                                Mode::Replicated,
+                            ));
+                            next_leaf += c;
+                            next_proc += k;
+                        }
+                        push(Mapping::new(assignments));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Theorem 11: minimal latency for a homogeneous fork on a homogeneous
+/// platform (`allow_dp` selects the model).
+pub fn min_latency(fork: &Fork, platform: &Platform, allow_dp: bool) -> Solved {
+    shapes(fork, platform, allow_dp)
+        .into_iter()
+        .map(|s| Solved::for_latency(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.latency, s.period))
+        .expect("at least one shape exists")
+}
+
+/// Theorem 11 bi-criteria: minimal latency under a period bound.
+pub fn min_latency_under_period(
+    fork: &Fork,
+    platform: &Platform,
+    allow_dp: bool,
+    period_bound: Rat,
+) -> Option<Solved> {
+    shapes(fork, platform, allow_dp)
+        .into_iter()
+        .filter(|s| s.period <= period_bound)
+        .map(|s| Solved::for_latency(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.latency, s.period))
+}
+
+/// Theorem 11 bi-criteria: minimal period under a latency bound.
+pub fn min_period_under_latency(
+    fork: &Fork,
+    platform: &Platform,
+    allow_dp: bool,
+    latency_bound: Rat,
+) -> Option<Solved> {
+    shapes(fork, platform, allow_dp)
+        .into_iter()
+        .filter(|s| s.latency <= latency_bound)
+        .map(|s| Solved::for_period(s.mapping, s.period, s.latency))
+        .min_by_key(|s| (s.period, s.latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem10_replicate_all() {
+        let fork = Fork::new(3, vec![1, 2, 3]); // heterogeneous is fine
+        let plat = Platform::homogeneous(3, 1);
+        let sol = min_period(&fork, &plat);
+        assert_eq!(sol.period, Rat::int(3)); // 9 / (3·1)
+    }
+
+    #[test]
+    fn theorem11_latency_with_dp() {
+        // root 4, two leaves of 6, p=3, s=1. Data-parallelize the root on
+        // one processor? No — dp of root alone on q0=1 is plain execution.
+        // Best: root on P1 (done at 4), leaves dp on {P2,P3}: 4 + 12/2 = 10.
+        // Alternative: root+leaf on P1 (10), leaf on P2: max(10, 4+6)=10.
+        let fork = Fork::uniform(4, 2, 6);
+        let plat = Platform::homogeneous(3, 1);
+        let sol = min_latency(&fork, &plat, true);
+        assert_eq!(sol.latency, Rat::int(10));
+    }
+
+    #[test]
+    fn theorem11_latency_without_dp_prefers_splitting() {
+        // root 1, four leaves of 4, p=5, s=1: root alone, each leaf its own
+        // processor: latency 1 + 4 = 5.
+        let fork = Fork::uniform(1, 4, 4);
+        let plat = Platform::homogeneous(5, 1);
+        let sol = min_latency(&fork, &plat, false);
+        assert_eq!(sol.latency, Rat::int(5));
+        // with only 3 processors: root+leaf on P1 (1+8=9 as one group of 2?)
+        // options: groups {root,l1,l2} | {l3} | {l4}: max(9, 1+4) = 9;
+        // {root} | {l1,l2} | {l3,l4}: max(1, 1+8) = 9; {root,l1} | ...
+        let plat3 = Platform::homogeneous(3, 1);
+        let sol = min_latency(&fork, &plat3, false);
+        assert_eq!(sol.latency, Rat::int(9));
+    }
+
+    #[test]
+    fn theorem11_bicriteria() {
+        let fork = Fork::uniform(2, 4, 3);
+        let plat = Platform::homogeneous(4, 1);
+        // total work 14; min period = 14/4 (Theorem 10)
+        let unconstrained = min_latency(&fork, &plat, false);
+        let tight = min_latency_under_period(&fork, &plat, false, Rat::new(14, 4)).unwrap();
+        assert!(tight.period <= Rat::new(14, 4));
+        assert!(tight.latency >= unconstrained.latency);
+        // latency bound at the unconstrained optimum
+        let sol =
+            min_period_under_latency(&fork, &plat, false, unconstrained.latency).unwrap();
+        assert!(sol.latency <= unconstrained.latency);
+        // infeasible bounds
+        assert!(min_latency_under_period(&fork, &plat, false, Rat::new(1, 100)).is_none());
+        assert!(min_period_under_latency(&fork, &plat, false, Rat::new(1, 100)).is_none());
+    }
+
+    #[test]
+    fn leafless_fork_works() {
+        let fork = Fork::new(5, vec![]);
+        let plat = Platform::homogeneous(2, 1);
+        let sol = min_latency(&fork, &plat, true);
+        assert_eq!(sol.latency, Rat::new(5, 2)); // dp root on both procs
+        let sol = min_latency(&fork, &plat, false);
+        assert_eq!(sol.latency, Rat::int(5));
+    }
+}

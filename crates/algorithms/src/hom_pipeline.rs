@@ -1,0 +1,534 @@
+//! Pipeline mappings on **homogeneous platforms** — Theorems 1–4.
+//!
+//! * [`min_period`] — Theorem 1: the replicate-everything mapping reaches
+//!   the absolute lower bound `Σw / (p·s)`, with or without
+//!   data-parallelism.
+//! * [`min_latency_no_dp`] — Theorem 2 / Corollary 1: without
+//!   data-parallelism every mapping has latency `Σw / s`; replicating the
+//!   whole pipeline on all processors is simultaneously period-optimal.
+//! * [`min_latency_dp`] — Theorem 3: with data-parallel stages, a dynamic
+//!   program chooses which stages to data-parallelize and on how many
+//!   processors. The paper states the recurrence on `L(i,j,q)` (which
+//!   contains a typo in its middle-split case); we use the equivalent
+//!   left-to-right form `L(i,q)` — the leftmost group is either a
+//!   replicated interval on one processor (replication cannot improve
+//!   latency, Lemma 2) or stage `i` data-parallelized on `q'` processors —
+//!   which explores exactly the same mapping space in `O(n·p·(n+p))`.
+//! * [`min_latency_under_period`] / [`min_period_under_latency`] —
+//!   Theorem 4: the bi-criteria dynamic program. Under a period bound a
+//!   replicated interval needs `k = ceil(W/(P·s))` processors; a
+//!   data-parallel stage needs `q' >= ceil(w/(P·s))`. The second direction
+//!   performs the exact search over the finite set of achievable periods.
+//!
+//! All solvers are validated against `repliflow-exact` in this crate's
+//! integration tests.
+
+use crate::solution::Solved;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+fn assert_homogeneous(platform: &Platform) {
+    assert!(
+        platform.is_homogeneous(),
+        "this algorithm requires a homogeneous platform"
+    );
+}
+
+/// Theorem 1: minimal period `Σw/(p·s)` by replicating the whole pipeline
+/// onto every processor. Optimal with or without data-parallelism.
+pub fn min_period(pipeline: &Pipeline, platform: &Platform) -> Solved {
+    assert_homogeneous(platform);
+    let mapping = Mapping::whole(
+        pipeline.n_stages(),
+        platform.procs().collect(),
+        Mode::Replicated,
+    );
+    let period = pipeline.period(platform, &mapping).expect("valid by construction");
+    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    Solved::for_period(mapping, period, latency)
+}
+
+/// Theorem 2 / Corollary 1: without data-parallelism every mapping has
+/// latency `Σw/s`; the returned replicate-everything mapping additionally
+/// minimizes the period (Corollary 1's bi-criteria optimum).
+pub fn min_latency_no_dp(pipeline: &Pipeline, platform: &Platform) -> Solved {
+    assert_homogeneous(platform);
+    let sol = min_period(pipeline, platform);
+    Solved::for_latency(sol.mapping, sol.period, sol.latency)
+}
+
+/// One dynamic-programming choice during latency optimization.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Stages `i..=j` replicated on one processor.
+    Interval(usize),
+    /// Stage `i` data-parallelized on `q'` processors.
+    DataParallel(usize),
+}
+
+/// Theorem 3: minimal latency with data-parallel stages on a homogeneous
+/// platform, in `O(n·p·(n+p))`.
+pub fn min_latency_dp(pipeline: &Pipeline, platform: &Platform) -> Solved {
+    assert_homogeneous(platform);
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+
+    // dp[i][q]: min latency for stages i.. with at most q processors.
+    let mut dp = vec![vec![Rat::INFINITY; p + 1]; n + 1];
+    let mut choice = vec![vec![None; p + 1]; n + 1];
+    for cell in dp[n].iter_mut() {
+        *cell = Rat::ZERO;
+    }
+    for i in (0..n).rev() {
+        for q in 1..=p {
+            // leftmost group: replicated interval [i..=j] on one processor
+            let mut best = Rat::INFINITY;
+            let mut best_choice = None;
+            for j in i..n {
+                let cand = Rat::ratio(pipeline.interval_work(i, j), s) + dp[j + 1][q - 1];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(Step::Interval(j));
+                }
+            }
+            // leftmost group: stage i data-parallel on q' >= 2 processors
+            for qp in 2..=q {
+                let cand = Rat::ratio(pipeline.weight(i), qp as u64 * s) + dp[i + 1][q - qp];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(Step::DataParallel(qp));
+                }
+            }
+            dp[i][q] = best;
+            choice[i][q] = best_choice;
+        }
+    }
+
+    // reconstruct: hand processors out in index order
+    let mut assignments = Vec::new();
+    let mut i = 0;
+    let mut q = p;
+    let mut next_proc = 0usize;
+    while i < n {
+        match choice[i][q].expect("feasible: p >= 1") {
+            Step::Interval(j) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    j,
+                    vec![ProcId(next_proc)],
+                    Mode::Replicated,
+                ));
+                next_proc += 1;
+                q -= 1;
+                i = j + 1;
+            }
+            Step::DataParallel(qp) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    i,
+                    (next_proc..next_proc + qp).map(ProcId).collect(),
+                    Mode::DataParallel,
+                ));
+                next_proc += qp;
+                q -= qp;
+                i += 1;
+            }
+        }
+    }
+    let mapping = Mapping::new(assignments);
+    let period = pipeline.period(platform, &mapping).expect("valid by construction");
+    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    debug_assert_eq!(latency, dp[0][p]);
+    Solved::for_latency(mapping, period, latency)
+}
+
+/// Section 3.3 extension: Theorem 3's latency optimization under
+/// **Amdahl's law** — data-parallelizing stage `i` on `q'` processors
+/// costs `f_i + w_i/(q'·s)`, where `f_i` is the stage's inherently
+/// sequential overhead ("the startup time induced by system calls"). The
+/// paper introduces this refinement but analyzes only `f_i = 0`; the same
+/// dynamic program solves the general case, because the overhead is a
+/// per-group additive constant.
+///
+/// With all overheads zero this equals [`min_latency_dp`]. Large
+/// overheads make data-parallelism pointless and the solver degenerates
+/// to Theorem 2's behaviour (all mappings latency-equivalent).
+///
+/// # Panics
+/// Panics if `overheads.len() != pipeline.n_stages()` or the platform is
+/// heterogeneous.
+pub fn min_latency_dp_amdahl(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    overheads: &[u64],
+) -> Solved {
+    assert_homogeneous(platform);
+    assert_eq!(
+        overheads.len(),
+        pipeline.n_stages(),
+        "one overhead per stage"
+    );
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+
+    let mut dp = vec![vec![Rat::INFINITY; p + 1]; n + 1];
+    let mut choice = vec![vec![None; p + 1]; n + 1];
+    for cell in dp[n].iter_mut() {
+        *cell = Rat::ZERO;
+    }
+    for i in (0..n).rev() {
+        for q in 1..=p {
+            let mut best = Rat::INFINITY;
+            let mut best_choice = None;
+            for j in i..n {
+                let cand = Rat::ratio(pipeline.interval_work(i, j), s) + dp[j + 1][q - 1];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(Step::Interval(j));
+                }
+            }
+            for qp in 2..=q {
+                let cand = Rat::int(overheads[i] as i128)
+                    + Rat::ratio(pipeline.weight(i), qp as u64 * s)
+                    + dp[i + 1][q - qp];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(Step::DataParallel(qp));
+                }
+            }
+            dp[i][q] = best;
+            choice[i][q] = best_choice;
+        }
+    }
+
+    let mut assignments = Vec::new();
+    let mut i = 0;
+    let mut q = p;
+    let mut next_proc = 0usize;
+    while i < n {
+        match choice[i][q].expect("feasible: p >= 1") {
+            Step::Interval(j) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    j,
+                    vec![ProcId(next_proc)],
+                    Mode::Replicated,
+                ));
+                next_proc += 1;
+                q -= 1;
+                i = j + 1;
+            }
+            Step::DataParallel(qp) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    i,
+                    (next_proc..next_proc + qp).map(ProcId).collect(),
+                    Mode::DataParallel,
+                ));
+                next_proc += qp;
+                q -= qp;
+                i += 1;
+            }
+        }
+    }
+    let mapping = Mapping::new(assignments);
+    let period = pipeline.period(platform, &mapping).expect("valid by construction");
+    // The core cost model has no overheads; report the Amdahl-adjusted
+    // latency the DP optimized.
+    let latency = dp[0][p];
+    Solved::for_latency(mapping, period, latency)
+}
+
+/// Minimum number of processors for a replicated group of `work` to meet
+/// period `bound` at speed `s`: `ceil(work / (bound·s))` (1 if unbounded).
+fn min_replicas(work: u64, s: u64, bound: Rat) -> Option<usize> {
+    if bound == Rat::INFINITY {
+        return Some(1);
+    }
+    if bound <= Rat::ZERO {
+        return None;
+    }
+    let k = (Rat::ratio(work, s) / bound).ceil().max(1);
+    usize::try_from(k).ok()
+}
+
+/// Theorem 4 (one direction): minimal latency among mappings of period at
+/// most `period_bound`, with data-parallel stages, on a homogeneous
+/// platform. `None` if the bound is infeasible.
+pub fn min_latency_under_period(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    period_bound: Rat,
+) -> Option<Solved> {
+    assert_homogeneous(platform);
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+
+    #[derive(Clone, Copy, Debug)]
+    enum BStep {
+        /// interval [i..=j] replicated on k processors
+        Interval(usize, usize),
+        /// stage i data-parallel on q' processors
+        DataParallel(usize),
+    }
+
+    let mut dp = vec![vec![Rat::INFINITY; p + 1]; n + 1];
+    let mut choice = vec![vec![None; p + 1]; n + 1];
+    for cell in dp[n].iter_mut() {
+        *cell = Rat::ZERO;
+    }
+    for i in (0..n).rev() {
+        for q in 1..=p {
+            let mut best = Rat::INFINITY;
+            let mut best_choice = None;
+            for j in i..n {
+                let work = pipeline.interval_work(i, j);
+                let Some(k) = min_replicas(work, s, period_bound) else {
+                    continue;
+                };
+                if k > q {
+                    continue;
+                }
+                let cand = Rat::ratio(work, s) + dp[j + 1][q - k];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(BStep::Interval(j, k));
+                }
+            }
+            // data-parallel stage i on q' processors: period = delay =
+            // w/(q'·s), decreasing in q' — iterate all legal q'.
+            let w = pipeline.weight(i);
+            for qp in 2..=q {
+                let t = Rat::ratio(w, qp as u64 * s);
+                if t > period_bound {
+                    continue;
+                }
+                let cand = t + dp[i + 1][q - qp];
+                if cand < best {
+                    best = cand;
+                    best_choice = Some(BStep::DataParallel(qp));
+                }
+            }
+            dp[i][q] = best;
+            choice[i][q] = best_choice;
+        }
+    }
+    if dp[0][p] == Rat::INFINITY {
+        return None;
+    }
+
+    let mut assignments = Vec::new();
+    let mut i = 0;
+    let mut q = p;
+    let mut next_proc = 0usize;
+    while i < n {
+        match choice[i][q].expect("dp value finite") {
+            BStep::Interval(j, k) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    j,
+                    (next_proc..next_proc + k).map(ProcId).collect(),
+                    Mode::Replicated,
+                ));
+                next_proc += k;
+                q -= k;
+                i = j + 1;
+            }
+            BStep::DataParallel(qp) => {
+                assignments.push(Assignment::interval(
+                    i,
+                    i,
+                    (next_proc..next_proc + qp).map(ProcId).collect(),
+                    Mode::DataParallel,
+                ));
+                next_proc += qp;
+                q -= qp;
+                i += 1;
+            }
+        }
+    }
+    let mapping = Mapping::new(assignments);
+    let period = pipeline.period(platform, &mapping).expect("valid by construction");
+    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    debug_assert!(period <= period_bound);
+    debug_assert_eq!(latency, dp[0][p]);
+    Some(Solved::for_latency(mapping, period, latency))
+}
+
+/// All achievable group periods: `W_interval/(k·s)` for replicated groups
+/// and `w_i/(q'·s)` for data-parallel stages — the candidate set the
+/// bi-criteria searches sweep.
+fn period_candidates(pipeline: &Pipeline, platform: &Platform) -> Vec<Rat> {
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    let s = platform.speed(ProcId(0));
+    let mut candidates = Vec::new();
+    for i in 0..n {
+        for j in i..n {
+            let work = pipeline.interval_work(i, j);
+            for k in 1..=p {
+                candidates.push(Rat::ratio(work, k as u64 * s));
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+/// Theorem 4 (other direction): minimal period among mappings of latency
+/// at most `latency_bound`, found by exact search over the candidate
+/// period set. `None` if the bound is infeasible.
+pub fn min_period_under_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    latency_bound: Rat,
+) -> Option<Solved> {
+    assert_homogeneous(platform);
+    let candidates = period_candidates(pipeline, platform);
+    // feasibility is monotone in the period bound: binary search the
+    // smallest candidate whose latency optimum fits the latency bound
+    let feasible = |k: Rat| {
+        min_latency_under_period(pipeline, platform, k)
+            .is_some_and(|sol| sol.latency <= latency_bound)
+    };
+    let idx = candidates.partition_point(|&k| !feasible(k));
+    if idx == candidates.len() {
+        return None;
+    }
+    let sol = min_latency_under_period(pipeline, platform, candidates[idx])
+        .expect("feasible by binary search");
+    Some(Solved::for_period(sol.mapping, sol.period, sol.latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section2() -> (Pipeline, Platform) {
+        (Pipeline::new(vec![14, 4, 2, 4]), Platform::homogeneous(3, 1))
+    }
+
+    #[test]
+    fn theorem1_period_is_total_over_capacity() {
+        let (pipe, plat) = section2();
+        let sol = min_period(&pipe, &plat);
+        assert_eq!(sol.period, Rat::int(8));
+        assert_eq!(sol.latency, Rat::int(24));
+        assert_eq!(sol.objective, sol.period);
+    }
+
+    #[test]
+    fn theorem2_latency_without_dp() {
+        let (pipe, plat) = section2();
+        let sol = min_latency_no_dp(&pipe, &plat);
+        assert_eq!(sol.latency, Rat::int(24));
+        // Corollary 1: also period-optimal
+        assert_eq!(sol.period, Rat::int(8));
+    }
+
+    #[test]
+    fn theorem3_latency_with_dp_section2() {
+        // The paper's example: dp S1 on two processors, rest on the third
+        // -> latency 17.
+        let (pipe, plat) = section2();
+        let sol = min_latency_dp(&pipe, &plat);
+        assert_eq!(sol.latency, Rat::int(17));
+        assert!(sol.mapping.uses_data_parallelism());
+    }
+
+    #[test]
+    fn theorem3_single_processor_degenerates() {
+        let pipe = Pipeline::new(vec![3, 5]);
+        let plat = Platform::homogeneous(1, 2);
+        let sol = min_latency_dp(&pipe, &plat);
+        assert_eq!(sol.latency, Rat::int(4));
+    }
+
+    #[test]
+    fn theorem4_latency_under_period() {
+        let (pipe, plat) = section2();
+        // unconstrained: 17
+        let sol = min_latency_under_period(&pipe, &plat, Rat::INFINITY).unwrap();
+        assert_eq!(sol.latency, Rat::int(17));
+        // period <= 8 forces spending processors on throughput
+        let sol = min_latency_under_period(&pipe, &plat, Rat::int(8)).unwrap();
+        assert!(sol.period <= Rat::int(8));
+        assert_eq!(sol.latency, Rat::int(24)); // replicate-all is forced
+        // impossible period
+        assert!(min_latency_under_period(&pipe, &plat, Rat::int(1)).is_none());
+    }
+
+    #[test]
+    fn theorem4_period_under_latency() {
+        let (pipe, plat) = section2();
+        let sol = min_period_under_latency(&pipe, &plat, Rat::int(24)).unwrap();
+        assert_eq!(sol.period, Rat::int(8));
+        let sol = min_period_under_latency(&pipe, &plat, Rat::int(17)).unwrap();
+        assert!(sol.latency <= Rat::int(17));
+        assert_eq!(sol.period, Rat::int(10)); // dp S1 {P1,P2}, rest on P3
+        assert!(min_period_under_latency(&pipe, &plat, Rat::int(1)).is_none());
+    }
+
+    #[test]
+    fn amdahl_zero_overhead_equals_plain_dp() {
+        let (pipe, plat) = section2();
+        let plain = min_latency_dp(&pipe, &plat);
+        let amdahl = min_latency_dp_amdahl(&pipe, &plat, &[0, 0, 0, 0]);
+        assert_eq!(plain.latency, amdahl.latency);
+        assert_eq!(plain.mapping, amdahl.mapping);
+    }
+
+    #[test]
+    fn amdahl_large_overhead_disables_data_parallelism() {
+        // With a prohibitive startup cost on every stage, the optimum is
+        // a pure-replication mapping of latency 24 (Theorem 2 behaviour).
+        let (pipe, plat) = section2();
+        let sol = min_latency_dp_amdahl(&pipe, &plat, &[100, 100, 100, 100]);
+        assert_eq!(sol.latency, Rat::int(24));
+        assert!(!sol.mapping.uses_data_parallelism());
+    }
+
+    #[test]
+    fn amdahl_moderate_overhead_shifts_the_tradeoff() {
+        // Data-parallelizing S1 on 2 procs saves 7 time units; with f1 = 3
+        // it still pays off (latency 17 + 3 = 20 < 24). With f1 = 8 the
+        // S1 split no longer pays, but data-parallelizing the overhead-free
+        // S4 still shaves 2: [S1..S3] on P1, S4 dp on {P2,P3} = 22.
+        let (pipe, plat) = section2();
+        let sol = min_latency_dp_amdahl(&pipe, &plat, &[3, 0, 0, 0]);
+        assert_eq!(sol.latency, Rat::int(20));
+        assert!(sol.mapping.uses_data_parallelism());
+        let sol = min_latency_dp_amdahl(&pipe, &plat, &[8, 0, 0, 0]);
+        assert_eq!(sol.latency, Rat::int(22));
+        // with the same overhead on every stage, no split pays at all
+        let sol = min_latency_dp_amdahl(&pipe, &plat, &[8, 8, 8, 8]);
+        assert_eq!(sol.latency, Rat::int(24));
+        assert!(!sol.mapping.uses_data_parallelism());
+    }
+
+    #[test]
+    fn amdahl_latency_is_monotone_in_overhead() {
+        let (pipe, plat) = section2();
+        let mut previous = Rat::ZERO;
+        for f in 0..10 {
+            let sol = min_latency_dp_amdahl(&pipe, &plat, &[f, f, f, f]);
+            assert!(sol.latency >= previous);
+            previous = sol.latency;
+        }
+    }
+
+    #[test]
+    fn min_replicas_math() {
+        assert_eq!(min_replicas(10, 1, Rat::int(5)), Some(2));
+        assert_eq!(min_replicas(10, 1, Rat::int(3)), Some(4));
+        assert_eq!(min_replicas(10, 2, Rat::int(5)), Some(1));
+        assert_eq!(min_replicas(10, 1, Rat::INFINITY), Some(1));
+        assert_eq!(min_replicas(10, 1, Rat::ZERO), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # repliflow-algorithms
+//!
+//! Every polynomial algorithm of Benoit & Robert (Cluster 2007), one
+//! module per platform/graph family:
+//!
+//! | Module | Paper results |
+//! |---|---|
+//! | [`chains`] | chains-to-chains substrate (Section 1) |
+//! | [`hom_pipeline`] | Theorems 1–4 (pipelines, homogeneous platforms) |
+//! | [`het_pipeline`] | Theorems 6–8 (pipelines, heterogeneous platforms) |
+//! | [`hom_fork`] | Theorems 10–11 (forks, homogeneous platforms) |
+//! | [`het_fork`] | Theorem 14 (homogeneous forks, heterogeneous platforms) |
+//! | [`forkjoin`] | Section 6.3 fork-join extensions |
+//!
+//! Each solver returns a [`Solved`] carrying the constructed
+//! [`Mapping`](repliflow_core::mapping::Mapping) plus its evaluated period
+//! and latency, so every reported optimum is backed by a concrete witness
+//! the caller can re-check through `repliflow-core`'s cost model. The
+//! workspace integration tests verify each solver against the exhaustive
+//! `repliflow-exact` oracle on randomized instances.
+//!
+//! The NP-hard cells of Table 1 (Theorems 5, 9, 12, 13, 15) have no
+//! algorithms here by design — see `repliflow-reductions` for the hardness
+//! machinery and `repliflow-heuristics` for practical approximations.
+
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod forkjoin;
+pub mod het_fork;
+pub mod het_pipeline;
+pub mod hom_fork;
+pub mod hom_pipeline;
+mod solution;
+
+pub use solution::Solved;

@@ -1,0 +1,41 @@
+//! The result type returned by every algorithm in this crate.
+
+use repliflow_core::mapping::Mapping;
+use repliflow_core::rational::Rat;
+
+/// A mapping produced by one of the paper's algorithms, together with its
+/// evaluated period and latency and the value of the optimized objective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solved {
+    /// The constructed mapping.
+    pub mapping: Mapping,
+    /// Period of the mapping.
+    pub period: Rat,
+    /// Latency of the mapping.
+    pub latency: Rat,
+    /// The value of whichever objective the algorithm optimized
+    /// (equals `period` or `latency` accordingly).
+    pub objective: Rat,
+}
+
+impl Solved {
+    /// Solved instance optimizing the period.
+    pub fn for_period(mapping: Mapping, period: Rat, latency: Rat) -> Self {
+        Solved {
+            mapping,
+            period,
+            latency,
+            objective: period,
+        }
+    }
+
+    /// Solved instance optimizing the latency.
+    pub fn for_latency(mapping: Mapping, period: Rat, latency: Rat) -> Self {
+        Solved {
+            mapping,
+            period,
+            latency,
+            objective: latency,
+        }
+    }
+}

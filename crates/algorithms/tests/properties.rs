@@ -1,0 +1,155 @@
+//! Property-based tests over the algorithm suite: structural invariants
+//! that must hold on *every* instance, independent of the exact oracle.
+
+use proptest::prelude::*;
+use repliflow_algorithms::{chains, het_fork, het_pipeline, hom_pipeline};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::{Fork, Pipeline};
+
+proptest! {
+    /// chains-to-chains: the DP optimum is a lower bound on every
+    /// prefix-cut partition, and the probe agrees with it.
+    #[test]
+    fn chains_dp_lower_bounds_all_partitions(
+        a in prop::collection::vec(1u64..=50, 1..=10),
+        p in 1usize..=5,
+        cut_bits in 0u32..1024,
+    ) {
+        let (opt, _) = chains::dp(&a, p);
+        // build an arbitrary partition with at most p intervals
+        let mut partition = Vec::new();
+        let mut lo = 0;
+        for i in 1..a.len() {
+            if cut_bits >> i & 1 == 1 && partition.len() + 1 < p {
+                partition.push((lo, i - 1));
+                lo = i;
+            }
+        }
+        partition.push((lo, a.len() - 1));
+        prop_assert!(opt <= chains::bottleneck(&a, &partition));
+        // probe consistency at the optimum
+        prop_assert!(chains::probe(&a, p, opt));
+        if opt > 0 {
+            prop_assert!(!chains::probe(&a, p, opt - 1));
+        }
+    }
+
+    /// Theorem 1's optimum is total work over total capacity and lower
+    /// bounds the latency divided by p.
+    #[test]
+    fn thm1_value_formula(
+        weights in prop::collection::vec(1u64..=30, 1..=8),
+        p in 1usize..=6,
+        s in 1u64..=5,
+    ) {
+        let pipe = Pipeline::new(weights.clone());
+        let plat = Platform::homogeneous(p, s);
+        let sol = hom_pipeline::min_period(&pipe, &plat);
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(sol.period, Rat::ratio(total, p as u64 * s));
+        prop_assert_eq!(sol.latency, Rat::ratio(total, s));
+    }
+
+    /// Theorem 3: more processors never hurt the optimal latency, and the
+    /// latency is bounded by Theorem 2's replication-only value.
+    #[test]
+    fn thm3_monotone_in_processors(
+        weights in prop::collection::vec(1u64..=30, 1..=6),
+        s in 1u64..=4,
+    ) {
+        let pipe = Pipeline::new(weights.clone());
+        let mut previous = Rat::INFINITY;
+        for p in 1..=6 {
+            let plat = Platform::homogeneous(p, s);
+            let sol = hom_pipeline::min_latency_dp(&pipe, &plat);
+            prop_assert!(sol.latency <= previous);
+            prop_assert!(sol.latency <= Rat::ratio(weights.iter().sum(), s));
+            previous = sol.latency;
+        }
+    }
+
+    /// Theorem 7: the optimal period of a homogeneous pipeline never
+    /// increases when a processor is added, and is bounded between the
+    /// work/capacity lower bound and the fastest-single-processor value.
+    #[test]
+    fn thm7_monotone_and_bounded(
+        n in 1usize..=6,
+        w in 1u64..=20,
+        speeds in prop::collection::vec(1u64..=8, 1..=5),
+    ) {
+        let pipe = Pipeline::uniform(n, w);
+        let mut previous = Rat::INFINITY;
+        for used in 1..=speeds.len() {
+            let plat = Platform::heterogeneous(speeds[..used].to_vec());
+            let sol = het_pipeline::min_period_uniform(&pipe, &plat);
+            prop_assert!(sol.period <= previous, "period must not increase");
+            let lower = Rat::ratio(n as u64 * w, plat.total_speed());
+            let upper = Rat::ratio(
+                n as u64 * w,
+                plat.speed(plat.fastest()),
+            );
+            prop_assert!(sol.period >= lower);
+            prop_assert!(sol.period <= upper);
+            previous = sol.period;
+        }
+    }
+
+    /// Theorem 6: the fastest-single mapping's latency equals total work
+    /// over the fastest speed, for any pipeline.
+    #[test]
+    fn thm6_value_formula(
+        weights in prop::collection::vec(1u64..=30, 1..=8),
+        speeds in prop::collection::vec(1u64..=8, 1..=6),
+    ) {
+        let pipe = Pipeline::new(weights.clone());
+        let plat = Platform::heterogeneous(speeds.clone());
+        let sol = het_pipeline::min_latency_no_dp(&pipe, &plat);
+        let fastest = *speeds.iter().max().unwrap();
+        prop_assert_eq!(sol.latency, Rat::ratio(weights.iter().sum(), fastest));
+    }
+
+    /// Theorem 14: both objectives bounded by the everything-on-fastest
+    /// mapping; period additionally bounded below by work/capacity.
+    #[test]
+    fn thm14_bounds(
+        leaves in 0usize..=5,
+        w in 1u64..=15,
+        w0 in 1u64..=15,
+        speeds in prop::collection::vec(1u64..=8, 1..=4),
+    ) {
+        let fork = Fork::uniform(w0, leaves, w);
+        let plat = Platform::heterogeneous(speeds.clone());
+        let fastest = *speeds.iter().max().unwrap();
+        let single = Rat::ratio(fork.total_work(), fastest);
+        let sol = het_fork::min_period_uniform(&fork, &plat);
+        prop_assert!(sol.period <= single);
+        prop_assert!(sol.period >= Rat::ratio(fork.total_work(), plat.total_speed()));
+        let sol = het_fork::min_latency_uniform(&fork, &plat);
+        prop_assert!(sol.latency <= single);
+        // latency can never beat the root + one leaf on the fastest proc
+        let floor = Rat::ratio(w0, fastest)
+            + if leaves > 0 { Rat::ratio(w, fastest) } else { Rat::ZERO };
+        prop_assert!(sol.latency >= floor);
+    }
+
+    /// Bi-criteria coherence: tightening the period bound never improves
+    /// the optimal latency (Theorem 4).
+    #[test]
+    fn thm4_latency_antitone_in_period_bound(
+        weights in prop::collection::vec(1u64..=20, 1..=5),
+        p in 1usize..=4,
+    ) {
+        let pipe = Pipeline::new(weights);
+        let plat = Platform::homogeneous(p, 1);
+        let loose = hom_pipeline::min_latency_under_period(&pipe, &plat, Rat::INFINITY)
+            .expect("unbounded is feasible");
+        let mid = hom_pipeline::min_latency_under_period(&pipe, &plat, loose.period);
+        if let Some(mid) = mid {
+            prop_assert!(mid.latency >= loose.latency || mid.latency == loose.latency);
+        }
+        // the unconstrained optimum equals Theorem 3
+        let thm3 = hom_pipeline::min_latency_dp(&pipe, &plat);
+        prop_assert_eq!(loose.latency, thm3.latency);
+    }
+}

@@ -1,0 +1,339 @@
+//! The central optimality validation of the reproduction: every
+//! polynomial algorithm of the paper is checked against the exhaustive
+//! `repliflow-exact` oracle on randomized instances of its Table 1 cell.
+//!
+//! Each test draws seeded random instances (small enough for exhaustive
+//! optimization) and asserts the algorithm's objective value equals the
+//! exact optimum — i.e. the paper's optimality claims hold empirically on
+//! every sampled instance.
+
+use repliflow_algorithms::{forkjoin, het_fork, het_pipeline, hom_fork, hom_pipeline};
+use repliflow_core::gen::Gen;
+use repliflow_core::rational::Rat;
+use repliflow_exact::{pareto_fork, pareto_forkjoin, pareto_pipeline, Goal};
+
+#[test]
+fn theorem1_min_period_matches_exact() {
+    let mut gen = Gen::new(0xA1);
+    for case in 0..40 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 15);
+        let plat = gen.hom_platform(p, 1, 4);
+        let sol = hom_pipeline::min_period(&pipe, &plat);
+        for allow_dp in [false, true] {
+            let exact = repliflow_exact::solve_pipeline(&pipe, &plat, allow_dp, Goal::MinPeriod)
+                .unwrap();
+            assert_eq!(sol.period, exact.period, "case {case} dp={allow_dp}");
+        }
+    }
+}
+
+#[test]
+fn theorem2_min_latency_no_dp_matches_exact() {
+    let mut gen = Gen::new(0xA2);
+    for case in 0..40 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 15);
+        let plat = gen.hom_platform(p, 1, 4);
+        let sol = hom_pipeline::min_latency_no_dp(&pipe, &plat);
+        let exact =
+            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, exact.latency, "case {case}");
+    }
+}
+
+#[test]
+fn theorem3_min_latency_dp_matches_exact() {
+    let mut gen = Gen::new(0xA3);
+    for case in 0..40 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 15);
+        let plat = gen.hom_platform(p, 1, 4);
+        let sol = hom_pipeline::min_latency_dp(&pipe, &plat);
+        let exact =
+            repliflow_exact::solve_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, exact.latency, "case {case}");
+    }
+}
+
+#[test]
+fn theorem4_bicriteria_matches_exact_frontier() {
+    let mut gen = Gen::new(0xA4);
+    for case in 0..25 {
+        let n = gen.size(1, 4);
+        let p = gen.size(1, 4);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.hom_platform(p, 1, 3);
+        let frontier = pareto_pipeline(&pipe, &plat, true);
+        for point in frontier.points() {
+            let sol = hom_pipeline::min_latency_under_period(&pipe, &plat, point.period)
+                .expect("frontier point is feasible");
+            assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
+            let sol = hom_pipeline::min_period_under_latency(&pipe, &plat, point.latency)
+                .expect("frontier point is feasible");
+            assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
+        }
+    }
+}
+
+#[test]
+fn theorem6_min_latency_matches_exact() {
+    let mut gen = Gen::new(0xA6);
+    for case in 0..40 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 15);
+        let plat = gen.het_platform(p, 1, 6);
+        let sol = het_pipeline::min_latency_no_dp(&pipe, &plat);
+        let exact =
+            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, exact.latency, "case {case}");
+    }
+}
+
+#[test]
+fn theorem7_min_period_uniform_matches_exact() {
+    let mut gen = Gen::new(0xA7);
+    for case in 0..40 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.uniform_pipeline(n, 1, 12);
+        let plat = gen.het_platform(p, 1, 6);
+        let sol = het_pipeline::min_period_uniform(&pipe, &plat);
+        let exact =
+            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, exact.period, "case {case}");
+    }
+}
+
+#[test]
+fn theorem8_bicriteria_uniform_matches_exact_frontier() {
+    let mut gen = Gen::new(0xA8);
+    for case in 0..25 {
+        let n = gen.size(1, 4);
+        let p = gen.size(1, 4);
+        let pipe = gen.uniform_pipeline(n, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+        let frontier = pareto_pipeline(&pipe, &plat, false);
+        for point in frontier.points() {
+            let sol =
+                het_pipeline::min_latency_under_period_uniform(&pipe, &plat, point.period)
+                    .expect("frontier point is feasible");
+            assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
+            let sol =
+                het_pipeline::min_period_under_latency_uniform(&pipe, &plat, point.latency)
+                    .expect("frontier point is feasible");
+            assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
+        }
+    }
+}
+
+#[test]
+fn theorem10_fork_min_period_matches_exact() {
+    let mut gen = Gen::new(0xB0);
+    for case in 0..40 {
+        let leaves = gen.size(0, 4);
+        let p = gen.size(1, 4);
+        let fork = gen.fork(leaves, 1, 10); // heterogeneous fork allowed
+        let plat = gen.hom_platform(p, 1, 4);
+        let sol = hom_fork::min_period(&fork, &plat);
+        for allow_dp in [false, true] {
+            let exact =
+                repliflow_exact::solve_fork(&fork, &plat, allow_dp, Goal::MinPeriod).unwrap();
+            assert_eq!(sol.period, exact.period, "case {case} dp={allow_dp}");
+        }
+    }
+}
+
+#[test]
+fn theorem11_fork_min_latency_matches_exact() {
+    let mut gen = Gen::new(0xB1);
+    for case in 0..40 {
+        let leaves = gen.size(0, 4);
+        let p = gen.size(1, 4);
+        let fork = gen.uniform_fork(leaves, 1, 10);
+        let plat = gen.hom_platform(p, 1, 4);
+        for allow_dp in [false, true] {
+            let sol = hom_fork::min_latency(&fork, &plat, allow_dp);
+            let exact =
+                repliflow_exact::solve_fork(&fork, &plat, allow_dp, Goal::MinLatency).unwrap();
+            assert_eq!(sol.latency, exact.latency, "case {case} dp={allow_dp}");
+        }
+    }
+}
+
+#[test]
+fn theorem11_fork_bicriteria_matches_exact_frontier() {
+    let mut gen = Gen::new(0xB2);
+    for case in 0..20 {
+        let leaves = gen.size(0, 3);
+        let p = gen.size(1, 4);
+        let fork = gen.uniform_fork(leaves, 1, 8);
+        let plat = gen.hom_platform(p, 1, 3);
+        for allow_dp in [false, true] {
+            let frontier = pareto_fork(&fork, &plat, allow_dp);
+            for point in frontier.points() {
+                let sol =
+                    hom_fork::min_latency_under_period(&fork, &plat, allow_dp, point.period)
+                        .expect("frontier point is feasible");
+                assert_eq!(
+                    sol.latency, point.latency,
+                    "case {case} dp={allow_dp} P={}",
+                    point.period
+                );
+                let sol =
+                    hom_fork::min_period_under_latency(&fork, &plat, allow_dp, point.latency)
+                        .expect("frontier point is feasible");
+                assert_eq!(
+                    sol.period, point.period,
+                    "case {case} dp={allow_dp} L={}",
+                    point.latency
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem14_het_fork_matches_exact() {
+    let mut gen = Gen::new(0xB4);
+    for case in 0..30 {
+        let leaves = gen.size(0, 4);
+        let p = gen.size(1, 4);
+        let fork = gen.uniform_fork(leaves, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+        let sol = het_fork::min_period_uniform(&fork, &plat);
+        let exact =
+            repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, exact.period, "case {case} period");
+        let sol = het_fork::min_latency_uniform(&fork, &plat);
+        let exact =
+            repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, exact.latency, "case {case} latency");
+    }
+}
+
+#[test]
+fn theorem14_het_fork_bicriteria_matches_exact_frontier() {
+    let mut gen = Gen::new(0xB5);
+    for case in 0..15 {
+        let leaves = gen.size(0, 3);
+        let p = gen.size(1, 3);
+        let fork = gen.uniform_fork(leaves, 1, 8);
+        let plat = gen.het_platform(p, 1, 4);
+        let frontier = pareto_fork(&fork, &plat, false);
+        for point in frontier.points() {
+            let sol =
+                het_fork::min_latency_under_period_uniform(&fork, &plat, point.period)
+                    .expect("frontier point is feasible");
+            assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
+            let sol =
+                het_fork::min_period_under_latency_uniform(&fork, &plat, point.latency)
+                    .expect("frontier point is feasible");
+            assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
+        }
+    }
+}
+
+#[test]
+fn forkjoin_hom_platform_matches_exact() {
+    let mut gen = Gen::new(0xB6);
+    for case in 0..25 {
+        let leaves = gen.size(0, 3);
+        let p = gen.size(1, 4);
+        let fj = gen.uniform_forkjoin(leaves, 1, 8);
+        let plat = gen.hom_platform(p, 1, 3);
+        // period (replicate-all is optimal; any fork-join)
+        let sol = forkjoin::min_period(&fj, &plat);
+        let exact =
+            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, exact.period, "case {case} period");
+        // latency, both models
+        for allow_dp in [false, true] {
+            let sol = forkjoin::min_latency_hom(&fj, &plat, allow_dp);
+            let exact =
+                repliflow_exact::solve_forkjoin(&fj, &plat, allow_dp, Goal::MinLatency)
+                    .unwrap();
+            assert_eq!(sol.latency, exact.latency, "case {case} dp={allow_dp}");
+        }
+    }
+}
+
+#[test]
+fn forkjoin_het_platform_matches_exact() {
+    let mut gen = Gen::new(0xB7);
+    for case in 0..20 {
+        let leaves = gen.size(0, 3);
+        let p = gen.size(1, 3);
+        let fj = gen.uniform_forkjoin(leaves, 1, 8);
+        let plat = gen.het_platform(p, 1, 4);
+        let sol = forkjoin::min_period_uniform_het(&fj, &plat);
+        let exact =
+            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, exact.period, "case {case} period");
+        let sol = forkjoin::min_latency_uniform_het(&fj, &plat);
+        let exact =
+            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, exact.latency, "case {case} latency");
+    }
+}
+
+#[test]
+fn forkjoin_het_bicriteria_matches_exact_frontier() {
+    let mut gen = Gen::new(0xB8);
+    for case in 0..10 {
+        let leaves = gen.size(0, 2);
+        let p = gen.size(1, 3);
+        let fj = gen.uniform_forkjoin(leaves, 1, 6);
+        let plat = gen.het_platform(p, 1, 4);
+        let frontier = pareto_forkjoin(&fj, &plat, false);
+        for point in frontier.points() {
+            let sol = forkjoin::min_latency_under_period_uniform_het(&fj, &plat, point.period)
+                .expect("frontier point is feasible");
+            assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
+            let sol = forkjoin::min_period_under_latency_uniform_het(&fj, &plat, point.latency)
+                .expect("frontier point is feasible");
+            assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_mapping_is_self_consistent() {
+    // Each returned mapping re-evaluates to the reported values.
+    let mut gen = Gen::new(0xB9);
+    for _ in 0..20 {
+        let n = gen_size(&mut gen);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.hom_platform(3, 1, 3);
+        let sol = hom_pipeline::min_latency_dp(&pipe, &plat);
+        assert_eq!(pipe.latency(&plat, &sol.mapping).unwrap(), sol.latency);
+        assert_eq!(pipe.period(&plat, &sol.mapping).unwrap(), sol.period);
+        assert_eq!(sol.objective, sol.latency);
+    }
+}
+
+fn gen_size(gen: &mut Gen) -> usize {
+    gen.size(1, 5)
+}
+
+#[test]
+fn unconstrained_bounds_recover_mono_criterion_optima() {
+    let mut gen = Gen::new(0xBA);
+    for _ in 0..15 {
+        let sz = gen.size(1, 4);
+
+        let pipe = gen.uniform_pipeline(sz, 1, 9);
+        let sz = gen.size(1, 4);
+
+        let plat = gen.het_platform(sz, 1, 5);
+        let unconstrained =
+            het_pipeline::min_latency_under_period_uniform(&pipe, &plat, Rat::INFINITY)
+                .unwrap();
+        let direct = het_pipeline::min_latency_no_dp(&pipe, &plat);
+        assert_eq!(unconstrained.latency, direct.latency);
+    }
+}

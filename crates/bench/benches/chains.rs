@@ -1,0 +1,29 @@
+//! The chains-to-chains substrate: DP vs exact parametric search vs the
+//! greedy baseline (the classical problem the paper generalizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repliflow_algorithms::chains;
+use repliflow_core::gen::Gen;
+use std::hint::black_box;
+
+fn bench_chains(c: &mut Criterion) {
+    let mut gen = Gen::new(0xCC);
+    let mut group = c.benchmark_group("chains_to_chains");
+    for n in [32usize, 128, 512] {
+        let a = gen.positive_ints(n, 1, 1000);
+        let p = 16;
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| black_box(chains::dp(&a, p)));
+        });
+        group.bench_with_input(BenchmarkId::new("binary_search", n), &n, |b, _| {
+            b.iter(|| black_box(chains::binary_search(&a, p)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| black_box(chains::greedy(&a, p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains);
+criterion_main!(benches);

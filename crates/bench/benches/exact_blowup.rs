@@ -1,0 +1,82 @@
+//! Exponential blow-up of exhaustive optimization — the empirical face of
+//! the NP-hardness results. The exact Pareto solver's runtime grows
+//! exponentially in `p` on the very instances Theorems 5/9/12/15 prove
+//! hard, while the polynomial cells' algorithms stay flat (see
+//! `poly_algorithms`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repliflow_core::gen::Gen;
+use repliflow_exact::Goal;
+use repliflow_reductions::{thm5, TwoPartition};
+use std::hint::black_box;
+
+fn bench_exact_pipeline_in_p(c: &mut Criterion) {
+    let mut gen = Gen::new(0xE0);
+    let mut group = c.benchmark_group("exact_pipeline_vs_p");
+    group.sample_size(10);
+    for p in [3usize, 4, 5, 6, 7] {
+        let pipe = gen.pipeline(6, 1, 20);
+        let plat = gen.het_platform(p, 1, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                black_box(repliflow_exact::solve_pipeline(
+                    &pipe,
+                    &plat,
+                    true,
+                    Goal::MinPeriod,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_on_reduced_instances(c: &mut Criterion) {
+    let mut gen = Gen::new(0xE1);
+    let mut group = c.benchmark_group("exact_on_thm5_reductions");
+    group.sample_size(10);
+    for m in [3usize, 4, 5, 6] {
+        let tp = TwoPartition::random_yes(&mut gen, m, 9);
+        let r = thm5::reduce(&tp);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * m), &m, |b, _| {
+            b.iter(|| {
+                black_box(repliflow_exact::solve_pipeline(
+                    &r.pipeline,
+                    &r.platform,
+                    true,
+                    Goal::MinLatency,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_fork_in_leaves(c: &mut Criterion) {
+    let mut gen = Gen::new(0xE2);
+    let mut group = c.benchmark_group("exact_fork_vs_leaves");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let fork = gen.fork(n, 1, 10);
+        let plat = gen.het_platform(4, 1, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(repliflow_exact::solve_fork(
+                    &fork,
+                    &plat,
+                    true,
+                    Goal::MinLatency,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_pipeline_in_p,
+    bench_exact_on_reduced_instances,
+    bench_exact_fork_in_leaves
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benchmarks of the paper's polynomial algorithms (Table 1's
+//! polynomial cells), across `n` and `p` sweeps. The growth rates support
+//! the stated complexities: O(n·p·(n+p)) for the Theorem 3/4 DPs,
+//! candidate-set binary search × packing DP for Theorems 7/8/14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repliflow_algorithms::{het_fork, het_pipeline, hom_fork, hom_pipeline};
+use repliflow_core::gen::Gen;
+use repliflow_core::rational::Rat;
+use std::hint::black_box;
+
+fn bench_thm1(c: &mut Criterion) {
+    let mut gen = Gen::new(1);
+    let mut group = c.benchmark_group("thm1_min_period");
+    for n in [8usize, 64, 512] {
+        let pipe = gen.pipeline(n, 1, 50);
+        let plat = gen.hom_platform(16, 1, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(hom_pipeline::min_period(&pipe, &plat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm3(c: &mut Criterion) {
+    let mut gen = Gen::new(3);
+    let mut group = c.benchmark_group("thm3_latency_dp");
+    for n in [8usize, 16, 32, 64] {
+        let pipe = gen.pipeline(n, 1, 50);
+        let plat = gen.hom_platform(16, 1, 4);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| black_box(hom_pipeline::min_latency_dp(&pipe, &plat)));
+        });
+    }
+    for p in [8usize, 16, 32, 64] {
+        let pipe = gen.pipeline(16, 1, 50);
+        let plat = gen.hom_platform(p, 1, 4);
+        group.bench_with_input(BenchmarkId::new("p", p), &p, |b, _| {
+            b.iter(|| black_box(hom_pipeline::min_latency_dp(&pipe, &plat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm4(c: &mut Criterion) {
+    let mut gen = Gen::new(4);
+    let mut group = c.benchmark_group("thm4_bicriteria_dp");
+    for n in [8usize, 16, 32] {
+        let pipe = gen.pipeline(n, 1, 50);
+        let plat = gen.hom_platform(16, 1, 4);
+        let bound = Rat::int(1_000_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(hom_pipeline::min_latency_under_period(&pipe, &plat, bound))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm7(c: &mut Criterion) {
+    let mut gen = Gen::new(7);
+    let mut group = c.benchmark_group("thm7_period_uniform");
+    for p in [4usize, 8, 16, 24] {
+        let pipe = gen.uniform_pipeline(24, 1, 20);
+        let plat = gen.het_platform(p, 1, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(het_pipeline::min_period_uniform(&pipe, &plat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm8(c: &mut Criterion) {
+    let mut gen = Gen::new(8);
+    let mut group = c.benchmark_group("thm8_bicriteria_uniform");
+    for p in [4usize, 8, 12] {
+        let pipe = gen.uniform_pipeline(16, 1, 20);
+        let plat = gen.het_platform(p, 1, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                black_box(het_pipeline::min_latency_under_period_uniform(
+                    &pipe,
+                    &plat,
+                    Rat::int(1_000_000),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm11(c: &mut Criterion) {
+    let mut gen = Gen::new(11);
+    let mut group = c.benchmark_group("thm11_fork_latency");
+    for n in [4usize, 8, 16] {
+        let fork = gen.uniform_fork(n, 1, 20);
+        let plat = gen.hom_platform(8, 1, 4);
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| black_box(hom_fork::min_latency(&fork, &plat, true)));
+        });
+        group.bench_with_input(BenchmarkId::new("nodp", n), &n, |b, _| {
+            b.iter(|| black_box(hom_fork::min_latency(&fork, &plat, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm14(c: &mut Criterion) {
+    let mut gen = Gen::new(14);
+    let mut group = c.benchmark_group("thm14_het_fork");
+    for p in [4usize, 8, 12] {
+        let fork = gen.uniform_fork(12, 1, 20);
+        let plat = gen.het_platform(p, 1, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(het_fork::min_period_uniform(&fork, &plat)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thm1,
+    bench_thm3,
+    bench_thm4,
+    bench_thm7,
+    bench_thm8,
+    bench_thm11,
+    bench_thm14
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Simulator throughput: data sets simulated per second across workflow
+//! shapes and mapping structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repliflow_core::gen::Gen;
+use repliflow_core::mapping::{Mapping, Mode};
+use repliflow_sim::{simulate_fork, simulate_pipeline, Feed};
+use std::hint::black_box;
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let mut gen = Gen::new(0x510);
+    let mut group = c.benchmark_group("simulate_pipeline");
+    for data_sets in [100usize, 1000, 10000] {
+        let pipe = gen.pipeline(16, 1, 50);
+        let plat = gen.het_platform(8, 1, 10);
+        let mapping = Mapping::whole(16, plat.procs().collect(), Mode::Replicated);
+        group.throughput(Throughput::Elements(data_sets as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(data_sets),
+            &data_sets,
+            |b, &d| {
+                b.iter(|| {
+                    black_box(
+                        simulate_pipeline(&pipe, &plat, &mapping, Feed::Saturated, d)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fork_sim(c: &mut Criterion) {
+    let mut gen = Gen::new(0x511);
+    let mut group = c.benchmark_group("simulate_fork");
+    for data_sets in [100usize, 1000] {
+        let fork = gen.fork(12, 1, 50);
+        let plat = gen.het_platform(6, 1, 10);
+        let mapping = Mapping::whole(13, plat.procs().collect(), Mode::Replicated);
+        group.throughput(Throughput::Elements(data_sets as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(data_sets),
+            &data_sets,
+            |b, &d| {
+                b.iter(|| {
+                    black_box(
+                        simulate_fork(&fork, &plat, &mapping, Feed::Saturated, d).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_sim, bench_fork_sim);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 1** (the application pipeline) and **Figure 2**
+//! (the application fork) as ASCII diagrams and Graphviz DOT.
+//!
+//! Usage: `figures [pipeline|fork|forkjoin]` (default: all).
+
+use repliflow_core::dot;
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline};
+
+fn figure1() {
+    // Figure 1 shows a generic n-stage pipeline; render the Section 2
+    // instance so the weights are meaningful.
+    let pipe = Pipeline::with_data_sizes(vec![14, 4, 2, 4], vec![1, 1, 1, 1, 1]);
+    println!("Figure 1 — the application pipeline\n");
+    print!("{}", dot::ascii_pipeline(&pipe));
+    println!("\nDOT:\ndigraph pipeline {{");
+    print!("{}", dot::to_dot(&dot::pipeline_graph(&pipe)));
+    println!("}}");
+}
+
+fn figure2() {
+    let fork = Fork::with_data_sizes(3, vec![2, 2, 2], 1, 1, vec![1, 1, 1]);
+    println!("\nFigure 2 — the application fork\n");
+    print!("{}", dot::ascii_fork(&fork));
+    println!("\nDOT:\ndigraph fork {{");
+    print!("{}", dot::to_dot(&dot::fork_graph(&fork)));
+    println!("}}");
+}
+
+fn forkjoin() {
+    let fj = ForkJoin::new(3, vec![2, 2, 2], 4);
+    println!("\nSection 6.3 — fork-join extension\n");
+    println!("DOT:\ndigraph forkjoin {{");
+    print!("{}", dot::to_dot(&dot::forkjoin_graph(&fj)));
+    println!("}}");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "pipeline" => figure1(),
+        "fork" => figure2(),
+        "forkjoin" => forkjoin(),
+        _ => {
+            figure1();
+            figure2();
+            forkjoin();
+        }
+    }
+}

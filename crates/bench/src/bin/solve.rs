@@ -1,0 +1,167 @@
+//! `solve` — command-line solver for workflow mapping instances.
+//!
+//! Reads a [`ProblemInstance`] as JSON (from a file argument or stdin),
+//! classifies it into its Table 1 cell, picks an appropriate engine, and
+//! prints the solution (mapping, period, latency) plus the cell's
+//! complexity classification.
+//!
+//! ```text
+//! solve instance.json            # auto engine
+//! solve --engine exact inst.json # force exhaustive search (small only)
+//! solve --engine heuristic i.json
+//! cat inst.json | solve -
+//! ```
+//!
+//! Example instance:
+//! ```json
+//! {
+//!   "workflow": { "Pipeline": { "weights": [14,4,2,4], "data_sizes": [0,0,0,0,0] } },
+//!   "platform": { "speeds": [2,2,1,1] },
+//!   "allow_data_parallel": true,
+//!   "objective": "Period"
+//! }
+//! ```
+
+use repliflow_core::instance::{Complexity, Objective, ProblemInstance};
+use repliflow_core::mapping::{Mapping, Mode};
+use repliflow_core::workflow::Workflow;
+use std::io::Read;
+use std::process::ExitCode;
+
+enum Engine {
+    Auto,
+    Exact,
+    Heuristic,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: solve [--engine auto|exact|heuristic] <instance.json | ->");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = Engine::Auto;
+    let mut path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = match it.next().as_deref() {
+                    Some("auto") => Engine::Auto,
+                    Some("exact") => Engine::Exact,
+                    Some("heuristic") => Engine::Heuristic,
+                    _ => return usage(),
+                }
+            }
+            "-h" | "--help" => return usage(),
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else { return usage() };
+
+    let json = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let instance: ProblemInstance = match serde_json::from_str(&json) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: invalid instance JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let variant = instance.variant();
+    let complexity = variant.paper_complexity();
+    println!("instance : {variant}");
+    match complexity {
+        Complexity::Polynomial(thm) => println!("cell     : polynomial ({thm})"),
+        Complexity::NpHard(thm) => println!("cell     : NP-hard ({thm})"),
+    }
+
+    let n = instance.workflow.n_stages();
+    let p = instance.platform.n_procs();
+    let small = n <= 10 && p <= 12;
+    let use_exact = match engine {
+        Engine::Exact => true,
+        Engine::Heuristic => false,
+        Engine::Auto => small,
+    };
+
+    let mapping: Option<Mapping> = if use_exact {
+        if !small {
+            eprintln!("warning: exact search on n={n}, p={p} may take very long");
+        }
+        println!("engine   : exact (exhaustive Pareto search)");
+        repliflow_exact::solve(&instance).map(|s| s.mapping)
+    } else {
+        println!("engine   : heuristic");
+        match (&instance.workflow, instance.objective) {
+            (Workflow::Pipeline(pipe), Objective::Period) => Some(
+                repliflow_heuristics::greedy::pipeline_period_greedy(pipe, &instance.platform),
+            ),
+            (Workflow::Pipeline(pipe), _) => {
+                let start = Mapping::whole(
+                    pipe.n_stages(),
+                    instance.platform.procs().collect(),
+                    Mode::Replicated,
+                );
+                Some(repliflow_heuristics::local_search::improve(
+                    pipe,
+                    &instance.platform,
+                    instance.allow_data_parallel,
+                    instance.objective,
+                    start,
+                    200,
+                ))
+            }
+            (Workflow::Fork(fork), _) => Some(repliflow_heuristics::greedy::fork_latency_greedy(
+                fork,
+                &instance.platform,
+            )),
+            (Workflow::ForkJoin(_), _) => {
+                eprintln!("error: no fork-join heuristic; use --engine exact");
+                None
+            }
+        }
+    };
+
+    let Some(mapping) = mapping else {
+        eprintln!("no solution (infeasible bound or unsupported combination)");
+        return ExitCode::FAILURE;
+    };
+    let period = instance
+        .workflow
+        .period(&instance.platform, &mapping)
+        .expect("engine mappings are valid");
+    let latency = instance
+        .workflow
+        .latency(&instance.platform, &mapping)
+        .expect("engine mappings are valid");
+    println!("mapping  : {mapping}");
+    println!("period   : {period} ({:.6})", period.to_f64());
+    println!("latency  : {latency} ({:.6})", latency.to_f64());
+    match instance.objective {
+        Objective::LatencyUnderPeriod(b) if period > b => {
+            println!("status   : VIOLATES period bound {b}");
+        }
+        Objective::PeriodUnderLatency(b) if latency > b => {
+            println!("status   : VIOLATES latency bound {b}");
+        }
+        _ => println!("status   : feasible"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,446 @@
+//! The simplified cost model of Section 3.4: period and latency of a
+//! mapping, with all communication costs and overheads neglected.
+//!
+//! For a stage group of total work `W = Σ w_ℓ` assigned to processors
+//! `P_{q1} .. P_{qk}`:
+//!
+//! * **replicated** — period `W / (k · min_u s_{qu})`, traversal delay
+//!   `W / min_u s_{qu}` (the slowest round-robin participant bounds both);
+//! * **data-parallel** — period = delay = `W / Σ_u s_{qu}`.
+//!
+//! The **period** of a mapping is the maximum group period. The pipeline
+//! **latency** is the sum of group delays along the pipeline. The fork
+//! latency uses the *flexible* model: every non-root group starts as soon
+//! as `S0` completes, so
+//! `T_latency = max( t_max(1), w0/s0 + max_{r ≥ 2} t_max(r) )`
+//! where group 1 holds the root and `s0` is the speed at which `S0` is
+//! processed (`Σ s` if group 1 is data-parallel, `min s` if replicated).
+//!
+//! The fork-join extension (Section 6.3) appends a join stage `S_{n+1}`
+//! that can start only when every leaf is complete:
+//! `T_latency = AllLeavesDone + w_{n+1} / s_join`, where `AllLeavesDone`
+//! is the fork latency computed over the non-join work of every group and
+//! `s_join` is the aggregate (data-parallel) or minimum (replicated) speed
+//! of the join group. The paper states the extension exists and keeps the
+//! complexity; this is the natural formalization under the flexible model.
+
+use crate::error::Error;
+use crate::mapping::{Assignment, Mapping, Mode};
+use crate::platform::Platform;
+use crate::rational::Rat;
+use crate::workflow::{Fork, ForkJoin, Pipeline};
+
+/// Period of one stage group: the time between two consecutive data sets
+/// entering the group at full utilization.
+pub fn group_period(work: u64, assignment: &Assignment, platform: &Platform) -> Rat {
+    let k = assignment.n_procs() as u64;
+    match assignment.mode {
+        Mode::Replicated => Rat::ratio(work, k * platform.subset_min_speed(assignment.procs())),
+        Mode::DataParallel => Rat::ratio(work, platform.subset_speed(assignment.procs())),
+    }
+}
+
+/// Traversal delay of one stage group: the time one data set spends in it.
+pub fn group_delay(work: u64, assignment: &Assignment, platform: &Platform) -> Rat {
+    match assignment.mode {
+        Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(assignment.procs())),
+        Mode::DataParallel => Rat::ratio(work, platform.subset_speed(assignment.procs())),
+    }
+}
+
+/// Delay of a **data-parallel** stage under the Amdahl refinement of
+/// Section 3.3: a fixed inherently-sequential overhead `f_i` plus the
+/// parallelizable work shared across the set — `f_i + w_i / Σ s`.
+///
+/// With `overhead = 0` this reduces to the simplified model. The paper
+/// introduces the overhead "to account for the startup time induced by
+/// system calls" but analyzes only the zero-overhead case; the
+/// Amdahl-aware latency algorithm lives in
+/// `repliflow-algorithms::hom_pipeline::min_latency_dp_amdahl`.
+pub fn dp_delay_with_overhead(
+    work: u64,
+    overhead: u64,
+    procs: &[crate::platform::ProcId],
+    platform: &Platform,
+) -> Rat {
+    Rat::int(overhead as i128) + Rat::ratio(work, platform.subset_speed(procs))
+}
+
+/// Period of a pipeline mapping: `max_j` over interval periods.
+pub fn pipeline_period(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    mapping.validate_pipeline(pipeline, platform, true)?;
+    Ok(mapping
+        .assignments()
+        .iter()
+        .map(|a| group_period(a.work(|s| pipeline.weight(s)), a, platform))
+        .fold(Rat::ZERO, Rat::max))
+}
+
+/// Latency of a pipeline mapping: sum of interval delays.
+pub fn pipeline_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    mapping.validate_pipeline(pipeline, platform, true)?;
+    Ok(mapping
+        .assignments()
+        .iter()
+        .map(|a| group_delay(a.work(|s| pipeline.weight(s)), a, platform))
+        .sum())
+}
+
+/// Period of a fork mapping: `max_r` over group periods.
+pub fn fork_period(fork: &Fork, platform: &Platform, mapping: &Mapping) -> Result<Rat, Error> {
+    mapping.validate_fork(fork, platform, true)?;
+    Ok(mapping
+        .assignments()
+        .iter()
+        .map(|a| group_period(a.work(|s| fork.weight(s)), a, platform))
+        .fold(Rat::ZERO, Rat::max))
+}
+
+/// The speed at which the root stage is processed by its group:
+/// `Σ s` if data-parallel, `min s` if replicated (Section 3.4).
+fn root_speed(assignment: &Assignment, platform: &Platform) -> u64 {
+    match assignment.mode {
+        Mode::DataParallel => platform.subset_speed(assignment.procs()),
+        Mode::Replicated => platform.subset_min_speed(assignment.procs()),
+    }
+}
+
+/// Latency of a fork mapping under the flexible model.
+pub fn fork_latency(fork: &Fork, platform: &Platform, mapping: &Mapping) -> Result<Rat, Error> {
+    mapping.validate_fork(fork, platform, true)?;
+    Ok(fork_latency_of_work(
+        fork.root_weight(),
+        |a| a.work(|s| fork.weight(s)),
+        platform,
+        mapping,
+    ))
+}
+
+/// Shared fork-latency computation over a caller-supplied per-group work
+/// function (lets the fork-join evaluation exclude the join stage's work).
+fn fork_latency_of_work(
+    root_weight: u64,
+    work_of: impl Fn(&Assignment) -> u64,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Rat {
+    let root_group = mapping
+        .assignment_of(0)
+        .expect("validated mapping has a root group");
+    let s0 = root_speed(root_group, platform);
+    let root_done = Rat::ratio(root_weight, s0);
+
+    let mut latency = group_delay(work_of(root_group), root_group, platform);
+    for a in mapping.assignments() {
+        if a.contains_stage(0) {
+            continue;
+        }
+        let t = group_delay(work_of(a), a, platform);
+        latency = latency.max(root_done + t);
+    }
+    latency
+}
+
+/// Period of a fork-join mapping: `max_r` over group periods (the join
+/// stage's work counts toward its group's load like any other stage).
+pub fn forkjoin_period(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    mapping.validate_forkjoin(forkjoin, platform, true)?;
+    Ok(mapping
+        .assignments()
+        .iter()
+        .map(|a| group_period(a.work(|s| forkjoin.weight(s)), a, platform))
+        .fold(Rat::ZERO, Rat::max))
+}
+
+/// Latency of a fork-join mapping under the flexible model (see module
+/// docs for the formalization).
+pub fn forkjoin_latency(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    mapping.validate_forkjoin(forkjoin, platform, true)?;
+    let join = forkjoin.join_stage();
+    // Fork part: every group's work excluding the join stage.
+    let all_leaves_done = fork_latency_of_work(
+        forkjoin.root_weight(),
+        |a| {
+            a.stages()
+                .iter()
+                .filter(|&&s| s != join)
+                .map(|&s| forkjoin.weight(s))
+                .sum()
+        },
+        platform,
+        mapping,
+    );
+    let join_group = mapping
+        .assignment_of(join)
+        .expect("validated mapping has a join group");
+    let s_join = match join_group.mode {
+        Mode::DataParallel => platform.subset_speed(join_group.procs()),
+        Mode::Replicated => platform.subset_min_speed(join_group.procs()),
+    };
+    Ok(all_leaves_done + Rat::ratio(forkjoin.join_weight(), s_join))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ProcId;
+
+    fn procs(ids: &[usize]) -> Vec<ProcId> {
+        ids.iter().map(|&u| ProcId(u)).collect()
+    }
+
+    /// The Section 2 example: pipeline [14, 4, 2, 4].
+    fn section2_pipeline() -> Pipeline {
+        Pipeline::new(vec![14, 4, 2, 4])
+    }
+
+    #[test]
+    fn section2_homogeneous_basic_mapping() {
+        // S1 -> P1, S2..S4 -> P2: period 14, latency 24.
+        let pipe = section2_pipeline();
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+            Assignment::interval(1, 3, procs(&[1]), Mode::Replicated),
+        ]);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(14));
+        assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::int(24));
+    }
+
+    #[test]
+    fn section2_replicate_whole_pipeline() {
+        // All four stages replicated on all three processors: period 8,
+        // latency still 24.
+        let pipe = section2_pipeline();
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::whole(4, procs(&[0, 1, 2]), Mode::Replicated);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(8));
+        assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::int(24));
+    }
+
+    #[test]
+    fn section2_replicate_s1_only() {
+        // S1 replicated on {P1,P2}, S2..S4 on P3: period max(14/2, 10) = 10.
+        let pipe = section2_pipeline();
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::Replicated),
+            Assignment::interval(1, 3, procs(&[2]), Mode::Replicated),
+        ]);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(10));
+        assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::int(24));
+    }
+
+    #[test]
+    fn section2_two_replicated_intervals_four_procs() {
+        // S1 on {P1,P2}, S2..S4 on {P3,P4}: period max(7, 5) = 7.
+        let pipe = section2_pipeline();
+        let plat = Platform::homogeneous(4, 1);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::Replicated),
+            Assignment::interval(1, 3, procs(&[2, 3]), Mode::Replicated),
+        ]);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(7));
+    }
+
+    #[test]
+    fn section2_data_parallel_s1() {
+        // S1 data-parallel on {P1,P2}, S2..S4 on P3: latency 7 + 10 = 17,
+        // period max(7, 10) = 10.
+        let pipe = section2_pipeline();
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
+            Assignment::interval(1, 3, procs(&[2]), Mode::Replicated),
+        ]);
+        assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::int(17));
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(10));
+    }
+
+    #[test]
+    fn section2_heterogeneous_replicate_all() {
+        // Speeds (2,2,1,1); replicating everything on all four processors
+        // gives period 24/(4·1) = 6 (slowest-speed rule) and latency 24.
+        let pipe = section2_pipeline();
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let m = Mapping::whole(4, procs(&[0, 1, 2, 3]), Mode::Replicated);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(6));
+        assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::int(24));
+    }
+
+    #[test]
+    fn section2_heterogeneous_optimal_period() {
+        // S1 data-parallel on {P1,P2}; S2..S4 replicated on {P3,P4}:
+        // period max(14/4, 10/2) = 5 — the optimum; latency 3.5 + 10 = 13.5.
+        let pipe = section2_pipeline();
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
+            Assignment::interval(1, 3, procs(&[2, 3]), Mode::Replicated),
+        ]);
+        assert_eq!(pipeline_period(&pipe, &plat, &m).unwrap(), Rat::int(5));
+        assert_eq!(
+            pipeline_latency(&pipe, &plat, &m).unwrap(),
+            Rat::new(27, 2) // 13.5
+        );
+    }
+
+    #[test]
+    fn section2_heterogeneous_optimal_latency() {
+        // S1 data-parallel on {P1,P2,P3}, S2..S4 on P4:
+        // latency 14/5 + 10 = 12.8 — the optimum.
+        let pipe = section2_pipeline();
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1, 2]), Mode::DataParallel),
+            Assignment::interval(1, 3, procs(&[3]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            pipeline_latency(&pipe, &plat, &m).unwrap(),
+            Rat::new(64, 5) // 12.8
+        );
+    }
+
+    #[test]
+    fn fork_period_replicate_all() {
+        // Theorem 10: replicate the whole fork on all processors.
+        let fork = Fork::new(3, vec![1, 2, 3]);
+        let plat = Platform::homogeneous(3, 2);
+        let m = Mapping::whole(4, procs(&[0, 1, 2]), Mode::Replicated);
+        // total work 9, p·s = 6 -> period 3/2
+        assert_eq!(fork_period(&fork, &plat, &m).unwrap(), Rat::new(3, 2));
+    }
+
+    #[test]
+    fn fork_latency_flexible_model() {
+        // Root w0=1 with leaf {1} on P1; leaves {2,3} on P2; speed 1.
+        // t_max(1) = (1 + 1)/1 = 2; other group starts at w0/s0 = 1 and
+        // takes (2+3)/1 = 5 -> latency = max(2, 1 + 5) = 6.
+        let fork = Fork::new(1, vec![1, 2, 3]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        assert_eq!(fork_latency(&fork, &plat, &m).unwrap(), Rat::int(6));
+    }
+
+    #[test]
+    fn fork_latency_data_parallel_root() {
+        // Root alone data-parallel on {P1,P2} (speeds 2,2): s0 = 4, so the
+        // leaves start at 8/4 = 2; leaf group {1,2} on P3 (speed 1) takes 6.
+        let fork = Fork::new(8, vec![2, 4]);
+        let plat = Platform::heterogeneous(vec![2, 2, 1]);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0, 1]), Mode::DataParallel),
+            Assignment::new(vec![1, 2], procs(&[2]), Mode::Replicated),
+        ]);
+        assert_eq!(fork_latency(&fork, &plat, &m).unwrap(), Rat::int(8));
+        // t_max(1) = 2 alone; the max comes from 2 + 6.
+    }
+
+    #[test]
+    fn fork_latency_replicated_root_uses_min_speed() {
+        // Root group replicated on {fast, slow}: s0 = min = 1, so leaves
+        // wait w0/1 even though a fast processor participates.
+        let fork = Fork::new(6, vec![3]);
+        let plat = Platform::heterogeneous(vec![4, 1, 1]);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0, 1]), Mode::Replicated),
+            Assignment::new(vec![1], procs(&[2]), Mode::Replicated),
+        ]);
+        // root done at 6/1 = 6; leaf takes 3 -> latency 9; t_max(1) = 6.
+        assert_eq!(fork_latency(&fork, &plat, &m).unwrap(), Rat::int(9));
+    }
+
+    #[test]
+    fn fork_latency_root_only_mapping() {
+        let fork = Fork::new(5, vec![]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![Assignment::new(
+            vec![0],
+            procs(&[0, 1]),
+            Mode::Replicated,
+        )]);
+        assert_eq!(fork_latency(&fork, &plat, &m).unwrap(), Rat::int(5));
+    }
+
+    #[test]
+    fn forkjoin_latency_and_period() {
+        // root 1, leaves [2, 2], join 3, two unit processors.
+        // Groups: {root, leaf1} on P1, {leaf2, join} on P2.
+        let fj = ForkJoin::new(1, vec![2, 2], 3);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        // Non-join work: group1 = 3, group2 = 2. AllLeavesDone =
+        // max(3, 1 + 2) = 3. Join adds 3/1 -> latency 6.
+        assert_eq!(forkjoin_latency(&fj, &plat, &m).unwrap(), Rat::int(6));
+        // Period: max(3/1, 5/1) = 5.
+        assert_eq!(forkjoin_period(&fj, &plat, &m).unwrap(), Rat::int(5));
+    }
+
+    #[test]
+    fn forkjoin_data_parallel_join() {
+        // Join alone data-parallel on two unit processors halves its time.
+        let fj = ForkJoin::new(2, vec![4], 6);
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2], procs(&[1, 2]), Mode::DataParallel),
+        ]);
+        // AllLeavesDone = max((2+4)/1, 2 + 0) = 6; join 6/2 = 3 -> 9.
+        assert_eq!(forkjoin_latency(&fj, &plat, &m).unwrap(), Rat::int(9));
+    }
+
+    #[test]
+    fn invalid_mapping_is_an_error() {
+        let pipe = Pipeline::new(vec![1, 2]);
+        let plat = Platform::homogeneous(1, 1);
+        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[0]), Mode::Replicated)]);
+        assert!(pipeline_period(&pipe, &plat, &m).is_err());
+    }
+
+    #[test]
+    fn replication_never_changes_pipeline_latency() {
+        // Lemma 2 flavor: replicating on a homogeneous platform leaves the
+        // latency at total_work / s regardless of grouping.
+        let pipe = Pipeline::new(vec![3, 5, 7]);
+        let plat = Platform::homogeneous(3, 2);
+        for m in [
+            Mapping::whole(3, procs(&[0, 1, 2]), Mode::Replicated),
+            Mapping::new(vec![
+                Assignment::interval(0, 1, procs(&[0, 1]), Mode::Replicated),
+                Assignment::interval(2, 2, procs(&[2]), Mode::Replicated),
+            ]),
+            Mapping::new(vec![
+                Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+                Assignment::interval(1, 1, procs(&[1]), Mode::Replicated),
+                Assignment::interval(2, 2, procs(&[2]), Mode::Replicated),
+            ]),
+        ] {
+            assert_eq!(
+                pipeline_latency(&pipe, &plat, &m).unwrap(),
+                Rat::new(15, 2)
+            );
+        }
+    }
+}

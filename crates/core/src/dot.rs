@@ -1,0 +1,157 @@
+//! Rendering of the application graphs — Figures 1 and 2 of the paper.
+//!
+//! [`pipeline_graph`]/[`fork_graph`]/[`forkjoin_graph`] build petgraph DAGs
+//! whose node labels carry the stage names and weights and whose edge
+//! labels carry the data sizes `δ`, exactly as annotated in the figures.
+//! [`to_dot`] renders any of them in Graphviz DOT syntax, and the
+//! `ascii_*` functions reproduce the figures as terminal diagrams.
+
+use crate::workflow::{Fork, ForkJoin, Pipeline};
+use petgraph::dot::{Config, Dot};
+use petgraph::graph::DiGraph;
+
+/// DAG of a pipeline: `In -> S1 -> ... -> Sn -> Out` (Figure 1).
+pub fn pipeline_graph(pipeline: &Pipeline) -> DiGraph<String, String> {
+    let n = pipeline.n_stages();
+    let mut g = DiGraph::new();
+    let input = g.add_node("In".to_string());
+    let output = g.add_node("Out".to_string());
+    let mut prev = input;
+    for k in 0..n {
+        let node = g.add_node(format!("S{} (w={})", k + 1, pipeline.weight(k)));
+        g.add_edge(prev, node, format!("δ{}={}", k, pipeline.data_size(k)));
+        prev = node;
+    }
+    g.add_edge(prev, output, format!("δ{}={}", n, pipeline.data_size(n)));
+    g
+}
+
+/// DAG of a fork: `In -> S0 -> {S1..Sn} -> Out` (Figure 2).
+pub fn fork_graph(fork: &Fork) -> DiGraph<String, String> {
+    let mut g = DiGraph::new();
+    let input = g.add_node("In".to_string());
+    let output = g.add_node("Out".to_string());
+    let root = g.add_node(format!("S0 (w={})", fork.root_weight()));
+    g.add_edge(input, root, format!("δ-1={}", fork.input_size()));
+    for k in 1..=fork.n_leaves() {
+        let leaf = g.add_node(format!("S{} (w={})", k, fork.weight(k)));
+        g.add_edge(root, leaf, format!("δ0={}", fork.broadcast_size()));
+        g.add_edge(leaf, output, format!("δ{}={}", k, fork.output_size(k)));
+    }
+    g
+}
+
+/// DAG of a fork-join: as [`fork_graph`] with every leaf feeding `Sn+1`.
+pub fn forkjoin_graph(forkjoin: &ForkJoin) -> DiGraph<String, String> {
+    let fork = forkjoin.fork();
+    let mut g = DiGraph::new();
+    let input = g.add_node("In".to_string());
+    let output = g.add_node("Out".to_string());
+    let root = g.add_node(format!("S0 (w={})", fork.root_weight()));
+    let join = g.add_node(format!(
+        "S{} (w={})",
+        forkjoin.join_stage() + 1, // 1-based display
+        forkjoin.join_weight()
+    ));
+    g.add_edge(input, root, format!("δ-1={}", fork.input_size()));
+    for k in 1..=fork.n_leaves() {
+        let leaf = g.add_node(format!("S{} (w={})", k, fork.weight(k)));
+        g.add_edge(root, leaf, format!("δ0={}", fork.broadcast_size()));
+        g.add_edge(leaf, join, format!("δ{}={}", k, fork.output_size(k)));
+    }
+    g.add_edge(join, output, String::new());
+    g
+}
+
+/// Graphviz DOT text for any labelled DAG produced by this module.
+pub fn to_dot(graph: &DiGraph<String, String>) -> String {
+    format!(
+        "{}",
+        Dot::with_config(graph, &[Config::GraphContentOnly])
+    )
+}
+
+/// ASCII rendition of Figure 1: `S1 -> S2 -> ... -> Sn` with weights below.
+pub fn ascii_pipeline(pipeline: &Pipeline) -> String {
+    let n = pipeline.n_stages();
+    let mut top = String::new();
+    let mut bottom = String::new();
+    for k in 0..n {
+        let name = format!("S{}", k + 1);
+        let w = format!("w={}", pipeline.weight(k));
+        let width = name.len().max(w.len());
+        top.push_str(&format!("{name:^width$}"));
+        bottom.push_str(&format!("{w:^width$}"));
+        if k + 1 < n {
+            top.push_str(" -> ");
+            bottom.push_str("    ");
+        }
+    }
+    format!("{top}\n{bottom}\n")
+}
+
+/// ASCII rendition of Figure 2: root on top, leaves fanned out below.
+pub fn ascii_fork(fork: &Fork) -> String {
+    let mut out = format!("        S0 (w={})\n", fork.root_weight());
+    out.push_str("        /  |  \\\n");
+    let leaves: Vec<String> = (1..=fork.n_leaves())
+        .map(|k| format!("S{}(w={})", k, fork.weight(k)))
+        .collect();
+    out.push_str(&leaves.join("  "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_graph_shape() {
+        let p = Pipeline::with_data_sizes(vec![14, 4], vec![1, 2, 3]);
+        let g = pipeline_graph(&p);
+        // In, Out, 2 stages
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let dot = to_dot(&g);
+        assert!(dot.contains("S1 (w=14)"));
+        assert!(dot.contains("δ1=2"));
+    }
+
+    #[test]
+    fn fork_graph_shape() {
+        let f = Fork::new(5, vec![1, 2, 3]);
+        let g = fork_graph(&f);
+        // In, Out, root, 3 leaves
+        assert_eq!(g.node_count(), 6);
+        // input + 3 broadcast + 3 output
+        assert_eq!(g.edge_count(), 7);
+        let dot = to_dot(&g);
+        assert!(dot.contains("S0 (w=5)"));
+        assert!(dot.contains("S3 (w=3)"));
+    }
+
+    #[test]
+    fn forkjoin_graph_shape() {
+        let fj = ForkJoin::new(1, vec![2, 2], 7);
+        let g = forkjoin_graph(&fj);
+        // In, Out, root, join, 2 leaves
+        assert_eq!(g.node_count(), 6);
+        // input + 2 broadcast + 2 join-in + join-out
+        assert_eq!(g.edge_count(), 6);
+        assert!(to_dot(&g).contains("w=7"));
+    }
+
+    #[test]
+    fn ascii_renditions() {
+        let p = Pipeline::new(vec![14, 4, 2, 4]);
+        let art = ascii_pipeline(&p);
+        assert!(art.contains("S1"));
+        assert!(art.contains("->"));
+        assert!(art.contains("w=14"));
+        let f = Fork::new(2, vec![3, 3]);
+        let art = ascii_fork(&f);
+        assert!(art.contains("S0 (w=2)"));
+        assert!(art.contains("S2(w=3)"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for mapping validation and cost evaluation.
+
+use crate::platform::ProcId;
+use std::fmt;
+
+/// Anything that can go wrong when validating or evaluating a mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// An assignment maps no stage.
+    EmptyStageSet,
+    /// An assignment has an empty processor set.
+    EmptyProcSet,
+    /// A stage appears in more than one assignment (or twice in one).
+    DuplicateStage(usize),
+    /// A stage of the workflow is not mapped by any assignment.
+    UnmappedStage(usize),
+    /// A stage id outside the workflow's range.
+    UnknownStage(usize),
+    /// A processor appears in more than one assignment (or twice in one).
+    DuplicateProc(ProcId),
+    /// A processor id outside the platform's range.
+    UnknownProc(ProcId),
+    /// A pipeline assignment maps a non-contiguous stage set.
+    NonContiguousInterval,
+    /// A data-parallel pipeline assignment spans more than one stage
+    /// (forbidden by Section 3.4: only single stages can be
+    /// data-parallelized in a pipeline).
+    DataParallelInterval,
+    /// A data-parallel fork assignment mixes the root (or join) stage with
+    /// other stages (forbidden by Section 3.3/3.4: the dependence relation
+    /// would raise the same issues as in the pipeline case).
+    DataParallelRootMix,
+    /// The problem variant forbids data-parallelism but the mapping uses it.
+    DataParallelForbidden,
+    /// The mapping is for a different workflow shape than expected.
+    WorkflowShape(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyStageSet => write!(f, "assignment maps no stage"),
+            Error::EmptyProcSet => write!(f, "assignment has an empty processor set"),
+            Error::DuplicateStage(s) => write!(f, "stage {s} mapped more than once"),
+            Error::UnmappedStage(s) => write!(f, "stage {s} is not mapped"),
+            Error::UnknownStage(s) => write!(f, "stage {s} does not exist in the workflow"),
+            Error::DuplicateProc(p) => write!(f, "processor {p} used by more than one assignment"),
+            Error::UnknownProc(p) => write!(f, "processor {p} does not exist on the platform"),
+            Error::NonContiguousInterval => {
+                write!(f, "pipeline assignment maps a non-contiguous stage set")
+            }
+            Error::DataParallelInterval => write!(
+                f,
+                "data-parallel pipeline assignment spans more than one stage"
+            ),
+            Error::DataParallelRootMix => write!(
+                f,
+                "data-parallel fork assignment mixes the root/join stage with other stages"
+            ),
+            Error::DataParallelForbidden => {
+                write!(f, "this problem variant forbids data-parallel stages")
+            }
+            Error::WorkflowShape(which) => {
+                write!(f, "mapping does not match workflow shape: {which}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::DuplicateStage(3).to_string(),
+            "stage 3 mapped more than once"
+        );
+        assert_eq!(
+            Error::DuplicateProc(ProcId(0)).to_string(),
+            "processor P1 used by more than one assignment"
+        );
+        assert!(Error::DataParallelInterval.to_string().contains("data-parallel"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyStageSet);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic random-instance generators.
+//!
+//! Every experiment in the benchmark harness and every randomized test
+//! draws instances from these seeded generators, so results are exactly
+//! reproducible. Magnitudes are kept small enough that all rational
+//! arithmetic stays far from `i128` overflow.
+
+use crate::platform::Platform;
+use crate::workflow::{Fork, ForkJoin, Pipeline};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded instance generator.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `lo ..= hi`.
+    pub fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform usize in `lo ..= hi`.
+    pub fn size(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Boolean with probability `p_true`.
+    pub fn flip(&mut self, p_true: f64) -> bool {
+        self.rng.gen_bool(p_true)
+    }
+
+    /// Pipeline with `n` stages and weights in `w_lo ..= w_hi`.
+    pub fn pipeline(&mut self, n: usize, w_lo: u64, w_hi: u64) -> Pipeline {
+        Pipeline::new((0..n).map(|_| self.int(w_lo, w_hi)).collect())
+    }
+
+    /// Homogeneous pipeline with `n` stages of one random weight.
+    pub fn uniform_pipeline(&mut self, n: usize, w_lo: u64, w_hi: u64) -> Pipeline {
+        Pipeline::uniform(n, self.int(w_lo, w_hi))
+    }
+
+    /// Fork with `n` leaves, random root and leaf weights.
+    pub fn fork(&mut self, n_leaves: usize, w_lo: u64, w_hi: u64) -> Fork {
+        Fork::new(
+            self.int(w_lo, w_hi),
+            (0..n_leaves).map(|_| self.int(w_lo, w_hi)).collect(),
+        )
+    }
+
+    /// Homogeneous fork: random root weight, `n` identical leaves.
+    pub fn uniform_fork(&mut self, n_leaves: usize, w_lo: u64, w_hi: u64) -> Fork {
+        Fork::uniform(self.int(w_lo, w_hi), n_leaves, self.int(w_lo, w_hi))
+    }
+
+    /// Fork-join with `n` leaves and random weights.
+    pub fn forkjoin(&mut self, n_leaves: usize, w_lo: u64, w_hi: u64) -> ForkJoin {
+        ForkJoin::new(
+            self.int(w_lo, w_hi),
+            (0..n_leaves).map(|_| self.int(w_lo, w_hi)).collect(),
+            self.int(w_lo, w_hi),
+        )
+    }
+
+    /// Homogeneous fork-join: random root/join weights, identical leaves.
+    pub fn uniform_forkjoin(&mut self, n_leaves: usize, w_lo: u64, w_hi: u64) -> ForkJoin {
+        ForkJoin::uniform(
+            self.int(w_lo, w_hi),
+            n_leaves,
+            self.int(w_lo, w_hi),
+            self.int(w_lo, w_hi),
+        )
+    }
+
+    /// Homogeneous platform with `p` processors of one random speed.
+    pub fn hom_platform(&mut self, p: usize, s_lo: u64, s_hi: u64) -> Platform {
+        Platform::homogeneous(p, self.int(s_lo, s_hi))
+    }
+
+    /// Heterogeneous platform with `p` processors of random speeds.
+    pub fn het_platform(&mut self, p: usize, s_lo: u64, s_hi: u64) -> Platform {
+        Platform::heterogeneous((0..p).map(|_| self.int(s_lo, s_hi)).collect())
+    }
+
+    /// `m` positive integers for 2-PARTITION-style inputs.
+    pub fn positive_ints(&mut self, m: usize, lo: u64, hi: u64) -> Vec<u64> {
+        (0..m).map(|_| self.int(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Gen::new(42);
+        let mut b = Gen::new(42);
+        assert_eq!(a.pipeline(5, 1, 10), b.pipeline(5, 1, 10));
+        assert_eq!(a.het_platform(4, 1, 9), b.het_platform(4, 1, 9));
+        assert_eq!(a.fork(3, 1, 5), b.fork(3, 1, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Gen::new(1);
+        let mut b = Gen::new(2);
+        // With 20 stages in a wide range, a collision would be astonishing.
+        assert_ne!(a.pipeline(20, 1, 1000), b.pipeline(20, 1, 1000));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut g = Gen::new(7);
+        for _ in 0..100 {
+            let v = g.int(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        let pipe = g.pipeline(6, 2, 4);
+        assert_eq!(pipe.n_stages(), 6);
+        assert!(pipe.weights().iter().all(|w| (2..=4).contains(w)));
+        let plat = g.hom_platform(5, 2, 2);
+        assert!(plat.is_homogeneous());
+        assert_eq!(plat.speed(crate::platform::ProcId(0)), 2);
+    }
+
+    #[test]
+    fn uniform_generators_are_homogeneous() {
+        let mut g = Gen::new(11);
+        assert!(g.uniform_pipeline(7, 1, 100).is_homogeneous());
+        assert!(g.uniform_fork(7, 1, 100).is_homogeneous());
+        assert!(g.uniform_forkjoin(7, 1, 100).is_homogeneous());
+    }
+}

@@ -1,0 +1,328 @@
+//! Problem instances and the sixteen-variant taxonomy of Table 1.
+//!
+//! A [`ProblemInstance`] bundles an application graph, a platform and the
+//! model flag (*with* or *without* data-parallelism; replication is always
+//! allowed, matching Section 4). [`Variant`] names the cell of Table 1 an
+//! instance belongs to, which the benchmark harness uses to regenerate the
+//! table.
+
+use crate::platform::Platform;
+use crate::rational::Rat;
+use crate::workflow::Workflow;
+use serde::{Deserialize, Serialize};
+
+/// The optimization objective of a mapping problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize the period (maximize throughput).
+    Period,
+    /// Minimize the latency (response time).
+    Latency,
+    /// Minimize the latency subject to `period <= bound`.
+    LatencyUnderPeriod(Rat),
+    /// Minimize the period subject to `latency <= bound`.
+    PeriodUnderLatency(Rat),
+}
+
+/// A complete problem instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProblemInstance {
+    /// The application graph.
+    pub workflow: Workflow,
+    /// The target platform.
+    pub platform: Platform,
+    /// Whether stages may be data-parallelized (the paper's "with
+    /// data-par" column); replication is always permitted.
+    pub allow_data_parallel: bool,
+    /// What to optimize.
+    pub objective: Objective,
+}
+
+impl ProblemInstance {
+    /// Classifies this instance into its Table 1 cell.
+    pub fn variant(&self) -> Variant {
+        Variant {
+            graph: match &self.workflow {
+                Workflow::Pipeline(p) => {
+                    if p.is_homogeneous() {
+                        GraphClass::HomPipeline
+                    } else {
+                        GraphClass::HetPipeline
+                    }
+                }
+                Workflow::Fork(f) => {
+                    if f.is_homogeneous() {
+                        GraphClass::HomFork
+                    } else {
+                        GraphClass::HetFork
+                    }
+                }
+                Workflow::ForkJoin(fj) => {
+                    if fj.is_homogeneous() {
+                        GraphClass::HomForkJoin
+                    } else {
+                        GraphClass::HetForkJoin
+                    }
+                }
+            },
+            platform: if self.platform.is_homogeneous() {
+                PlatformClass::Homogeneous
+            } else {
+                PlatformClass::Heterogeneous
+            },
+            data_parallel: self.allow_data_parallel,
+            objective: match self.objective {
+                Objective::Period => ObjectiveClass::Period,
+                Objective::Latency => ObjectiveClass::Latency,
+                Objective::LatencyUnderPeriod(_) | Objective::PeriodUnderLatency(_) => {
+                    ObjectiveClass::BiCriteria
+                }
+            },
+        }
+    }
+}
+
+/// Row class of Table 1 (application graph kind).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphClass {
+    /// Pipeline with identical stage weights.
+    HomPipeline,
+    /// Pipeline with arbitrary stage weights.
+    HetPipeline,
+    /// Fork with identical leaf weights.
+    HomFork,
+    /// Fork with arbitrary leaf weights.
+    HetFork,
+    /// Fork-join with identical leaf weights (Section 6.3 extension).
+    HomForkJoin,
+    /// Fork-join with arbitrary leaf weights (Section 6.3 extension).
+    HetForkJoin,
+}
+
+/// Platform column of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// Identical processors.
+    Homogeneous,
+    /// Different-speed processors.
+    Heterogeneous,
+}
+
+/// Objective column of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectiveClass {
+    /// Period minimization ("P").
+    Period,
+    /// Latency minimization ("L").
+    Latency,
+    /// Bi-criteria ("both").
+    BiCriteria,
+}
+
+/// One cell of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Variant {
+    /// Application graph class.
+    pub graph: GraphClass,
+    /// Platform class.
+    pub platform: PlatformClass,
+    /// Model with (`true`) or without (`false`) data-parallel stages.
+    pub data_parallel: bool,
+    /// Objective class.
+    pub objective: ObjectiveClass,
+}
+
+/// The complexity of a Table 1 cell as established by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Complexity {
+    /// Polynomial, with the theorem providing the algorithm.
+    Polynomial(&'static str),
+    /// NP-hard, with the theorem providing the reduction.
+    NpHard(&'static str),
+}
+
+impl Variant {
+    /// The paper's complexity classification of this cell (Table 1),
+    /// restricted to pipeline/fork (fork-join inherits its fork
+    /// counterpart per Section 6.3).
+    pub fn paper_complexity(&self) -> Complexity {
+        use Complexity::*;
+        use GraphClass::*;
+        use ObjectiveClass::*;
+        use PlatformClass::*;
+        let graph = match self.graph {
+            HomForkJoin => HomFork,
+            HetForkJoin => HetFork,
+            g => g,
+        };
+        match (graph, self.platform, self.data_parallel, self.objective) {
+            // ---- Homogeneous platforms ----
+            // Pipelines: everything polynomial (Theorems 1-4).
+            (HomPipeline | HetPipeline, Homogeneous, false, Period) => Polynomial("Thm 1"),
+            (HomPipeline | HetPipeline, Homogeneous, false, Latency) => Polynomial("Thm 2"),
+            (HomPipeline | HetPipeline, Homogeneous, false, BiCriteria) => Polynomial("Cor 1"),
+            (HomPipeline | HetPipeline, Homogeneous, true, Period) => Polynomial("Thm 1"),
+            (HomPipeline | HetPipeline, Homogeneous, true, Latency) => Polynomial("Thm 3"),
+            (HomPipeline | HetPipeline, Homogeneous, true, BiCriteria) => Polynomial("Thm 4"),
+            // Forks on homogeneous platforms.
+            (HomFork | HetFork, Homogeneous, _, Period) => Polynomial("Thm 10"),
+            (HomFork, Homogeneous, _, Latency) => Polynomial("Thm 11"),
+            (HomFork, Homogeneous, _, BiCriteria) => Polynomial("Thm 11"),
+            (HetFork, Homogeneous, _, Latency | BiCriteria) => NpHard("Thm 12"),
+            // ---- Heterogeneous platforms ----
+            (HomPipeline, Heterogeneous, false, Period) => Polynomial("Thm 7"),
+            (HomPipeline, Heterogeneous, false, Latency) => Polynomial("Thm 6"),
+            (HomPipeline, Heterogeneous, false, BiCriteria) => Polynomial("Thm 8"),
+            (HomPipeline, Heterogeneous, true, _) => NpHard("Thm 5"),
+            (HetPipeline, Heterogeneous, false, Period) => NpHard("Thm 9"),
+            (HetPipeline, Heterogeneous, false, Latency) => Polynomial("Thm 6"),
+            (HetPipeline, Heterogeneous, false, BiCriteria) => NpHard("Thm 9"),
+            (HetPipeline, Heterogeneous, true, _) => NpHard("Thm 5"),
+            (HomFork, Heterogeneous, false, _) => Polynomial("Thm 14"),
+            (HomFork, Heterogeneous, true, _) => NpHard("Thm 13"),
+            (HetFork, Heterogeneous, _, _) => NpHard("Thm 15"),
+            (HomForkJoin | HetForkJoin, _, _, _) => unreachable!("normalized above"),
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = match self.graph {
+            GraphClass::HomPipeline => "Hom. pipeline",
+            GraphClass::HetPipeline => "Het. pipeline",
+            GraphClass::HomFork => "Hom. fork",
+            GraphClass::HetFork => "Het. fork",
+            GraphClass::HomForkJoin => "Hom. fork-join",
+            GraphClass::HetForkJoin => "Het. fork-join",
+        };
+        let p = match self.platform {
+            PlatformClass::Homogeneous => "Hom. platform",
+            PlatformClass::Heterogeneous => "Het. platform",
+        };
+        let dp = if self.data_parallel {
+            "with data-par"
+        } else {
+            "without data-par"
+        };
+        let o = match self.objective {
+            ObjectiveClass::Period => "P",
+            ObjectiveClass::Latency => "L",
+            ObjectiveClass::BiCriteria => "both",
+        };
+        write!(f, "{g} / {p} / {dp} / {o}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{Fork, Pipeline};
+
+    #[test]
+    fn classification() {
+        let inst = ProblemInstance {
+            workflow: Pipeline::uniform(4, 3).into(),
+            platform: Platform::heterogeneous(vec![1, 2]),
+            allow_data_parallel: false,
+            objective: Objective::Period,
+        };
+        let v = inst.variant();
+        assert_eq!(v.graph, GraphClass::HomPipeline);
+        assert_eq!(v.platform, PlatformClass::Heterogeneous);
+        assert_eq!(v.objective, ObjectiveClass::Period);
+        assert_eq!(v.paper_complexity(), Complexity::Polynomial("Thm 7"));
+    }
+
+    #[test]
+    fn np_hard_cells() {
+        // Het pipeline period on het platform without DP: Theorem 9.
+        let v = Variant {
+            graph: GraphClass::HetPipeline,
+            platform: PlatformClass::Heterogeneous,
+            data_parallel: false,
+            objective: ObjectiveClass::Period,
+        };
+        assert_eq!(v.paper_complexity(), Complexity::NpHard("Thm 9"));
+        // Hom pipeline with DP on het platform: Theorem 5 (any objective).
+        for o in [
+            ObjectiveClass::Period,
+            ObjectiveClass::Latency,
+            ObjectiveClass::BiCriteria,
+        ] {
+            let v = Variant {
+                graph: GraphClass::HomPipeline,
+                platform: PlatformClass::Heterogeneous,
+                data_parallel: true,
+                objective: o,
+            };
+            assert_eq!(v.paper_complexity(), Complexity::NpHard("Thm 5"));
+        }
+    }
+
+    #[test]
+    fn fork_cells() {
+        let v = Variant {
+            graph: GraphClass::HetFork,
+            platform: PlatformClass::Homogeneous,
+            data_parallel: false,
+            objective: ObjectiveClass::Latency,
+        };
+        assert_eq!(v.paper_complexity(), Complexity::NpHard("Thm 12"));
+        let v = Variant {
+            graph: GraphClass::HomFork,
+            platform: PlatformClass::Heterogeneous,
+            data_parallel: false,
+            objective: ObjectiveClass::BiCriteria,
+        };
+        assert_eq!(v.paper_complexity(), Complexity::Polynomial("Thm 14"));
+        let v = Variant {
+            graph: GraphClass::HetFork,
+            platform: PlatformClass::Heterogeneous,
+            data_parallel: true,
+            objective: ObjectiveClass::Period,
+        };
+        assert_eq!(v.paper_complexity(), Complexity::NpHard("Thm 15"));
+    }
+
+    #[test]
+    fn forkjoin_inherits_fork_complexity() {
+        let inst = ProblemInstance {
+            workflow: crate::workflow::ForkJoin::uniform(2, 3, 5, 1).into(),
+            platform: Platform::heterogeneous(vec![1, 2]),
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+        };
+        assert_eq!(
+            inst.variant().paper_complexity(),
+            Complexity::Polynomial("Thm 14")
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inst = ProblemInstance {
+            workflow: Fork::new(1, vec![2, 3]).into(),
+            platform: Platform::homogeneous(2, 1),
+            allow_data_parallel: true,
+            objective: Objective::LatencyUnderPeriod(Rat::new(7, 2)),
+        };
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: ProblemInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn display_names() {
+        let v = Variant {
+            graph: GraphClass::HomPipeline,
+            platform: PlatformClass::Heterogeneous,
+            data_parallel: true,
+            objective: ObjectiveClass::BiCriteria,
+        };
+        assert_eq!(
+            v.to_string(),
+            "Hom. pipeline / Het. platform / with data-par / both"
+        );
+    }
+}

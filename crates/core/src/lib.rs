@@ -1,0 +1,51 @@
+//! # repliflow-core
+//!
+//! Model substrate for *"Complexity results for throughput and latency
+//! optimization of replicated and data-parallel workflows"* (Benoit &
+//! Robert, Cluster 2007): application graphs, platforms, mappings, and the
+//! exact-rational cost model.
+//!
+//! The crate encodes Section 3 of the paper:
+//!
+//! * [`workflow`] — pipeline (Figure 1), fork (Figure 2) and fork-join
+//!   (Section 6.3) application graphs;
+//! * [`platform`] — homogeneous / heterogeneous processor sets;
+//! * [`mapping`] — interval-based mappings with replicated and
+//!   data-parallel stage groups, including all structural legality rules;
+//! * [`cost`] — the simplified model of Section 3.4 (no communication);
+//! * [`comm`] — the general model of Sections 3.2–3.3 with link
+//!   bandwidths, one-port and bounded multi-port disciplines;
+//! * [`rational`] — exact arithmetic so optimality is decided without
+//!   floating-point ties;
+//! * [`instance`] — problem instances and the Table 1 variant taxonomy;
+//! * [`gen`] — seeded random-instance generators shared by tests and
+//!   benches;
+//! * [`dot`] — Figure 1/2 rendering (Graphviz DOT and ASCII).
+//!
+//! Higher-level crates build on this one: `repliflow-algorithms`
+//! (polynomial algorithms), `repliflow-exact` (ground-truth solvers),
+//! `repliflow-reductions` (NP-hardness), `repliflow-heuristics`, and
+//! `repliflow-sim` (discrete-event validation).
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod cost;
+pub mod dot;
+pub mod error;
+pub mod gen;
+pub mod instance;
+pub mod mapping;
+pub mod platform;
+pub mod rational;
+pub mod workflow;
+
+/// The most used types, for glob import.
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::instance::{Objective, ProblemInstance, Variant};
+    pub use crate::mapping::{Assignment, Mapping, Mode};
+    pub use crate::platform::{Platform, ProcId};
+    pub use crate::rational::Rat;
+    pub use crate::workflow::{Fork, ForkJoin, Pipeline, Workflow};
+}

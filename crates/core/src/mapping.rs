@@ -1,0 +1,522 @@
+//! Mappings: the assignment of stage sets to processor sets with an
+//! execution mode.
+//!
+//! A [`Mapping`] partitions the workflow's stages into groups and gives each
+//! group a disjoint, non-empty set of processors plus a [`Mode`]:
+//!
+//! * [`Mode::Replicated`] — the group's stages are executed in round-robin
+//!   fashion by the assigned processors, each data set processed entirely by
+//!   one of them (Section 3.3). A single processor is the special case
+//!   `k = 1` (the paper: "executed on a single processor, which is a
+//!   particular case of replication").
+//! * [`Mode::DataParallel`] — every data set's computation is shared by all
+//!   assigned processors, proportionally to their speeds (Section 3.4).
+//!
+//! Structural legality (Section 3.4):
+//! * pipeline groups must be **intervals** of consecutive stages;
+//! * a data-parallel pipeline group must be a **single stage**;
+//! * a fork/fork-join group may be any stage subset, but a data-parallel
+//!   group must not mix the root (or join) stage with other stages — the
+//!   root may only be data-parallelized **alone**.
+
+use crate::error::Error;
+use crate::platform::{Platform, ProcId};
+use crate::workflow::{Fork, ForkJoin, Pipeline, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// How a stage group executes on its processor set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Round-robin replication over the processor set (`k = 1` is plain
+    /// single-processor execution). Period `W / (k · min s)`, delay
+    /// `W / min s`.
+    Replicated,
+    /// Data-parallel execution: one data set shared across the set.
+    /// Period and delay are both `W / Σ s`.
+    DataParallel,
+}
+
+/// One group of stages mapped to one set of processors.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Mapped stage ids, kept sorted ascending.
+    stages: Vec<usize>,
+    /// Assigned processors, kept sorted ascending; disjoint across
+    /// assignments.
+    procs: Vec<ProcId>,
+    /// Execution mode of the group.
+    pub mode: Mode,
+}
+
+impl Assignment {
+    /// Creates an assignment; stage ids and processor ids are sorted and
+    /// must not contain duplicates (checked at [`Mapping::validate`] time).
+    pub fn new(mut stages: Vec<usize>, mut procs: Vec<ProcId>, mode: Mode) -> Self {
+        stages.sort_unstable();
+        procs.sort_unstable();
+        Assignment { stages, procs, mode }
+    }
+
+    /// Assignment of the pipeline interval `lo ..= hi`.
+    pub fn interval(lo: usize, hi: usize, procs: Vec<ProcId>, mode: Mode) -> Self {
+        Assignment::new((lo..=hi).collect(), procs, mode)
+    }
+
+    /// Single stage on a single processor (replication with `k = 1`).
+    pub fn single(stage: usize, proc: ProcId) -> Self {
+        Assignment::new(vec![stage], vec![proc], Mode::Replicated)
+    }
+
+    /// Mapped stage ids (sorted).
+    #[inline]
+    pub fn stages(&self) -> &[usize] {
+        &self.stages
+    }
+
+    /// Assigned processors (sorted).
+    #[inline]
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Number of assigned processors `k`.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True iff this assignment maps `stage`.
+    pub fn contains_stage(&self, stage: usize) -> bool {
+        self.stages.binary_search(&stage).is_ok()
+    }
+
+    /// True iff the stage set is a contiguous range.
+    pub fn is_contiguous(&self) -> bool {
+        self.stages.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+
+    /// Sum of weights of the mapped stages according to `weight_of`.
+    pub fn work(&self, weight_of: impl Fn(usize) -> u64) -> u64 {
+        self.stages.iter().map(|&s| weight_of(s)).sum()
+    }
+}
+
+/// A complete mapping: a partition of the stages into assignments.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    assignments: Vec<Assignment>,
+}
+
+impl Mapping {
+    /// Creates a mapping from its assignments (validated lazily via
+    /// [`Mapping::validate`] or by the cost functions).
+    pub fn new(assignments: Vec<Assignment>) -> Self {
+        Mapping { assignments }
+    }
+
+    /// The whole workflow on one processor set in one mode — e.g. the
+    /// replicate-everything mapping of Theorems 1 and 10.
+    pub fn whole(n_stages: usize, procs: Vec<ProcId>, mode: Mode) -> Self {
+        Mapping::new(vec![Assignment::new(
+            (0..n_stages).collect(),
+            procs,
+            mode,
+        )])
+    }
+
+    /// The assignments.
+    #[inline]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Number of assignments (the paper's `m` intervals / `q` sets).
+    #[inline]
+    pub fn n_assignments(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The assignment mapping `stage`, if any.
+    pub fn assignment_of(&self, stage: usize) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.contains_stage(stage))
+    }
+
+    /// All processors used by the mapping (sorted, deduplicated).
+    pub fn used_procs(&self) -> Vec<ProcId> {
+        let mut procs: Vec<ProcId> = self
+            .assignments
+            .iter()
+            .flat_map(|a| a.procs().iter().copied())
+            .collect();
+        procs.sort_unstable();
+        procs.dedup();
+        procs
+    }
+
+    /// True iff any assignment is data-parallel.
+    pub fn uses_data_parallelism(&self) -> bool {
+        self.assignments
+            .iter()
+            .any(|a| a.mode == Mode::DataParallel)
+    }
+
+    /// Structural checks shared by every workflow shape: stage partition,
+    /// processor disjointness, id ranges.
+    fn validate_common(&self, n_stages: usize, platform: &Platform) -> Result<(), Error> {
+        let mut stage_seen = vec![false; n_stages];
+        let mut proc_seen = vec![false; platform.n_procs()];
+        for a in &self.assignments {
+            if a.stages.is_empty() {
+                return Err(Error::EmptyStageSet);
+            }
+            if a.procs.is_empty() {
+                return Err(Error::EmptyProcSet);
+            }
+            for &s in &a.stages {
+                if s >= n_stages {
+                    return Err(Error::UnknownStage(s));
+                }
+                if stage_seen[s] {
+                    return Err(Error::DuplicateStage(s));
+                }
+                stage_seen[s] = true;
+            }
+            for &q in &a.procs {
+                if q.0 >= platform.n_procs() {
+                    return Err(Error::UnknownProc(q));
+                }
+                if proc_seen[q.0] {
+                    return Err(Error::DuplicateProc(q));
+                }
+                proc_seen[q.0] = true;
+            }
+        }
+        if let Some(s) = stage_seen.iter().position(|&seen| !seen) {
+            return Err(Error::UnmappedStage(s));
+        }
+        Ok(())
+    }
+
+    /// Validates this mapping for `pipeline` on `platform`.
+    ///
+    /// `allow_data_parallel` selects the problem model: when `false`, any
+    /// data-parallel assignment is rejected (the "without data-par" column
+    /// of Table 1).
+    pub fn validate_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        allow_data_parallel: bool,
+    ) -> Result<(), Error> {
+        self.validate_common(pipeline.n_stages(), platform)?;
+        for a in &self.assignments {
+            if !a.is_contiguous() {
+                return Err(Error::NonContiguousInterval);
+            }
+            if a.mode == Mode::DataParallel {
+                if !allow_data_parallel {
+                    return Err(Error::DataParallelForbidden);
+                }
+                if a.stages.len() > 1 {
+                    return Err(Error::DataParallelInterval);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates this mapping for `fork` on `platform`.
+    pub fn validate_fork(
+        &self,
+        fork: &Fork,
+        platform: &Platform,
+        allow_data_parallel: bool,
+    ) -> Result<(), Error> {
+        self.validate_common(fork.n_stages(), platform)?;
+        self.validate_fork_modes(&[0], allow_data_parallel)
+    }
+
+    /// Validates this mapping for `forkjoin` on `platform`.
+    pub fn validate_forkjoin(
+        &self,
+        forkjoin: &ForkJoin,
+        platform: &Platform,
+        allow_data_parallel: bool,
+    ) -> Result<(), Error> {
+        self.validate_common(forkjoin.n_stages(), platform)?;
+        self.validate_fork_modes(&[0, forkjoin.join_stage()], allow_data_parallel)
+    }
+
+    /// Data-parallel legality for fork-shaped graphs: a data-parallel group
+    /// must not mix any of `sequential_stages` (root/join) with other
+    /// stages; each of them may be data-parallelized alone.
+    fn validate_fork_modes(
+        &self,
+        sequential_stages: &[usize],
+        allow_data_parallel: bool,
+    ) -> Result<(), Error> {
+        for a in &self.assignments {
+            if a.mode == Mode::DataParallel {
+                if !allow_data_parallel {
+                    return Err(Error::DataParallelForbidden);
+                }
+                let has_seq = sequential_stages.iter().any(|&s| a.contains_stage(s));
+                if has_seq && a.stages.len() > 1 {
+                    return Err(Error::DataParallelRootMix);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates against any [`Workflow`].
+    pub fn validate(
+        &self,
+        workflow: &Workflow,
+        platform: &Platform,
+        allow_data_parallel: bool,
+    ) -> Result<(), Error> {
+        match workflow {
+            Workflow::Pipeline(p) => self.validate_pipeline(p, platform, allow_data_parallel),
+            Workflow::Fork(f) => self.validate_fork(f, platform, allow_data_parallel),
+            Workflow::ForkJoin(fj) => self.validate_forkjoin(fj, platform, allow_data_parallel),
+        }
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, a) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let mode = match a.mode {
+                Mode::Replicated if a.n_procs() == 1 => "single",
+                Mode::Replicated => "rep",
+                Mode::DataParallel => "dp",
+            };
+            write!(f, "S{:?}->{:?} ({mode})", a.stages, a.procs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs(ids: &[usize]) -> Vec<ProcId> {
+        ids.iter().map(|&u| ProcId(u)).collect()
+    }
+
+    #[test]
+    fn valid_pipeline_mapping() {
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::homogeneous(3, 1);
+        // S1 -> P1; S2..S4 -> P2 (P3 idle) — the Section 2 period-14 mapping
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+            Assignment::interval(1, 3, procs(&[1]), Mode::Replicated),
+        ]);
+        assert!(m.validate_pipeline(&pipe, &plat, false).is_ok());
+        assert!(m.validate_pipeline(&pipe, &plat, true).is_ok());
+    }
+
+    #[test]
+    fn replicate_whole_pipeline() {
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::homogeneous(3, 1);
+        let m = Mapping::whole(4, procs(&[0, 1, 2]), Mode::Replicated);
+        assert!(m.validate_pipeline(&pipe, &plat, false).is_ok());
+        assert_eq!(m.used_procs().len(), 3);
+        assert!(!m.uses_data_parallelism());
+    }
+
+    #[test]
+    fn rejects_non_contiguous_interval() {
+        let pipe = Pipeline::new(vec![1, 2, 3]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 2], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1], procs(&[1]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::NonContiguousInterval)
+        );
+    }
+
+    #[test]
+    fn rejects_data_parallel_interval() {
+        let pipe = Pipeline::new(vec![1, 2]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::whole(2, procs(&[0, 1]), Mode::DataParallel);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::DataParallelInterval)
+        );
+    }
+
+    #[test]
+    fn rejects_data_parallel_when_forbidden() {
+        let pipe = Pipeline::new(vec![1]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::whole(1, procs(&[0, 1]), Mode::DataParallel);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, false),
+            Err(Error::DataParallelForbidden)
+        );
+        assert!(m.validate_pipeline(&pipe, &plat, true).is_ok());
+    }
+
+    #[test]
+    fn rejects_overlapping_procs() {
+        let pipe = Pipeline::new(vec![1, 2]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+            Assignment::interval(1, 1, procs(&[0]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::DuplicateProc(ProcId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_unmapped_and_duplicate_stages() {
+        let pipe = Pipeline::new(vec![1, 2]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[0]), Mode::Replicated)]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::UnmappedStage(1))
+        );
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 1, procs(&[0]), Mode::Replicated),
+            Assignment::interval(1, 1, procs(&[1]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::DuplicateStage(1))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let pipe = Pipeline::new(vec![1]);
+        let plat = Platform::homogeneous(1, 1);
+        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[3]), Mode::Replicated)]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::UnknownProc(ProcId(3)))
+        );
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+            Assignment::interval(5, 5, procs(&[0]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            m.validate_pipeline(&pipe, &plat, true),
+            Err(Error::UnknownStage(5))
+        );
+    }
+
+    #[test]
+    fn fork_allows_arbitrary_subsets() {
+        let fork = Fork::new(1, vec![2, 3, 4]);
+        let plat = Platform::homogeneous(2, 1);
+        // root with leaf 2 on P1; leaves {1,3} on P2 — not contiguous, fine
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 2], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        assert!(m.validate_fork(&fork, &plat, false).is_ok());
+    }
+
+    #[test]
+    fn fork_data_parallel_rules() {
+        let fork = Fork::new(1, vec![2, 3]);
+        let plat = Platform::homogeneous(3, 1);
+        // root alone data-parallel: legal
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0, 1]), Mode::DataParallel),
+            Assignment::new(vec![1, 2], procs(&[2]), Mode::Replicated),
+        ]);
+        assert!(m.validate_fork(&fork, &plat, true).is_ok());
+        // leaves data-parallel together: legal
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1, 2], procs(&[1, 2]), Mode::DataParallel),
+        ]);
+        assert!(m.validate_fork(&fork, &plat, true).is_ok());
+        // root mixed with a leaf, data-parallel: illegal
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0, 1]), Mode::DataParallel),
+            Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            m.validate_fork(&fork, &plat, true),
+            Err(Error::DataParallelRootMix)
+        );
+    }
+
+    #[test]
+    fn forkjoin_join_treated_like_root() {
+        let fj = ForkJoin::new(1, vec![2, 2], 3);
+        let plat = Platform::homogeneous(3, 1);
+        // join data-parallel alone: legal
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1, 2], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![3], procs(&[1, 2]), Mode::DataParallel),
+        ]);
+        assert!(m.validate_forkjoin(&fj, &plat, true).is_ok());
+        // join mixed with a leaf, data-parallel: illegal
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1, 2]), Mode::DataParallel),
+        ]);
+        assert_eq!(
+            m.validate_forkjoin(&fj, &plat, true),
+            Err(Error::DataParallelRootMix)
+        );
+        // root and join in the same replicated set: legal (Section 6.3)
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 3], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1, 2], procs(&[1, 2]), Mode::Replicated),
+        ]);
+        assert!(m.validate_forkjoin(&fj, &plat, true).is_ok());
+    }
+
+    #[test]
+    fn assignment_helpers() {
+        let a = Assignment::interval(1, 3, procs(&[2, 0]), Mode::Replicated);
+        assert_eq!(a.stages(), &[1, 2, 3]);
+        assert_eq!(a.procs(), &[ProcId(0), ProcId(2)]); // sorted
+        assert!(a.is_contiguous());
+        assert!(a.contains_stage(2));
+        assert!(!a.contains_stage(0));
+        assert_eq!(a.work(|s| (s * 10) as u64), 60);
+        let b = Assignment::single(4, ProcId(1));
+        assert_eq!(b.stages(), &[4]);
+        assert_eq!(b.n_procs(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
+            Assignment::interval(1, 2, procs(&[2]), Mode::Replicated),
+        ]);
+        let s = m.to_string();
+        assert!(s.contains("dp"));
+        assert!(s.contains("single"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Mapping::whole(3, procs(&[0, 1]), Mode::Replicated);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mapping = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,201 @@
+//! Target platforms: sets of processors with (possibly different) speeds.
+//!
+//! The paper's *Homogeneous platform* has `p` identical processors of speed
+//! `s`; the *Heterogeneous platform* has per-processor speeds `s_u`. The time
+//! for processor `P_u` to execute `X` floating-point operations is `X / s_u`
+//! (Section 3.2). Communication capacities of the general model live in
+//! [`crate::comm`]; the simplified model of Section 3.4 ignores them.
+
+use crate::rational::Rat;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor: an index into [`Platform::speeds`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0 + 1) // paper numbers processors from 1
+    }
+}
+
+/// A set of `p` processors with integer speeds.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    speeds: Vec<u64>,
+}
+
+impl Platform {
+    /// Heterogeneous platform with the given per-processor speeds.
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or any speed is zero.
+    pub fn heterogeneous(speeds: Vec<u64>) -> Self {
+        assert!(!speeds.is_empty(), "a platform needs at least one processor");
+        assert!(
+            speeds.iter().all(|&s| s > 0),
+            "processor speeds must be positive"
+        );
+        Platform { speeds }
+    }
+
+    /// Homogeneous platform: `p` processors of identical speed `s`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or `s == 0`.
+    pub fn homogeneous(p: usize, s: u64) -> Self {
+        assert!(p > 0, "a platform needs at least one processor");
+        Platform::heterogeneous(vec![s; p])
+    }
+
+    /// Number of processors `p`.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Speed `s_u` of processor `u`.
+    #[inline]
+    pub fn speed(&self, proc: ProcId) -> u64 {
+        self.speeds[proc.0]
+    }
+
+    /// All speeds, indexed by processor id.
+    #[inline]
+    pub fn speeds(&self) -> &[u64] {
+        &self.speeds
+    }
+
+    /// All processor ids, `P_0 .. P_{p-1}`.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.speeds.len()).map(ProcId)
+    }
+
+    /// Aggregate speed `Σ s_u` of the whole platform.
+    pub fn total_speed(&self) -> u64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Aggregate speed of a processor subset.
+    pub fn subset_speed(&self, procs: &[ProcId]) -> u64 {
+        procs.iter().map(|&q| self.speed(q)).sum()
+    }
+
+    /// Slowest speed in a processor subset.
+    ///
+    /// # Panics
+    /// Panics if `procs` is empty.
+    pub fn subset_min_speed(&self, procs: &[ProcId]) -> u64 {
+        procs
+            .iter()
+            .map(|&q| self.speed(q))
+            .min()
+            .expect("empty processor subset")
+    }
+
+    /// The fastest processor (smallest id wins ties).
+    pub fn fastest(&self) -> ProcId {
+        let mut best = ProcId(0);
+        for u in 1..self.speeds.len() {
+            if self.speeds[u] > self.speeds[best.0] {
+                best = ProcId(u);
+            }
+        }
+        best
+    }
+
+    /// Processor ids sorted by **non-increasing** speed (fastest first);
+    /// ties broken by id for determinism.
+    pub fn by_speed_desc(&self) -> Vec<ProcId> {
+        let mut ids: Vec<ProcId> = self.procs().collect();
+        ids.sort_by(|a, b| self.speed(*b).cmp(&self.speed(*a)).then(a.0.cmp(&b.0)));
+        ids
+    }
+
+    /// Processor ids sorted by **non-decreasing** speed (slowest first);
+    /// ties broken by id. This is the ordering used by Lemmas 3 and 4.
+    pub fn by_speed_asc(&self) -> Vec<ProcId> {
+        let mut ids: Vec<ProcId> = self.procs().collect();
+        ids.sort_by(|a, b| self.speed(*a).cmp(&self.speed(*b)).then(a.0.cmp(&b.0)));
+        ids
+    }
+
+    /// True iff all processors have the same speed.
+    pub fn is_homogeneous(&self) -> bool {
+        self.speeds.windows(2).all(|s| s[0] == s[1])
+    }
+
+    /// Time for processor `u` to execute `work` operations, `work / s_u`.
+    #[inline]
+    pub fn time(&self, proc: ProcId, work: u64) -> Rat {
+        Rat::ratio(work, self.speed(proc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_platform() {
+        let p = Platform::homogeneous(3, 2);
+        assert_eq!(p.n_procs(), 3);
+        assert!(p.is_homogeneous());
+        assert_eq!(p.total_speed(), 6);
+        assert_eq!(p.speed(ProcId(1)), 2);
+        assert_eq!(p.time(ProcId(0), 7), Rat::new(7, 2));
+    }
+
+    #[test]
+    fn heterogeneous_platform() {
+        // the Section 2 heterogeneous platform: two fast, two slow
+        let p = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        assert!(!p.is_homogeneous());
+        assert_eq!(p.total_speed(), 6);
+        assert_eq!(p.fastest(), ProcId(0));
+        assert_eq!(
+            p.by_speed_desc(),
+            vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]
+        );
+        assert_eq!(
+            p.by_speed_asc(),
+            vec![ProcId(2), ProcId(3), ProcId(0), ProcId(1)]
+        );
+    }
+
+    #[test]
+    fn subset_aggregates() {
+        let p = Platform::heterogeneous(vec![5, 3, 8]);
+        let set = vec![ProcId(0), ProcId(2)];
+        assert_eq!(p.subset_speed(&set), 13);
+        assert_eq!(p.subset_min_speed(&set), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_panics() {
+        let _ = Platform::heterogeneous(vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_platform_panics() {
+        let _ = Platform::heterogeneous(vec![]);
+    }
+
+    #[test]
+    fn sorting_is_deterministic_on_ties() {
+        let p = Platform::heterogeneous(vec![4, 4, 4]);
+        assert_eq!(p.by_speed_desc(), vec![ProcId(0), ProcId(1), ProcId(2)]);
+        assert_eq!(p.by_speed_asc(), vec![ProcId(0), ProcId(1), ProcId(2)]);
+        assert_eq!(p.fastest(), ProcId(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

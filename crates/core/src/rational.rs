@@ -1,0 +1,505 @@
+//! Exact rational arithmetic.
+//!
+//! Every objective value in the paper — periods and latencies — is a ratio of
+//! integer work to integer speed (possibly summed over intervals). Evaluating
+//! the dynamic programs and binary searches of Theorems 3–4, 7–8, 11 and 14
+//! with floating point would introduce tie-breaking artifacts precisely where
+//! the proofs rely on exact equality (e.g. the candidate-period binary search
+//! of Theorem 7 terminates on an exactly achievable value). [`Rat`] provides
+//! gcd-normalized `i128` rationals with a total order, plus a `+∞` value so
+//! the dynamic programs can use the paper's `W(i,j) = −∞ / L(i,j,0) = +∞`
+//! sentinels directly.
+//!
+//! Overflow policy: all arithmetic is `checked` internally and panics on
+//! overflow with a descriptive message. Workloads and speeds in this crate
+//! are `u64`s produced by instance generators that keep magnitudes far below
+//! the `i128` range; a panic here indicates a logic error, not a user error.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number with `i128` numerator and denominator, plus
+/// signed infinities.
+///
+/// Invariants (maintained by every constructor):
+/// * the denominator is non-negative;
+/// * `den == 0` encodes infinity: `num == 1` is `+∞`, `num == -1` is `-∞`
+///   (a `0/0` NaN is never representable);
+/// * finite values are fully reduced (`gcd(|num|, den) == 1`) and `0` is
+///   always stored as `0/1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+#[inline]
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// Positive infinity (`1/0`). Absorbing for `+` and `max`.
+    pub const INFINITY: Rat = Rat { num: 1, den: 0 };
+    /// Negative infinity (`-1/0`).
+    pub const NEG_INFINITY: Rat = Rat { num: -1, den: 0 };
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates the reduced rational `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`; use [`Rat::INFINITY`] explicitly instead.
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rat::new with zero denominator; use Rat::INFINITY");
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// `value / 1`.
+    #[inline]
+    pub fn int(value: i128) -> Self {
+        Rat { num: value, den: 1 }
+    }
+
+    /// Ratio of two unsigned quantities, the common case `work / speed`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[inline]
+    pub fn ratio(num: u64, den: u64) -> Self {
+        Rat::new(num as i128, den as i128)
+    }
+
+    /// Numerator of the reduced form (`±1` for infinities).
+    #[inline]
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the reduced form (`0` for infinities).
+    #[inline]
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True for `+∞` and `-∞`.
+    #[inline]
+    pub fn is_infinite(&self) -> bool {
+        self.den == 0
+    }
+
+    /// True for any finite value.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.den != 0
+    }
+
+    /// Nearest `f64` (infinities map to `f64` infinities). For reporting
+    /// only; never used in algorithmic decisions.
+    #[inline]
+    pub fn to_f64(&self) -> f64 {
+        if self.den == 0 {
+            if self.num > 0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on `0` (its inverse is not a signed infinity we can pick).
+    #[inline]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "Rat::recip(0)");
+        if self.den == 0 {
+            Rat::ZERO
+        } else {
+            let sign = if self.num < 0 { -1 } else { 1 };
+            Rat {
+                num: sign * self.den,
+                den: sign * self.num,
+            }
+        }
+    }
+
+    /// Largest integer `k` with `k <= self`.
+    ///
+    /// # Panics
+    /// Panics on infinities.
+    #[inline]
+    pub fn floor(self) -> i128 {
+        assert!(self.is_finite(), "Rat::floor(±∞)");
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `k` with `k >= self`.
+    ///
+    /// # Panics
+    /// Panics on infinities.
+    #[inline]
+    pub fn ceil(self) -> i128 {
+        assert!(self.is_finite(), "Rat::ceil(±∞)");
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Checked addition: `None` on `i128` overflow or `∞ + (-∞)`.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        match (self.den, rhs.den) {
+            (0, 0) => {
+                if self.num == rhs.num {
+                    Some(self)
+                } else {
+                    None // ∞ - ∞
+                }
+            }
+            (0, _) => Some(self),
+            (_, 0) => Some(rhs),
+            _ => {
+                // a/b + c/d = (a*(d/g) + c*(b/g)) / lcm(b, d)
+                let g = gcd(self.den, rhs.den);
+                let lhs_scale = rhs.den / g;
+                let rhs_scale = self.den / g;
+                let num = self
+                    .num
+                    .checked_mul(lhs_scale)?
+                    .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+                let den = self.den.checked_mul(lhs_scale)?;
+                Some(Rat::new(num, den))
+            }
+        }
+    }
+
+    /// Checked multiplication: `None` on overflow or `0 * ∞`.
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        if self.den == 0 || rhs.den == 0 {
+            // infinity times anything nonzero keeps sign product
+            if self.num == 0 || rhs.num == 0 {
+                return None; // 0 * ∞
+            }
+            let sign = self.num.signum() * rhs.num.signum();
+            return Some(if sign > 0 {
+                Rat::INFINITY
+            } else {
+                Rat::NEG_INFINITY
+            });
+        }
+        // cross-reduce before multiplying to keep magnitudes small
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 0 {
+            write!(f, "{}", if self.num > 0 { "+inf" } else { "-inf" })
+        } else if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.den, other.den) {
+            (0, 0) => self.num.cmp(&other.num),
+            (0, _) => {
+                if self.num > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (_, 0) => {
+                if other.num > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            _ => {
+                // a/b vs c/d with b,d > 0  <=>  a*d vs c*b
+                let lhs = self
+                    .num
+                    .checked_mul(other.den)
+                    .expect("Rat::cmp overflow (lhs)");
+                let rhs = other
+                    .num
+                    .checked_mul(self.den)
+                    .expect("Rat::cmp overflow (rhs)");
+                lhs.cmp(&rhs)
+            }
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    #[inline]
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs)
+            .unwrap_or_else(|| panic!("Rat overflow or ∞-∞ in {self} + {rhs}"))
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    #[inline]
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    #[inline]
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs)
+            .unwrap_or_else(|| panic!("Rat overflow or 0·∞ in {self} * {rhs}"))
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[inline]
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(
+            !(self.den == 0 && rhs.den == 0),
+            "Rat division of two infinities"
+        );
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    #[inline]
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(v: u64) -> Self {
+        Rat::int(v as i128)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::int(v as i128)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(v: u32) -> Self {
+        Rat::int(v as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+        assert_eq!(Rat::new(0, -7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        assert!(Rat::INFINITY > Rat::int(i64::MAX as i128));
+        assert!(Rat::NEG_INFINITY < Rat::int(i64::MIN as i128));
+        assert!(Rat::NEG_INFINITY < Rat::INFINITY);
+    }
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        assert_eq!(Rat::INFINITY + Rat::new(3, 4), Rat::INFINITY);
+        assert_eq!(Rat::new(3, 4) + Rat::INFINITY, Rat::INFINITY);
+        assert_eq!(Rat::INFINITY + Rat::INFINITY, Rat::INFINITY);
+        assert_eq!(Rat::INFINITY.checked_add(Rat::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn infinity_multiplication() {
+        assert_eq!(Rat::INFINITY * Rat::new(3, 4), Rat::INFINITY);
+        assert_eq!(Rat::INFINITY * Rat::new(-3, 4), Rat::NEG_INFINITY);
+        assert_eq!(Rat::INFINITY.checked_mul(Rat::ZERO), None);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rat::new(3, 4).recip(), Rat::new(4, 3));
+        assert_eq!(Rat::new(-3, 4).recip(), Rat::new(-4, 3));
+        assert_eq!(Rat::INFINITY.recip(), Rat::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(1, 2).to_string(), "1/2");
+        assert_eq!(Rat::int(5).to_string(), "5");
+        assert_eq!(Rat::INFINITY.to_string(), "+inf");
+        assert_eq!(Rat::NEG_INFINITY.to_string(), "-inf");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rat = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Rat::ONE);
+    }
+
+    #[test]
+    fn paper_section2_values() {
+        // period of replicating [14,4,2,4] over 3 unit processors: 24/3 = 8
+        let total = Rat::int(14 + 4 + 2 + 4);
+        assert_eq!(total / Rat::int(3), Rat::int(8));
+        // data-parallel S1 on speeds {2,2}: 14/4, plus 10 on one slow proc
+        assert_eq!(Rat::new(14, 4) + Rat::int(10), Rat::new(27, 2)); // 13.5
+        // data-parallel S1 on speeds {2,2,1}: 14/5 + 10 = 12.8
+        assert_eq!(Rat::new(14, 5) + Rat::int(10), Rat::new(64, 5));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Rat::new(1, 2).max(Rat::new(2, 3)), Rat::new(2, 3));
+        assert_eq!(Rat::new(1, 2).min(Rat::new(2, 3)), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(Rat::new(1, 2).to_f64(), 0.5);
+        assert_eq!(Rat::INFINITY.to_f64(), f64::INFINITY);
+        assert_eq!(Rat::NEG_INFINITY.to_f64(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure injection: every public evaluation API must reject malformed
+//! inputs with the right error instead of computing garbage.
+
+use repliflow_core::cost;
+use repliflow_core::error::Error;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline};
+
+fn procs(ids: &[usize]) -> Vec<ProcId> {
+    ids.iter().map(|&u| ProcId(u)).collect()
+}
+
+#[test]
+fn pipeline_rejects_every_structural_violation() {
+    let pipe = Pipeline::new(vec![1, 2, 3]);
+    let plat = Platform::homogeneous(3, 1);
+    let cases: Vec<(Mapping, Error)> = vec![
+        (
+            // missing stage 2
+            Mapping::new(vec![Assignment::interval(0, 1, procs(&[0]), Mode::Replicated)]),
+            Error::UnmappedStage(2),
+        ),
+        (
+            // stage 1 twice
+            Mapping::new(vec![
+                Assignment::interval(0, 1, procs(&[0]), Mode::Replicated),
+                Assignment::interval(1, 2, procs(&[1]), Mode::Replicated),
+            ]),
+            Error::DuplicateStage(1),
+        ),
+        (
+            // processor reuse
+            Mapping::new(vec![
+                Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+                Assignment::interval(1, 2, procs(&[0]), Mode::Replicated),
+            ]),
+            Error::DuplicateProc(ProcId(0)),
+        ),
+        (
+            // hole in the interval
+            Mapping::new(vec![
+                Assignment::new(vec![0, 2], procs(&[0]), Mode::Replicated),
+                Assignment::new(vec![1], procs(&[1]), Mode::Replicated),
+            ]),
+            Error::NonContiguousInterval,
+        ),
+        (
+            // data-parallel multi-stage interval
+            Mapping::new(vec![
+                Assignment::interval(0, 1, procs(&[0, 1]), Mode::DataParallel),
+                Assignment::interval(2, 2, procs(&[2]), Mode::Replicated),
+            ]),
+            Error::DataParallelInterval,
+        ),
+        (
+            // unknown processor
+            Mapping::new(vec![Assignment::interval(0, 2, procs(&[7]), Mode::Replicated)]),
+            Error::UnknownProc(ProcId(7)),
+        ),
+        (
+            // unknown stage
+            Mapping::new(vec![
+                Assignment::interval(0, 2, procs(&[0]), Mode::Replicated),
+                Assignment::interval(9, 9, procs(&[1]), Mode::Replicated),
+            ]),
+            Error::UnknownStage(9),
+        ),
+    ];
+    for (mapping, expected) in cases {
+        assert_eq!(
+            cost::pipeline_period(&pipe, &plat, &mapping).unwrap_err(),
+            expected
+        );
+        assert_eq!(
+            cost::pipeline_latency(&pipe, &plat, &mapping).unwrap_err(),
+            expected
+        );
+    }
+}
+
+#[test]
+fn fork_rejects_root_mix_and_forkjoin_rejects_join_mix() {
+    let fork = Fork::new(1, vec![2, 2]);
+    let plat = Platform::homogeneous(3, 1);
+    let bad = Mapping::new(vec![
+        Assignment::new(vec![0, 1], procs(&[0, 1]), Mode::DataParallel),
+        Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
+    ]);
+    assert_eq!(
+        cost::fork_period(&fork, &plat, &bad).unwrap_err(),
+        Error::DataParallelRootMix
+    );
+    assert_eq!(
+        cost::fork_latency(&fork, &plat, &bad).unwrap_err(),
+        Error::DataParallelRootMix
+    );
+
+    let fj = ForkJoin::new(1, vec![2], 3);
+    let bad = Mapping::new(vec![
+        Assignment::new(vec![0], procs(&[0]), Mode::Replicated),
+        Assignment::new(vec![1, 2], procs(&[1, 2]), Mode::DataParallel),
+    ]);
+    assert_eq!(
+        cost::forkjoin_latency(&fj, &plat, &bad).unwrap_err(),
+        Error::DataParallelRootMix
+    );
+}
+
+#[test]
+fn empty_groups_are_rejected() {
+    let pipe = Pipeline::new(vec![1]);
+    let plat = Platform::homogeneous(1, 1);
+    let no_procs = Mapping::new(vec![Assignment::new(vec![0], vec![], Mode::Replicated)]);
+    assert_eq!(
+        cost::pipeline_period(&pipe, &plat, &no_procs).unwrap_err(),
+        Error::EmptyProcSet
+    );
+    let no_stages = Mapping::new(vec![
+        Assignment::new(vec![], procs(&[0]), Mode::Replicated),
+        Assignment::new(vec![0], procs(&[0]), Mode::Replicated),
+    ]);
+    assert_eq!(
+        cost::pipeline_period(&pipe, &plat, &no_stages).unwrap_err(),
+        Error::EmptyStageSet
+    );
+}
+
+#[test]
+fn malformed_instance_json_is_an_error_not_a_panic() {
+    use repliflow_core::instance::ProblemInstance;
+    for bad in [
+        "",
+        "{}",
+        r#"{"workflow": 5}"#,
+        r#"{"workflow": {"Pipeline": {"weights": [], "data_sizes": []}}}"#,
+    ] {
+        assert!(serde_json::from_str::<ProblemInstance>(bad).is_err());
+    }
+}
+
+#[test]
+fn error_display_is_informative() {
+    // every error names the offending entity
+    assert!(Error::UnmappedStage(3).to_string().contains('3'));
+    assert!(Error::UnknownProc(ProcId(4)).to_string().contains("P5"));
+    assert!(Error::DataParallelForbidden.to_string().contains("forbid"));
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the core model: rational arithmetic laws and
+//! the paper's Lemmas 1 and 2 as executable invariants.
+
+use proptest::prelude::*;
+use repliflow_core::cost;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// Small rationals that can never overflow in chained operations.
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rat_add_commutative(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rat_add_associative(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rat_mul_commutative(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn rat_distributive(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rat_sub_roundtrip(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn rat_div_roundtrip(a in small_rat(), b in small_rat()) {
+        prop_assume!(b != Rat::ZERO);
+        prop_assert_eq!(a / b * b, a);
+    }
+
+    #[test]
+    fn rat_order_total_and_consistent(a in small_rat(), b in small_rat()) {
+        // exactly one of <, ==, > holds, and it matches subtraction sign
+        let diff = a - b;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff < Rat::ZERO),
+            std::cmp::Ordering::Equal => prop_assert_eq!(diff, Rat::ZERO),
+            std::cmp::Ordering::Greater => prop_assert!(diff > Rat::ZERO),
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in small_rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::int(f) <= a && a <= Rat::int(c));
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn rat_to_f64_monotone(a in small_rat(), b in small_rat()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+}
+
+/// Strategy: a pipeline of 1..=6 stages with weights 1..=30 plus a platform
+/// of 1..=5 processors, and a random single-interval split point.
+fn pipeline_platform() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (
+        prop::collection::vec(1u64..=30, 1..=6),
+        prop::collection::vec(1u64..=10, 1..=5),
+    )
+}
+
+/// Builds the canonical "split at k, first part on some procs replicated,
+/// rest on the others" mapping used by several properties below.
+fn split_mapping(n: usize, p: usize, k: usize, split_proc: usize, mode: Mode) -> Option<Mapping> {
+    if n < 2 || p < 2 {
+        return None;
+    }
+    let k = k % (n - 1); // first interval = stages 0..=k
+    let split_proc = 1 + split_proc % (p - 1); // procs 0..split_proc | rest
+    let first: Vec<ProcId> = (0..split_proc).map(ProcId).collect();
+    let second: Vec<ProcId> = (split_proc..p).map(ProcId).collect();
+    // data-parallel first interval only legal when it is a single stage
+    let first_mode = if k == 0 { mode } else { Mode::Replicated };
+    Some(Mapping::new(vec![
+        Assignment::interval(0, k, first, first_mode),
+        Assignment::interval(k + 1, n - 1, second, Mode::Replicated),
+    ]))
+}
+
+proptest! {
+    /// Lemma 1: on homogeneous platforms, a data-parallel single stage has
+    /// exactly the same period as the same stage replicated on the same
+    /// processor set.
+    #[test]
+    fn lemma1_dp_equals_replication_period_on_hom_platforms(
+        (weights, _) in pipeline_platform(),
+        p in 2usize..=5,
+        s in 1u64..=10,
+        k in 0usize..100,
+        split in 0usize..100,
+    ) {
+        let n = weights.len();
+        prop_assume!(n >= 2);
+        let pipe = Pipeline::new(weights);
+        let plat = Platform::homogeneous(p, s);
+        let dp = split_mapping(n, p, k, split, Mode::DataParallel).unwrap();
+        let rep = split_mapping(n, p, k, split, Mode::Replicated).unwrap();
+        prop_assert_eq!(
+            cost::pipeline_period(&pipe, &plat, &dp).unwrap(),
+            cost::pipeline_period(&pipe, &plat, &rep).unwrap()
+        );
+    }
+
+    /// Lemma 2: replication never changes the latency — shrinking every
+    /// replicated group to its slowest processor alone preserves latency.
+    #[test]
+    fn lemma2_replication_does_not_change_latency(
+        (weights, speeds) in pipeline_platform(),
+        k in 0usize..100,
+        split in 0usize..100,
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        prop_assume!(n >= 2 && p >= 2);
+        let pipe = Pipeline::new(weights);
+        let plat = Platform::heterogeneous(speeds.clone());
+        let m = split_mapping(n, p, k, split, Mode::Replicated).unwrap();
+        // shrink each assignment to its slowest processor
+        let shrunk = Mapping::new(
+            m.assignments()
+                .iter()
+                .map(|a| {
+                    let slowest = *a
+                        .procs()
+                        .iter()
+                        .min_by_key(|&&q| (plat.speed(q), q.0))
+                        .unwrap();
+                    Assignment::new(a.stages().to_vec(), vec![slowest], Mode::Replicated)
+                })
+                .collect(),
+        );
+        prop_assert_eq!(
+            cost::pipeline_latency(&pipe, &plat, &m).unwrap(),
+            cost::pipeline_latency(&pipe, &plat, &shrunk).unwrap()
+        );
+    }
+
+    /// Any mapping's period is at least total work / total platform speed
+    /// (the lower bound used by Theorems 1 and 10).
+    #[test]
+    fn period_lower_bound(
+        (weights, speeds) in pipeline_platform(),
+        k in 0usize..100,
+        split in 0usize..100,
+        dp in any::<bool>(),
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        prop_assume!(n >= 2 && p >= 2);
+        let pipe = Pipeline::new(weights.clone());
+        let plat = Platform::heterogeneous(speeds.clone());
+        let mode = if dp { Mode::DataParallel } else { Mode::Replicated };
+        let m = split_mapping(n, p, k, split, mode).unwrap();
+        let period = cost::pipeline_period(&pipe, &plat, &m).unwrap();
+        let bound = Rat::ratio(weights.iter().sum(), speeds.iter().sum());
+        prop_assert!(period >= bound);
+    }
+
+    /// A group's delay is never smaller than its period.
+    #[test]
+    fn delay_at_least_period(
+        work in 1u64..=1000,
+        speeds in prop::collection::vec(1u64..=10, 1..=5),
+        dp in any::<bool>(),
+    ) {
+        let plat = Platform::heterogeneous(speeds.clone());
+        let procs: Vec<ProcId> = (0..speeds.len()).map(ProcId).collect();
+        let mode = if dp { Mode::DataParallel } else { Mode::Replicated };
+        let a = Assignment::new(vec![0], procs, mode);
+        prop_assert!(
+            cost::group_delay(work, &a, &plat) >= cost::group_period(work, &a, &plat)
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Exact fork solvers.
+//!
+//! Structure of a fork mapping (Section 3.3): one group holds the root
+//! `S0` (plus possibly some leaves); the remaining groups hold disjoint
+//! leaf subsets. The objectives decompose per group, so we:
+//!
+//! 1. enumerate the root group (leaf subset × processor subset × mode);
+//! 2. cover the remaining leaves with a memoized subset-DP
+//!    (`LeafDp`) computing the exact Pareto frontier over
+//!    `(max group period, max group delay)`;
+//! 3. combine with the flexible-model latency formula
+//!    `max(t_max(1), w0/s0 + max_r t_max(r))`.
+//!
+//! [`enumerate_fork`] is the independent brute force (set partitions ×
+//! processor assignments × modes) used to cross-validate the DP and the
+//! cost functions on tiny instances.
+
+use crate::goal::{Frontier, Goal, Solution};
+use crate::pipeline::{group_cost, mask_procs, MaskSpeeds, MAX_PROCS};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+use std::collections::HashMap;
+
+/// Maximum leaf count accepted by the bitmask solvers.
+pub const MAX_LEAVES: usize = 20;
+
+/// A partial cover of leaf stages by groups, tracked as a Pareto pair
+/// `(max period over groups, max delay over groups)` plus the assignments.
+type LeafFrontier = Vec<(Rat, Rat, Vec<Assignment>)>;
+
+/// Memoized exact Pareto DP over `(remaining leaf mask, available
+/// processor mask)` for covering leaves with replicated / data-parallel
+/// groups.
+pub(crate) struct LeafDp<'a> {
+    /// Weight of leaf bit `i` (stage id `i + 1`).
+    leaf_weights: &'a [u64],
+    speeds: &'a MaskSpeeds,
+    allow_dp: bool,
+    memo: HashMap<(u32, u32), LeafFrontier>,
+}
+
+impl<'a> LeafDp<'a> {
+    pub(crate) fn new(leaf_weights: &'a [u64], speeds: &'a MaskSpeeds, allow_dp: bool) -> Self {
+        assert!(leaf_weights.len() <= MAX_LEAVES);
+        LeafDp {
+            leaf_weights,
+            speeds,
+            allow_dp,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn subset_work(&self, leaf_mask: u32) -> u64 {
+        let mut work = 0;
+        let mut m = leaf_mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            work += self.leaf_weights[i];
+            m &= m - 1;
+        }
+        work
+    }
+
+    /// Stage ids (1-based leaves) of a leaf mask.
+    fn leaf_stages(leaf_mask: u32) -> Vec<usize> {
+        let mut stages = Vec::new();
+        let mut m = leaf_mask;
+        while m != 0 {
+            stages.push(m.trailing_zeros() as usize + 1);
+            m &= m - 1;
+        }
+        stages
+    }
+
+    /// Pareto frontier of `(max period, max delay)` over all covers of
+    /// `leaf_mask` using processors from `proc_mask`. Empty if infeasible.
+    pub(crate) fn frontier(&mut self, leaf_mask: u32, proc_mask: u32) -> LeafFrontier {
+        if leaf_mask == 0 {
+            return vec![(Rat::ZERO, Rat::ZERO, Vec::new())];
+        }
+        if proc_mask == 0 {
+            return Vec::new();
+        }
+        if let Some(cached) = self.memo.get(&(leaf_mask, proc_mask)) {
+            return cached.clone();
+        }
+        let mut result: LeafFrontier = Vec::new();
+        let lowest = leaf_mask & leaf_mask.wrapping_neg();
+        let rest_leaves = leaf_mask ^ lowest;
+        // enumerate subsets of rest_leaves, each united with the lowest leaf
+        let mut extra = rest_leaves;
+        loop {
+            let group_leaves = extra | lowest;
+            let work = self.subset_work(group_leaves);
+            // enumerate non-empty processor subsets
+            let mut q = proc_mask;
+            loop {
+                for mode in [Mode::Replicated, Mode::DataParallel] {
+                    if mode == Mode::DataParallel && (!self.allow_dp || q.count_ones() < 2) {
+                        continue;
+                    }
+                    let (gp, gd) = group_cost(work, q as usize, mode, self.speeds);
+                    let assignment =
+                        Assignment::new(Self::leaf_stages(group_leaves), mask_procs(q as usize), mode);
+                    for (sp, sd, sub_asg) in
+                        self.frontier(leaf_mask & !group_leaves, proc_mask & !q)
+                    {
+                        let cand = (gp.max(sp), gd.max(sd));
+                        if !dominated(&result, cand) {
+                            let mut asg = sub_asg;
+                            asg.push(assignment.clone());
+                            retain_non_dominated(&mut result, cand, asg);
+                        }
+                    }
+                }
+                q = (q - 1) & proc_mask;
+                if q == 0 {
+                    break;
+                }
+            }
+            if extra == 0 {
+                break;
+            }
+            extra = (extra - 1) & rest_leaves;
+        }
+        self.memo.insert((leaf_mask, proc_mask), result.clone());
+        result
+    }
+}
+
+fn dominated(frontier: &LeafFrontier, (p, d): (Rat, Rat)) -> bool {
+    frontier.iter().any(|&(fp, fd, _)| fp <= p && fd <= d)
+}
+
+fn retain_non_dominated(frontier: &mut LeafFrontier, (p, d): (Rat, Rat), asg: Vec<Assignment>) {
+    frontier.retain(|&(fp, fd, _)| !(p <= fp && d <= fd));
+    frontier.push((p, d, asg));
+}
+
+/// The exact (period, latency) Pareto frontier over all legal mappings of
+/// `fork` onto `platform` (flexible model).
+pub fn pareto_fork(fork: &Fork, platform: &Platform, allow_dp: bool) -> Frontier {
+    let n = fork.n_leaves();
+    let p = platform.n_procs();
+    assert!(n <= MAX_LEAVES && p <= MAX_PROCS);
+    let speeds = MaskSpeeds::new(platform);
+    let leaf_weights: Vec<u64> = (1..=n).map(|k| fork.weight(k)).collect();
+    let mut leaf_dp = LeafDp::new(&leaf_weights, &speeds, allow_dp);
+
+    let full_leaves: u32 = if n == 0 { 0 } else { (1u32 << n) - 1 };
+    let full_procs: u32 = ((1usize << p) - 1) as u32;
+    let w0 = fork.root_weight();
+
+    let mut frontier = Frontier::new();
+    // enumerate the root group: leaf subset (possibly empty) × processor
+    // subset × mode.
+    let mut root_leaves = full_leaves;
+    loop {
+        let root_work = w0 + leaf_dp.subset_work(root_leaves);
+        let mut q = full_procs;
+        loop {
+            for mode in [Mode::Replicated, Mode::DataParallel] {
+                if mode == Mode::DataParallel {
+                    // the root may only be data-parallelized alone
+                    if !allow_dp || root_leaves != 0 || q.count_ones() < 2 {
+                        continue;
+                    }
+                }
+                let (p0, d0) = group_cost(root_work, q as usize, mode, &speeds);
+                // speed at which S0 is processed
+                let s0 = match mode {
+                    Mode::Replicated => speeds.min_speed[q as usize],
+                    Mode::DataParallel => speeds.sum_speed[q as usize],
+                };
+                let root_done = Rat::ratio(w0, s0);
+                let mut root_stages = vec![0usize];
+                root_stages.extend(LeafDp::leaf_stages(root_leaves));
+                let root_assignment =
+                    Assignment::new(root_stages, mask_procs(q as usize), mode);
+                for (rp, rd, rest_asg) in
+                    leaf_dp.frontier(full_leaves & !root_leaves, full_procs & !q)
+                {
+                    let period = p0.max(rp);
+                    let latency = d0.max(root_done + rd);
+                    let mut assignments = vec![root_assignment.clone()];
+                    assignments.extend(rest_asg);
+                    frontier.insert(Solution {
+                        mapping: Mapping::new(assignments),
+                        period,
+                        latency,
+                    });
+                }
+            }
+            q = (q - 1) & full_procs;
+            if q == 0 {
+                break;
+            }
+        }
+        if root_leaves == 0 {
+            break;
+        }
+        root_leaves = (root_leaves - 1) & full_leaves;
+    }
+    frontier
+}
+
+/// Solves a single-goal fork problem exactly.
+pub fn solve_fork(
+    fork: &Fork,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    pareto_fork(fork, platform, allow_dp).pick(goal)
+}
+
+/// Visits every legal fork mapping exactly once (brute force over set
+/// partitions × ordered processor subsets × modes; tiny instances only).
+pub fn enumerate_fork(
+    fork: &Fork,
+    platform: &Platform,
+    allow_dp: bool,
+    mut visit: impl FnMut(&Mapping),
+) {
+    let stages: Vec<usize> = (0..fork.n_stages()).collect();
+    for_each_partition(&stages, &mut |blocks| {
+        assign_procs(blocks, platform, allow_dp, &[0], &mut visit);
+    });
+}
+
+/// Visits every set partition of `items` (blocks in canonical order).
+pub(crate) fn for_each_partition(items: &[usize], visit: &mut impl FnMut(&[Vec<usize>])) {
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    rec_partition(items, 0, &mut blocks, visit);
+}
+
+fn rec_partition(
+    items: &[usize],
+    idx: usize,
+    blocks: &mut Vec<Vec<usize>>,
+    visit: &mut impl FnMut(&[Vec<usize>]),
+) {
+    if idx == items.len() {
+        visit(blocks);
+        return;
+    }
+    for b in 0..blocks.len() {
+        blocks[b].push(items[idx]);
+        rec_partition(items, idx + 1, blocks, visit);
+        blocks[b].pop();
+    }
+    blocks.push(vec![items[idx]]);
+    rec_partition(items, idx + 1, blocks, visit);
+    blocks.pop();
+}
+
+/// Assigns disjoint non-empty processor subsets and legal modes to the
+/// blocks, emitting each complete mapping. `sequential_stages` are the
+/// stages that may not share a data-parallel group (root / join).
+pub(crate) fn assign_procs(
+    blocks: &[Vec<usize>],
+    platform: &Platform,
+    allow_dp: bool,
+    sequential_stages: &[usize],
+    visit: &mut impl FnMut(&Mapping),
+) {
+    let p = platform.n_procs();
+    assert!(p <= MAX_PROCS);
+    let full = (1usize << p) - 1;
+    let mut acc: Vec<Assignment> = Vec::new();
+    rec_assign(blocks, 0, full, allow_dp, sequential_stages, &mut acc, visit);
+}
+
+fn rec_assign(
+    blocks: &[Vec<usize>],
+    b: usize,
+    avail: usize,
+    allow_dp: bool,
+    sequential_stages: &[usize],
+    acc: &mut Vec<Assignment>,
+    visit: &mut impl FnMut(&Mapping),
+) {
+    if b == blocks.len() {
+        visit(&Mapping::new(acc.clone()));
+        return;
+    }
+    if avail == 0 {
+        return;
+    }
+    let block = &blocks[b];
+    let has_seq = block.iter().any(|s| sequential_stages.contains(s));
+    let mut sub = avail;
+    loop {
+        for mode in [Mode::Replicated, Mode::DataParallel] {
+            if mode == Mode::DataParallel {
+                let legal = allow_dp
+                    && sub.count_ones() >= 2
+                    && (!has_seq || block.len() == 1);
+                if !legal {
+                    continue;
+                }
+            }
+            acc.push(Assignment::new(block.clone(), mask_procs(sub), mode));
+            rec_assign(
+                blocks,
+                b + 1,
+                avail & !sub,
+                allow_dp,
+                sequential_stages,
+                acc,
+                visit,
+            );
+            acc.pop();
+        }
+        sub = (sub - 1) & avail;
+        if sub == 0 {
+            break;
+        }
+    }
+}
+
+/// Brute-force single-goal fork solver (tiny instances only).
+pub fn brute_force_fork(
+    fork: &Fork,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    let mut frontier = Frontier::new();
+    enumerate_fork(fork, platform, allow_dp, |m| {
+        let period = fork.period(platform, m).expect("enumerated mapping valid");
+        let latency = fork.latency(platform, m).expect("enumerated mapping valid");
+        frontier.insert(Solution {
+            mapping: m.clone(),
+            period,
+            latency,
+        });
+    });
+    frontier.pick(goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+
+    #[test]
+    fn partition_count_is_bell_number() {
+        // Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15, B(5)=52
+        for (k, bell) in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)] {
+            let items: Vec<usize> = (0..k).collect();
+            let mut count = 0;
+            for_each_partition(&items, &mut |_| count += 1);
+            assert_eq!(count, bell, "Bell({k})");
+        }
+    }
+
+    #[test]
+    fn theorem10_replicate_all_is_optimal_for_period() {
+        // Homogeneous platform: min period = total work / (p*s).
+        let mut gen = Gen::new(0xF0);
+        for _ in 0..25 {
+            let sz = gen.size(0, 3);
+
+            let fork = gen.fork(sz, 1, 9);
+            let p = gen.size(1, 4);
+            let plat = gen.hom_platform(p, 1, 4);
+            let sol = solve_fork(&fork, &plat, false, Goal::MinPeriod).unwrap();
+            assert_eq!(
+                sol.period,
+                Rat::ratio(fork.total_work(), plat.total_speed())
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        let mut gen = Gen::new(0xF1);
+        for case in 0..40 {
+            let sz = gen.size(0, 3);
+
+            let fork = gen.fork(sz, 1, 10);
+            let sz = gen.size(1, 3);
+
+            let plat = gen.het_platform(sz, 1, 5);
+            for allow_dp in [false, true] {
+                for goal in [Goal::MinPeriod, Goal::MinLatency] {
+                    let a = solve_fork(&fork, &plat, allow_dp, goal).unwrap();
+                    let b = brute_force_fork(&fork, &plat, allow_dp, goal).unwrap();
+                    let (av, bv) = match goal {
+                        Goal::MinPeriod => (a.period, b.period),
+                        Goal::MinLatency => (a.latency, b.latency),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(av, bv, "case {case} dp={allow_dp} {goal:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_points_match_their_mappings() {
+        let mut gen = Gen::new(0xF2);
+        for _ in 0..20 {
+            let sz = gen.size(1, 3);
+
+            let fork = gen.fork(sz, 1, 8);
+            let plat = gen.het_platform(3, 1, 4);
+            for s in pareto_fork(&fork, &plat, true).points() {
+                assert_eq!(fork.period(&plat, &s.mapping).unwrap(), s.period);
+                assert_eq!(fork.latency(&plat, &s.mapping).unwrap(), s.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn thm12_style_two_partition_instance() {
+        // Fork w0=1, leaves {1,2,3,4} summing to 10, two unit processors:
+        // a perfect split gives latency 1 + 5 = 6.
+        let fork = Fork::new(1, vec![1, 2, 3, 4]);
+        let plat = Platform::homogeneous(2, 1);
+        let sol = solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::int(6));
+    }
+
+    #[test]
+    fn leafless_fork() {
+        let fork = Fork::new(7, vec![]);
+        let plat = Platform::heterogeneous(vec![3, 2]);
+        let sol = solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
+        // fastest processor alone: 7/3
+        assert_eq!(sol.latency, Rat::new(7, 3));
+        let sol = solve_fork(&fork, &plat, true, Goal::MinLatency).unwrap();
+        // data-parallel root over both: 7/5
+        assert_eq!(sol.latency, Rat::new(7, 5));
+    }
+
+    #[test]
+    fn enumerated_fork_mappings_are_valid() {
+        let fork = Fork::new(2, vec![3, 5]);
+        let plat = Platform::heterogeneous(vec![2, 1]);
+        let mut count = 0usize;
+        enumerate_fork(&fork, &plat, true, |m| {
+            assert!(m.validate_fork(&fork, &plat, true).is_ok());
+            count += 1;
+        });
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Exact fork-join solvers (Section 6.3 extension).
+//!
+//! A fork-join mapping distinguishes *two* special groups — the one holding
+//! the root `S0` and the one holding the join `Sn+1` (possibly the same
+//! group). We enumerate both (Case A: together; Case B: separate) and cover
+//! the remaining leaves with the same memoized Pareto DP as the fork
+//! solver, combining with the flexible-model fork-join latency
+//! `AllLeavesDone + w_{n+1}/s_join` (see `repliflow-core::cost`).
+
+use crate::fork::{assign_procs, for_each_partition};
+use crate::goal::{Frontier, Goal, Solution};
+use crate::pipeline::{group_cost, mask_procs, MaskSpeeds, MAX_PROCS};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::ForkJoin;
+
+use crate::fork::MAX_LEAVES;
+
+fn leaf_stages(leaf_mask: u32) -> Vec<usize> {
+    let mut stages = Vec::new();
+    let mut m = leaf_mask;
+    while m != 0 {
+        stages.push(m.trailing_zeros() as usize + 1);
+        m &= m - 1;
+    }
+    stages
+}
+
+fn subset_work(leaf_weights: &[u64], leaf_mask: u32) -> u64 {
+    let mut work = 0;
+    let mut m = leaf_mask;
+    while m != 0 {
+        work += leaf_weights[m.trailing_zeros() as usize];
+        m &= m - 1;
+    }
+    work
+}
+
+/// Iterates all submasks of `mask` including `0` and `mask` itself.
+fn submasks(mask: u32) -> impl Iterator<Item = u32> {
+    let mut sub = mask;
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let current = sub;
+        if sub == 0 {
+            done = true;
+        } else {
+            sub = (sub - 1) & mask;
+        }
+        Some(current)
+    })
+}
+
+/// Iterates all **non-empty** submasks of `mask`.
+fn nonempty_submasks(mask: u32) -> impl Iterator<Item = u32> {
+    submasks(mask).filter(|&s| s != 0)
+}
+
+/// The exact (period, latency) Pareto frontier over all legal fork-join
+/// mappings (flexible model).
+pub fn pareto_forkjoin(forkjoin: &ForkJoin, platform: &Platform, allow_dp: bool) -> Frontier {
+    let n = forkjoin.n_leaves();
+    let p = platform.n_procs();
+    assert!(n <= MAX_LEAVES && p <= MAX_PROCS);
+    let speeds = MaskSpeeds::new(platform);
+    let leaf_weights: Vec<u64> = (1..=n).map(|k| forkjoin.weight(k)).collect();
+    let mut leaf_dp = crate::fork::LeafDp::new(&leaf_weights, &speeds, allow_dp);
+
+    let full_leaves: u32 = if n == 0 { 0 } else { (1u32 << n) - 1 };
+    let full_procs: u32 = ((1usize << p) - 1) as u32;
+    let w0 = forkjoin.root_weight();
+    let wj = forkjoin.join_weight();
+    let join_id = forkjoin.join_stage();
+
+    let mut frontier = Frontier::new();
+
+    // ---- Case A: root and join share a group (replicated only). ----
+    for rsub in submasks(full_leaves) {
+        let group_work = w0 + wj + subset_work(&leaf_weights, rsub);
+        let nonjoin_work = w0 + subset_work(&leaf_weights, rsub);
+        for q in nonempty_submasks(full_procs) {
+            let (p0, _) = group_cost(group_work, q as usize, Mode::Replicated, &speeds);
+            let min = speeds.min_speed[q as usize];
+            let d_nonjoin = Rat::ratio(nonjoin_work, min);
+            let root_done = Rat::ratio(w0, min);
+            let join_time = Rat::ratio(wj, min);
+            let mut stages = vec![0usize, join_id];
+            stages.extend(leaf_stages(rsub));
+            let group =
+                Assignment::new(stages, mask_procs(q as usize), Mode::Replicated);
+            for (rp, rd, rest_asg) in
+                leaf_dp.frontier(full_leaves & !rsub, full_procs & !q)
+            {
+                let period = p0.max(rp);
+                let all_leaves_done = d_nonjoin.max(root_done + rd);
+                let latency = all_leaves_done + join_time;
+                let mut assignments = vec![group.clone()];
+                assignments.extend(rest_asg);
+                frontier.insert(Solution {
+                    mapping: Mapping::new(assignments),
+                    period,
+                    latency,
+                });
+            }
+        }
+    }
+
+    // ---- Case B: root group and join group are distinct. ----
+    for rsub in submasks(full_leaves) {
+        let root_work = w0 + subset_work(&leaf_weights, rsub);
+        for q0 in nonempty_submasks(full_procs) {
+            for root_mode in [Mode::Replicated, Mode::DataParallel] {
+                if root_mode == Mode::DataParallel
+                    && (!allow_dp || rsub != 0 || q0.count_ones() < 2)
+                {
+                    continue;
+                }
+                let (p0, d0_nonjoin) = group_cost(root_work, q0 as usize, root_mode, &speeds);
+                let s0 = match root_mode {
+                    Mode::Replicated => speeds.min_speed[q0 as usize],
+                    Mode::DataParallel => speeds.sum_speed[q0 as usize],
+                };
+                let root_done = Rat::ratio(w0, s0);
+                let mut root_stages = vec![0usize];
+                root_stages.extend(leaf_stages(rsub));
+                let root_group =
+                    Assignment::new(root_stages, mask_procs(q0 as usize), root_mode);
+
+                let leaves_left = full_leaves & !rsub;
+                let procs_left = full_procs & !q0;
+                for jsub in submasks(leaves_left) {
+                    let join_work = wj + subset_work(&leaf_weights, jsub);
+                    for q1 in nonempty_submasks(procs_left) {
+                        for join_mode in [Mode::Replicated, Mode::DataParallel] {
+                            if join_mode == Mode::DataParallel
+                                && (!allow_dp || jsub != 0 || q1.count_ones() < 2)
+                            {
+                                continue;
+                            }
+                            let (p1, _) =
+                                group_cost(join_work, q1 as usize, join_mode, &speeds);
+                            let (s_join, d1_leafpart) = match join_mode {
+                                Mode::Replicated => {
+                                    let min = speeds.min_speed[q1 as usize];
+                                    (
+                                        min,
+                                        Rat::ratio(subset_work(&leaf_weights, jsub), min),
+                                    )
+                                }
+                                // jsub == 0 here, so no leaf part
+                                Mode::DataParallel => {
+                                    (speeds.sum_speed[q1 as usize], Rat::ZERO)
+                                }
+                            };
+                            let join_time = Rat::ratio(wj, s_join);
+                            let mut join_stages = vec![join_id];
+                            join_stages.extend(leaf_stages(jsub));
+                            let join_group = Assignment::new(
+                                join_stages,
+                                mask_procs(q1 as usize),
+                                join_mode,
+                            );
+                            for (rp, rd, rest_asg) in leaf_dp
+                                .frontier(leaves_left & !jsub, procs_left & !q1)
+                            {
+                                let period = p0.max(p1).max(rp);
+                                let all_leaves_done =
+                                    d0_nonjoin.max(root_done + d1_leafpart.max(rd));
+                                let latency = all_leaves_done + join_time;
+                                let mut assignments =
+                                    vec![root_group.clone(), join_group.clone()];
+                                assignments.extend(rest_asg);
+                                frontier.insert(Solution {
+                                    mapping: Mapping::new(assignments),
+                                    period,
+                                    latency,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    frontier
+}
+
+/// Solves a single-goal fork-join problem exactly.
+pub fn solve_forkjoin(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    pareto_forkjoin(forkjoin, platform, allow_dp).pick(goal)
+}
+
+/// Visits every legal fork-join mapping exactly once (brute force; tiny
+/// instances only).
+pub fn enumerate_forkjoin(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    allow_dp: bool,
+    mut visit: impl FnMut(&Mapping),
+) {
+    let stages: Vec<usize> = (0..forkjoin.n_stages()).collect();
+    let sequential = [0, forkjoin.join_stage()];
+    for_each_partition(&stages, &mut |blocks| {
+        assign_procs(blocks, platform, allow_dp, &sequential, &mut visit);
+    });
+}
+
+/// Brute-force single-goal fork-join solver (tiny instances only).
+pub fn brute_force_forkjoin(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    let mut frontier = Frontier::new();
+    enumerate_forkjoin(forkjoin, platform, allow_dp, |m| {
+        let period = forkjoin
+            .period(platform, m)
+            .expect("enumerated mapping valid");
+        let latency = forkjoin
+            .latency(platform, m)
+            .expect("enumerated mapping valid");
+        frontier.insert(Solution {
+            mapping: m.clone(),
+            period,
+            latency,
+        });
+    });
+    frontier.pick(goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        let mut gen = Gen::new(0xFA);
+        for case in 0..25 {
+            let sz = gen.size(0, 2);
+
+            let fj = gen.forkjoin(sz, 1, 8);
+            let sz = gen.size(1, 3);
+
+            let plat = gen.het_platform(sz, 1, 5);
+            for allow_dp in [false, true] {
+                for goal in [Goal::MinPeriod, Goal::MinLatency] {
+                    let a = solve_forkjoin(&fj, &plat, allow_dp, goal).unwrap();
+                    let b = brute_force_forkjoin(&fj, &plat, allow_dp, goal).unwrap();
+                    let (av, bv) = match goal {
+                        Goal::MinPeriod => (a.period, b.period),
+                        Goal::MinLatency => (a.latency, b.latency),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(av, bv, "case {case} dp={allow_dp} {goal:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_points_match_their_mappings() {
+        let mut gen = Gen::new(0xFB);
+        for _ in 0..15 {
+            let sz = gen.size(1, 3);
+
+            let fj = gen.forkjoin(sz, 1, 6);
+            let plat = gen.het_platform(3, 1, 4);
+            let frontier = pareto_forkjoin(&fj, &plat, true);
+            assert!(!frontier.is_empty());
+            for s in frontier.points() {
+                assert_eq!(fj.period(&plat, &s.mapping).unwrap(), s.period, "{}", s.mapping);
+                assert_eq!(fj.latency(&plat, &s.mapping).unwrap(), s.latency, "{}", s.mapping);
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_all_reaches_period_lower_bound_on_hom_platform() {
+        // Section 6.3: the replicate-everything rule still gives the
+        // optimal period for fork-join on homogeneous platforms.
+        let mut gen = Gen::new(0xFC);
+        for _ in 0..15 {
+            let sz = gen.size(0, 2);
+
+            let fj = gen.forkjoin(sz, 1, 9);
+            let sz = gen.size(1, 3);
+
+            let plat = gen.hom_platform(sz, 1, 4);
+            let sol = solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
+            assert_eq!(sol.period, Rat::ratio(fj.total_work(), plat.total_speed()));
+        }
+    }
+
+    #[test]
+    fn master_slave_scatter_gather() {
+        // Root scatters to 2 slaves, join gathers: w0=2, leaves 4 each,
+        // join 2, three unit processors.
+        let fj = ForkJoin::new(2, vec![4, 4], 2);
+        let plat = Platform::homogeneous(3, 1);
+        let sol = solve_forkjoin(&fj, &plat, false, Goal::MinLatency).unwrap();
+        // Root alone on P1 (done at 2); leaves on P2 and P3 (done at 6);
+        // join on root's processor: 6 + 2 = 8.
+        assert_eq!(sol.latency, Rat::int(8));
+    }
+
+    #[test]
+    fn join_only_forkjoin() {
+        // No leaves: S0 -> S1(join). Best latency on het platform maps
+        // both to the fastest processor.
+        let fj = ForkJoin::new(3, vec![], 5);
+        let plat = Platform::heterogeneous(vec![2, 4]);
+        let sol = solve_forkjoin(&fj, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::int(2)); // (3+5)/4
+    }
+}

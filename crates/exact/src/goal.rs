@@ -1,0 +1,198 @@
+//! Objectives, solutions and Pareto-frontier utilities shared by the exact
+//! solvers.
+
+use repliflow_core::mapping::Mapping;
+use repliflow_core::rational::Rat;
+
+/// What an exact solver should optimize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Goal {
+    /// Minimize the period.
+    MinPeriod,
+    /// Minimize the latency.
+    MinLatency,
+    /// Minimize the latency among mappings with `period <= bound`.
+    MinLatencyUnderPeriod(Rat),
+    /// Minimize the period among mappings with `latency <= bound`.
+    MinPeriodUnderLatency(Rat),
+}
+
+/// A mapping together with both of its objective values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Its period.
+    pub period: Rat,
+    /// Its latency.
+    pub latency: Rat,
+}
+
+/// A Pareto frontier over (period, latency), kept minimal: no point weakly
+/// dominates another. Sorted by increasing period (hence strictly
+/// decreasing latency).
+#[derive(Clone, Debug, Default)]
+pub struct Frontier {
+    points: Vec<Solution>,
+}
+
+impl Frontier {
+    /// The empty frontier.
+    pub fn new() -> Self {
+        Frontier { points: Vec::new() }
+    }
+
+    /// Frontier with a single point.
+    pub fn singleton(sol: Solution) -> Self {
+        Frontier { points: vec![sol] }
+    }
+
+    /// The frontier points, sorted by increasing period.
+    pub fn points(&self) -> &[Solution] {
+        &self.points
+    }
+
+    /// True iff no point has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Inserts `sol` unless it is weakly dominated; evicts points it
+    /// dominates. Returns whether the point was kept.
+    pub fn insert(&mut self, sol: Solution) -> bool {
+        // position of the first point with period >= sol.period
+        let idx = self
+            .points
+            .partition_point(|q| q.period < sol.period);
+        // a predecessor has period <= sol.period; if its latency is also
+        // <= ours, we are dominated. Same test for an equal-period point
+        // at idx.
+        if idx > 0 && self.points[idx - 1].latency <= sol.latency {
+            return false;
+        }
+        if idx < self.points.len()
+            && self.points[idx].period == sol.period
+            && self.points[idx].latency <= sol.latency
+        {
+            return false;
+        }
+        // evict successors that sol dominates (period >= ours implied;
+        // latency >= ours means dominated)
+        let mut end = idx;
+        while end < self.points.len() && self.points[end].latency >= sol.latency {
+            end += 1;
+        }
+        self.points.splice(idx..end, [sol]);
+        true
+    }
+
+    /// Merges another frontier into this one.
+    pub fn merge(&mut self, other: Frontier) {
+        for p in other.points {
+            self.insert(p);
+        }
+    }
+
+    /// Picks the best point for `goal`, if one satisfies its constraint.
+    /// Ties are broken toward the smaller other criterion.
+    pub fn pick(&self, goal: Goal) -> Option<Solution> {
+        match goal {
+            Goal::MinPeriod => self.points.first().cloned(),
+            Goal::MinLatency => self.points.last().cloned(),
+            Goal::MinLatencyUnderPeriod(bound) => {
+                // latest point with period <= bound has the least latency
+                let idx = self.points.partition_point(|q| q.period <= bound);
+                idx.checked_sub(1).map(|i| self.points[i].clone())
+            }
+            Goal::MinPeriodUnderLatency(bound) => self
+                .points
+                .iter()
+                .find(|q| q.latency <= bound)
+                .cloned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::mapping::{Assignment, Mapping};
+    use repliflow_core::platform::ProcId;
+
+    fn sol(period: i128, latency: i128) -> Solution {
+        Solution {
+            mapping: Mapping::new(vec![Assignment::single(0, ProcId(0))]),
+            period: Rat::int(period),
+            latency: Rat::int(latency),
+        }
+    }
+
+    #[test]
+    fn insert_keeps_only_non_dominated() {
+        let mut f = Frontier::new();
+        assert!(f.insert(sol(5, 5)));
+        assert!(f.insert(sol(3, 8)));
+        assert!(f.insert(sol(8, 2)));
+        // dominated by (5,5)
+        assert!(!f.insert(sol(6, 6)));
+        // dominates (5,5)
+        assert!(f.insert(sol(5, 4)));
+        let pts: Vec<(i128, i128)> = f
+            .points()
+            .iter()
+            .map(|s| (s.period.numer(), s.latency.numer()))
+            .collect();
+        assert_eq!(pts, vec![(3, 8), (5, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn equal_points_not_duplicated() {
+        let mut f = Frontier::new();
+        assert!(f.insert(sol(5, 5)));
+        assert!(!f.insert(sol(5, 5)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn equal_period_better_latency_replaces() {
+        let mut f = Frontier::new();
+        f.insert(sol(5, 5));
+        assert!(f.insert(sol(5, 3)));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].latency, Rat::int(3));
+    }
+
+    #[test]
+    fn pick_each_goal() {
+        let mut f = Frontier::new();
+        f.insert(sol(3, 8));
+        f.insert(sol(5, 4));
+        f.insert(sol(8, 2));
+        assert_eq!(f.pick(Goal::MinPeriod).unwrap().period, Rat::int(3));
+        assert_eq!(f.pick(Goal::MinLatency).unwrap().latency, Rat::int(2));
+        let s = f.pick(Goal::MinLatencyUnderPeriod(Rat::int(5))).unwrap();
+        assert_eq!((s.period, s.latency), (Rat::int(5), Rat::int(4)));
+        let s = f.pick(Goal::MinPeriodUnderLatency(Rat::int(4))).unwrap();
+        assert_eq!((s.period, s.latency), (Rat::int(5), Rat::int(4)));
+        // infeasible constraints
+        assert!(f.pick(Goal::MinLatencyUnderPeriod(Rat::int(2))).is_none());
+        assert!(f.pick(Goal::MinPeriodUnderLatency(Rat::int(1))).is_none());
+    }
+
+    #[test]
+    fn merge_unions_frontiers() {
+        let mut a = Frontier::new();
+        a.insert(sol(3, 8));
+        a.insert(sol(8, 2));
+        let mut b = Frontier::new();
+        b.insert(sol(5, 4));
+        b.insert(sol(4, 9)); // dominated by (3,8)
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+    }
+}

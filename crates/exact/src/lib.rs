@@ -1,0 +1,41 @@
+//! # repliflow-exact
+//!
+//! Exact solvers for the workflow mapping problems of Benoit & Robert
+//! (Cluster 2007) — the ground truth of this workspace.
+//!
+//! The paper's Table 1 claims optimality (for the polynomial cells) and
+//! hardness (for the NP-complete cells). Both claims are validated
+//! empirically against *exhaustive* optimization over the full mapping
+//! space on small instances:
+//!
+//! * [`pipeline`] — Pareto subset-DP over (stage prefix × processor mask)
+//!   plus a brute-force enumerator;
+//! * [`fork`] — root-group enumeration × memoized Pareto leaf-cover DP,
+//!   plus a set-partition brute force;
+//! * [`forkjoin`] — the Section 6.3 extension with distinguished root and
+//!   join groups;
+//! * [`oracle`] — one-stop dispatch over any [`repliflow_core::workflow::Workflow`];
+//! * [`goal`] — objectives, solutions, Pareto frontiers.
+//!
+//! The two engines per shape (DP vs brute force) are implemented
+//! independently and cross-checked against each other in this crate's
+//! tests, so a bug would have to appear identically in both to go
+//! unnoticed.
+
+#![warn(missing_docs)]
+
+pub mod fork;
+pub mod forkjoin;
+pub mod goal;
+pub mod oracle;
+pub mod pipeline;
+
+pub use fork::{brute_force_fork, enumerate_fork, pareto_fork, solve_fork};
+pub use forkjoin::{
+    brute_force_forkjoin, enumerate_forkjoin, pareto_forkjoin, solve_forkjoin,
+};
+pub use goal::{Frontier, Goal, Solution};
+pub use oracle::{min_latency, min_period, pareto, solve};
+pub use pipeline::{
+    brute_force_pipeline, enumerate_pipeline, pareto_pipeline, solve_pipeline,
+};

@@ -1,0 +1,403 @@
+//! Exact pipeline solvers.
+//!
+//! Two independent engines:
+//!
+//! * [`pareto_pipeline`] — dynamic programming over (stage prefix,
+//!   processor bitmask) computing the exact (period, latency) Pareto
+//!   frontier over **all** legal interval-based mappings. `O(n² · 3^p)`
+//!   transitions: exponential in `p` only, practical to `p ≈ 16`.
+//! * [`enumerate_pipeline`] — plain exhaustive enumeration of every legal
+//!   mapping, used to cross-validate the DP on tiny instances.
+//!
+//! Both honor the Section 3.4 legality rules: intervals of consecutive
+//! stages; replication of any interval; data-parallelism of single stages
+//! only (when the model allows it at all).
+
+use crate::goal::{Frontier, Goal, Solution};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// Maximum processor count accepted by the bitmask solvers.
+pub const MAX_PROCS: usize = 20;
+
+/// Per-mask speed aggregates, precomputed once.
+pub(crate) struct MaskSpeeds {
+    /// `min_speed[mask]` — slowest speed in the mask (u64::MAX for 0).
+    pub min_speed: Vec<u64>,
+    /// `sum_speed[mask]` — aggregate speed of the mask.
+    pub sum_speed: Vec<u64>,
+}
+
+impl MaskSpeeds {
+    pub(crate) fn new(platform: &Platform) -> Self {
+        let p = platform.n_procs();
+        assert!(p <= MAX_PROCS, "bitmask solvers support at most {MAX_PROCS} processors");
+        let full = 1usize << p;
+        let mut min_speed = vec![u64::MAX; full];
+        let mut sum_speed = vec![0u64; full];
+        for mask in 1..full {
+            let low = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            let s = platform.speed(ProcId(low));
+            min_speed[mask] = min_speed[rest].min(s);
+            sum_speed[mask] = sum_speed[rest] + s;
+        }
+        MaskSpeeds {
+            min_speed,
+            sum_speed,
+        }
+    }
+}
+
+/// Processor ids of a mask, ascending.
+pub(crate) fn mask_procs(mask: usize) -> Vec<ProcId> {
+    let mut procs = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let u = m.trailing_zeros() as usize;
+        procs.push(ProcId(u));
+        m &= m - 1;
+    }
+    procs
+}
+
+/// (period, delay) of a stage group of total `work` on processor-mask
+/// `mask` in `mode`.
+pub(crate) fn group_cost(work: u64, mask: usize, mode: Mode, speeds: &MaskSpeeds) -> (Rat, Rat) {
+    let k = mask.count_ones() as u64;
+    match mode {
+        Mode::Replicated => {
+            let min = speeds.min_speed[mask];
+            (Rat::ratio(work, k * min), Rat::ratio(work, min))
+        }
+        Mode::DataParallel => {
+            let t = Rat::ratio(work, speeds.sum_speed[mask]);
+            (t, t)
+        }
+    }
+}
+
+/// The exact (period, latency) Pareto frontier over all legal interval
+/// mappings of `pipeline` onto `platform`.
+pub fn pareto_pipeline(pipeline: &Pipeline, platform: &Platform, allow_dp: bool) -> Frontier {
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    let speeds = MaskSpeeds::new(platform);
+    let full = (1usize << p) - 1;
+
+    // dp[i][mask]: frontier of partial mappings covering stages 0..i and
+    // using exactly the processors of `mask`.
+    let mut dp: Vec<Vec<Frontier>> = vec![vec![Frontier::new(); full + 1]; n + 1];
+    dp[0][0] = Frontier::singleton(Solution {
+        mapping: Mapping::new(vec![]),
+        period: Rat::ZERO,
+        latency: Rat::ZERO,
+    });
+
+    for i in 0..n {
+        for mask in 0..=full {
+            if dp[i][mask].is_empty() {
+                continue;
+            }
+            let complement = full & !mask;
+            if complement == 0 {
+                continue;
+            }
+            let base_points: Vec<Solution> = dp[i][mask].points().to_vec();
+            for j in i..n {
+                let work = pipeline.interval_work(i, j);
+                // iterate non-empty submasks of the complement
+                let mut sub = complement;
+                loop {
+                    for mode in [Mode::Replicated, Mode::DataParallel] {
+                        if mode == Mode::DataParallel {
+                            // single stages only; k = 1 duplicates Replicated
+                            if !allow_dp || i != j || sub.count_ones() < 2 {
+                                continue;
+                            }
+                        }
+                        let (gp, gd) = group_cost(work, sub, mode, &speeds);
+                        for base in &base_points {
+                            let mut assignments = base.mapping.assignments().to_vec();
+                            assignments.push(Assignment::interval(i, j, mask_procs(sub), mode));
+                            let _ = dp[j + 1][mask | sub].insert(Solution {
+                                mapping: Mapping::new(assignments),
+                                period: base.period.max(gp),
+                                latency: base.latency + gd,
+                            });
+                        }
+                    }
+                    sub = (sub - 1) & complement;
+                    if sub == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut result = Frontier::new();
+    for frontier in &dp[n] {
+        result.merge(frontier.clone());
+    }
+    result
+}
+
+/// Solves a single-goal pipeline problem exactly. `None` only for
+/// infeasible bi-criteria constraints.
+pub fn solve_pipeline(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    pareto_pipeline(pipeline, platform, allow_dp).pick(goal)
+}
+
+/// Visits every legal interval mapping of `pipeline` onto `platform`
+/// exactly once (brute force; use only on tiny instances).
+pub fn enumerate_pipeline(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    allow_dp: bool,
+    mut visit: impl FnMut(&Mapping),
+) {
+    let n = pipeline.n_stages();
+    let p = platform.n_procs();
+    assert!(p <= MAX_PROCS);
+    let full = (1usize << p) - 1;
+    let mut acc: Vec<Assignment> = Vec::new();
+    rec_enumerate(n, full, 0, full, allow_dp, &mut acc, &mut visit);
+}
+
+fn rec_enumerate(
+    n: usize,
+    _full: usize,
+    start: usize,
+    avail: usize,
+    allow_dp: bool,
+    acc: &mut Vec<Assignment>,
+    visit: &mut impl FnMut(&Mapping),
+) {
+    if start == n {
+        visit(&Mapping::new(acc.clone()));
+        return;
+    }
+    if avail == 0 {
+        return;
+    }
+    for j in start..n {
+        let mut sub = avail;
+        loop {
+            for mode in [Mode::Replicated, Mode::DataParallel] {
+                if mode == Mode::DataParallel
+                    && (!allow_dp || start != j || sub.count_ones() < 2)
+                {
+                    continue;
+                }
+                acc.push(Assignment::interval(start, j, mask_procs(sub), mode));
+                rec_enumerate(n, _full, j + 1, avail & !sub, allow_dp, acc, visit);
+                acc.pop();
+            }
+            sub = (sub - 1) & avail;
+            if sub == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Brute-force single-goal solver (tiny instances only); independent of
+/// the DP for cross-validation.
+pub fn brute_force_pipeline(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    allow_dp: bool,
+    goal: Goal,
+) -> Option<Solution> {
+    let mut frontier = Frontier::new();
+    enumerate_pipeline(pipeline, platform, allow_dp, |m| {
+        let period = pipeline.period(platform, m).expect("enumerated mapping valid");
+        let latency = pipeline.latency(platform, m).expect("enumerated mapping valid");
+        frontier.insert(Solution {
+            mapping: m.clone(),
+            period,
+            latency,
+        });
+    });
+    frontier.pick(goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+
+    #[test]
+    fn section2_homogeneous_min_period_is_8() {
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::homogeneous(3, 1);
+        let sol = solve_pipeline(&pipe, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, Rat::int(8));
+        // With a 4th processor the example exhibits a period-7 mapping, but
+        // Theorem 1's replicate-everything rule reaches the true optimum
+        // 24/4 = 6.
+        let plat4 = Platform::homogeneous(4, 1);
+        let sol = solve_pipeline(&pipe, &plat4, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, Rat::int(6));
+    }
+
+    #[test]
+    fn section2_homogeneous_min_latency_with_dp_is_17() {
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::homogeneous(3, 1);
+        let sol = solve_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::int(17));
+        // without data-parallelism the latency is stuck at 24
+        let sol = solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::int(24));
+    }
+
+    #[test]
+    fn section2_heterogeneous_optima() {
+        // Speeds (2,2,1,1). The paper's example claims the optimal period
+        // is 5 ("as can be checked by an exhaustive exploration"), but our
+        // exhaustive exploration finds 4.5: replicate [S1,S2] (work 18) on
+        // the two fast processors — 18/(2·2) = 4.5 — and [S3,S4] (work 6)
+        // on the two slow ones — 6/(2·1) = 3. This is a legal interval
+        // mapping under the paper's own rules, so the example's claim of 5
+        // is a (minor) error in the paper; both engines here agree on 4.5.
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let sol = solve_pipeline(&pipe, &plat, true, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, Rat::new(9, 2));
+        let bf = brute_force_pipeline(&pipe, &plat, true, Goal::MinPeriod).unwrap();
+        assert_eq!(bf.period, Rat::new(9, 2));
+        // ... and 4.5 needs no data-parallelism at all:
+        let sol = solve_pipeline(&pipe, &plat, false, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, Rat::new(9, 2));
+        // The paper also claims the optimal latency is 14/5 + 10 = 12.8
+        // (data-parallelize S1 on {P1,P2,P3}, interval on the slow P4).
+        // But data-parallelizing S1 on {P1,P3,P4} (Σs = 4, delay 3.5) and
+        // running S2..S4 on the *fast* P2 (delay 5) gives 8.5 — again a
+        // legal mapping the example's exploration missed.
+        let sol = solve_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::new(17, 2));
+        let bf = brute_force_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
+        assert_eq!(bf.latency, Rat::new(17, 2));
+        // Without data-parallelism, Theorem 6 applies: everything on the
+        // fastest processor, latency 24/2 = 12.
+        let sol = solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, Rat::int(12));
+        // Even under the latency bound 13.5 (the paper's period-5
+        // mapping's latency) a better period exists: data-parallelize S1
+        // on {P1,P3} (period = delay = 14/3), S2..S3 on P2, S4 on P4 —
+        // period 14/3 ≈ 4.67, latency 35/3 ≈ 11.67.
+        let sol = solve_pipeline(
+            &pipe,
+            &plat,
+            true,
+            Goal::MinPeriodUnderLatency(Rat::new(27, 2)),
+        )
+        .unwrap();
+        assert_eq!(sol.period, Rat::new(14, 3));
+        assert!(sol.latency <= Rat::new(27, 2));
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        let mut gen = Gen::new(0xE1);
+        for case in 0..60 {
+            let n = gen.size(1, 4);
+            let p = gen.size(1, 4);
+            let pipe = gen.pipeline(n, 1, 12);
+            let plat = gen.het_platform(p, 1, 6);
+            for allow_dp in [false, true] {
+                for goal in [Goal::MinPeriod, Goal::MinLatency] {
+                    let a = solve_pipeline(&pipe, &plat, allow_dp, goal).unwrap();
+                    let b = brute_force_pipeline(&pipe, &plat, allow_dp, goal).unwrap();
+                    let (av, bv) = match goal {
+                        Goal::MinPeriod => (a.period, b.period),
+                        Goal::MinLatency => (a.latency, b.latency),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(av, bv, "case {case} n={n} p={p} dp={allow_dp} {goal:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bicriteria_consistency() {
+        let mut gen = Gen::new(0xE2);
+        for _ in 0..30 {
+            let sz = gen.size(2, 4);
+
+            let pipe = gen.pipeline(sz, 1, 10);
+            let plat = gen.het_platform(3, 1, 5);
+            let frontier = pareto_pipeline(&pipe, &plat, true);
+            assert!(!frontier.is_empty());
+            // every frontier point's values must be achieved by its mapping
+            for s in frontier.points() {
+                assert_eq!(pipe.period(&plat, &s.mapping).unwrap(), s.period);
+                assert_eq!(pipe.latency(&plat, &s.mapping).unwrap(), s.latency);
+            }
+            // bounding by the optimal period must return the min-period point
+            let best_p = frontier.pick(Goal::MinPeriod).unwrap();
+            let constrained = frontier
+                .pick(Goal::MinLatencyUnderPeriod(best_p.period))
+                .unwrap();
+            assert_eq!(constrained.period, best_p.period);
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_single_stage() {
+        // 1 stage, 2 procs, no dp: subsets {P1},{P2},{P1,P2} = 3 mappings.
+        let pipe = Pipeline::new(vec![5]);
+        let plat = Platform::homogeneous(2, 1);
+        let mut count = 0;
+        enumerate_pipeline(&pipe, &plat, false, |_| count += 1);
+        assert_eq!(count, 3);
+        // with dp, {P1,P2} can also be data-parallel: 4 mappings.
+        count = 0;
+        enumerate_pipeline(&pipe, &plat, true, |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn enumerated_mappings_are_valid_and_unique() {
+        let pipe = Pipeline::new(vec![3, 1, 4]);
+        let plat = Platform::heterogeneous(vec![2, 1, 1]);
+        let mut seen = std::collections::HashSet::new();
+        enumerate_pipeline(&pipe, &plat, true, |m| {
+            assert!(m.validate_pipeline(&pipe, &plat, true).is_ok());
+            assert!(seen.insert(format!("{m}")), "duplicate mapping {m}");
+        });
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn infeasible_bicriteria_returns_none() {
+        let pipe = Pipeline::new(vec![10]);
+        let plat = Platform::homogeneous(1, 1);
+        assert!(solve_pipeline(
+            &pipe,
+            &plat,
+            true,
+            Goal::MinLatencyUnderPeriod(Rat::int(1))
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn single_processor_all_goals() {
+        let pipe = Pipeline::new(vec![3, 4]);
+        let plat = Platform::homogeneous(1, 2);
+        let sol = solve_pipeline(&pipe, &plat, true, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, Rat::new(7, 2));
+        assert_eq!(sol.latency, Rat::new(7, 2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Structural properties of the exact Pareto frontiers.
+
+use repliflow_core::gen::Gen;
+use repliflow_core::platform::Platform;
+use repliflow_exact::{pareto_fork, pareto_pipeline, Goal};
+
+#[test]
+fn frontier_is_strictly_monotone() {
+    let mut gen = Gen::new(0xF00);
+    for _ in 0..30 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.het_platform(p, 1, 5);
+        for allow_dp in [false, true] {
+            let frontier = pareto_pipeline(&pipe, &plat, allow_dp);
+            assert!(!frontier.is_empty());
+            for w in frontier.points().windows(2) {
+                assert!(w[0].period < w[1].period, "periods strictly increase");
+                assert!(w[0].latency > w[1].latency, "latencies strictly decrease");
+            }
+        }
+    }
+}
+
+#[test]
+fn adding_a_processor_weakly_improves_both_extremes() {
+    let mut gen = Gen::new(0xF01);
+    for _ in 0..20 {
+        let n = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 12);
+        let speeds = gen.positive_ints(5, 1, 5);
+        let mut prev_period = None;
+        let mut prev_latency = None;
+        for used in 1..=speeds.len() {
+            let plat = Platform::heterogeneous(speeds[..used].to_vec());
+            let frontier = pareto_pipeline(&pipe, &plat, true);
+            let best_p = frontier.pick(Goal::MinPeriod).unwrap().period;
+            let best_l = frontier.pick(Goal::MinLatency).unwrap().latency;
+            if let Some(prev) = prev_period {
+                assert!(best_p <= prev, "more processors cannot hurt the period");
+            }
+            if let Some(prev) = prev_latency {
+                assert!(best_l <= prev, "more processors cannot hurt the latency");
+            }
+            prev_period = Some(best_p);
+            prev_latency = Some(best_l);
+        }
+    }
+}
+
+#[test]
+fn data_parallel_model_weakly_dominates() {
+    // the with-data-par mapping space is a superset, so both extreme
+    // objectives can only improve
+    let mut gen = Gen::new(0xF02);
+    for _ in 0..25 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 4);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.het_platform(p, 1, 5);
+        let without = pareto_pipeline(&pipe, &plat, false);
+        let with = pareto_pipeline(&pipe, &plat, true);
+        assert!(
+            with.pick(Goal::MinPeriod).unwrap().period
+                <= without.pick(Goal::MinPeriod).unwrap().period
+        );
+        assert!(
+            with.pick(Goal::MinLatency).unwrap().latency
+                <= without.pick(Goal::MinLatency).unwrap().latency
+        );
+    }
+}
+
+#[test]
+fn fork_frontier_bounded_by_physics() {
+    let mut gen = Gen::new(0xF03);
+    for _ in 0..20 {
+        let leaves = gen.size(0, 4);
+        let p = gen.size(1, 4);
+        let fork = gen.fork(leaves, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+        let frontier = pareto_fork(&fork, &plat, true);
+        let work = fork.total_work();
+        let capacity = plat.total_speed();
+        for point in frontier.points() {
+            // no mapping can beat total work over total capacity
+            assert!(point.period.to_f64() * capacity as f64 >= work as f64 - 1e-9);
+            // latency is at least the fastest-possible root + one leaf path
+            assert!(point.latency > repliflow_core::rational::Rat::ZERO);
+        }
+    }
+}
+
+#[test]
+fn every_frontier_point_is_realizable() {
+    let mut gen = Gen::new(0xF04);
+    for _ in 0..15 {
+        let n = gen.size(1, 4);
+        let p = gen.size(1, 4);
+        let pipe = gen.pipeline(n, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+        for point in pareto_pipeline(&pipe, &plat, true).points() {
+            assert!(point
+                .mapping
+                .validate_pipeline(&pipe, &plat, true)
+                .is_ok());
+            assert_eq!(pipe.period(&plat, &point.mapping).unwrap(), point.period);
+            assert_eq!(pipe.latency(&plat, &point.mapping).unwrap(), point.latency);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Trivial baseline mappings.
+//!
+//! These are the two extreme strategies the paper's worked example starts
+//! from: replicate everything everywhere (throughput-oriented) and run
+//! everything on the fastest processor (latency-oriented). Both are
+//! optimal in specific Table 1 cells (Theorems 1, 2, 6, 10) and serve as
+//! baselines everywhere else.
+
+use repliflow_core::mapping::{Mapping, Mode};
+use repliflow_core::platform::Platform;
+use repliflow_core::workflow::Workflow;
+
+/// The whole workflow replicated on every processor. Period-optimal on
+/// homogeneous platforms (Theorems 1 and 10).
+pub fn replicate_all(workflow: &Workflow, platform: &Platform) -> Mapping {
+    Mapping::whole(
+        workflow.n_stages(),
+        platform.procs().collect(),
+        Mode::Replicated,
+    )
+}
+
+/// The whole workflow on the single fastest processor. Latency-optimal
+/// without data-parallelism (Theorem 6 / Lemma 2).
+pub fn fastest_single(workflow: &Workflow, platform: &Platform) -> Mapping {
+    Mapping::whole(
+        workflow.n_stages(),
+        vec![platform.fastest()],
+        Mode::Replicated,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::prelude::*;
+
+    #[test]
+    fn baselines_are_valid_for_all_shapes() {
+        let plat = Platform::heterogeneous(vec![3, 1, 2]);
+        let workflows: Vec<Workflow> = vec![
+            Pipeline::new(vec![4, 5]).into(),
+            Fork::new(2, vec![1, 2]).into(),
+            ForkJoin::new(1, vec![2], 3).into(),
+        ];
+        for wf in &workflows {
+            for m in [replicate_all(wf, &plat), fastest_single(wf, &plat)] {
+                assert!(m.validate(wf, &plat, false).is_ok());
+                assert!(wf.period(&plat, &m).is_ok());
+                assert!(wf.latency(&plat, &m).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_single_latency_matches_theorem6() {
+        let wf: Workflow = Pipeline::new(vec![14, 4, 2, 4]).into();
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let m = fastest_single(&wf, &plat);
+        assert_eq!(wf.latency(&plat, &m).unwrap(), Rat::int(12));
+    }
+}

@@ -1,0 +1,200 @@
+//! Greedy constructive heuristics for the NP-hard Table 1 cells.
+//!
+//! * [`pipeline_period_greedy`] — heterogeneous pipeline period on a
+//!   heterogeneous platform (the Theorem 9 NP-hard cell): for every
+//!   enrollment count `q`, balance the stages into `q` intervals with the
+//!   chains-to-chains DP and match heavier intervals to faster processors,
+//!   also trying the replicate-all-on-the-q-fastest alternative.
+//! * [`fork_latency_greedy`] — heterogeneous fork latency (the Theorem 12
+//!   / 15 NP-hard cells): root on the fastest processor, then
+//!   longest-processing-time-first placement of leaves onto the processor
+//!   that finishes them earliest.
+//!
+//! Both return valid mappings in polynomial time with no optimality
+//! guarantee; `repliflow-bench` measures their gap against the exact
+//! oracle.
+
+use repliflow_algorithms::chains;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::{Fork, Pipeline};
+
+/// Greedy period heuristic for arbitrary pipelines on arbitrary platforms
+/// (no data-parallelism). Returns the best mapping among all enrollment
+/// counts.
+pub fn pipeline_period_greedy(pipeline: &Pipeline, platform: &Platform) -> Mapping {
+    let n = pipeline.n_stages();
+    let by_speed = platform.by_speed_desc();
+    let p = by_speed.len();
+
+    let mut best: Option<(Rat, Mapping)> = None;
+    let mut consider = |mapping: Mapping| {
+        let period = pipeline
+            .period(platform, &mapping)
+            .expect("constructed mapping valid");
+        if best.as_ref().is_none_or(|(b, _)| period < *b) {
+            best = Some((period, mapping));
+        }
+    };
+
+    for q in 1..=p {
+        let enrolled = &by_speed[..q];
+        // (a) replicate the whole pipeline on the q fastest processors
+        consider(Mapping::whole(n, enrolled.to_vec(), Mode::Replicated));
+        // (b) chains-to-chains split into q intervals, heavy -> fast
+        let (_, partition) = chains::dp(pipeline.weights(), q);
+        let mut order: Vec<usize> = (0..partition.len()).collect();
+        // sort intervals by decreasing work
+        order.sort_by_key(|&r| {
+            std::cmp::Reverse(pipeline.interval_work(partition[r].0, partition[r].1))
+        });
+        let mut assignment_procs = vec![ProcId(0); partition.len()];
+        for (rank, &r) in order.iter().enumerate() {
+            assignment_procs[r] = enrolled[rank];
+        }
+        consider(Mapping::new(
+            partition
+                .iter()
+                .zip(&assignment_procs)
+                .map(|(&(lo, hi), &proc)| {
+                    Assignment::interval(lo, hi, vec![proc], Mode::Replicated)
+                })
+                .collect(),
+        ));
+    }
+    best.expect("at least one candidate").1
+}
+
+/// Greedy latency heuristic for arbitrary forks (no data-parallelism):
+/// the root goes to the fastest processor; each leaf (heaviest first) goes
+/// to the processor whose resulting finish time is smallest.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by processor id
+pub fn fork_latency_greedy(fork: &Fork, platform: &Platform) -> Mapping {
+    let fastest = platform.fastest();
+    let s_root = platform.speed(fastest);
+    let root_done = Rat::ratio(fork.root_weight(), s_root);
+
+    // per-processor accumulated leaf load (stage ids)
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); platform.n_procs()];
+    let mut loads: Vec<u64> = vec![0; platform.n_procs()];
+
+    let mut leaves: Vec<usize> = (1..=fork.n_leaves()).collect();
+    leaves.sort_by_key(|&k| std::cmp::Reverse(fork.weight(k)));
+    for leaf in leaves {
+        // finish time if appended to processor u: its group starts at
+        // root_done (flexible model), except the root's own processor
+        // whose group effectively computes sequentially after the root.
+        let mut best_u = 0usize;
+        let mut best_finish = Rat::INFINITY;
+        for u in 0..platform.n_procs() {
+            let s = platform.speed(ProcId(u));
+            let new_load = loads[u] + fork.weight(leaf);
+            let finish = if u == fastest.0 {
+                Rat::ratio(fork.root_weight() + new_load, s)
+            } else {
+                root_done + Rat::ratio(new_load, s)
+            };
+            if finish < best_finish {
+                best_finish = finish;
+                best_u = u;
+            }
+        }
+        groups[best_u].push(leaf);
+        loads[best_u] += fork.weight(leaf);
+    }
+
+    let mut assignments = Vec::new();
+    for (u, mut stages) in groups.into_iter().enumerate() {
+        if u == fastest.0 {
+            stages.push(0); // root
+        } else if stages.is_empty() {
+            continue;
+        }
+        assignments.push(Assignment::new(stages, vec![ProcId(u)], Mode::Replicated));
+    }
+    Mapping::new(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    #[test]
+    fn pipeline_greedy_is_valid_and_sane() {
+        let mut gen = Gen::new(0x61);
+        for _ in 0..40 {
+            let n = gen.size(1, 8);
+            let p = gen.size(1, 6);
+            let pipe = gen.pipeline(n, 1, 20);
+            let plat = gen.het_platform(p, 1, 8);
+            let m = pipeline_period_greedy(&pipe, &plat);
+            assert!(m.validate_pipeline(&pipe, &plat, false).is_ok());
+            // never worse than running everything on the fastest processor
+            let period = pipe.period(&plat, &m).unwrap();
+            let fastest = Rat::ratio(pipe.total_work(), plat.speed(plat.fastest()));
+            assert!(period <= fastest);
+        }
+    }
+
+    #[test]
+    fn pipeline_greedy_gap_vs_exact_is_bounded_on_small_instances() {
+        let mut gen = Gen::new(0x62);
+        let mut exact_hits = 0;
+        let total = 25;
+        for _ in 0..total {
+            let n = gen.size(1, 5);
+            let p = gen.size(1, 4);
+            let pipe = gen.pipeline(n, 1, 12);
+            let plat = gen.het_platform(p, 1, 5);
+            let m = pipeline_period_greedy(&pipe, &plat);
+            let period = pipe.period(&plat, &m).unwrap();
+            let opt = repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinPeriod)
+                .unwrap()
+                .period;
+            assert!(period >= opt, "heuristic beat the exact optimum?!");
+            if period == opt {
+                exact_hits += 1;
+            }
+            // a weak sanity bound: never more than 4x off on tiny instances
+            assert!(period <= opt * Rat::int(4), "gap too large: {period} vs {opt}");
+        }
+        assert!(exact_hits > total / 3, "greedy should often be optimal");
+    }
+
+    #[test]
+    fn fork_greedy_is_valid_and_sane() {
+        let mut gen = Gen::new(0x63);
+        for _ in 0..40 {
+            let leaves = gen.size(0, 8);
+            let p = gen.size(1, 5);
+            let fork = gen.fork(leaves, 1, 20);
+            let plat = gen.het_platform(p, 1, 8);
+            let m = fork_latency_greedy(&fork, &plat);
+            assert!(m.validate_fork(&fork, &plat, false).is_ok());
+            let latency = fork.latency(&plat, &m).unwrap();
+            let single = Rat::ratio(fork.total_work(), plat.speed(plat.fastest()));
+            assert!(latency <= single, "worse than the fastest-single baseline");
+        }
+    }
+
+    #[test]
+    fn fork_greedy_gap_vs_exact() {
+        let mut gen = Gen::new(0x64);
+        for _ in 0..20 {
+            let leaves = gen.size(0, 4);
+            let p = gen.size(1, 4);
+            let fork = gen.fork(leaves, 1, 10);
+            let plat = gen.het_platform(p, 1, 5);
+            let m = fork_latency_greedy(&fork, &plat);
+            let latency = fork.latency(&plat, &m).unwrap();
+            let opt = repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinLatency)
+                .unwrap()
+                .latency;
+            assert!(latency >= opt);
+            assert!(latency <= opt * Rat::int(3), "gap too large: {latency} vs {opt}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # repliflow-heuristics
+//!
+//! Heuristics for the NP-hard cells of Table 1 — the "heuristics should be
+//! designed to solve the combinatorial instances of the problem" future
+//! work the paper's conclusion calls for.
+//!
+//! * [`baselines`] — replicate-everything and fastest-single-processor.
+//! * [`greedy`] — constructive heuristics: chains-to-chains splitting with
+//!   heavy-to-fast matching for heterogeneous pipeline period (the
+//!   Theorem 9 cell), LPT placement for heterogeneous fork latency (the
+//!   Theorem 12/15 cells).
+//! * [`local_search`] — steepest-descent over a structural neighborhood
+//!   (boundary shifts, processor transfers, merges, splits, mode
+//!   toggles).
+//! * [`annealing`] — simulated annealing over the same neighborhood.
+//! * [`score`] / [`moves`] — shared scoring and neighborhood machinery.
+//!
+//! All heuristics emit *valid* mappings; their optimality gaps against
+//! the exhaustive `repliflow-exact` oracle are measured by this crate's
+//! tests (small instances) and quantified by
+//! `repliflow-bench --bin heuristic_gap`.
+
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod baselines;
+pub mod greedy;
+pub mod local_search;
+pub mod moves;
+pub mod score;

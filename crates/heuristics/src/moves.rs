@@ -1,0 +1,181 @@
+//! Neighborhood moves over pipeline mappings, shared by local search and
+//! simulated annealing.
+
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::Platform;
+use repliflow_core::workflow::Pipeline;
+
+/// Generates every neighbor of `mapping` reachable by one structural move:
+/// shifting an interval boundary, moving a processor between groups,
+/// merging adjacent groups, splitting a group, or toggling a single-stage
+/// group's mode (when `allow_dp`). All returned mappings are valid.
+pub fn neighbors(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    allow_dp: bool,
+) -> Vec<Mapping> {
+    let groups = mapping.assignments();
+    let mut out = Vec::new();
+
+    let rebuild = |groups: Vec<Assignment>| Mapping::new(groups);
+    let legal_mode = |stages: usize, procs: usize, mode: Mode| -> Mode {
+        // data-parallel groups must be single stages; k=1 dp is pointless
+        if mode == Mode::DataParallel && (stages > 1 || procs < 2 || !allow_dp) {
+            Mode::Replicated
+        } else {
+            mode
+        }
+    };
+
+    for g in 0..groups.len() {
+        // ---- boundary shifts with the right neighbor ----
+        if g + 1 < groups.len() {
+            let (a, b) = (&groups[g], &groups[g + 1]);
+            // shift last stage of a into b
+            if a.stages().len() > 1 {
+                let mut ga = a.stages().to_vec();
+                let moved = ga.pop().unwrap();
+                let mut gb = b.stages().to_vec();
+                gb.insert(0, moved);
+                let mut new_groups = groups.to_vec();
+                new_groups[g] = Assignment::new(
+                    ga.clone(),
+                    a.procs().to_vec(),
+                    legal_mode(ga.len(), a.n_procs(), a.mode),
+                );
+                new_groups[g + 1] = Assignment::new(
+                    gb.clone(),
+                    b.procs().to_vec(),
+                    legal_mode(gb.len(), b.n_procs(), b.mode),
+                );
+                out.push(rebuild(new_groups));
+            }
+            // shift first stage of b into a
+            if b.stages().len() > 1 {
+                let mut gb = b.stages().to_vec();
+                let moved = gb.remove(0);
+                let mut ga = a.stages().to_vec();
+                ga.push(moved);
+                let mut new_groups = groups.to_vec();
+                new_groups[g] = Assignment::new(
+                    ga.clone(),
+                    a.procs().to_vec(),
+                    legal_mode(ga.len(), a.n_procs(), a.mode),
+                );
+                new_groups[g + 1] = Assignment::new(
+                    gb.clone(),
+                    b.procs().to_vec(),
+                    legal_mode(gb.len(), b.n_procs(), b.mode),
+                );
+                out.push(rebuild(new_groups));
+            }
+            // merge a and b (union of processors, replicated)
+            {
+                let mut stages = a.stages().to_vec();
+                stages.extend_from_slice(b.stages());
+                let mut procs = a.procs().to_vec();
+                procs.extend_from_slice(b.procs());
+                let mut new_groups = groups.to_vec();
+                new_groups[g] = Assignment::new(stages, procs, Mode::Replicated);
+                new_groups.remove(g + 1);
+                out.push(rebuild(new_groups));
+            }
+        }
+        // ---- processor transfers ----
+        for h in 0..groups.len() {
+            if g == h || groups[g].n_procs() < 2 {
+                continue;
+            }
+            for &moved in groups[g].procs() {
+                let ga: Vec<_> = groups[g]
+                    .procs()
+                    .iter()
+                    .copied()
+                    .filter(|&q| q != moved)
+                    .collect();
+                let mut gh = groups[h].procs().to_vec();
+                gh.push(moved);
+                let mut new_groups = groups.to_vec();
+                new_groups[g] = Assignment::new(
+                    groups[g].stages().to_vec(),
+                    ga.clone(),
+                    legal_mode(groups[g].stages().len(), ga.len(), groups[g].mode),
+                );
+                new_groups[h] = Assignment::new(
+                    groups[h].stages().to_vec(),
+                    gh.clone(),
+                    legal_mode(groups[h].stages().len(), gh.len(), groups[h].mode),
+                );
+                out.push(rebuild(new_groups));
+            }
+        }
+        // ---- split a multi-stage multi-proc group in half ----
+        if groups[g].stages().len() >= 2 && groups[g].n_procs() >= 2 {
+            let stages = groups[g].stages();
+            let procs = groups[g].procs();
+            let sm = stages.len() / 2;
+            let pm = procs.len() / 2;
+            let mut new_groups = groups.to_vec();
+            new_groups[g] = Assignment::new(
+                stages[..sm].to_vec(),
+                procs[..pm.max(1)].to_vec(),
+                Mode::Replicated,
+            );
+            new_groups.insert(
+                g + 1,
+                Assignment::new(
+                    stages[sm..].to_vec(),
+                    procs[pm.max(1)..].to_vec(),
+                    Mode::Replicated,
+                ),
+            );
+            out.push(rebuild(new_groups));
+        }
+        // ---- mode toggle on single-stage groups ----
+        if allow_dp && groups[g].stages().len() == 1 && groups[g].n_procs() >= 2 {
+            let flipped = match groups[g].mode {
+                Mode::Replicated => Mode::DataParallel,
+                Mode::DataParallel => Mode::Replicated,
+            };
+            let mut new_groups = groups.to_vec();
+            new_groups[g] = Assignment::new(
+                groups[g].stages().to_vec(),
+                groups[g].procs().to_vec(),
+                flipped,
+            );
+            out.push(rebuild(new_groups));
+        }
+    }
+
+    out.retain(|m| m.validate_pipeline(pipeline, platform, allow_dp).is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::platform::ProcId;
+
+    #[test]
+    fn neighbors_are_valid_and_nonempty() {
+        let pipe = Pipeline::new(vec![3, 4, 5]);
+        let plat = Platform::heterogeneous(vec![2, 1, 1]);
+        let start = Mapping::whole(3, (0..3).map(ProcId).collect(), Mode::Replicated);
+        let ns = neighbors(&pipe, &plat, &start, true);
+        assert!(!ns.is_empty());
+        for m in &ns {
+            assert!(m.validate_pipeline(&pipe, &plat, true).is_ok());
+        }
+    }
+
+    #[test]
+    fn no_dp_neighbors_without_flag() {
+        let pipe = Pipeline::new(vec![3, 4]);
+        let plat = Platform::homogeneous(3, 1);
+        let start = Mapping::whole(2, (0..3).map(ProcId).collect(), Mode::Replicated);
+        for m in neighbors(&pipe, &plat, &start, false) {
+            assert!(!m.uses_data_parallelism());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Scoring of pipeline mappings under any [`Objective`], as a
+//! lexicographic pair (primary criterion, tiebreak criterion). Constraint
+//! violations score `+∞` so searches are pulled back into the feasible
+//! region.
+
+use repliflow_core::instance::Objective;
+use repliflow_core::mapping::Mapping;
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// Lexicographic score: smaller is better.
+pub type Score = (Rat, Rat);
+
+/// Scores `mapping` under `objective`.
+pub fn score(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    objective: Objective,
+) -> Score {
+    let period = pipeline
+        .period(platform, mapping)
+        .expect("scored mappings are valid");
+    let latency = pipeline
+        .latency(platform, mapping)
+        .expect("scored mappings are valid");
+    match objective {
+        Objective::Period => (period, latency),
+        Objective::Latency => (latency, period),
+        Objective::LatencyUnderPeriod(bound) => {
+            if period <= bound {
+                (latency, period)
+            } else {
+                (Rat::INFINITY, period)
+            }
+        }
+        Objective::PeriodUnderLatency(bound) => {
+            if latency <= bound {
+                (period, latency)
+            } else {
+                (Rat::INFINITY, latency)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::mapping::Mode;
+    use repliflow_core::platform::ProcId;
+
+    #[test]
+    fn constraint_violation_scores_infinite() {
+        let pipe = Pipeline::new(vec![10]);
+        let plat = Platform::homogeneous(1, 1);
+        let m = Mapping::whole(1, vec![ProcId(0)], Mode::Replicated);
+        let s = score(&pipe, &plat, &m, Objective::LatencyUnderPeriod(Rat::ONE));
+        assert_eq!(s.0, Rat::INFINITY);
+        let s = score(&pipe, &plat, &m, Objective::LatencyUnderPeriod(Rat::int(10)));
+        assert_eq!(s.0, Rat::int(10));
+    }
+
+    #[test]
+    fn period_and_latency_objectives_swap_roles() {
+        let pipe = Pipeline::new(vec![4, 6]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::whole(2, vec![ProcId(0), ProcId(1)], Mode::Replicated);
+        let sp = score(&pipe, &plat, &m, Objective::Period);
+        let sl = score(&pipe, &plat, &m, Objective::Latency);
+        assert_eq!(sp.0, sl.1);
+        assert_eq!(sp.1, sl.0);
+    }
+}

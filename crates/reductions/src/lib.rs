@@ -1,0 +1,35 @@
+//! # repliflow-reductions
+//!
+//! Executable NP-hardness machinery for Benoit & Robert (Cluster 2007):
+//! the source problems (2-PARTITION, N3DM) with exact solvers and
+//! generators, and the five reductions of Table 1's NP-hard cells, each
+//! with certificate converters in **both** directions.
+//!
+//! | Module | Paper result | Reduction |
+//! |---|---|---|
+//! | [`two_partition`] | — | source problem SP12 with pseudo-poly solver |
+//! | [`n3dm`] | — | source problem SP16 with exact solver |
+//! | [`thm5`] | Theorem 5 | 2-PARTITION → hom. pipeline + data-par on het. platform |
+//! | [`thm9`] | Theorem 9 | N3DM → het. pipeline period on het. platform (the `(**)` entry) |
+//! | [`thm12`] | Theorem 12 | 2-PARTITION → het. fork latency on hom. platform |
+//! | [`thm13`] | Theorem 13 | 2-PARTITION → hom. fork + data-par on het. platform |
+//! | [`thm15`] | Theorem 15 | 2-PARTITION → het. fork period on het. platform |
+//!
+//! Each reduction module validates empirically (tests against the
+//! `repliflow-exact` oracle) that yes-instances map to
+//! bound-achieving workflow instances and no-instances to instances where
+//! the bound is unreachable — i.e. the reductions are *executably
+//! correct*, not just on paper.
+
+#![warn(missing_docs)]
+
+pub mod n3dm;
+pub mod thm12;
+pub mod thm13;
+pub mod thm15;
+pub mod thm5;
+pub mod thm9;
+pub mod two_partition;
+
+pub use n3dm::{Matching, N3dm};
+pub use two_partition::TwoPartition;

@@ -1,0 +1,163 @@
+//! Theorem 12: 2-PARTITION reduces to latency minimization of a
+//! **heterogeneous fork on a homogeneous platform** (with or without
+//! data-parallelism).
+//!
+//! Gadget: fork with root weight `w0 = 1` and leaves `w_i = a_i`; two
+//! unit-speed processors; decision bound `L = 1 + S/2`. A yes-certificate
+//! maps `{S0} ∪ I` to `P1` and the complement to `P2`: both finish at
+//! `1 + S/2`. The proof shows neither data-parallelism (not enough
+//! processors) nor replication (never reduces latency) can beat an exact
+//! split.
+
+use crate::two_partition::TwoPartition;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+
+/// The reduced decision instance.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// Fork: root `w0 = 1`, leaves `a_1..a_m`.
+    pub fork: Fork,
+    /// Two unit-speed processors.
+    pub platform: Platform,
+    /// Decision bound `L = 1 + S/2` (rational for odd `S`).
+    pub latency_bound: Rat,
+}
+
+/// Builds the Theorem 12 gadget.
+pub fn reduce(tp: &TwoPartition) -> Reduced {
+    Reduced {
+        fork: Fork::new(1, tp.values.clone()),
+        platform: Platform::homogeneous(2, 1),
+        latency_bound: Rat::ONE + Rat::new(tp.total() as i128, 2),
+    }
+}
+
+/// The reduced instance as a [`ProblemInstance`] (latency objective).
+pub fn reduce_instance(tp: &TwoPartition, allow_dp: bool) -> ProblemInstance {
+    let r = reduce(tp);
+    ProblemInstance {
+        workflow: r.fork.into(),
+        platform: r.platform,
+        allow_data_parallel: allow_dp,
+        objective: Objective::Latency,
+    }
+}
+
+/// Yes-direction certificate: `{S0} ∪ I` on `P1`, complement on `P2`.
+pub fn certificate_mapping(tp: &TwoPartition, subset: &[usize]) -> Mapping {
+    assert!(tp.check(subset), "invalid 2-PARTITION certificate");
+    // leaf stage ids are 1-based
+    let mut first: Vec<usize> = vec![0];
+    first.extend(subset.iter().map(|&i| i + 1));
+    let second: Vec<usize> = (0..tp.values.len())
+        .filter(|i| !subset.contains(i))
+        .map(|i| i + 1)
+        .collect();
+    let mut assignments = vec![Assignment::new(first, vec![ProcId(0)], Mode::Replicated)];
+    if !second.is_empty() {
+        assignments.push(Assignment::new(second, vec![ProcId(1)], Mode::Replicated));
+    }
+    Mapping::new(assignments)
+}
+
+/// No-direction extraction: the leaves grouped away from the root in a
+/// bound-achieving mapping form a valid certificate.
+pub fn extract_partition(tp: &TwoPartition, mapping: &Mapping) -> Option<Vec<usize>> {
+    let root_group = mapping.assignment_of(0)?;
+    let subset: Vec<usize> = root_group
+        .stages()
+        .iter()
+        .filter(|&&s| s != 0)
+        .map(|&s| s - 1)
+        .collect();
+    tp.check(&subset).then_some(subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    #[test]
+    fn certificate_achieves_bound() {
+        let mut gen = Gen::new(0x21);
+        for _ in 0..30 {
+            let m = gen.size(1, 6);
+            let tp = TwoPartition::random_yes(&mut gen, m, 9);
+            let subset = tp.solve().unwrap();
+            let r = reduce(&tp);
+            let mapping = certificate_mapping(&tp, &subset);
+            assert_eq!(
+                r.fork.latency(&r.platform, &mapping).unwrap(),
+                r.latency_bound,
+                "{tp:?}"
+            );
+            assert!(extract_partition(&tp, &mapping).is_some());
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_two_partition() {
+        let mut gen = Gen::new(0x22);
+        for _ in 0..10 {
+            let m = gen.size(2, 3);
+            let tp = TwoPartition::random_yes(&mut gen, m, 7);
+            let r = reduce(&tp);
+            for allow_dp in [false, true] {
+                let best = repliflow_exact::solve_fork(
+                    &r.fork,
+                    &r.platform,
+                    allow_dp,
+                    Goal::MinLatency,
+                )
+                .unwrap();
+                assert!(best.latency <= r.latency_bound, "{tp:?} dp={allow_dp}");
+            }
+            let tp = TwoPartition::random_no(&mut gen, m, 7);
+            let r = reduce(&tp);
+            for allow_dp in [false, true] {
+                let best = repliflow_exact::solve_fork(
+                    &r.fork,
+                    &r.platform,
+                    allow_dp,
+                    Goal::MinLatency,
+                )
+                .unwrap();
+                assert!(best.latency > r.latency_bound, "{tp:?} dp={allow_dp}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_mapping_yields_certificate() {
+        let mut gen = Gen::new(0x23);
+        for _ in 0..8 {
+            let m = gen.size(2, 4);
+            let tp = TwoPartition::random_yes(&mut gen, m, 6);
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinLatency)
+                    .unwrap();
+            if best.latency == r.latency_bound {
+                let subset = extract_partition(&tp, &best.mapping)
+                    .expect("bound-achieving mapping encodes a split");
+                assert!(tp.check(&subset));
+            }
+        }
+    }
+
+    #[test]
+    fn classified_np_hard() {
+        let tp = TwoPartition::new(vec![1, 2, 3]);
+        use repliflow_core::instance::Complexity;
+        assert_eq!(
+            reduce_instance(&tp, false).variant().paper_complexity(),
+            Complexity::NpHard("Thm 12")
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Theorem 13: 2-PARTITION reduces to mapping a **homogeneous fork with
+//! data-parallelism on a heterogeneous platform** (latency and period).
+//!
+//! Gadget: fork with `w0 = w1 = S/2` (one leaf!) and `p = m` processors of
+//! speeds `a_j` — structurally the same two-stage chain as Theorem 5, so
+//! the same bounds apply: latency `<= 2`, period `<= 1`, achievable iff
+//! the 2-PARTITION instance is a yes-instance. As in [`crate::thm5`] we
+//! scale weights and speeds by 2 to keep everything integral.
+
+use crate::two_partition::TwoPartition;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+
+/// The reduced decision instance.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// Fork with root `S` and a single leaf `S` (scaled by 2).
+    pub fork: Fork,
+    /// `m` processors of speed `2·a_j`.
+    pub platform: Platform,
+    /// Latency decision bound (`2`).
+    pub latency_bound: Rat,
+    /// Period decision bound (`1`).
+    pub period_bound: Rat,
+}
+
+/// Builds the Theorem 13 gadget.
+pub fn reduce(tp: &TwoPartition) -> Reduced {
+    let s = tp.total();
+    Reduced {
+        fork: Fork::new(s, vec![s]),
+        platform: Platform::heterogeneous(tp.values.iter().map(|&a| 2 * a).collect()),
+        latency_bound: Rat::int(2),
+        period_bound: Rat::ONE,
+    }
+}
+
+/// The reduced instance as a [`ProblemInstance`].
+pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
+    let r = reduce(tp);
+    ProblemInstance {
+        workflow: r.fork.into(),
+        platform: r.platform,
+        allow_data_parallel: true,
+        objective: Objective::Latency,
+    }
+}
+
+/// Yes-direction certificate: data-parallelize the root on `I` and the
+/// leaf on the complement.
+pub fn certificate_mapping(tp: &TwoPartition, subset: &[usize]) -> Mapping {
+    assert!(tp.check(subset), "invalid 2-PARTITION certificate");
+    let in_subset: Vec<ProcId> = subset.iter().map(|&i| ProcId(i)).collect();
+    let out_subset: Vec<ProcId> = (0..tp.values.len())
+        .filter(|i| !subset.contains(i))
+        .map(ProcId)
+        .collect();
+    Mapping::new(vec![
+        Assignment::new(vec![0], in_subset, Mode::DataParallel),
+        Assignment::new(vec![1], out_subset, Mode::DataParallel),
+    ])
+}
+
+/// No-direction extraction: the root group's processors of a
+/// bound-achieving mapping form a certificate.
+pub fn extract_partition(tp: &TwoPartition, mapping: &Mapping) -> Option<Vec<usize>> {
+    let root = mapping.assignment_of(0)?;
+    let subset: Vec<usize> = root.procs().iter().map(|q| q.0).collect();
+    tp.check(&subset).then_some(subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    #[test]
+    fn certificate_achieves_both_bounds() {
+        let mut gen = Gen::new(0x31);
+        for _ in 0..30 {
+            let m = gen.size(2, 6);
+            let tp = TwoPartition::random_yes(&mut gen, m, 9);
+            let subset = tp.solve().unwrap();
+            // certificate needs a non-trivial complement
+            if subset.len() == tp.values.len() {
+                continue;
+            }
+            let r = reduce(&tp);
+            let mapping = certificate_mapping(&tp, &subset);
+            assert_eq!(
+                r.fork.latency(&r.platform, &mapping).unwrap(),
+                r.latency_bound
+            );
+            assert_eq!(
+                r.fork.period(&r.platform, &mapping).unwrap(),
+                r.period_bound
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_two_partition() {
+        let mut gen = Gen::new(0x32);
+        for _ in 0..8 {
+            let m = gen.size(2, 4);
+            // distinct values < S/2 per the proof's assumption
+            let tp = TwoPartition::random_yes(&mut gen, m, 9);
+            let mut vals = tp.values.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            let s = tp.total();
+            if vals.len() != tp.values.len() || tp.values.iter().any(|&a| 2 * a >= s) {
+                continue;
+            }
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency)
+                    .unwrap();
+            assert!(best.latency <= r.latency_bound, "{tp:?}");
+        }
+        for _ in 0..8 {
+            let m = gen.size(2, 4);
+            let tp = TwoPartition::random_no(&mut gen, m, 9);
+            let mut vals = tp.values.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            let s = tp.total();
+            if vals.len() != tp.values.len() || tp.values.iter().any(|&a| 2 * a >= s) {
+                continue;
+            }
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency)
+                    .unwrap();
+            assert!(best.latency > r.latency_bound, "{tp:?}");
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinPeriod)
+                    .unwrap();
+            assert!(best.period > r.period_bound, "{tp:?}");
+        }
+    }
+
+    #[test]
+    fn classified_np_hard() {
+        let tp = TwoPartition::new(vec![1, 2, 3]);
+        use repliflow_core::instance::Complexity;
+        assert_eq!(
+            reduce_instance(&tp).variant().paper_complexity(),
+            Complexity::NpHard("Thm 13")
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Theorem 15: 2-PARTITION reduces to period minimization of a
+//! **heterogeneous fork on a heterogeneous platform** without
+//! data-parallelism.
+//!
+//! Gadget: fork of `m + 2` stages with `w0 = S`, an extra heavy leaf
+//! `w_{m+1} = S`, and leaves `w_i = a_i` (total load `3S`); two processors
+//! of speeds `5·S/2` and `S/2`; decision bound `K = 1`. We scale weights
+//! and speeds by 2 for integrality: weights `2S / 2a_i / 2S`, speeds
+//! `5S / S`. A yes-certificate gives `{S0, S_{m+1}} ∪ I` to the fast
+//! processor (load `5S`, speed `5S`) and the complement to the slow one
+//! (load `S`, speed `S`), achieving period exactly 1.
+
+use crate::two_partition::TwoPartition;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+
+/// The reduced decision instance.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// Fork: root `2S`, leaves `2a_1..2a_m` plus the heavy leaf `2S`.
+    pub fork: Fork,
+    /// Two processors of speeds `5S` and `S`.
+    pub platform: Platform,
+    /// The decision bound `K = 1`.
+    pub period_bound: Rat,
+}
+
+/// Builds the Theorem 15 gadget. The heavy extra leaf is the **last**
+/// leaf stage (id `m + 1`).
+pub fn reduce(tp: &TwoPartition) -> Reduced {
+    let s = tp.total();
+    let mut leaves: Vec<u64> = tp.values.iter().map(|&a| 2 * a).collect();
+    leaves.push(2 * s);
+    Reduced {
+        fork: Fork::new(2 * s, leaves),
+        platform: Platform::heterogeneous(vec![5 * s, s]),
+        period_bound: Rat::ONE,
+    }
+}
+
+/// The reduced instance as a [`ProblemInstance`] (period objective).
+pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
+    let r = reduce(tp);
+    ProblemInstance {
+        workflow: r.fork.into(),
+        platform: r.platform,
+        allow_data_parallel: false,
+        objective: Objective::Period,
+    }
+}
+
+/// Yes-direction certificate: `{S0, heavy leaf} ∪ I` on the fast
+/// processor, the complement on the slow one.
+pub fn certificate_mapping(tp: &TwoPartition, subset: &[usize]) -> Mapping {
+    assert!(tp.check(subset), "invalid 2-PARTITION certificate");
+    let m = tp.values.len();
+    let mut fast: Vec<usize> = vec![0, m + 1];
+    fast.extend(subset.iter().map(|&i| i + 1));
+    let slow: Vec<usize> = (0..m)
+        .filter(|i| !subset.contains(i))
+        .map(|i| i + 1)
+        .collect();
+    let mut assignments = vec![Assignment::new(fast, vec![ProcId(0)], Mode::Replicated)];
+    if !slow.is_empty() {
+        assignments.push(Assignment::new(slow, vec![ProcId(1)], Mode::Replicated));
+    }
+    Mapping::new(assignments)
+}
+
+/// No-direction extraction: the ordinary leaves on the fast processor of
+/// a period-1 mapping form a certificate.
+pub fn extract_partition(tp: &TwoPartition, mapping: &Mapping) -> Option<Vec<usize>> {
+    let m = tp.values.len();
+    let fast_group = mapping.assignment_of(0)?;
+    let subset: Vec<usize> = fast_group
+        .stages()
+        .iter()
+        .filter(|&&s| s != 0 && s != m + 1)
+        .map(|&s| s - 1)
+        .collect();
+    tp.check(&subset).then_some(subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    #[test]
+    fn certificate_achieves_period_one() {
+        let mut gen = Gen::new(0x15);
+        for _ in 0..30 {
+            let m = gen.size(1, 6);
+            let tp = TwoPartition::random_yes(&mut gen, m, 9);
+            let subset = tp.solve().unwrap();
+            let r = reduce(&tp);
+            let mapping = certificate_mapping(&tp, &subset);
+            assert_eq!(r.fork.period(&r.platform, &mapping).unwrap(), Rat::ONE);
+            assert!(extract_partition(&tp, &mapping).is_some());
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_two_partition() {
+        let mut gen = Gen::new(0x16);
+        for _ in 0..10 {
+            let m = gen.size(1, 3);
+            let tp = TwoPartition::random_yes(&mut gen, m, 8);
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
+                    .unwrap();
+            assert!(best.period <= r.period_bound, "{tp:?}");
+            let tp = TwoPartition::random_no(&mut gen, m, 8);
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
+                    .unwrap();
+            assert!(best.period > r.period_bound, "{tp:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_mapping_yields_certificate() {
+        let mut gen = Gen::new(0x17);
+        for _ in 0..6 {
+            let m = gen.size(1, 3);
+            let tp = TwoPartition::random_yes(&mut gen, m, 8);
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
+                    .unwrap();
+            if best.period == r.period_bound {
+                let subset = extract_partition(&tp, &best.mapping)
+                    .expect("period-1 mapping encodes a split");
+                assert!(tp.check(&subset));
+            }
+        }
+    }
+
+    #[test]
+    fn classified_np_hard() {
+        let tp = TwoPartition::new(vec![1, 2, 3]);
+        use repliflow_core::instance::Complexity;
+        assert_eq!(
+            reduce_instance(&tp).variant().paper_complexity(),
+            Complexity::NpHard("Thm 15")
+        );
+    }
+}

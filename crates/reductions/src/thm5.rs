@@ -1,0 +1,193 @@
+//! Theorem 5: 2-PARTITION reduces to mapping a **homogeneous pipeline with
+//! data-parallelism on a heterogeneous platform** (both latency and period
+//! decision problems).
+//!
+//! Paper gadget: a 2-stage pipeline with `w = S/2` per stage and `p = m`
+//! processors of speeds `s_j = a_j`; the instance has latency `<= 2`
+//! (resp. period `<= 1`) iff the 2-PARTITION instance is a yes-instance.
+//! To keep all weights integral for odd `S` we scale the gadget by 2
+//! (stage weight `S`, speed `2·a_j`), which leaves every execution-time
+//! ratio unchanged.
+//!
+//! The paper's proof of the *only-if* direction assumes all `a_j` distinct
+//! and `< S/2` (so pure replication cannot reach the bounds); the
+//! roundtrip tests honor that assumption, while the certificate direction
+//! (yes ⇒ mapping achieving the bound) holds unconditionally.
+
+use crate::two_partition::TwoPartition;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// The reduced decision instance: workflow, platform and both decision
+/// bounds (latency `2`, period `1`).
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The 2-stage homogeneous pipeline (stage weight `S`).
+    pub pipeline: Pipeline,
+    /// `m` processors of speed `2·a_j`.
+    pub platform: Platform,
+    /// Latency decision bound (`2`).
+    pub latency_bound: Rat,
+    /// Period decision bound (`1`).
+    pub period_bound: Rat,
+}
+
+/// Builds the Theorem 5 gadget from a 2-PARTITION instance.
+pub fn reduce(tp: &TwoPartition) -> Reduced {
+    let s = tp.total();
+    Reduced {
+        pipeline: Pipeline::uniform(2, s),
+        platform: Platform::heterogeneous(tp.values.iter().map(|&a| 2 * a).collect()),
+        latency_bound: Rat::int(2),
+        period_bound: Rat::ONE,
+    }
+}
+
+/// The reduced instance as a [`ProblemInstance`] (latency objective).
+pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
+    let r = reduce(tp);
+    ProblemInstance {
+        workflow: r.pipeline.into(),
+        platform: r.platform,
+        allow_data_parallel: true,
+        objective: Objective::Latency,
+    }
+}
+
+/// Yes-direction certificate: from a valid partition subset, the mapping
+/// that data-parallelizes stage 1 on `I` and stage 2 on the complement —
+/// latency exactly 2, period exactly 1.
+pub fn certificate_mapping(tp: &TwoPartition, subset: &[usize]) -> Mapping {
+    assert!(tp.check(subset), "invalid 2-PARTITION certificate");
+    let in_subset: Vec<ProcId> = subset.iter().map(|&i| ProcId(i)).collect();
+    let out_subset: Vec<ProcId> = (0..tp.values.len())
+        .filter(|i| !subset.contains(i))
+        .map(ProcId)
+        .collect();
+    Mapping::new(vec![
+        Assignment::interval(0, 0, in_subset, Mode::DataParallel),
+        Assignment::interval(1, 1, out_subset, Mode::DataParallel),
+    ])
+}
+
+/// No-direction extraction: from any mapping achieving latency `<= 2`
+/// (or period `<= 1`), the processor set of the first stage is a valid
+/// 2-PARTITION certificate (the paper's proof shows the only way to meet
+/// the bound is an exact split).
+pub fn extract_partition(tp: &TwoPartition, mapping: &Mapping) -> Option<Vec<usize>> {
+    let first = mapping.assignment_of(0)?;
+    let subset: Vec<usize> = first.procs().iter().map(|q| q.0).collect();
+    tp.check(&subset).then_some(subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    /// Yes-instances with distinct values < S/2, as the proof assumes.
+    fn distinct_yes(gen: &mut Gen) -> Option<TwoPartition> {
+        for _ in 0..50 {
+            let m = gen.size(2, 3);
+            let tp = TwoPartition::random_yes(gen, m, 9);
+            let mut vals = tp.values.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            let s = tp.total();
+            if vals.len() == tp.values.len() && tp.values.iter().all(|&a| 2 * a < s) {
+                return Some(tp);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn certificate_achieves_both_bounds() {
+        let mut gen = Gen::new(0x51);
+        for _ in 0..30 {
+            let m = gen.size(1, 5);
+            let tp = TwoPartition::random_yes(&mut gen, m, 9);
+            let subset = tp.solve().unwrap();
+            let r = reduce(&tp);
+            let mapping = certificate_mapping(&tp, &subset);
+            assert_eq!(
+                r.pipeline.latency(&r.platform, &mapping).unwrap(),
+                r.latency_bound
+            );
+            assert_eq!(
+                r.pipeline.period(&r.platform, &mapping).unwrap(),
+                r.period_bound
+            );
+            // and the extraction round-trips
+            assert!(extract_partition(&tp, &mapping).is_some());
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_two_partition() {
+        let mut gen = Gen::new(0x52);
+        // yes-instances: the optimum reaches the bounds
+        for _ in 0..6 {
+            let Some(tp) = distinct_yes(&mut gen) else { continue };
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinLatency)
+                    .unwrap();
+            assert!(best.latency <= r.latency_bound, "{tp:?}");
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinPeriod)
+                    .unwrap();
+            assert!(best.period <= r.period_bound, "{tp:?}");
+        }
+        // no-instances (odd total, distinct values): bounds unreachable
+        for _ in 0..8 {
+            let m = gen.size(2, 3);
+            let tp = TwoPartition::random_no(&mut gen, m, 9);
+            let mut vals = tp.values.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            let s = tp.total();
+            if vals.len() != tp.values.len() || tp.values.iter().any(|&a| 2 * a >= s) {
+                continue;
+            }
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinLatency)
+                    .unwrap();
+            assert!(best.latency > r.latency_bound, "{tp:?}");
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinPeriod)
+                    .unwrap();
+            assert!(best.period > r.period_bound, "{tp:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_mapping_yields_certificate() {
+        let mut gen = Gen::new(0x53);
+        for _ in 0..5 {
+            let Some(tp) = distinct_yes(&mut gen) else { continue };
+            let r = reduce(&tp);
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinLatency)
+                    .unwrap();
+            if best.latency == r.latency_bound {
+                let subset =
+                    extract_partition(&tp, &best.mapping).expect("optimal mapping encodes a split");
+                assert!(tp.check(&subset));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_instance_is_classified_np_hard() {
+        let tp = TwoPartition::new(vec![1, 2, 3]);
+        let inst = reduce_instance(&tp);
+        use repliflow_core::instance::Complexity;
+        assert_eq!(inst.variant().paper_complexity(), Complexity::NpHard("Thm 5"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Theorem 9: N3DM reduces to **Pipeline-Period-Dec** — period
+//! minimization of a *heterogeneous* pipeline on a heterogeneous platform
+//! without data-parallelism. This is the paper's involved `(**)` entry.
+//!
+//! Gadget (paper notation, all 1-indexed there):
+//!
+//! * `n = (M+3)·m` stages, for each `i`:
+//!   `A_i = B + x_i`, then `M` unit stages, then `C`, then `D`, with
+//!   `R = max(20, m+1)`, `B = 2M`, `C = 5RM`, `D = 10R²M²`;
+//! * `p = 3m` processors: slow `s_j = B + M − y_j`, medium
+//!   `s_{m+j} = C + M − z_j`, fast `s_{2m+j} = D`;
+//! * decision bound `K = 1`.
+//!
+//! A matching `(σ1, σ2)` maps block `i` as: `A_i` plus `z_{σ2(i)}` unit
+//! stages to slow processor `σ1(i)`; the remaining `M − z_{σ2(i)}` unit
+//! stages plus `C` to medium processor `σ2(i)`; `D` to fast processor `i`.
+//! Every processor's load then equals its speed exactly, so the period is
+//! exactly 1.
+
+use crate::n3dm::{Matching, N3dm};
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// The reduced Pipeline-Period-Dec instance.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The `(M+3)·m`-stage heterogeneous pipeline.
+    pub pipeline: Pipeline,
+    /// The `3m`-processor heterogeneous platform.
+    pub platform: Platform,
+    /// The decision bound `K = 1`.
+    pub period_bound: Rat,
+}
+
+/// Gadget constants derived from an instance.
+pub struct Constants {
+    /// `R = max(20, m+1)`.
+    pub r: u64,
+    /// `B = 2M`.
+    pub b: u64,
+    /// `C = 5RM`.
+    pub c: u64,
+    /// `D = 10R²M²`.
+    pub d: u64,
+}
+
+/// Computes the gadget constants for `inst`.
+pub fn constants(inst: &N3dm) -> Constants {
+    let m = inst.m() as u64;
+    let mm = inst.m_bound;
+    let r = 20u64.max(m + 1);
+    Constants {
+        r,
+        b: 2 * mm,
+        c: 5 * r * mm,
+        d: 10 * r * r * mm * mm,
+    }
+}
+
+/// Builds the Theorem 9 gadget.
+pub fn reduce(inst: &N3dm) -> Reduced {
+    let m = inst.m();
+    let mm = inst.m_bound;
+    let k = constants(inst);
+    let mut weights = Vec::with_capacity((mm as usize + 3) * m);
+    for i in 0..m {
+        weights.push(k.b + inst.x[i]); // A_i
+        weights.extend(std::iter::repeat_n(1, mm as usize)); // M unit stages
+        weights.push(k.c);
+        weights.push(k.d);
+    }
+    let mut speeds = Vec::with_capacity(3 * m);
+    for j in 0..m {
+        speeds.push(k.b + mm - inst.y[j]);
+    }
+    for j in 0..m {
+        speeds.push(k.c + mm - inst.z[j]);
+    }
+    for _ in 0..m {
+        speeds.push(k.d);
+    }
+    Reduced {
+        pipeline: Pipeline::new(weights),
+        platform: Platform::heterogeneous(speeds),
+        period_bound: Rat::ONE,
+    }
+}
+
+/// The reduced instance as a [`ProblemInstance`] (period objective,
+/// data-parallelism forbidden).
+pub fn reduce_instance(inst: &N3dm) -> ProblemInstance {
+    let r = reduce(inst);
+    ProblemInstance {
+        workflow: r.pipeline.into(),
+        platform: r.platform,
+        allow_data_parallel: false,
+        objective: Objective::Period,
+    }
+}
+
+/// Yes-direction certificate: the mapping induced by a matching; its
+/// period is exactly 1.
+pub fn certificate_mapping(inst: &N3dm, matching: &Matching) -> Mapping {
+    assert!(inst.check(matching), "invalid N3DM certificate");
+    let m = inst.m();
+    let mm = inst.m_bound as usize;
+    let block = mm + 3;
+    let mut assignments = Vec::with_capacity(3 * m);
+    for i in 0..m {
+        let base = i * block;
+        let z = inst.z[matching.sigma2[i]] as usize;
+        // A_i plus z unit stages -> slow processor σ1(i)
+        assignments.push(Assignment::interval(
+            base,
+            base + z,
+            vec![ProcId(matching.sigma1[i])],
+            Mode::Replicated,
+        ));
+        // remaining M - z unit stages plus C -> medium processor σ2(i)
+        assignments.push(Assignment::interval(
+            base + z + 1,
+            base + mm + 1,
+            vec![ProcId(m + matching.sigma2[i])],
+            Mode::Replicated,
+        ));
+        // D -> fast processor i
+        assignments.push(Assignment::interval(
+            base + mm + 2,
+            base + mm + 2,
+            vec![ProcId(2 * m + i)],
+            Mode::Replicated,
+        ));
+    }
+    Mapping::new(assignments)
+}
+
+/// No-direction extraction: reads `σ1` (slow processor of each `A_i`) and
+/// `σ2` (medium processor of each block's `C` stage) from a period-1
+/// mapping and validates the matching.
+pub fn extract_matching(inst: &N3dm, mapping: &Mapping) -> Option<Matching> {
+    let m = inst.m();
+    let mm = inst.m_bound as usize;
+    let block = mm + 3;
+    let mut sigma1 = Vec::with_capacity(m);
+    let mut sigma2 = Vec::with_capacity(m);
+    for i in 0..m {
+        let a_stage = i * block;
+        let c_stage = i * block + mm + 1;
+        let a_proc = mapping.assignment_of(a_stage)?.procs().first()?.0;
+        let c_proc = mapping.assignment_of(c_stage)?.procs().first()?.0;
+        if a_proc >= m || !(m..2 * m).contains(&c_proc) {
+            return None;
+        }
+        sigma1.push(a_proc);
+        sigma2.push(c_proc - m);
+    }
+    let matching = Matching { sigma1, sigma2 };
+    inst.check(&matching).then_some(matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::gen::Gen;
+    use repliflow_exact::Goal;
+
+    #[test]
+    fn certificate_achieves_period_one() {
+        let mut gen = Gen::new(0x91);
+        for _ in 0..10 {
+            let m = gen.size(1, 3);
+            let inst = N3dm::random_yes(&mut gen, m, 8);
+            let matching = inst.solve().unwrap();
+            let r = reduce(&inst);
+            let mapping = certificate_mapping(&inst, &matching);
+            assert_eq!(
+                r.pipeline.period(&r.platform, &mapping).unwrap(),
+                Rat::ONE,
+                "{inst:?}"
+            );
+            // every processor is exactly saturated: extraction round-trips
+            let back = extract_matching(&inst, &mapping).expect("roundtrip");
+            assert!(inst.check(&back));
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_on_tiny_instances() {
+        let mut gen = Gen::new(0x92);
+        // yes-instances (m = 1 and m = 2): optimal period reaches 1
+        for m in [1usize, 2] {
+            let inst = N3dm::random_yes(&mut gen, m, 5);
+            let r = reduce(&inst);
+            let best = repliflow_exact::solve_pipeline(
+                &r.pipeline,
+                &r.platform,
+                false,
+                Goal::MinPeriod,
+            )
+            .unwrap();
+            assert!(best.period <= Rat::ONE, "{inst:?} got {}", best.period);
+        }
+        // well-formed no-instances (m = 2): the bound 1 is unreachable
+        let mut checked = 0;
+        for _ in 0..3 {
+            let Some(no) = N3dm::random_no(&mut gen, 2, 6) else {
+                continue;
+            };
+            let r = reduce(&no);
+            let best = repliflow_exact::solve_pipeline(
+                &r.pipeline,
+                &r.platform,
+                false,
+                Goal::MinPeriod,
+            )
+            .unwrap();
+            assert!(best.period > Rat::ONE, "{no:?} got {}", best.period);
+            checked += 1;
+        }
+        assert!(checked > 0, "need at least one no-instance checked");
+    }
+
+    #[test]
+    fn gadget_dimensions() {
+        let inst = N3dm::new(vec![1, 2], vec![2, 3], vec![3, 1], 6);
+        let r = reduce(&inst);
+        assert_eq!(r.pipeline.n_stages(), (6 + 3) * 2);
+        assert_eq!(r.platform.n_procs(), 6);
+        let k = constants(&inst);
+        assert_eq!(k.r, 20);
+        assert_eq!(k.b, 12);
+        assert_eq!(k.c, 600);
+        assert_eq!(k.d, 144_000);
+        // speed classes are strictly ordered: slow < medium < fast
+        let speeds = r.platform.speeds();
+        let max_slow = speeds[..2].iter().max().unwrap();
+        let min_medium = speeds[2..4].iter().min().unwrap();
+        let fast = speeds[4];
+        assert!(max_slow < min_medium);
+        assert!(min_medium < &fast);
+    }
+
+    #[test]
+    fn reduce_instance_is_classified_np_hard() {
+        let inst = N3dm::new(vec![1, 2], vec![2, 3], vec![3, 1], 6);
+        let pi = reduce_instance(&inst);
+        use repliflow_core::instance::Complexity;
+        assert_eq!(pi.variant().paper_complexity(), Complexity::NpHard("Thm 9"));
+    }
+}

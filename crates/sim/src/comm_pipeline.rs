@@ -1,0 +1,180 @@
+//! Pipeline simulation under the **general model with communication**
+//! (Sections 3.2–3.3): single-processor interval mappings where each
+//! processor, per data set, *pulls* its input over the incoming link,
+//! computes, and *pushes* its output over the outgoing link — all three
+//! phases serialized on the processor (one-port discipline).
+//!
+//! This is exactly the accounting of the paper's formulas (1) and (2),
+//! where the transfer between consecutive intervals is billed on both
+//! endpoints: the simulation must therefore reproduce
+//! `repliflow_core::comm::pipeline_period_with_comm` (saturated feed) and
+//! `::pipeline_latency_with_comm` (slow feed) — which the tests verify.
+
+use crate::engine::entry_times;
+use crate::report::{Feed, SimReport};
+use repliflow_core::comm::{Endpoint, IntervalAlloc, Network};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+
+/// Simulates a pipeline with communication costs over an interval
+/// allocation (one processor per interval).
+///
+/// # Panics
+/// Panics if `alloc` is not a partition into consecutive intervals (the
+/// same contract as the analytic functions in `repliflow_core::comm`).
+pub fn simulate_pipeline_with_comm(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    network: &Network,
+    alloc: &[IntervalAlloc],
+    feed: Feed,
+    n_data_sets: usize,
+) -> SimReport {
+    let m = alloc.len();
+    assert!(m > 0, "empty interval mapping");
+
+    // per-interval constants
+    let mut pull = Vec::with_capacity(m);
+    let mut compute = Vec::with_capacity(m);
+    let mut push = Vec::with_capacity(m);
+    for (j, a) in alloc.iter().enumerate() {
+        let pred = if j == 0 {
+            Endpoint::In
+        } else {
+            Endpoint::Proc(alloc[j - 1].proc)
+        };
+        let succ = if j + 1 == m {
+            Endpoint::Out
+        } else {
+            Endpoint::Proc(alloc[j + 1].proc)
+        };
+        let me = Endpoint::Proc(a.proc);
+        pull.push(network.transfer_time(pipeline.data_size(a.lo), pred, me));
+        compute.push(Rat::ratio(
+            pipeline.interval_work(a.lo, a.hi),
+            platform.speed(a.proc),
+        ));
+        push.push(network.transfer_time(pipeline.data_size(a.hi + 1), me, succ));
+    }
+
+    let entries = entry_times(feed, n_data_sets);
+    let mut free = vec![Rat::ZERO; m];
+    let mut departures = Vec::with_capacity(n_data_sets);
+    for &entry in &entries {
+        // `handoff` = when the predecessor finished pushing this data set
+        let mut handoff = entry;
+        for j in 0..m {
+            let start = handoff.max(free[j]);
+            let done = start + pull[j] + compute[j] + push[j];
+            free[j] = done;
+            handoff = done;
+        }
+        departures.push(handoff);
+    }
+    SimReport::new(entries, departures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::comm::{pipeline_latency_with_comm, pipeline_period_with_comm};
+    use repliflow_core::gen::Gen;
+    use repliflow_core::platform::ProcId;
+
+    fn alloc(parts: &[(usize, usize, usize)]) -> Vec<IntervalAlloc> {
+        parts
+            .iter()
+            .map(|&(lo, hi, u)| IntervalAlloc {
+                lo,
+                hi,
+                proc: ProcId(u),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_formula_one_and_two() {
+        let pipe = Pipeline::with_data_sizes(vec![8, 3], vec![4, 2, 6]);
+        let plat = Platform::heterogeneous(vec![2, 1]);
+        let net = Network::uniform(2, 2);
+        let a = alloc(&[(0, 0, 0), (1, 1, 1)]);
+        let analytic_period = pipeline_period_with_comm(&pipe, &plat, &net, &a);
+        let analytic_latency = pipeline_latency_with_comm(&pipe, &plat, &net, &a);
+        let report =
+            simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 40);
+        assert_eq!(report.measured_period(8), analytic_period);
+        let report = simulate_pipeline_with_comm(
+            &pipe,
+            &plat,
+            &net,
+            &a,
+            Feed::Interval(Rat::int(1000)),
+            5,
+        );
+        assert_eq!(report.max_latency(), analytic_latency);
+    }
+
+    #[test]
+    fn random_allocations_match_formulas() {
+        let mut gen = Gen::new(0x99);
+        for _ in 0..25 {
+            let n = gen.size(1, 6);
+            let p = gen.size(1, 4);
+            let weights = gen.positive_ints(n, 1, 9);
+            let sizes = gen.positive_ints(n + 1, 0, 6);
+            let pipe = Pipeline::with_data_sizes(weights, sizes);
+            let plat = gen.het_platform(p, 1, 5);
+            let net = Network::uniform(p, gen.int(1, 4));
+            // random interval partition with random (possibly repeated
+            // across intervals? no — distinct procs) processors
+            let mut cuts: Vec<usize> = Vec::new();
+            for s in 1..n {
+                if gen.flip(0.4) && cuts.len() + 1 < p {
+                    cuts.push(s);
+                }
+            }
+            let mut lo = 0;
+            let mut a = Vec::new();
+            for (next_proc, &c) in cuts.iter().chain(std::iter::once(&n)).enumerate() {
+                a.push(IntervalAlloc {
+                    lo,
+                    hi: c - 1,
+                    proc: ProcId(next_proc),
+                });
+                lo = c;
+            }
+            let analytic_period = pipeline_period_with_comm(&pipe, &plat, &net, &a);
+            let analytic_latency = pipeline_latency_with_comm(&pipe, &plat, &net, &a);
+            let report =
+                simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 50);
+            assert_eq!(report.measured_period(10), analytic_period);
+            let report = simulate_pipeline_with_comm(
+                &pipe,
+                &plat,
+                &net,
+                &a,
+                Feed::Interval(analytic_latency + Rat::ONE),
+                6,
+            );
+            assert_eq!(report.max_latency(), analytic_latency);
+        }
+    }
+
+    #[test]
+    fn zero_communication_reduces_to_simplified_model() {
+        let pipe = Pipeline::new(vec![14, 4, 2, 4]);
+        let plat = Platform::homogeneous(2, 1);
+        let net = Network::uniform(2, 5);
+        let a = alloc(&[(0, 0, 0), (1, 3, 1)]);
+        let report = simulate_pipeline_with_comm(
+            &pipe,
+            &plat,
+            &net,
+            &a,
+            Feed::Interval(Rat::int(100)),
+            4,
+        );
+        assert_eq!(report.max_latency(), Rat::int(24));
+    }
+}

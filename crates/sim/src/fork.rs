@@ -1,0 +1,359 @@
+//! Fork and fork-join simulation under the flexible model: every non-root
+//! group may start a data set as soon as `S0` completes for it.
+
+use crate::engine::{entry_times, GroupSim};
+use crate::report::{Feed, SimReport};
+use repliflow_core::error::Error;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::{Fork, ForkJoin};
+
+/// Time at which `S0` completes inside its group's block: the first
+/// `w0 / W_block` fraction of the block's execution.
+fn s0_done(start: Rat, finish: Rat, w0: u64, block_work: u64) -> Rat {
+    if block_work == 0 {
+        start
+    } else {
+        start + (finish - start) * Rat::ratio(w0.max(1), block_work.max(1)).min(Rat::ONE)
+    }
+}
+
+/// Simulates a fork mapping (flexible model).
+pub fn simulate_fork(
+    fork: &Fork,
+    platform: &Platform,
+    mapping: &Mapping,
+    feed: Feed,
+    n_data_sets: usize,
+) -> Result<SimReport, Error> {
+    mapping.validate_fork(fork, platform, true)?;
+    let root_idx = mapping
+        .assignments()
+        .iter()
+        .position(|a| a.contains_stage(0))
+        .expect("validated fork mapping has a root group");
+    let root_assignment = &mapping.assignments()[root_idx];
+    let root_block_work = root_assignment.work(|s| fork.weight(s));
+    let mut root_group = GroupSim::new(root_block_work, root_assignment, platform);
+
+    let mut leaf_groups: Vec<GroupSim> = mapping
+        .assignments()
+        .iter()
+        .enumerate()
+        .filter(|&(g, _)| g != root_idx)
+        .map(|(_, a)| GroupSim::new(a.work(|s| fork.weight(s)), a, platform))
+        .collect();
+
+    let entries = entry_times(feed, n_data_sets);
+    let mut departures = Vec::with_capacity(n_data_sets);
+    for &entry in &entries {
+        let (start, finish, root_release) = root_group.process_traced(entry);
+        let ready = s0_done(start, finish, fork.root_weight(), root_block_work);
+        let mut completion = root_release;
+        for g in leaf_groups.iter_mut() {
+            completion = completion.max(g.process(ready));
+        }
+        departures.push(completion);
+    }
+    Ok(SimReport::new(entries, departures))
+}
+
+/// Per-replica state of the join group, which executes in two phases:
+/// its own leaf work (ready at `S0`-done), then — after *every* leaf of
+/// the data set finished anywhere — the join stage itself.
+struct JoinSim {
+    free_at: Vec<Rat>,
+    leaf_durations: Vec<Rat>,
+    join_durations: Vec<Rat>,
+    last_start: Rat,
+    last_release: Rat,
+    next: usize,
+}
+
+impl JoinSim {
+    fn new(fj: &ForkJoin, assignment: &Assignment, platform: &Platform) -> Self {
+        let leaf_work: u64 = assignment
+            .stages()
+            .iter()
+            .filter(|&&s| s != fj.join_stage())
+            .map(|&s| fj.weight(s))
+            .sum();
+        let (leaf_durations, join_durations) = match assignment.mode {
+            Mode::Replicated => assignment
+                .procs()
+                .iter()
+                .map(|&q| {
+                    (
+                        Rat::ratio(leaf_work, platform.speed(q)),
+                        Rat::ratio(fj.join_weight(), platform.speed(q)),
+                    )
+                })
+                .unzip(),
+            Mode::DataParallel => {
+                let total = platform.subset_speed(assignment.procs());
+                (
+                    vec![Rat::ratio(leaf_work, total)],
+                    vec![Rat::ratio(fj.join_weight(), total)],
+                )
+            }
+        };
+        JoinSim {
+            free_at: vec![Rat::ZERO; leaf_durations.len()],
+            leaf_durations,
+            join_durations,
+            last_start: Rat::ZERO,
+            last_release: Rat::ZERO,
+            next: 0,
+        }
+    }
+
+    /// Processes a data set: leaf phase ready at `ready`, join phase
+    /// gated on `all_leaves_done`. Returns (own leaf-phase completion,
+    /// final release).
+    fn process(&mut self, ready: Rat, all_leaves_done: impl FnOnce(Rat) -> Rat) -> (Rat, Rat) {
+        let u = self.next;
+        self.next = (self.next + 1) % self.free_at.len();
+        let start = ready.max(self.free_at[u]).max(self.last_start);
+        let leaf_done = start + self.leaf_durations[u];
+        let join_start = all_leaves_done(leaf_done);
+        let done = join_start.max(leaf_done) + self.join_durations[u];
+        let release = done.max(self.last_release);
+        self.free_at[u] = done;
+        self.last_start = start;
+        self.last_release = release;
+        (leaf_done, release)
+    }
+}
+
+/// Simulates a fork-join mapping (flexible model).
+pub fn simulate_forkjoin(
+    fj: &ForkJoin,
+    platform: &Platform,
+    mapping: &Mapping,
+    feed: Feed,
+    n_data_sets: usize,
+) -> Result<SimReport, Error> {
+    mapping.validate_forkjoin(fj, platform, true)?;
+    let join_stage = fj.join_stage();
+    let root_idx = mapping
+        .assignments()
+        .iter()
+        .position(|a| a.contains_stage(0))
+        .expect("validated mapping has a root group");
+    let join_idx = mapping
+        .assignments()
+        .iter()
+        .position(|a| a.contains_stage(join_stage))
+        .expect("validated mapping has a join group");
+
+    // The root group's block excludes the join stage (the join phase is
+    // modeled separately even when it shares the root's processors).
+    let root_assignment = &mapping.assignments()[root_idx];
+    let root_nonjoin_work: u64 = root_assignment
+        .stages()
+        .iter()
+        .filter(|&&s| s != join_stage)
+        .map(|&s| fj.weight(s))
+        .sum();
+
+    if root_idx == join_idx {
+        // Root and join share a group: one replica runs root+leaves, then
+        // waits for all leaves (here: only its own), then the join.
+        let mut group = JoinSim::new_root_join(fj, root_assignment, platform);
+        let entries = entry_times(feed, n_data_sets);
+        let mut departures = Vec::with_capacity(n_data_sets);
+        // other leaf groups
+        let mut leaf_groups: Vec<GroupSim> = mapping
+            .assignments()
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| g != root_idx)
+            .map(|(_, a)| GroupSim::new(a.work(|s| fj.weight(s)), a, platform))
+            .collect();
+        for &entry in &entries {
+            let departure = group.process_root_join(
+                entry,
+                fj.root_weight(),
+                root_nonjoin_work,
+                &mut leaf_groups,
+            );
+            departures.push(departure);
+        }
+        return Ok(SimReport::new(entries, departures));
+    }
+
+    let mut root_group = GroupSim::new(root_nonjoin_work, root_assignment, platform);
+    let mut join_group = JoinSim::new(fj, &mapping.assignments()[join_idx], platform);
+    let mut leaf_groups: Vec<GroupSim> = mapping
+        .assignments()
+        .iter()
+        .enumerate()
+        .filter(|&(g, _)| g != root_idx && g != join_idx)
+        .map(|(_, a)| GroupSim::new(a.work(|s| fj.weight(s)), a, platform))
+        .collect();
+
+    let entries = entry_times(feed, n_data_sets);
+    let mut departures = Vec::with_capacity(n_data_sets);
+    for &entry in &entries {
+        let (start, finish, root_release) = root_group.process_traced(entry);
+        let ready = s0_done(start, finish, fj.root_weight(), root_nonjoin_work);
+        let mut leaves_done = root_release;
+        for g in leaf_groups.iter_mut() {
+            leaves_done = leaves_done.max(g.process(ready));
+        }
+        let (_, departure) =
+            join_group.process(ready, |own_leaf_done| leaves_done.max(own_leaf_done));
+        departures.push(departure);
+    }
+    Ok(SimReport::new(entries, departures))
+}
+
+impl JoinSim {
+    /// Variant for a merged root+join group: the block is
+    /// `root + leaves`, then the join phase.
+    fn new_root_join(fj: &ForkJoin, assignment: &Assignment, platform: &Platform) -> Self {
+        // the "leaf phase" here is root + leaves (everything except join)
+        let leaf_work: u64 = assignment
+            .stages()
+            .iter()
+            .filter(|&&s| s != fj.join_stage())
+            .map(|&s| fj.weight(s))
+            .sum();
+        let (leaf_durations, join_durations): (Vec<Rat>, Vec<Rat>) = assignment
+            .procs()
+            .iter()
+            .map(|&q| {
+                (
+                    Rat::ratio(leaf_work, platform.speed(q)),
+                    Rat::ratio(fj.join_weight(), platform.speed(q)),
+                )
+            })
+            .unzip();
+        JoinSim {
+            free_at: vec![Rat::ZERO; leaf_durations.len()],
+            leaf_durations,
+            join_durations,
+            last_start: Rat::ZERO,
+            last_release: Rat::ZERO,
+            next: 0,
+        }
+    }
+
+    /// Processes one data set of a merged root+join group, driving the
+    /// external leaf groups from the `S0`-completion instant.
+    fn process_root_join(
+        &mut self,
+        entry: Rat,
+        w0: u64,
+        block_work: u64,
+        leaf_groups: &mut [GroupSim],
+    ) -> Rat {
+        let u = self.next;
+        self.next = (self.next + 1) % self.free_at.len();
+        let start = entry.max(self.free_at[u]).max(self.last_start);
+        let block_done = start + self.leaf_durations[u];
+        let ready = s0_done(start, block_done, w0, block_work);
+        let mut leaves_done = block_done;
+        for g in leaf_groups.iter_mut() {
+            leaves_done = leaves_done.max(g.process(ready));
+        }
+        let done = leaves_done + self.join_durations[u];
+        let release = done.max(self.last_release);
+        self.free_at[u] = done;
+        self.last_start = start;
+        self.last_release = release;
+        release
+    }
+}
+
+/// The round-robin cycle length of a fork/fork-join mapping.
+pub fn cycle_length(mapping: &Mapping) -> usize {
+    crate::report::replica_cycle(mapping.assignments().iter().map(|a| match a.mode {
+        Mode::Replicated => a.n_procs(),
+        Mode::DataParallel => 1,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::platform::ProcId;
+
+    fn procs(ids: &[usize]) -> Vec<ProcId> {
+        ids.iter().map(|&u| ProcId(u)).collect()
+    }
+
+    #[test]
+    fn fork_latency_matches_analytic_on_hom_platform() {
+        let fork = Fork::new(1, vec![1, 2, 3]);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        let analytic = fork.latency(&plat, &m).unwrap();
+        let report =
+            simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        assert_eq!(report.max_latency(), analytic); // 6
+    }
+
+    #[test]
+    fn fork_period_matches_analytic() {
+        let fork = Fork::new(2, vec![3, 3, 4]);
+        let plat = Platform::heterogeneous(vec![2, 1, 1]);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 3], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1, 2], procs(&[1, 2]), Mode::Replicated),
+        ]);
+        let analytic = fork.period(&plat, &m).unwrap();
+        let report = simulate_fork(&fork, &plat, &m, Feed::Saturated, 50).unwrap();
+        let window = 4 * cycle_length(&m);
+        assert_eq!(report.measured_period(window), analytic);
+    }
+
+    #[test]
+    fn forkjoin_latency_matches_analytic_on_hom_platform() {
+        let fj = ForkJoin::new(1, vec![2, 2], 3);
+        let plat = Platform::homogeneous(2, 1);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        let analytic = fj.latency(&plat, &m).unwrap();
+        let report =
+            simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        assert_eq!(report.max_latency(), analytic); // 6
+    }
+
+    #[test]
+    fn forkjoin_merged_root_join_group() {
+        let fj = ForkJoin::new(2, vec![4, 4], 2);
+        let plat = Platform::homogeneous(3, 1);
+        // {root, join} on P1; leaves on P2, P3
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0, 3], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1], procs(&[1]), Mode::Replicated),
+            Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
+        ]);
+        let analytic = fj.latency(&plat, &m).unwrap();
+        let report =
+            simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        assert_eq!(report.max_latency(), analytic); // 2 + 4 + 2 = 8
+    }
+
+    #[test]
+    fn data_parallel_root_ready_time() {
+        // dp root alone on {P1,P2} (speeds 2,2): S0 done at w0/4.
+        let fork = Fork::new(8, vec![2, 4]);
+        let plat = Platform::heterogeneous(vec![2, 2, 1]);
+        let m = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0, 1]), Mode::DataParallel),
+            Assignment::new(vec![1, 2], procs(&[2]), Mode::Replicated),
+        ]);
+        let analytic = fork.latency(&plat, &m).unwrap();
+        let report =
+            simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 6).unwrap();
+        assert_eq!(report.max_latency(), analytic); // 8
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation inputs (feed policies) and outputs (per-data-set traces and
+//! aggregate measurements).
+
+use repliflow_core::rational::Rat;
+
+/// How data sets are fed into the workflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Feed {
+    /// Every data set is available at time 0 — the system runs at maximum
+    /// throughput; use this to measure the steady-state period.
+    Saturated,
+    /// One data set every `interval` time units. With a large interval
+    /// data sets traverse the system alone — use this to measure the
+    /// worst-case latency without queueing effects.
+    Interval(Rat),
+}
+
+/// Trace and aggregate measurements of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Entry time of each data set.
+    pub entries: Vec<Rat>,
+    /// Departure (full completion) time of each data set, non-decreasing.
+    pub departures: Vec<Rat>,
+    /// Per-data-set latency (`departure - entry`).
+    pub latencies: Vec<Rat>,
+}
+
+impl SimReport {
+    pub(crate) fn new(entries: Vec<Rat>, departures: Vec<Rat>) -> Self {
+        assert_eq!(entries.len(), departures.len());
+        let latencies = entries
+            .iter()
+            .zip(&departures)
+            .map(|(&e, &d)| d - e)
+            .collect();
+        SimReport {
+            entries,
+            departures,
+            latencies,
+        }
+    }
+
+    /// Number of simulated data sets.
+    pub fn len(&self) -> usize {
+        self.departures.len()
+    }
+
+    /// True iff no data set was simulated.
+    pub fn is_empty(&self) -> bool {
+        self.departures.is_empty()
+    }
+
+    /// Average inter-departure time over the last `window` departures —
+    /// the measured steady-state period. `window` should cover whole
+    /// round-robin cycles (a multiple of the lcm of replica counts) and
+    /// the run must be long enough to pass the pipeline fill transient.
+    ///
+    /// # Panics
+    /// Panics if fewer than `window + 1` data sets were simulated.
+    pub fn measured_period(&self, window: usize) -> Rat {
+        assert!(
+            self.departures.len() > window && window > 0,
+            "simulate at least window + 1 data sets"
+        );
+        let last = *self.departures.last().unwrap();
+        let first = self.departures[self.departures.len() - 1 - window];
+        (last - first) / Rat::int(window as i128)
+    }
+
+    /// Maximum latency over all data sets.
+    pub fn max_latency(&self) -> Rat {
+        self.latencies
+            .iter()
+            .copied()
+            .fold(Rat::ZERO, Rat::max)
+    }
+}
+
+/// The lcm of all replica-set sizes of a mapping — the round-robin cycle
+/// length, used to size measurement windows.
+pub fn replica_cycle(sizes: impl Iterator<Item = usize>) -> usize {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    sizes.fold(1usize, |acc, k| acc / gcd(acc, k.max(1)) * k.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let entries = vec![Rat::ZERO, Rat::int(1), Rat::int(2)];
+        let departures = vec![Rat::int(5), Rat::int(7), Rat::int(9)];
+        let r = SimReport::new(entries, departures);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.latencies, vec![Rat::int(5), Rat::int(6), Rat::int(7)]);
+        assert_eq!(r.max_latency(), Rat::int(7));
+        assert_eq!(r.measured_period(2), Rat::int(2));
+        assert_eq!(r.measured_period(1), Rat::int(2));
+    }
+
+    #[test]
+    fn cycle_lcm() {
+        assert_eq!(replica_cycle([2, 3].into_iter()), 6);
+        assert_eq!(replica_cycle([4, 2, 1].into_iter()), 4);
+        assert_eq!(replica_cycle(std::iter::empty()), 1);
+        assert_eq!(replica_cycle([0].into_iter()), 1); // defensive clamp
+    }
+
+    #[test]
+    #[should_panic(expected = "window + 1")]
+    fn short_runs_rejected() {
+        let r = SimReport::new(vec![Rat::ZERO], vec![Rat::ONE]);
+        let _ = r.measured_period(1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tests: the simulator agrees with the analytic cost model of
+//! `repliflow-core` on randomized mappings.
+//!
+//! * **Period** — always equal: the steady-state inter-departure average
+//!   over whole round-robin cycles equals the analytic period, saturated.
+//! * **Latency** — equal on homogeneous platforms; bounded above by the
+//!   analytic value on heterogeneous platforms (the formulas charge the
+//!   slowest replica of every group; an executing data set hits that
+//!   combination only when the round-robin residues align).
+
+use repliflow_core::gen::Gen;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::ProcId;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+use repliflow_sim::{simulate_fork, simulate_pipeline, Feed};
+
+/// Random legal pipeline mapping: random interval cuts, random disjoint
+/// processor blocks, random modes.
+fn random_pipeline_mapping(
+    gen: &mut Gen,
+    n: usize,
+    p: usize,
+    allow_dp: bool,
+) -> Mapping {
+    // choose number of groups and cuts
+    let m = gen.size(1, n.min(p));
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() + 1 < m {
+        let c = gen.size(1, n - 1);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.push(n);
+    // distribute processors: give each group at least one, spread the rest
+    let mut sizes = vec![1usize; m];
+    let mut extra = p - m;
+    while extra > 0 {
+        let g = gen.size(0, m - 1);
+        sizes[g] += 1;
+        extra -= 1;
+    }
+    let mut assignments = Vec::new();
+    let mut lo = 0;
+    let mut next_proc = 0;
+    for (g, &hi) in cuts.iter().enumerate() {
+        let procs: Vec<ProcId> = (next_proc..next_proc + sizes[g]).map(ProcId).collect();
+        next_proc += sizes[g];
+        let single_stage = hi - lo == 1;
+        let mode = if allow_dp && single_stage && procs.len() >= 2 && gen.flip(0.5) {
+            Mode::DataParallel
+        } else {
+            Mode::Replicated
+        };
+        assignments.push(Assignment::interval(lo, hi - 1, procs, mode));
+        lo = hi;
+    }
+    Mapping::new(assignments)
+}
+
+#[test]
+fn pipeline_period_matches_analytic_everywhere() {
+    let mut gen = Gen::new(0x500);
+    for case in 0..40 {
+        let n = gen.size(1, 6);
+        let p = gen.size(1, 6);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.het_platform(p, 1, 5);
+        let m = random_pipeline_mapping(&mut gen, n, p, true);
+        let analytic = pipe.period(&plat, &m).unwrap();
+        let cycle = repliflow_sim::pipeline::cycle_length(&m);
+        let window = 4 * cycle;
+        let report =
+            simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 10 * window.max(4) + window)
+                .unwrap();
+        assert_eq!(
+            report.measured_period(window),
+            analytic,
+            "case {case}: {m} on {:?}",
+            plat.speeds()
+        );
+    }
+}
+
+#[test]
+fn pipeline_latency_matches_analytic_on_hom_platforms() {
+    let mut gen = Gen::new(0x501);
+    for case in 0..40 {
+        let n = gen.size(1, 6);
+        let p = gen.size(1, 6);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.hom_platform(p, 1, 4);
+        let m = random_pipeline_mapping(&mut gen, n, p, true);
+        let analytic = pipe.latency(&plat, &m).unwrap();
+        let report =
+            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24)
+                .unwrap();
+        assert_eq!(report.max_latency(), analytic, "case {case}: {m}");
+    }
+}
+
+#[test]
+fn pipeline_latency_bounded_by_analytic_on_het_platforms() {
+    let mut gen = Gen::new(0x502);
+    let mut equal = 0;
+    for case in 0..40 {
+        let n = gen.size(1, 6);
+        let p = gen.size(1, 6);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.het_platform(p, 1, 5);
+        let m = random_pipeline_mapping(&mut gen, n, p, true);
+        let analytic = pipe.latency(&plat, &m).unwrap();
+        let report =
+            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 48)
+                .unwrap();
+        assert!(
+            report.max_latency() <= analytic,
+            "case {case}: {m} measured {} > analytic {analytic}",
+            report.max_latency()
+        );
+        if report.max_latency() == analytic {
+            equal += 1;
+        }
+    }
+    // the bound is tight on most instances (single-proc groups, aligned
+    // residues, homogeneous groups...)
+    assert!(equal >= 20, "only {equal}/40 tight");
+}
+
+#[test]
+fn single_processor_groups_are_always_tight() {
+    // with one processor per group the analytic latency is exact even on
+    // heterogeneous platforms (no round-robin variance)
+    let mut gen = Gen::new(0x503);
+    for _ in 0..30 {
+        let n = gen.size(1, 5);
+        let pipe = gen.pipeline(n, 1, 10);
+        let p = gen.size(n, 6);
+        let plat = gen.het_platform(p, 1, 6);
+        // n singleton groups
+        let mapping = Mapping::new(
+            (0..n)
+                .map(|s| Assignment::single(s, ProcId(s)))
+                .collect(),
+        );
+        let analytic = pipe.latency(&plat, &mapping).unwrap();
+        let report = simulate_pipeline(
+            &pipe,
+            &plat,
+            &mapping,
+            Feed::Interval(analytic + Rat::ONE),
+            8,
+        )
+        .unwrap();
+        assert_eq!(report.max_latency(), analytic);
+    }
+}
+
+/// Random legal fork mapping: random leaf partition around a root group.
+fn random_fork_mapping(gen: &mut Gen, fork: &Fork, p: usize, allow_dp: bool) -> Mapping {
+    let n = fork.n_leaves();
+    // root group takes a random (possibly empty) prefix of leaves
+    let n0 = gen.size(0, n);
+    let groups_rest = if n0 == n { 0 } else { gen.size(1, (n - n0).min(p - 1)) };
+    let mut sizes = vec![1usize; 1 + groups_rest];
+    let mut extra = p - sizes.len();
+    while extra > 0 {
+        let g = gen.size(0, sizes.len() - 1);
+        sizes[g] += 1;
+        extra -= 1;
+    }
+    let mut assignments = Vec::new();
+    let mut next_proc = 0usize;
+    // root group
+    let root_procs: Vec<ProcId> = (0..sizes[0]).map(ProcId).collect();
+    next_proc += sizes[0];
+    let mut root_stages = vec![0usize];
+    root_stages.extend(1..=n0);
+    let root_mode = if allow_dp && n0 == 0 && root_procs.len() >= 2 && gen.flip(0.5) {
+        Mode::DataParallel
+    } else {
+        Mode::Replicated
+    };
+    assignments.push(Assignment::new(root_stages, root_procs, root_mode));
+    // split remaining leaves into groups_rest contiguous chunks
+    let rest: Vec<usize> = (n0 + 1..=n).collect();
+    if !rest.is_empty() {
+        let chunk = rest.len().div_ceil(groups_rest);
+        for (g, leaves) in rest.chunks(chunk).enumerate() {
+            let k = sizes.get(1 + g).copied().unwrap_or(1);
+            let procs: Vec<ProcId> = (next_proc..next_proc + k).map(ProcId).collect();
+            next_proc += k;
+            let mode = if allow_dp && procs.len() >= 2 && gen.flip(0.5) {
+                Mode::DataParallel
+            } else {
+                Mode::Replicated
+            };
+            assignments.push(Assignment::new(leaves.to_vec(), procs, mode));
+        }
+    }
+    Mapping::new(assignments)
+}
+
+#[test]
+fn fork_period_matches_analytic_everywhere() {
+    let mut gen = Gen::new(0x504);
+    for case in 0..30 {
+        let n = gen.size(0, 5);
+        let p = gen.size(2, 6);
+        let fork = gen.fork(n, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+        let m = random_fork_mapping(&mut gen, &fork, p, true);
+        if m.validate_fork(&fork, &plat, true).is_err() {
+            continue;
+        }
+        let analytic = fork.period(&plat, &m).unwrap();
+        let cycle = repliflow_sim::fork::cycle_length(&m);
+        let window = 4 * cycle;
+        let report =
+            simulate_fork(&fork, &plat, &m, Feed::Saturated, 10 * window.max(4) + window)
+                .unwrap();
+        assert_eq!(report.measured_period(window), analytic, "case {case}: {m}");
+    }
+}
+
+#[test]
+fn fork_latency_matches_analytic_on_hom_platforms() {
+    let mut gen = Gen::new(0x505);
+    for case in 0..30 {
+        let n = gen.size(0, 5);
+        let p = gen.size(2, 6);
+        let fork = gen.fork(n, 1, 10);
+        let plat = gen.hom_platform(p, 1, 4);
+        let m = random_fork_mapping(&mut gen, &fork, p, true);
+        if m.validate_fork(&fork, &plat, true).is_err() {
+            continue;
+        }
+        let analytic = fork.latency(&plat, &m).unwrap();
+        let report =
+            simulate_fork(&fork, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24)
+                .unwrap();
+        assert_eq!(report.max_latency(), analytic, "case {case}: {m}");
+    }
+}

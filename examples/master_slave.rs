@@ -1,0 +1,89 @@
+//! A master-slave scatter/gather workload — the fork / fork-join pattern
+//! the paper calls "mandatory to distribute files or databases in
+//! master-slave environments" (and Section 6.3's scatter-gather view).
+//!
+//! A master preprocesses each incoming batch (the root stage), `n` worker
+//! tasks analyze independent shards (the leaves), and a reducer merges
+//! the results (the join stage). The platform is a heterogeneous cluster;
+//! stages cannot be data-parallelized (each shard is opaque), so we are
+//! in the Theorem 14 cell — polynomial!
+//!
+//! Run with: `cargo run --example master_slave`
+
+use repliflow::algorithms::{forkjoin, het_fork};
+use repliflow::prelude::*;
+use repliflow::sim;
+
+fn main() {
+    // 8 identical shard-analysis tasks of 40 units, master setup 12.
+    let fork = Fork::uniform(12, 8, 40);
+    // One fast head node and four worker nodes.
+    let platform = Platform::heterogeneous(vec![8, 3, 3, 2, 2]);
+
+    println!(
+        "master-slave fork: root {} + {} shards x {}",
+        fork.root_weight(),
+        fork.n_leaves(),
+        fork.leaf_weights()[0]
+    );
+    println!("cluster speeds: {:?}\n", platform.speeds());
+
+    // Theorem 14: optimal throughput and response time in polynomial time.
+    let by_period = het_fork::min_period_uniform(&fork, &platform);
+    println!(
+        "max throughput : period {} via {}",
+        by_period.period, by_period.mapping
+    );
+    let by_latency = het_fork::min_latency_uniform(&fork, &platform);
+    println!(
+        "min response   : latency {} via {}",
+        by_latency.latency, by_latency.mapping
+    );
+    let tradeoff =
+        het_fork::min_latency_under_period_uniform(&fork, &platform, by_period.period * Rat::new(3, 2))
+            .expect("relaxed period bound is feasible");
+    println!(
+        "trade-off      : latency {} at period {} (bound = 1.5x optimal period)",
+        tradeoff.latency, tradeoff.period
+    );
+
+    // Validate the throughput claim by executing 400 batches, saturated.
+    let report = sim::simulate_fork(
+        &fork,
+        &platform,
+        &by_period.mapping,
+        sim::Feed::Saturated,
+        400,
+    )
+    .expect("mapping is valid");
+    let window = 4 * sim::fork::cycle_length(&by_period.mapping);
+    println!(
+        "\nsimulated steady-state period: {} (analytic {})",
+        report.measured_period(window),
+        by_period.period
+    );
+    assert_eq!(report.measured_period(window), by_period.period);
+
+    // Scatter-gather: add a reduction stage and use the Section 6.3
+    // fork-join extension.
+    let fj = ForkJoin::uniform(12, 8, 40, 20);
+    let sol = forkjoin::min_latency_uniform_het(&fj, &platform);
+    println!(
+        "\nwith a gather stage (fork-join): min latency {} via {}",
+        sol.latency, sol.mapping
+    );
+    let report = sim::simulate_forkjoin(
+        &fj,
+        &platform,
+        &sol.mapping,
+        sim::Feed::Interval(sol.latency + Rat::ONE),
+        24,
+    )
+    .expect("mapping is valid");
+    println!(
+        "simulated max latency: {} (analytic bound {})",
+        report.max_latency(),
+        sol.latency
+    );
+    assert!(report.max_latency() <= sol.latency);
+}

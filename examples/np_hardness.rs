@@ -1,0 +1,74 @@
+//! NP-hardness, executably: solve a 2-PARTITION instance *by scheduling a
+//! workflow* — and watch exhaustive mapping search blow up.
+//!
+//! Theorem 5's reduction turns any 2-PARTITION instance into a 2-stage
+//! homogeneous pipeline on a heterogeneous platform: the pipeline admits
+//! latency 2 iff the numbers admit a perfect split. This example walks
+//! the reduction in both directions and then measures how exhaustive
+//! search scales as the instance grows — the practical shadow of the
+//! hardness proof.
+//!
+//! Run with: `cargo run --release --example np_hardness`
+
+use repliflow::exact::{solve_pipeline, Goal};
+use repliflow::reductions::{thm5, TwoPartition};
+use std::time::Instant;
+
+fn main() {
+    // A yes-instance: {3, 1, 1, 2, 2, 1} splits into 5 + 5.
+    let tp = TwoPartition::new(vec![3, 1, 1, 2, 2, 1]);
+    println!("2-PARTITION instance: {:?} (sum {})", tp.values, tp.total());
+
+    // forward direction: a certificate subset becomes an optimal mapping
+    let subset = tp.solve().expect("this instance has a perfect split");
+    println!("certificate subset: {subset:?}");
+    let reduced = thm5::reduce(&tp);
+    let mapping = thm5::certificate_mapping(&tp, &subset);
+    println!(
+        "reduced pipeline: 2 stages x {} on speeds {:?}",
+        reduced.pipeline.weight(0),
+        reduced.platform.speeds()
+    );
+    println!(
+        "certificate mapping achieves latency {} (bound {})",
+        reduced.pipeline.latency(&reduced.platform, &mapping).unwrap(),
+        reduced.latency_bound
+    );
+
+    // backward direction: solving the scheduling problem solves the
+    // partition problem
+    let best = solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency)
+        .expect("pipeline instances always have mappings");
+    println!(
+        "exhaustive mapping search finds latency {} via {}",
+        best.latency, best.mapping
+    );
+    if best.latency <= reduced.latency_bound {
+        let extracted = thm5::extract_partition(&tp, &best.mapping)
+            .expect("a bound-achieving mapping encodes a split");
+        println!("... which decodes back into the partition {extracted:?}");
+    }
+
+    // and a no-instance can be *proved* to have no split by scheduling:
+    let no = TwoPartition::new(vec![3, 1, 1, 2, 2, 2]); // sum 11, odd
+    let reduced = thm5::reduce(&no);
+    let best = solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency)
+        .unwrap();
+    println!(
+        "\nno-instance {:?}: best achievable latency {} > bound {}",
+        no.values, best.latency, reduced.latency_bound
+    );
+
+    // the blow-up: exhaustive search over reduced instances of growing m
+    println!("\nexhaustive search runtime on reduced instances (NP-hardness in action):");
+    let mut gen = repliflow::core::gen::Gen::new(42);
+    for m in [3usize, 4, 5, 6, 7] {
+        let tp = TwoPartition::random_yes(&mut gen, m, 9);
+        let reduced = thm5::reduce(&tp);
+        let t = Instant::now();
+        let _ =
+            solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency);
+        println!("  p = {:>2} processors: {:?}", 2 * m, t.elapsed());
+    }
+    println!("(each +2 processors multiplies the search space by ~3x)");
+}

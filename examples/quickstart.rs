@@ -1,0 +1,50 @@
+//! Quickstart: map the paper's Section 2 pipeline onto a small cluster
+//! and optimize the period, the latency, and a bi-criteria trade-off.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use repliflow::prelude::*;
+use repliflow::{algorithms, exact};
+
+fn main() {
+    // The 4-stage pipeline of the paper's worked example: stage weights in
+    // flops. Stage 1 is a heavy low-level filter, stages 2-4 are lighter.
+    let pipeline = Pipeline::new(vec![14, 4, 2, 4]);
+
+    // Three identical unit-speed processors.
+    let platform = Platform::homogeneous(3, 1);
+
+    // --- throughput: Theorem 1 — replicate everything everywhere -------
+    let by_period = algorithms::hom_pipeline::min_period(&pipeline, &platform);
+    println!("min period  : {}  via  {}", by_period.period, by_period.mapping);
+
+    // --- response time with data-parallel stages: Theorem 3 ------------
+    let by_latency = algorithms::hom_pipeline::min_latency_dp(&pipeline, &platform);
+    println!("min latency : {}  via  {}", by_latency.latency, by_latency.mapping);
+
+    // --- bi-criteria: best latency while keeping the period <= 10 ------
+    let constrained = algorithms::hom_pipeline::min_latency_under_period(
+        &pipeline,
+        &platform,
+        Rat::int(10),
+    )
+    .expect("period 10 is achievable");
+    println!(
+        "latency under period<=10: {} (period {})  via  {}",
+        constrained.latency, constrained.period, constrained.mapping
+    );
+
+    // --- the whole exact trade-off curve (small instances only) --------
+    println!("\nexact (period, latency) Pareto frontier:");
+    let frontier = exact::pareto_pipeline(&pipeline, &platform, true);
+    for point in frontier.points() {
+        println!("  period {:>5}  latency {:>5}   {}", point.period, point.latency, point.mapping);
+    }
+
+    // every reported value is a real mapping — re-check one through the
+    // cost model:
+    assert_eq!(
+        pipeline.period(&platform, &by_period.mapping).unwrap(),
+        by_period.period
+    );
+}

@@ -1,0 +1,63 @@
+//! # repliflow
+//!
+//! A faithful, fully tested Rust implementation of
+//! *"Complexity results for throughput and latency optimization of replicated
+//! and data-parallel workflows"* (Anne Benoit & Yves Robert, IEEE Cluster
+//! 2007 / INRIA RR-6308).
+//!
+//! The paper studies the mapping of **pipeline** and **fork** workflow graphs
+//! onto homogeneous and heterogeneous platforms under a simplified
+//! no-communication model, where stage intervals may be **replicated**
+//! (round-robin over data sets, improving the period) or single stages may be
+//! **data-parallelized** (sharing one data set across processors, improving
+//! both period and latency). It establishes, for all sixteen combinations of
+//! {pipeline, fork} × {homogeneous, heterogeneous app} × {homogeneous,
+//! heterogeneous platform} × {with, without data-parallelism} × {period,
+//! latency, bi-criteria}, whether the optimal mapping is computable in
+//! polynomial time — and gives the algorithm — or NP-complete — and gives the
+//! reduction.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] — workflow graphs, platforms, mappings and the
+//!   exact-rational cost model (Section 3).
+//! * [`algorithms`] — every polynomial algorithm in the
+//!   paper (Theorems 1–4, 6–8, 10–11, 14 and the Section 6.3 fork-join
+//!   extensions).
+//! * [`exact`] — exhaustive and Pareto-frontier exact
+//!   solvers used as ground truth.
+//! * [`reductions`] — executable NP-hardness reductions
+//!   (Theorems 5, 9, 12, 13, 15) from 2-PARTITION and N3DM.
+//! * [`heuristics`] — heuristics for the NP-hard
+//!   variants (the paper's stated future work).
+//! * [`sim`] — a discrete-event simulator that executes
+//!   mapped workflows and independently validates the analytic formulas.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use repliflow::prelude::*;
+//!
+//! // The 4-stage pipeline of the paper's Section 2 example.
+//! let pipeline = Pipeline::new(vec![14, 4, 2, 4]);
+//! // Three identical unit-speed processors.
+//! let platform = Platform::homogeneous(3, 1);
+//!
+//! // Optimal period on a homogeneous platform (Theorem 1): replicate the
+//! // whole pipeline on every processor.
+//! let sol = repliflow::algorithms::hom_pipeline::min_period(&pipeline, &platform);
+//! assert_eq!(sol.objective, Rat::new(24, 3)); // 24 total work / 3 procs = 8
+//! assert_eq!(pipeline.period(&platform, &sol.mapping).unwrap(), Rat::new(8, 1));
+//! ```
+
+pub use repliflow_algorithms as algorithms;
+pub use repliflow_core as core;
+pub use repliflow_exact as exact;
+pub use repliflow_heuristics as heuristics;
+pub use repliflow_reductions as reductions;
+pub use repliflow_sim as sim;
+
+/// Convenient glob-import of the most used types across the workspace.
+pub mod prelude {
+    pub use repliflow_core::prelude::*;
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: algorithms, exact solvers, heuristics and the
+//! simulator agree with each other through the public facade API.
+
+use repliflow::core::gen::Gen;
+use repliflow::exact::{self, Goal};
+use repliflow::prelude::*;
+use repliflow::{algorithms, heuristics, sim};
+
+#[test]
+fn algorithm_exact_simulator_three_way_agreement_pipeline() {
+    let mut gen = Gen::new(0x3317);
+    for _ in 0..15 {
+        let n = gen.size(1, 5);
+        let p = gen.size(1, 4);
+        let pipe = gen.pipeline(n, 1, 12);
+        let plat = gen.hom_platform(p, 1, 4);
+
+        // Theorem 1 algorithm == exact oracle
+        let sol = algorithms::hom_pipeline::min_period(&pipe, &plat);
+        let oracle = exact::solve_pipeline(&pipe, &plat, true, Goal::MinPeriod).unwrap();
+        assert_eq!(sol.period, oracle.period);
+
+        // ... and the simulator sustains exactly that period
+        let window = 4 * sim::pipeline::cycle_length(&sol.mapping);
+        let report = sim::simulate_pipeline(
+            &pipe,
+            &plat,
+            &sol.mapping,
+            sim::Feed::Saturated,
+            10 * window + window,
+        )
+        .unwrap();
+        assert_eq!(report.measured_period(window), sol.period);
+    }
+}
+
+#[test]
+fn algorithm_exact_simulator_three_way_agreement_fork() {
+    let mut gen = Gen::new(0x3318);
+    for _ in 0..15 {
+        let leaves = gen.size(0, 4);
+        let p = gen.size(1, 4);
+        let fork = gen.uniform_fork(leaves, 1, 10);
+        let plat = gen.het_platform(p, 1, 5);
+
+        let sol = algorithms::het_fork::min_latency_uniform(&fork, &plat);
+        let oracle = exact::solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
+        assert_eq!(sol.latency, oracle.latency);
+
+        // simulated latency never exceeds the analytic value
+        let report = sim::simulate_fork(
+            &fork,
+            &plat,
+            &sol.mapping,
+            sim::Feed::Interval(sol.latency + Rat::ONE),
+            24,
+        )
+        .unwrap();
+        assert!(report.max_latency() <= sol.latency);
+    }
+}
+
+#[test]
+fn heuristics_are_bounded_by_baselines_and_exact() {
+    let mut gen = Gen::new(0x3319);
+    for _ in 0..15 {
+        let n = gen.size(2, 5);
+        let p = gen.size(2, 4);
+        let pipe = gen.pipeline(n, 1, 15);
+        let plat = gen.het_platform(p, 1, 6);
+        let opt = exact::solve_pipeline(&pipe, &plat, false, Goal::MinPeriod)
+            .unwrap()
+            .period;
+        let greedy_m = heuristics::greedy::pipeline_period_greedy(&pipe, &plat);
+        let greedy = pipe.period(&plat, &greedy_m).unwrap();
+        let wf: Workflow = pipe.clone().into();
+        let base_m = heuristics::baselines::fastest_single(&wf, &plat);
+        let base = pipe.period(&plat, &base_m).unwrap();
+        assert!(opt <= greedy);
+        assert!(greedy <= base);
+    }
+}
+
+#[test]
+fn workflow_enum_is_a_uniform_entry_point() {
+    let plat = Platform::heterogeneous(vec![3, 2, 1]);
+    let shapes: Vec<Workflow> = vec![
+        Pipeline::new(vec![5, 7]).into(),
+        Fork::new(2, vec![3, 4]).into(),
+        ForkJoin::new(2, vec![3, 3], 4).into(),
+    ];
+    for wf in &shapes {
+        let sol = exact::min_period(wf, &plat, true);
+        assert_eq!(wf.period(&plat, &sol.mapping).unwrap(), sol.period);
+        let sol = exact::min_latency(wf, &plat, true);
+        assert_eq!(wf.latency(&plat, &sol.mapping).unwrap(), sol.latency);
+    }
+}
+
+#[test]
+fn problem_instances_round_trip_through_json() {
+    let inst = ProblemInstance {
+        workflow: Fork::new(2, vec![3, 4]).into(),
+        platform: Platform::heterogeneous(vec![3, 1]),
+        allow_data_parallel: true,
+        objective: Objective::LatencyUnderPeriod(Rat::new(7, 2)),
+    };
+    let json = serde_json::to_string_pretty(&inst).unwrap();
+    let back: ProblemInstance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+    // ... and the oracle consumes the deserialized instance directly
+    let sol = exact::solve(&back);
+    assert!(sol.is_some());
+}
+
+#[test]
+fn table1_classification_matches_solver_availability() {
+    use repliflow::core::instance::Complexity;
+    let mut gen = Gen::new(0x331A);
+    // every polynomial pipeline cell on hom platforms has a solver whose
+    // value the oracle confirms
+    for _ in 0..5 {
+        let pipe = gen.pipeline(3, 1, 9);
+        let plat = gen.hom_platform(3, 1, 3);
+        let inst = ProblemInstance {
+            workflow: pipe.clone().into(),
+            platform: plat.clone(),
+            allow_data_parallel: true,
+            objective: Objective::Period,
+        };
+        match inst.variant().paper_complexity() {
+            Complexity::Polynomial(thm) => {
+                assert_eq!(thm, "Thm 1");
+                let sol = algorithms::hom_pipeline::min_period(&pipe, &plat);
+                assert_eq!(sol.period, exact::solve(&inst).unwrap().period);
+            }
+            Complexity::NpHard(_) => panic!("this cell is polynomial"),
+        }
+    }
+}
