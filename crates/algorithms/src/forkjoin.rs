@@ -43,8 +43,12 @@ fn uniform_leaf_weight(fj: &ForkJoin) -> u64 {
 pub fn min_period(fj: &ForkJoin, platform: &Platform) -> Solved {
     assert!(platform.is_homogeneous(), "requires a homogeneous platform");
     let mapping = Mapping::whole(fj.n_stages(), platform.procs().collect(), Mode::Replicated);
-    let period = fj.period(platform, &mapping).expect("valid by construction");
-    let latency = fj.latency(platform, &mapping).expect("valid by construction");
+    let period = fj
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = fj
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     Solved::for_period(mapping, period, latency)
 }
 
@@ -71,8 +75,12 @@ fn shapes_hom(fj: &ForkJoin, platform: &Platform, allow_dp: bool) -> Vec<Shape> 
 
     let mut push = |assignments: Vec<Assignment>| {
         let mapping = Mapping::new(assignments);
-        let period = fj.period(platform, &mapping).expect("constructed shape valid");
-        let latency = fj.latency(platform, &mapping).expect("constructed shape valid");
+        let period = fj
+            .period(platform, &mapping)
+            .expect("constructed shape valid");
+        let latency = fj
+            .latency(platform, &mapping)
+            .expect("constructed shape valid");
         out.push(Shape {
             mapping,
             period,
@@ -131,11 +139,8 @@ fn shapes_hom(fj: &ForkJoin, platform: &Platform, allow_dp: bool) -> Vec<Shape> 
             {
                 let mut stages = vec![0usize, join_id];
                 stages.extend(1..=n0);
-                let group = Assignment::new(
-                    stages,
-                    (0..q0).map(ProcId).collect(),
-                    Mode::Replicated,
-                );
+                let group =
+                    Assignment::new(stages, (0..q0).map(ProcId).collect(), Mode::Replicated);
                 with_rest(vec![group], n0 + 1, n - n0, q0, &mut push);
             }
             // ---- Case B: separate join group (n1 leaves, q1 procs) ----
@@ -146,11 +151,7 @@ fn shapes_hom(fj: &ForkJoin, platform: &Platform, allow_dp: bool) -> Vec<Shape> 
             for root_mode in root_modes {
                 let mut root_stages = vec![0usize];
                 root_stages.extend(1..=n0);
-                let root = Assignment::new(
-                    root_stages,
-                    (0..q0).map(ProcId).collect(),
-                    root_mode,
-                );
+                let root = Assignment::new(root_stages, (0..q0).map(ProcId).collect(), root_mode);
                 for n1 in 0..=(n - n0) {
                     for q1 in 1..=(p - q0) {
                         let mut join_modes = vec![Mode::Replicated];
@@ -387,7 +388,12 @@ fn feasible_uniform_het(
 fn k_candidates(fj: &ForkJoin, platform: &Platform) -> Vec<Rat> {
     let n = fj.n_leaves() as u64;
     let w = uniform_leaf_weight(fj);
-    let bases = [0, fj.root_weight(), fj.join_weight(), fj.root_weight() + fj.join_weight()];
+    let bases = [
+        0,
+        fj.root_weight(),
+        fj.join_weight(),
+        fj.root_weight() + fj.join_weight(),
+    ];
     let mut out = Vec::new();
     for &s in platform.speeds() {
         for k in 1..=platform.n_procs() as u64 {
@@ -570,9 +576,7 @@ mod tests {
         assert!(sol.period <= best_k.period && sol.latency >= best_l.latency);
         let sol = min_period_under_latency_uniform_het(&fj, &plat, best_l.latency).unwrap();
         assert!(sol.latency <= best_l.latency && sol.period >= best_k.period);
-        assert!(
-            min_latency_under_period_uniform_het(&fj, &plat, Rat::new(1, 1000)).is_none()
-        );
+        assert!(min_latency_under_period_uniform_het(&fj, &plat, Rat::new(1, 1000)).is_none());
     }
 
     #[test]

@@ -305,12 +305,10 @@ mod tests {
         let by_period = min_period_uniform(&fork, &plat);
         let by_latency = min_latency_uniform(&fork, &plat);
         // constraining at each unconstrained optimum must be feasible
-        let sol =
-            min_latency_under_period_uniform(&fork, &plat, by_period.period).unwrap();
+        let sol = min_latency_under_period_uniform(&fork, &plat, by_period.period).unwrap();
         assert!(sol.period <= by_period.period);
         assert!(sol.latency >= by_latency.latency);
-        let sol =
-            min_period_under_latency_uniform(&fork, &plat, by_latency.latency).unwrap();
+        let sol = min_period_under_latency_uniform(&fork, &plat, by_latency.latency).unwrap();
         assert!(sol.latency <= by_latency.latency);
         assert!(sol.period >= by_period.period);
         // absurd bounds are infeasible

@@ -36,8 +36,12 @@ use repliflow_core::workflow::Pipeline;
 pub fn min_latency_no_dp(pipeline: &Pipeline, platform: &Platform) -> Solved {
     let fastest = platform.fastest();
     let mapping = Mapping::whole(pipeline.n_stages(), vec![fastest], Mode::Replicated);
-    let period = pipeline.period(platform, &mapping).expect("valid by construction");
-    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    let period = pipeline
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = pipeline
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     Solved::for_latency(mapping, period, latency)
 }
 
@@ -202,9 +206,8 @@ fn latency_of_best_mapping(pipeline: &Pipeline, platform: &Platform, k_bound: Ra
 /// platform (no data-parallelism), via exact candidate binary search.
 pub fn min_period_uniform(pipeline: &Pipeline, platform: &Platform) -> Solved {
     let candidates = period_candidates(pipeline, platform);
-    let idx = candidates.partition_point(|&k| {
-        feasible_uniform(pipeline, platform, k, Rat::INFINITY).is_none()
-    });
+    let idx = candidates
+        .partition_point(|&k| feasible_uniform(pipeline, platform, k, Rat::INFINITY).is_none());
     let k = candidates[idx.min(candidates.len() - 1)];
     let mapping =
         feasible_uniform(pipeline, platform, k, Rat::INFINITY).expect("largest candidate feasible");
@@ -292,8 +295,7 @@ mod tests {
         let pipe = Pipeline::uniform(4, 6);
         let plat = Platform::heterogeneous(vec![3, 1]);
         // unconstrained latency: everything on the fast processor = 8
-        let sol =
-            min_latency_under_period_uniform(&pipe, &plat, Rat::INFINITY).unwrap();
+        let sol = min_latency_under_period_uniform(&pipe, &plat, Rat::INFINITY).unwrap();
         assert_eq!(sol.latency, Rat::int(8));
         // period <= 6 forces the 3/1 split: latency 18/3 + 6/1 = 12
         let sol = min_latency_under_period_uniform(&pipe, &plat, Rat::int(6)).unwrap();
@@ -326,9 +328,15 @@ mod tests {
     fn capacity_formula() {
         // period bound 2, 3 procs of slowest speed 2, w=4:
         // m <= 2·3·2/4 = 3
-        assert_eq!(interval_capacity(2, 3, 4, 10, Rat::int(2), Rat::INFINITY), 3);
+        assert_eq!(
+            interval_capacity(2, 3, 4, 10, Rat::int(2), Rat::INFINITY),
+            3
+        );
         // latency bound 6: m <= 6·2/4 = 3
-        assert_eq!(interval_capacity(2, 3, 4, 10, Rat::INFINITY, Rat::int(6)), 3);
+        assert_eq!(
+            interval_capacity(2, 3, 4, 10, Rat::INFINITY, Rat::int(6)),
+            3
+        );
         // both: min
         assert_eq!(interval_capacity(2, 3, 4, 10, Rat::int(1), Rat::int(6)), 1);
         // clamped to n

@@ -50,9 +50,17 @@ fn uniform_leaf_weight(fork: &Fork) -> u64 {
 /// fork onto every processor (any fork, both models).
 pub fn min_period(fork: &Fork, platform: &Platform) -> Solved {
     assert_homogeneous_platform(platform);
-    let mapping = Mapping::whole(fork.n_stages(), platform.procs().collect(), Mode::Replicated);
-    let period = fork.period(platform, &mapping).expect("valid by construction");
-    let latency = fork.latency(platform, &mapping).expect("valid by construction");
+    let mapping = Mapping::whole(
+        fork.n_stages(),
+        platform.procs().collect(),
+        Mode::Replicated,
+    );
+    let period = fork
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = fork
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     Solved::for_period(mapping, period, latency)
 }
 
@@ -133,8 +141,12 @@ fn shapes(fork: &Fork, platform: &Platform, allow_dp: bool) -> Vec<Shape> {
     let mut leaf_dp = UniformLeafDp::new(w.max(1), s);
 
     let mut push = |mapping: Mapping| {
-        let period = fork.period(platform, &mapping).expect("constructed shape valid");
-        let latency = fork.latency(platform, &mapping).expect("constructed shape valid");
+        let period = fork
+            .period(platform, &mapping)
+            .expect("constructed shape valid");
+        let latency = fork
+            .latency(platform, &mapping)
+            .expect("constructed shape valid");
         out.push(Shape {
             mapping,
             period,
@@ -290,8 +302,7 @@ mod tests {
         assert!(tight.period <= Rat::new(14, 4));
         assert!(tight.latency >= unconstrained.latency);
         // latency bound at the unconstrained optimum
-        let sol =
-            min_period_under_latency(&fork, &plat, false, unconstrained.latency).unwrap();
+        let sol = min_period_under_latency(&fork, &plat, false, unconstrained.latency).unwrap();
         assert!(sol.latency <= unconstrained.latency);
         // infeasible bounds
         assert!(min_latency_under_period(&fork, &plat, false, Rat::new(1, 100)).is_none());

@@ -45,8 +45,12 @@ pub fn min_period(pipeline: &Pipeline, platform: &Platform) -> Solved {
         platform.procs().collect(),
         Mode::Replicated,
     );
-    let period = pipeline.period(platform, &mapping).expect("valid by construction");
-    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    let period = pipeline
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = pipeline
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     Solved::for_period(mapping, period, latency)
 }
 
@@ -139,8 +143,12 @@ pub fn min_latency_dp(pipeline: &Pipeline, platform: &Platform) -> Solved {
         }
     }
     let mapping = Mapping::new(assignments);
-    let period = pipeline.period(platform, &mapping).expect("valid by construction");
-    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    let period = pipeline
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = pipeline
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     debug_assert_eq!(latency, dp[0][p]);
     Solved::for_latency(mapping, period, latency)
 }
@@ -236,7 +244,9 @@ pub fn min_latency_dp_amdahl(
         }
     }
     let mapping = Mapping::new(assignments);
-    let period = pipeline.period(platform, &mapping).expect("valid by construction");
+    let period = pipeline
+        .period(platform, &mapping)
+        .expect("valid by construction");
     // The core cost model has no overheads; report the Amdahl-adjusted
     // latency the DP optimized.
     let latency = dp[0][p];
@@ -353,8 +363,12 @@ pub fn min_latency_under_period(
         }
     }
     let mapping = Mapping::new(assignments);
-    let period = pipeline.period(platform, &mapping).expect("valid by construction");
-    let latency = pipeline.latency(platform, &mapping).expect("valid by construction");
+    let period = pipeline
+        .period(platform, &mapping)
+        .expect("valid by construction");
+    let latency = pipeline
+        .latency(platform, &mapping)
+        .expect("valid by construction");
     debug_assert!(period <= period_bound);
     debug_assert_eq!(latency, dp[0][p]);
     Some(Solved::for_latency(mapping, period, latency))
@@ -411,7 +425,10 @@ mod tests {
     use super::*;
 
     fn section2() -> (Pipeline, Platform) {
-        (Pipeline::new(vec![14, 4, 2, 4]), Platform::homogeneous(3, 1))
+        (
+            Pipeline::new(vec![14, 4, 2, 4]),
+            Platform::homogeneous(3, 1),
+        )
     }
 
     #[test]
@@ -460,7 +477,7 @@ mod tests {
         let sol = min_latency_under_period(&pipe, &plat, Rat::int(8)).unwrap();
         assert!(sol.period <= Rat::int(8));
         assert_eq!(sol.latency, Rat::int(24)); // replicate-all is forced
-        // impossible period
+                                               // impossible period
         assert!(min_latency_under_period(&pipe, &plat, Rat::int(1)).is_none());
     }
 

@@ -22,8 +22,8 @@ fn theorem1_min_period_matches_exact() {
         let plat = gen.hom_platform(p, 1, 4);
         let sol = hom_pipeline::min_period(&pipe, &plat);
         for allow_dp in [false, true] {
-            let exact = repliflow_exact::solve_pipeline(&pipe, &plat, allow_dp, Goal::MinPeriod)
-                .unwrap();
+            let exact =
+                repliflow_exact::solve_pipeline(&pipe, &plat, allow_dp, Goal::MinPeriod).unwrap();
             assert_eq!(sol.period, exact.period, "case {case} dp={allow_dp}");
         }
     }
@@ -38,8 +38,7 @@ fn theorem2_min_latency_no_dp_matches_exact() {
         let pipe = gen.pipeline(n, 1, 15);
         let plat = gen.hom_platform(p, 1, 4);
         let sol = hom_pipeline::min_latency_no_dp(&pipe, &plat);
-        let exact =
-            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        let exact = repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
         assert_eq!(sol.latency, exact.latency, "case {case}");
     }
 }
@@ -53,8 +52,7 @@ fn theorem3_min_latency_dp_matches_exact() {
         let pipe = gen.pipeline(n, 1, 15);
         let plat = gen.hom_platform(p, 1, 4);
         let sol = hom_pipeline::min_latency_dp(&pipe, &plat);
-        let exact =
-            repliflow_exact::solve_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
+        let exact = repliflow_exact::solve_pipeline(&pipe, &plat, true, Goal::MinLatency).unwrap();
         assert_eq!(sol.latency, exact.latency, "case {case}");
     }
 }
@@ -88,8 +86,7 @@ fn theorem6_min_latency_matches_exact() {
         let pipe = gen.pipeline(n, 1, 15);
         let plat = gen.het_platform(p, 1, 6);
         let sol = het_pipeline::min_latency_no_dp(&pipe, &plat);
-        let exact =
-            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
+        let exact = repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency).unwrap();
         assert_eq!(sol.latency, exact.latency, "case {case}");
     }
 }
@@ -103,8 +100,7 @@ fn theorem7_min_period_uniform_matches_exact() {
         let pipe = gen.uniform_pipeline(n, 1, 12);
         let plat = gen.het_platform(p, 1, 6);
         let sol = het_pipeline::min_period_uniform(&pipe, &plat);
-        let exact =
-            repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinPeriod).unwrap();
+        let exact = repliflow_exact::solve_pipeline(&pipe, &plat, false, Goal::MinPeriod).unwrap();
         assert_eq!(sol.period, exact.period, "case {case}");
     }
 }
@@ -119,13 +115,11 @@ fn theorem8_bicriteria_uniform_matches_exact_frontier() {
         let plat = gen.het_platform(p, 1, 5);
         let frontier = pareto_pipeline(&pipe, &plat, false);
         for point in frontier.points() {
-            let sol =
-                het_pipeline::min_latency_under_period_uniform(&pipe, &plat, point.period)
-                    .expect("frontier point is feasible");
+            let sol = het_pipeline::min_latency_under_period_uniform(&pipe, &plat, point.period)
+                .expect("frontier point is feasible");
             assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
-            let sol =
-                het_pipeline::min_period_under_latency_uniform(&pipe, &plat, point.latency)
-                    .expect("frontier point is feasible");
+            let sol = het_pipeline::min_period_under_latency_uniform(&pipe, &plat, point.latency)
+                .expect("frontier point is feasible");
             assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
         }
     }
@@ -176,17 +170,15 @@ fn theorem11_fork_bicriteria_matches_exact_frontier() {
         for allow_dp in [false, true] {
             let frontier = pareto_fork(&fork, &plat, allow_dp);
             for point in frontier.points() {
-                let sol =
-                    hom_fork::min_latency_under_period(&fork, &plat, allow_dp, point.period)
-                        .expect("frontier point is feasible");
+                let sol = hom_fork::min_latency_under_period(&fork, &plat, allow_dp, point.period)
+                    .expect("frontier point is feasible");
                 assert_eq!(
                     sol.latency, point.latency,
                     "case {case} dp={allow_dp} P={}",
                     point.period
                 );
-                let sol =
-                    hom_fork::min_period_under_latency(&fork, &plat, allow_dp, point.latency)
-                        .expect("frontier point is feasible");
+                let sol = hom_fork::min_period_under_latency(&fork, &plat, allow_dp, point.latency)
+                    .expect("frontier point is feasible");
                 assert_eq!(
                     sol.period, point.period,
                     "case {case} dp={allow_dp} L={}",
@@ -206,12 +198,10 @@ fn theorem14_het_fork_matches_exact() {
         let fork = gen.uniform_fork(leaves, 1, 10);
         let plat = gen.het_platform(p, 1, 5);
         let sol = het_fork::min_period_uniform(&fork, &plat);
-        let exact =
-            repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinPeriod).unwrap();
+        let exact = repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinPeriod).unwrap();
         assert_eq!(sol.period, exact.period, "case {case} period");
         let sol = het_fork::min_latency_uniform(&fork, &plat);
-        let exact =
-            repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
+        let exact = repliflow_exact::solve_fork(&fork, &plat, false, Goal::MinLatency).unwrap();
         assert_eq!(sol.latency, exact.latency, "case {case} latency");
     }
 }
@@ -226,13 +216,11 @@ fn theorem14_het_fork_bicriteria_matches_exact_frontier() {
         let plat = gen.het_platform(p, 1, 4);
         let frontier = pareto_fork(&fork, &plat, false);
         for point in frontier.points() {
-            let sol =
-                het_fork::min_latency_under_period_uniform(&fork, &plat, point.period)
-                    .expect("frontier point is feasible");
+            let sol = het_fork::min_latency_under_period_uniform(&fork, &plat, point.period)
+                .expect("frontier point is feasible");
             assert_eq!(sol.latency, point.latency, "case {case} P={}", point.period);
-            let sol =
-                het_fork::min_period_under_latency_uniform(&fork, &plat, point.latency)
-                    .expect("frontier point is feasible");
+            let sol = het_fork::min_period_under_latency_uniform(&fork, &plat, point.latency)
+                .expect("frontier point is feasible");
             assert_eq!(sol.period, point.period, "case {case} L={}", point.latency);
         }
     }
@@ -248,15 +236,13 @@ fn forkjoin_hom_platform_matches_exact() {
         let plat = gen.hom_platform(p, 1, 3);
         // period (replicate-all is optimal; any fork-join)
         let sol = forkjoin::min_period(&fj, &plat);
-        let exact =
-            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
+        let exact = repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
         assert_eq!(sol.period, exact.period, "case {case} period");
         // latency, both models
         for allow_dp in [false, true] {
             let sol = forkjoin::min_latency_hom(&fj, &plat, allow_dp);
             let exact =
-                repliflow_exact::solve_forkjoin(&fj, &plat, allow_dp, Goal::MinLatency)
-                    .unwrap();
+                repliflow_exact::solve_forkjoin(&fj, &plat, allow_dp, Goal::MinLatency).unwrap();
             assert_eq!(sol.latency, exact.latency, "case {case} dp={allow_dp}");
         }
     }
@@ -271,12 +257,10 @@ fn forkjoin_het_platform_matches_exact() {
         let fj = gen.uniform_forkjoin(leaves, 1, 8);
         let plat = gen.het_platform(p, 1, 4);
         let sol = forkjoin::min_period_uniform_het(&fj, &plat);
-        let exact =
-            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
+        let exact = repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinPeriod).unwrap();
         assert_eq!(sol.period, exact.period, "case {case} period");
         let sol = forkjoin::min_latency_uniform_het(&fj, &plat);
-        let exact =
-            repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinLatency).unwrap();
+        let exact = repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinLatency).unwrap();
         assert_eq!(sol.latency, exact.latency, "case {case} latency");
     }
 }
@@ -331,8 +315,7 @@ fn unconstrained_bounds_recover_mono_criterion_optima() {
 
         let plat = gen.het_platform(sz, 1, 5);
         let unconstrained =
-            het_pipeline::min_latency_under_period_uniform(&pipe, &plat, Rat::INFINITY)
-                .unwrap();
+            het_pipeline::min_latency_under_period_uniform(&pipe, &plat, Rat::INFINITY).unwrap();
         let direct = het_pipeline::min_latency_no_dp(&pipe, &plat);
         assert_eq!(unconstrained.latency, direct.latency);
     }

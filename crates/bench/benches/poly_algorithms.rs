@@ -50,9 +50,7 @@ fn bench_thm4(c: &mut Criterion) {
         let plat = gen.hom_platform(16, 1, 4);
         let bound = Rat::int(1_000_000);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(hom_pipeline::min_latency_under_period(&pipe, &plat, bound))
-            });
+            b.iter(|| black_box(hom_pipeline::min_latency_under_period(&pipe, &plat, bound)));
         });
     }
     group.finish();

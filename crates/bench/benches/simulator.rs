@@ -21,8 +21,7 @@ fn bench_pipeline_sim(c: &mut Criterion) {
             |b, &d| {
                 b.iter(|| {
                     black_box(
-                        simulate_pipeline(&pipe, &plat, &mapping, Feed::Saturated, d)
-                            .unwrap(),
+                        simulate_pipeline(&pipe, &plat, &mapping, Feed::Saturated, d).unwrap(),
                     )
                 });
             },
@@ -44,9 +43,7 @@ fn bench_fork_sim(c: &mut Criterion) {
             &data_sets,
             |b, &d| {
                 b.iter(|| {
-                    black_box(
-                        simulate_fork(&fork, &plat, &mapping, Feed::Saturated, d).unwrap(),
-                    )
+                    black_box(simulate_fork(&fork, &plat, &mapping, Feed::Saturated, d).unwrap())
                 });
             },
         );

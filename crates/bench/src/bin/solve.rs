@@ -1,14 +1,17 @@
 //! `solve` — command-line solver for workflow mapping instances.
 //!
-//! Reads a [`ProblemInstance`] as JSON (from a file argument or stdin),
-//! classifies it into its Table 1 cell, picks an appropriate engine, and
-//! prints the solution (mapping, period, latency) plus the cell's
-//! complexity classification.
+//! Reads [`ProblemInstance`]s as JSON (file arguments or stdin), routes
+//! them through the [`repliflow_solver::EngineRegistry`] — the paper's
+//! polynomial algorithm on polynomial Table 1 cells, exhaustive search
+//! on small NP-hard instances, heuristics beyond that — and prints the
+//! resulting [`SolveReport`]s.
 //!
 //! ```text
-//! solve instance.json            # auto engine
-//! solve --engine exact inst.json # force exhaustive search (small only)
-//! solve --engine heuristic i.json
+//! solve instance.json              # Table 1 auto-dispatch
+//! solve --engine exact inst.json   # force exhaustive search (small only)
+//! solve --engine heuristic i.json  # force the heuristic portfolio
+//! solve --engine paper i.json      # paper algorithm or refuse
+//! solve a.json b.json c.json       # parallel batch over many instances
 //! cat inst.json | solve -
 //! ```
 //!
@@ -21,147 +24,153 @@
 //!   "objective": "Period"
 //! }
 //! ```
+//!
+//! [`ProblemInstance`]: repliflow_core::instance::ProblemInstance
+//! [`SolveReport`]: repliflow_solver::SolveReport
 
-use repliflow_core::instance::{Complexity, Objective, ProblemInstance};
-use repliflow_core::mapping::{Mapping, Mode};
-use repliflow_core::workflow::Workflow;
+use repliflow_core::instance::{Complexity, ProblemInstance};
+use repliflow_solver::{BatchOptions, EnginePref, EngineRegistry, SolveReport, SolveRequest};
 use std::io::Read;
 use std::process::ExitCode;
 
-enum Engine {
-    Auto,
-    Exact,
-    Heuristic,
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: solve [--engine auto|exact|heuristic|paper] [--no-validate] \
+         <instance.json ... | ->"
+    );
+    ExitCode::FAILURE
 }
 
-fn usage() -> ExitCode {
-    eprintln!("usage: solve [--engine auto|exact|heuristic] <instance.json | ->");
-    ExitCode::FAILURE
+fn read_instance(path: &str) -> Result<ProblemInstance, String> {
+    let json = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    serde_json::from_str(&json).map_err(|e| format!("invalid instance JSON in {path}: {e}"))
+}
+
+/// Prints one report; returns whether it represents a solved instance
+/// (an unattainable bound is reported, but counts as a failure for the
+/// process exit code).
+fn print_report(report: &SolveReport) -> bool {
+    println!("instance : {}", report.variant);
+    match report.complexity {
+        Complexity::Polynomial(thm) => println!("cell     : polynomial ({thm})"),
+        Complexity::NpHard(thm) => println!("cell     : NP-hard ({thm})"),
+    }
+    println!("engine   : {}", report.engine_used);
+    println!("optimal  : {}", report.optimality);
+    match (&report.mapping, report.period, report.latency) {
+        (Some(mapping), Some(period), Some(latency)) => {
+            println!("mapping  : {mapping}");
+            println!("period   : {period} ({:.6})", period.to_f64());
+            println!("latency  : {latency} ({:.6})", latency.to_f64());
+            if let Some(objective) = report.objective_value {
+                println!("objective: {objective}");
+            }
+            match report.optimality {
+                repliflow_solver::Optimality::Infeasible => {
+                    println!("status   : bound unattainable (best bound-violating witness shown)")
+                }
+                _ => println!("status   : feasible"),
+            }
+        }
+        _ => println!("status   : bound proven unattainable (no mapping exists)"),
+    }
+    report.optimality != repliflow_solver::Optimality::Infeasible
+}
+
+/// Warns when a forced exhaustive search exceeds the auto-dispatch
+/// size threshold (it will still run — possibly for a very long time).
+fn warn_if_slow(engine: EnginePref, instances: &[ProblemInstance]) {
+    if engine != EnginePref::Exact {
+        return;
+    }
+    let budget = repliflow_solver::Budget::default();
+    for instance in instances {
+        let (n, p) = (instance.workflow.n_stages(), instance.platform.n_procs());
+        if !budget.allows_exact(n, p) {
+            eprintln!("warning: exact search on n={n}, p={p} may take very long");
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut engine = Engine::Auto;
-    let mut path: Option<String> = None;
+    let mut engine = EnginePref::Auto;
+    let mut validate = true;
+    let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--engine" => {
-                engine = match it.next().as_deref() {
-                    Some("auto") => Engine::Auto,
-                    Some("exact") => Engine::Exact,
-                    Some("heuristic") => Engine::Heuristic,
-                    _ => return usage(),
-                }
-            }
+            "--engine" => match it.next().as_deref().and_then(EnginePref::parse) {
+                Some(pref) => engine = pref,
+                None => return usage(),
+            },
+            "--no-validate" => validate = false,
             "-h" | "--help" => return usage(),
-            other => path = Some(other.to_string()),
+            other => paths.push(other.to_string()),
         }
     }
-    let Some(path) = path else { return usage() };
+    if paths.is_empty() {
+        return usage();
+    }
 
-    let json = if path == "-" {
-        let mut buf = String::new();
-        if std::io::stdin().read_to_string(&mut buf).is_err() {
-            eprintln!("error: cannot read stdin");
-            return ExitCode::FAILURE;
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
+    let mut instances = Vec::new();
+    for path in &paths {
+        match read_instance(path) {
+            Ok(instance) => instances.push(instance),
+            Err(msg) => {
+                eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
             }
         }
-    };
-    let instance: ProblemInstance = match serde_json::from_str(&json) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: invalid instance JSON: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let variant = instance.variant();
-    let complexity = variant.paper_complexity();
-    println!("instance : {variant}");
-    match complexity {
-        Complexity::Polynomial(thm) => println!("cell     : polynomial ({thm})"),
-        Complexity::NpHard(thm) => println!("cell     : NP-hard ({thm})"),
     }
 
-    let n = instance.workflow.n_stages();
-    let p = instance.platform.n_procs();
-    let small = n <= 10 && p <= 12;
-    let use_exact = match engine {
-        Engine::Exact => true,
-        Engine::Heuristic => false,
-        Engine::Auto => small,
-    };
-
-    let mapping: Option<Mapping> = if use_exact {
-        if !small {
-            eprintln!("warning: exact search on n={n}, p={p} may take very long");
+    let registry = EngineRegistry::default();
+    let mut failed = false;
+    warn_if_slow(engine, &instances);
+    if instances.len() == 1 {
+        let request = SolveRequest::new(instances.into_iter().next().unwrap())
+            .engine(engine)
+            .validate_witness(validate);
+        match registry.solve(&request) {
+            Ok(report) => failed |= !print_report(&report),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
         }
-        println!("engine   : exact (exhaustive Pareto search)");
-        repliflow_exact::solve(&instance).map(|s| s.mapping)
     } else {
-        println!("engine   : heuristic");
-        match (&instance.workflow, instance.objective) {
-            (Workflow::Pipeline(pipe), Objective::Period) => Some(
-                repliflow_heuristics::greedy::pipeline_period_greedy(pipe, &instance.platform),
-            ),
-            (Workflow::Pipeline(pipe), _) => {
-                let start = Mapping::whole(
-                    pipe.n_stages(),
-                    instance.platform.procs().collect(),
-                    Mode::Replicated,
-                );
-                Some(repliflow_heuristics::local_search::improve(
-                    pipe,
-                    &instance.platform,
-                    instance.allow_data_parallel,
-                    instance.objective,
-                    start,
-                    200,
-                ))
+        // Many instances: fan out across threads.
+        let options = BatchOptions {
+            engine,
+            validate_witness: validate,
+            ..BatchOptions::default()
+        };
+        for (path, result) in paths
+            .iter()
+            .zip(registry.solve_batch_with(&instances, &options))
+        {
+            println!("== {path} ==");
+            match result {
+                Ok(report) => failed |= !print_report(&report),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    failed = true;
+                }
             }
-            (Workflow::Fork(fork), _) => Some(repliflow_heuristics::greedy::fork_latency_greedy(
-                fork,
-                &instance.platform,
-            )),
-            (Workflow::ForkJoin(_), _) => {
-                eprintln!("error: no fork-join heuristic; use --engine exact");
-                None
-            }
+            println!();
         }
-    };
-
-    let Some(mapping) = mapping else {
-        eprintln!("no solution (infeasible bound or unsupported combination)");
-        return ExitCode::FAILURE;
-    };
-    let period = instance
-        .workflow
-        .period(&instance.platform, &mapping)
-        .expect("engine mappings are valid");
-    let latency = instance
-        .workflow
-        .latency(&instance.platform, &mapping)
-        .expect("engine mappings are valid");
-    println!("mapping  : {mapping}");
-    println!("period   : {period} ({:.6})", period.to_f64());
-    println!("latency  : {latency} ({:.6})", latency.to_f64());
-    match instance.objective {
-        Objective::LatencyUnderPeriod(b) if period > b => {
-            println!("status   : VIOLATES period bound {b}");
-        }
-        Objective::PeriodUnderLatency(b) if latency > b => {
-            println!("status   : VIOLATES latency bound {b}");
-        }
-        _ => println!("status   : feasible"),
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,22 +1,27 @@
 //! Regenerates **Table 1** of the paper with empirical verification of
-//! every cell.
+//! every cell, entirely through the unified
+//! [`repliflow_solver::EngineRegistry`] API:
 //!
-//! * Polynomial cells: the theorem's algorithm is run against the
-//!   exhaustive exact oracle on randomized small instances; the cell is
-//!   confirmed when every optimum matches.
+//! * Polynomial cells: the registry's `paper` route (the theorem's
+//!   algorithm) is compared against its `exact` route (exhaustive
+//!   oracle) on randomized small instances; the cell is confirmed when
+//!   every optimum matches.
 //! * NP-hard cells: the reduction is exercised in both directions on
 //!   planted yes/no source instances; the cell is confirmed when the
-//!   decision bound is achievable exactly on the yes side and unreachable
-//!   on the no side.
+//!   decision bound is achievable exactly on the yes side and
+//!   unreachable on the no side (the solve side again goes through the
+//!   registry's exact route).
 //!
 //! Output: the paper's two sub-tables with a verification status per cell.
 
 use repliflow_bench::config::{SEED, TABLE1_SAMPLES};
 use repliflow_core::gen::Gen;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::platform::Platform;
 use repliflow_core::rational::Rat;
-use repliflow_exact as exact;
-use repliflow_exact::Goal;
+use repliflow_core::workflow::Workflow;
 use repliflow_reductions::{thm12, thm13, thm15, thm5, thm9, N3dm, TwoPartition};
+use repliflow_solver::{pareto, EnginePref, EngineRegistry, SolveReport, SolveRequest};
 
 /// Verification outcome of one Table 1 cell.
 struct Cell {
@@ -32,9 +37,46 @@ fn check(ok: bool, what: &str) -> String {
     }
 }
 
+fn instance(
+    workflow: impl Into<Workflow>,
+    platform: &Platform,
+    allow_dp: bool,
+    objective: Objective,
+) -> ProblemInstance {
+    ProblemInstance {
+        workflow: workflow.into(),
+        platform: platform.clone(),
+        allow_data_parallel: allow_dp,
+        objective,
+    }
+}
+
+fn solve_via(registry: &EngineRegistry, inst: &ProblemInstance, pref: EnginePref) -> SolveReport {
+    registry
+        .solve(&SolveRequest::new(inst.clone()).engine(pref))
+        .expect("table instances stay within every engine's coverage")
+}
+
+/// `paper` route == `exact` route on this instance's objective value.
+fn paper_matches_exact(registry: &EngineRegistry, inst: &ProblemInstance) -> bool {
+    let paper = solve_via(registry, inst, EnginePref::Paper);
+    let exact = solve_via(registry, inst, EnginePref::Exact);
+    paper.objective_value == exact.objective_value
+}
+
+/// The paper route reproduces every point of the exact Pareto frontier.
+fn paper_matches_frontier(registry: &EngineRegistry, inst: &ProblemInstance) -> bool {
+    pareto(inst).points().iter().all(|point| {
+        let bounded = ProblemInstance {
+            objective: Objective::LatencyUnderPeriod(point.period),
+            ..inst.clone()
+        };
+        solve_via(registry, &bounded, EnginePref::Paper).latency == Some(point.latency)
+    })
+}
+
 /// Polynomial pipeline cells on homogeneous platforms (Theorems 1-4).
-fn hom_platform_pipeline_cells(gen: &mut Gen) -> Vec<Cell> {
-    use repliflow_algorithms::hom_pipeline as alg;
+fn hom_platform_pipeline_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
     let mut ok_p = true;
     let mut ok_l_nodp = true;
     let mut ok_l_dp = true;
@@ -44,48 +86,40 @@ fn hom_platform_pipeline_cells(gen: &mut Gen) -> Vec<Cell> {
         let p = gen.size(1, 4);
         let pipe = gen.pipeline(n, 1, 12);
         let plat = gen.hom_platform(p, 1, 4);
-        let sol = alg::min_period(&pipe, &plat);
-        ok_p &= sol.period
-            == exact::solve_pipeline(&pipe, &plat, true, Goal::MinPeriod)
-                .unwrap()
-                .period;
-        ok_l_nodp &= alg::min_latency_no_dp(&pipe, &plat).latency
-            == exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency)
-                .unwrap()
-                .latency;
-        ok_l_dp &= alg::min_latency_dp(&pipe, &plat).latency
-            == exact::solve_pipeline(&pipe, &plat, true, Goal::MinLatency)
-                .unwrap()
-                .latency;
-        let frontier = exact::pareto_pipeline(&pipe, &plat, true);
-        for point in frontier.points() {
-            ok_bi &= alg::min_latency_under_period(&pipe, &plat, point.period)
-                .is_some_and(|s| s.latency == point.latency);
-        }
+        ok_p &= paper_matches_exact(
+            registry,
+            &instance(pipe.clone(), &plat, true, Objective::Period),
+        );
+        ok_l_nodp &= paper_matches_exact(
+            registry,
+            &instance(pipe.clone(), &plat, false, Objective::Latency),
+        );
+        let dp_latency = instance(pipe.clone(), &plat, true, Objective::Latency);
+        ok_l_dp &= paper_matches_exact(registry, &dp_latency);
+        ok_bi &= paper_matches_frontier(registry, &dp_latency);
     }
     vec![
         Cell {
             label: "pipeline / Hom. / P (both models): Poly, Thm 1",
-            verdict: check(ok_p, "replicate-all == exact"),
+            verdict: check(ok_p, "paper route == exact route"),
         },
         Cell {
             label: "pipeline / Hom. / L without data-par: Poly, Thm 2",
-            verdict: check(ok_l_nodp, "any mapping == exact"),
+            verdict: check(ok_l_nodp, "paper route == exact route"),
         },
         Cell {
             label: "pipeline / Hom. / L with data-par: Poly (DP), Thm 3",
-            verdict: check(ok_l_dp, "DP == exact"),
+            verdict: check(ok_l_dp, "paper route == exact route"),
         },
         Cell {
             label: "pipeline / Hom. / both with data-par: Poly (DP), Thm 4",
-            verdict: check(ok_bi, "bi-criteria DP == exact frontier"),
+            verdict: check(ok_bi, "paper route == exact frontier"),
         },
     ]
 }
 
 /// Polynomial cells on heterogeneous platforms (Theorems 6-8, 14).
-fn het_platform_poly_cells(gen: &mut Gen) -> Vec<Cell> {
-    use repliflow_algorithms::{het_fork, het_pipeline};
+fn het_platform_poly_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
     let mut ok_l = true;
     let mut ok_p_uniform = true;
     let mut ok_bi = true;
@@ -96,53 +130,46 @@ fn het_platform_poly_cells(gen: &mut Gen) -> Vec<Cell> {
         let pipe = gen.pipeline(n, 1, 12);
         let upipe = gen.uniform_pipeline(n, 1, 10);
         let plat = gen.het_platform(p, 1, 5);
-        ok_l &= het_pipeline::min_latency_no_dp(&pipe, &plat).latency
-            == exact::solve_pipeline(&pipe, &plat, false, Goal::MinLatency)
-                .unwrap()
-                .latency;
-        ok_p_uniform &= het_pipeline::min_period_uniform(&upipe, &plat).period
-            == exact::solve_pipeline(&upipe, &plat, false, Goal::MinPeriod)
-                .unwrap()
-                .period;
-        let frontier = exact::pareto_pipeline(&upipe, &plat, false);
-        for point in frontier.points() {
-            ok_bi &= het_pipeline::min_latency_under_period_uniform(&upipe, &plat, point.period)
-                .is_some_and(|s| s.latency == point.latency);
-        }
+        ok_l &= paper_matches_exact(
+            registry,
+            &instance(pipe.clone(), &plat, false, Objective::Latency),
+        );
+        let uniform_period = instance(upipe.clone(), &plat, false, Objective::Period);
+        ok_p_uniform &= paper_matches_exact(registry, &uniform_period);
+        ok_bi &= paper_matches_frontier(registry, &uniform_period);
         let leaves = gen.size(0, 4);
         let fork = gen.uniform_fork(leaves, 1, 10);
-        ok_fork &= het_fork::min_period_uniform(&fork, &plat).period
-            == exact::solve_fork(&fork, &plat, false, Goal::MinPeriod)
-                .unwrap()
-                .period;
-        ok_fork &= het_fork::min_latency_uniform(&fork, &plat).latency
-            == exact::solve_fork(&fork, &plat, false, Goal::MinLatency)
-                .unwrap()
-                .latency;
+        ok_fork &= paper_matches_exact(
+            registry,
+            &instance(fork.clone(), &plat, false, Objective::Period),
+        );
+        ok_fork &= paper_matches_exact(
+            registry,
+            &instance(fork.clone(), &plat, false, Objective::Latency),
+        );
     }
     vec![
         Cell {
             label: "pipeline / Het. / L without data-par: Poly (str), Thm 6",
-            verdict: check(ok_l, "fastest-processor == exact"),
+            verdict: check(ok_l, "paper route == exact route"),
         },
         Cell {
             label: "Hom. pipeline / Het. / P without data-par: Poly (*), Thm 7",
-            verdict: check(ok_p_uniform, "binary search + DP == exact"),
+            verdict: check(ok_p_uniform, "paper route == exact route"),
         },
         Cell {
             label: "Hom. pipeline / Het. / both without data-par: Poly (*), Thm 8",
-            verdict: check(ok_bi, "bi-criteria DP == exact frontier"),
+            verdict: check(ok_bi, "paper route == exact frontier"),
         },
         Cell {
             label: "Hom. fork / Het. / all objectives without data-par: Poly (*), Thm 14",
-            verdict: check(ok_fork, "binary search + DP == exact"),
+            verdict: check(ok_fork, "paper route == exact route"),
         },
     ]
 }
 
 /// Polynomial fork cells on homogeneous platforms (Theorems 10-11).
-fn hom_platform_fork_cells(gen: &mut Gen) -> Vec<Cell> {
-    use repliflow_algorithms::hom_fork;
+fn hom_platform_fork_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
     let mut ok_p = true;
     let mut ok_l = true;
     for _ in 0..TABLE1_SAMPLES {
@@ -151,31 +178,44 @@ fn hom_platform_fork_cells(gen: &mut Gen) -> Vec<Cell> {
         let fork = gen.fork(leaves, 1, 10);
         let ufork = gen.uniform_fork(leaves, 1, 10);
         let plat = gen.hom_platform(p, 1, 4);
-        ok_p &= hom_fork::min_period(&fork, &plat).period
-            == exact::solve_fork(&fork, &plat, true, Goal::MinPeriod)
-                .unwrap()
-                .period;
+        ok_p &= paper_matches_exact(
+            registry,
+            &instance(fork.clone(), &plat, true, Objective::Period),
+        );
         for allow_dp in [false, true] {
-            ok_l &= hom_fork::min_latency(&ufork, &plat, allow_dp).latency
-                == exact::solve_fork(&ufork, &plat, allow_dp, Goal::MinLatency)
-                    .unwrap()
-                    .latency;
+            ok_l &= paper_matches_exact(
+                registry,
+                &instance(ufork.clone(), &plat, allow_dp, Objective::Latency),
+            );
         }
     }
     vec![
         Cell {
             label: "fork / Hom. / P (both models): Poly (str), Thm 10",
-            verdict: check(ok_p, "replicate-all == exact"),
+            verdict: check(ok_p, "paper route == exact route"),
         },
         Cell {
             label: "Hom. fork / Hom. / L+both (both models): Poly (DP), Thm 11",
-            verdict: check(ok_l, "shape enumeration == exact"),
+            verdict: check(ok_l, "paper route == exact route"),
         },
     ]
 }
 
-/// NP-hard cells: reduction roundtrips.
-fn np_hard_cells(gen: &mut Gen) -> Vec<Cell> {
+/// NP-hard cells: reduction roundtrips; the solve direction goes through
+/// the registry's exact route.
+fn np_hard_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
+    let exact_objective = |workflow: Workflow, platform: &Platform, dp: bool, obj: Objective| {
+        solve_via(
+            registry,
+            &ProblemInstance {
+                workflow,
+                platform: platform.clone(),
+                allow_data_parallel: dp,
+                objective: obj,
+            },
+            EnginePref::Exact,
+        )
+    };
     // Theorem 5 (and 13, same gadget family)
     let mut ok5 = true;
     let mut ok13 = true;
@@ -201,12 +241,11 @@ fn np_hard_cells(gen: &mut Gen) -> Vec<Cell> {
         let m = thm9::certificate_mapping(&inst, &matching);
         ok9 &= r.pipeline.period(&r.platform, &m).unwrap() == Rat::ONE;
     }
-    // no-direction via exact solver on a tiny instance
+    // no-direction via the exact route on a tiny instance
     if let Some(no) = N3dm::random_no(gen, 2, 6) {
         let r = thm9::reduce(&no);
-        let best = exact::solve_pipeline(&r.pipeline, &r.platform, false, Goal::MinPeriod)
-            .unwrap();
-        ok9 &= best.period > Rat::ONE;
+        let best = exact_objective(r.pipeline.into(), &r.platform, false, Objective::Period);
+        ok9 &= best.period.unwrap() > Rat::ONE;
     }
     // Theorems 12 and 15
     let mut ok12 = true;
@@ -223,13 +262,11 @@ fn np_hard_cells(gen: &mut Gen) -> Vec<Cell> {
 
         let tp = TwoPartition::random_no(gen, 2, 7);
         let r = thm12::reduce(&tp);
-        let best =
-            exact::solve_fork(&r.fork, &r.platform, false, Goal::MinLatency).unwrap();
-        ok12 &= best.latency > r.latency_bound;
+        let best = exact_objective(r.fork.into(), &r.platform, false, Objective::Latency);
+        ok12 &= best.latency.unwrap() > r.latency_bound;
         let r = thm15::reduce(&tp);
-        let best =
-            exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod).unwrap();
-        ok15 &= best.period > r.period_bound;
+        let best = exact_objective(r.fork.into(), &r.platform, false, Objective::Period);
+        ok15 &= best.period.unwrap() > r.period_bound;
     }
     vec![
         Cell {
@@ -256,25 +293,27 @@ fn np_hard_cells(gen: &mut Gen) -> Vec<Cell> {
 }
 
 fn main() {
+    let registry = EngineRegistry::default();
     let mut gen = Gen::new(SEED);
     println!("Table 1 — Complexity results for the different instances of the mapping problem");
-    println!("(paper classification + empirical verification on seeded random instances)\n");
+    println!("(paper classification + empirical verification on seeded random instances,");
+    println!(" every solve routed through repliflow_solver::EngineRegistry)\n");
 
     println!("== Homogeneous platforms ==");
-    for cell in hom_platform_pipeline_cells(&mut gen) {
+    for cell in hom_platform_pipeline_cells(&registry, &mut gen) {
         println!("  {:<70} {}", cell.label, cell.verdict);
     }
-    for cell in hom_platform_fork_cells(&mut gen) {
+    for cell in hom_platform_fork_cells(&registry, &mut gen) {
         println!("  {:<70} {}", cell.label, cell.verdict);
     }
 
     println!("\n== Heterogeneous platforms ==");
-    for cell in het_platform_poly_cells(&mut gen) {
+    for cell in het_platform_poly_cells(&registry, &mut gen) {
         println!("  {:<70} {}", cell.label, cell.verdict);
     }
 
     println!("\n== NP-hard cells (both platforms) ==");
-    for cell in np_hard_cells(&mut gen) {
+    for cell in np_hard_cells(&registry, &mut gen) {
         println!("  {:<70} {}", cell.label, cell.verdict);
     }
 

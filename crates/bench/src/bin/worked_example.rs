@@ -8,18 +8,35 @@
 //! the exhaustive search (see the DISCREPANCY lines) — legal mappings the
 //! example's exploration evidently missed.
 
+use repliflow_core::instance::{Objective, ProblemInstance};
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
 use repliflow_core::workflow::Pipeline;
-use repliflow_exact::{solve_pipeline, Goal};
+use repliflow_solver::{EnginePref, SolveReport, SolveRequest};
+
+/// Proven-optimal solve of the example pipeline through the unified
+/// engine API (forced exhaustive search — the period cell is NP-hard).
+fn optimum(pipe: &Pipeline, platform: &Platform, objective: Objective) -> SolveReport {
+    let request = SolveRequest::new(ProblemInstance {
+        workflow: pipe.clone().into(),
+        platform: platform.clone(),
+        allow_data_parallel: true,
+        objective,
+    })
+    .engine(EnginePref::Exact);
+    repliflow_solver::solve(&request).expect("unbounded objectives are always feasible")
+}
 
 fn procs(ids: &[usize]) -> Vec<ProcId> {
     ids.iter().map(|&u| ProcId(u)).collect()
 }
 
 fn row(what: &str, paper: &str, measured: Rat) {
-    println!("  {:<58} paper: {:>6}   measured: {}", what, paper, measured);
+    println!(
+        "  {:<58} paper: {:>6}   measured: {}",
+        what, paper, measured
+    );
 }
 
 fn main() {
@@ -33,33 +50,65 @@ fn main() {
         Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
         Assignment::interval(1, 3, procs(&[1]), Mode::Replicated),
     ]);
-    row("S1->P1, S2..S4->P2 period", "14", pipe.period(&hom, &m).unwrap());
-    row("  same mapping, latency", "24", pipe.latency(&hom, &m).unwrap());
+    row(
+        "S1->P1, S2..S4->P2 period",
+        "14",
+        pipe.period(&hom, &m).unwrap(),
+    );
+    row(
+        "  same mapping, latency",
+        "24",
+        pipe.latency(&hom, &m).unwrap(),
+    );
     let m = Mapping::whole(4, procs(&[0, 1, 2]), Mode::Replicated);
-    row("replicate all on P1..P3, period", "8", pipe.period(&hom, &m).unwrap());
+    row(
+        "replicate all on P1..P3, period",
+        "8",
+        pipe.period(&hom, &m).unwrap(),
+    );
     let m = Mapping::new(vec![
         Assignment::interval(0, 0, procs(&[0, 1]), Mode::Replicated),
         Assignment::interval(1, 3, procs(&[2]), Mode::Replicated),
     ]);
-    row("replicate S1 on {P1,P2}, rest on P3, period", "10", pipe.period(&hom, &m).unwrap());
+    row(
+        "replicate S1 on {P1,P2}, rest on P3, period",
+        "10",
+        pipe.period(&hom, &m).unwrap(),
+    );
     let hom4 = Platform::homogeneous(4, 1);
     let m = Mapping::new(vec![
         Assignment::interval(0, 0, procs(&[0, 1]), Mode::Replicated),
         Assignment::interval(1, 3, procs(&[2, 3]), Mode::Replicated),
     ]);
-    row("4 procs: S1 on {P1,P2}, S2..S4 on {P3,P4}, period", "7", pipe.period(&hom4, &m).unwrap());
+    row(
+        "4 procs: S1 on {P1,P2}, S2..S4 on {P3,P4}, period",
+        "7",
+        pipe.period(&hom4, &m).unwrap(),
+    );
     let m = Mapping::new(vec![
         Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
         Assignment::interval(1, 3, procs(&[2]), Mode::Replicated),
     ]);
-    row("data-par S1 on {P1,P2}, rest on P3, latency", "17", pipe.latency(&hom, &m).unwrap());
-    row("  same mapping, period", "10", pipe.period(&hom, &m).unwrap());
+    row(
+        "data-par S1 on {P1,P2}, rest on P3, latency",
+        "17",
+        pipe.latency(&hom, &m).unwrap(),
+    );
+    row(
+        "  same mapping, period",
+        "10",
+        pipe.period(&hom, &m).unwrap(),
+    );
 
     // ---------- heterogeneous platform s = (2, 2, 1, 1) ----------
     let het = Platform::heterogeneous(vec![2, 2, 1, 1]);
     println!("\nHeterogeneous platform (s = (2, 2, 1, 1)):");
     let m = Mapping::whole(4, procs(&[0, 1, 2, 3]), Mode::Replicated);
-    row("replicate all on all four, period", "6", pipe.period(&het, &m).unwrap());
+    row(
+        "replicate all on all four, period",
+        "6",
+        pipe.period(&het, &m).unwrap(),
+    );
     let m_paper_period = Mapping::new(vec![
         Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
         Assignment::interval(1, 3, procs(&[2, 3]), Mode::Replicated),
@@ -85,18 +134,20 @@ fn main() {
     );
 
     println!("\nOptimality re-checked by exhaustive search:");
-    let best_p = solve_pipeline(&pipe, &het, true, Goal::MinPeriod).unwrap();
+    let best_p = optimum(&pipe, &het, Objective::Period);
     println!(
         "  paper claims the optimal period is 5; exhaustive search finds {} via {}",
-        best_p.period, best_p.mapping
+        best_p.period.unwrap(),
+        best_p.mapping.unwrap()
     );
     println!("  DISCREPANCY: replicate [S1,S2] on the fast pair (18/(2*2) = 4.5) and");
     println!("  [S3,S4] on the slow pair (6/(2*1) = 3) — a legal interval mapping that");
     println!("  beats the example's \"optimal\" 5; no data-parallelism needed.");
-    let best_l = solve_pipeline(&pipe, &het, true, Goal::MinLatency).unwrap();
+    let best_l = optimum(&pipe, &het, Objective::Latency);
     println!(
         "\n  paper claims the optimal latency is 12.8; exhaustive search finds {} via {}",
-        best_l.latency, best_l.mapping
+        best_l.latency.unwrap(),
+        best_l.mapping.unwrap()
     );
     println!("  DISCREPANCY: data-parallelize S1 on {{P1,P3,P4}} (14/4 = 3.5) and run");
     println!("  S2..S4 on the *fast* P2 (10/2 = 5): latency 8.5 < 12.8.");

@@ -77,11 +77,7 @@ impl Network {
     ///
     /// # Panics
     /// Panics on dimension mismatches or zero bandwidths.
-    pub fn heterogeneous(
-        proc_bw: Vec<Vec<u64>>,
-        input_bw: Vec<u64>,
-        output_bw: Vec<u64>,
-    ) -> Self {
+    pub fn heterogeneous(proc_bw: Vec<Vec<u64>>, input_bw: Vec<u64>, output_bw: Vec<u64>) -> Self {
         let p = input_bw.len();
         assert_eq!(proc_bw.len(), p);
         assert!(proc_bw.iter().all(|row| row.len() == p));
@@ -502,7 +498,10 @@ mod tests {
         let a = alloc(&[(0, 0, 0), (1, 1, 1)]);
         // interval 1: 4/2 (in) + 8/2 + 2/2 (to P2) = 2 + 4 + 1 = 7
         // interval 2: 2/2 (from P1) + 3/1 + 6/2 (out) = 1 + 3 + 3 = 7
-        assert_eq!(pipeline_period_with_comm(&pipe, &plat, &net, &a), Rat::int(7));
+        assert_eq!(
+            pipeline_period_with_comm(&pipe, &plat, &net, &a),
+            Rat::int(7)
+        );
         assert_eq!(
             pipeline_latency_with_comm(&pipe, &plat, &net, &a),
             Rat::int(14)
@@ -516,7 +515,10 @@ mod tests {
             net.transfer_time(100, Endpoint::Proc(ProcId(0)), Endpoint::Proc(ProcId(0))),
             Rat::ZERO
         );
-        assert_eq!(net.transfer_time(0, Endpoint::In, Endpoint::Proc(ProcId(0))), Rat::ZERO);
+        assert_eq!(
+            net.transfer_time(0, Endpoint::In, Endpoint::Proc(ProcId(0))),
+            Rat::ZERO
+        );
     }
 
     #[test]

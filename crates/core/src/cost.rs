@@ -415,7 +415,12 @@ mod tests {
     fn invalid_mapping_is_an_error() {
         let pipe = Pipeline::new(vec![1, 2]);
         let plat = Platform::homogeneous(1, 1);
-        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[0]), Mode::Replicated)]);
+        let m = Mapping::new(vec![Assignment::interval(
+            0,
+            0,
+            procs(&[0]),
+            Mode::Replicated,
+        )]);
         assert!(pipeline_period(&pipe, &plat, &m).is_err());
     }
 
@@ -437,10 +442,7 @@ mod tests {
                 Assignment::interval(2, 2, procs(&[2]), Mode::Replicated),
             ]),
         ] {
-            assert_eq!(
-                pipeline_latency(&pipe, &plat, &m).unwrap(),
-                Rat::new(15, 2)
-            );
+            assert_eq!(pipeline_latency(&pipe, &plat, &m).unwrap(), Rat::new(15, 2));
         }
     }
 }

@@ -65,10 +65,7 @@ pub fn forkjoin_graph(forkjoin: &ForkJoin) -> DiGraph<String, String> {
 
 /// Graphviz DOT text for any labelled DAG produced by this module.
 pub fn to_dot(graph: &DiGraph<String, String>) -> String {
-    format!(
-        "{}",
-        Dot::with_config(graph, &[Config::GraphContentOnly])
-    )
+    format!("{}", Dot::with_config(graph, &[Config::GraphContentOnly]))
 }
 
 /// ASCII rendition of Figure 1: `S1 -> S2 -> ... -> Sn` with weights below.

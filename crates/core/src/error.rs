@@ -83,7 +83,9 @@ mod tests {
             Error::DuplicateProc(ProcId(0)).to_string(),
             "processor P1 used by more than one assignment"
         );
-        assert!(Error::DataParallelInterval.to_string().contains("data-parallel"));
+        assert!(Error::DataParallelInterval
+            .to_string()
+            .contains("data-parallel"));
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl Assignment {
     pub fn new(mut stages: Vec<usize>, mut procs: Vec<ProcId>, mode: Mode) -> Self {
         stages.sort_unstable();
         procs.sort_unstable();
-        Assignment { stages, procs, mode }
+        Assignment {
+            stages,
+            procs,
+            mode,
+        }
     }
 
     /// Assignment of the pipeline interval `lo ..= hi`.
@@ -117,11 +121,7 @@ impl Mapping {
     /// The whole workflow on one processor set in one mode — e.g. the
     /// replicate-everything mapping of Theorems 1 and 10.
     pub fn whole(n_stages: usize, procs: Vec<ProcId>, mode: Mode) -> Self {
-        Mapping::new(vec![Assignment::new(
-            (0..n_stages).collect(),
-            procs,
-            mode,
-        )])
+        Mapping::new(vec![Assignment::new((0..n_stages).collect(), procs, mode)])
     }
 
     /// The assignments.
@@ -387,7 +387,12 @@ mod tests {
     fn rejects_unmapped_and_duplicate_stages() {
         let pipe = Pipeline::new(vec![1, 2]);
         let plat = Platform::homogeneous(2, 1);
-        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[0]), Mode::Replicated)]);
+        let m = Mapping::new(vec![Assignment::interval(
+            0,
+            0,
+            procs(&[0]),
+            Mode::Replicated,
+        )]);
         assert_eq!(
             m.validate_pipeline(&pipe, &plat, true),
             Err(Error::UnmappedStage(1))
@@ -406,7 +411,12 @@ mod tests {
     fn rejects_unknown_ids() {
         let pipe = Pipeline::new(vec![1]);
         let plat = Platform::homogeneous(1, 1);
-        let m = Mapping::new(vec![Assignment::interval(0, 0, procs(&[3]), Mode::Replicated)]);
+        let m = Mapping::new(vec![Assignment::interval(
+            0,
+            0,
+            procs(&[3]),
+            Mode::Replicated,
+        )]);
         assert_eq!(
             m.validate_pipeline(&pipe, &plat, true),
             Err(Error::UnknownProc(ProcId(3)))

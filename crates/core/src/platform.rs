@@ -31,7 +31,10 @@ impl Platform {
     /// # Panics
     /// Panics if `speeds` is empty or any speed is zero.
     pub fn heterogeneous(speeds: Vec<u64>) -> Self {
-        assert!(!speeds.is_empty(), "a platform needs at least one processor");
+        assert!(
+            !speeds.is_empty(),
+            "a platform needs at least one processor"
+        );
         assert!(
             speeds.iter().all(|&s| s > 0),
             "processor speeds must be positive"

@@ -62,7 +62,10 @@ impl Rat {
     /// Panics if `den == 0`; use [`Rat::INFINITY`] explicitly instead.
     #[inline]
     pub fn new(num: i128, den: i128) -> Self {
-        assert!(den != 0, "Rat::new with zero denominator; use Rat::INFINITY");
+        assert!(
+            den != 0,
+            "Rat::new with zero denominator; use Rat::INFINITY"
+        );
         let g = gcd(num, den);
         let sign = if den < 0 { -1 } else { 1 };
         Rat {
@@ -486,7 +489,7 @@ mod tests {
         assert_eq!(total / Rat::int(3), Rat::int(8));
         // data-parallel S1 on speeds {2,2}: 14/4, plus 10 on one slow proc
         assert_eq!(Rat::new(14, 4) + Rat::int(10), Rat::new(27, 2)); // 13.5
-        // data-parallel S1 on speeds {2,2,1}: 14/5 + 10 = 12.8
+                                                                     // data-parallel S1 on speeds {2,2,1}: 14/5 + 10 = 12.8
         assert_eq!(Rat::new(14, 5) + Rat::int(10), Rat::new(64, 5));
     }
 

@@ -18,7 +18,12 @@ fn pipeline_rejects_every_structural_violation() {
     let cases: Vec<(Mapping, Error)> = vec![
         (
             // missing stage 2
-            Mapping::new(vec![Assignment::interval(0, 1, procs(&[0]), Mode::Replicated)]),
+            Mapping::new(vec![Assignment::interval(
+                0,
+                1,
+                procs(&[0]),
+                Mode::Replicated,
+            )]),
             Error::UnmappedStage(2),
         ),
         (
@@ -55,7 +60,12 @@ fn pipeline_rejects_every_structural_violation() {
         ),
         (
             // unknown processor
-            Mapping::new(vec![Assignment::interval(0, 2, procs(&[7]), Mode::Replicated)]),
+            Mapping::new(vec![Assignment::interval(
+                0,
+                2,
+                procs(&[7]),
+                Mode::Replicated,
+            )]),
             Error::UnknownProc(ProcId(7)),
         ),
         (

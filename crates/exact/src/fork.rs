@@ -102,8 +102,11 @@ impl<'a> LeafDp<'a> {
                         continue;
                     }
                     let (gp, gd) = group_cost(work, q as usize, mode, self.speeds);
-                    let assignment =
-                        Assignment::new(Self::leaf_stages(group_leaves), mask_procs(q as usize), mode);
+                    let assignment = Assignment::new(
+                        Self::leaf_stages(group_leaves),
+                        mask_procs(q as usize),
+                        mode,
+                    );
                     for (sp, sd, sub_asg) in
                         self.frontier(leaf_mask & !group_leaves, proc_mask & !q)
                     {
@@ -177,8 +180,7 @@ pub fn pareto_fork(fork: &Fork, platform: &Platform, allow_dp: bool) -> Frontier
                 let root_done = Rat::ratio(w0, s0);
                 let mut root_stages = vec![0usize];
                 root_stages.extend(LeafDp::leaf_stages(root_leaves));
-                let root_assignment =
-                    Assignment::new(root_stages, mask_procs(q as usize), mode);
+                let root_assignment = Assignment::new(root_stages, mask_procs(q as usize), mode);
                 for (rp, rd, rest_asg) in
                     leaf_dp.frontier(full_leaves & !root_leaves, full_procs & !q)
                 {
@@ -270,7 +272,15 @@ pub(crate) fn assign_procs(
     assert!(p <= MAX_PROCS);
     let full = (1usize << p) - 1;
     let mut acc: Vec<Assignment> = Vec::new();
-    rec_assign(blocks, 0, full, allow_dp, sequential_stages, &mut acc, visit);
+    rec_assign(
+        blocks,
+        0,
+        full,
+        allow_dp,
+        sequential_stages,
+        &mut acc,
+        visit,
+    );
 }
 
 fn rec_assign(
@@ -295,9 +305,7 @@ fn rec_assign(
     loop {
         for mode in [Mode::Replicated, Mode::DataParallel] {
             if mode == Mode::DataParallel {
-                let legal = allow_dp
-                    && sub.count_ones() >= 2
-                    && (!has_seq || block.len() == 1);
+                let legal = allow_dp && sub.count_ones() >= 2 && (!has_seq || block.len() == 1);
                 if !legal {
                     continue;
                 }

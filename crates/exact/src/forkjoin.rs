@@ -90,11 +90,8 @@ pub fn pareto_forkjoin(forkjoin: &ForkJoin, platform: &Platform, allow_dp: bool)
             let join_time = Rat::ratio(wj, min);
             let mut stages = vec![0usize, join_id];
             stages.extend(leaf_stages(rsub));
-            let group =
-                Assignment::new(stages, mask_procs(q as usize), Mode::Replicated);
-            for (rp, rd, rest_asg) in
-                leaf_dp.frontier(full_leaves & !rsub, full_procs & !q)
-            {
+            let group = Assignment::new(stages, mask_procs(q as usize), Mode::Replicated);
+            for (rp, rd, rest_asg) in leaf_dp.frontier(full_leaves & !rsub, full_procs & !q) {
                 let period = p0.max(rp);
                 let all_leaves_done = d_nonjoin.max(root_done + rd);
                 let latency = all_leaves_done + join_time;
@@ -127,8 +124,7 @@ pub fn pareto_forkjoin(forkjoin: &ForkJoin, platform: &Platform, allow_dp: bool)
                 let root_done = Rat::ratio(w0, s0);
                 let mut root_stages = vec![0usize];
                 root_stages.extend(leaf_stages(rsub));
-                let root_group =
-                    Assignment::new(root_stages, mask_procs(q0 as usize), root_mode);
+                let root_group = Assignment::new(root_stages, mask_procs(q0 as usize), root_mode);
 
                 let leaves_left = full_leaves & !rsub;
                 let procs_left = full_procs & !q0;
@@ -141,38 +137,28 @@ pub fn pareto_forkjoin(forkjoin: &ForkJoin, platform: &Platform, allow_dp: bool)
                             {
                                 continue;
                             }
-                            let (p1, _) =
-                                group_cost(join_work, q1 as usize, join_mode, &speeds);
+                            let (p1, _) = group_cost(join_work, q1 as usize, join_mode, &speeds);
                             let (s_join, d1_leafpart) = match join_mode {
                                 Mode::Replicated => {
                                     let min = speeds.min_speed[q1 as usize];
-                                    (
-                                        min,
-                                        Rat::ratio(subset_work(&leaf_weights, jsub), min),
-                                    )
+                                    (min, Rat::ratio(subset_work(&leaf_weights, jsub), min))
                                 }
                                 // jsub == 0 here, so no leaf part
-                                Mode::DataParallel => {
-                                    (speeds.sum_speed[q1 as usize], Rat::ZERO)
-                                }
+                                Mode::DataParallel => (speeds.sum_speed[q1 as usize], Rat::ZERO),
                             };
                             let join_time = Rat::ratio(wj, s_join);
                             let mut join_stages = vec![join_id];
                             join_stages.extend(leaf_stages(jsub));
-                            let join_group = Assignment::new(
-                                join_stages,
-                                mask_procs(q1 as usize),
-                                join_mode,
-                            );
-                            for (rp, rd, rest_asg) in leaf_dp
-                                .frontier(leaves_left & !jsub, procs_left & !q1)
+                            let join_group =
+                                Assignment::new(join_stages, mask_procs(q1 as usize), join_mode);
+                            for (rp, rd, rest_asg) in
+                                leaf_dp.frontier(leaves_left & !jsub, procs_left & !q1)
                             {
                                 let period = p0.max(p1).max(rp);
                                 let all_leaves_done =
                                     d0_nonjoin.max(root_done + d1_leafpart.max(rd));
                                 let latency = all_leaves_done + join_time;
-                                let mut assignments =
-                                    vec![root_group.clone(), join_group.clone()];
+                                let mut assignments = vec![root_group.clone(), join_group.clone()];
                                 assignments.extend(rest_asg);
                                 frontier.insert(Solution {
                                     mapping: Mapping::new(assignments),
@@ -279,8 +265,18 @@ mod tests {
             let frontier = pareto_forkjoin(&fj, &plat, true);
             assert!(!frontier.is_empty());
             for s in frontier.points() {
-                assert_eq!(fj.period(&plat, &s.mapping).unwrap(), s.period, "{}", s.mapping);
-                assert_eq!(fj.latency(&plat, &s.mapping).unwrap(), s.latency, "{}", s.mapping);
+                assert_eq!(
+                    fj.period(&plat, &s.mapping).unwrap(),
+                    s.period,
+                    "{}",
+                    s.mapping
+                );
+                assert_eq!(
+                    fj.latency(&plat, &s.mapping).unwrap(),
+                    s.latency,
+                    "{}",
+                    s.mapping
+                );
             }
         }
     }

@@ -66,9 +66,7 @@ impl Frontier {
     /// dominates. Returns whether the point was kept.
     pub fn insert(&mut self, sol: Solution) -> bool {
         // position of the first point with period >= sol.period
-        let idx = self
-            .points
-            .partition_point(|q| q.period < sol.period);
+        let idx = self.points.partition_point(|q| q.period < sol.period);
         // a predecessor has period <= sol.period; if its latency is also
         // <= ours, we are dominated. Same test for an equal-period point
         // at idx.
@@ -109,11 +107,9 @@ impl Frontier {
                 let idx = self.points.partition_point(|q| q.period <= bound);
                 idx.checked_sub(1).map(|i| self.points[i].clone())
             }
-            Goal::MinPeriodUnderLatency(bound) => self
-                .points
-                .iter()
-                .find(|q| q.latency <= bound)
-                .cloned(),
+            Goal::MinPeriodUnderLatency(bound) => {
+                self.points.iter().find(|q| q.latency <= bound).cloned()
+            }
         }
     }
 }

@@ -31,11 +31,7 @@ pub mod oracle;
 pub mod pipeline;
 
 pub use fork::{brute_force_fork, enumerate_fork, pareto_fork, solve_fork};
-pub use forkjoin::{
-    brute_force_forkjoin, enumerate_forkjoin, pareto_forkjoin, solve_forkjoin,
-};
+pub use forkjoin::{brute_force_forkjoin, enumerate_forkjoin, pareto_forkjoin, solve_forkjoin};
 pub use goal::{Frontier, Goal, Solution};
 pub use oracle::{min_latency, min_period, pareto, solve};
-pub use pipeline::{
-    brute_force_pipeline, enumerate_pipeline, pareto_pipeline, solve_pipeline,
-};
+pub use pipeline::{brute_force_pipeline, enumerate_pipeline, pareto_pipeline, solve_pipeline};

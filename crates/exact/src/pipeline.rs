@@ -33,7 +33,10 @@ pub(crate) struct MaskSpeeds {
 impl MaskSpeeds {
     pub(crate) fn new(platform: &Platform) -> Self {
         let p = platform.n_procs();
-        assert!(p <= MAX_PROCS, "bitmask solvers support at most {MAX_PROCS} processors");
+        assert!(
+            p <= MAX_PROCS,
+            "bitmask solvers support at most {MAX_PROCS} processors"
+        );
         let full = 1usize << p;
         let mut min_speed = vec![u64::MAX; full];
         let mut sum_speed = vec![0u64; full];
@@ -192,9 +195,7 @@ fn rec_enumerate(
         let mut sub = avail;
         loop {
             for mode in [Mode::Replicated, Mode::DataParallel] {
-                if mode == Mode::DataParallel
-                    && (!allow_dp || start != j || sub.count_ones() < 2)
-                {
+                if mode == Mode::DataParallel && (!allow_dp || start != j || sub.count_ones() < 2) {
                     continue;
                 }
                 acc.push(Assignment::interval(start, j, mask_procs(sub), mode));
@@ -219,8 +220,12 @@ pub fn brute_force_pipeline(
 ) -> Option<Solution> {
     let mut frontier = Frontier::new();
     enumerate_pipeline(pipeline, platform, allow_dp, |m| {
-        let period = pipeline.period(platform, m).expect("enumerated mapping valid");
-        let latency = pipeline.latency(platform, m).expect("enumerated mapping valid");
+        let period = pipeline
+            .period(platform, m)
+            .expect("enumerated mapping valid");
+        let latency = pipeline
+            .latency(platform, m)
+            .expect("enumerated mapping valid");
         frontier.insert(Solution {
             mapping: m.clone(),
             period,
@@ -383,13 +388,9 @@ mod tests {
     fn infeasible_bicriteria_returns_none() {
         let pipe = Pipeline::new(vec![10]);
         let plat = Platform::homogeneous(1, 1);
-        assert!(solve_pipeline(
-            &pipe,
-            &plat,
-            true,
-            Goal::MinLatencyUnderPeriod(Rat::int(1))
-        )
-        .is_none());
+        assert!(
+            solve_pipeline(&pipe, &plat, true, Goal::MinLatencyUnderPeriod(Rat::int(1))).is_none()
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ fn every_frontier_point_is_realizable() {
         let pipe = gen.pipeline(n, 1, 10);
         let plat = gen.het_platform(p, 1, 5);
         for point in pareto_pipeline(&pipe, &plat, true).points() {
-            assert!(point
-                .mapping
-                .validate_pipeline(&pipe, &plat, true)
-                .is_ok());
+            assert!(point.mapping.validate_pipeline(&pipe, &plat, true).is_ok());
             assert_eq!(pipe.period(&plat, &point.mapping).unwrap(), point.period);
             assert_eq!(pipe.latency(&plat, &point.mapping).unwrap(), point.latency);
         }

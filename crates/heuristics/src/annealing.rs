@@ -104,7 +104,15 @@ mod tests {
                 steps: 300,
                 ..Schedule::default()
             };
-            let a = anneal(&pipe, &plat, true, Objective::Period, start.clone(), sched, 7);
+            let a = anneal(
+                &pipe,
+                &plat,
+                true,
+                Objective::Period,
+                start.clone(),
+                sched,
+                7,
+            );
             let b = anneal(&pipe, &plat, true, Objective::Period, start, sched, 7);
             assert_eq!(a, b, "same seed, same result");
             let after = pipe.period(&plat, &a).unwrap();

@@ -9,8 +9,10 @@
 //!   / 15 NP-hard cells): root on the fastest processor, then
 //!   longest-processing-time-first placement of leaves onto the processor
 //!   that finishes them earliest.
+//! * [`forkjoin_latency_greedy`] — the Section 6.3 fork-join analogue:
+//!   root and join share the fastest processor, leaves placed LPT-first.
 //!
-//! Both return valid mappings in polynomial time with no optimality
+//! All return valid mappings in polynomial time with no optimality
 //! guarantee; `repliflow-bench` measures their gap against the exact
 //! oracle.
 
@@ -18,7 +20,7 @@ use repliflow_algorithms::chains;
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
-use repliflow_core::workflow::{Fork, Pipeline};
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline};
 
 /// Greedy period heuristic for arbitrary pipelines on arbitrary platforms
 /// (no data-parallelism). Returns the best mapping among all enrollment
@@ -116,6 +118,73 @@ pub fn fork_latency_greedy(fork: &Fork, platform: &Platform) -> Mapping {
     Mapping::new(assignments)
 }
 
+/// Greedy latency heuristic for arbitrary fork-joins (no
+/// data-parallelism): the root and join stages share the fastest
+/// processor (the join must wait for every leaf anyway, so co-locating
+/// it with the root wastes no parallelism); each leaf (heaviest first)
+/// goes to the processor whose resulting finish time is smallest,
+/// exactly as in [`fork_latency_greedy`].
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by processor id
+pub fn forkjoin_latency_greedy(fj: &ForkJoin, platform: &Platform) -> Mapping {
+    let fastest = platform.fastest();
+    let s_fast = platform.speed(fastest);
+    let root_done = Rat::ratio(fj.root_weight(), s_fast);
+    let sequential = fj.root_weight() + fj.join_weight();
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); platform.n_procs()];
+    let mut loads: Vec<u64> = vec![0; platform.n_procs()];
+
+    let mut leaves: Vec<usize> = (1..=fj.n_leaves()).collect();
+    leaves.sort_by_key(|&k| std::cmp::Reverse(fj.weight(k)));
+    for leaf in leaves {
+        let mut best_u = 0usize;
+        let mut best_finish = Rat::INFINITY;
+        for u in 0..platform.n_procs() {
+            let s = platform.speed(ProcId(u));
+            let new_load = loads[u] + fj.weight(leaf);
+            // the fastest processor's group also runs root + join
+            // sequentially; other groups start once the root is done
+            let finish = if u == fastest.0 {
+                Rat::ratio(sequential + new_load, s)
+            } else {
+                root_done + Rat::ratio(new_load, s)
+            };
+            if finish < best_finish {
+                best_finish = finish;
+                best_u = u;
+            }
+        }
+        groups[best_u].push(leaf);
+        loads[best_u] += fj.weight(leaf);
+    }
+
+    let mut assignments = Vec::new();
+    for (u, mut stages) in groups.into_iter().enumerate() {
+        if u == fastest.0 {
+            stages.push(0); // root
+            stages.push(fj.join_stage());
+        } else if stages.is_empty() {
+            continue;
+        }
+        assignments.push(Assignment::new(stages, vec![ProcId(u)], Mode::Replicated));
+    }
+    let spread = Mapping::new(assignments);
+    // The join must wait for the slowest leaf group, so spreading can
+    // lose to the fastest processor alone; keep whichever is better.
+    let single = Mapping::whole(fj.n_stages(), vec![fastest], Mode::Replicated);
+    let spread_latency = fj
+        .latency(platform, &spread)
+        .expect("constructed mapping valid");
+    let single_latency = fj
+        .latency(platform, &single)
+        .expect("constructed mapping valid");
+    if spread_latency <= single_latency {
+        spread
+    } else {
+        single
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +228,10 @@ mod tests {
                 exact_hits += 1;
             }
             // a weak sanity bound: never more than 4x off on tiny instances
-            assert!(period <= opt * Rat::int(4), "gap too large: {period} vs {opt}");
+            assert!(
+                period <= opt * Rat::int(4),
+                "gap too large: {period} vs {opt}"
+            );
         }
         assert!(exact_hits > total / 3, "greedy should often be optimal");
     }
@@ -194,7 +266,47 @@ mod tests {
                 .unwrap()
                 .latency;
             assert!(latency >= opt);
-            assert!(latency <= opt * Rat::int(3), "gap too large: {latency} vs {opt}");
+            assert!(
+                latency <= opt * Rat::int(3),
+                "gap too large: {latency} vs {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn forkjoin_greedy_is_valid_and_sane() {
+        let mut gen = Gen::new(0x65);
+        for _ in 0..40 {
+            let leaves = gen.size(0, 8);
+            let p = gen.size(1, 5);
+            let fj = gen.forkjoin(leaves, 1, 20);
+            let plat = gen.het_platform(p, 1, 8);
+            let m = forkjoin_latency_greedy(&fj, &plat);
+            assert!(m.validate_forkjoin(&fj, &plat, false).is_ok());
+            let latency = fj.latency(&plat, &m).unwrap();
+            let single = Rat::ratio(fj.total_work(), plat.speed(plat.fastest()));
+            assert!(latency <= single, "worse than the fastest-single baseline");
+        }
+    }
+
+    #[test]
+    fn forkjoin_greedy_gap_vs_exact() {
+        let mut gen = Gen::new(0x66);
+        for _ in 0..15 {
+            let leaves = gen.size(0, 4);
+            let p = gen.size(1, 4);
+            let fj = gen.forkjoin(leaves, 1, 10);
+            let plat = gen.het_platform(p, 1, 5);
+            let m = forkjoin_latency_greedy(&fj, &plat);
+            let latency = fj.latency(&plat, &m).unwrap();
+            let opt = repliflow_exact::solve_forkjoin(&fj, &plat, false, Goal::MinLatency)
+                .unwrap()
+                .latency;
+            assert!(latency >= opt);
+            assert!(
+                latency <= opt * Rat::int(3),
+                "gap too large: {latency} vs {opt}"
+            );
         }
     }
 }

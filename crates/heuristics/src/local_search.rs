@@ -24,9 +24,7 @@ pub fn improve(
         let mut best_neighbor: Option<(Score, Mapping)> = None;
         for m in neighbors(pipeline, platform, &current, allow_dp) {
             let s = score(pipeline, platform, &m, objective);
-            if s < current_score
-                && best_neighbor.as_ref().is_none_or(|(bs, _)| s < *bs)
-            {
+            if s < current_score && best_neighbor.as_ref().is_none_or(|(bs, _)| s < *bs) {
                 best_neighbor = Some((s, m));
             }
         }

@@ -58,7 +58,12 @@ mod tests {
         let m = Mapping::whole(1, vec![ProcId(0)], Mode::Replicated);
         let s = score(&pipe, &plat, &m, Objective::LatencyUnderPeriod(Rat::ONE));
         assert_eq!(s.0, Rat::INFINITY);
-        let s = score(&pipe, &plat, &m, Objective::LatencyUnderPeriod(Rat::int(10)));
+        let s = score(
+            &pipe,
+            &plat,
+            &m,
+            Objective::LatencyUnderPeriod(Rat::int(10)),
+        );
         assert_eq!(s.0, Rat::int(10));
     }
 

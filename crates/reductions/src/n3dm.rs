@@ -106,10 +106,8 @@ impl N3dm {
             }
             false
         }
-        rec(self, 0, &mut used_y, &mut used_z, &mut sigma1, &mut sigma2).then_some(Matching {
-            sigma1,
-            sigma2,
-        })
+        rec(self, 0, &mut used_y, &mut used_z, &mut sigma1, &mut sigma2)
+            .then_some(Matching { sigma1, sigma2 })
     }
 
     /// True iff the instance has a matching.
@@ -170,9 +168,7 @@ impl N3dm {
         let mut z = Vec::with_capacity(m);
         for k in 0..m {
             let slots_left = (m - k) as u64;
-            let lo = t
-                .saturating_sub((slots_left - 1) * (m_bound - 1))
-                .max(1);
+            let lo = t.saturating_sub((slots_left - 1) * (m_bound - 1)).max(1);
             let hi = (t - (slots_left - 1)).min(m_bound - 1);
             let v = if lo >= hi { lo } else { gen.int(lo, hi) };
             z.push(v);

@@ -109,25 +109,17 @@ mod tests {
             let tp = TwoPartition::random_yes(&mut gen, m, 7);
             let r = reduce(&tp);
             for allow_dp in [false, true] {
-                let best = repliflow_exact::solve_fork(
-                    &r.fork,
-                    &r.platform,
-                    allow_dp,
-                    Goal::MinLatency,
-                )
-                .unwrap();
+                let best =
+                    repliflow_exact::solve_fork(&r.fork, &r.platform, allow_dp, Goal::MinLatency)
+                        .unwrap();
                 assert!(best.latency <= r.latency_bound, "{tp:?} dp={allow_dp}");
             }
             let tp = TwoPartition::random_no(&mut gen, m, 7);
             let r = reduce(&tp);
             for allow_dp in [false, true] {
-                let best = repliflow_exact::solve_fork(
-                    &r.fork,
-                    &r.platform,
-                    allow_dp,
-                    Goal::MinLatency,
-                )
-                .unwrap();
+                let best =
+                    repliflow_exact::solve_fork(&r.fork, &r.platform, allow_dp, Goal::MinLatency)
+                        .unwrap();
                 assert!(best.latency > r.latency_bound, "{tp:?} dp={allow_dp}");
             }
         }
@@ -141,8 +133,7 @@ mod tests {
             let tp = TwoPartition::random_yes(&mut gen, m, 6);
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinLatency)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinLatency).unwrap();
             if best.latency == r.latency_bound {
                 let subset = extract_partition(&tp, &best.mapping)
                     .expect("bound-achieving mapping encodes a split");

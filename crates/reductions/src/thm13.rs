@@ -118,8 +118,7 @@ mod tests {
             }
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency).unwrap();
             assert!(best.latency <= r.latency_bound, "{tp:?}");
         }
         for _ in 0..8 {
@@ -134,12 +133,10 @@ mod tests {
             }
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinLatency).unwrap();
             assert!(best.latency > r.latency_bound, "{tp:?}");
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinPeriod)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, true, Goal::MinPeriod).unwrap();
             assert!(best.period > r.period_bound, "{tp:?}");
         }
     }

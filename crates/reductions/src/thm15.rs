@@ -112,14 +112,12 @@ mod tests {
             let tp = TwoPartition::random_yes(&mut gen, m, 8);
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod).unwrap();
             assert!(best.period <= r.period_bound, "{tp:?}");
             let tp = TwoPartition::random_no(&mut gen, m, 8);
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod).unwrap();
             assert!(best.period > r.period_bound, "{tp:?}");
         }
     }
@@ -132,8 +130,7 @@ mod tests {
             let tp = TwoPartition::random_yes(&mut gen, m, 8);
             let r = reduce(&tp);
             let best =
-                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod)
-                    .unwrap();
+                repliflow_exact::solve_fork(&r.fork, &r.platform, false, Goal::MinPeriod).unwrap();
             if best.period == r.period_bound {
                 let subset = extract_partition(&tp, &best.mapping)
                     .expect("period-1 mapping encodes a split");

@@ -132,7 +132,9 @@ mod tests {
         let mut gen = Gen::new(0x52);
         // yes-instances: the optimum reaches the bounds
         for _ in 0..6 {
-            let Some(tp) = distinct_yes(&mut gen) else { continue };
+            let Some(tp) = distinct_yes(&mut gen) else {
+                continue;
+            };
             let r = reduce(&tp);
             let best =
                 repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinLatency)
@@ -170,7 +172,9 @@ mod tests {
     fn optimal_mapping_yields_certificate() {
         let mut gen = Gen::new(0x53);
         for _ in 0..5 {
-            let Some(tp) = distinct_yes(&mut gen) else { continue };
+            let Some(tp) = distinct_yes(&mut gen) else {
+                continue;
+            };
             let r = reduce(&tp);
             let best =
                 repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, true, Goal::MinLatency)
@@ -188,6 +192,9 @@ mod tests {
         let tp = TwoPartition::new(vec![1, 2, 3]);
         let inst = reduce_instance(&tp);
         use repliflow_core::instance::Complexity;
-        assert_eq!(inst.variant().paper_complexity(), Complexity::NpHard("Thm 5"));
+        assert_eq!(
+            inst.variant().paper_complexity(),
+            Complexity::NpHard("Thm 5")
+        );
     }
 }

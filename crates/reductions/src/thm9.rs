@@ -194,13 +194,9 @@ mod tests {
         for m in [1usize, 2] {
             let inst = N3dm::random_yes(&mut gen, m, 5);
             let r = reduce(&inst);
-            let best = repliflow_exact::solve_pipeline(
-                &r.pipeline,
-                &r.platform,
-                false,
-                Goal::MinPeriod,
-            )
-            .unwrap();
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, false, Goal::MinPeriod)
+                    .unwrap();
             assert!(best.period <= Rat::ONE, "{inst:?} got {}", best.period);
         }
         // well-formed no-instances (m = 2): the bound 1 is unreachable
@@ -210,13 +206,9 @@ mod tests {
                 continue;
             };
             let r = reduce(&no);
-            let best = repliflow_exact::solve_pipeline(
-                &r.pipeline,
-                &r.platform,
-                false,
-                Goal::MinPeriod,
-            )
-            .unwrap();
+            let best =
+                repliflow_exact::solve_pipeline(&r.pipeline, &r.platform, false, Goal::MinPeriod)
+                    .unwrap();
             assert!(best.period > Rat::ONE, "{no:?} got {}", best.period);
             checked += 1;
         }

@@ -71,10 +71,7 @@ impl TwoPartition {
             t = prev;
         }
         subset.sort_unstable();
-        debug_assert_eq!(
-            subset.iter().map(|&i| self.values[i]).sum::<u64>(),
-            target
-        );
+        debug_assert_eq!(subset.iter().map(|&i| self.values[i]).sum::<u64>(), target);
         Some(subset)
     }
 

@@ -101,17 +101,10 @@ mod tests {
         let a = alloc(&[(0, 0, 0), (1, 1, 1)]);
         let analytic_period = pipeline_period_with_comm(&pipe, &plat, &net, &a);
         let analytic_latency = pipeline_latency_with_comm(&pipe, &plat, &net, &a);
-        let report =
-            simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 40);
+        let report = simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 40);
         assert_eq!(report.measured_period(8), analytic_period);
-        let report = simulate_pipeline_with_comm(
-            &pipe,
-            &plat,
-            &net,
-            &a,
-            Feed::Interval(Rat::int(1000)),
-            5,
-        );
+        let report =
+            simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Interval(Rat::int(1000)), 5);
         assert_eq!(report.max_latency(), analytic_latency);
     }
 
@@ -146,8 +139,7 @@ mod tests {
             }
             let analytic_period = pipeline_period_with_comm(&pipe, &plat, &net, &a);
             let analytic_latency = pipeline_latency_with_comm(&pipe, &plat, &net, &a);
-            let report =
-                simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 50);
+            let report = simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Saturated, 50);
             assert_eq!(report.measured_period(10), analytic_period);
             let report = simulate_pipeline_with_comm(
                 &pipe,
@@ -167,14 +159,8 @@ mod tests {
         let plat = Platform::homogeneous(2, 1);
         let net = Network::uniform(2, 5);
         let a = alloc(&[(0, 0, 0), (1, 3, 1)]);
-        let report = simulate_pipeline_with_comm(
-            &pipe,
-            &plat,
-            &net,
-            &a,
-            Feed::Interval(Rat::int(100)),
-            4,
-        );
+        let report =
+            simulate_pipeline_with_comm(&pipe, &plat, &net, &a, Feed::Interval(Rat::int(100)), 4);
         assert_eq!(report.max_latency(), Rat::int(24));
     }
 }

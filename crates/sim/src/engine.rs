@@ -80,7 +80,6 @@ impl GroupSim {
         (start, finish, release)
     }
 
-
     /// The group's replica count (1 for data-parallel groups).
     pub fn replicas(&self) -> usize {
         self.free_at.len()
@@ -91,9 +90,9 @@ impl GroupSim {
 pub fn entry_times(feed: crate::report::Feed, n_data_sets: usize) -> Vec<Rat> {
     match feed {
         crate::report::Feed::Saturated => vec![Rat::ZERO; n_data_sets],
-        crate::report::Feed::Interval(dt) => (0..n_data_sets)
-            .map(|d| Rat::int(d as i128) * dt)
-            .collect(),
+        crate::report::Feed::Interval(dt) => {
+            (0..n_data_sets).map(|d| Rat::int(d as i128) * dt).collect()
+        }
     }
 }
 
@@ -111,10 +110,7 @@ mod tests {
         let a = Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::Replicated);
         let mut g = GroupSim::new(2, &a, &plat);
         let releases: Vec<Rat> = (0..6).map(|_| g.process(Rat::ZERO)).collect();
-        assert_eq!(
-            releases,
-            [2, 2, 4, 4, 6, 6].map(Rat::int).to_vec()
-        );
+        assert_eq!(releases, [2, 2, 4, 4, 6, 6].map(Rat::int).to_vec());
     }
 
     #[test]
@@ -144,10 +140,7 @@ mod tests {
     #[test]
     fn feed_entry_times() {
         use crate::report::Feed;
-        assert_eq!(
-            entry_times(Feed::Saturated, 3),
-            vec![Rat::ZERO; 3]
-        );
+        assert_eq!(entry_times(Feed::Saturated, 3), vec![Rat::ZERO; 3]);
         assert_eq!(
             entry_times(Feed::Interval(Rat::int(5)), 3),
             vec![Rat::ZERO, Rat::int(5), Rat::int(10)]

@@ -293,8 +293,7 @@ mod tests {
             Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
         ]);
         let analytic = fork.latency(&plat, &m).unwrap();
-        let report =
-            simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        let report = simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
         assert_eq!(report.max_latency(), analytic); // 6
     }
 
@@ -321,8 +320,7 @@ mod tests {
             Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
         ]);
         let analytic = fj.latency(&plat, &m).unwrap();
-        let report =
-            simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        let report = simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
         assert_eq!(report.max_latency(), analytic); // 6
     }
 
@@ -337,8 +335,7 @@ mod tests {
             Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
         ]);
         let analytic = fj.latency(&plat, &m).unwrap();
-        let report =
-            simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
+        let report = simulate_forkjoin(&fj, &plat, &m, Feed::Interval(Rat::int(100)), 8).unwrap();
         assert_eq!(report.max_latency(), analytic); // 2 + 4 + 2 = 8
     }
 
@@ -352,8 +349,7 @@ mod tests {
             Assignment::new(vec![1, 2], procs(&[2]), Mode::Replicated),
         ]);
         let analytic = fork.latency(&plat, &m).unwrap();
-        let report =
-            simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 6).unwrap();
+        let report = simulate_fork(&fork, &plat, &m, Feed::Interval(Rat::int(100)), 6).unwrap();
         assert_eq!(report.max_latency(), analytic); // 8
     }
 }

@@ -47,11 +47,9 @@ pub fn simulate_pipeline(
 /// The round-robin cycle length of a pipeline mapping (lcm of replica
 /// counts) — the right measurement-window granularity.
 pub fn cycle_length(mapping: &Mapping) -> usize {
-    crate::report::replica_cycle(mapping.assignments().iter().map(|a| {
-        match a.mode {
-            repliflow_core::mapping::Mode::Replicated => a.n_procs(),
-            repliflow_core::mapping::Mode::DataParallel => 1,
-        }
+    crate::report::replica_cycle(mapping.assignments().iter().map(|a| match a.mode {
+        repliflow_core::mapping::Mode::Replicated => a.n_procs(),
+        repliflow_core::mapping::Mode::DataParallel => 1,
     }))
 }
 
@@ -73,19 +71,12 @@ mod tests {
         let pipe = Pipeline::new(vec![14, 4, 2, 4]);
         let plat = Platform::homogeneous(3, 1);
         let m = Mapping::whole(4, procs(&[0, 1, 2]), Mode::Replicated);
-        let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 40).unwrap();
+        let report = simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 40).unwrap();
         let window = 3 * cycle_length(&m);
         assert_eq!(report.measured_period(window), Rat::int(8));
         // latency without queueing
-        let report = simulate_pipeline(
-            &pipe,
-            &plat,
-            &m,
-            Feed::Interval(Rat::int(100)),
-            12,
-        )
-        .unwrap();
+        let report =
+            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(Rat::int(100)), 12).unwrap();
         assert_eq!(report.max_latency(), Rat::int(24));
     }
 
@@ -98,11 +89,9 @@ mod tests {
             Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
             Assignment::interval(1, 3, procs(&[2]), Mode::Replicated),
         ]);
-        let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 40).unwrap();
+        let report = simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 40).unwrap();
         assert_eq!(report.measured_period(6), Rat::int(10));
-        let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(Rat::int(50)), 10).unwrap();
+        let report = simulate_pipeline(&pipe, &plat, &m, Feed::Interval(Rat::int(50)), 10).unwrap();
         assert_eq!(report.max_latency(), Rat::int(17));
     }
 
@@ -118,8 +107,7 @@ mod tests {
         ]);
         let period = pipe.period(&plat, &m).unwrap();
         let latency = pipe.latency(&plat, &m).unwrap();
-        let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(period), 60).unwrap();
+        let report = simulate_pipeline(&pipe, &plat, &m, Feed::Interval(period), 60).unwrap();
         assert!(report.max_latency() <= latency);
         // and the output rhythm equals the input rhythm
         assert_eq!(report.measured_period(12), period);

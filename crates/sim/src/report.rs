@@ -70,10 +70,7 @@ impl SimReport {
 
     /// Maximum latency over all data sets.
     pub fn max_latency(&self) -> Rat {
-        self.latencies
-            .iter()
-            .copied()
-            .fold(Rat::ZERO, Rat::max)
+        self.latencies.iter().copied().fold(Rat::ZERO, Rat::max)
     }
 }
 

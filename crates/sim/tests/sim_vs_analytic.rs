@@ -17,12 +17,7 @@ use repliflow_sim::{simulate_fork, simulate_pipeline, Feed};
 
 /// Random legal pipeline mapping: random interval cuts, random disjoint
 /// processor blocks, random modes.
-fn random_pipeline_mapping(
-    gen: &mut Gen,
-    n: usize,
-    p: usize,
-    allow_dp: bool,
-) -> Mapping {
+fn random_pipeline_mapping(gen: &mut Gen, n: usize, p: usize, allow_dp: bool) -> Mapping {
     // choose number of groups and cuts
     let m = gen.size(1, n.min(p));
     let mut cuts: Vec<usize> = Vec::new();
@@ -72,9 +67,14 @@ fn pipeline_period_matches_analytic_everywhere() {
         let analytic = pipe.period(&plat, &m).unwrap();
         let cycle = repliflow_sim::pipeline::cycle_length(&m);
         let window = 4 * cycle;
-        let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Saturated, 10 * window.max(4) + window)
-                .unwrap();
+        let report = simulate_pipeline(
+            &pipe,
+            &plat,
+            &m,
+            Feed::Saturated,
+            10 * window.max(4) + window,
+        )
+        .unwrap();
         assert_eq!(
             report.measured_period(window),
             analytic,
@@ -95,8 +95,7 @@ fn pipeline_latency_matches_analytic_on_hom_platforms() {
         let m = random_pipeline_mapping(&mut gen, n, p, true);
         let analytic = pipe.latency(&plat, &m).unwrap();
         let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24)
-                .unwrap();
+            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24).unwrap();
         assert_eq!(report.max_latency(), analytic, "case {case}: {m}");
     }
 }
@@ -113,8 +112,7 @@ fn pipeline_latency_bounded_by_analytic_on_het_platforms() {
         let m = random_pipeline_mapping(&mut gen, n, p, true);
         let analytic = pipe.latency(&plat, &m).unwrap();
         let report =
-            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 48)
-                .unwrap();
+            simulate_pipeline(&pipe, &plat, &m, Feed::Interval(analytic + Rat::ONE), 48).unwrap();
         assert!(
             report.max_latency() <= analytic,
             "case {case}: {m} measured {} > analytic {analytic}",
@@ -140,11 +138,7 @@ fn single_processor_groups_are_always_tight() {
         let p = gen.size(n, 6);
         let plat = gen.het_platform(p, 1, 6);
         // n singleton groups
-        let mapping = Mapping::new(
-            (0..n)
-                .map(|s| Assignment::single(s, ProcId(s)))
-                .collect(),
-        );
+        let mapping = Mapping::new((0..n).map(|s| Assignment::single(s, ProcId(s))).collect());
         let analytic = pipe.latency(&plat, &mapping).unwrap();
         let report = simulate_pipeline(
             &pipe,
@@ -163,7 +157,11 @@ fn random_fork_mapping(gen: &mut Gen, fork: &Fork, p: usize, allow_dp: bool) -> 
     let n = fork.n_leaves();
     // root group takes a random (possibly empty) prefix of leaves
     let n0 = gen.size(0, n);
-    let groups_rest = if n0 == n { 0 } else { gen.size(1, (n - n0).min(p - 1)) };
+    let groups_rest = if n0 == n {
+        0
+    } else {
+        gen.size(1, (n - n0).min(p - 1))
+    };
     let mut sizes = vec![1usize; 1 + groups_rest];
     let mut extra = p - sizes.len();
     while extra > 0 {
@@ -218,9 +216,14 @@ fn fork_period_matches_analytic_everywhere() {
         let analytic = fork.period(&plat, &m).unwrap();
         let cycle = repliflow_sim::fork::cycle_length(&m);
         let window = 4 * cycle;
-        let report =
-            simulate_fork(&fork, &plat, &m, Feed::Saturated, 10 * window.max(4) + window)
-                .unwrap();
+        let report = simulate_fork(
+            &fork,
+            &plat,
+            &m,
+            Feed::Saturated,
+            10 * window.max(4) + window,
+        )
+        .unwrap();
         assert_eq!(report.measured_period(window), analytic, "case {case}: {m}");
     }
 }
@@ -239,8 +242,7 @@ fn fork_latency_matches_analytic_on_hom_platforms() {
         }
         let analytic = fork.latency(&plat, &m).unwrap();
         let report =
-            simulate_fork(&fork, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24)
-                .unwrap();
+            simulate_fork(&fork, &plat, &m, Feed::Interval(analytic + Rat::ONE), 24).unwrap();
         assert_eq!(report.max_latency(), analytic, "case {case}: {m}");
     }
 }

@@ -1,0 +1,34 @@
+//! The trait every backend implements to plug into the
+//! [`EngineRegistry`](crate::EngineRegistry).
+
+use crate::report::SolveError;
+use crate::request::Budget;
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::{ProblemInstance, Variant};
+
+/// A solving backend: declares which Table 1 cells it covers and
+/// produces witness-backed solutions for instances of those cells.
+///
+/// Engines must be stateless ([`Sync`]) so [`solve_batch`] can share
+/// one registry across worker threads.
+///
+/// [`solve_batch`]: crate::EngineRegistry::solve_batch
+pub trait Engine: Sync {
+    /// Stable engine name (used in reports and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Whether this engine can solve instances of `variant`.
+    fn supports(&self, variant: &Variant) -> bool;
+
+    /// Whether a successful solve of `variant` is a proven optimum
+    /// (as opposed to a heuristic's best effort).
+    fn proves_optimality(&self, variant: &Variant) -> bool;
+
+    /// Solves `instance` under `budget`.
+    ///
+    /// Returns [`SolveError::Infeasible`] when a bi-criteria bound is
+    /// unattainable (with a best-effort witness if the engine has one)
+    /// and [`SolveError::Unsupported`] when the instance's cell is
+    /// outside [`Engine::supports`].
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<Solved, SolveError>;
+}

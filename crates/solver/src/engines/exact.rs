@@ -1,0 +1,80 @@
+//! The exhaustive ground-truth engine: wraps `repliflow-exact`'s
+//! Pareto-frontier oracle. Supports every Table 1 cell and proves
+//! optimality, at exponential cost — the registry only auto-routes to
+//! it under the [`Budget`] size threshold.
+
+use crate::engine::Engine;
+use crate::report::SolveError;
+use crate::request::Budget;
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::{Objective, ProblemInstance, Variant};
+use repliflow_core::workflow::Workflow;
+
+/// Exhaustive exact search over the full mapping space.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactEngine;
+
+/// Whether an `(n_stages, n_procs)`-sized instance fits the exhaustive
+/// solvers' hard representation limits (`u32` processor bitmasks, fork
+/// leaf bitmasks). `n_stages <= MAX_LEAVES + 1` keeps any fork's leaf
+/// count within bounds without needing the workflow shape.
+pub(crate) fn within_exact_capacity(n_stages: usize, n_procs: usize) -> bool {
+    n_procs <= repliflow_exact::pipeline::MAX_PROCS
+        && n_stages <= repliflow_exact::fork::MAX_LEAVES + 1
+}
+
+/// Precise capacity check for a concrete instance (pipelines have no
+/// stage limit; forks/fork-joins are bounded by their leaf count).
+pub(crate) fn instance_fits(instance: &ProblemInstance) -> bool {
+    let procs_ok = instance.platform.n_procs() <= repliflow_exact::pipeline::MAX_PROCS;
+    let leaves_ok = match &instance.workflow {
+        Workflow::Pipeline(_) => true,
+        Workflow::Fork(f) => f.n_leaves() <= repliflow_exact::fork::MAX_LEAVES,
+        Workflow::ForkJoin(fj) => fj.n_leaves() <= repliflow_exact::fork::MAX_LEAVES,
+    };
+    procs_ok && leaves_ok
+}
+
+/// Orients an exact [`repliflow_exact::Solution`] into a [`Solved`]
+/// whose `objective` field matches the instance's objective.
+pub(crate) fn orient(objective: Objective, sol: repliflow_exact::Solution) -> Solved {
+    match objective {
+        Objective::Period | Objective::PeriodUnderLatency(_) => {
+            Solved::for_period(sol.mapping, sol.period, sol.latency)
+        }
+        Objective::Latency | Objective::LatencyUnderPeriod(_) => {
+            Solved::for_latency(sol.mapping, sol.period, sol.latency)
+        }
+    }
+}
+
+impl Engine for ExactEngine {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn supports(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn proves_optimality(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<Solved, SolveError> {
+        // Surface the exhaustive solvers' hard bitmask limits as an
+        // error instead of letting their asserts abort the process.
+        if !instance_fits(instance) {
+            return Err(SolveError::ExceedsExactCapacity {
+                n_stages: instance.workflow.n_stages(),
+                n_procs: instance.platform.n_procs(),
+            });
+        }
+        match repliflow_exact::solve(instance) {
+            Some(sol) => Ok(orient(instance.objective, sol)),
+            // The frontier is exhaustive, so an empty pick proves the
+            // bound unattainable.
+            None => Err(SolveError::Infeasible { best_effort: None }),
+        }
+    }
+}

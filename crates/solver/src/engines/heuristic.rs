@@ -1,0 +1,120 @@
+//! The heuristic engine: a portfolio of `repliflow-heuristics`
+//! candidates — baselines, shape-specific greedy construction,
+//! steepest-descent local search and seeded simulated annealing for
+//! pipelines — scored under the requested objective. Covers every
+//! Table 1 cell (including fork-join, which the old CLI refused)
+//! without optimality guarantees.
+
+use crate::engine::Engine;
+use crate::report::SolveError;
+use crate::request::Budget;
+use crate::score::score;
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::{Objective, ProblemInstance, Variant};
+use repliflow_core::mapping::{Mapping, Mode};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Workflow;
+use repliflow_heuristics::{annealing, baselines, greedy, local_search};
+
+/// Best-of-portfolio heuristics for every workflow shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeuristicEngine;
+
+impl HeuristicEngine {
+    /// All candidate mappings the portfolio considers for `instance`.
+    fn candidates(&self, instance: &ProblemInstance, budget: &Budget) -> Vec<Mapping> {
+        let platform = &instance.platform;
+        let mut out = vec![
+            baselines::replicate_all(&instance.workflow, platform),
+            baselines::fastest_single(&instance.workflow, platform),
+        ];
+        match &instance.workflow {
+            Workflow::Pipeline(pipe) => {
+                let greedy_start = greedy::pipeline_period_greedy(pipe, platform);
+                let whole_start = Mapping::whole(
+                    pipe.n_stages(),
+                    platform.procs().collect(),
+                    Mode::Replicated,
+                );
+                // local search from both starting points
+                for start in [greedy_start, whole_start.clone()] {
+                    out.push(local_search::improve(
+                        pipe,
+                        platform,
+                        instance.allow_data_parallel,
+                        instance.objective,
+                        start,
+                        budget.local_search_rounds,
+                    ));
+                }
+                // seeded annealing escapes local optima the descent
+                // gets stuck in (deterministic for a given budget.seed)
+                out.push(annealing::anneal(
+                    pipe,
+                    platform,
+                    instance.allow_data_parallel,
+                    instance.objective,
+                    whole_start,
+                    annealing::Schedule::default(),
+                    budget.seed,
+                ));
+            }
+            Workflow::Fork(fork) => {
+                out.push(greedy::fork_latency_greedy(fork, platform));
+            }
+            Workflow::ForkJoin(fj) => {
+                out.push(greedy::forkjoin_latency_greedy(fj, platform));
+            }
+        }
+        out
+    }
+}
+
+impl Engine for HeuristicEngine {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    fn supports(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn proves_optimality(&self, _variant: &Variant) -> bool {
+        false
+    }
+
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<Solved, SolveError> {
+        let (best_score, best) = self
+            .candidates(instance, budget)
+            .into_iter()
+            .map(|m| (score(instance, &m), m))
+            .min_by(|(a, _), (b, _)| a.cmp(b))
+            .expect("the portfolio always yields candidates");
+
+        let period = instance
+            .workflow
+            .period(&instance.platform, &best)
+            .expect("candidate mappings are valid");
+        let latency = instance
+            .workflow
+            .latency(&instance.platform, &best)
+            .expect("candidate mappings are valid");
+        let solved = match instance.objective {
+            Objective::Period | Objective::PeriodUnderLatency(_) => {
+                Solved::for_period(best, period, latency)
+            }
+            Objective::Latency | Objective::LatencyUnderPeriod(_) => {
+                Solved::for_latency(best, period, latency)
+            }
+        };
+        if best_score.0 == Rat::INFINITY {
+            // Every candidate violates the bi-criteria bound; hand the
+            // registry the least-bad witness (a heuristic cannot prove
+            // the bound unattainable).
+            return Err(SolveError::Infeasible {
+                best_effort: Some(Box::new(solved)),
+            });
+        }
+        Ok(solved)
+    }
+}

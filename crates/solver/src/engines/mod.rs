@@ -1,0 +1,12 @@
+//! The built-in engines behind the registry: exhaustive search, the
+//! paper's polynomial algorithms, and the heuristic portfolio.
+
+mod exact;
+mod heuristic;
+mod paper;
+
+pub use exact::ExactEngine;
+pub use heuristic::HeuristicEngine;
+pub use paper::PaperEngine;
+
+pub(crate) use exact::{instance_fits, within_exact_capacity};

@@ -1,0 +1,85 @@
+//! # repliflow-solver
+//!
+//! The one public way to solve anything in this workspace: a
+//! [`SolveRequest`] goes in, a [`SolveReport`] comes out, and an
+//! [`EngineRegistry`] auto-routes every cell of the paper's Table 1 to
+//! the right backend:
+//!
+//! * **polynomial cells** → the matching `repliflow-algorithms` solver
+//!   (the paper's own algorithm, optimality [`Optimality::Proven`]);
+//! * **NP-hard cells** → `repliflow-exact` exhaustive search while the
+//!   instance fits under the [`Budget`] size threshold (still
+//!   `Proven`), `repliflow-heuristics` beyond it
+//!   ([`Optimality::Heuristic`]);
+//! * explicit overrides via [`EnginePref`]: `Exact`, `Heuristic`, or
+//!   `Paper` (paper algorithm or refuse).
+//!
+//! Every report can re-validate its witness mapping through the
+//! `repliflow-core` cost model ([`SolveRequest::validate_witness`], on
+//! by default), so a reported optimum is always backed by a concrete,
+//! recomputed mapping. [`EngineRegistry::solve_batch`] fans a whole
+//! instance set out across OS threads — the workspace's first scaling
+//! primitive.
+//!
+//! ```
+//! use repliflow_core::instance::{Objective, ProblemInstance};
+//! use repliflow_core::platform::Platform;
+//! use repliflow_core::workflow::Pipeline;
+//! use repliflow_solver::{solve, Optimality, SolveRequest};
+//!
+//! let instance = ProblemInstance {
+//!     workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
+//!     platform: Platform::homogeneous(3, 1),
+//!     allow_data_parallel: true,
+//!     objective: Objective::Period,
+//! };
+//! let report = solve(&SolveRequest::new(instance)).unwrap();
+//! assert_eq!(report.optimality, Optimality::Proven);
+//! assert_eq!(report.period.unwrap(), repliflow_core::rational::Rat::int(8));
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod engine;
+pub mod engines;
+mod registry;
+mod report;
+mod request;
+mod score;
+
+pub use batch::BatchOptions;
+pub use engine::Engine;
+pub use registry::EngineRegistry;
+pub use report::{Optimality, SolveError, SolveReport};
+pub use request::{Budget, EnginePref, SolveRequest};
+
+use repliflow_core::instance::ProblemInstance;
+use std::sync::OnceLock;
+
+fn default_registry() -> &'static EngineRegistry {
+    static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(EngineRegistry::default)
+}
+
+/// Solves one request through the default [`EngineRegistry`].
+pub fn solve(request: &SolveRequest) -> Result<SolveReport, SolveError> {
+    default_registry().solve(request)
+}
+
+/// Solves many instances in parallel through the default registry with
+/// default [`BatchOptions`].
+pub fn solve_batch(instances: &[ProblemInstance]) -> Vec<Result<SolveReport, SolveError>> {
+    default_registry().solve_batch(instances)
+}
+
+/// Exact (period, latency) Pareto frontier of an instance — the
+/// trade-off-exploration companion to [`solve`] (exhaustive search;
+/// small instances only).
+pub fn pareto(instance: &ProblemInstance) -> repliflow_exact::Frontier {
+    repliflow_exact::pareto(
+        &instance.workflow,
+        &instance.platform,
+        instance.allow_data_parallel,
+    )
+}

@@ -1,0 +1,278 @@
+//! The engine registry: Table 1 auto-dispatch plus explicit overrides,
+//! producing witness-validated [`SolveReport`]s.
+
+use crate::engine::Engine;
+use crate::engines::{ExactEngine, HeuristicEngine, PaperEngine};
+use crate::report::{Optimality, SolveError, SolveReport};
+use crate::request::{Budget, EnginePref, SolveRequest};
+use crate::score::meets_bound;
+use repliflow_core::instance::Variant;
+use std::time::Instant;
+
+/// Routes every Table 1 cell to an engine and assembles reports.
+///
+/// The default registry carries the three built-in engines. Routing
+/// policy for [`EnginePref::Auto`]:
+///
+/// 1. polynomial cell → [`PaperEngine`] (proven optimum in polynomial
+///    time);
+/// 2. NP-hard cell, instance within [`Budget::allows_exact`] →
+///    [`ExactEngine`] (proven optimum, exponential time on small
+///    inputs);
+/// 3. otherwise → [`HeuristicEngine`].
+#[derive(Debug, Default)]
+pub struct EngineRegistry {
+    exact: ExactEngine,
+    paper: PaperEngine,
+    heuristic: HeuristicEngine,
+}
+
+impl EngineRegistry {
+    /// The engine a request for `variant` (with the given instance
+    /// size) routes to. Fails only for [`EnginePref::Paper`] on an
+    /// NP-hard cell.
+    pub fn resolve(
+        &self,
+        pref: EnginePref,
+        variant: &Variant,
+        n_stages: usize,
+        n_procs: usize,
+        budget: &Budget,
+    ) -> Result<&dyn Engine, SolveError> {
+        match pref {
+            EnginePref::Exact => Ok(&self.exact),
+            EnginePref::Heuristic => Ok(&self.heuristic),
+            EnginePref::Paper => {
+                if self.paper.supports(variant) {
+                    Ok(&self.paper)
+                } else {
+                    Err(SolveError::Unsupported {
+                        engine: self.paper.name(),
+                        variant: *variant,
+                    })
+                }
+            }
+            EnginePref::Auto => {
+                if self.paper.supports(variant) {
+                    Ok(&self.paper)
+                } else if budget.allows_exact(n_stages, n_procs)
+                    && crate::engines::within_exact_capacity(n_stages, n_procs)
+                {
+                    Ok(&self.exact)
+                } else {
+                    Ok(&self.heuristic)
+                }
+            }
+        }
+    }
+
+    /// Solves one request end to end: classify, route, solve, validate,
+    /// report.
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
+        self.solve_parts(
+            &request.instance,
+            request.engine,
+            &request.budget,
+            request.validate_witness,
+        )
+    }
+
+    /// Borrow-based core of [`EngineRegistry::solve`], shared with the
+    /// batch path so fan-out never clones instances.
+    pub(crate) fn solve_parts(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        pref: EnginePref,
+        budget: &Budget,
+        validate_witness: bool,
+    ) -> Result<SolveReport, SolveError> {
+        let variant = instance.variant();
+        let n_stages = instance.workflow.n_stages();
+        let n_procs = instance.platform.n_procs();
+        // Auto routing with the concrete instance in hand can use the
+        // precise shape-aware capacity check (the variant-level
+        // `resolve` has to approximate by stage count); everything else
+        // goes through the same resolution path.
+        let engine: &dyn Engine = if pref == EnginePref::Auto
+            && !self.paper.supports(&variant)
+            && budget.allows_exact(n_stages, n_procs)
+            && crate::engines::instance_fits(instance)
+        {
+            &self.exact
+        } else {
+            self.resolve(pref, &variant, n_stages, n_procs, budget)?
+        };
+
+        let start = Instant::now();
+        let outcome = engine.solve(instance, budget);
+        let wall_time = start.elapsed();
+
+        let (optimality, solved) = match outcome {
+            Ok(solved) => {
+                let optimality = if engine.proves_optimality(&variant) {
+                    Optimality::Proven
+                } else {
+                    Optimality::Heuristic
+                };
+                (optimality, Some(solved))
+            }
+            Err(SolveError::Infeasible { best_effort }) => {
+                (Optimality::Infeasible, best_effort.map(|b| *b))
+            }
+            Err(e) => return Err(e),
+        };
+
+        let Some(solved) = solved else {
+            return Ok(SolveReport {
+                variant,
+                complexity: variant.paper_complexity(),
+                engine_used: engine.name(),
+                optimality,
+                mapping: None,
+                period: None,
+                latency: None,
+                objective_value: None,
+                wall_time,
+            });
+        };
+
+        if validate_witness {
+            self.validate(instance, &solved)?;
+        }
+        // Defense in depth: an engine may legally return a mapping that
+        // misses a bi-criteria bound (heuristics); never report it as
+        // a solution.
+        let optimality = if meets_bound(instance, solved.period, solved.latency) {
+            optimality
+        } else {
+            Optimality::Infeasible
+        };
+        Ok(SolveReport::from_solved(
+            variant,
+            engine.name(),
+            optimality,
+            solved,
+            wall_time,
+        ))
+    }
+
+    /// Re-derives the witness's legality and objective values through
+    /// the core cost model; any disagreement with the engine's claim is
+    /// an engine bug surfaced as [`SolveError::InvalidWitness`].
+    fn validate(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        solved: &repliflow_algorithms::Solved,
+    ) -> Result<(), SolveError> {
+        solved
+            .mapping
+            .validate(
+                &instance.workflow,
+                &instance.platform,
+                instance.allow_data_parallel,
+            )
+            .map_err(|e| SolveError::InvalidWitness(format!("illegal mapping: {e}")))?;
+        let period = instance
+            .workflow
+            .period(&instance.platform, &solved.mapping)
+            .map_err(|e| SolveError::InvalidWitness(format!("period evaluation: {e}")))?;
+        let latency = instance
+            .workflow
+            .latency(&instance.platform, &solved.mapping)
+            .map_err(|e| SolveError::InvalidWitness(format!("latency evaluation: {e}")))?;
+        if period != solved.period || latency != solved.latency {
+            return Err(SolveError::InvalidWitness(format!(
+                "claimed (period {}, latency {}) but cost model gives ({period}, {latency})",
+                solved.period, solved.latency
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::instance::{Objective, ProblemInstance};
+    use repliflow_core::platform::Platform;
+    use repliflow_core::rational::Rat;
+    use repliflow_core::workflow::{ForkJoin, Pipeline};
+
+    fn section2(objective: Objective) -> ProblemInstance {
+        ProblemInstance {
+            workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
+            platform: Platform::homogeneous(3, 1),
+            allow_data_parallel: true,
+            objective,
+        }
+    }
+
+    #[test]
+    fn auto_routes_polynomial_cell_to_paper_engine() {
+        let registry = EngineRegistry::default();
+        let report = registry
+            .solve(&SolveRequest::new(section2(Objective::Period)))
+            .unwrap();
+        assert_eq!(report.engine_used, "paper");
+        assert_eq!(report.optimality, Optimality::Proven);
+        assert_eq!(report.period.unwrap(), Rat::int(8));
+        assert_eq!(report.objective_value, report.period);
+    }
+
+    #[test]
+    fn exact_override_agrees_with_paper() {
+        let registry = EngineRegistry::default();
+        let auto = registry
+            .solve(&SolveRequest::new(section2(Objective::Latency)))
+            .unwrap();
+        let exact = registry
+            .solve(&SolveRequest::new(section2(Objective::Latency)).engine(EnginePref::Exact))
+            .unwrap();
+        assert_eq!(auto.objective_value, exact.objective_value);
+        assert_eq!(exact.engine_used, "exact");
+    }
+
+    #[test]
+    fn infeasible_bound_reported_not_errored() {
+        let registry = EngineRegistry::default();
+        // No mapping of 24 total work on 3 unit processors beats period 1.
+        let report = registry
+            .solve(&SolveRequest::new(section2(Objective::LatencyUnderPeriod(
+                Rat::ONE,
+            ))))
+            .unwrap();
+        assert_eq!(report.optimality, Optimality::Infeasible);
+    }
+
+    #[test]
+    fn heuristic_override_handles_forkjoin() {
+        let registry = EngineRegistry::default();
+        let instance = ProblemInstance {
+            workflow: ForkJoin::new(3, vec![5, 1, 4, 2], 2).into(),
+            platform: Platform::heterogeneous(vec![3, 2, 1]),
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+        };
+        let report = registry
+            .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
+            .unwrap();
+        assert_eq!(report.engine_used, "heuristic");
+        assert_eq!(report.optimality, Optimality::Heuristic);
+        assert!(report.has_mapping());
+    }
+
+    #[test]
+    fn paper_override_refuses_np_hard_cell() {
+        let registry = EngineRegistry::default();
+        let instance = ProblemInstance {
+            workflow: Pipeline::new(vec![5, 3, 9]).into(),
+            platform: Platform::heterogeneous(vec![2, 1]),
+            allow_data_parallel: false,
+            objective: Objective::Period, // Theorem 9: NP-hard
+        };
+        let err = registry
+            .solve(&SolveRequest::new(instance).engine(EnginePref::Paper))
+            .unwrap_err();
+        assert!(matches!(err, SolveError::Unsupported { .. }));
+    }
+}

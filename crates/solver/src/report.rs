@@ -1,0 +1,148 @@
+//! The report side of the engine API, and everything that can go
+//! wrong while producing one.
+
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::{Complexity, Variant};
+use repliflow_core::mapping::Mapping;
+use repliflow_core::rational::Rat;
+use std::fmt;
+use std::time::Duration;
+
+/// How strong the reported solution is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Optimality {
+    /// The objective value is a proven optimum (paper algorithm on a
+    /// polynomial cell, or exhaustive search).
+    Proven,
+    /// Best value a heuristic found; the optimum may be better.
+    Heuristic,
+    /// The bi-criteria bound is unattainable. Exact engines prove this
+    /// (no mapping attached); heuristic engines attach their best
+    /// bound-violating witness instead.
+    Infeasible,
+}
+
+impl fmt::Display for Optimality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Optimality::Proven => "proven",
+            Optimality::Heuristic => "heuristic",
+            Optimality::Infeasible => "infeasible",
+        })
+    }
+}
+
+/// The result of one solve: classification, engine, solution and
+/// timing.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The Table 1 cell the instance belongs to.
+    pub variant: Variant,
+    /// The paper's complexity classification of that cell.
+    pub complexity: Complexity,
+    /// Name of the engine that produced the solution.
+    pub engine_used: &'static str,
+    /// Strength of the result.
+    pub optimality: Optimality,
+    /// The witness mapping (`None` only when an exact engine proved a
+    /// bi-criteria bound infeasible).
+    pub mapping: Option<Mapping>,
+    /// Period of the witness mapping.
+    pub period: Option<Rat>,
+    /// Latency of the witness mapping.
+    pub latency: Option<Rat>,
+    /// Value of the optimized objective (equals `period` or `latency`
+    /// depending on the instance's objective).
+    pub objective_value: Option<Rat>,
+    /// Wall-clock time the engine spent.
+    pub wall_time: Duration,
+}
+
+impl SolveReport {
+    /// Whether a solution (possibly bound-violating) is attached.
+    pub fn has_mapping(&self) -> bool {
+        self.mapping.is_some()
+    }
+
+    pub(crate) fn from_solved(
+        variant: Variant,
+        engine_used: &'static str,
+        optimality: Optimality,
+        solved: Solved,
+        wall_time: Duration,
+    ) -> SolveReport {
+        SolveReport {
+            variant,
+            complexity: variant.paper_complexity(),
+            engine_used,
+            optimality,
+            mapping: Some(solved.mapping),
+            period: Some(solved.period),
+            latency: Some(solved.latency),
+            objective_value: Some(solved.objective),
+            wall_time,
+        }
+    }
+}
+
+/// Everything that can go wrong while producing a [`SolveReport`].
+#[derive(Clone, Debug)]
+pub enum SolveError {
+    /// The chosen engine does not cover the instance's Table 1 cell
+    /// (only possible with an explicit [`EnginePref`] override; the
+    /// `Auto` route always finds an engine).
+    ///
+    /// [`EnginePref`]: crate::EnginePref
+    Unsupported {
+        /// Engine that refused.
+        engine: &'static str,
+        /// The refused cell.
+        variant: Variant,
+    },
+    /// A bi-criteria bound is unattainable. Carries the engine's best
+    /// bound-violating witness when one exists (heuristic engines);
+    /// the registry converts this into a report with
+    /// [`Optimality::Infeasible`].
+    Infeasible {
+        /// Best-effort witness violating the bound, if any.
+        best_effort: Option<Box<Solved>>,
+    },
+    /// Witness validation failed: the engine's claimed values disagree
+    /// with the core cost model (this is a bug in the engine).
+    InvalidWitness(String),
+    /// The instance exceeds the exhaustive solvers' hard capacity
+    /// (bitmask representation: at most 20 processors / 20 fork
+    /// leaves). Only reachable with an explicit `Exact` override — the
+    /// `Auto` route falls back to heuristics instead.
+    ExceedsExactCapacity {
+        /// Stages in the instance's workflow.
+        n_stages: usize,
+        /// Processors in the instance's platform.
+        n_procs: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Unsupported { engine, variant } => {
+                write!(f, "engine `{engine}` does not support cell [{variant}]")
+            }
+            SolveError::Infeasible { .. } => {
+                write!(f, "the bi-criteria bound is unattainable")
+            }
+            SolveError::InvalidWitness(msg) => {
+                write!(f, "witness validation failed: {msg}")
+            }
+            SolveError::ExceedsExactCapacity { n_stages, n_procs } => {
+                write!(
+                    f,
+                    "instance (n={n_stages}, p={n_procs}) exceeds the exact solvers' \
+                     capacity; use the auto or heuristic engine"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

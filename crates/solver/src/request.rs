@@ -1,0 +1,120 @@
+//! The request side of the engine API: what to solve, with which
+//! engine, under which resource budget.
+
+use repliflow_core::instance::ProblemInstance;
+
+/// Which engine the registry should route a request to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnginePref {
+    /// Table 1 auto-dispatch: the paper's algorithm on polynomial
+    /// cells; on NP-hard cells exhaustive search under the
+    /// [`Budget`] size threshold, heuristics beyond it.
+    #[default]
+    Auto,
+    /// Force the exhaustive exact solver (`repliflow-exact`), whatever
+    /// the instance size. Proven optimal, exponential time.
+    Exact,
+    /// Force the heuristic engine (`repliflow-heuristics`), even on
+    /// polynomial cells.
+    Heuristic,
+    /// Force the paper's polynomial algorithm; the registry refuses
+    /// NP-hard cells instead of silently approximating.
+    Paper,
+}
+
+impl EnginePref {
+    /// Parses the CLI spelling (`auto`, `exact`, `heuristic`, `paper`).
+    pub fn parse(s: &str) -> Option<EnginePref> {
+        match s {
+            "auto" => Some(EnginePref::Auto),
+            "exact" => Some(EnginePref::Exact),
+            "heuristic" => Some(EnginePref::Heuristic),
+            "paper" => Some(EnginePref::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Resource limits for one solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Exhaustive search is allowed while the workflow has at most this
+    /// many stages ...
+    pub max_exact_stages: usize,
+    /// ... and the platform at most this many processors.
+    pub max_exact_procs: usize,
+    /// Round limit for the steepest-descent local search.
+    pub local_search_rounds: usize,
+    /// Seed for randomized heuristics (kept fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        // The exhaustive solvers enumerate set partitions; 10 stages /
+        // 12 processors keeps them under ~1s, matching the historical
+        // CLI threshold.
+        Budget {
+            max_exact_stages: 10,
+            max_exact_procs: 12,
+            local_search_rounds: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Budget {
+    /// Whether an `n_stages`-stage workflow on `n_procs` processors is
+    /// small enough for exhaustive search under this budget.
+    pub fn allows_exact(&self, n_stages: usize, n_procs: usize) -> bool {
+        n_stages <= self.max_exact_stages && n_procs <= self.max_exact_procs
+    }
+}
+
+/// A complete solve request: the instance plus routing and validation
+/// options. Construct with [`SolveRequest::new`] and refine with the
+/// builder methods.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The problem to solve.
+    pub instance: ProblemInstance,
+    /// Engine routing preference.
+    pub engine: EnginePref,
+    /// Resource limits.
+    pub budget: Budget,
+    /// Re-validate the witness mapping through the core cost model
+    /// before reporting (structural legality + recomputed period and
+    /// latency must match the engine's claim).
+    pub validate_witness: bool,
+}
+
+impl SolveRequest {
+    /// Request with auto routing, default budget and witness validation
+    /// enabled.
+    pub fn new(instance: ProblemInstance) -> SolveRequest {
+        SolveRequest {
+            instance,
+            engine: EnginePref::Auto,
+            budget: Budget::default(),
+            validate_witness: true,
+        }
+    }
+
+    /// Overrides the engine preference.
+    pub fn engine(mut self, engine: EnginePref) -> SolveRequest {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the budget.
+    pub fn budget(mut self, budget: Budget) -> SolveRequest {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables witness validation.
+    pub fn validate_witness(mut self, validate: bool) -> SolveRequest {
+        self.validate_witness = validate;
+        self
+    }
+}

@@ -1,0 +1,409 @@
+//! Integration tests of the Table 1 auto-dispatch: every variant
+//! resolves to a supporting engine, every polynomial cell's report
+//! agrees with the exhaustive oracle, and `solve_batch` fans out
+//! correctly at scale.
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{
+    Complexity, GraphClass, Objective, ObjectiveClass, PlatformClass, ProblemInstance, Variant,
+};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline, Workflow};
+use repliflow_solver::{
+    BatchOptions, Budget, EnginePref, EngineRegistry, Optimality, SolveRequest,
+};
+
+const GRAPHS: [GraphClass; 6] = [
+    GraphClass::HomPipeline,
+    GraphClass::HetPipeline,
+    GraphClass::HomFork,
+    GraphClass::HetFork,
+    GraphClass::HomForkJoin,
+    GraphClass::HetForkJoin,
+];
+const PLATFORMS: [PlatformClass; 2] = [PlatformClass::Homogeneous, PlatformClass::Heterogeneous];
+const OBJECTIVES: [ObjectiveClass; 3] = [
+    ObjectiveClass::Period,
+    ObjectiveClass::Latency,
+    ObjectiveClass::BiCriteria,
+];
+
+fn all_variants() -> Vec<Variant> {
+    let mut out = Vec::new();
+    for graph in GRAPHS {
+        for platform in PLATFORMS {
+            for data_parallel in [false, true] {
+                for objective in OBJECTIVES {
+                    out.push(Variant {
+                        graph,
+                        platform,
+                        data_parallel,
+                        objective,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A random workflow of the given graph class (guaranteed to classify
+/// as exactly that class).
+fn workflow_of(gen: &mut Gen, graph: GraphClass) -> Workflow {
+    match graph {
+        GraphClass::HomPipeline => {
+            let n = gen_size(gen);
+            gen.uniform_pipeline(n, 1, 9).into()
+        }
+        GraphClass::HetPipeline => {
+            let w = gen.int(1, 8);
+            let extra = gen.int(1, 9);
+            // at least two distinct weights
+            Pipeline::new(vec![w, w + 1, extra]).into()
+        }
+        GraphClass::HomFork => {
+            let leaves = gen.size(0, 4);
+            gen.uniform_fork(leaves, 1, 9).into()
+        }
+        GraphClass::HetFork => {
+            let w = gen.int(1, 8);
+            let root = gen.int(1, 9);
+            Fork::new(root, vec![w, w + 1]).into()
+        }
+        GraphClass::HomForkJoin => {
+            let leaves = gen.size(0, 3);
+            gen.uniform_forkjoin(leaves, 1, 9).into()
+        }
+        GraphClass::HetForkJoin => {
+            let w = gen.int(1, 8);
+            let root = gen.int(1, 9);
+            let join = gen.int(1, 9);
+            ForkJoin::new(root, vec![w, w + 1], join).into()
+        }
+    }
+}
+
+fn gen_size(gen: &mut Gen) -> usize {
+    gen.size(1, 5)
+}
+
+/// A random platform of the given class.
+fn platform_of(gen: &mut Gen, class: PlatformClass) -> Platform {
+    match class {
+        PlatformClass::Homogeneous => {
+            let p = gen.size(1, 4);
+            gen.hom_platform(p, 1, 4)
+        }
+        PlatformClass::Heterogeneous => {
+            let s = gen.int(1, 4);
+            let extra = gen.int(1, 5);
+            Platform::heterogeneous(vec![s, s + 1, extra])
+        }
+    }
+}
+
+/// A concrete instance classifying exactly into `variant` (for
+/// bi-criteria cells the bound is chosen feasible via the exact oracle).
+fn instance_of(gen: &mut Gen, variant: &Variant) -> ProblemInstance {
+    let workflow = workflow_of(gen, variant.graph);
+    let platform = platform_of(gen, variant.platform);
+    let objective = match variant.objective {
+        ObjectiveClass::Period => Objective::Period,
+        ObjectiveClass::Latency => Objective::Latency,
+        ObjectiveClass::BiCriteria => {
+            // 1.5x the optimal period is always attainable
+            let best = repliflow_exact::min_period(&workflow, &platform, variant.data_parallel);
+            Objective::LatencyUnderPeriod(best.period * Rat::new(3, 2))
+        }
+    };
+    let instance = ProblemInstance {
+        workflow,
+        platform,
+        allow_data_parallel: variant.data_parallel,
+        objective,
+    };
+    assert_eq!(
+        &instance.variant(),
+        variant,
+        "generator must hit the requested cell"
+    );
+    instance
+}
+
+#[test]
+fn every_variant_resolves_to_a_supporting_engine() {
+    let registry = EngineRegistry::default();
+    let budget = Budget::default();
+    for variant in all_variants() {
+        // small instances and far-beyond-threshold instances both resolve
+        for (n, p) in [(3, 3), (500, 200)] {
+            let engine = registry
+                .resolve(EnginePref::Auto, &variant, n, p, &budget)
+                .expect("auto routing never fails");
+            assert!(
+                engine.supports(&variant),
+                "auto-routed engine `{}` rejects [{variant}]",
+                engine.name()
+            );
+        }
+        // explicit exact / heuristic overrides always resolve too
+        for pref in [EnginePref::Exact, EnginePref::Heuristic] {
+            let engine = registry.resolve(pref, &variant, 3, 3, &budget).unwrap();
+            assert!(engine.supports(&variant));
+        }
+    }
+}
+
+#[test]
+fn paper_pref_resolves_exactly_on_polynomial_cells() {
+    let registry = EngineRegistry::default();
+    let budget = Budget::default();
+    for variant in all_variants() {
+        let resolved = registry.resolve(EnginePref::Paper, &variant, 3, 3, &budget);
+        match variant.paper_complexity() {
+            Complexity::Polynomial(_) => {
+                assert_eq!(resolved.unwrap().name(), "paper");
+            }
+            Complexity::NpHard(_) => {
+                assert!(resolved.is_err(), "paper engine must refuse [{variant}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn polynomial_cells_agree_with_the_exact_oracle() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0x7AB1E);
+    let mut covered = 0;
+    for variant in all_variants() {
+        if !matches!(variant.paper_complexity(), Complexity::Polynomial(_)) {
+            continue;
+        }
+        covered += 1;
+        for _ in 0..8 {
+            let instance = instance_of(&mut gen, &variant);
+            let auto = registry
+                .solve(&SolveRequest::new(instance.clone()))
+                .unwrap_or_else(|e| panic!("auto solve failed on [{variant}]: {e}"));
+            assert_eq!(
+                auto.engine_used, "paper",
+                "poly cell [{variant}] must route to paper"
+            );
+            assert_eq!(auto.optimality, Optimality::Proven);
+            let exact = registry
+                .solve(&SolveRequest::new(instance).engine(EnginePref::Exact))
+                .unwrap();
+            assert_eq!(
+                auto.objective_value, exact.objective_value,
+                "paper route disagrees with oracle on [{variant}]"
+            );
+        }
+    }
+    // half of Table 1 plus fork-join extensions is polynomial; make sure
+    // the loop really exercised a broad set of cells
+    assert!(covered >= 30, "only {covered} polynomial variants covered");
+}
+
+#[test]
+fn np_hard_cells_auto_route_small_to_exact_and_large_to_heuristics() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0x7AB1F);
+    for variant in all_variants() {
+        if !matches!(variant.paper_complexity(), Complexity::NpHard(_)) {
+            continue;
+        }
+        let instance = instance_of(&mut gen, &variant);
+        let report = registry
+            .solve(&SolveRequest::new(instance.clone()))
+            .unwrap();
+        assert_eq!(
+            report.engine_used, "exact",
+            "small NP-hard instances use the oracle"
+        );
+        assert_eq!(report.optimality, Optimality::Proven);
+
+        // Shrinking the exact threshold to zero forces the heuristic
+        // fallback; it must still produce a witness-backed report.
+        let tiny_budget = Budget {
+            max_exact_stages: 0,
+            max_exact_procs: 0,
+            ..Budget::default()
+        };
+        let report = registry
+            .solve(&SolveRequest::new(instance).budget(tiny_budget))
+            .unwrap();
+        assert_eq!(report.engine_used, "heuristic");
+        assert!(
+            report.has_mapping(),
+            "heuristic must emit a mapping on [{variant}]"
+        );
+    }
+}
+
+#[test]
+fn solve_batch_hundred_instances_in_parallel_marks_proven_cells() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xBA7C4);
+    let variants = all_variants();
+    let instances: Vec<ProblemInstance> = (0..120)
+        .map(|i| instance_of(&mut gen, &variants[i % variants.len()]))
+        .collect();
+
+    let reports = registry.solve_batch(&instances);
+    assert_eq!(reports.len(), instances.len());
+
+    for (i, (instance, report)) in instances.iter().zip(&reports).enumerate() {
+        let report = report
+            .as_ref()
+            .unwrap_or_else(|e| panic!("batch item {i} failed: {e}"));
+        assert!(report.has_mapping(), "batch item {i} has no mapping");
+        // Auto routing proves optimality everywhere small: polynomial
+        // cells via the paper engine, NP-hard cells via the oracle.
+        if matches!(
+            instance.variant().paper_complexity(),
+            Complexity::Polynomial(_)
+        ) {
+            assert_eq!(report.optimality, Optimality::Proven, "batch item {i}");
+            assert_eq!(report.engine_used, "paper", "batch item {i}");
+        }
+    }
+
+    // Spot-check a sample of the parallel reports against the oracle.
+    for i in (0..instances.len()).step_by(7) {
+        let exact = registry
+            .solve(&SolveRequest::new(instances[i].clone()).engine(EnginePref::Exact))
+            .unwrap();
+        let batch = reports[i].as_ref().unwrap();
+        assert_eq!(
+            batch.objective_value, exact.objective_value,
+            "batch item {i}"
+        );
+    }
+}
+
+#[test]
+fn forkjoin_heuristic_route_solves_what_the_old_cli_refused() {
+    // A fork-join too large for the exact threshold, forced through the
+    // heuristic engine: the pre-registry CLI printed an error here.
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xF04C);
+    let instance = ProblemInstance {
+        workflow: gen.forkjoin(14, 1, 20).into(),
+        platform: gen.het_platform(6, 1, 8),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+    };
+    assert!(instance.workflow.n_stages() > Budget::default().max_exact_stages);
+
+    let auto = registry
+        .solve(&SolveRequest::new(instance.clone()))
+        .unwrap();
+    assert_eq!(auto.engine_used, "heuristic");
+    assert_eq!(auto.optimality, Optimality::Heuristic);
+    assert!(auto.has_mapping());
+
+    let forced = registry
+        .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
+        .unwrap();
+    assert!(forced.has_mapping());
+}
+
+#[test]
+fn exact_capacity_is_an_error_not_a_panic() {
+    // The bitmask exact solvers hard-cap at 20 processors; forcing the
+    // exact engine beyond that must surface SolveError, not abort.
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::new(vec![3, 1, 4]).into(),
+        platform: Platform::homogeneous(25, 1),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+    };
+    let err = registry
+        .solve(&SolveRequest::new(instance.clone()).engine(EnginePref::Exact))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        repliflow_solver::SolveError::ExceedsExactCapacity { .. }
+    ));
+
+    // Auto never routes into the wall, even with a budget far above the
+    // hard cap: it falls back to heuristics and still solves.
+    let huge_budget = Budget {
+        max_exact_stages: 100,
+        max_exact_procs: 100,
+        ..Budget::default()
+    };
+    let np_hard = ProblemInstance {
+        // het pipeline / het platform / period = Theorem 9, NP-hard
+        workflow: Pipeline::new(vec![3, 1, 4]).into(),
+        platform: Platform::heterogeneous((1..=25).collect()),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+    };
+    let report = registry
+        .solve(&SolveRequest::new(np_hard).budget(huge_budget))
+        .unwrap();
+    assert_eq!(report.engine_used, "heuristic");
+    assert!(report.has_mapping());
+}
+
+#[test]
+fn witness_validation_is_on_by_default_and_consistent() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0x77D0);
+    for _ in 0..25 {
+        let n = gen_size(&mut gen);
+        let p = gen.size(1, 4);
+        let instance = ProblemInstance {
+            workflow: gen.pipeline(n, 1, 12).into(),
+            platform: gen.het_platform(p, 1, 5),
+            allow_data_parallel: gen.flip(0.5),
+            objective: Objective::Latency,
+        };
+        let report = registry
+            .solve(&SolveRequest::new(instance.clone()))
+            .unwrap();
+        // the report's numbers must match a fresh cost-model evaluation
+        let mapping = report.mapping.unwrap();
+        assert_eq!(
+            instance
+                .workflow
+                .period(&instance.platform, &mapping)
+                .unwrap(),
+            report.period.unwrap()
+        );
+        assert_eq!(
+            instance
+                .workflow
+                .latency(&instance.platform, &mapping)
+                .unwrap(),
+            report.latency.unwrap()
+        );
+    }
+}
+
+#[test]
+fn batch_options_allow_forcing_engines() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xBEEF);
+    let instances: Vec<ProblemInstance> = (0..10)
+        .map(|_| ProblemInstance {
+            workflow: gen.uniform_pipeline(3, 1, 9).into(),
+            platform: gen.hom_platform(3, 1, 3),
+            allow_data_parallel: true,
+            objective: Objective::Period,
+        })
+        .collect();
+    let options = BatchOptions {
+        engine: EnginePref::Heuristic,
+        ..BatchOptions::default()
+    };
+    for result in registry.solve_batch_with(&instances, &options) {
+        let report = result.unwrap();
+        assert_eq!(report.engine_used, "heuristic");
+        assert_eq!(report.optimality, Optimality::Heuristic);
+    }
+}

@@ -7,28 +7,39 @@
 //! four slower accelerator-less nodes. We want the highest sustainable
 //! frame rate whose end-to-end latency stays under a deadline — the
 //! bi-criteria problem — and we verify the chosen mapping by *executing*
-//! it in the discrete-event simulator.
+//! it in the discrete-event simulator. Every solve goes through the
+//! unified `SolveRequest → SolveReport` engine API.
 //!
 //! Run with: `cargo run --example image_pipeline`
 
 use repliflow::prelude::*;
-use repliflow::{exact, heuristics, sim};
+use repliflow::sim;
+use repliflow::solver::{pareto, solve, EnginePref, SolveRequest};
 
 fn main() {
     // Per-frame work of each stage (Mflop): segmentation dominates.
     let pipeline = Pipeline::new(vec![60, 90, 340, 120, 48]);
     // Two fast nodes (speed 4) and four slow ones (speed 1): Mflop/ms.
-    let platform = Platform::heterogeneous(vec![4, 4, 1, 1, 1, 1]);
+    let instance = ProblemInstance {
+        workflow: pipeline.clone().into(),
+        platform: Platform::heterogeneous(vec![4, 4, 1, 1, 1, 1]),
+        allow_data_parallel: true,
+        objective: Objective::Period,
+    };
+    let platform = instance.platform.clone();
 
     println!("video pipeline: {:?} Mflop/stage", pipeline.weights());
     println!("cluster speeds: {:?}\n", platform.speeds());
 
     // This cell of Table 1 (heterogeneous pipeline, heterogeneous
-    // platform, period) is NP-hard (Theorem 9) — on this small instance
-    // we can still afford the exhaustive solver; production users would
-    // call the heuristics below.
-    let frontier = exact::pareto_pipeline(&pipeline, &platform, true);
-    println!("exact latency/period trade-off ({} points):", frontier.len());
+    // platform, period) is NP-hard (Theorem 9) — the registry notices the
+    // instance is small enough and auto-routes to the exhaustive engine;
+    // production-size instances fall back to the heuristic portfolio.
+    let frontier = pareto(&instance);
+    println!(
+        "exact latency/period trade-off ({} points):",
+        frontier.len()
+    );
     for point in frontier.points() {
         println!(
             "  period {:>8} ms  latency {:>8} ms   {}",
@@ -40,26 +51,30 @@ fn main() {
 
     // Deadline: 400 ms end-to-end. Pick the highest frame rate under it.
     let deadline = Rat::int(400);
-    let choice = frontier
-        .pick(exact::Goal::MinPeriodUnderLatency(deadline))
-        .expect("deadline is achievable");
+    let choice = solve(&SolveRequest::new(ProblemInstance {
+        objective: Objective::PeriodUnderLatency(deadline),
+        ..instance.clone()
+    }))
+    .unwrap();
+    let choice_mapping = choice.mapping.expect("deadline is achievable");
+    let (choice_period, choice_latency) = (choice.period.unwrap(), choice.latency.unwrap());
     println!(
-        "\nchosen mapping (max rate under {deadline} ms deadline): {}",
-        choice.mapping
+        "\nchosen mapping (max rate under {deadline} ms deadline, {} engine, {} optimum):\n  {}",
+        choice.engine_used, choice.optimality, choice_mapping
     );
     println!(
         "  frame period {} ms  ->  {:.2} frames/s at latency {} ms",
-        choice.period,
-        1000.0 / choice.period.to_f64(),
-        choice.latency
+        choice_period,
+        1000.0 / choice_period.to_f64(),
+        choice_latency
     );
 
     // A fast heuristic gets close without exhaustive search:
-    let greedy = heuristics::greedy::pipeline_period_greedy(&pipeline, &platform);
+    let greedy = solve(&SolveRequest::new(instance.clone()).engine(EnginePref::Heuristic)).unwrap();
     println!(
-        "\ngreedy heuristic reaches period {} ms (optimum {})",
-        pipeline.period(&platform, &greedy).unwrap(),
-        frontier.pick(exact::Goal::MinPeriod).unwrap().period,
+        "\nheuristic engine reaches period {} ms (exact optimum {})",
+        greedy.period.unwrap(),
+        frontier.points().first().unwrap().period,
     );
 
     // Execute the chosen mapping in the simulator: feed 500 frames at the
@@ -67,8 +82,8 @@ fn main() {
     let report = sim::simulate_pipeline(
         &pipeline,
         &platform,
-        &choice.mapping,
-        sim::Feed::Interval(choice.period),
+        &choice_mapping,
+        sim::Feed::Interval(choice_period),
         500,
     )
     .expect("mapping is valid");
@@ -76,6 +91,6 @@ fn main() {
         "\nsimulated 500 frames at the analytic period: max observed latency {} ms",
         report.max_latency()
     );
-    assert!(report.max_latency() <= choice.latency);
+    assert!(report.max_latency() <= choice_latency);
     println!("the analytic promise holds in execution ✓");
 }

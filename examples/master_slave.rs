@@ -6,13 +6,28 @@
 //! tasks analyze independent shards (the leaves), and a reducer merges
 //! the results (the join stage). The platform is a heterogeneous cluster;
 //! stages cannot be data-parallelized (each shard is opaque), so we are
-//! in the Theorem 14 cell — polynomial!
+//! in the Theorem 14 cell — polynomial! The engine registry recognizes
+//! this and routes every request to the paper's own algorithm.
 //!
 //! Run with: `cargo run --example master_slave`
 
-use repliflow::algorithms::{forkjoin, het_fork};
 use repliflow::prelude::*;
 use repliflow::sim;
+use repliflow::solver::{solve, SolveReport, SolveRequest};
+
+fn request(
+    workflow: impl Into<Workflow>,
+    platform: &Platform,
+    objective: Objective,
+) -> SolveReport {
+    solve(&SolveRequest::new(ProblemInstance {
+        workflow: workflow.into(),
+        platform: platform.clone(),
+        allow_data_parallel: false,
+        objective,
+    }))
+    .expect("Theorem 14 cells are fully supported")
+}
 
 fn main() {
     // 8 identical shard-analysis tasks of 40 units, master setup 12.
@@ -28,62 +43,68 @@ fn main() {
     );
     println!("cluster speeds: {:?}\n", platform.speeds());
 
-    // Theorem 14: optimal throughput and response time in polynomial time.
-    let by_period = het_fork::min_period_uniform(&fork, &platform);
+    // Theorem 14: optimal throughput and response time in polynomial time
+    // — the registry routes both to the paper engine with a proven optimum.
+    let by_period = request(fork.clone(), &platform, Objective::Period);
     println!(
-        "max throughput : period {} via {}",
-        by_period.period, by_period.mapping
+        "max throughput : period {} via {}  [{} engine, {} optimum]",
+        by_period.period.unwrap(),
+        by_period.mapping.as_ref().unwrap(),
+        by_period.engine_used,
+        by_period.optimality
     );
-    let by_latency = het_fork::min_latency_uniform(&fork, &platform);
+    let by_latency = request(fork.clone(), &platform, Objective::Latency);
     println!(
         "min response   : latency {} via {}",
-        by_latency.latency, by_latency.mapping
+        by_latency.latency.unwrap(),
+        by_latency.mapping.as_ref().unwrap()
     );
-    let tradeoff =
-        het_fork::min_latency_under_period_uniform(&fork, &platform, by_period.period * Rat::new(3, 2))
-            .expect("relaxed period bound is feasible");
+    let relaxed_bound = by_period.period.unwrap() * Rat::new(3, 2);
+    let tradeoff = request(
+        fork.clone(),
+        &platform,
+        Objective::LatencyUnderPeriod(relaxed_bound),
+    );
     println!(
         "trade-off      : latency {} at period {} (bound = 1.5x optimal period)",
-        tradeoff.latency, tradeoff.period
+        tradeoff.latency.unwrap(),
+        tradeoff.period.unwrap()
     );
 
     // Validate the throughput claim by executing 400 batches, saturated.
-    let report = sim::simulate_fork(
-        &fork,
-        &platform,
-        &by_period.mapping,
-        sim::Feed::Saturated,
-        400,
-    )
-    .expect("mapping is valid");
-    let window = 4 * sim::fork::cycle_length(&by_period.mapping);
+    let period_mapping = by_period.mapping.unwrap();
+    let report = sim::simulate_fork(&fork, &platform, &period_mapping, sim::Feed::Saturated, 400)
+        .expect("mapping is valid");
+    let window = 4 * sim::fork::cycle_length(&period_mapping);
     println!(
         "\nsimulated steady-state period: {} (analytic {})",
         report.measured_period(window),
-        by_period.period
+        by_period.period.unwrap()
     );
-    assert_eq!(report.measured_period(window), by_period.period);
+    assert_eq!(report.measured_period(window), by_period.period.unwrap());
 
     // Scatter-gather: add a reduction stage and use the Section 6.3
-    // fork-join extension.
+    // fork-join extension (still auto-dispatched, still polynomial).
     let fj = ForkJoin::uniform(12, 8, 40, 20);
-    let sol = forkjoin::min_latency_uniform_het(&fj, &platform);
+    let sol = request(fj.clone(), &platform, Objective::Latency);
+    let sol_mapping = sol.mapping.unwrap();
+    let sol_latency = sol.latency.unwrap();
     println!(
         "\nwith a gather stage (fork-join): min latency {} via {}",
-        sol.latency, sol.mapping
+        sol_latency, sol_mapping
     );
     let report = sim::simulate_forkjoin(
         &fj,
         &platform,
-        &sol.mapping,
-        sim::Feed::Interval(sol.latency + Rat::ONE),
+        &sol_mapping,
+        sim::Feed::Interval(sol_latency + Rat::ONE),
         24,
     )
     .expect("mapping is valid");
     println!(
         "simulated max latency: {} (analytic bound {})",
         report.max_latency(),
-        sol.latency
+        sol_latency
     );
-    assert!(report.max_latency() <= sol.latency);
+    assert!(report.max_latency() <= sol_latency);
 }

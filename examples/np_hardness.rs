@@ -6,13 +6,27 @@
 //! latency 2 iff the numbers admit a perfect split. This example walks
 //! the reduction in both directions and then measures how exhaustive
 //! search scales as the instance grows — the practical shadow of the
-//! hardness proof.
+//! hardness proof. The solves go through the unified engine API with the
+//! exact engine forced (the whole point is exponential search).
 //!
 //! Run with: `cargo run --release --example np_hardness`
 
-use repliflow::exact::{solve_pipeline, Goal};
+use repliflow::prelude::*;
 use repliflow::reductions::{thm5, TwoPartition};
+use repliflow::solver::{EnginePref, SolveReport, SolveRequest};
 use std::time::Instant;
+
+/// Exhaustive minimum-latency solve of a reduced pipeline instance.
+fn exact_min_latency(pipeline: &Pipeline, platform: &Platform) -> SolveReport {
+    let request = SolveRequest::new(ProblemInstance {
+        workflow: pipeline.clone().into(),
+        platform: platform.clone(),
+        allow_data_parallel: true,
+        objective: Objective::Latency,
+    })
+    .engine(EnginePref::Exact);
+    repliflow::solver::solve(&request).expect("latency minimization is always feasible")
+}
 
 fn main() {
     // A yes-instance: {3, 1, 1, 2, 2, 1} splits into 5 + 5.
@@ -31,20 +45,24 @@ fn main() {
     );
     println!(
         "certificate mapping achieves latency {} (bound {})",
-        reduced.pipeline.latency(&reduced.platform, &mapping).unwrap(),
+        reduced
+            .pipeline
+            .latency(&reduced.platform, &mapping)
+            .unwrap(),
         reduced.latency_bound
     );
 
     // backward direction: solving the scheduling problem solves the
     // partition problem
-    let best = solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency)
-        .expect("pipeline instances always have mappings");
+    let best = exact_min_latency(&reduced.pipeline, &reduced.platform);
+    let best_latency = best.latency.unwrap();
+    let best_mapping = best.mapping.unwrap();
     println!(
         "exhaustive mapping search finds latency {} via {}",
-        best.latency, best.mapping
+        best_latency, best_mapping
     );
-    if best.latency <= reduced.latency_bound {
-        let extracted = thm5::extract_partition(&tp, &best.mapping)
+    if best_latency <= reduced.latency_bound {
+        let extracted = thm5::extract_partition(&tp, &best_mapping)
             .expect("a bound-achieving mapping encodes a split");
         println!("... which decodes back into the partition {extracted:?}");
     }
@@ -52,11 +70,12 @@ fn main() {
     // and a no-instance can be *proved* to have no split by scheduling:
     let no = TwoPartition::new(vec![3, 1, 1, 2, 2, 2]); // sum 11, odd
     let reduced = thm5::reduce(&no);
-    let best = solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency)
-        .unwrap();
+    let best = exact_min_latency(&reduced.pipeline, &reduced.platform);
     println!(
         "\nno-instance {:?}: best achievable latency {} > bound {}",
-        no.values, best.latency, reduced.latency_bound
+        no.values,
+        best.latency.unwrap(),
+        reduced.latency_bound
     );
 
     // the blow-up: exhaustive search over reduced instances of growing m
@@ -66,8 +85,7 @@ fn main() {
         let tp = TwoPartition::random_yes(&mut gen, m, 9);
         let reduced = thm5::reduce(&tp);
         let t = Instant::now();
-        let _ =
-            solve_pipeline(&reduced.pipeline, &reduced.platform, true, Goal::MinLatency);
+        let _ = exact_min_latency(&reduced.pipeline, &reduced.platform);
         println!("  p = {:>2} processors: {:?}", 2 * m, t.elapsed());
     }
     println!("(each +2 processors multiplies the search space by ~3x)");

@@ -1,50 +1,76 @@
 //! Quickstart: map the paper's Section 2 pipeline onto a small cluster
-//! and optimize the period, the latency, and a bi-criteria trade-off.
+//! and optimize the period, the latency, and a bi-criteria trade-off —
+//! all through the unified `SolveRequest → SolveReport` engine API.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use repliflow::prelude::*;
-use repliflow::{algorithms, exact};
+use repliflow::solver::{pareto, solve, SolveRequest};
 
 fn main() {
     // The 4-stage pipeline of the paper's worked example: stage weights in
     // flops. Stage 1 is a heavy low-level filter, stages 2-4 are lighter.
-    let pipeline = Pipeline::new(vec![14, 4, 2, 4]);
-
     // Three identical unit-speed processors.
-    let platform = Platform::homogeneous(3, 1);
+    let instance = ProblemInstance {
+        workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
+        platform: Platform::homogeneous(3, 1),
+        allow_data_parallel: true,
+        objective: Objective::Period,
+    };
 
-    // --- throughput: Theorem 1 — replicate everything everywhere -------
-    let by_period = algorithms::hom_pipeline::min_period(&pipeline, &platform);
-    println!("min period  : {}  via  {}", by_period.period, by_period.mapping);
+    // --- throughput: the registry classifies the Table 1 cell and runs
+    // Theorem 1's algorithm (replicate everything everywhere) ----------
+    let by_period = solve(&SolveRequest::new(instance.clone())).unwrap();
+    println!(
+        "min period  : {}  [{} engine, {} optimum]  via  {}",
+        by_period.period.unwrap(),
+        by_period.engine_used,
+        by_period.optimality,
+        by_period.mapping.as_ref().unwrap()
+    );
 
     // --- response time with data-parallel stages: Theorem 3 ------------
-    let by_latency = algorithms::hom_pipeline::min_latency_dp(&pipeline, &platform);
-    println!("min latency : {}  via  {}", by_latency.latency, by_latency.mapping);
+    let by_latency = solve(&SolveRequest::new(ProblemInstance {
+        objective: Objective::Latency,
+        ..instance.clone()
+    }))
+    .unwrap();
+    println!(
+        "min latency : {}  via  {}",
+        by_latency.latency.unwrap(),
+        by_latency.mapping.as_ref().unwrap()
+    );
 
     // --- bi-criteria: best latency while keeping the period <= 10 ------
-    let constrained = algorithms::hom_pipeline::min_latency_under_period(
-        &pipeline,
-        &platform,
-        Rat::int(10),
-    )
-    .expect("period 10 is achievable");
+    let constrained = solve(&SolveRequest::new(ProblemInstance {
+        objective: Objective::LatencyUnderPeriod(Rat::int(10)),
+        ..instance.clone()
+    }))
+    .unwrap();
     println!(
         "latency under period<=10: {} (period {})  via  {}",
-        constrained.latency, constrained.period, constrained.mapping
+        constrained.latency.unwrap(),
+        constrained.period.unwrap(),
+        constrained.mapping.as_ref().unwrap()
     );
 
     // --- the whole exact trade-off curve (small instances only) --------
     println!("\nexact (period, latency) Pareto frontier:");
-    let frontier = exact::pareto_pipeline(&pipeline, &platform, true);
-    for point in frontier.points() {
-        println!("  period {:>5}  latency {:>5}   {}", point.period, point.latency, point.mapping);
+    for point in pareto(&instance).points() {
+        println!(
+            "  period {:>5}  latency {:>5}   {}",
+            point.period, point.latency, point.mapping
+        );
     }
 
-    // every reported value is a real mapping — re-check one through the
-    // cost model:
+    // every reported value is a real mapping — the report was already
+    // re-validated through the cost model (validate_witness defaults to
+    // on), but re-check one by hand:
     assert_eq!(
-        pipeline.period(&platform, &by_period.mapping).unwrap(),
-        by_period.period
+        instance
+            .workflow
+            .period(&instance.platform, by_period.mapping.as_ref().unwrap())
+            .unwrap(),
+        by_period.period.unwrap()
     );
 }

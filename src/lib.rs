@@ -21,6 +21,10 @@
 //!
 //! * [`core`] — workflow graphs, platforms, mappings and the
 //!   exact-rational cost model (Section 3).
+//! * [`solver`] — **the one public way to solve anything**: the
+//!   `SolveRequest → SolveReport` engine API whose registry
+//!   auto-routes every Table 1 cell (paper algorithm / exhaustive
+//!   search / heuristics), plus parallel `solve_batch`.
 //! * [`algorithms`] — every polynomial algorithm in the
 //!   paper (Theorems 1–4, 6–8, 10–11, 14 and the Section 6.3 fork-join
 //!   extensions).
@@ -38,16 +42,20 @@
 //! ```
 //! use repliflow::prelude::*;
 //!
-//! // The 4-stage pipeline of the paper's Section 2 example.
-//! let pipeline = Pipeline::new(vec![14, 4, 2, 4]);
-//! // Three identical unit-speed processors.
-//! let platform = Platform::homogeneous(3, 1);
+//! // The 4-stage pipeline of the paper's Section 2 example on three
+//! // identical unit-speed processors, optimizing the period.
+//! let instance = ProblemInstance {
+//!     workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
+//!     platform: Platform::homogeneous(3, 1),
+//!     allow_data_parallel: true,
+//!     objective: Objective::Period,
+//! };
 //!
-//! // Optimal period on a homogeneous platform (Theorem 1): replicate the
-//! // whole pipeline on every processor.
-//! let sol = repliflow::algorithms::hom_pipeline::min_period(&pipeline, &platform);
-//! assert_eq!(sol.objective, Rat::new(24, 3)); // 24 total work / 3 procs = 8
-//! assert_eq!(pipeline.period(&platform, &sol.mapping).unwrap(), Rat::new(8, 1));
+//! // The registry classifies the Table 1 cell (polynomial, Theorem 1)
+//! // and runs the paper's algorithm: replicate everything everywhere.
+//! let report = repliflow::solver::solve(&SolveRequest::new(instance)).unwrap();
+//! assert_eq!(report.optimality, Optimality::Proven);
+//! assert_eq!(report.period.unwrap(), Rat::new(24, 3)); // 24 work / 3 procs
 //! ```
 
 pub use repliflow_algorithms as algorithms;
@@ -56,8 +64,10 @@ pub use repliflow_exact as exact;
 pub use repliflow_heuristics as heuristics;
 pub use repliflow_reductions as reductions;
 pub use repliflow_sim as sim;
+pub use repliflow_solver as solver;
 
 /// Convenient glob-import of the most used types across the workspace.
 pub mod prelude {
     pub use repliflow_core::prelude::*;
+    pub use repliflow_solver::{Budget, EnginePref, Optimality, SolveReport, SolveRequest};
 }

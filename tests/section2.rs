@@ -97,8 +97,5 @@ fn paper_example_optimality_claims_are_improved_by_exhaustive_search() {
     assert_eq!(best.latency, Rat::new(17, 2)); // 8.5 < 12.8
 
     // the witnesses are plain interval mappings obeying all model rules
-    assert!(best
-        .mapping
-        .validate_pipeline(&pipe, &plat, true)
-        .is_ok());
+    assert!(best.mapping.validate_pipeline(&pipe, &plat, true).is_ok());
 }

@@ -1,0 +1,157 @@
+//! Vendored, dependency-free subset of `petgraph`: a directed graph
+//! with node/edge weights plus Graphviz DOT rendering, covering exactly
+//! what `repliflow-core::dot` uses (the build environment has no
+//! network access to fetch the real crate).
+
+/// Graph containers.
+pub mod graph {
+    /// Index of a node in a [`DiGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct NodeIndex(pub usize);
+
+    impl NodeIndex {
+        /// The raw index.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Index of an edge in a [`DiGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct EdgeIndex(pub usize);
+
+    /// A directed graph with node weights `N` and edge weights `E`.
+    #[derive(Clone, Debug, Default)]
+    pub struct DiGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        pub(crate) edges: Vec<(usize, usize, E)>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// An empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds a directed edge from `a` to `b`.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex(self.edges.len() - 1)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// The weight of node `i`.
+        pub fn node_weight(&self, i: NodeIndex) -> Option<&N> {
+            self.nodes.get(i.0)
+        }
+    }
+}
+
+/// Graphviz DOT rendering.
+pub mod dot {
+    use super::graph::DiGraph;
+    use std::fmt;
+
+    /// Rendering options (subset).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Config {
+        /// Emit only the graph body, without the `digraph { }` wrapper.
+        GraphContentOnly,
+        /// Do not emit node labels.
+        NodeNoLabel,
+        /// Do not emit edge labels.
+        EdgeNoLabel,
+    }
+
+    /// Lazy DOT formatter over a graph, mirroring `petgraph::dot::Dot`.
+    pub struct Dot<'a, N, E> {
+        graph: &'a DiGraph<N, E>,
+        content_only: bool,
+    }
+
+    impl<'a, N: fmt::Display, E: fmt::Display> Dot<'a, N, E> {
+        /// Formatter with default options.
+        pub fn new(graph: &'a DiGraph<N, E>) -> Self {
+            Dot {
+                graph,
+                content_only: false,
+            }
+        }
+
+        /// Formatter with the given options.
+        pub fn with_config(graph: &'a DiGraph<N, E>, config: &[Config]) -> Self {
+            Dot {
+                graph,
+                content_only: config.contains(&Config::GraphContentOnly),
+            }
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+
+    impl<N: fmt::Display, E: fmt::Display> fmt::Display for Dot<'_, N, E> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if !self.content_only {
+                writeln!(f, "digraph {{")?;
+            }
+            for (i, w) in self.graph.nodes.iter().enumerate() {
+                writeln!(f, "    {i} [ label = \"{}\" ]", escape(&w.to_string()))?;
+            }
+            for (a, b, w) in &self.graph.edges {
+                writeln!(
+                    f,
+                    "    {a} -> {b} [ label = \"{}\" ]",
+                    escape(&w.to_string())
+                )?;
+            }
+            if !self.content_only {
+                writeln!(f, "}}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dot::{Config, Dot};
+    use super::graph::DiGraph;
+
+    #[test]
+    fn build_and_render() {
+        let mut g: DiGraph<String, String> = DiGraph::new();
+        let a = g.add_node("A".to_string());
+        let b = g.add_node("B \"q\"".to_string());
+        g.add_edge(a, b, "e".to_string());
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let dot = format!("{}", Dot::with_config(&g, &[Config::GraphContentOnly]));
+        assert!(dot.contains("label = \"A\""));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("B \\\"q\\\""));
+        assert!(!dot.contains("digraph"));
+        let full = format!("{}", Dot::new(&g));
+        assert!(full.starts_with("digraph {"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Vendored, dependency-light subset of `serde`.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a minimal replacement for the serde stack. Instead of serde's
+//! visitor-based zero-copy data model, everything funnels through one
+//! owned [`Value`] tree; the sibling `serde_json` shim renders/parses
+//! that tree as JSON with the same wire conventions as real
+//! `serde_json` for the subset of types the workspace derives.
+//!
+//! Supported: named/tuple/unit structs, enums (unit / newtype / tuple /
+//! struct variants, externally tagged), integers up to `i128`, floats,
+//! booleans, strings, `Vec<T>`, `Option<T>`, and `&'static str`
+//! (deserialized by leaking, which the workspace only uses for
+//! `'static` theorem labels). Not supported: generics in derived types,
+//! serde attributes, borrowed data.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data-model tree every (de)serialization goes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers every integer width used in the workspace).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved for stable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Externally tagged enum payload: `{"tag": value}`.
+    pub fn variant(tag: &str, value: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), value)])
+    }
+
+    /// Object field lookup.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Single-entry object as an externally tagged variant.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => {
+                Some((fields[0].0.as_str(), &fields[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Integer contents (also accepts integral floats).
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(96) => Some(*f as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a data-model tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a data-model tree.
+    fn deserialize(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization errors.
+pub mod de {
+    use std::fmt;
+
+    /// A (de)serialization error with a human-readable message.
+    #[derive(Clone, Debug)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Error with a custom message.
+        pub fn custom(msg: impl fmt::Display) -> Error {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+
+        /// A required struct field is absent.
+        pub fn missing_field(field: &str, ty: &str) -> Error {
+            Error::custom(format!("missing field `{field}` while deserializing {ty}"))
+        }
+
+        /// The value has the wrong shape.
+        pub fn expected(what: &str, ty: &str) -> Error {
+            Error::custom(format!("expected {what} while deserializing {ty}"))
+        }
+
+        /// An enum tag matches no variant.
+        pub fn unknown_variant(tag: &str, ty: &str) -> Error {
+            Error::custom(format!("unknown variant `{tag}` for {ty}"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, de::Error> {
+                let i = value
+                    .as_int()
+                    .ok_or_else(|| de::Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i)
+                    .map_err(|_| de::Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(de::Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        // Only used for `'static` theorem labels; leaking keeps the shim's
+        // trait object-safe without borrowed deserialization machinery.
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| de::Error::expected("string", "&'static str"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        value
+            .as_array()
+            .ok_or_else(|| de::Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (*self).serialize()
+    }
+}

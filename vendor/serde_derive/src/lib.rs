@@ -1,0 +1,386 @@
+//! Vendored, dependency-free subset of `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde`
+//! stack cannot be fetched. This proc-macro crate hand-parses the item
+//! token stream (no `syn`/`quote`) and emits impls of the simplified
+//! [`serde::Serialize`]/[`serde::Deserialize`] traits defined by the
+//! sibling vendored `serde` crate, preserving serde_json's wire
+//! conventions:
+//!
+//! * named struct  → JSON object of its fields
+//! * newtype struct → the inner value
+//! * tuple struct  → JSON array
+//! * unit enum variant → `"Name"`
+//! * newtype enum variant → `{"Name": value}`
+//! * tuple enum variant → `{"Name": [..]}`
+//! * struct enum variant → `{"Name": {..}}`
+//!
+//! Generics, lifetimes (other than `&'static str` fields) and serde
+//! attributes are intentionally unsupported; the workspace does not use
+//! them in derived types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants with their shapes.
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) starting at
+/// `i`; returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let TokenTree::Group(g) = &tokens[i + 1] {
+                    if g.delimiter() == Delimiter::Bracket {
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant list group at top-level commas.
+fn split_top_level(group: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for tt in group {
+        match tt {
+            TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.into_iter().filter(|seg| !seg.is_empty()).collect()
+}
+
+/// Parses `name: Type` segments of a named-field struct body.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level(group)
+        .into_iter()
+        .map(|seg| {
+            let i = skip_vis(&seg, skip_attrs(&seg, 0));
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variant_shape(seg: &[TokenTree], i: usize) -> Shape {
+    if i >= seg.len() {
+        return Shape::Unit;
+    }
+    match &seg[i] {
+        TokenTree::Group(g) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match g.delimiter() {
+                Delimiter::Parenthesis => Shape::Tuple(split_top_level(&inner).len()),
+                Delimiter::Brace => Shape::Struct(parse_named_fields(&inner)),
+                _ => panic!("serde_derive shim: unexpected variant delimiter"),
+            }
+        }
+        other => panic!("serde_derive shim: unexpected token after variant name: {other}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive shim: expected struct or enum, got {}",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '<' {
+                panic!("serde_derive shim: generic types are not supported ({name})");
+            }
+        }
+    }
+
+    let shape = if is_enum {
+        let TokenTree::Group(body) = &tokens[i] else {
+            panic!("serde_derive shim: expected enum body");
+        };
+        let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+        let variants = split_top_level(&inner)
+            .into_iter()
+            .map(|seg| {
+                let j = skip_attrs(&seg, 0);
+                let vname = match &seg[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde_derive shim: expected variant name, got {other}"),
+                };
+                (vname, parse_variant_shape(&seg, j + 1))
+            })
+            .collect();
+        Shape::Enum(variants)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+                Shape::Struct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+                Shape::Tuple(split_top_level(&inner).len())
+            }
+            _ => Shape::Unit,
+        }
+    };
+    Item { name, shape }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut fields = ::std::vec::Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(fields)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("let mut items = ::std::vec::Vec::new();\n");
+            for k in 0..*n {
+                s.push_str(&format!(
+                    "items.push(::serde::Serialize::serialize(&self.{k}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Array(items)");
+            s
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::Value::variant(\"{v}\", \
+                         ::serde::Serialize::serialize(x0)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let mut push = String::from("let mut items = ::std::vec::Vec::new();\n");
+                        for b in &binds {
+                            push.push_str(&format!(
+                                "items.push(::serde::Serialize::serialize({b}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{ {push} ::serde::Value::variant(\"{v}\", \
+                             ::serde::Value::Array(items)) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut push = String::from("let mut fs = ::std::vec::Vec::new();\n");
+                        for f in fields {
+                            push.push_str(&format!(
+                                "fs.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {push} \
+                             ::serde::Value::variant(\"{v}\", ::serde::Value::Object(fs)) }},\n"
+                        ));
+                    }
+                    Shape::Enum(_) => unreachable!(),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_struct_fields_de(type_path: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!("::std::result::Result::Ok({type_path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize({src}.field(\"{f}\")\
+             .ok_or_else(|| ::serde::de::Error::missing_field(\"{f}\", \"{type_path}\"))?)?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => gen_struct_fields_de(name, fields, "value"),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let items = value.as_array()\
+                 .ok_or_else(|| ::serde::de::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::expected(\"{n}-element array\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}(",
+            );
+            for k in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize(&items[{k}])?, "
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                        // externally tagged form {"V": null} also accepted
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{v}\" => {{ let items = payload.as_array()\
+                             .ok_or_else(|| ::serde::de::Error::expected(\"array\", \"{name}::{v}\"))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::de::Error::expected(\"{n}-element array\", \"{name}::{v}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}("
+                        );
+                        for k in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&items[{k}])?, "
+                            ));
+                        }
+                        arm.push_str(")) },\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                    Shape::Struct(fields) => {
+                        let construct =
+                            gen_struct_fields_de(&format!("{name}::{v}"), fields, "payload");
+                        tagged_arms.push_str(&format!("\"{v}\" => {{ {construct} }},\n"));
+                    }
+                    Shape::Enum(_) => unreachable!(),
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+                 match tag {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(tag, \"{name}\")), }}\n}}\n\
+                 let (tag, payload) = value.as_variant()\
+                 .ok_or_else(|| ::serde::de::Error::expected(\"variant object\", \"{name}\"))?;\n\
+                 match tag {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(tag, \"{name}\")), }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
