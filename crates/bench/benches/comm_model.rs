@@ -1,0 +1,119 @@
+//! Benchmarks of the communication-aware path: the general-model
+//! evaluators over increasingly replicated mappings, and end-to-end
+//! comm-exact vs comm-heuristic solves through the registry.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use repliflow_core::comm::{CommModel, Network};
+use repliflow_core::comm_cost;
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::ProcId;
+use repliflow_core::workflow::Pipeline;
+use repliflow_solver::{EnginePref, EngineRegistry, SolveRequest};
+
+/// A pipeline with data sizes, a platform, and an interval mapping
+/// spreading `p` processors over `groups` replicated intervals.
+fn setup(
+    n: usize,
+    p: usize,
+    groups: usize,
+) -> (Pipeline, repliflow_core::platform::Platform, Mapping) {
+    let mut gen = Gen::new(0xBE);
+    let pipe =
+        Pipeline::with_data_sizes(gen.positive_ints(n, 1, 20), gen.positive_ints(n + 1, 1, 10));
+    let plat = gen.het_platform(p, 1, 6);
+    let per_group = p / groups;
+    let mut assignments = Vec::new();
+    let stages_per = n / groups;
+    for g in 0..groups {
+        let lo = g * stages_per;
+        let hi = if g + 1 == groups {
+            n - 1
+        } else {
+            lo + stages_per - 1
+        };
+        let procs: Vec<ProcId> = (g * per_group..(g + 1) * per_group).map(ProcId).collect();
+        assignments.push(Assignment::interval(lo, hi, procs, Mode::Replicated));
+    }
+    (pipe, plat, Mapping::new(assignments))
+}
+
+fn bench_comm_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_evaluators");
+    for &(n, p, groups) in &[(8usize, 4usize, 2usize), (16, 8, 4), (32, 16, 8)] {
+        let (pipe, plat, mapping) = setup(n, p, groups);
+        let net = Network::uniform(p, 4);
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_period", format!("n{n}_p{p}")),
+            &(&pipe, &plat, &net, &mapping),
+            |b, (pipe, plat, net, mapping)| {
+                b.iter(|| comm_cost::pipeline_period(pipe, plat, net, black_box(mapping)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_latency", format!("n{n}_p{p}")),
+            &(&pipe, &plat, &net, &mapping),
+            |b, (pipe, plat, net, mapping)| {
+                b.iter(|| comm_cost::pipeline_latency(pipe, plat, net, black_box(mapping)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_comm_solve(c: &mut Criterion) {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xC011);
+    let mut group = c.benchmark_group("comm_solve");
+    // comm-exact: full-space enumeration inside the guard
+    let small = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(
+            gen.positive_ints(4, 1, 12),
+            gen.positive_ints(5, 0, 8),
+        )
+        .into(),
+        platform: gen.het_platform(3, 1, 5),
+        allow_data_parallel: true,
+        objective: Objective::Period,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(3, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    };
+    group.bench_function("comm_exact_n4_p3", |b| {
+        b.iter(|| {
+            registry
+                .solve(&SolveRequest::new(black_box(small.clone())))
+                .unwrap()
+        })
+    });
+    // comm-heuristic: portfolio beyond the guard
+    let large = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(
+            gen.positive_ints(12, 1, 20),
+            gen.positive_ints(13, 0, 10),
+        )
+        .into(),
+        platform: gen.het_platform(8, 1, 6),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(8, 3),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    };
+    group.bench_function("comm_heuristic_n12_p8", |b| {
+        b.iter(|| {
+            registry
+                .solve(&SolveRequest::new(black_box(large.clone())).engine(EnginePref::Heuristic))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_evaluators, bench_comm_solve);
+criterion_main!(benches);

@@ -3,17 +3,28 @@
 //! Reads [`ProblemInstance`]s as JSON (file arguments or stdin), routes
 //! them through the [`repliflow_solver::EngineRegistry`] — the paper's
 //! polynomial algorithm on polynomial Table 1 cells, exhaustive search
-//! on small NP-hard instances, heuristics beyond that — and prints the
-//! resulting [`SolveReport`]s.
+//! on small NP-hard instances, heuristics beyond that, and the
+//! communication-aware engines for instances carrying a network — and
+//! prints the resulting [`SolveReport`]s.
 //!
 //! ```text
 //! solve instance.json              # Table 1 auto-dispatch
 //! solve --engine exact inst.json   # force exhaustive search (small only)
 //! solve --engine heuristic i.json  # force the heuristic portfolio
 //! solve --engine paper i.json      # paper algorithm or refuse
+//! solve --comm one-port i.json     # general model, serialized sends
+//! solve --comm multi-port --overlap --bandwidth 4 i.json
+//! solve --quality thorough i.json  # escalate heuristics to long annealing
+//! solve --json a.json b.json       # machine-readable reports (one array)
 //! solve a.json b.json c.json       # parallel batch over many instances
 //! cat inst.json | solve -
 //! ```
+//!
+//! `--comm` switches an instance to the general model of Sections
+//! 3.2–3.3. Instances that already carry a `cost_model.WithComm` network
+//! keep it (the flag sets the discipline; `--overlap` adds overlapped
+//! sends, and an embedded `overlap: true` is preserved); simplified instances
+//! get a uniform network with `--bandwidth` (default 1) on every link.
 //!
 //! Example instance:
 //! ```json
@@ -28,15 +39,20 @@
 //! [`ProblemInstance`]: repliflow_core::instance::ProblemInstance
 //! [`SolveReport`]: repliflow_solver::SolveReport
 
-use repliflow_core::instance::{Complexity, ProblemInstance};
-use repliflow_solver::{BatchOptions, EnginePref, EngineRegistry, SolveReport, SolveRequest};
+use repliflow_core::instance::{Complexity, CostModel, ProblemInstance};
+use repliflow_solver::{
+    BatchOptions, Budget, CommModel, EnginePref, EngineRegistry, Network, Quality, SolveReport,
+    SolveRequest,
+};
+use serde_json::Value;
 use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: solve [--engine auto|exact|heuristic|paper] [--no-validate] \
-         <instance.json ... | ->"
+         [--comm one-port|multi-port] [--overlap] [--bandwidth B] \
+         [--quality fast|balanced|thorough] [--json] <instance.json ... | ->"
     );
     ExitCode::FAILURE
 }
@@ -54,6 +70,41 @@ fn read_instance(path: &str) -> Result<ProblemInstance, String> {
     serde_json::from_str(&json).map_err(|e| format!("invalid instance JSON in {path}: {e}"))
 }
 
+/// Applies the `--comm` / `--overlap` / `--bandwidth` flags: `--comm`
+/// sets the send discipline (keeping an instance-supplied network, else
+/// building a uniform one); `--overlap` additionally enables overlapped
+/// fork sends. An instance's own `overlap: true` is never silently
+/// downgraded — restating `--comm one-port` on a one-port instance is a
+/// no-op.
+fn apply_comm_flags(
+    mut instance: ProblemInstance,
+    comm: Option<CommModel>,
+    overlap: bool,
+    bandwidth: u64,
+) -> ProblemInstance {
+    match (comm, &mut instance.cost_model) {
+        (
+            Some(c),
+            CostModel::WithComm {
+                comm, overlap: o, ..
+            },
+        ) => {
+            *comm = c;
+            *o = *o || overlap;
+        }
+        (Some(c), cost_model @ CostModel::Simplified) => {
+            *cost_model = CostModel::WithComm {
+                network: Network::uniform(instance.platform.n_procs(), bandwidth),
+                comm: c,
+                overlap,
+            };
+        }
+        (None, CostModel::WithComm { overlap: o, .. }) if overlap => *o = true,
+        (None, _) => {}
+    }
+    instance
+}
+
 /// Prints one report; returns whether it represents a solved instance
 /// (an unattainable bound is reported, but counts as a failure for the
 /// process exit code).
@@ -62,6 +113,9 @@ fn print_report(report: &SolveReport) -> bool {
     match report.complexity {
         Complexity::Polynomial(thm) => println!("cell     : polynomial ({thm})"),
         Complexity::NpHard(thm) => println!("cell     : NP-hard ({thm})"),
+    }
+    if report.cost_model.is_comm_aware() {
+        println!("model    : {}", report.cost_model);
     }
     println!("engine   : {}", report.engine_used);
     println!("optimal  : {}", report.optimality);
@@ -85,16 +139,65 @@ fn print_report(report: &SolveReport) -> bool {
     report.optimality != repliflow_solver::Optimality::Infeasible
 }
 
+/// One report as a JSON object for `--json` mode (exact rationals as
+/// strings, floats for plotting, wall time for the perf trajectory).
+fn report_json(path: &str, report: &SolveReport) -> Value {
+    let rat = |r: Option<repliflow_core::rational::Rat>| match r {
+        Some(v) => Value::String(v.to_string()),
+        None => Value::Null,
+    };
+    let ratf = |r: Option<repliflow_core::rational::Rat>| match r {
+        Some(v) => Value::Float(v.to_f64()),
+        None => Value::Null,
+    };
+    let cell = match report.complexity {
+        Complexity::Polynomial(thm) => format!("polynomial ({thm})"),
+        Complexity::NpHard(thm) => format!("NP-hard ({thm})"),
+    };
+    Value::Object(vec![
+        ("file".into(), Value::String(path.to_string())),
+        ("variant".into(), Value::String(report.variant.to_string())),
+        ("cell".into(), Value::String(cell)),
+        (
+            "cost_model".into(),
+            Value::String(report.cost_model.to_string()),
+        ),
+        (
+            "engine".into(),
+            Value::String(report.engine_used.to_string()),
+        ),
+        (
+            "optimality".into(),
+            Value::String(report.optimality.to_string()),
+        ),
+        ("period".into(), rat(report.period)),
+        ("period_f64".into(), ratf(report.period)),
+        ("latency".into(), rat(report.latency)),
+        ("latency_f64".into(), ratf(report.latency)),
+        ("objective".into(), rat(report.objective_value)),
+        ("objective_f64".into(), ratf(report.objective_value)),
+        (
+            "wall_time_ms".into(),
+            Value::Float(report.wall_time.as_secs_f64() * 1e3),
+        ),
+    ])
+}
+
 /// Warns when a forced exhaustive search exceeds the auto-dispatch
 /// size threshold (it will still run — possibly for a very long time).
 fn warn_if_slow(engine: EnginePref, instances: &[ProblemInstance]) {
     if engine != EnginePref::Exact {
         return;
     }
-    let budget = repliflow_solver::Budget::default();
+    let budget = Budget::default();
     for instance in instances {
         let (n, p) = (instance.workflow.n_stages(), instance.platform.n_procs());
-        if !budget.allows_exact(n, p) {
+        let allowed = if instance.cost_model.is_comm_aware() {
+            budget.allows_comm_exact(n, p)
+        } else {
+            budget.allows_exact(n, p)
+        };
+        if !allowed {
             eprintln!("warning: exact search on n={n}, p={p} may take very long");
         }
     }
@@ -104,6 +207,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = EnginePref::Auto;
     let mut validate = true;
+    let mut json = false;
+    let mut comm: Option<CommModel> = None;
+    let mut overlap = false;
+    let mut bandwidth = 1u64;
+    let mut quality = Quality::Balanced;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -112,7 +220,21 @@ fn main() -> ExitCode {
                 Some(pref) => engine = pref,
                 None => return usage(),
             },
+            "--comm" => match it.next().as_deref().and_then(CommModel::parse) {
+                Some(model) => comm = Some(model),
+                None => return usage(),
+            },
+            "--quality" => match it.next().as_deref().and_then(Quality::parse) {
+                Some(q) => quality = q,
+                None => return usage(),
+            },
+            "--bandwidth" => match it.next().as_deref().and_then(|b| b.parse().ok()) {
+                Some(b) if b > 0 => bandwidth = b,
+                _ => return usage(),
+            },
+            "--overlap" => overlap = true,
             "--no-validate" => validate = false,
+            "--json" => json = true,
             "-h" | "--help" => return usage(),
             other => paths.push(other.to_string()),
         }
@@ -124,7 +246,7 @@ fn main() -> ExitCode {
     let mut instances = Vec::new();
     for path in &paths {
         match read_instance(path) {
-            Ok(instance) => instances.push(instance),
+            Ok(instance) => instances.push(apply_comm_flags(instance, comm, overlap, bandwidth)),
             Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
@@ -133,11 +255,13 @@ fn main() -> ExitCode {
     }
 
     let registry = EngineRegistry::default();
+    let budget = Budget::default().quality(quality);
     let mut failed = false;
     warn_if_slow(engine, &instances);
-    if instances.len() == 1 {
+    if instances.len() == 1 && !json {
         let request = SolveRequest::new(instances.into_iter().next().unwrap())
             .engine(engine)
+            .budget(budget)
             .validate_witness(validate);
         match registry.solve(&request) {
             Ok(report) => failed |= !print_report(&report),
@@ -147,25 +271,46 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        // Many instances: fan out across threads.
+        // Many instances (or machine-readable mode): fan out across
+        // threads.
         let options = BatchOptions {
             engine,
+            budget,
             validate_witness: validate,
             ..BatchOptions::default()
         };
-        for (path, result) in paths
-            .iter()
-            .zip(registry.solve_batch_with(&instances, &options))
-        {
-            println!("== {path} ==");
-            match result {
-                Ok(report) => failed |= !print_report(&report),
-                Err(e) => {
-                    eprintln!("error: {path}: {e}");
-                    failed = true;
+        let results = registry.solve_batch_with(&instances, &options);
+        if json {
+            let mut items = Vec::new();
+            for (path, result) in paths.iter().zip(&results) {
+                match result {
+                    Ok(report) => {
+                        failed |= report.optimality == repliflow_solver::Optimality::Infeasible;
+                        items.push(report_json(path, report));
+                    }
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        failed = true;
+                    }
                 }
             }
-            println!();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&Value::Array(items))
+                    .expect("report serialization is infallible")
+            );
+        } else {
+            for (path, result) in paths.iter().zip(results) {
+                println!("== {path} ==");
+                match result {
+                    Ok(report) => failed |= !print_report(&report),
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        failed = true;
+                    }
+                }
+                println!();
+            }
         }
     }
     if failed {

@@ -14,14 +14,16 @@
 //!
 //! Output: the paper's two sub-tables with a verification status per cell.
 
-use repliflow_bench::config::{SEED, TABLE1_SAMPLES};
+use repliflow_bench::config::{COMM_SAMPLES, SEED, TABLE1_SAMPLES};
 use repliflow_core::gen::Gen;
-use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
 use repliflow_core::platform::Platform;
 use repliflow_core::rational::Rat;
-use repliflow_core::workflow::Workflow;
+use repliflow_core::workflow::{Pipeline, Workflow};
 use repliflow_reductions::{thm12, thm13, thm15, thm5, thm9, N3dm, TwoPartition};
-use repliflow_solver::{pareto, EnginePref, EngineRegistry, SolveReport, SolveRequest};
+use repliflow_solver::{
+    pareto, CommModel, EnginePref, EngineRegistry, Network, SolveReport, SolveRequest,
+};
 
 /// Verification outcome of one Table 1 cell.
 struct Cell {
@@ -44,6 +46,7 @@ fn instance(
     objective: Objective,
 ) -> ProblemInstance {
     ProblemInstance {
+        cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: workflow.into(),
         platform: platform.clone(),
         allow_data_parallel: allow_dp,
@@ -208,6 +211,7 @@ fn np_hard_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
         solve_via(
             registry,
             &ProblemInstance {
+                cost_model: repliflow_core::instance::CostModel::Simplified,
                 workflow,
                 platform: platform.clone(),
                 allow_data_parallel: dp,
@@ -292,6 +296,97 @@ fn np_hard_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
     ]
 }
 
+/// Communication-aware rows (Sections 3.2–3.3): every simplified Table 1
+/// scenario doubles into a comm-aware one. Three invariants are checked
+/// through the registry's comm engines:
+///
+/// * infinite bandwidth reproduces the simplified optimum exactly;
+/// * finite bandwidth can only worsen the optimum (monotonicity);
+/// * serialized one-port sends never beat concurrent multi-port sends.
+fn comm_model_cells(registry: &EngineRegistry, gen: &mut Gen) -> Vec<Cell> {
+    let with_comm = |inst: &ProblemInstance, network: Network, comm: CommModel| {
+        inst.clone().with_cost_model(CostModel::WithComm {
+            network,
+            comm,
+            overlap: true,
+        })
+    };
+    let mut ok_inf = true;
+    let mut ok_mono = true;
+    let mut ok_port = true;
+    for _ in 0..COMM_SAMPLES {
+        let n = gen.size(1, 4);
+        let p = gen.size(2, 3);
+        let weights = gen.positive_ints(n, 1, 10);
+        let sizes = gen.positive_ints(n + 1, 0, 6);
+        let pipe = Pipeline::with_data_sizes(weights, sizes);
+        let plat = gen.het_platform(p, 1, 4);
+        for objective in [Objective::Period, Objective::Latency] {
+            let inst = instance(pipe.clone(), &plat, gen.flip(0.5), objective);
+            let simplified = solve_via(registry, &inst, EnginePref::Auto);
+            let infinite = solve_via(
+                registry,
+                &with_comm(&inst, Network::infinite(p), CommModel::OnePort),
+                EnginePref::Auto,
+            );
+            ok_inf &= infinite.objective_value == simplified.objective_value;
+            let finite = solve_via(
+                registry,
+                &with_comm(
+                    &inst,
+                    Network::uniform(p, gen.int(1, 4)),
+                    CommModel::OnePort,
+                ),
+                EnginePref::Auto,
+            );
+            ok_mono &= finite.objective_value >= simplified.objective_value;
+        }
+
+        let leaves = gen.size(1, 3);
+        let fork = repliflow_core::workflow::Fork::with_data_sizes(
+            gen.int(1, 6),
+            gen.positive_ints(leaves, 1, 8),
+            gen.int(0, 4),
+            gen.int(0, 6),
+            gen.positive_ints(leaves, 0, 3),
+        );
+        let inst = instance(fork, &plat, false, Objective::Latency);
+        let net = Network::uniform(p, gen.int(1, 3));
+        let one = solve_via(
+            registry,
+            &with_comm(&inst, net.clone(), CommModel::OnePort),
+            EnginePref::Auto,
+        );
+        let multi = solve_via(
+            registry,
+            &with_comm(&inst, net, CommModel::BoundedMultiPort),
+            EnginePref::Auto,
+        );
+        ok_port &= one.objective_value >= multi.objective_value;
+        let infinite = solve_via(
+            registry,
+            &with_comm(&inst, Network::infinite(p), CommModel::OnePort),
+            EnginePref::Auto,
+        );
+        ok_inf &= infinite.objective_value
+            == solve_via(registry, &inst, EnginePref::Auto).objective_value;
+    }
+    vec![
+        Cell {
+            label: "any graph / infinite bandwidth: degenerates to simplified model",
+            verdict: check(ok_inf, "comm route == simplified route"),
+        },
+        Cell {
+            label: "any graph / finite bandwidth: comm optimum >= simplified optimum",
+            verdict: check(ok_mono, "monotone in communication cost"),
+        },
+        Cell {
+            label: "fork / one-port vs multi-port: serialization only delays",
+            verdict: check(ok_port, "one-port >= multi-port latency"),
+        },
+    ]
+}
+
 fn main() {
     let registry = EngineRegistry::default();
     let mut gen = Gen::new(SEED);
@@ -314,6 +409,11 @@ fn main() {
 
     println!("\n== NP-hard cells (both platforms) ==");
     for cell in np_hard_cells(&registry, &mut gen) {
+        println!("  {:<70} {}", cell.label, cell.verdict);
+    }
+
+    println!("\n== Communication-aware model (Sections 3.2-3.3, general mappings) ==");
+    for cell in comm_model_cells(&registry, &mut gen) {
         println!("  {:<70} {}", cell.label, cell.verdict);
     }
 

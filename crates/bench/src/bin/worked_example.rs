@@ -19,6 +19,7 @@ use repliflow_solver::{EnginePref, SolveReport, SolveRequest};
 /// engine API (forced exhaustive search — the period cell is NP-hard).
 fn optimum(pipe: &Pipeline, platform: &Platform, objective: Objective) -> SolveReport {
     let request = SolveRequest::new(ProblemInstance {
+        cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: pipe.clone().into(),
         platform: platform.clone(),
         allow_data_parallel: true,

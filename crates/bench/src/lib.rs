@@ -26,4 +26,7 @@ pub mod config {
     pub const SEED: u64 = 0xC1A0;
     /// Number of random instances per Table 1 cell verification.
     pub const TABLE1_SAMPLES: usize = 25;
+    /// Number of random instances per communication-aware invariant
+    /// (smaller: each sample runs several full comm-exact enumerations).
+    pub const COMM_SAMPLES: usize = 8;
 }

@@ -55,6 +55,10 @@ pub struct Network {
     /// Per-node outgoing capacity for the bounded multi-port model
     /// (`None` = unbounded, i.e. the plain multi-port model).
     node_capacity: Option<u64>,
+    /// When set, every link has infinite bandwidth (all transfers are
+    /// free): the degenerate network under which the general model
+    /// provably collapses onto the simplified Section 3.4 model.
+    infinite: bool,
 }
 
 impl Network {
@@ -70,7 +74,29 @@ impl Network {
             input_bw: vec![b; n_procs],
             output_bw: vec![b; n_procs],
             node_capacity: None,
+            infinite: false,
         }
+    }
+
+    /// The degenerate network where every transfer is free (infinite
+    /// bandwidth on every link, no node capacity): under it the general
+    /// model reduces exactly to the simplified Section 3.4 model.
+    pub fn infinite(n_procs: usize) -> Self {
+        Network {
+            infinite: true,
+            ..Network::uniform(n_procs.max(1), 1)
+        }
+    }
+
+    /// True iff this is the free-transfer network of
+    /// [`Network::infinite`].
+    pub fn is_infinite(&self) -> bool {
+        self.infinite
+    }
+
+    /// Number of compute processors this network connects.
+    pub fn n_procs(&self) -> usize {
+        self.input_bw.len()
     }
 
     /// Fully heterogeneous network.
@@ -98,6 +124,7 @@ impl Network {
             input_bw,
             output_bw,
             node_capacity: None,
+            infinite: false,
         }
     }
 
@@ -118,6 +145,9 @@ impl Network {
     /// Transfers between identical endpoints are free (`+∞` bandwidth is
     /// modeled by returning `None`, meaning zero transfer time).
     pub fn bandwidth(&self, from: Endpoint, to: Endpoint) -> Option<u64> {
+        if self.infinite {
+            return None;
+        }
         match (from, to) {
             (a, b) if a == b => None,
             (Endpoint::In, Endpoint::Proc(v)) => Some(self.input_bw[v.0]),
@@ -243,6 +273,26 @@ pub enum CommModel {
     /// All sends progress concurrently, each bounded by its link bandwidth
     /// and by the sender's node capacity if set (bounded multi-port).
     BoundedMultiPort,
+}
+
+impl CommModel {
+    /// Parses the CLI spelling (`one-port`, `multi-port`).
+    pub fn parse(s: &str) -> Option<CommModel> {
+        match s {
+            "one-port" => Some(CommModel::OnePort),
+            "multi-port" => Some(CommModel::BoundedMultiPort),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CommModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CommModel::OnePort => "one-port",
+            CommModel::BoundedMultiPort => "multi-port",
+        })
+    }
 }
 
 /// Whether the root processor may start sending `δ_0` as soon as `S0`

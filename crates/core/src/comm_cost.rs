@@ -1,0 +1,794 @@
+//! The general model of Sections 3.2–3.3 evaluated over **arbitrary
+//! legal mappings** (replicated and data-parallel groups), not just the
+//! one-processor-per-interval allocations of [`crate::comm`].
+//!
+//! The paper gives closed formulas only for single-processor interval
+//! mappings (formulas (1)–(2)); this module extends them to the full
+//! mapping space of Section 3.4, in the spirit of the follow-up
+//! multi-criteria pipeline work (Benoit, Rehn-Sonigo & Robert 2007/2008):
+//!
+//! * a transfer between two *groups* is billed at the worst (slowest)
+//!   link between any processor pair of the two groups — the value every
+//!   round-robin residue combination is guaranteed to meet;
+//! * a **replicated** group on `k` processors processes every `k`-th data
+//!   set, so its *period* contribution — input transfer, computation and
+//!   output transfer alike — is amortized by `k`:
+//!   `(δ_in/b + W/min s + δ_out/b) / k`. Its *delay* contribution is the
+//!   full, unamortized sum (one data set traverses one replica);
+//! * a **data-parallel** group serves every data set with all its
+//!   processors, so neither its period nor its delay is amortized
+//!   (`δ_in/b + W/Σs + δ_out/b`);
+//! * fork sends of `δ_0` follow the requested [`CommModel`] (serialized
+//!   in group order under one-port, concurrent under bounded
+//!   multi-port) and the requested [`StartRule`] (strict sends wait for
+//!   the root group's whole computation, flexible sends start when `S0`
+//!   completes);
+//! * fork-join leaf outputs are shipped to the *join group* (free when
+//!   leaf and join share a group) instead of `P_out`.
+//!
+//! Two exact degeneracies anchor the extension:
+//!
+//! 1. on single-processor interval mappings the pipeline evaluators equal
+//!    the paper-verbatim formulas of [`crate::comm`];
+//! 2. with all-zero data sizes or the [`Network::infinite`] network (and
+//!    [`StartRule::Flexible`] for forks), every evaluator equals its
+//!    simplified-model counterpart in [`crate::cost`] — tested here and
+//!    property-tested in `tests/properties.rs`.
+
+use crate::comm::{CommModel, Endpoint, Network, StartRule};
+use crate::cost::group_delay;
+use crate::error::Error;
+use crate::mapping::{Assignment, Mapping, Mode};
+use crate::platform::{Platform, ProcId};
+use crate::rational::Rat;
+use crate::workflow::{Fork, ForkJoin, Pipeline};
+
+/// One end of a group-to-group transfer.
+#[derive(Clone, Copy)]
+enum End<'a> {
+    In,
+    Out,
+    Group(&'a [ProcId]),
+}
+
+fn check_network(network: &Network, platform: &Platform) -> Result<(), Error> {
+    if network.n_procs() != platform.n_procs() {
+        return Err(Error::NetworkSize {
+            expected: platform.n_procs(),
+            got: network.n_procs(),
+        });
+    }
+    Ok(())
+}
+
+/// Worst-case time to ship `size` bytes between two group ends: the
+/// maximum pairwise transfer time (groups are processor-disjoint, so no
+/// pair is ever a free same-processor transfer unless the ends coincide).
+fn transfer(network: &Network, size: u64, from: End<'_>, to: End<'_>) -> Rat {
+    if size == 0 {
+        return Rat::ZERO;
+    }
+    let worst = |pairs: &mut dyn Iterator<Item = (Endpoint, Endpoint)>| {
+        pairs
+            .map(|(u, v)| network.transfer_time(size, u, v))
+            .fold(Rat::ZERO, Rat::max)
+    };
+    match (from, to) {
+        (End::Group(gu), End::Group(gv)) => worst(&mut gu.iter().flat_map(|&u| {
+            gv.iter()
+                .map(move |&v| (Endpoint::Proc(u), Endpoint::Proc(v)))
+        })),
+        (End::Group(gu), End::Out) => {
+            worst(&mut gu.iter().map(|&u| (Endpoint::Proc(u), Endpoint::Out)))
+        }
+        (End::In, End::Group(gv)) => {
+            worst(&mut gv.iter().map(|&v| (Endpoint::In, Endpoint::Proc(v))))
+        }
+        // no evaluation ships data into In, out of Out, or In -> Out
+        _ => Rat::ZERO,
+    }
+}
+
+/// The bounded multi-port node-capacity lower bound: `volume / capacity`
+/// for the sender's total outgoing volume, zero when unbounded, empty or
+/// on the free [`Network::infinite`] network.
+fn capacity_bound(network: &Network, volume: u64) -> Rat {
+    network
+        .node_capacity()
+        .filter(|_| volume > 0 && !network.is_infinite())
+        .map(|cap| Rat::ratio(volume, cap))
+        .unwrap_or(Rat::ZERO)
+}
+
+/// Divides a group's busy time by its replication factor for the period
+/// contribution (round-robin amortization); data-parallel groups serve
+/// every data set, so nothing is amortized.
+fn amortize(total: Rat, assignment: &Assignment) -> Rat {
+    match assignment.mode {
+        Mode::Replicated => total / Rat::int(assignment.n_procs() as i128),
+        Mode::DataParallel => total,
+    }
+}
+
+/// Pipeline groups in stage order (a validated pipeline mapping's groups
+/// are disjoint intervals, so ordering by first stage is total).
+fn ordered_groups(mapping: &Mapping) -> Vec<&Assignment> {
+    let mut groups: Vec<&Assignment> = mapping.assignments().iter().collect();
+    groups.sort_by_key(|a| a.stages()[0]);
+    groups
+}
+
+/// Per-group (input transfer, computation delay, output transfer) of a
+/// pipeline mapping under the general model.
+fn pipeline_terms(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    network: &Network,
+    groups: &[&Assignment],
+) -> Vec<(Rat, Rat, Rat)> {
+    let m = groups.len();
+    (0..m)
+        .map(|j| {
+            let a = groups[j];
+            let lo = a.stages()[0];
+            let hi = *a.stages().last().unwrap();
+            let pred = if j == 0 {
+                End::In
+            } else {
+                End::Group(groups[j - 1].procs())
+            };
+            let succ = if j + 1 == m {
+                End::Out
+            } else {
+                End::Group(groups[j + 1].procs())
+            };
+            let me = End::Group(a.procs());
+            let recv = transfer(network, pipeline.data_size(lo), pred, me);
+            let send = transfer(network, pipeline.data_size(hi + 1), me, succ);
+            let compute = group_delay(a.work(|s| pipeline.weight(s)), a, platform);
+            (recv, compute, send)
+        })
+        .collect()
+}
+
+/// Period of a pipeline mapping under the general model: the maximum
+/// per-group amortized busy time (extends formula (1) to replicated and
+/// data-parallel groups).
+pub fn pipeline_period(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    network: &Network,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    pipeline_objectives(pipeline, platform, network, mapping).map(|(period, _)| period)
+}
+
+/// Latency of a pipeline mapping under the general model: the sum of
+/// unamortized per-group traversal times (extends formula (2)).
+pub fn pipeline_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    network: &Network,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    pipeline_objectives(pipeline, platform, network, mapping).map(|(_, latency)| latency)
+}
+
+/// Both objectives of a pipeline mapping in one pass — validation,
+/// group ordering and the per-group transfer/compute terms are computed
+/// once. This is the hot path of comm-aware enumeration and search;
+/// prefer it whenever both values are needed.
+pub fn pipeline_objectives(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    network: &Network,
+    mapping: &Mapping,
+) -> Result<(Rat, Rat), Error> {
+    check_network(network, platform)?;
+    mapping.validate_pipeline(pipeline, platform, true)?;
+    let groups = ordered_groups(mapping);
+    let mut period = Rat::ZERO;
+    let mut latency = Rat::ZERO;
+    for (&(recv, compute, send), a) in pipeline_terms(pipeline, platform, network, &groups)
+        .iter()
+        .zip(&groups)
+    {
+        let traversal = recv + compute + send;
+        period = period.max(amortize(traversal, a));
+        latency += traversal;
+    }
+    Ok((period, latency))
+}
+
+/// The root-first group order used for fork evaluation: ascending first
+/// stage, which puts the group holding stage 0 first — the deterministic
+/// "group order" in which one-port sends are serialized.
+fn fork_groups(mapping: &Mapping) -> Vec<&Assignment> {
+    let groups = ordered_groups(mapping);
+    debug_assert!(groups[0].contains_stage(0));
+    groups
+}
+
+/// The speed at which the root stage is processed by its group (`Σ s` if
+/// data-parallel, `min s` if replicated — Section 3.4).
+fn root_speed(assignment: &Assignment, platform: &Platform) -> u64 {
+    match assignment.mode {
+        Mode::DataParallel => platform.subset_speed(assignment.procs()),
+        Mode::Replicated => platform.subset_min_speed(assignment.procs()),
+    }
+}
+
+/// When each non-root group receives `δ_0`, given the send start time:
+/// serialized in group order under one-port, concurrent (with the node
+/// capacity bound) under bounded multi-port. `wants[g]` marks groups that
+/// actually receive the broadcast. Entry 0 (the root group) stays at
+/// `send_start`.
+fn broadcast_arrivals(
+    network: &Network,
+    comm: CommModel,
+    broadcast_size: u64,
+    groups: &[&Assignment],
+    wants: &[bool],
+    send_start: Rat,
+) -> Vec<Rat> {
+    let root = End::Group(groups[0].procs());
+    let mut recv_at = vec![send_start; groups.len()];
+    let receivers = wants.iter().skip(1).filter(|&&w| w).count() as u64;
+    match comm {
+        CommModel::OnePort => {
+            let mut t = send_start;
+            for g in 1..groups.len() {
+                if !wants[g] {
+                    continue;
+                }
+                t += transfer(network, broadcast_size, root, End::Group(groups[g].procs()));
+                recv_at[g] = t;
+            }
+        }
+        CommModel::BoundedMultiPort => {
+            let volume = broadcast_size * receivers;
+            let bound = capacity_bound(network, volume);
+            for g in 1..groups.len() {
+                if !wants[g] {
+                    continue;
+                }
+                let link = transfer(network, broadcast_size, root, End::Group(groups[g].procs()));
+                recv_at[g] = send_start + link.max(bound);
+            }
+        }
+    }
+    recv_at
+}
+
+/// Completion time of every fork group under the general model over an
+/// arbitrary legal mapping; the latency is the maximum entry. Leaf
+/// outputs ship to `out` (`P_out` for plain forks, the join group for
+/// fork-joins — free when the leaf shares the join's group).
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by fork and fork-join
+fn fork_completions(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    start: StartRule,
+    groups: &[&Assignment],
+    work_of: &dyn Fn(&Assignment) -> u64,
+    out_of: &dyn Fn(usize, &Assignment) -> Rat,
+) -> Vec<Rat> {
+    let root_group = groups[0];
+    let recv_input = transfer(
+        network,
+        fork.input_size(),
+        End::In,
+        End::Group(root_group.procs()),
+    );
+    let root_stage_done =
+        recv_input + Rat::ratio(fork.root_weight(), root_speed(root_group, platform));
+    let root_all_done = recv_input + group_delay(work_of(root_group), root_group, platform);
+    let send_start = match start {
+        StartRule::Flexible => root_stage_done,
+        StartRule::Strict => root_all_done,
+    };
+    // groups holding at least one leaf stage need δ0
+    let wants: Vec<bool> = groups
+        .iter()
+        .map(|a| a.stages().iter().any(|&s| s >= 1 && s <= fork.n_leaves()))
+        .collect();
+    let recv_at = broadcast_arrivals(
+        network,
+        comm,
+        fork.broadcast_size(),
+        groups,
+        &wants,
+        send_start,
+    );
+
+    groups
+        .iter()
+        .enumerate()
+        .map(|(g, a)| {
+            let compute_done = if g == 0 {
+                root_all_done
+            } else {
+                recv_at[g] + group_delay(work_of(a), a, platform)
+            };
+            let outputs: Rat = a
+                .stages()
+                .iter()
+                .filter(|&&s| s >= 1 && s <= fork.n_leaves())
+                .map(|&s| out_of(s, a))
+                .sum();
+            compute_done + outputs
+        })
+        .collect()
+}
+
+/// Latency of a fork mapping under the general model.
+pub fn fork_latency(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    start: StartRule,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    fork_objectives(fork, platform, network, comm, start, mapping).map(|(_, latency)| latency)
+}
+
+/// Period of a fork mapping under the general model: the maximum
+/// per-group amortized busy time (receive + compute + sends per data
+/// set; the root group additionally broadcasts `δ_0` each period).
+pub fn fork_period(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    fork_objectives(fork, platform, network, comm, StartRule::Flexible, mapping)
+        .map(|(period, _)| period)
+}
+
+/// Both objectives of a fork mapping in one pass — validation and group
+/// ordering are shared between the period and latency computations.
+pub fn fork_objectives(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    start: StartRule,
+    mapping: &Mapping,
+) -> Result<(Rat, Rat), Error> {
+    check_network(network, platform)?;
+    mapping.validate_fork(fork, platform, true)?;
+    let groups = fork_groups(mapping);
+    let out_of = |s: usize, a: &Assignment| {
+        transfer(
+            network,
+            fork.output_size(s),
+            End::Group(a.procs()),
+            End::Out,
+        )
+    };
+    let work_of = |a: &Assignment| a.work(|s| fork.weight(s));
+    let period = fork_period_of(fork, platform, network, comm, &groups, &work_of, &out_of);
+    let completions = fork_completions(
+        fork, platform, network, comm, start, &groups, &work_of, &out_of,
+    );
+    let latency = completions.into_iter().fold(Rat::ZERO, Rat::max);
+    Ok((period, latency))
+}
+
+/// Shared fork/fork-join period core over caller-supplied per-group
+/// work and per-leaf output functions.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by fork and fork-join
+fn fork_period_of(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    groups: &[&Assignment],
+    work_of: &dyn Fn(&Assignment) -> u64,
+    out_of: &dyn Fn(usize, &Assignment) -> Rat,
+) -> Rat {
+    let root = End::Group(groups[0].procs());
+    let has_leaves = |a: &Assignment| a.stages().iter().any(|&s| s >= 1 && s <= fork.n_leaves());
+    let receivers: Vec<&&Assignment> = groups.iter().skip(1).filter(|a| has_leaves(a)).collect();
+    let mut period = Rat::ZERO;
+    for (g, a) in groups.iter().enumerate() {
+        let me = End::Group(a.procs());
+        let recv = if g == 0 {
+            transfer(network, fork.input_size(), End::In, me)
+        } else if has_leaves(a) {
+            transfer(network, fork.broadcast_size(), root, me)
+        } else {
+            Rat::ZERO
+        };
+        let compute = group_delay(work_of(a), a, platform);
+        let outputs: Rat = a
+            .stages()
+            .iter()
+            .filter(|&&s| s >= 1 && s <= fork.n_leaves())
+            .map(|&s| out_of(s, a))
+            .sum();
+        // the root group additionally sends δ0 to every leaf group
+        let broadcasts = if g == 0 && !receivers.is_empty() {
+            let links = receivers
+                .iter()
+                .map(|b| transfer(network, fork.broadcast_size(), root, End::Group(b.procs())));
+            match comm {
+                CommModel::OnePort => links.sum(),
+                CommModel::BoundedMultiPort => {
+                    let volume = fork.broadcast_size() * receivers.len() as u64;
+                    let cap = capacity_bound(network, volume);
+                    links.fold(Rat::ZERO, Rat::max).max(cap)
+                }
+            }
+        } else {
+            Rat::ZERO
+        };
+        let busy = recv + compute + outputs + broadcasts;
+        period = period.max(amortize(busy, a));
+    }
+    period
+}
+
+/// Latency of a fork-join mapping under the general model: the fork part
+/// ships leaf outputs to the join group (free within it), then the join
+/// stage runs at its group's speed.
+pub fn forkjoin_latency(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    start: StartRule,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    forkjoin_objectives(forkjoin, platform, network, comm, start, mapping)
+        .map(|(_, latency)| latency)
+}
+
+/// Period of a fork-join mapping under the general model: fork-style
+/// group terms with leaf outputs billed on the sender toward the join
+/// group's link (free within the join group).
+pub fn forkjoin_period(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    mapping: &Mapping,
+) -> Result<Rat, Error> {
+    forkjoin_objectives(
+        forkjoin,
+        platform,
+        network,
+        comm,
+        StartRule::Flexible,
+        mapping,
+    )
+    .map(|(period, _)| period)
+}
+
+/// Both objectives of a fork-join mapping in one pass — validation,
+/// group ordering and the join-link transfer closures are shared.
+pub fn forkjoin_objectives(
+    forkjoin: &ForkJoin,
+    platform: &Platform,
+    network: &Network,
+    comm: CommModel,
+    start: StartRule,
+    mapping: &Mapping,
+) -> Result<(Rat, Rat), Error> {
+    check_network(network, platform)?;
+    mapping.validate_forkjoin(forkjoin, platform, true)?;
+    let fork = forkjoin.fork();
+    let join = forkjoin.join_stage();
+    let groups = fork_groups(mapping);
+    let join_group = mapping
+        .assignment_of(join)
+        .expect("validated mapping has a join group");
+    // leaf outputs ship to the join group; free when produced inside it
+    let out_of = |s: usize, a: &Assignment| {
+        if std::ptr::eq(a, join_group) {
+            Rat::ZERO
+        } else {
+            transfer(
+                network,
+                fork.output_size(s),
+                End::Group(a.procs()),
+                End::Group(join_group.procs()),
+            )
+        }
+    };
+
+    // Period: full group work; leaf -> join transfers are billed on the
+    // sender's port only, matching the model's convention everywhere
+    // else (one-port serializes *sends*; receivers — P_out in the fork
+    // case, the join group here — are unconstrained).
+    let period = fork_period_of(
+        fork,
+        platform,
+        network,
+        comm,
+        &groups,
+        &|a| a.work(|s| forkjoin.weight(s)),
+        &out_of,
+    );
+
+    // Latency: fork part over the non-join work, then the join stage.
+    let completions = fork_completions(
+        fork,
+        platform,
+        network,
+        comm,
+        start,
+        &groups,
+        &|a| {
+            a.stages()
+                .iter()
+                .filter(|&&s| s != join)
+                .map(|&s| forkjoin.weight(s))
+                .sum()
+        },
+        &out_of,
+    );
+    let all_leaves_done = completions.into_iter().fold(Rat::ZERO, Rat::max);
+    let s_join = root_speed(join_group, platform);
+    let latency = all_leaves_done + Rat::ratio(forkjoin.join_weight(), s_join);
+    Ok((period, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{
+        fork_completion_with_comm, fork_period_with_comm, pipeline_latency_with_comm,
+        pipeline_period_with_comm, ForkAlloc, IntervalAlloc,
+    };
+    use crate::cost;
+    use crate::gen::Gen;
+
+    fn procs(ids: &[usize]) -> Vec<ProcId> {
+        ids.iter().map(|&u| ProcId(u)).collect()
+    }
+
+    #[test]
+    fn matches_paper_formulas_on_single_proc_intervals() {
+        // Same instance as comm.rs's `formula_one_and_two`.
+        let pipe = Pipeline::with_data_sizes(vec![8, 3], vec![4, 2, 6]);
+        let plat = Platform::heterogeneous(vec![2, 1]);
+        let net = Network::uniform(2, 2);
+        let mapping = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0]), Mode::Replicated),
+            Assignment::interval(1, 1, procs(&[1]), Mode::Replicated),
+        ]);
+        let alloc = vec![
+            IntervalAlloc {
+                lo: 0,
+                hi: 0,
+                proc: ProcId(0),
+            },
+            IntervalAlloc {
+                lo: 1,
+                hi: 1,
+                proc: ProcId(1),
+            },
+        ];
+        assert_eq!(
+            pipeline_period(&pipe, &plat, &net, &mapping).unwrap(),
+            pipeline_period_with_comm(&pipe, &plat, &net, &alloc)
+        );
+        assert_eq!(
+            pipeline_latency(&pipe, &plat, &net, &mapping).unwrap(),
+            pipeline_latency_with_comm(&pipe, &plat, &net, &alloc)
+        );
+    }
+
+    #[test]
+    fn random_single_proc_intervals_match_paper_formulas() {
+        let mut gen = Gen::new(0xC0);
+        for _ in 0..40 {
+            let n = gen.size(1, 6);
+            let p = gen.size(1, 4);
+            let weights = gen.positive_ints(n, 1, 9);
+            let sizes = gen.positive_ints(n + 1, 0, 6);
+            let pipe = Pipeline::with_data_sizes(weights, sizes);
+            let plat = gen.het_platform(p, 1, 5);
+            let net = Network::uniform(p, gen.int(1, 4));
+            // random interval partition, distinct single processors
+            let mut cuts: Vec<usize> = Vec::new();
+            for s in 1..n {
+                if gen.flip(0.4) && cuts.len() + 1 < p {
+                    cuts.push(s);
+                }
+            }
+            let mut lo = 0;
+            let mut alloc = Vec::new();
+            let mut assignments = Vec::new();
+            for (next_proc, &c) in cuts.iter().chain(std::iter::once(&n)).enumerate() {
+                alloc.push(IntervalAlloc {
+                    lo,
+                    hi: c - 1,
+                    proc: ProcId(next_proc),
+                });
+                assignments.push(Assignment::interval(
+                    lo,
+                    c - 1,
+                    vec![ProcId(next_proc)],
+                    Mode::Replicated,
+                ));
+                lo = c;
+            }
+            let mapping = Mapping::new(assignments);
+            assert_eq!(
+                pipeline_period(&pipe, &plat, &net, &mapping).unwrap(),
+                pipeline_period_with_comm(&pipe, &plat, &net, &alloc)
+            );
+            assert_eq!(
+                pipeline_latency(&pipe, &plat, &net, &mapping).unwrap(),
+                pipeline_latency_with_comm(&pipe, &plat, &net, &alloc)
+            );
+        }
+    }
+
+    #[test]
+    fn fork_single_proc_groups_match_paper_formulas() {
+        let fork = Fork::with_data_sizes(2, vec![2, 2], 6, 4, vec![2, 2]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(3, 2);
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1], procs(&[1]), Mode::Replicated),
+            Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
+        ]);
+        let fa = ForkAlloc {
+            groups: vec![vec![], vec![1], vec![2]],
+            procs: procs(&[0, 1, 2]),
+        };
+        for comm in [CommModel::OnePort, CommModel::BoundedMultiPort] {
+            assert_eq!(
+                fork_period(&fork, &plat, &net, comm, &mapping).unwrap(),
+                fork_period_with_comm(&fork, &plat, &net, &fa, comm)
+            );
+            for start in [StartRule::Flexible, StartRule::Strict] {
+                let (_, latency) = fork_completion_with_comm(&fork, &plat, &net, &fa, comm, start);
+                assert_eq!(
+                    fork_latency(&fork, &plat, &net, comm, start, &mapping).unwrap(),
+                    latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_network_degenerates_to_simplified_model() {
+        let pipe = Pipeline::with_data_sizes(vec![14, 4, 2, 4], vec![9, 9, 9, 9, 9]);
+        let plat = Platform::heterogeneous(vec![2, 2, 1, 1]);
+        let net = Network::infinite(4);
+        let mapping = Mapping::new(vec![
+            Assignment::interval(0, 0, procs(&[0, 1]), Mode::DataParallel),
+            Assignment::interval(1, 3, procs(&[2, 3]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            pipeline_period(&pipe, &plat, &net, &mapping).unwrap(),
+            cost::pipeline_period(&pipe, &plat, &mapping).unwrap()
+        );
+        assert_eq!(
+            pipeline_latency(&pipe, &plat, &net, &mapping).unwrap(),
+            cost::pipeline_latency(&pipe, &plat, &mapping).unwrap()
+        );
+
+        let fork = Fork::with_data_sizes(1, vec![1, 2, 3], 5, 7, vec![2, 4, 6]);
+        let plat = Platform::homogeneous(2, 1);
+        let net = Network::infinite(2);
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        for comm in [CommModel::OnePort, CommModel::BoundedMultiPort] {
+            assert_eq!(
+                fork_period(&fork, &plat, &net, comm, &mapping).unwrap(),
+                cost::fork_period(&fork, &plat, &mapping).unwrap()
+            );
+            assert_eq!(
+                fork_latency(&fork, &plat, &net, comm, StartRule::Flexible, &mapping).unwrap(),
+                cost::fork_latency(&fork, &plat, &mapping).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_network_forkjoin_degenerates_too() {
+        let fj = ForkJoin::new(1, vec![2, 2], 3);
+        let plat = Platform::homogeneous(2, 1);
+        let net = Network::infinite(2);
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0, 1], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![2, 3], procs(&[1]), Mode::Replicated),
+        ]);
+        assert_eq!(
+            forkjoin_latency(
+                &fj,
+                &plat,
+                &net,
+                CommModel::OnePort,
+                StartRule::Flexible,
+                &mapping
+            )
+            .unwrap(),
+            cost::forkjoin_latency(&fj, &plat, &mapping).unwrap()
+        );
+        assert_eq!(
+            forkjoin_period(&fj, &plat, &net, CommModel::OnePort, &mapping).unwrap(),
+            cost::forkjoin_period(&fj, &plat, &mapping).unwrap()
+        );
+    }
+
+    #[test]
+    fn replication_amortizes_comm_in_the_period() {
+        // One stage replicated on both processors: the round-robin rule
+        // halves the per-period transfer load as well as the compute.
+        let pipe = Pipeline::with_data_sizes(vec![8], vec![4, 4]);
+        let plat = Platform::homogeneous(2, 1);
+        let net = Network::uniform(2, 2);
+        let mapping = Mapping::whole(1, procs(&[0, 1]), Mode::Replicated);
+        // busy = 4/2 (in) + 8/1 + 4/2 (out) = 12; amortized by k=2 -> 6
+        assert_eq!(
+            pipeline_period(&pipe, &plat, &net, &mapping).unwrap(),
+            Rat::int(6)
+        );
+        // latency is never amortized
+        assert_eq!(
+            pipeline_latency(&pipe, &plat, &net, &mapping).unwrap(),
+            Rat::int(12)
+        );
+    }
+
+    #[test]
+    fn one_port_broadcast_serializes_multi_port_does_not() {
+        let fork = Fork::with_data_sizes(2, vec![2, 2], 0, 4, vec![0, 0]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(3, 2);
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0], procs(&[0]), Mode::Replicated),
+            Assignment::new(vec![1], procs(&[1]), Mode::Replicated),
+            Assignment::new(vec![2], procs(&[2]), Mode::Replicated),
+        ]);
+        let one = fork_latency(
+            &fork,
+            &plat,
+            &net,
+            CommModel::OnePort,
+            StartRule::Flexible,
+            &mapping,
+        )
+        .unwrap();
+        let multi = fork_latency(
+            &fork,
+            &plat,
+            &net,
+            CommModel::BoundedMultiPort,
+            StartRule::Flexible,
+            &mapping,
+        )
+        .unwrap();
+        assert_eq!(one, Rat::int(8));
+        assert_eq!(multi, Rat::int(6));
+        assert!(multi <= one);
+    }
+
+    #[test]
+    fn network_size_mismatch_is_an_error() {
+        let pipe = Pipeline::new(vec![1, 2]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(2, 1);
+        let mapping = Mapping::whole(2, procs(&[0, 1, 2]), Mode::Replicated);
+        assert_eq!(
+            pipeline_period(&pipe, &plat, &net, &mapping).unwrap_err(),
+            Error::NetworkSize {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+}

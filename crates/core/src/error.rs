@@ -34,6 +34,14 @@ pub enum Error {
     DataParallelForbidden,
     /// The mapping is for a different workflow shape than expected.
     WorkflowShape(&'static str),
+    /// A communication network sized for a different processor count than
+    /// the platform it is evaluated against.
+    NetworkSize {
+        /// Processor count of the platform.
+        expected: usize,
+        /// Processor count the network was built for.
+        got: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -62,6 +70,12 @@ impl fmt::Display for Error {
             }
             Error::WorkflowShape(which) => {
                 write!(f, "mapping does not match workflow shape: {which}")
+            }
+            Error::NetworkSize { expected, got } => {
+                write!(
+                    f,
+                    "network describes {got} processors but the platform has {expected}"
+                )
             }
         }
     }

@@ -6,6 +6,10 @@
 //! instance belongs to, which the benchmark harness uses to regenerate the
 //! table.
 
+use crate::comm::{CommModel, Network, StartRule};
+use crate::comm_cost;
+use crate::error::Error;
+use crate::mapping::Mapping;
 use crate::platform::Platform;
 use crate::rational::Rat;
 use crate::workflow::Workflow;
@@ -24,8 +28,57 @@ pub enum Objective {
     PeriodUnderLatency(Rat),
 }
 
+/// Which cost model evaluates mappings of an instance.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// The simplified model of Section 3.4: communication is free.
+    #[default]
+    Simplified,
+    /// The general model of Sections 3.2–3.3: transfers cost
+    /// `size / bandwidth` over the given network.
+    WithComm {
+        /// Link bandwidths (including `P_in`/`P_out` links).
+        network: Network,
+        /// One-port or bounded multi-port send discipline.
+        comm: CommModel,
+        /// Whether fork sends may overlap the root group's remaining
+        /// computation (`true` = the paper's *flexible* rule, matching
+        /// the simplified model's timing; `false` = *strict*).
+        overlap: bool,
+    },
+}
+
+impl CostModel {
+    /// True for [`CostModel::WithComm`].
+    pub fn is_comm_aware(&self) -> bool {
+        matches!(self, CostModel::WithComm { .. })
+    }
+
+    /// The fork send-start rule implied by the overlap flag
+    /// ([`StartRule::Flexible`] for the simplified model).
+    pub fn start_rule(&self) -> StartRule {
+        match self {
+            CostModel::Simplified => StartRule::Flexible,
+            CostModel::WithComm { overlap: true, .. } => StartRule::Flexible,
+            CostModel::WithComm { overlap: false, .. } => StartRule::Strict,
+        }
+    }
+}
+
+impl std::fmt::Display for CostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostModel::Simplified => f.write_str("simplified"),
+            CostModel::WithComm { comm, overlap, .. } => {
+                let rule = if *overlap { "overlapped" } else { "strict" };
+                write!(f, "comm {comm}, {rule}")
+            }
+        }
+    }
+}
+
 /// A complete problem instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ProblemInstance {
     /// The application graph.
     pub workflow: Workflow,
@@ -36,9 +89,105 @@ pub struct ProblemInstance {
     pub allow_data_parallel: bool,
     /// What to optimize.
     pub objective: Objective,
+    /// Which cost model evaluates mappings (defaults to
+    /// [`CostModel::Simplified`], including for JSON instances that omit
+    /// the field).
+    pub cost_model: CostModel,
+}
+
+// Hand-written so pre-existing instance JSON without a `cost_model`
+// field keeps deserializing (the vendored derive has no
+// `#[serde(default)]` support).
+impl serde::Deserialize for ProblemInstance {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        let field = |name: &str| {
+            value
+                .field(name)
+                .ok_or_else(|| serde::de::Error::missing_field(name, "ProblemInstance"))
+        };
+        Ok(ProblemInstance {
+            workflow: serde::Deserialize::deserialize(field("workflow")?)?,
+            platform: serde::Deserialize::deserialize(field("platform")?)?,
+            allow_data_parallel: serde::Deserialize::deserialize(field("allow_data_parallel")?)?,
+            objective: serde::Deserialize::deserialize(field("objective")?)?,
+            cost_model: match value.field("cost_model") {
+                Some(v) => serde::Deserialize::deserialize(v)?,
+                None => CostModel::Simplified,
+            },
+        })
+    }
 }
 
 impl ProblemInstance {
+    /// Instance under the simplified Section 3.4 model (the common
+    /// case; switch models with [`ProblemInstance::with_cost_model`]).
+    pub fn new(
+        workflow: impl Into<Workflow>,
+        platform: Platform,
+        allow_data_parallel: bool,
+        objective: Objective,
+    ) -> ProblemInstance {
+        ProblemInstance {
+            workflow: workflow.into(),
+            platform,
+            allow_data_parallel,
+            objective,
+            cost_model: CostModel::Simplified,
+        }
+    }
+
+    /// Period of `mapping` under this instance's cost model.
+    pub fn period(&self, mapping: &Mapping) -> Result<Rat, Error> {
+        self.objectives(mapping).map(|(period, _)| period)
+    }
+
+    /// Latency of `mapping` under this instance's cost model.
+    pub fn latency(&self, mapping: &Mapping) -> Result<Rat, Error> {
+        self.objectives(mapping).map(|(_, latency)| latency)
+    }
+
+    /// Both objectives of `mapping` in one evaluation — under the
+    /// communication-aware model this shares validation and the
+    /// per-group transfer terms between period and latency, which is
+    /// what the enumeration/search hot paths want.
+    pub fn objectives(&self, mapping: &Mapping) -> Result<(Rat, Rat), Error> {
+        match &self.cost_model {
+            CostModel::Simplified => Ok((
+                self.workflow.period(&self.platform, mapping)?,
+                self.workflow.latency(&self.platform, mapping)?,
+            )),
+            CostModel::WithComm { network, comm, .. } => {
+                let start = self.cost_model.start_rule();
+                match &self.workflow {
+                    Workflow::Pipeline(p) => {
+                        comm_cost::pipeline_objectives(p, &self.platform, network, mapping)
+                    }
+                    Workflow::Fork(f) => comm_cost::fork_objectives(
+                        f,
+                        &self.platform,
+                        network,
+                        *comm,
+                        start,
+                        mapping,
+                    ),
+                    Workflow::ForkJoin(fj) => comm_cost::forkjoin_objectives(
+                        fj,
+                        &self.platform,
+                        network,
+                        *comm,
+                        start,
+                        mapping,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> ProblemInstance {
+        self.cost_model = cost_model;
+        self
+    }
     /// Classifies this instance into its Table 1 cell.
     pub fn variant(&self) -> Variant {
         Variant {
@@ -222,6 +371,7 @@ mod tests {
     #[test]
     fn classification() {
         let inst = ProblemInstance {
+            cost_model: CostModel::Simplified,
             workflow: Pipeline::uniform(4, 3).into(),
             platform: Platform::heterogeneous(vec![1, 2]),
             allow_data_parallel: false,
@@ -288,6 +438,7 @@ mod tests {
     #[test]
     fn forkjoin_inherits_fork_complexity() {
         let inst = ProblemInstance {
+            cost_model: CostModel::Simplified,
             workflow: crate::workflow::ForkJoin::uniform(2, 3, 5, 1).into(),
             platform: Platform::heterogeneous(vec![1, 2]),
             allow_data_parallel: false,
@@ -302,6 +453,7 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let inst = ProblemInstance {
+            cost_model: CostModel::Simplified,
             workflow: Fork::new(1, vec![2, 3]).into(),
             platform: Platform::homogeneous(2, 1),
             allow_data_parallel: true,

@@ -15,6 +15,9 @@
 //! * [`cost`] — the simplified model of Section 3.4 (no communication);
 //! * [`comm`] — the general model of Sections 3.2–3.3 with link
 //!   bandwidths, one-port and bounded multi-port disciplines;
+//! * [`comm_cost`] — the general model evaluated over arbitrary legal
+//!   mappings (replication and data-parallelism included), the engine
+//!   behind [`instance::CostModel::WithComm`];
 //! * [`rational`] — exact arithmetic so optimality is decided without
 //!   floating-point ties;
 //! * [`instance`] — problem instances and the Table 1 variant taxonomy;
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod comm_cost;
 pub mod cost;
 pub mod dot;
 pub mod error;
@@ -42,8 +46,9 @@ pub mod workflow;
 
 /// The most used types, for glob import.
 pub mod prelude {
+    pub use crate::comm::{CommModel, Network, StartRule};
     pub use crate::error::Error;
-    pub use crate::instance::{Objective, ProblemInstance, Variant};
+    pub use crate::instance::{CostModel, Objective, ProblemInstance, Variant};
     pub use crate::mapping::{Assignment, Mapping, Mode};
     pub use crate::platform::{Platform, ProcId};
     pub use crate::rational::Rat;

@@ -194,3 +194,176 @@ proptest! {
         );
     }
 }
+
+// ---- Communication-aware model properties (Sections 3.2–3.3) ----
+
+use repliflow_core::comm::{CommModel, Network, StartRule};
+use repliflow_core::comm_cost;
+use repliflow_core::workflow::{Fork, ForkJoin};
+
+proptest! {
+    /// With the infinite-bandwidth network every transfer is free, so the
+    /// general-model pipeline evaluators must equal the simplified
+    /// Section 3.4 model exactly — whatever the data sizes and the
+    /// mapping's replication structure.
+    #[test]
+    fn comm_infinite_bandwidth_degenerates_to_simplified_pipeline(
+        (weights, speeds) in pipeline_platform(),
+        sizes in prop::collection::vec(0u64..=50, 7),
+        k in 0usize..100,
+        split in 0usize..100,
+        dp in any::<bool>(),
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        prop_assume!(n >= 2 && p >= 2);
+        let pipe = Pipeline::with_data_sizes(weights.clone(), sizes[..=n].to_vec());
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::infinite(p);
+        let mode = if dp { Mode::DataParallel } else { Mode::Replicated };
+        let m = split_mapping(n, p, k, split, mode).unwrap();
+        prop_assert_eq!(
+            comm_cost::pipeline_period(&pipe, &plat, &net, &m).unwrap(),
+            cost::pipeline_period(&pipe, &plat, &m).unwrap()
+        );
+        prop_assert_eq!(
+            comm_cost::pipeline_latency(&pipe, &plat, &net, &m).unwrap(),
+            cost::pipeline_latency(&pipe, &plat, &m).unwrap()
+        );
+    }
+
+    /// Communication costs are non-negative: under any finite network a
+    /// mapping's comm-aware period and latency dominate the simplified
+    /// values (the monotonicity the comm-aware Table 1 rows rely on).
+    #[test]
+    fn comm_costs_only_increase_pipeline_objectives(
+        (weights, speeds) in pipeline_platform(),
+        sizes in prop::collection::vec(0u64..=50, 7),
+        bw in 1u64..=8,
+        k in 0usize..100,
+        split in 0usize..100,
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        prop_assume!(n >= 2 && p >= 2);
+        let pipe = Pipeline::with_data_sizes(weights, sizes[..=n].to_vec());
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::uniform(p, bw);
+        let m = split_mapping(n, p, k, split, Mode::Replicated).unwrap();
+        prop_assert!(
+            comm_cost::pipeline_period(&pipe, &plat, &net, &m).unwrap()
+                >= cost::pipeline_period(&pipe, &plat, &m).unwrap()
+        );
+        prop_assert!(
+            comm_cost::pipeline_latency(&pipe, &plat, &net, &m).unwrap()
+                >= cost::pipeline_latency(&pipe, &plat, &m).unwrap()
+        );
+    }
+
+    /// Fork degeneracy: free network + the flexible start rule reproduce
+    /// the simplified fork (and fork-join) evaluators under both send
+    /// disciplines.
+    #[test]
+    fn comm_infinite_bandwidth_degenerates_to_simplified_fork(
+        root_weight in 1u64..=20,
+        leaf_weights in prop::collection::vec(1u64..=20, 1..=5),
+        sizes in prop::collection::vec(0u64..=50, 8),
+        speeds in prop::collection::vec(1u64..=10, 2..=4),
+        join_weight in 1u64..=20,
+        cut in 0usize..100,
+        one_port in any::<bool>(),
+    ) {
+        let n = leaf_weights.len();
+        let p = speeds.len();
+        let fork = Fork::with_data_sizes(
+            root_weight,
+            leaf_weights.clone(),
+            sizes[0],
+            sizes[1],
+            sizes[2..2 + n].to_vec(),
+        );
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::infinite(p);
+        let comm = if one_port { CommModel::OnePort } else { CommModel::BoundedMultiPort };
+        // root + a prefix of leaves on P0, the remaining leaves on P1
+        let cut = 1 + cut % (n + 1).max(1);
+        let first: Vec<usize> = (0..cut.min(n + 1)).collect();
+        let second: Vec<usize> = (cut.min(n + 1)..=n).collect();
+        let mut groups = vec![Assignment::new(first, vec![ProcId(0)], Mode::Replicated)];
+        if !second.is_empty() {
+            groups.push(Assignment::new(second, vec![ProcId(1)], Mode::Replicated));
+        }
+        let m = Mapping::new(groups);
+        prop_assert_eq!(
+            comm_cost::fork_period(&fork, &plat, &net, comm, &m).unwrap(),
+            cost::fork_period(&fork, &plat, &m).unwrap()
+        );
+        prop_assert_eq!(
+            comm_cost::fork_latency(&fork, &plat, &net, comm, StartRule::Flexible, &m).unwrap(),
+            cost::fork_latency(&fork, &plat, &m).unwrap()
+        );
+
+        // the same grouping with a join stage appended to the last group
+        let fj = ForkJoin::new(root_weight, leaf_weights, join_weight);
+        let mut groups: Vec<Assignment> = m.assignments().to_vec();
+        let last = groups.len() - 1;
+        let mut stages = groups[last].stages().to_vec();
+        stages.push(fj.join_stage());
+        groups[last] =
+            Assignment::new(stages, groups[last].procs().to_vec(), Mode::Replicated);
+        let fjm = Mapping::new(groups);
+        prop_assert_eq!(
+            comm_cost::forkjoin_period(&fj, &plat, &net, comm, &fjm).unwrap(),
+            cost::forkjoin_period(&fj, &plat, &fjm).unwrap()
+        );
+        prop_assert_eq!(
+            comm_cost::forkjoin_latency(
+                &fj, &plat, &net, comm, StartRule::Flexible, &fjm
+            ).unwrap(),
+            cost::forkjoin_latency(&fj, &plat, &fjm).unwrap()
+        );
+    }
+
+    /// The strict start rule can only delay fork completions relative to
+    /// the flexible rule, and one-port sends relative to multi-port.
+    #[test]
+    fn comm_fork_discipline_monotonicity(
+        root_weight in 1u64..=10,
+        leaf_weights in prop::collection::vec(1u64..=10, 2..=4),
+        broadcast in 0u64..=20,
+        bw in 1u64..=4,
+        speeds in prop::collection::vec(1u64..=5, 3..=4),
+    ) {
+        let n = leaf_weights.len();
+        let p = speeds.len();
+        let fork = Fork::with_data_sizes(root_weight, leaf_weights, 2, broadcast, vec![1; n]);
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::uniform(p, bw);
+        // root alone on P0, each remaining proc takes a slice of leaves
+        let mut groups = vec![Assignment::new(vec![0], vec![ProcId(0)], Mode::Replicated)];
+        let chunk = n.div_ceil(p - 1);
+        for (i, leaves) in (1..=n).collect::<Vec<_>>().chunks(chunk).enumerate() {
+            groups.push(Assignment::new(
+                leaves.to_vec(),
+                vec![ProcId(1 + i)],
+                Mode::Replicated,
+            ));
+        }
+        let m = Mapping::new(groups);
+        for comm in [CommModel::OnePort, CommModel::BoundedMultiPort] {
+            let flexible =
+                comm_cost::fork_latency(&fork, &plat, &net, comm, StartRule::Flexible, &m).unwrap();
+            let strict =
+                comm_cost::fork_latency(&fork, &plat, &net, comm, StartRule::Strict, &m).unwrap();
+            prop_assert!(strict >= flexible);
+        }
+        let one =
+            comm_cost::fork_latency(&fork, &plat, &net, CommModel::OnePort, StartRule::Flexible, &m)
+                .unwrap();
+        let multi = comm_cost::fork_latency(
+            &fork, &plat, &net, CommModel::BoundedMultiPort, StartRule::Flexible, &m,
+        )
+        .unwrap();
+        prop_assert!(one >= multi);
+    }
+}

@@ -76,12 +76,12 @@ mod tests {
 
     #[test]
     fn solve_honors_objective() {
-        let inst = ProblemInstance {
-            workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
-            platform: Platform::heterogeneous(vec![2, 2, 1, 1]),
-            allow_data_parallel: true,
-            objective: Objective::Period,
-        };
+        let inst = ProblemInstance::new(
+            Pipeline::new(vec![14, 4, 2, 4]),
+            Platform::heterogeneous(vec![2, 2, 1, 1]),
+            true,
+            Objective::Period,
+        );
         // True optimum is 4.5 (see `pipeline::tests::
         // section2_heterogeneous_optima` for why the paper's example value
         // of 5 is not optimal).

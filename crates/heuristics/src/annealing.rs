@@ -49,20 +49,39 @@ pub fn anneal(
     schedule: Schedule,
     seed: u64,
 ) -> Mapping {
+    anneal_with(
+        start,
+        schedule,
+        seed,
+        |m| neighbors(pipeline, platform, m, allow_dp),
+        |m| score(pipeline, platform, m, objective),
+    )
+}
+
+/// The annealing loop itself, generic over the neighborhood and the
+/// scorer — one implementation serves the pipeline-specific [`anneal`]
+/// and the cost-model-aware search in [`crate::comm`].
+pub fn anneal_with(
+    start: Mapping,
+    schedule: Schedule,
+    seed: u64,
+    mut neighbors_of: impl FnMut(&Mapping) -> Vec<Mapping>,
+    mut score_of: impl FnMut(&Mapping) -> crate::score::Score,
+) -> Mapping {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start.clone();
-    let mut current_score = score(pipeline, platform, &current, objective);
+    let mut current_score = score_of(&current);
     let mut best = start;
     let mut best_score = current_score;
     let mut temperature = schedule.t0;
 
     for _ in 0..schedule.steps {
-        let ns = neighbors(pipeline, platform, &current, allow_dp);
+        let ns = neighbors_of(&current);
         if ns.is_empty() {
             break;
         }
         let candidate = ns[rng.gen_range(0..ns.len())].clone();
-        let cand_score = score(pipeline, platform, &candidate, objective);
+        let cand_score = score_of(&candidate);
         let accept = if cand_score <= current_score {
             true
         } else {

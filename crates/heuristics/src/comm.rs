@@ -1,0 +1,166 @@
+//! Cost-model-aware search: the greedy/local-search/annealing portfolio
+//! generalized to evaluate through a [`ProblemInstance`]'s own cost
+//! model, so the same machinery optimizes under the simplified
+//! Section 3.4 model and the communication-aware general model
+//! (Sections 3.2–3.3) alike.
+//!
+//! Pipelines search the structural neighborhood of [`crate::moves`]
+//! *plus* processor swaps ([`crate::moves::proc_swaps`]) — swaps are the
+//! move class that matters once link bandwidths make processor identity
+//! significant. Forks and fork-joins currently have no structural
+//! neighborhood (see ROADMAP), so their searches return the start
+//! mapping unchanged and the portfolio relies on constructive
+//! candidates.
+
+use crate::annealing::Schedule;
+use crate::moves::neighbors_with_swaps;
+use crate::score::score_instance;
+use repliflow_core::instance::ProblemInstance;
+use repliflow_core::mapping::Mapping;
+use repliflow_core::workflow::Workflow;
+
+/// Every neighbor of `mapping` under the instance's workflow shape
+/// (empty for forks and fork-joins, whose neighborhood is future work).
+pub fn neighbors_instance(instance: &ProblemInstance, mapping: &Mapping) -> Vec<Mapping> {
+    match &instance.workflow {
+        Workflow::Pipeline(pipe) => neighbors_with_swaps(
+            pipe,
+            &instance.platform,
+            mapping,
+            instance.allow_data_parallel,
+        ),
+        Workflow::Fork(_) | Workflow::ForkJoin(_) => Vec::new(),
+    }
+}
+
+/// Steepest-descent local search under the instance's cost model; the
+/// returned mapping never scores worse than `start`.
+pub fn improve_instance(instance: &ProblemInstance, start: Mapping, max_rounds: usize) -> Mapping {
+    crate::local_search::improve_with(
+        start,
+        max_rounds,
+        |m| neighbors_instance(instance, m),
+        |m| score_instance(instance, m),
+    )
+}
+
+/// Simulated annealing under the instance's cost model (deterministic
+/// per seed; returns the best mapping seen, never worse than `start`).
+pub fn anneal_instance(
+    instance: &ProblemInstance,
+    start: Mapping,
+    schedule: Schedule,
+    seed: u64,
+) -> Mapping {
+    crate::annealing::anneal_with(
+        start,
+        schedule,
+        seed,
+        |m| neighbors_instance(instance, m),
+        |m| score_instance(instance, m),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::comm::{CommModel, Network};
+    use repliflow_core::gen::Gen;
+    use repliflow_core::instance::{CostModel, Objective};
+    use repliflow_core::mapping::Mode;
+    use repliflow_core::platform::Platform;
+    use repliflow_core::workflow::Pipeline;
+
+    fn comm_instance(pipe: Pipeline, plat: Platform, bw: u64) -> ProblemInstance {
+        let p = plat.n_procs();
+        ProblemInstance {
+            workflow: pipe.into(),
+            platform: plat,
+            allow_data_parallel: true,
+            objective: Objective::Period,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(p, bw),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        }
+    }
+
+    #[test]
+    fn comm_local_search_never_worsens() {
+        let mut gen = Gen::new(0x91);
+        for _ in 0..15 {
+            let n = gen.size(1, 5);
+            let p = gen.size(1, 4);
+            let weights = gen.positive_ints(n, 1, 12);
+            let sizes = gen.positive_ints(n + 1, 0, 8);
+            let pipe = Pipeline::with_data_sizes(weights, sizes);
+            let plat = gen.het_platform(p, 1, 5);
+            let instance = comm_instance(pipe, plat, gen.int(1, 4));
+            let start = Mapping::whole(
+                instance.workflow.n_stages(),
+                instance.platform.procs().collect(),
+                Mode::Replicated,
+            );
+            let before = score_instance(&instance, &start);
+            let improved = improve_instance(&instance, start, 100);
+            assert!(score_instance(&instance, &improved) <= before);
+            assert!(instance.period(&improved).is_ok());
+        }
+    }
+
+    #[test]
+    fn comm_annealing_deterministic_and_never_worse() {
+        let mut gen = Gen::new(0x92);
+        let pipe =
+            Pipeline::with_data_sizes(gen.positive_ints(4, 1, 10), gen.positive_ints(5, 1, 6));
+        let plat = gen.het_platform(3, 1, 5);
+        let instance = comm_instance(pipe, plat, 2);
+        let start = Mapping::whole(4, instance.platform.procs().collect(), Mode::Replicated);
+        let before = score_instance(&instance, &start);
+        let sched = Schedule {
+            steps: 300,
+            ..Schedule::default()
+        };
+        let a = anneal_instance(&instance, start.clone(), sched, 7);
+        let b = anneal_instance(&instance, start, sched, 7);
+        assert_eq!(a, b, "same seed, same result");
+        assert!(score_instance(&instance, &a) <= before);
+    }
+
+    #[test]
+    fn swaps_reach_bandwidth_aware_placements() {
+        // Two stages with a heavy transfer between them; the link
+        // P1 <-> P3 is fast, P1 <-> P2 is slow. From the mapping
+        // {S1 -> P1, S2 -> P2} a single processor swap (P2 <-> P3)
+        // reaches the fast-link placement, which plain structural moves
+        // cannot express without passing through worse mappings.
+        let pipe = Pipeline::with_data_sizes(vec![4, 4], vec![0, 100, 0]);
+        let mut proc_bw = vec![vec![1; 3]; 3];
+        proc_bw[0][2] = 100;
+        proc_bw[2][0] = 100;
+        let net = Network::heterogeneous(proc_bw, vec![10, 10, 10], vec![10, 10, 10]);
+        let instance = ProblemInstance {
+            workflow: pipe.into(),
+            platform: Platform::homogeneous(3, 1),
+            allow_data_parallel: false,
+            objective: Objective::Period,
+            cost_model: CostModel::WithComm {
+                network: net,
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        use repliflow_core::mapping::Assignment;
+        use repliflow_core::platform::ProcId;
+        let start = Mapping::new(vec![
+            Assignment::interval(0, 0, vec![ProcId(0)], Mode::Replicated),
+            Assignment::interval(1, 1, vec![ProcId(1)], Mode::Replicated),
+        ]);
+        let improved = improve_instance(&instance, start.clone(), 50);
+        assert!(
+            instance.period(&improved).unwrap() < instance.period(&start).unwrap(),
+            "local search should exploit the fast link"
+        );
+    }
+}

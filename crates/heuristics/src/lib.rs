@@ -13,6 +13,11 @@
 //!   (boundary shifts, processor transfers, merges, splits, mode
 //!   toggles).
 //! * [`annealing`] — simulated annealing over the same neighborhood.
+//! * [`comm`] — the portfolio generalized over a
+//!   [`ProblemInstance`](repliflow_core::instance::ProblemInstance)'s own
+//!   cost model, covering the communication-aware general model of
+//!   Sections 3.2–3.3 (with processor-swap moves, which only matter once
+//!   link bandwidths exist).
 //! * [`score`] / [`moves`] — shared scoring and neighborhood machinery.
 //!
 //! All heuristics emit *valid* mappings; their optimality gaps against
@@ -24,6 +29,7 @@
 
 pub mod annealing;
 pub mod baselines;
+pub mod comm;
 pub mod greedy;
 pub mod local_search;
 pub mod moves;

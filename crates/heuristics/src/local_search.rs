@@ -18,12 +18,29 @@ pub fn improve(
     start: Mapping,
     max_rounds: usize,
 ) -> Mapping {
+    improve_with(
+        start,
+        max_rounds,
+        |m| neighbors(pipeline, platform, m, allow_dp),
+        |m| score(pipeline, platform, m, objective),
+    )
+}
+
+/// The steepest-descent loop itself, generic over the neighborhood and
+/// the scorer — one implementation serves the pipeline-specific
+/// [`improve`] and the cost-model-aware search in [`crate::comm`].
+pub fn improve_with(
+    start: Mapping,
+    max_rounds: usize,
+    mut neighbors_of: impl FnMut(&Mapping) -> Vec<Mapping>,
+    mut score_of: impl FnMut(&Mapping) -> Score,
+) -> Mapping {
     let mut current = start;
-    let mut current_score = score(pipeline, platform, &current, objective);
+    let mut current_score = score_of(&current);
     for _ in 0..max_rounds {
         let mut best_neighbor: Option<(Score, Mapping)> = None;
-        for m in neighbors(pipeline, platform, &current, allow_dp) {
-            let s = score(pipeline, platform, &m, objective);
+        for m in neighbors_of(&current) {
+            let s = score_of(&m);
             if s < current_score && best_neighbor.as_ref().is_none_or(|(bs, _)| s < *bs) {
                 best_neighbor = Some((s, m));
             }

@@ -152,6 +152,60 @@ pub fn neighbors(
     out
 }
 
+/// Exchanges one processor between every pair of groups — a move that is
+/// score-neutral-or-redundant under the simplified model (two transfers
+/// compose it) but essential under the communication-aware model, where
+/// *which* processor serves an interval decides the link bandwidths on
+/// both of its boundaries.
+pub fn proc_swaps(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    allow_dp: bool,
+) -> Vec<Mapping> {
+    let groups = mapping.assignments();
+    let mut out = Vec::new();
+    for g in 0..groups.len() {
+        for h in g + 1..groups.len() {
+            for &a in groups[g].procs() {
+                for &b in groups[h].procs() {
+                    let ga: Vec<_> = groups[g]
+                        .procs()
+                        .iter()
+                        .map(|&q| if q == a { b } else { q })
+                        .collect();
+                    let gh: Vec<_> = groups[h]
+                        .procs()
+                        .iter()
+                        .map(|&q| if q == b { a } else { q })
+                        .collect();
+                    let mut new_groups = groups.to_vec();
+                    new_groups[g] =
+                        Assignment::new(groups[g].stages().to_vec(), ga, groups[g].mode);
+                    new_groups[h] =
+                        Assignment::new(groups[h].stages().to_vec(), gh, groups[h].mode);
+                    out.push(Mapping::new(new_groups));
+                }
+            }
+        }
+    }
+    out.retain(|m| m.validate_pipeline(pipeline, platform, allow_dp).is_ok());
+    out
+}
+
+/// The full communication-aware neighborhood: the structural moves of
+/// [`neighbors`] plus the processor swaps of [`proc_swaps`].
+pub fn neighbors_with_swaps(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    allow_dp: bool,
+) -> Vec<Mapping> {
+    let mut out = neighbors(pipeline, platform, mapping, allow_dp);
+    out.extend(proc_swaps(pipeline, platform, mapping, allow_dp));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,8 +2,15 @@
 //! lexicographic pair (primary criterion, tiebreak criterion). Constraint
 //! violations score `+∞` so searches are pulled back into the feasible
 //! region.
+//!
+//! [`score_instance`] is the workflow- and cost-model-generic variant:
+//! it evaluates through [`ProblemInstance::period`]/[`latency`], so the
+//! same search code ranks mappings under the simplified Section 3.4
+//! model and under the communication-aware general model alike.
+//!
+//! [`latency`]: ProblemInstance::latency
 
-use repliflow_core::instance::Objective;
+use repliflow_core::instance::{Objective, ProblemInstance};
 use repliflow_core::mapping::Mapping;
 use repliflow_core::platform::Platform;
 use repliflow_core::rational::Rat;
@@ -12,19 +19,17 @@ use repliflow_core::workflow::Pipeline;
 /// Lexicographic score: smaller is better.
 pub type Score = (Rat, Rat);
 
-/// Scores `mapping` under `objective`.
-pub fn score(
-    pipeline: &Pipeline,
-    platform: &Platform,
-    mapping: &Mapping,
-    objective: Objective,
-) -> Score {
-    let period = pipeline
-        .period(platform, mapping)
+/// Scores `mapping` for `instance` under its objective **and cost
+/// model** (any workflow shape).
+pub fn score_instance(instance: &ProblemInstance, mapping: &Mapping) -> Score {
+    let (period, latency) = instance
+        .objectives(mapping)
         .expect("scored mappings are valid");
-    let latency = pipeline
-        .latency(platform, mapping)
-        .expect("scored mappings are valid");
+    rank(instance.objective, period, latency)
+}
+
+/// Orders an already-evaluated (period, latency) pair under `objective`.
+pub fn rank(objective: Objective, period: Rat, latency: Rat) -> Score {
     match objective {
         Objective::Period => (period, latency),
         Objective::Latency => (latency, period),
@@ -43,6 +48,22 @@ pub fn score(
             }
         }
     }
+}
+
+/// Scores `mapping` under `objective`.
+pub fn score(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    objective: Objective,
+) -> Score {
+    let period = pipeline
+        .period(platform, mapping)
+        .expect("scored mappings are valid");
+    let latency = pipeline
+        .latency(platform, mapping)
+        .expect("scored mappings are valid");
+    rank(objective, period, latency)
 }
 
 #[cfg(test)]

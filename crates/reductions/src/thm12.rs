@@ -39,12 +39,7 @@ pub fn reduce(tp: &TwoPartition) -> Reduced {
 /// The reduced instance as a [`ProblemInstance`] (latency objective).
 pub fn reduce_instance(tp: &TwoPartition, allow_dp: bool) -> ProblemInstance {
     let r = reduce(tp);
-    ProblemInstance {
-        workflow: r.fork.into(),
-        platform: r.platform,
-        allow_data_parallel: allow_dp,
-        objective: Objective::Latency,
-    }
+    ProblemInstance::new(r.fork, r.platform, allow_dp, Objective::Latency)
 }
 
 /// Yes-direction certificate: `{S0} ∪ I` on `P1`, complement on `P2`.

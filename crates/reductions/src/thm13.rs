@@ -41,12 +41,7 @@ pub fn reduce(tp: &TwoPartition) -> Reduced {
 /// The reduced instance as a [`ProblemInstance`].
 pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
     let r = reduce(tp);
-    ProblemInstance {
-        workflow: r.fork.into(),
-        platform: r.platform,
-        allow_data_parallel: true,
-        objective: Objective::Latency,
-    }
+    ProblemInstance::new(r.fork, r.platform, true, Objective::Latency)
 }
 
 /// Yes-direction certificate: data-parallelize the root on `I` and the

@@ -44,12 +44,7 @@ pub fn reduce(tp: &TwoPartition) -> Reduced {
 /// The reduced instance as a [`ProblemInstance`] (period objective).
 pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
     let r = reduce(tp);
-    ProblemInstance {
-        workflow: r.fork.into(),
-        platform: r.platform,
-        allow_data_parallel: false,
-        objective: Objective::Period,
-    }
+    ProblemInstance::new(r.fork, r.platform, false, Objective::Period)
 }
 
 /// Yes-direction certificate: `{S0, heavy leaf} ∪ I` on the fast

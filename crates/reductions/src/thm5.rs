@@ -49,12 +49,7 @@ pub fn reduce(tp: &TwoPartition) -> Reduced {
 /// The reduced instance as a [`ProblemInstance`] (latency objective).
 pub fn reduce_instance(tp: &TwoPartition) -> ProblemInstance {
     let r = reduce(tp);
-    ProblemInstance {
-        workflow: r.pipeline.into(),
-        platform: r.platform,
-        allow_data_parallel: true,
-        objective: Objective::Latency,
-    }
+    ProblemInstance::new(r.pipeline, r.platform, true, Objective::Latency)
 }
 
 /// Yes-direction certificate: from a valid partition subset, the mapping

@@ -93,12 +93,7 @@ pub fn reduce(inst: &N3dm) -> Reduced {
 /// data-parallelism forbidden).
 pub fn reduce_instance(inst: &N3dm) -> ProblemInstance {
     let r = reduce(inst);
-    ProblemInstance {
-        workflow: r.pipeline.into(),
-        platform: r.platform,
-        allow_data_parallel: false,
-        objective: Objective::Period,
-    }
+    ProblemInstance::new(r.pipeline, r.platform, false, Objective::Period)
 }
 
 /// Yes-direction certificate: the mapping induced by a matching; its

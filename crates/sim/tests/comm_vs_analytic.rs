@@ -1,0 +1,119 @@
+//! Property tests: the discrete-event simulation of the general model
+//! (pull / compute / push, one-port per processor) agrees with the
+//! analytic communication-aware evaluators of `repliflow-core` on
+//! randomized single-processor interval mappings — the class where the
+//! paper's formulas (1)–(2), the general-mapping evaluators of
+//! `comm_cost` and the simulator must all coincide exactly.
+
+use proptest::prelude::*;
+use repliflow_core::comm::{
+    pipeline_latency_with_comm, pipeline_period_with_comm, IntervalAlloc, Network,
+};
+use repliflow_core::comm_cost;
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Pipeline;
+use repliflow_sim::{simulate_pipeline_with_comm, Feed};
+
+/// Deterministically derives an interval partition of `n` stages onto
+/// distinct processors of a `p`-processor platform from proptest-drawn
+/// cut decisions.
+fn derive_alloc(n: usize, p: usize, cut_bits: usize) -> Vec<IntervalAlloc> {
+    let mut cuts = Vec::new();
+    for s in 1..n {
+        if cut_bits & (1 << (s - 1)) != 0 && cuts.len() + 1 < p {
+            cuts.push(s);
+        }
+    }
+    cuts.push(n);
+    let mut alloc = Vec::new();
+    let mut lo = 0;
+    for (proc, &c) in cuts.iter().enumerate() {
+        alloc.push(IntervalAlloc {
+            lo,
+            hi: c - 1,
+            proc: ProcId(proc),
+        });
+        lo = c;
+    }
+    alloc
+}
+
+fn mapping_of(alloc: &[IntervalAlloc]) -> Mapping {
+    Mapping::new(
+        alloc
+            .iter()
+            .map(|a| Assignment::interval(a.lo, a.hi, vec![a.proc], Mode::Replicated))
+            .collect(),
+    )
+}
+
+proptest! {
+    /// Saturated-feed steady state reproduces formula (1); an isolated
+    /// data set reproduces formula (2). Both also equal the
+    /// general-mapping evaluators restricted to this class.
+    #[test]
+    fn simulation_matches_analytic_comm_evaluators(
+        weights in prop::collection::vec(1u64..=9, 1..=6),
+        sizes in prop::collection::vec(0u64..=6, 7),
+        speeds in prop::collection::vec(1u64..=5, 1..=4),
+        bw in 1u64..=4,
+        cut_bits in 0usize..1_000_000,
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        let pipe = Pipeline::with_data_sizes(weights, sizes[..=n].to_vec());
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::uniform(p, bw);
+        let alloc = derive_alloc(n, p, cut_bits);
+
+        let analytic_period = pipeline_period_with_comm(&pipe, &plat, &net, &alloc);
+        let analytic_latency = pipeline_latency_with_comm(&pipe, &plat, &net, &alloc);
+
+        // the general-mapping evaluators agree on this class
+        let mapping = mapping_of(&alloc);
+        prop_assert_eq!(
+            comm_cost::pipeline_period(&pipe, &plat, &net, &mapping).unwrap(),
+            analytic_period
+        );
+        prop_assert_eq!(
+            comm_cost::pipeline_latency(&pipe, &plat, &net, &mapping).unwrap(),
+            analytic_latency
+        );
+
+        // ... and so does the independent discrete-event execution
+        let report = simulate_pipeline_with_comm(&pipe, &plat, &net, &alloc, Feed::Saturated, 40);
+        prop_assert_eq!(report.measured_period(8), analytic_period);
+        let report = simulate_pipeline_with_comm(
+            &pipe,
+            &plat,
+            &net,
+            &alloc,
+            Feed::Interval(analytic_latency + Rat::ONE),
+            5,
+        );
+        prop_assert_eq!(report.max_latency(), analytic_latency);
+    }
+
+    /// Zero data sizes make the simulated general model collapse onto the
+    /// simplified analytic model, communication discipline regardless.
+    #[test]
+    fn zero_sizes_simulate_to_simplified_model(
+        weights in prop::collection::vec(1u64..=9, 1..=6),
+        speeds in prop::collection::vec(1u64..=5, 1..=4),
+        bw in 1u64..=4,
+        cut_bits in 0usize..1_000_000,
+    ) {
+        let n = weights.len();
+        let p = speeds.len();
+        let pipe = Pipeline::new(weights);
+        let plat = Platform::heterogeneous(speeds);
+        let net = Network::uniform(p, bw);
+        let alloc = derive_alloc(n, p, cut_bits);
+        let mapping = mapping_of(&alloc);
+        let simplified_period = pipe.period(&plat, &mapping).unwrap();
+        let report = simulate_pipeline_with_comm(&pipe, &plat, &net, &alloc, Feed::Saturated, 40);
+        prop_assert_eq!(report.measured_period(8), simplified_period);
+    }
+}

@@ -103,11 +103,13 @@ mod tests {
     fn batch_order_matches_input_order() {
         let mut gen = Gen::new(0xBA7C);
         let instances: Vec<ProblemInstance> = (0..17)
-            .map(|i| ProblemInstance {
-                workflow: gen.pipeline(1 + i % 5, 1, 9).into(),
-                platform: gen.hom_platform(1 + i % 3, 1, 4),
-                allow_data_parallel: i % 2 == 0,
-                objective: Objective::Period,
+            .map(|i| {
+                ProblemInstance::new(
+                    gen.pipeline(1 + i % 5, 1, 9),
+                    gen.hom_platform(1 + i % 3, 1, 4),
+                    i % 2 == 0,
+                    Objective::Period,
+                )
             })
             .collect();
         let registry = EngineRegistry::default();
@@ -128,11 +130,13 @@ mod tests {
     fn single_thread_option_still_covers_all() {
         let mut gen = Gen::new(0xBA7D);
         let instances: Vec<ProblemInstance> = (0..5)
-            .map(|_| ProblemInstance {
-                workflow: gen.fork(2, 1, 6).into(),
-                platform: gen.het_platform(2, 1, 4),
-                allow_data_parallel: false,
-                objective: Objective::Latency,
+            .map(|_| {
+                ProblemInstance::new(
+                    gen.fork(2, 1, 6),
+                    gen.het_platform(2, 1, 4),
+                    false,
+                    Objective::Latency,
+                )
             })
             .collect();
         let options = BatchOptions {

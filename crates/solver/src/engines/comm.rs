@@ -1,0 +1,177 @@
+//! The communication-aware engines behind [`CostModel::WithComm`]
+//! routing: exhaustive enumeration of the full mapping space scored
+//! under the general model (Sections 3.2–3.3), and a comm-aware
+//! greedy + local-search + annealing portfolio for everything beyond
+//! the enumeration guard.
+//!
+//! [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
+
+use super::orient;
+use crate::engine::Engine;
+use crate::report::SolveError;
+use crate::request::Budget;
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::{ProblemInstance, Variant};
+use repliflow_core::mapping::{Mapping, Mode};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Workflow;
+use repliflow_exact::{Frontier, Solution};
+use repliflow_heuristics::{baselines, comm, greedy};
+
+/// Exhaustive search over every legal mapping, scored under the
+/// instance's communication-aware cost model. Optimal in the full
+/// Section 3.4 mapping space (replication and data-parallelism
+/// included); exponential, so the registry only auto-routes to it under
+/// [`Budget::allows_comm_exact`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommExactEngine;
+
+impl Engine for CommExactEngine {
+    fn name(&self) -> &'static str {
+        "comm-exact"
+    }
+
+    fn supports(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn proves_optimality(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<Solved, SolveError> {
+        if !super::instance_fits(instance) {
+            return Err(SolveError::ExceedsExactCapacity {
+                n_stages: instance.workflow.n_stages(),
+                n_procs: instance.platform.n_procs(),
+            });
+        }
+        let platform = &instance.platform;
+        let dp = instance.allow_data_parallel;
+        let mut frontier = Frontier::new();
+        {
+            let mut visit = |m: &Mapping| {
+                let (period, latency) = instance
+                    .objectives(m)
+                    .expect("enumerated mappings are valid");
+                frontier.insert(Solution {
+                    mapping: m.clone(),
+                    period,
+                    latency,
+                });
+            };
+            match &instance.workflow {
+                Workflow::Pipeline(p) => {
+                    repliflow_exact::pipeline::enumerate_pipeline(p, platform, dp, &mut visit)
+                }
+                Workflow::Fork(f) => {
+                    repliflow_exact::fork::enumerate_fork(f, platform, dp, &mut visit)
+                }
+                Workflow::ForkJoin(fj) => {
+                    repliflow_exact::forkjoin::enumerate_forkjoin(fj, platform, dp, &mut visit)
+                }
+            }
+        }
+        match frontier.pick(instance.objective.into()) {
+            Some(sol) => Ok(orient(
+                instance.objective,
+                sol.mapping,
+                sol.period,
+                sol.latency,
+            )),
+            // The enumeration is exhaustive, so an empty pick proves the
+            // bi-criteria bound unattainable under this cost model.
+            None => Err(SolveError::Infeasible { best_effort: None }),
+        }
+    }
+}
+
+/// Best-of-portfolio heuristics under the communication-aware cost
+/// model: baselines and shape-specific greedy construction scored with
+/// the comm-aware scorer, plus comm-aware local search and (per the
+/// [`Budget`]'s quality tier) simulated annealing for pipelines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommHeuristicEngine;
+
+impl CommHeuristicEngine {
+    /// All candidate mappings the portfolio considers for `instance`.
+    fn candidates(&self, instance: &ProblemInstance, budget: &Budget) -> Vec<Mapping> {
+        let platform = &instance.platform;
+        let mut out = vec![
+            baselines::replicate_all(&instance.workflow, platform),
+            baselines::fastest_single(&instance.workflow, platform),
+        ];
+        match &instance.workflow {
+            Workflow::Pipeline(pipe) => {
+                let greedy_start = greedy::pipeline_period_greedy(pipe, platform);
+                let whole_start = Mapping::whole(
+                    pipe.n_stages(),
+                    platform.procs().collect(),
+                    Mode::Replicated,
+                );
+                // comm-aware local search (structural moves + processor
+                // swaps) from both starting points
+                for start in [greedy_start, whole_start.clone()] {
+                    out.push(comm::improve_instance(
+                        instance,
+                        start,
+                        budget.local_search_rounds,
+                    ));
+                }
+                // escalate to comm-aware annealing per the quality tier
+                if let Some(schedule) = budget.quality.annealing_schedule() {
+                    out.push(comm::anneal_instance(
+                        instance,
+                        whole_start,
+                        schedule,
+                        budget.seed,
+                    ));
+                }
+            }
+            Workflow::Fork(fork) => {
+                out.push(greedy::fork_latency_greedy(fork, platform));
+            }
+            Workflow::ForkJoin(fj) => {
+                out.push(greedy::forkjoin_latency_greedy(fj, platform));
+            }
+        }
+        out
+    }
+}
+
+impl Engine for CommHeuristicEngine {
+    fn name(&self) -> &'static str {
+        "comm-heuristic"
+    }
+
+    fn supports(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn proves_optimality(&self, _variant: &Variant) -> bool {
+        false
+    }
+
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<Solved, SolveError> {
+        let (best_score, best) = self
+            .candidates(instance, budget)
+            .into_iter()
+            .map(|m| (crate::score::score(instance, &m), m))
+            .min_by(|(a, _), (b, _)| a.cmp(b))
+            .expect("the portfolio always yields candidates");
+
+        let (period, latency) = instance
+            .objectives(&best)
+            .expect("candidate mappings are valid");
+        let solved = orient(instance.objective, best, period, latency);
+        if best_score.0 == Rat::INFINITY {
+            // Every candidate violates the bi-criteria bound; hand the
+            // registry the least-bad witness (a heuristic cannot prove
+            // the bound unattainable).
+            return Err(SolveError::Infeasible {
+                best_effort: Some(Box::new(solved)),
+            });
+        }
+        Ok(solved)
+    }
+}

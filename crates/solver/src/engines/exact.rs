@@ -38,14 +38,7 @@ pub(crate) fn instance_fits(instance: &ProblemInstance) -> bool {
 /// Orients an exact [`repliflow_exact::Solution`] into a [`Solved`]
 /// whose `objective` field matches the instance's objective.
 pub(crate) fn orient(objective: Objective, sol: repliflow_exact::Solution) -> Solved {
-    match objective {
-        Objective::Period | Objective::PeriodUnderLatency(_) => {
-            Solved::for_period(sol.mapping, sol.period, sol.latency)
-        }
-        Objective::Latency | Objective::LatencyUnderPeriod(_) => {
-            Solved::for_latency(sol.mapping, sol.period, sol.latency)
-        }
-    }
+    super::orient(objective, sol.mapping, sol.period, sol.latency)
 }
 
 impl Engine for ExactEngine {

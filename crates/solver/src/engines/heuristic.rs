@@ -10,7 +10,7 @@ use crate::report::SolveError;
 use crate::request::Budget;
 use crate::score::score;
 use repliflow_algorithms::Solved;
-use repliflow_core::instance::{Objective, ProblemInstance, Variant};
+use repliflow_core::instance::{ProblemInstance, Variant};
 use repliflow_core::mapping::{Mapping, Mode};
 use repliflow_core::rational::Rat;
 use repliflow_core::workflow::Workflow;
@@ -48,16 +48,19 @@ impl HeuristicEngine {
                     ));
                 }
                 // seeded annealing escapes local optima the descent
-                // gets stuck in (deterministic for a given budget.seed)
-                out.push(annealing::anneal(
-                    pipe,
-                    platform,
-                    instance.allow_data_parallel,
-                    instance.objective,
-                    whole_start,
-                    annealing::Schedule::default(),
-                    budget.seed,
-                ));
+                // gets stuck in (deterministic for a given budget.seed);
+                // the budget's quality tier decides whether and how long
+                if let Some(schedule) = budget.quality.annealing_schedule() {
+                    out.push(annealing::anneal(
+                        pipe,
+                        platform,
+                        instance.allow_data_parallel,
+                        instance.objective,
+                        whole_start,
+                        schedule,
+                        budget.seed,
+                    ));
+                }
             }
             Workflow::Fork(fork) => {
                 out.push(greedy::fork_latency_greedy(fork, platform));
@@ -91,22 +94,10 @@ impl Engine for HeuristicEngine {
             .min_by(|(a, _), (b, _)| a.cmp(b))
             .expect("the portfolio always yields candidates");
 
-        let period = instance
-            .workflow
-            .period(&instance.platform, &best)
+        let (period, latency) = instance
+            .objectives(&best)
             .expect("candidate mappings are valid");
-        let latency = instance
-            .workflow
-            .latency(&instance.platform, &best)
-            .expect("candidate mappings are valid");
-        let solved = match instance.objective {
-            Objective::Period | Objective::PeriodUnderLatency(_) => {
-                Solved::for_period(best, period, latency)
-            }
-            Objective::Latency | Objective::LatencyUnderPeriod(_) => {
-                Solved::for_latency(best, period, latency)
-            }
-        };
+        let solved = super::orient(instance.objective, best, period, latency);
         if best_score.0 == Rat::INFINITY {
             // Every candidate violates the bi-criteria bound; hand the
             // registry the least-bad witness (a heuristic cannot prove

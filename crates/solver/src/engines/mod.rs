@@ -1,12 +1,34 @@
 //! The built-in engines behind the registry: exhaustive search, the
-//! paper's polynomial algorithms, and the heuristic portfolio.
+//! paper's polynomial algorithms, the heuristic portfolio, and their
+//! communication-aware counterparts.
 
+mod comm;
 mod exact;
 mod heuristic;
 mod paper;
 
+pub use comm::{CommExactEngine, CommHeuristicEngine};
 pub use exact::ExactEngine;
 pub use heuristic::HeuristicEngine;
 pub use paper::PaperEngine;
 
 pub(crate) use exact::{instance_fits, within_exact_capacity};
+
+use repliflow_algorithms::Solved;
+use repliflow_core::instance::Objective;
+use repliflow_core::mapping::Mapping;
+use repliflow_core::rational::Rat;
+
+/// Orients a (mapping, period, latency) triple into a [`Solved`] whose
+/// `objective` field matches the instance's objective — the one place
+/// that decides which criterion a report's `objective_value` carries.
+pub(crate) fn orient(objective: Objective, mapping: Mapping, period: Rat, latency: Rat) -> Solved {
+    match objective {
+        Objective::Period | Objective::PeriodUnderLatency(_) => {
+            Solved::for_period(mapping, period, latency)
+        }
+        Objective::Latency | Objective::LatencyUnderPeriod(_) => {
+            Solved::for_latency(mapping, period, latency)
+        }
+    }
+}

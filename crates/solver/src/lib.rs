@@ -27,12 +27,12 @@
 //! use repliflow_core::workflow::Pipeline;
 //! use repliflow_solver::{solve, Optimality, SolveRequest};
 //!
-//! let instance = ProblemInstance {
-//!     workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
-//!     platform: Platform::homogeneous(3, 1),
-//!     allow_data_parallel: true,
-//!     objective: Objective::Period,
-//! };
+//! let instance = ProblemInstance::new(
+//!     Pipeline::new(vec![14, 4, 2, 4]),
+//!     Platform::homogeneous(3, 1),
+//!     true,
+//!     Objective::Period,
+//! );
 //! let report = solve(&SolveRequest::new(instance)).unwrap();
 //! assert_eq!(report.optimality, Optimality::Proven);
 //! assert_eq!(report.period.unwrap(), repliflow_core::rational::Rat::int(8));
@@ -52,7 +52,12 @@ pub use batch::BatchOptions;
 pub use engine::Engine;
 pub use registry::EngineRegistry;
 pub use report::{Optimality, SolveError, SolveReport};
-pub use request::{Budget, EnginePref, SolveRequest};
+pub use request::{Budget, EnginePref, Quality, SolveRequest};
+
+// Re-exported so callers can build communication-aware requests without
+// importing repliflow-core separately.
+pub use repliflow_core::comm::{CommModel, Network, StartRule};
+pub use repliflow_core::instance::CostModel;
 
 use repliflow_core::instance::ProblemInstance;
 use std::sync::OnceLock;

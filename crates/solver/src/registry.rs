@@ -2,17 +2,19 @@
 //! producing witness-validated [`SolveReport`]s.
 
 use crate::engine::Engine;
-use crate::engines::{ExactEngine, HeuristicEngine, PaperEngine};
+use crate::engines::{
+    CommExactEngine, CommHeuristicEngine, ExactEngine, HeuristicEngine, PaperEngine,
+};
 use crate::report::{Optimality, SolveError, SolveReport};
 use crate::request::{Budget, EnginePref, SolveRequest};
 use crate::score::meets_bound;
-use repliflow_core::instance::Variant;
+use repliflow_core::instance::{CostModel, Variant};
 use std::time::Instant;
 
 /// Routes every Table 1 cell to an engine and assembles reports.
 ///
-/// The default registry carries the three built-in engines. Routing
-/// policy for [`EnginePref::Auto`]:
+/// The default registry carries five built-in engines. Routing policy
+/// for [`EnginePref::Auto`] on **simplified-model** instances:
 ///
 /// 1. polynomial cell → [`PaperEngine`] (proven optimum in polynomial
 ///    time);
@@ -20,17 +22,55 @@ use std::time::Instant;
 ///    [`ExactEngine`] (proven optimum, exponential time on small
 ///    inputs);
 /// 3. otherwise → [`HeuristicEngine`].
+///
+/// **Communication-aware** instances ([`CostModel::WithComm`]) have no
+/// polynomial cells — the paper analyzes only the simplified model — so
+/// `Auto` routes to [`CommExactEngine`] within
+/// [`Budget::allows_comm_exact`] and to [`CommHeuristicEngine`] beyond;
+/// [`EnginePref::Paper`] refuses them.
 #[derive(Debug, Default)]
 pub struct EngineRegistry {
     exact: ExactEngine,
     paper: PaperEngine,
     heuristic: HeuristicEngine,
+    comm_exact: CommExactEngine,
+    comm_heuristic: CommHeuristicEngine,
 }
 
 impl EngineRegistry {
-    /// The engine a request for `variant` (with the given instance
-    /// size) routes to. Fails only for [`EnginePref::Paper`] on an
-    /// NP-hard cell.
+    /// The engine a **communication-aware** request routes to:
+    /// comm-exact within the budget's enumeration guard (or when forced
+    /// via [`EnginePref::Exact`]), comm-heuristic beyond it;
+    /// [`EnginePref::Paper`] fails — the paper's polynomial algorithms
+    /// only cover the simplified model.
+    pub fn resolve_comm(
+        &self,
+        pref: EnginePref,
+        variant: &Variant,
+        n_stages: usize,
+        n_procs: usize,
+        budget: &Budget,
+    ) -> Result<&dyn Engine, SolveError> {
+        match pref {
+            EnginePref::Paper => Err(SolveError::Unsupported {
+                engine: self.paper.name(),
+                variant: *variant,
+            }),
+            EnginePref::Exact => Ok(&self.comm_exact),
+            EnginePref::Heuristic => Ok(&self.comm_heuristic),
+            EnginePref::Auto => {
+                if budget.allows_comm_exact(n_stages, n_procs) {
+                    Ok(&self.comm_exact)
+                } else {
+                    Ok(&self.comm_heuristic)
+                }
+            }
+        }
+    }
+
+    /// The engine a **simplified-model** request for `variant` (with
+    /// the given instance size) routes to. Fails only for
+    /// [`EnginePref::Paper`] on an NP-hard cell.
     pub fn resolve(
         &self,
         pref: EnginePref,
@@ -89,15 +129,26 @@ impl EngineRegistry {
         let variant = instance.variant();
         let n_stages = instance.workflow.n_stages();
         let n_procs = instance.platform.n_procs();
-        // Auto routing with the concrete instance in hand can use the
-        // precise shape-aware capacity check (the variant-level
-        // `resolve` has to approximate by stage count); everything else
-        // goes through the same resolution path.
-        let engine: &dyn Engine = if pref == EnginePref::Auto
+        let engine: &dyn Engine = if let CostModel::WithComm { network, .. } = &instance.cost_model
+        {
+            // Surface a mis-sized network as a request error up front
+            // instead of a witness-validation failure later.
+            if network.n_procs() != n_procs {
+                return Err(SolveError::NetworkMismatch {
+                    expected: n_procs,
+                    got: network.n_procs(),
+                });
+            }
+            self.resolve_comm(pref, &variant, n_stages, n_procs, budget)?
+        } else if pref == EnginePref::Auto
             && !self.paper.supports(&variant)
             && budget.allows_exact(n_stages, n_procs)
             && crate::engines::instance_fits(instance)
         {
+            // Auto routing with the concrete instance in hand can use
+            // the precise shape-aware capacity check (the variant-level
+            // `resolve` has to approximate by stage count); everything
+            // else goes through the same resolution path.
             &self.exact
         } else {
             self.resolve(pref, &variant, n_stages, n_procs, budget)?
@@ -126,6 +177,7 @@ impl EngineRegistry {
             return Ok(SolveReport {
                 variant,
                 complexity: variant.paper_complexity(),
+                cost_model: instance.cost_model.clone(),
                 engine_used: engine.name(),
                 optimality,
                 mapping: None,
@@ -149,6 +201,7 @@ impl EngineRegistry {
         };
         Ok(SolveReport::from_solved(
             variant,
+            instance.cost_model.clone(),
             engine.name(),
             optimality,
             solved,
@@ -157,8 +210,13 @@ impl EngineRegistry {
     }
 
     /// Re-derives the witness's legality and objective values through
-    /// the core cost model; any disagreement with the engine's claim is
-    /// an engine bug surfaced as [`SolveError::InvalidWitness`].
+    /// the instance's cost model (the simplified Section 3.4 evaluators
+    /// or the communication-aware general-model evaluators); any
+    /// disagreement with the engine's claim is an engine bug surfaced as
+    /// [`SolveError::InvalidWitness`]. Communication-aware pipeline
+    /// witnesses on single-processor intervals are additionally
+    /// re-executed by the `repliflow-sim` discrete-event simulator — an
+    /// independent implementation of the same semantics.
     fn validate(
         &self,
         instance: &repliflow_core::instance::ProblemInstance,
@@ -172,18 +230,86 @@ impl EngineRegistry {
                 instance.allow_data_parallel,
             )
             .map_err(|e| SolveError::InvalidWitness(format!("illegal mapping: {e}")))?;
-        let period = instance
-            .workflow
-            .period(&instance.platform, &solved.mapping)
-            .map_err(|e| SolveError::InvalidWitness(format!("period evaluation: {e}")))?;
-        let latency = instance
-            .workflow
-            .latency(&instance.platform, &solved.mapping)
-            .map_err(|e| SolveError::InvalidWitness(format!("latency evaluation: {e}")))?;
+        let (period, latency) = instance
+            .objectives(&solved.mapping)
+            .map_err(|e| SolveError::InvalidWitness(format!("cost evaluation: {e}")))?;
         if period != solved.period || latency != solved.latency {
             return Err(SolveError::InvalidWitness(format!(
                 "claimed (period {}, latency {}) but cost model gives ({period}, {latency})",
                 solved.period, solved.latency
+            )));
+        }
+        self.cross_check_sim(instance, solved)
+    }
+
+    /// Independent simulator cross-check for communication-aware
+    /// pipeline witnesses mapped one processor per interval — exactly
+    /// the class where the paper's formulas (1)–(2), our general-mapping
+    /// evaluators and the discrete-event simulation must all agree.
+    fn cross_check_sim(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        solved: &repliflow_algorithms::Solved,
+    ) -> Result<(), SolveError> {
+        use repliflow_core::comm::IntervalAlloc;
+        use repliflow_core::mapping::Mode;
+        use repliflow_core::rational::Rat;
+        use repliflow_core::workflow::Workflow;
+
+        let CostModel::WithComm { network, .. } = &instance.cost_model else {
+            return Ok(());
+        };
+        let Workflow::Pipeline(pipe) = &instance.workflow else {
+            return Ok(());
+        };
+        let single_proc = solved
+            .mapping
+            .assignments()
+            .iter()
+            .all(|a| a.n_procs() == 1 && a.mode == Mode::Replicated);
+        if !single_proc {
+            return Ok(()); // the simulator models single-proc intervals only
+        }
+        let mut alloc: Vec<IntervalAlloc> = solved
+            .mapping
+            .assignments()
+            .iter()
+            .map(|a| IntervalAlloc {
+                lo: a.stages()[0],
+                hi: *a.stages().last().unwrap(),
+                proc: a.procs()[0],
+            })
+            .collect();
+        alloc.sort_by_key(|a| a.lo);
+
+        let sim = repliflow_sim::simulate_pipeline_with_comm(
+            pipe,
+            &instance.platform,
+            network,
+            &alloc,
+            repliflow_sim::Feed::Saturated,
+            8 * alloc.len().max(1) + 8,
+        );
+        let measured = sim.measured_period(8);
+        if measured != solved.period {
+            return Err(SolveError::InvalidWitness(format!(
+                "simulator measured period {measured} but the report claims {}",
+                solved.period
+            )));
+        }
+        let sim = repliflow_sim::simulate_pipeline_with_comm(
+            pipe,
+            &instance.platform,
+            network,
+            &alloc,
+            repliflow_sim::Feed::Interval(solved.latency + Rat::ONE),
+            4,
+        );
+        let measured = sim.max_latency();
+        if measured != solved.latency {
+            return Err(SolveError::InvalidWitness(format!(
+                "simulator measured latency {measured} but the report claims {}",
+                solved.latency
             )));
         }
         Ok(())
@@ -200,6 +326,7 @@ mod tests {
 
     fn section2(objective: Objective) -> ProblemInstance {
         ProblemInstance {
+            cost_model: repliflow_core::instance::CostModel::Simplified,
             workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
             platform: Platform::homogeneous(3, 1),
             allow_data_parallel: true,
@@ -247,12 +374,12 @@ mod tests {
     #[test]
     fn heuristic_override_handles_forkjoin() {
         let registry = EngineRegistry::default();
-        let instance = ProblemInstance {
-            workflow: ForkJoin::new(3, vec![5, 1, 4, 2], 2).into(),
-            platform: Platform::heterogeneous(vec![3, 2, 1]),
-            allow_data_parallel: false,
-            objective: Objective::Latency,
-        };
+        let instance = ProblemInstance::new(
+            ForkJoin::new(3, vec![5, 1, 4, 2], 2),
+            Platform::heterogeneous(vec![3, 2, 1]),
+            false,
+            Objective::Latency,
+        );
         let report = registry
             .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
             .unwrap();
@@ -265,6 +392,7 @@ mod tests {
     fn paper_override_refuses_np_hard_cell() {
         let registry = EngineRegistry::default();
         let instance = ProblemInstance {
+            cost_model: repliflow_core::instance::CostModel::Simplified,
             workflow: Pipeline::new(vec![5, 3, 9]).into(),
             platform: Platform::heterogeneous(vec![2, 1]),
             allow_data_parallel: false,

@@ -2,7 +2,7 @@
 //! wrong while producing one.
 
 use repliflow_algorithms::Solved;
-use repliflow_core::instance::{Complexity, Variant};
+use repliflow_core::instance::{Complexity, CostModel, Variant};
 use repliflow_core::mapping::Mapping;
 use repliflow_core::rational::Rat;
 use std::fmt;
@@ -38,8 +38,13 @@ impl fmt::Display for Optimality {
 pub struct SolveReport {
     /// The Table 1 cell the instance belongs to.
     pub variant: Variant,
-    /// The paper's complexity classification of that cell.
+    /// The paper's complexity classification of that cell (established
+    /// for the simplified model; comm-aware solves report it for
+    /// orientation — their cells are at least as hard).
     pub complexity: Complexity,
+    /// The cost model the instance was solved (and its witness
+    /// validated) under.
+    pub cost_model: CostModel,
     /// Name of the engine that produced the solution.
     pub engine_used: &'static str,
     /// Strength of the result.
@@ -66,6 +71,7 @@ impl SolveReport {
 
     pub(crate) fn from_solved(
         variant: Variant,
+        cost_model: CostModel,
         engine_used: &'static str,
         optimality: Optimality,
         solved: Solved,
@@ -74,6 +80,7 @@ impl SolveReport {
         SolveReport {
             variant,
             complexity: variant.paper_complexity(),
+            cost_model,
             engine_used,
             optimality,
             mapping: Some(solved.mapping),
@@ -120,6 +127,14 @@ pub enum SolveError {
         /// Processors in the instance's platform.
         n_procs: usize,
     },
+    /// A communication-aware instance whose network describes a
+    /// different processor count than its platform.
+    NetworkMismatch {
+        /// Processor count of the platform.
+        expected: usize,
+        /// Processor count the network was built for.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -139,6 +154,12 @@ impl fmt::Display for SolveError {
                     f,
                     "instance (n={n_stages}, p={n_procs}) exceeds the exact solvers' \
                      capacity; use the auto or heuristic engine"
+                )
+            }
+            SolveError::NetworkMismatch { expected, got } => {
+                write!(
+                    f,
+                    "network describes {got} processors but the platform has {expected}"
                 )
             }
         }

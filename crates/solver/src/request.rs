@@ -35,6 +35,47 @@ impl EnginePref {
     }
 }
 
+/// How much effort the heuristic portfolio spends past its constructive
+/// and steepest-descent stages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Quality {
+    /// Constructive candidates + local search only — no annealing. The
+    /// cheapest tier, for latency-sensitive batch serving.
+    Fast,
+    /// Adds seeded simulated annealing with the default schedule.
+    #[default]
+    Balanced,
+    /// Adds a long annealing schedule (4x the steps, slower cooling) —
+    /// the escalation tier for hard communication-aware instances.
+    Thorough,
+}
+
+impl Quality {
+    /// Parses the CLI spelling (`fast`, `balanced`, `thorough`).
+    pub fn parse(s: &str) -> Option<Quality> {
+        match s {
+            "fast" => Some(Quality::Fast),
+            "balanced" => Some(Quality::Balanced),
+            "thorough" => Some(Quality::Thorough),
+            _ => None,
+        }
+    }
+
+    /// The annealing schedule of this tier (`None` = skip annealing).
+    pub fn annealing_schedule(self) -> Option<repliflow_heuristics::annealing::Schedule> {
+        use repliflow_heuristics::annealing::Schedule;
+        match self {
+            Quality::Fast => None,
+            Quality::Balanced => Some(Schedule::default()),
+            Quality::Thorough => Some(Schedule {
+                steps: 8000,
+                cooling: 0.998,
+                ..Schedule::default()
+            }),
+        }
+    }
+}
+
 /// Resource limits for one solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Budget {
@@ -43,8 +84,18 @@ pub struct Budget {
     pub max_exact_stages: usize,
     /// ... and the platform at most this many processors.
     pub max_exact_procs: usize,
+    /// Like [`Budget::max_exact_stages`], for the communication-aware
+    /// exact engine. Stricter, because comm-aware optimization cannot use
+    /// the Pareto DP (interval terms depend on neighboring placements)
+    /// and enumerates the full mapping space instead.
+    pub max_comm_exact_stages: usize,
+    /// Like [`Budget::max_exact_procs`], for the communication-aware
+    /// exact engine.
+    pub max_comm_exact_procs: usize,
     /// Round limit for the steepest-descent local search.
     pub local_search_rounds: usize,
+    /// Heuristic effort tier (whether/how long to anneal).
+    pub quality: Quality,
     /// Seed for randomized heuristics (kept fixed for reproducibility).
     pub seed: u64,
 }
@@ -53,11 +104,15 @@ impl Default for Budget {
     fn default() -> Self {
         // The exhaustive solvers enumerate set partitions; 10 stages /
         // 12 processors keeps them under ~1s, matching the historical
-        // CLI threshold.
+        // CLI threshold. The comm-aware enumerator visits every legal
+        // mapping, so its thresholds are tighter.
         Budget {
             max_exact_stages: 10,
             max_exact_procs: 12,
+            max_comm_exact_stages: 6,
+            max_comm_exact_procs: 5,
             local_search_rounds: 200,
+            quality: Quality::Balanced,
             seed: 0x5EED,
         }
     }
@@ -68,6 +123,18 @@ impl Budget {
     /// small enough for exhaustive search under this budget.
     pub fn allows_exact(&self, n_stages: usize, n_procs: usize) -> bool {
         n_stages <= self.max_exact_stages && n_procs <= self.max_exact_procs
+    }
+
+    /// Whether the instance is small enough for the communication-aware
+    /// exhaustive engine (full mapping-space enumeration).
+    pub fn allows_comm_exact(&self, n_stages: usize, n_procs: usize) -> bool {
+        n_stages <= self.max_comm_exact_stages && n_procs <= self.max_comm_exact_procs
+    }
+
+    /// Overrides the quality tier (builder style).
+    pub fn quality(mut self, quality: Quality) -> Budget {
+        self.quality = quality;
+        self
     }
 }
 

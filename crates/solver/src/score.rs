@@ -1,6 +1,7 @@
 //! Workflow-generic lexicographic scoring, used by the heuristic
-//! engine to rank candidate mappings under any objective (the
-//! `repliflow-heuristics` scorer is pipeline-specific).
+//! engines to rank candidate mappings under any objective **and cost
+//! model** (delegates to `repliflow_heuristics::score::score_instance`,
+//! which evaluates through the instance's own period/latency dispatch).
 
 use repliflow_core::instance::{Objective, ProblemInstance};
 use repliflow_core::mapping::Mapping;
@@ -9,32 +10,7 @@ use repliflow_core::rational::Rat;
 /// Lexicographic (primary, tiebreak) score of `mapping`; smaller is
 /// better, bound violations score `+∞` in the primary slot.
 pub(crate) fn score(instance: &ProblemInstance, mapping: &Mapping) -> (Rat, Rat) {
-    let period = instance
-        .workflow
-        .period(&instance.platform, mapping)
-        .expect("candidate mappings are valid");
-    let latency = instance
-        .workflow
-        .latency(&instance.platform, mapping)
-        .expect("candidate mappings are valid");
-    match instance.objective {
-        Objective::Period => (period, latency),
-        Objective::Latency => (latency, period),
-        Objective::LatencyUnderPeriod(bound) => {
-            if period <= bound {
-                (latency, period)
-            } else {
-                (Rat::INFINITY, period)
-            }
-        }
-        Objective::PeriodUnderLatency(bound) => {
-            if latency <= bound {
-                (period, latency)
-            } else {
-                (Rat::INFINITY, latency)
-            }
-        }
-    }
+    repliflow_heuristics::score::score_instance(instance, mapping)
 }
 
 /// Whether the mapping meets the objective's bi-criteria bound (always

@@ -1,0 +1,290 @@
+//! Integration tests of the communication-aware solve path: routing,
+//! witness re-validation through the general-model evaluators and the
+//! simulator, and the infinite-bandwidth degeneracy that anchors the
+//! extension — comm-aware solving over a free network reproduces every
+//! simplified-model result on the golden instance set.
+
+use repliflow_core::comm::{pipeline_period_with_comm, IntervalAlloc};
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::mapping::Mode;
+use repliflow_core::platform::Platform;
+use repliflow_core::workflow::{Pipeline, Workflow};
+use repliflow_solver::{
+    Budget, CommModel, CostModel, EnginePref, EngineRegistry, Network, Optimality, Quality,
+    SolveError, SolveRequest,
+};
+use std::path::PathBuf;
+
+fn golden_instances() -> Vec<(PathBuf, ProblemInstance)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/instances");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("instances directory is readable")
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let json = std::fs::read_to_string(&p).unwrap();
+            let instance: ProblemInstance =
+                serde_json::from_str(&json).unwrap_or_else(|e| panic!("{p:?} does not parse: {e}"));
+            (p, instance)
+        })
+        .collect()
+}
+
+fn one_port(network: Network) -> CostModel {
+    CostModel::WithComm {
+        network,
+        comm: CommModel::OnePort,
+        overlap: true,
+    }
+}
+
+/// A small communication-heavy pipeline instance whose heterogeneous
+/// input/output links make a single-processor-per-interval mapping
+/// optimal (replication would be billed at the slow links).
+fn comm_pipeline_instance() -> ProblemInstance {
+    let network = Network::heterogeneous(
+        vec![vec![1, 1, 1], vec![1, 1, 1], vec![1, 1, 1]],
+        vec![16, 1, 1],
+        vec![16, 16, 1],
+    );
+    ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![8, 4], vec![8, 2, 8]).into(),
+        platform: Platform::heterogeneous(vec![2, 2, 1]),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(network),
+    }
+}
+
+#[test]
+fn with_comm_routes_to_comm_exact_within_guard() {
+    let registry = EngineRegistry::default();
+    let report = registry
+        .solve(&SolveRequest::new(comm_pipeline_instance()))
+        .unwrap();
+    assert_eq!(report.engine_used, "comm-exact");
+    assert_eq!(report.optimality, Optimality::Proven);
+    assert!(report.cost_model.is_comm_aware());
+    assert!(report.has_mapping());
+}
+
+#[test]
+fn with_comm_routes_to_comm_heuristic_beyond_guard() {
+    let registry = EngineRegistry::default();
+    let tiny = Budget {
+        max_comm_exact_stages: 0,
+        max_comm_exact_procs: 0,
+        ..Budget::default()
+    };
+    let report = registry
+        .solve(&SolveRequest::new(comm_pipeline_instance()).budget(tiny))
+        .unwrap();
+    assert_eq!(report.engine_used, "comm-heuristic");
+    assert_eq!(report.optimality, Optimality::Heuristic);
+    assert!(report.has_mapping());
+}
+
+#[test]
+fn paper_pref_refuses_comm_instances() {
+    let registry = EngineRegistry::default();
+    let err = registry
+        .solve(&SolveRequest::new(comm_pipeline_instance()).engine(EnginePref::Paper))
+        .unwrap_err();
+    assert!(matches!(err, SolveError::Unsupported { .. }));
+}
+
+#[test]
+fn mis_sized_network_is_a_request_error() {
+    let registry = EngineRegistry::default();
+    let mut instance = comm_pipeline_instance();
+    instance.cost_model = one_port(Network::uniform(2, 1));
+    let err = registry.solve(&SolveRequest::new(instance)).unwrap_err();
+    assert!(matches!(
+        err,
+        SolveError::NetworkMismatch {
+            expected: 3,
+            got: 2
+        }
+    ));
+}
+
+#[test]
+fn comm_witness_revalidates_against_the_paper_formula() {
+    // The heterogeneous-link instance's optimum maps one processor per
+    // interval, so the report's witness converts to the paper's
+    // IntervalAlloc form and formula (1) must reproduce the reported
+    // period exactly (the registry already re-validated through the
+    // general-model evaluators and the discrete-event simulator).
+    let registry = EngineRegistry::default();
+    let instance = comm_pipeline_instance();
+    let report = registry
+        .solve(&SolveRequest::new(instance.clone()))
+        .unwrap();
+    let mapping = report.mapping.as_ref().unwrap();
+    assert!(
+        mapping
+            .assignments()
+            .iter()
+            .all(|a| a.n_procs() == 1 && a.mode == Mode::Replicated),
+        "expected a single-processor interval witness, got {mapping}"
+    );
+    let mut alloc: Vec<IntervalAlloc> = mapping
+        .assignments()
+        .iter()
+        .map(|a| IntervalAlloc {
+            lo: a.stages()[0],
+            hi: *a.stages().last().unwrap(),
+            proc: a.procs()[0],
+        })
+        .collect();
+    alloc.sort_by_key(|a| a.lo);
+    let (Workflow::Pipeline(pipe), CostModel::WithComm { network, .. }) =
+        (&instance.workflow, &instance.cost_model)
+    else {
+        unreachable!()
+    };
+    assert_eq!(
+        pipeline_period_with_comm(pipe, &instance.platform, network, &alloc),
+        report.period.unwrap()
+    );
+}
+
+#[test]
+fn infinite_bandwidth_comm_equals_simplified_on_every_golden_instance() {
+    // The acceptance anchor: wrapping any golden instance in the general
+    // model with a free network must reproduce the simplified-model
+    // result bit for bit — proven cells through comm-exact enumeration,
+    // heuristic cells through the identical portfolio trajectory.
+    let registry = EngineRegistry::default();
+    for (path, instance) in golden_instances() {
+        if instance.cost_model.is_comm_aware() {
+            continue; // comm golden instances have their own snapshots
+        }
+        let simplified = registry
+            .solve(&SolveRequest::new(instance.clone()))
+            .unwrap_or_else(|e| panic!("{path:?}: simplified solve failed: {e}"));
+        let p = instance.platform.n_procs();
+        let comm_instance = instance.with_cost_model(one_port(Network::infinite(p)));
+        let comm = registry
+            .solve(&SolveRequest::new(comm_instance))
+            .unwrap_or_else(|e| panic!("{path:?}: comm solve failed: {e}"));
+        assert_eq!(
+            comm.objective_value, simplified.objective_value,
+            "{path:?}: infinite-bandwidth comm result diverges from the simplified model \
+             (comm engine `{}`, simplified engine `{}`)",
+            comm.engine_used, simplified.engine_used
+        );
+        assert_eq!(comm.period, simplified.period, "{path:?}");
+        assert_eq!(comm.latency, simplified.latency, "{path:?}");
+    }
+}
+
+#[test]
+fn one_port_never_beats_multi_port() {
+    // Same instance, same engine: serializing the broadcast can only
+    // delay completions, so the one-port optimum is >= the multi-port
+    // optimum.
+    use repliflow_core::workflow::Fork;
+    let registry = EngineRegistry::default();
+    let base = ProblemInstance {
+        workflow: Fork::with_data_sizes(2, vec![3, 3, 3], 2, 4, vec![1, 1, 1]).into(),
+        platform: Platform::heterogeneous(vec![2, 1, 1]),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::Simplified,
+    };
+    let solve_with = |comm: CommModel| {
+        let instance = base.clone().with_cost_model(CostModel::WithComm {
+            network: Network::uniform(3, 2),
+            comm,
+            overlap: true,
+        });
+        registry
+            .solve(&SolveRequest::new(instance))
+            .unwrap()
+            .objective_value
+            .unwrap()
+    };
+    assert!(solve_with(CommModel::OnePort) >= solve_with(CommModel::BoundedMultiPort));
+}
+
+#[test]
+fn quality_tiers_never_worsen_the_heuristic_result() {
+    // Escalating Fast -> Balanced -> Thorough only adds candidates, so
+    // the portfolio's best can only improve (or stay equal).
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(
+            vec![9, 3, 7, 1, 5, 2, 8],
+            vec![3, 1, 4, 1, 5, 2, 6, 3],
+        )
+        .into(),
+        platform: Platform::heterogeneous(vec![4, 3, 2, 2, 1, 1]),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(6, 2)),
+    };
+    let solve_at = |quality: Quality| {
+        let budget = Budget::default().quality(quality);
+        let report = registry
+            .solve(
+                &SolveRequest::new(instance.clone())
+                    .engine(EnginePref::Heuristic)
+                    .budget(budget),
+            )
+            .unwrap();
+        assert_eq!(report.engine_used, "comm-heuristic");
+        report.objective_value.unwrap()
+    };
+    let fast = solve_at(Quality::Fast);
+    let balanced = solve_at(Quality::Balanced);
+    let thorough = solve_at(Quality::Thorough);
+    assert!(balanced <= fast);
+    assert!(thorough <= balanced);
+}
+
+#[test]
+fn comm_exact_agrees_with_comm_heuristic_lower_bound() {
+    // On instances inside the enumeration guard the heuristic can never
+    // beat the exhaustive optimum.
+    let registry = EngineRegistry::default();
+    let instance = comm_pipeline_instance();
+    let exact = registry
+        .solve(&SolveRequest::new(instance.clone()).engine(EnginePref::Exact))
+        .unwrap();
+    assert_eq!(exact.engine_used, "comm-exact");
+    let heuristic = registry
+        .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
+        .unwrap();
+    assert!(heuristic.objective_value.unwrap() >= exact.objective_value.unwrap());
+}
+
+#[test]
+fn strict_start_rule_never_beats_overlap() {
+    use repliflow_core::workflow::Fork;
+    let registry = EngineRegistry::default();
+    let base = ProblemInstance {
+        workflow: Fork::with_data_sizes(4, vec![2, 2], 2, 6, vec![1, 1]).into(),
+        platform: Platform::homogeneous(3, 1),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::Simplified,
+    };
+    let solve_with = |overlap: bool| {
+        let instance = base.clone().with_cost_model(CostModel::WithComm {
+            network: Network::uniform(3, 2),
+            comm: CommModel::OnePort,
+            overlap,
+        });
+        registry
+            .solve(&SolveRequest::new(instance))
+            .unwrap()
+            .objective_value
+            .unwrap()
+    };
+    assert!(solve_with(false) >= solve_with(true));
+}

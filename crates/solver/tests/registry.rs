@@ -118,6 +118,7 @@ fn instance_of(gen: &mut Gen, variant: &Variant) -> ProblemInstance {
         }
     };
     let instance = ProblemInstance {
+        cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow,
         platform,
         allow_data_parallel: variant.data_parallel,
@@ -289,12 +290,12 @@ fn forkjoin_heuristic_route_solves_what_the_old_cli_refused() {
     // heuristic engine: the pre-registry CLI printed an error here.
     let registry = EngineRegistry::default();
     let mut gen = Gen::new(0xF04C);
-    let instance = ProblemInstance {
-        workflow: gen.forkjoin(14, 1, 20).into(),
-        platform: gen.het_platform(6, 1, 8),
-        allow_data_parallel: false,
-        objective: Objective::Latency,
-    };
+    let instance = ProblemInstance::new(
+        gen.forkjoin(14, 1, 20),
+        gen.het_platform(6, 1, 8),
+        false,
+        Objective::Latency,
+    );
     assert!(instance.workflow.n_stages() > Budget::default().max_exact_stages);
 
     let auto = registry
@@ -315,12 +316,12 @@ fn exact_capacity_is_an_error_not_a_panic() {
     // The bitmask exact solvers hard-cap at 20 processors; forcing the
     // exact engine beyond that must surface SolveError, not abort.
     let registry = EngineRegistry::default();
-    let instance = ProblemInstance {
-        workflow: Pipeline::new(vec![3, 1, 4]).into(),
-        platform: Platform::homogeneous(25, 1),
-        allow_data_parallel: false,
-        objective: Objective::Period,
-    };
+    let instance = ProblemInstance::new(
+        Pipeline::new(vec![3, 1, 4]),
+        Platform::homogeneous(25, 1),
+        false,
+        Objective::Period,
+    );
     let err = registry
         .solve(&SolveRequest::new(instance.clone()).engine(EnginePref::Exact))
         .unwrap_err();
@@ -337,6 +338,7 @@ fn exact_capacity_is_an_error_not_a_panic() {
         ..Budget::default()
     };
     let np_hard = ProblemInstance {
+        cost_model: repliflow_core::instance::CostModel::Simplified,
         // het pipeline / het platform / period = Theorem 9, NP-hard
         workflow: Pipeline::new(vec![3, 1, 4]).into(),
         platform: Platform::heterogeneous((1..=25).collect()),
@@ -357,12 +359,12 @@ fn witness_validation_is_on_by_default_and_consistent() {
     for _ in 0..25 {
         let n = gen_size(&mut gen);
         let p = gen.size(1, 4);
-        let instance = ProblemInstance {
-            workflow: gen.pipeline(n, 1, 12).into(),
-            platform: gen.het_platform(p, 1, 5),
-            allow_data_parallel: gen.flip(0.5),
-            objective: Objective::Latency,
-        };
+        let instance = ProblemInstance::new(
+            gen.pipeline(n, 1, 12),
+            gen.het_platform(p, 1, 5),
+            gen.flip(0.5),
+            Objective::Latency,
+        );
         let report = registry
             .solve(&SolveRequest::new(instance.clone()))
             .unwrap();
@@ -390,11 +392,13 @@ fn batch_options_allow_forcing_engines() {
     let registry = EngineRegistry::default();
     let mut gen = Gen::new(0xBEEF);
     let instances: Vec<ProblemInstance> = (0..10)
-        .map(|_| ProblemInstance {
-            workflow: gen.uniform_pipeline(3, 1, 9).into(),
-            platform: gen.hom_platform(3, 1, 3),
-            allow_data_parallel: true,
-            objective: Objective::Period,
+        .map(|_| {
+            ProblemInstance::new(
+                gen.uniform_pipeline(3, 1, 9),
+                gen.hom_platform(3, 1, 3),
+                true,
+                Objective::Period,
+            )
         })
         .collect();
     let options = BatchOptions {

@@ -20,12 +20,12 @@ fn main() {
     // Per-frame work of each stage (Mflop): segmentation dominates.
     let pipeline = Pipeline::new(vec![60, 90, 340, 120, 48]);
     // Two fast nodes (speed 4) and four slow ones (speed 1): Mflop/ms.
-    let instance = ProblemInstance {
-        workflow: pipeline.clone().into(),
-        platform: Platform::heterogeneous(vec![4, 4, 1, 1, 1, 1]),
-        allow_data_parallel: true,
-        objective: Objective::Period,
-    };
+    let instance = ProblemInstance::new(
+        pipeline.clone(),
+        Platform::heterogeneous(vec![4, 4, 1, 1, 1, 1]),
+        true,
+        Objective::Period,
+    );
     let platform = instance.platform.clone();
 
     println!("video pipeline: {:?} Mflop/stage", pipeline.weights());

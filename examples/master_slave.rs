@@ -21,6 +21,7 @@ fn request(
     objective: Objective,
 ) -> SolveReport {
     solve(&SolveRequest::new(ProblemInstance {
+        cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: workflow.into(),
         platform: platform.clone(),
         allow_data_parallel: false,

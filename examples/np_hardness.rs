@@ -18,12 +18,12 @@ use std::time::Instant;
 
 /// Exhaustive minimum-latency solve of a reduced pipeline instance.
 fn exact_min_latency(pipeline: &Pipeline, platform: &Platform) -> SolveReport {
-    let request = SolveRequest::new(ProblemInstance {
-        workflow: pipeline.clone().into(),
-        platform: platform.clone(),
-        allow_data_parallel: true,
-        objective: Objective::Latency,
-    })
+    let request = SolveRequest::new(ProblemInstance::new(
+        pipeline.clone(),
+        platform.clone(),
+        true,
+        Objective::Latency,
+    ))
     .engine(EnginePref::Exact);
     repliflow::solver::solve(&request).expect("latency minimization is always feasible")
 }

@@ -11,12 +11,12 @@ fn main() {
     // The 4-stage pipeline of the paper's worked example: stage weights in
     // flops. Stage 1 is a heavy low-level filter, stages 2-4 are lighter.
     // Three identical unit-speed processors.
-    let instance = ProblemInstance {
-        workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
-        platform: Platform::homogeneous(3, 1),
-        allow_data_parallel: true,
-        objective: Objective::Period,
-    };
+    let instance = ProblemInstance::new(
+        Pipeline::new(vec![14, 4, 2, 4]),
+        Platform::homogeneous(3, 1),
+        true,
+        Objective::Period,
+    );
 
     // --- throughput: the registry classifies the Table 1 cell and runs
     // Theorem 1's algorithm (replicate everything everywhere) ----------

@@ -44,12 +44,12 @@
 //!
 //! // The 4-stage pipeline of the paper's Section 2 example on three
 //! // identical unit-speed processors, optimizing the period.
-//! let instance = ProblemInstance {
-//!     workflow: Pipeline::new(vec![14, 4, 2, 4]).into(),
-//!     platform: Platform::homogeneous(3, 1),
-//!     allow_data_parallel: true,
-//!     objective: Objective::Period,
-//! };
+//! let instance = ProblemInstance::new(
+//!     Pipeline::new(vec![14, 4, 2, 4]),
+//!     Platform::homogeneous(3, 1),
+//!     true,
+//!     Objective::Period,
+//! );
 //!
 //! // The registry classifies the Table 1 cell (polynomial, Theorem 1)
 //! // and runs the paper's algorithm: replicate everything everywhere.
@@ -69,5 +69,7 @@ pub use repliflow_solver as solver;
 /// Convenient glob-import of the most used types across the workspace.
 pub mod prelude {
     pub use repliflow_core::prelude::*;
-    pub use repliflow_solver::{Budget, EnginePref, Optimality, SolveReport, SolveRequest};
+    pub use repliflow_solver::{
+        Budget, EnginePref, Optimality, Quality, SolveReport, SolveRequest,
+    };
 }

@@ -99,12 +99,12 @@ fn workflow_enum_is_a_uniform_entry_point() {
 
 #[test]
 fn problem_instances_round_trip_through_json() {
-    let inst = ProblemInstance {
-        workflow: Fork::new(2, vec![3, 4]).into(),
-        platform: Platform::heterogeneous(vec![3, 1]),
-        allow_data_parallel: true,
-        objective: Objective::LatencyUnderPeriod(Rat::new(7, 2)),
-    };
+    let inst = ProblemInstance::new(
+        Fork::new(2, vec![3, 4]),
+        Platform::heterogeneous(vec![3, 1]),
+        true,
+        Objective::LatencyUnderPeriod(Rat::new(7, 2)),
+    );
     let json = serde_json::to_string_pretty(&inst).unwrap();
     let back: ProblemInstance = serde_json::from_str(&json).unwrap();
     assert_eq!(inst, back);
@@ -122,12 +122,7 @@ fn table1_classification_matches_solver_availability() {
     for _ in 0..5 {
         let pipe = gen.pipeline(3, 1, 9);
         let plat = gen.hom_platform(3, 1, 3);
-        let inst = ProblemInstance {
-            workflow: pipe.clone().into(),
-            platform: plat.clone(),
-            allow_data_parallel: true,
-            objective: Objective::Period,
-        };
+        let inst = ProblemInstance::new(pipe.clone(), plat.clone(), true, Objective::Period);
         match inst.variant().paper_complexity() {
             Complexity::Polynomial(thm) => {
                 assert_eq!(thm, "Thm 1");

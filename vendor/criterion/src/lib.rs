@@ -12,8 +12,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Measurement iterations per benchmark (after warmup).
-const MEASURE_ITERS: u32 = 20;
+/// Measurement iterations per benchmark (after warmup). Setting the
+/// `CRITERION_QUICK` environment variable (any value) drops to 3
+/// iterations — the CI bench-smoke mode, where wall-clock trend matters
+/// more than variance.
+fn measure_iters() -> u32 {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        3
+    } else {
+        20
+    }
+}
 
 /// A benchmark identifier: `function_name/parameter`.
 #[derive(Clone, Debug)]
@@ -69,14 +78,15 @@ impl Bencher {
     /// Times `routine`, running a warmup pass then a fixed number of
     /// measured iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = measure_iters();
         for _ in 0..3 {
             black_box(routine());
         }
         let start = Instant::now();
-        for _ in 0..MEASURE_ITERS {
+        for _ in 0..iters {
             black_box(routine());
         }
-        self.mean = Some(start.elapsed() / MEASURE_ITERS);
+        self.mean = Some(start.elapsed() / iters);
     }
 }
 

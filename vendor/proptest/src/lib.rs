@@ -150,7 +150,7 @@ pub mod prop {
             max_len: usize,
         }
 
-        /// Length specifications accepted by [`vec`].
+        /// Length specifications accepted by [`vec()`].
         pub trait IntoLenRange {
             /// The inclusive (min, max) bounds.
             fn bounds(self) -> (usize, usize);
