@@ -1,0 +1,88 @@
+//! Benchmarks of the `comm-bb` branch-and-bound engine on instances the
+//! old `comm-exact` enumeration guard refused: the acceptance-bar
+//! 10-stage / 8-processor pipeline (proven optimal through the auto
+//! route) and a fork beyond the guard, plus the raw search without the
+//! registry around it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use repliflow_core::comm::{CommModel, Network};
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_core::workflow::{Fork, Pipeline};
+use repliflow_exact::{solve_comm_bb, BbLimits};
+use repliflow_solver::{EnginePref, EngineRegistry, SolveRequest};
+
+fn acceptance_pipeline() -> ProblemInstance {
+    let mut gen = Gen::new(0xACCE);
+    ProblemInstance {
+        workflow: Pipeline::with_data_sizes(
+            gen.positive_ints(10, 1, 20),
+            gen.positive_ints(11, 0, 10),
+        )
+        .into(),
+        platform: gen.het_platform(8, 1, 6),
+        allow_data_parallel: true,
+        objective: Objective::Period,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(8, 3),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    }
+}
+
+fn beyond_guard_fork() -> ProblemInstance {
+    let mut gen = Gen::new(0xF0BB);
+    let leaves = 6;
+    ProblemInstance {
+        workflow: Fork::with_data_sizes(
+            gen.int(1, 9),
+            gen.positive_ints(leaves, 1, 9),
+            gen.int(0, 6),
+            gen.int(0, 6),
+            gen.positive_ints(leaves, 0, 5),
+        )
+        .into(),
+        platform: gen.het_platform(5, 1, 5),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(5, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    }
+}
+
+fn bench_comm_bb(c: &mut Criterion) {
+    let registry = EngineRegistry::default();
+    let mut group = c.benchmark_group("comm_bb");
+    // end-to-end through the auto route (which now proves optimality at
+    // 10 stages / 8 procs — twice the enumeration guard)
+    let pipeline = acceptance_pipeline();
+    group.bench_function("auto_pipeline_n10_p8", |b| {
+        b.iter(|| {
+            let report = registry
+                .solve(&SolveRequest::new(black_box(pipeline.clone())))
+                .unwrap();
+            assert_eq!(report.engine_used, "comm-bb");
+            report
+        })
+    });
+    let fork = beyond_guard_fork();
+    group.bench_function("forced_fork_l6_p5", |b| {
+        b.iter(|| {
+            registry
+                .solve(&SolveRequest::new(black_box(fork.clone())).engine(EnginePref::CommBb))
+                .unwrap()
+        })
+    });
+    // the raw search without registry/validation overhead, no incumbent
+    group.bench_function("raw_search_pipeline_n10_p8", |b| {
+        b.iter(|| solve_comm_bb(black_box(&pipeline), None, &BbLimits::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_bb);
+criterion_main!(benches);

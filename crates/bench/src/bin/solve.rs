@@ -12,6 +12,7 @@
 //! solve --engine exact inst.json   # force exhaustive search (small only)
 //! solve --engine heuristic i.json  # force the heuristic portfolio
 //! solve --engine paper i.json      # paper algorithm or refuse
+//! solve --engine comm-bb i.json    # force branch-and-bound (comm instances)
 //! solve --comm one-port i.json     # general model, serialized sends
 //! solve --comm multi-port --overlap --bandwidth 4 i.json
 //! solve --quality thorough i.json  # escalate heuristics to long annealing
@@ -50,7 +51,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: solve [--engine auto|exact|heuristic|paper] [--no-validate] \
+        "usage: solve [--engine auto|exact|heuristic|paper|comm-bb] [--no-validate] \
          [--comm one-port|multi-port] [--overlap] [--bandwidth B] \
          [--quality fast|balanced|thorough] [--json] <instance.json ... | ->"
     );
@@ -119,6 +120,19 @@ fn print_report(report: &SolveReport) -> bool {
     }
     println!("engine   : {}", report.engine_used);
     println!("optimal  : {}", report.optimality);
+    if let Some(search) = &report.search {
+        println!(
+            "search   : {} nodes ({} bound-pruned, {} dominated), {}",
+            search.nodes,
+            search.pruned_bound,
+            search.pruned_dominated,
+            if search.completed {
+                "exhausted"
+            } else {
+                "budget-limited"
+            }
+        );
+    }
     match (&report.mapping, report.period, report.latency) {
         (Some(mapping), Some(period), Some(latency)) => {
             println!("mapping  : {mapping}");
@@ -176,6 +190,20 @@ fn report_json(path: &str, report: &SolveReport) -> Value {
         ("latency_f64".into(), ratf(report.latency)),
         ("objective".into(), rat(report.objective_value)),
         ("objective_f64".into(), ratf(report.objective_value)),
+        (
+            "search_nodes".into(),
+            match &report.search {
+                Some(s) => Value::Float(s.nodes as f64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "search_completed".into(),
+            match &report.search {
+                Some(s) => Value::Bool(s.completed),
+                None => Value::Null,
+            },
+        ),
         (
             "wall_time_ms".into(),
             Value::Float(report.wall_time.as_secs_f64() * 1e3),

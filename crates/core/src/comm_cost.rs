@@ -51,6 +51,32 @@ enum End<'a> {
     Group(&'a [ProcId]),
 }
 
+/// Worst-link transfer time of `size` bytes between two processor
+/// groups (the value every round-robin residue combination is
+/// guaranteed to meet — the billing rule of this whole module). Public
+/// for the branch-and-bound search in `repliflow-exact`, which prices
+/// partial mappings with the same rule.
+pub fn group_transfer(network: &Network, size: u64, from: &[ProcId], to: &[ProcId]) -> Rat {
+    transfer(network, size, End::Group(from), End::Group(to))
+}
+
+/// Worst-link transfer time of `size` bytes from `P_in` into a group.
+pub fn input_transfer(network: &Network, size: u64, to: &[ProcId]) -> Rat {
+    transfer(network, size, End::In, End::Group(to))
+}
+
+/// Worst-link transfer time of `size` bytes from a group to `P_out`.
+pub fn output_transfer(network: &Network, size: u64, from: &[ProcId]) -> Rat {
+    transfer(network, size, End::Group(from), End::Out)
+}
+
+/// The bounded multi-port `volume / node_capacity` lower bound on a
+/// sender's total outgoing volume (zero when the network is unbounded
+/// or free). Public for the same reason as [`group_transfer`].
+pub fn multiport_capacity_bound(network: &Network, volume: u64) -> Rat {
+    capacity_bound(network, volume)
+}
+
 fn check_network(network: &Network, platform: &Platform) -> Result<(), Error> {
     if network.n_procs() != platform.n_procs() {
         return Err(Error::NetworkSize {
@@ -198,6 +224,201 @@ pub fn pipeline_objectives(
         latency += traversal;
     }
     Ok((period, latency))
+}
+
+/// The open (last) group of a [`PipelinePrefix`]: its output-transfer
+/// term is still unknown because the successor group has not been
+/// chosen yet.
+#[derive(Clone, Debug)]
+pub struct PendingGroup {
+    procs: Vec<ProcId>,
+    mode: Mode,
+    /// Input transfer + computation delay of the group — everything
+    /// except the send to the (future) successor.
+    busy: Rat,
+}
+
+impl PendingGroup {
+    /// Processors of the open group (sorted ascending).
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Execution mode of the open group.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Input transfer + computation delay accumulated so far (the send
+    /// term is still missing).
+    pub fn busy(&self) -> Rat {
+        self.busy
+    }
+
+    /// Amortizes a completed traversal of this group for the period
+    /// (round-robin replication divides by `k`; data-parallel does not).
+    pub fn amortized(&self, traversal: Rat) -> Rat {
+        match self.mode {
+            Mode::Replicated => traversal / Rat::int(self.procs.len() as i128),
+            Mode::DataParallel => traversal,
+        }
+    }
+}
+
+/// A pipeline mapping prefix evaluated **incrementally** under the
+/// general model: stages `0 .. next_stage` are covered by a sequence of
+/// groups, all of whose cost terms are final except the last group's
+/// send (which depends on the yet-unchosen successor).
+///
+/// Extending a prefix with [`PipelinePrefix::push_group`] finalizes the
+/// previous group's send term and opens the new group — so a
+/// branch-and-bound search pays `O(|prev procs| · |new procs|)` per
+/// extension instead of re-evaluating the whole partial mapping from
+/// scratch. [`PipelinePrefix::finish`] closes the last group with its
+/// transfer to `P_out`; on a complete prefix its result equals
+/// [`pipeline_objectives`] exactly (tested below).
+#[derive(Clone, Debug, Default)]
+pub struct PipelinePrefix {
+    next_stage: usize,
+    /// Max over *closed* groups of their amortized traversal.
+    period_closed: Rat,
+    /// Sum over *closed* groups of their traversal.
+    latency_closed: Rat,
+    pending: Option<PendingGroup>,
+}
+
+impl PipelinePrefix {
+    /// The empty prefix (no stage covered, no group open).
+    pub fn empty() -> Self {
+        PipelinePrefix::default()
+    }
+
+    /// First stage not yet covered by the prefix.
+    pub fn next_stage(&self) -> usize {
+        self.next_stage
+    }
+
+    /// Max amortized traversal over the groups whose terms are final.
+    pub fn period_closed(&self) -> Rat {
+        self.period_closed
+    }
+
+    /// Sum of traversals over the groups whose terms are final.
+    pub fn latency_closed(&self) -> Rat {
+        self.latency_closed
+    }
+
+    /// The open group, if any (none only on the empty prefix).
+    pub fn pending(&self) -> Option<&PendingGroup> {
+        self.pending.as_ref()
+    }
+
+    /// Extends the prefix with the group `stages [next_stage ..= hi]` on
+    /// `procs` in `mode`: bills the handoff transfer
+    /// `δ_{next_stage} / worst link` on **both** the closing group's
+    /// send and the new group's receive (the general model's rule), then
+    /// opens the new group with its receive + compute terms.
+    pub fn push_group(
+        &self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        network: &Network,
+        hi: usize,
+        procs: Vec<ProcId>,
+        mode: Mode,
+    ) -> PipelinePrefix {
+        let lo = self.next_stage;
+        debug_assert!(lo <= hi && hi < pipeline.n_stages());
+        let handoff = match &self.pending {
+            Some(open) => group_transfer(network, pipeline.data_size(lo), &open.procs, &procs),
+            None => input_transfer(network, pipeline.data_size(lo), &procs),
+        };
+        let (period_closed, latency_closed) = match &self.pending {
+            Some(open) => {
+                let traversal = open.busy + handoff;
+                (
+                    self.period_closed.max(open.amortized(traversal)),
+                    self.latency_closed + traversal,
+                )
+            }
+            None => (self.period_closed, self.latency_closed),
+        };
+        let assignment = Assignment::interval(lo, hi, procs, mode);
+        let compute = group_delay(
+            assignment.work(|s| pipeline.weight(s)),
+            &assignment,
+            platform,
+        );
+        let procs = assignment.procs().to_vec();
+        PipelinePrefix {
+            next_stage: hi + 1,
+            period_closed,
+            latency_closed,
+            pending: Some(PendingGroup {
+                procs,
+                mode,
+                busy: handoff + compute,
+            }),
+        }
+    }
+
+    /// Closes a complete prefix (`next_stage == n`) with the last
+    /// group's transfer to `P_out` and returns `(period, latency)` —
+    /// equal to [`pipeline_objectives`] of the same mapping.
+    pub fn finish(&self, pipeline: &Pipeline, network: &Network) -> (Rat, Rat) {
+        assert_eq!(self.next_stage, pipeline.n_stages(), "prefix is incomplete");
+        let open = self.pending.as_ref().expect("complete prefix has a group");
+        let send = output_transfer(
+            network,
+            pipeline.data_size(pipeline.n_stages()),
+            &open.procs,
+        );
+        let traversal = open.busy + send;
+        (
+            self.period_closed.max(open.amortized(traversal)),
+            self.latency_closed + traversal,
+        )
+    }
+
+    /// An **admissible lower bound** on the open group's still-unknown
+    /// send term, given the processors the successor group could use:
+    /// the successor is some non-empty subset of `avail`, and the
+    /// worst-link billing makes its receive time at least
+    /// `δ / bw(u, v)` for every `u` in the open group and any chosen
+    /// `v` — so the cheapest possible successor is the single `v`
+    /// maximizing the slowest link from the open group, and no legal
+    /// completion can pay less. Returns the exact `P_out` transfer when
+    /// the prefix is complete, and zero on an empty prefix or when no
+    /// processor remains.
+    pub fn pending_send_lower_bound(
+        &self,
+        pipeline: &Pipeline,
+        network: &Network,
+        avail: &[ProcId],
+    ) -> Rat {
+        let Some(open) = &self.pending else {
+            return Rat::ZERO;
+        };
+        if self.next_stage == pipeline.n_stages() {
+            return output_transfer(
+                network,
+                pipeline.data_size(pipeline.n_stages()),
+                &open.procs,
+            );
+        }
+        avail
+            .iter()
+            .map(|&v| {
+                group_transfer(
+                    network,
+                    pipeline.data_size(self.next_stage),
+                    &open.procs,
+                    &[v],
+                )
+            })
+            .min()
+            .unwrap_or(Rat::ZERO)
+    }
 }
 
 /// The root-first group order used for fork evaluation: ascending first
@@ -775,6 +996,100 @@ mod tests {
         assert_eq!(one, Rat::int(8));
         assert_eq!(multi, Rat::int(6));
         assert!(multi <= one);
+    }
+
+    #[test]
+    fn prefix_evaluation_matches_whole_mapping_evaluation() {
+        // Build random legal pipeline mappings, push them group by
+        // group through PipelinePrefix and check finish() against
+        // pipeline_objectives — the anchor that lets the
+        // branch-and-bound trust its incremental accounting.
+        let mut gen = Gen::new(0xBB01);
+        for _ in 0..60 {
+            let n = gen.size(1, 6);
+            let p = gen.size(1, 5);
+            let pipe = Pipeline::with_data_sizes(
+                gen.positive_ints(n, 1, 9),
+                gen.positive_ints(n + 1, 0, 7),
+            );
+            let plat = gen.het_platform(p, 1, 5);
+            let net = if gen.flip(0.3) {
+                Network::infinite(p)
+            } else {
+                Network::uniform(p, gen.int(1, 4))
+            };
+            // random interval partition over random disjoint proc sets
+            let mut order: Vec<ProcId> = plat.procs().collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, gen.size(0, i));
+            }
+            let mut assignments = Vec::new();
+            let mut prefix = PipelinePrefix::empty();
+            let mut lo = 0;
+            let mut taken = 0;
+            while lo < n {
+                let procs_left = p - taken;
+                let hi = if procs_left == 1 {
+                    n - 1
+                } else {
+                    gen.size(lo, n - 1)
+                };
+                let max_k = if hi + 1 < n {
+                    procs_left - 1 // leave at least one proc for the rest
+                } else {
+                    procs_left
+                };
+                let k = gen.size(1, max_k.max(1));
+                let procs: Vec<ProcId> = order[taken..taken + k].to_vec();
+                taken += k;
+                let mode = if lo == hi && k >= 2 && gen.flip(0.3) {
+                    Mode::DataParallel
+                } else {
+                    Mode::Replicated
+                };
+                assignments.push(Assignment::interval(lo, hi, procs.clone(), mode));
+                prefix = prefix.push_group(&pipe, &plat, &net, hi, procs, mode);
+                lo = hi + 1;
+            }
+            let mapping = Mapping::new(assignments);
+            let (period, latency) = pipeline_objectives(&pipe, &plat, &net, &mapping).unwrap();
+            assert_eq!(prefix.finish(&pipe, &net), (period, latency));
+        }
+    }
+
+    #[test]
+    fn pending_send_lower_bound_is_admissible() {
+        // For every possible successor group the bound must not exceed
+        // the actual handoff transfer.
+        let mut gen = Gen::new(0xBB02);
+        for _ in 0..40 {
+            let p = gen.size(2, 5);
+            let pipe =
+                Pipeline::with_data_sizes(gen.positive_ints(2, 1, 5), gen.positive_ints(3, 0, 8));
+            let plat = gen.het_platform(p, 1, 4);
+            let net = gen.het_network(p, 1, 6);
+            let first: Vec<ProcId> = vec![ProcId(0)];
+            let prefix =
+                PipelinePrefix::empty().push_group(&pipe, &plat, &net, 0, first, Mode::Replicated);
+            let avail: Vec<ProcId> = (1..p).map(ProcId).collect();
+            let lb = prefix.pending_send_lower_bound(&pipe, &net, &avail);
+            // every non-empty subset of avail is a possible successor
+            for mask in 1u32..(1 << avail.len()) {
+                let succ: Vec<ProcId> = avail
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &q)| q)
+                    .collect();
+                let actual = group_transfer(
+                    &net,
+                    pipe.data_size(1),
+                    prefix.pending().unwrap().procs(),
+                    &succ,
+                );
+                assert!(lb <= actual, "bound {lb} exceeds actual {actual}");
+            }
+        }
     }
 
     #[test]

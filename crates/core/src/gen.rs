@@ -5,6 +5,7 @@
 //! reproducible. Magnitudes are kept small enough that all rational
 //! arithmetic stays far from `i128` overflow.
 
+use crate::comm::Network;
 use crate::platform::Platform;
 use crate::workflow::{Fork, ForkJoin, Pipeline};
 use rand::rngs::StdRng;
@@ -93,6 +94,39 @@ impl Gen {
     /// `m` positive integers for 2-PARTITION-style inputs.
     pub fn positive_ints(&mut self, m: usize, lo: u64, hi: u64) -> Vec<u64> {
         (0..m).map(|_| self.int(lo, hi)).collect()
+    }
+
+    /// Uniform network over `p` processors with one random bandwidth in
+    /// `b_lo ..= b_hi` on every link.
+    pub fn uniform_network(&mut self, p: usize, b_lo: u64, b_hi: u64) -> Network {
+        Network::uniform(p, self.int(b_lo.max(1), b_hi.max(1)))
+    }
+
+    /// Fully heterogeneous network over `p` processors: every
+    /// processor-pair, `P_in` and `P_out` link gets an independent
+    /// bandwidth in `b_lo ..= b_hi`; with probability 0.3 a node
+    /// capacity in the same range bounds the multi-port model.
+    pub fn het_network(&mut self, p: usize, b_lo: u64, b_hi: u64) -> Network {
+        let lo = b_lo.max(1);
+        let hi = b_hi.max(lo);
+        let mut proc_bw = vec![vec![0u64; p]; p];
+        for (u, row) in proc_bw.iter_mut().enumerate() {
+            for (v, bw) in row.iter_mut().enumerate() {
+                if u != v {
+                    *bw = self.int(lo, hi);
+                }
+            }
+        }
+        let net = Network::heterogeneous(
+            proc_bw,
+            self.positive_ints(p, lo, hi),
+            self.positive_ints(p, lo, hi),
+        );
+        if self.flip(0.3) {
+            net.with_node_capacity(self.int(lo, hi))
+        } else {
+            net
+        }
     }
 }
 

@@ -28,6 +28,44 @@ pub enum Objective {
     PeriodUnderLatency(Rat),
 }
 
+impl Objective {
+    /// Lexicographic `(primary, tiebreak)` score of an evaluated
+    /// `(period, latency)` pair — smaller is better, bi-criteria bound
+    /// violations score [`Rat::INFINITY`] in the primary slot. The one
+    /// ordering every search (heuristic portfolios, branch-and-bound)
+    /// ranks mappings by.
+    pub fn score(self, period: Rat, latency: Rat) -> (Rat, Rat) {
+        match self {
+            Objective::Period => (period, latency),
+            Objective::Latency => (latency, period),
+            Objective::LatencyUnderPeriod(bound) => {
+                if period <= bound {
+                    (latency, period)
+                } else {
+                    (Rat::INFINITY, period)
+                }
+            }
+            Objective::PeriodUnderLatency(bound) => {
+                if latency <= bound {
+                    (period, latency)
+                } else {
+                    (Rat::INFINITY, latency)
+                }
+            }
+        }
+    }
+
+    /// Whether `(period, latency)` meets this objective's bi-criteria
+    /// bound (vacuously true for single-criterion objectives).
+    pub fn meets_bound(self, period: Rat, latency: Rat) -> bool {
+        match self {
+            Objective::Period | Objective::Latency => true,
+            Objective::LatencyUnderPeriod(bound) => period <= bound,
+            Objective::PeriodUnderLatency(bound) => latency <= bound,
+        }
+    }
+}
+
 /// Which cost model evaluates mappings of an instance.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum CostModel {

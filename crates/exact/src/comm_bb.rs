@@ -1,0 +1,1092 @@
+//! Branch-and-bound exact solver for **communication-aware** instances
+//! ([`CostModel::WithComm`]), pushing the provably-optimal frontier far
+//! beyond the full mapping-space enumeration of the `comm-exact` path.
+//!
+//! Mappings are constructed **interval by interval** (pipelines, via the
+//! incremental [`PipelinePrefix`] evaluator of `repliflow-core`) or
+//! **group by group** in canonical set-partition order (forks and
+//! fork-joins: each new group takes the smallest unassigned stage, so
+//! every partition is generated exactly once *and* creation order equals
+//! the ascending-first-stage group order the one-port broadcast is
+//! serialized in). Partial states are priced with **admissible lower
+//! bounds** — bounds that never exceed the value of any completion — so
+//! pruning against the incumbent can never cut off an optimal mapping:
+//!
+//! * the already-fixed prefix terms are exact (pipelines) or themselves
+//!   lower bounds that only grow as the mapping completes (fork root
+//!   broadcasts, unresolved fork-join leaf→join transfers billed at 0);
+//! * the open pipeline group's unknown send is bounded by the cheapest
+//!   worst-link transfer any successor could offer
+//!   ([`PipelinePrefix::pending_send_lower_bound`]);
+//! * the unassigned suffix is relaxed to the **infinite-bandwidth
+//!   simplified model over pooled remaining speed** — see
+//!   [`suffix_period_bound`] and [`suffix_delay_bound`] for why each is
+//!   admissible.
+//!
+//! Equivalent pipeline states (same next stage, same used processors,
+//! same open group) are additionally subjected to Pareto **dominance
+//! pruning** over their (closed period, closed latency, open busy time)
+//! triples: all future cost increments depend only on the shared key, and
+//! every final objective is monotone in each triple component, so a
+//! weakly dominated state cannot beat its dominator's subtree.
+//!
+//! The search is deterministic (fixed expansion order, no randomness);
+//! an optional incumbent (typically the comm-heuristic portfolio's best)
+//! seeds the pruning bound, and hard node/time limits make the engine's
+//! cost predictable — when a limit trips, the best incumbent found so
+//! far is returned with `completed = false` instead of a proof.
+//!
+//! [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
+//! [`PipelinePrefix`]: repliflow_core::comm_cost::PipelinePrefix
+
+use crate::goal::Solution;
+use crate::pipeline::{mask_procs, MAX_PROCS};
+use repliflow_core::comm::{CommModel, Network, StartRule};
+use repliflow_core::comm_cost::{
+    group_transfer, input_transfer, multiport_capacity_bound, output_transfer, PipelinePrefix,
+};
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_core::mapping::{Assignment, Mapping, Mode};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::{Fork, Pipeline, Workflow};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Hard resource limits of one branch-and-bound run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BbLimits {
+    /// Maximum number of search-tree nodes to expand.
+    pub max_nodes: u64,
+    /// Wall-clock limit (checked every 1024 nodes; `None` = unlimited).
+    /// Note that a run that trips the *time* limit is the one situation
+    /// in which the search stops being deterministic.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for BbLimits {
+    fn default() -> Self {
+        BbLimits {
+            max_nodes: 2_000_000,
+            time_limit: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// What one branch-and-bound run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BbStats {
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Subtrees cut by the admissible lower bounds.
+    pub pruned_bound: u64,
+    /// Pipeline states cut by Pareto dominance.
+    pub pruned_dominated: u64,
+    /// Whether the search ran to exhaustion (`true` = the returned best
+    /// is a proven optimum / proven infeasibility).
+    pub completed: bool,
+}
+
+/// Result of [`solve_comm_bb`]: the best bound-feasible solution found
+/// (none when the search proved — or, with `completed == false`, merely
+/// failed to find — a feasible mapping) plus run statistics.
+#[derive(Clone, Debug)]
+pub struct BbResult {
+    /// Best feasible solution found.
+    pub best: Option<Solution>,
+    /// Run statistics.
+    pub stats: BbStats,
+}
+
+/// Maximum stage count accepted by the search (stage sets are tracked
+/// as `u32` bitmasks — unlike the plain enumerators, the canonical
+/// fork/fork-join partition order keys on stage masks too).
+pub const MAX_STAGES: usize = 32;
+
+/// Lexicographic (primary, tiebreak) score — see [`Objective::score`].
+type Score = (Rat, Rat);
+
+/// Solves a communication-aware instance by branch-and-bound over the
+/// full Section 3.4 mapping space. The optional `incumbent` (any legal
+/// mapping, typically the comm-heuristic's best) seeds the pruning bound
+/// and the fallback answer.
+///
+/// # Panics
+/// Panics if the instance is not [`CostModel::WithComm`] or exceeds the
+/// bitmask capacity ([`MAX_PROCS`] processors / [`MAX_STAGES`] stages).
+pub fn solve_comm_bb(
+    instance: &ProblemInstance,
+    incumbent: Option<&Mapping>,
+    limits: &BbLimits,
+) -> BbResult {
+    let CostModel::WithComm { network, comm, .. } = &instance.cost_model else {
+        panic!("comm-bb solves communication-aware instances only");
+    };
+    assert!(
+        instance.platform.n_procs() <= MAX_PROCS,
+        "comm-bb supports at most {MAX_PROCS} processors"
+    );
+    assert!(
+        instance.workflow.n_stages() <= MAX_STAGES,
+        "comm-bb supports at most {MAX_STAGES} stages"
+    );
+    let mut ctx = Ctx {
+        instance,
+        network,
+        comm: *comm,
+        start: instance.cost_model.start_rule(),
+        best: None,
+        stats: BbStats::default(),
+        max_nodes: limits.max_nodes,
+        deadline: limits.time_limit.map(|t| Instant::now() + t),
+        aborted: false,
+    };
+    if let Some(mapping) = incumbent {
+        if let Ok((period, latency)) = instance.objectives(mapping) {
+            ctx.offer(mapping.clone(), period, latency);
+        }
+    }
+    match &instance.workflow {
+        Workflow::Pipeline(pipe) => PipeSearch::run(&mut ctx, pipe),
+        Workflow::Fork(fork) => ForkSearch::run(&mut ctx, fork, None),
+        Workflow::ForkJoin(fj) => ForkSearch::run(&mut ctx, fj.fork(), Some(fj.join_weight())),
+    }
+    ctx.stats.completed = !ctx.aborted;
+    BbResult {
+        best: ctx.best.map(|(_, sol)| sol),
+        stats: ctx.stats,
+    }
+}
+
+/// Shared search context: incumbent, statistics and limits.
+struct Ctx<'a> {
+    instance: &'a ProblemInstance,
+    network: &'a Network,
+    comm: CommModel,
+    start: StartRule,
+    best: Option<(Score, Solution)>,
+    stats: BbStats,
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    aborted: bool,
+}
+
+impl Ctx<'_> {
+    /// Accounts one expanded node; `false` once a limit has tripped.
+    fn tick(&mut self) -> bool {
+        if self.aborted {
+            return false;
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes >= self.max_nodes {
+            self.aborted = true;
+        } else if self.stats.nodes & 1023 == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.aborted = true;
+                }
+            }
+        }
+        !self.aborted
+    }
+
+    /// Offers a complete mapping; keeps it iff it is bound-feasible and
+    /// lexicographically better than the incumbent.
+    fn offer(&mut self, mapping: Mapping, period: Rat, latency: Rat) {
+        let score = self.instance.objective.score(period, latency);
+        if score.0 == Rat::INFINITY {
+            return; // violates the bi-criteria bound
+        }
+        if self.best.as_ref().is_none_or(|(b, _)| score < *b) {
+            self.best = Some((
+                score,
+                Solution {
+                    mapping,
+                    period,
+                    latency,
+                },
+            ));
+        }
+    }
+
+    /// Whether a subtree with the given admissible `(period, latency)`
+    /// lower bounds can be cut: either the bi-criteria bound is already
+    /// unattainable inside it, or its primary criterion cannot beat the
+    /// incumbent (strictly — an equal primary could still win the
+    /// tiebreak).
+    fn prune(&mut self, lb_period: Rat, lb_latency: Rat) -> bool {
+        let objective = self.instance.objective;
+        let infeasible = match objective {
+            Objective::LatencyUnderPeriod(bound) => lb_period > bound,
+            Objective::PeriodUnderLatency(bound) => lb_latency > bound,
+            _ => false,
+        };
+        if infeasible {
+            self.stats.pruned_bound += 1;
+            return true;
+        }
+        let lb_primary = match objective {
+            Objective::Period | Objective::PeriodUnderLatency(_) => lb_period,
+            Objective::Latency | Objective::LatencyUnderPeriod(_) => lb_latency,
+        };
+        if let Some((best, _)) = &self.best {
+            if lb_primary > best.0 {
+                self.stats.pruned_bound += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Sum of speeds of the processors in `mask`.
+fn mask_sum_speed(platform: &Platform, mask: u32) -> u64 {
+    let mut m = mask;
+    let mut sum = 0;
+    while m != 0 {
+        sum += platform.speed(ProcId(m.trailing_zeros() as usize));
+        m &= m - 1;
+    }
+    sum
+}
+
+/// Fastest speed among the processors in `mask` (0 for the empty mask).
+fn mask_max_speed(platform: &Platform, mask: u32) -> u64 {
+    let mut m = mask;
+    let mut max = 0;
+    while m != 0 {
+        max = max.max(platform.speed(ProcId(m.trailing_zeros() as usize)));
+        m &= m - 1;
+    }
+    max
+}
+
+/// **Admissible period lower bound** for mapping stages of total work
+/// `work` onto the processors of `avail`: any grouping contributes, per
+/// group, `W_g / (k_g · min_g)` (replicated) or `W_g / Σ_g s` (data-
+/// parallel) to the period; since `max_g a_g/b_g ≥ (Σ a_g)/(Σ b_g)` and
+/// every group's speed denominator sums to at most `Σ_avail s`, the
+/// period of the suffix is at least `work / Σ_avail s` — the
+/// infinite-bandwidth relaxation with all remaining speed pooled into
+/// one perfectly-amortized group. Communication terms are relaxed to
+/// zero, which can only lower the bound.
+pub fn suffix_period_bound(platform: &Platform, work: u64, avail: u32) -> Rat {
+    if work == 0 {
+        return Rat::ZERO;
+    }
+    let pool = mask_sum_speed(platform, avail);
+    if pool == 0 {
+        return Rat::INFINITY; // stages remain but no processor does
+    }
+    Rat::ratio(work, pool)
+}
+
+/// **Admissible traversal-delay lower bound** for executing `work` on
+/// the processors of `avail`: a replicated group's delay is
+/// `W_g / min_g ≥ W_g / max_avail`, a data-parallel group's is
+/// `W_g / Σ_g s ≥ W_g / Σ_avail s`, so pooling all remaining speed
+/// (`Σ_avail` when data-parallelism is allowed, the fastest single
+/// processor otherwise) and zeroing all transfers never overestimates
+/// the delay any completion pays.
+pub fn suffix_delay_bound(platform: &Platform, work: u64, avail: u32, allow_dp: bool) -> Rat {
+    if work == 0 {
+        return Rat::ZERO;
+    }
+    let pool = if allow_dp {
+        mask_sum_speed(platform, avail)
+    } else {
+        mask_max_speed(platform, avail)
+    };
+    if pool == 0 {
+        return Rat::INFINITY;
+    }
+    Rat::ratio(work, pool)
+}
+
+// ---------------------------------------------------------------------
+// Pipeline search
+// ---------------------------------------------------------------------
+
+/// Dominance key of a pipeline partial state: next stage, processors
+/// consumed so far, and the open group (procs + mode). States sharing a
+/// key have identical future cost increments.
+type PipeKey = (usize, u32, u32, bool);
+
+struct PipeSearch<'a, 'c> {
+    ctx: &'a mut Ctx<'c>,
+    pipe: &'a Pipeline,
+    /// `suffix_work[i]` = total weight of stages `i..n`.
+    suffix_work: Vec<u64>,
+    full: u32,
+    /// Pareto sets of (closed period, closed latency, open busy) per key.
+    dominance: HashMap<PipeKey, Vec<(Rat, Rat, Rat)>>,
+    acc: Vec<Assignment>,
+}
+
+impl<'a, 'c> PipeSearch<'a, 'c> {
+    fn run(ctx: &'a mut Ctx<'c>, pipe: &'a Pipeline) {
+        let n = pipe.n_stages();
+        let p = ctx.instance.platform.n_procs();
+        let mut suffix_work = vec![0u64; n + 1];
+        for i in (0..n).rev() {
+            suffix_work[i] = suffix_work[i + 1] + pipe.weight(i);
+        }
+        let mut search = PipeSearch {
+            ctx,
+            pipe,
+            suffix_work,
+            full: ((1usize << p) - 1) as u32,
+            dominance: HashMap::new(),
+            acc: Vec::new(),
+        };
+        search.expand(&PipelinePrefix::empty(), 0);
+    }
+
+    /// Admissible `(period, latency)` lower bounds of every completion
+    /// of `prefix` using only the processors of `avail`.
+    fn bounds(&self, prefix: &PipelinePrefix, avail: u32) -> (Rat, Rat) {
+        let platform = &self.ctx.instance.platform;
+        let network = self.ctx.network;
+        let i = prefix.next_stage();
+        let n = self.pipe.n_stages();
+        if i < n && avail == 0 {
+            return (Rat::INFINITY, Rat::INFINITY); // unmappable suffix
+        }
+        let avail_procs: Vec<ProcId> = mask_procs(avail as usize);
+        let send_lb = prefix.pending_send_lower_bound(self.pipe, network, &avail_procs);
+        let mut lb_period = prefix.period_closed();
+        let mut lb_latency = prefix.latency_closed();
+        if let Some(open) = prefix.pending() {
+            let traversal_lb = open.busy() + send_lb;
+            lb_period = lb_period.max(open.amortized(traversal_lb));
+            lb_latency += traversal_lb;
+        }
+        if i < n {
+            lb_period = lb_period.max(suffix_period_bound(platform, self.suffix_work[i], avail));
+            lb_latency += suffix_delay_bound(
+                platform,
+                self.suffix_work[i],
+                avail,
+                self.ctx.instance.allow_data_parallel,
+            );
+            // the final group's send to P_out is also still unpaid: it
+            // costs at least the cheapest single-processor output link
+            let out_lb = avail_procs
+                .iter()
+                .map(|&v| output_transfer(network, self.pipe.data_size(n), &[v]))
+                .min()
+                .unwrap_or(Rat::ZERO);
+            lb_latency += out_lb;
+        }
+        (lb_period, lb_latency)
+    }
+
+    fn expand(&mut self, prefix: &PipelinePrefix, used: u32) {
+        if !self.ctx.tick() {
+            return;
+        }
+        let n = self.pipe.n_stages();
+        let i = prefix.next_stage();
+        if i == n {
+            let (period, latency) = prefix.finish(self.pipe, self.ctx.network);
+            self.ctx
+                .offer(Mapping::new(self.acc.clone()), period, latency);
+            return;
+        }
+        let avail = self.full & !used;
+        let (lb_period, lb_latency) = self.bounds(prefix, avail);
+        if self.ctx.prune(lb_period, lb_latency) {
+            return;
+        }
+        // Dominance: states with equal (next stage, used procs, open
+        // group) differ only in their accumulated terms; all future
+        // increments are identical and every final objective is monotone
+        // in each term, so a weakly dominated state cannot win.
+        if let Some(open) = prefix.pending() {
+            let last_mask = open
+                .procs()
+                .iter()
+                .fold(0u32, |m, q| m | (1u32 << q.0 as u32));
+            let key = (i, used, last_mask, open.mode() == Mode::DataParallel);
+            let triple = (prefix.period_closed(), prefix.latency_closed(), open.busy());
+            let entry = self.dominance.entry(key).or_default();
+            if entry
+                .iter()
+                .any(|t| t.0 <= triple.0 && t.1 <= triple.1 && t.2 <= triple.2)
+            {
+                self.ctx.stats.pruned_dominated += 1;
+                return;
+            }
+            entry.retain(|t| !(triple.0 <= t.0 && triple.1 <= t.1 && triple.2 <= t.2));
+            entry.push(triple);
+        }
+        if avail == 0 {
+            return; // stages remain but every processor is taken
+        }
+        let allow_dp = self.ctx.instance.allow_data_parallel;
+        for hi in i..n {
+            let mut sub = avail;
+            loop {
+                for mode in [Mode::Replicated, Mode::DataParallel] {
+                    if mode == Mode::DataParallel && (!allow_dp || hi != i || sub.count_ones() < 2)
+                    {
+                        continue;
+                    }
+                    let procs = mask_procs(sub as usize);
+                    let child = prefix.push_group(
+                        self.pipe,
+                        &self.ctx.instance.platform,
+                        self.ctx.network,
+                        hi,
+                        procs.clone(),
+                        mode,
+                    );
+                    self.acc.push(Assignment::interval(i, hi, procs, mode));
+                    self.expand(&child, used | sub);
+                    self.acc.pop();
+                    if self.ctx.aborted {
+                        return;
+                    }
+                }
+                sub = (sub - 1) & avail;
+                if sub == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fork / fork-join search
+// ---------------------------------------------------------------------
+
+/// Incrementally maintained lower-bound terms of a partial fork /
+/// fork-join mapping (root group fixed, some further groups created in
+/// canonical order). Every field is either exact or a quantity that can
+/// only grow as the mapping completes, keeping the derived bounds
+/// admissible.
+#[derive(Clone)]
+struct ForkPartial {
+    /// When the root group may start broadcasting `δ_0` (exact).
+    send_start: Rat,
+    /// Root group's per-period busy time accounted so far: input
+    /// transfer + full compute + resolved leaf outputs + broadcasts to
+    /// the groups created so far (a lower bound — more receivers may
+    /// still be created).
+    root_busy: Rat,
+    /// Max over created *non-root* groups of their amortized period
+    /// terms (lower bounds for fork-joins whose leaf→join transfers are
+    /// not yet resolved).
+    period_others: Rat,
+    /// Max over created groups of their completion-time lower bounds.
+    completion_max: Rat,
+    /// One-port broadcast clock: when the last created receiver got
+    /// `δ_0` (exact for the groups created so far).
+    t_oneport: Rat,
+    /// Broadcast receivers created so far (multi-port capacity bound).
+    receivers: u64,
+    /// Fastest-per-link broadcast seen so far (multi-port root busy).
+    broadcast_link_max: Rat,
+    /// Join group processors, once a created group holds the join stage.
+    join_procs: Option<Vec<ProcId>>,
+    /// Speed at which the join stage will run, once known.
+    join_speed: Option<u64>,
+}
+
+struct ForkSearch<'a, 'c> {
+    ctx: &'a mut Ctx<'c>,
+    fork: &'a Fork,
+    /// `Some(join weight)` for fork-joins.
+    join: Option<u64>,
+    full: u32,
+    acc: Vec<Assignment>,
+}
+
+impl<'a, 'c> ForkSearch<'a, 'c> {
+    fn run(ctx: &'a mut Ctx<'c>, fork: &'a Fork, join: Option<u64>) {
+        let p = ctx.instance.platform.n_procs();
+        let n_stages = fork.n_stages() + usize::from(join.is_some());
+        let full = ((1usize << p) - 1) as u32;
+        let mut search = ForkSearch {
+            ctx,
+            fork,
+            join,
+            full,
+            acc: Vec::new(),
+        };
+        // Stage bitmask of everything but the root: leaves 1..=L plus
+        // the join stage for fork-joins.
+        let non_root: u32 = ((1u64 << n_stages) - 2) as u32;
+        // Branch the root group: any subset of the non-root stages may
+        // share it.
+        let mut extra = non_root;
+        loop {
+            search.branch_root(extra, non_root & !extra);
+            if search.ctx.aborted {
+                return;
+            }
+            if extra == 0 {
+                break;
+            }
+            extra = (extra - 1) & non_root;
+        }
+    }
+
+    fn join_stage(&self) -> usize {
+        self.fork.n_stages() // = n_leaves + 1, only meaningful with join
+    }
+
+    fn is_leaf(&self, stage: usize) -> bool {
+        stage >= 1 && stage <= self.fork.n_leaves()
+    }
+
+    fn stage_weight(&self, stage: usize) -> u64 {
+        match self.join {
+            Some(join_w) if stage == self.join_stage() => join_w,
+            _ => self.fork.weight(stage),
+        }
+    }
+
+    fn stages_of(mask: u32) -> Vec<usize> {
+        let mut stages = Vec::new();
+        let mut m = mask;
+        while m != 0 {
+            stages.push(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        stages
+    }
+
+    fn mask_work(&self, mask: u32) -> u64 {
+        Self::stages_of(mask)
+            .into_iter()
+            .map(|s| self.stage_weight(s))
+            .sum()
+    }
+
+    /// Sum of resolved leaf-output transfer times of the group on
+    /// `procs` holding `stages`. For plain forks every leaf output goes
+    /// to `P_out` (always resolved); for fork-joins it goes to the join
+    /// group — free inside it, billed once the join placement is known,
+    /// and bounded below by zero until then (transfers are nonnegative,
+    /// so dropping them keeps the partial terms admissible).
+    fn outputs_lb(&self, stages: u32, procs: &[ProcId], join_procs: Option<&[ProcId]>) -> Rat {
+        let mut total = Rat::ZERO;
+        for s in Self::stages_of(stages) {
+            if !self.is_leaf(s) {
+                continue;
+            }
+            let size = self.fork.output_size(s);
+            total += match self.join {
+                None => output_transfer(self.ctx.network, size, procs),
+                Some(_) => match join_procs {
+                    Some(jp) if jp == procs => Rat::ZERO,
+                    Some(jp) => group_transfer(self.ctx.network, size, procs, jp),
+                    None => Rat::ZERO,
+                },
+            };
+        }
+        total
+    }
+
+    /// Speed at which a distinguished (root/join) stage runs in a group.
+    fn sequential_speed(&self, procs: &[ProcId], mode: Mode) -> u64 {
+        let platform = &self.ctx.instance.platform;
+        match mode {
+            Mode::DataParallel => platform.subset_speed(procs),
+            Mode::Replicated => platform.subset_min_speed(procs),
+        }
+    }
+
+    fn amortize(total: Rat, k: usize, mode: Mode) -> Rat {
+        match mode {
+            Mode::Replicated => total / Rat::int(k as i128),
+            Mode::DataParallel => total,
+        }
+    }
+
+    /// Fixes the root group (stages `{0} ∪ extra` on every non-empty
+    /// processor subset × legal mode) and recurses over the remaining
+    /// stages.
+    fn branch_root(&mut self, extra: u32, remaining: u32) {
+        let join_in_root = self.join.is_some() && extra & (1u32 << self.join_stage() as u32) != 0;
+        let root_stage_mask = extra | 1;
+        let mut q = self.full;
+        loop {
+            for mode in [Mode::Replicated, Mode::DataParallel] {
+                if mode == Mode::DataParallel {
+                    // the root (and join) may only be data-parallelized
+                    // alone
+                    let legal =
+                        self.ctx.instance.allow_data_parallel && extra == 0 && q.count_ones() >= 2;
+                    if !legal {
+                        continue;
+                    }
+                }
+                self.root_with(root_stage_mask, join_in_root, q, mode, remaining);
+                if self.ctx.aborted {
+                    return;
+                }
+            }
+            q = (q - 1) & self.full;
+            if q == 0 {
+                break;
+            }
+        }
+    }
+
+    fn root_with(&mut self, stages: u32, join_in_root: bool, q: u32, mode: Mode, remaining: u32) {
+        let platform = &self.ctx.instance.platform;
+        let network = self.ctx.network;
+        let procs = mask_procs(q as usize);
+        let recv_in = input_transfer(network, self.fork.input_size(), &procs);
+        let s0 = self.sequential_speed(&procs, mode);
+        let full_work = self.mask_work(stages);
+        // latency-flavoured root work excludes the join stage (the join
+        // phase is modeled after all leaves complete)
+        let latency_work = if join_in_root {
+            full_work - self.join.unwrap()
+        } else {
+            full_work
+        };
+        let delay_of = |work: u64| match mode {
+            Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(&procs).max(1)),
+            Mode::DataParallel => Rat::ratio(work, platform.subset_speed(&procs).max(1)),
+        };
+        let root_stage_done = recv_in + Rat::ratio(self.fork.root_weight(), s0);
+        let root_all_done = recv_in + delay_of(latency_work);
+        let send_start = match self.ctx.start {
+            StartRule::Flexible => root_stage_done,
+            StartRule::Strict => root_all_done,
+        };
+        let join_procs = join_in_root.then(|| procs.clone());
+        let join_speed = join_in_root.then(|| self.sequential_speed(&procs, mode));
+        let outputs = self.outputs_lb(stages, &procs, join_procs.as_deref());
+        let partial = ForkPartial {
+            send_start,
+            root_busy: recv_in + delay_of(full_work) + outputs,
+            period_others: Rat::ZERO,
+            completion_max: root_all_done + outputs,
+            t_oneport: send_start,
+            receivers: 0,
+            broadcast_link_max: Rat::ZERO,
+            join_procs,
+            join_speed,
+        };
+        self.acc
+            .push(Assignment::new(Self::stages_of(stages), procs, mode));
+        self.expand(
+            &partial,
+            remaining,
+            self.full & !q,
+            q,
+            mode == Mode::DataParallel,
+        );
+        self.acc.pop();
+    }
+
+    /// Admissible `(period, latency)` lower bounds of every completion
+    /// of the partial state (root group + created groups), with
+    /// `remaining` stages still to place on the `avail` processors.
+    fn bounds(
+        &self,
+        partial: &ForkPartial,
+        remaining: u32,
+        avail: u32,
+        root_mask: u32,
+        root_mode_dp: bool,
+    ) -> (Rat, Rat) {
+        let platform = &self.ctx.instance.platform;
+        if remaining != 0 && avail == 0 {
+            return (Rat::INFINITY, Rat::INFINITY);
+        }
+        let root_k = root_mask.count_ones() as usize;
+        let root_mode = if root_mode_dp {
+            Mode::DataParallel
+        } else {
+            Mode::Replicated
+        };
+        let mut lb_period =
+            partial
+                .period_others
+                .max(Self::amortize(partial.root_busy, root_k, root_mode));
+        lb_period = lb_period.max(suffix_period_bound(
+            platform,
+            self.mask_work(remaining),
+            avail,
+        ));
+
+        let mut all_done = partial.completion_max;
+        // every unplaced leaf still has to receive δ0 (not before
+        // send_start) and compute somewhere in the remaining pool
+        let allow_dp = self.ctx.instance.allow_data_parallel;
+        for s in Self::stages_of(remaining) {
+            if !self.is_leaf(s) {
+                continue;
+            }
+            let delay = suffix_delay_bound(platform, self.stage_weight(s), avail, allow_dp);
+            all_done = all_done.max(partial.send_start + delay);
+        }
+        let lb_latency = match self.join {
+            None => all_done,
+            Some(join_w) => {
+                let join_delay = match partial.join_speed {
+                    Some(speed) => Rat::ratio(join_w, speed.max(1)),
+                    // join not placed yet: it will run on remaining
+                    // processors; pool them (admissible as in
+                    // suffix_delay_bound — data-parallelizing the join
+                    // alone is legal)
+                    None => suffix_delay_bound(platform, join_w, avail, allow_dp),
+                };
+                all_done + join_delay
+            }
+        };
+        (lb_period, lb_latency)
+    }
+
+    fn expand(
+        &mut self,
+        partial: &ForkPartial,
+        remaining: u32,
+        avail: u32,
+        root_mask: u32,
+        root_mode_dp: bool,
+    ) {
+        if !self.ctx.tick() {
+            return;
+        }
+        if remaining == 0 {
+            let mapping = Mapping::new(self.acc.clone());
+            if let Ok((period, latency)) = self.ctx.instance.objectives(&mapping) {
+                self.ctx.offer(mapping, period, latency);
+            }
+            return;
+        }
+        let (lb_period, lb_latency) =
+            self.bounds(partial, remaining, avail, root_mask, root_mode_dp);
+        if self.ctx.prune(lb_period, lb_latency) {
+            return;
+        }
+        if avail == 0 {
+            return; // stages remain but every processor is taken
+        }
+        // canonical partition order: the next group takes the smallest
+        // remaining stage plus any subset of the others
+        let lowest = remaining & remaining.wrapping_neg();
+        let rest = remaining ^ lowest;
+        let mut extra = rest;
+        loop {
+            let stages = lowest | extra;
+            let mut q = avail;
+            loop {
+                for mode in [Mode::Replicated, Mode::DataParallel] {
+                    if !self.group_mode_legal(stages, q, mode) {
+                        continue;
+                    }
+                    let child = self.extend(partial, stages, q, mode, root_mask);
+                    self.acc.push(Assignment::new(
+                        Self::stages_of(stages),
+                        mask_procs(q as usize),
+                        mode,
+                    ));
+                    self.expand(
+                        &child,
+                        remaining & !stages,
+                        avail & !q,
+                        root_mask,
+                        root_mode_dp,
+                    );
+                    self.acc.pop();
+                    if self.ctx.aborted {
+                        return;
+                    }
+                }
+                q = (q - 1) & avail;
+                if q == 0 {
+                    break;
+                }
+            }
+            if extra == 0 {
+                break;
+            }
+            extra = (extra - 1) & rest;
+        }
+    }
+
+    fn group_mode_legal(&self, stages: u32, q: u32, mode: Mode) -> bool {
+        if mode == Mode::Replicated {
+            return true;
+        }
+        if !self.ctx.instance.allow_data_parallel || q.count_ones() < 2 {
+            return false;
+        }
+        // a data-parallel group may not mix the join stage with leaves
+        let has_join = self.join.is_some() && stages & (1u32 << self.join_stage() as u32) != 0;
+        !has_join || stages.count_ones() == 1
+    }
+
+    /// Extends the partial state with a new non-root group, updating the
+    /// broadcast clock, root busy time, period terms and completions.
+    fn extend(
+        &self,
+        partial: &ForkPartial,
+        stages: u32,
+        q: u32,
+        mode: Mode,
+        root_mask: u32,
+    ) -> ForkPartial {
+        let platform = &self.ctx.instance.platform;
+        let network = self.ctx.network;
+        let procs = mask_procs(q as usize);
+        let root_procs = mask_procs(root_mask as usize);
+        let mut next = partial.clone();
+        let has_join = self.join.is_some() && stages & (1u32 << self.join_stage() as u32) != 0;
+        if has_join {
+            next.join_procs = Some(procs.clone());
+            next.join_speed = Some(self.sequential_speed(&procs, mode));
+        }
+        let wants = Self::stages_of(stages).iter().any(|&s| self.is_leaf(s));
+        // the group's δ0 link, shared by the arrival clock and its
+        // per-period receive term (zero for broadcast-free groups)
+        let link = if wants {
+            group_transfer(network, self.fork.broadcast_size(), &root_procs, &procs)
+        } else {
+            Rat::ZERO
+        };
+        let arrival = if wants {
+            next.receivers += 1;
+            match self.ctx.comm {
+                CommModel::OnePort => {
+                    next.t_oneport += link;
+                    next.root_busy = partial.root_busy + link;
+                    next.t_oneport
+                }
+                CommModel::BoundedMultiPort => {
+                    next.broadcast_link_max = next.broadcast_link_max.max(link);
+                    let volume = self.fork.broadcast_size() * next.receivers;
+                    let cap = multiport_capacity_bound(network, volume);
+                    // root busy = base + max(max link, capacity); redo
+                    // the (monotone) broadcast component from its parts
+                    next.root_busy = partial.root_busy
+                        + (next.broadcast_link_max.max(cap)
+                            - partial.broadcast_link_max.max(multiport_capacity_bound(
+                                network,
+                                self.fork.broadcast_size() * partial.receivers,
+                            )));
+                    next.send_start + link.max(cap)
+                }
+            }
+        } else {
+            // a join-only group receives no broadcast: its phase starts
+            // at send_start (matching `fork_completions`)
+            next.send_start
+        };
+        let full_work = self.mask_work(stages);
+        let latency_work = if has_join {
+            full_work - self.join.unwrap()
+        } else {
+            full_work
+        };
+        let k = q.count_ones() as usize;
+        let delay_of = |work: u64| match mode {
+            Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(&procs).max(1)),
+            Mode::DataParallel => Rat::ratio(work, platform.subset_speed(&procs).max(1)),
+        };
+        let outputs = self.outputs_lb(stages, &procs, next.join_procs.as_deref());
+        let busy = link + delay_of(full_work) + outputs;
+        next.period_others = next.period_others.max(Self::amortize(busy, k, mode));
+        next.completion_max = next
+            .completion_max
+            .max(arrival + delay_of(latency_work) + outputs);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::{Frontier, Goal};
+    use repliflow_core::gen::Gen;
+    use repliflow_core::instance::Objective;
+
+    fn brute_force_best(instance: &ProblemInstance) -> Option<Score> {
+        let mut frontier = Frontier::new();
+        let platform = &instance.platform;
+        let dp = instance.allow_data_parallel;
+        let mut visit = |m: &Mapping| {
+            let (period, latency) = instance.objectives(m).expect("enumerated mapping valid");
+            frontier.insert(Solution {
+                mapping: m.clone(),
+                period,
+                latency,
+            });
+        };
+        match &instance.workflow {
+            Workflow::Pipeline(p) => {
+                crate::pipeline::enumerate_pipeline(p, platform, dp, &mut visit)
+            }
+            Workflow::Fork(f) => crate::fork::enumerate_fork(f, platform, dp, &mut visit),
+            Workflow::ForkJoin(fj) => {
+                crate::forkjoin::enumerate_forkjoin(fj, platform, dp, &mut visit)
+            }
+        }
+        let goal = match instance.objective {
+            Objective::Period => Goal::MinPeriod,
+            Objective::Latency => Goal::MinLatency,
+            Objective::LatencyUnderPeriod(b) => Goal::MinLatencyUnderPeriod(b),
+            Objective::PeriodUnderLatency(b) => Goal::MinPeriodUnderLatency(b),
+        };
+        frontier
+            .pick(goal)
+            .map(|s| instance.objective.score(s.period, s.latency))
+    }
+
+    fn comm_instance(
+        gen: &mut Gen,
+        workflow: Workflow,
+        p: usize,
+        objective: Objective,
+    ) -> ProblemInstance {
+        let network = if gen.flip(0.5) {
+            gen.uniform_network(p, 1, 4)
+        } else {
+            gen.het_network(p, 1, 4)
+        };
+        ProblemInstance {
+            workflow,
+            platform: gen.het_platform(p, 1, 5),
+            allow_data_parallel: gen.flip(0.6),
+            objective,
+            cost_model: CostModel::WithComm {
+                network,
+                comm: if gen.flip(0.5) {
+                    CommModel::OnePort
+                } else {
+                    CommModel::BoundedMultiPort
+                },
+                overlap: gen.flip(0.5),
+            },
+        }
+    }
+
+    #[test]
+    fn pipeline_bb_matches_enumeration() {
+        let mut gen = Gen::new(0xBB10);
+        for case in 0..40 {
+            let n = gen.size(1, 4);
+            let p = gen.size(1, 4);
+            let pipe = Pipeline::with_data_sizes(
+                gen.positive_ints(n, 1, 9),
+                gen.positive_ints(n + 1, 0, 6),
+            );
+            let objective = match case % 3 {
+                0 => Objective::Period,
+                1 => Objective::Latency,
+                _ => Objective::LatencyUnderPeriod(Rat::int(gen.int(3, 20) as i128)),
+            };
+            let instance = comm_instance(&mut gen, pipe.into(), p, objective);
+            let result = solve_comm_bb(&instance, None, &BbLimits::default());
+            assert!(result.stats.completed);
+            let bb = result
+                .best
+                .map(|s| instance.objective.score(s.period, s.latency));
+            assert_eq!(bb, brute_force_best(&instance), "case {case}");
+        }
+    }
+
+    #[test]
+    fn fork_and_forkjoin_bb_match_enumeration() {
+        let mut gen = Gen::new(0xBB11);
+        for case in 0..40 {
+            let leaves = gen.size(0, 3);
+            let p = gen.size(1, 3);
+            let workflow: Workflow = if case % 2 == 0 {
+                Fork::with_data_sizes(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves, 1, 6),
+                    gen.int(0, 5),
+                    gen.int(0, 5),
+                    gen.positive_ints(leaves, 0, 4),
+                )
+                .into()
+            } else {
+                repliflow_core::workflow::ForkJoin::new(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves, 1, 6),
+                    gen.int(1, 5),
+                )
+                .into()
+            };
+            let objective = if case % 3 == 0 {
+                Objective::Period
+            } else {
+                Objective::Latency
+            };
+            let instance = comm_instance(&mut gen, workflow, p, objective);
+            let result = solve_comm_bb(&instance, None, &BbLimits::default());
+            assert!(result.stats.completed);
+            let bb = result
+                .best
+                .map(|s| instance.objective.score(s.period, s.latency));
+            assert_eq!(bb, brute_force_best(&instance), "case {case}");
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts_without_panicking() {
+        let mut gen = Gen::new(0xBB12);
+        let pipe =
+            Pipeline::with_data_sizes(gen.positive_ints(8, 1, 9), gen.positive_ints(9, 1, 6));
+        let instance = comm_instance(&mut gen, pipe.into(), 4, Objective::Period);
+        let limits = BbLimits {
+            max_nodes: 50,
+            time_limit: None,
+        };
+        let result = solve_comm_bb(&instance, None, &limits);
+        assert!(!result.stats.completed);
+        assert!(result.stats.nodes <= 50);
+    }
+
+    #[test]
+    fn incumbent_never_worsens_the_result() {
+        let mut gen = Gen::new(0xBB13);
+        for _ in 0..10 {
+            let n = gen.size(2, 4);
+            let p = gen.size(2, 3);
+            let pipe = Pipeline::with_data_sizes(
+                gen.positive_ints(n, 1, 9),
+                gen.positive_ints(n + 1, 0, 6),
+            );
+            let instance = comm_instance(&mut gen, pipe.into(), p, Objective::Period);
+            let seed = Mapping::whole(n, instance.platform.procs().collect(), Mode::Replicated);
+            let with = solve_comm_bb(&instance, Some(&seed), &BbLimits::default());
+            let without = solve_comm_bb(&instance, None, &BbLimits::default());
+            let score = |r: &BbResult| {
+                r.best
+                    .as_ref()
+                    .map(|s| instance.objective.score(s.period, s.latency))
+            };
+            assert_eq!(score(&with), score(&without));
+        }
+    }
+
+    #[test]
+    fn infeasible_bound_is_proven() {
+        // No mapping of strictly positive work achieves period 0.
+        let instance = ProblemInstance {
+            workflow: Pipeline::with_data_sizes(vec![5, 5], vec![1, 1, 1]).into(),
+            platform: Platform::homogeneous(2, 1),
+            allow_data_parallel: true,
+            objective: Objective::LatencyUnderPeriod(Rat::ZERO),
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(2, 2),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let result = solve_comm_bb(&instance, None, &BbLimits::default());
+        assert!(result.stats.completed);
+        assert!(result.best.is_none());
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! * [`pipeline`] — Pareto subset-DP over (stage prefix × processor mask)
 //!   plus a brute-force enumerator;
+//! * [`comm_bb`] — branch-and-bound over partial mappings for the
+//!   **communication-aware** general model, with admissible lower bounds
+//!   and dominance pruning (far beyond what full enumeration reaches);
 //! * [`fork`] — root-group enumeration × memoized Pareto leaf-cover DP,
 //!   plus a set-partition brute force;
 //! * [`forkjoin`] — the Section 6.3 extension with distinguished root and
@@ -24,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod comm_bb;
 pub mod fork;
 pub mod forkjoin;
 pub mod goal;
 pub mod oracle;
 pub mod pipeline;
 
+pub use comm_bb::{solve_comm_bb, BbLimits, BbResult, BbStats};
 pub use fork::{brute_force_fork, enumerate_fork, pareto_fork, solve_fork};
 pub use forkjoin::{brute_force_forkjoin, enumerate_forkjoin, pareto_forkjoin, solve_forkjoin};
 pub use goal::{Frontier, Goal, Solution};

@@ -7,20 +7,22 @@
 //! Pipelines search the structural neighborhood of [`crate::moves`]
 //! *plus* processor swaps ([`crate::moves::proc_swaps`]) — swaps are the
 //! move class that matters once link bandwidths make processor identity
-//! significant. Forks and fork-joins currently have no structural
-//! neighborhood (see ROADMAP), so their searches return the start
-//! mapping unchanged and the portfolio relies on constructive
-//! candidates.
+//! significant. Forks and fork-joins search the workflow-generic
+//! processor swaps of [`crate::moves::proc_swaps_any`]: their *group
+//! structure* still comes from the constructive candidates, but which
+//! physical processors serve each group is now locally optimized too
+//! (previously their searches returned the start mapping unchanged).
 
 use crate::annealing::Schedule;
-use crate::moves::neighbors_with_swaps;
+use crate::moves::{neighbors_with_swaps, proc_swaps_any};
 use crate::score::score_instance;
 use repliflow_core::instance::ProblemInstance;
 use repliflow_core::mapping::Mapping;
 use repliflow_core::workflow::Workflow;
 
 /// Every neighbor of `mapping` under the instance's workflow shape
-/// (empty for forks and fork-joins, whose neighborhood is future work).
+/// (processor swaps only for forks and fork-joins, whose structural
+/// neighborhood is still future work).
 pub fn neighbors_instance(instance: &ProblemInstance, mapping: &Mapping) -> Vec<Mapping> {
     match &instance.workflow {
         Workflow::Pipeline(pipe) => neighbors_with_swaps(
@@ -29,7 +31,12 @@ pub fn neighbors_instance(instance: &ProblemInstance, mapping: &Mapping) -> Vec<
             mapping,
             instance.allow_data_parallel,
         ),
-        Workflow::Fork(_) | Workflow::ForkJoin(_) => Vec::new(),
+        Workflow::Fork(_) | Workflow::ForkJoin(_) => proc_swaps_any(
+            &instance.workflow,
+            &instance.platform,
+            mapping,
+            instance.allow_data_parallel,
+        ),
     }
 }
 
@@ -126,6 +133,82 @@ mod tests {
         let b = anneal_instance(&instance, start, sched, 7);
         assert_eq!(a, b, "same seed, same result");
         assert!(score_instance(&instance, &a) <= before);
+    }
+
+    #[test]
+    fn fork_local_search_strictly_improves_a_bad_seed() {
+        // Fork with a heavy root and light leaves on a heterogeneous
+        // platform, seeded with the WRONG placement: the slow processor
+        // holds the root, the fast one a light leaf. A single processor
+        // swap fixes it; before `proc_swaps_any`, fork searches had no
+        // moves at all and returned the seed unchanged.
+        use repliflow_core::mapping::Assignment;
+        use repliflow_core::platform::ProcId;
+        use repliflow_core::workflow::Fork;
+
+        let fork = Fork::with_data_sizes(12, vec![2, 2], 4, 2, vec![1, 1]);
+        let plat = Platform::heterogeneous(vec![1, 4, 1]);
+        let instance = ProblemInstance {
+            workflow: fork.into(),
+            platform: plat,
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(3, 2),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let bad = Mapping::new(vec![
+            Assignment::new(vec![0], vec![ProcId(0)], Mode::Replicated), // root on slow P0
+            Assignment::new(vec![1], vec![ProcId(1)], Mode::Replicated), // leaf on fast P1
+            Assignment::new(vec![2], vec![ProcId(2)], Mode::Replicated),
+        ]);
+        let before = instance.latency(&bad).unwrap();
+        let improved = improve_instance(&instance, bad, 50);
+        let after = instance.latency(&improved).unwrap();
+        assert!(
+            after < before,
+            "swap moves should strictly improve: before {before}, after {after}"
+        );
+        // the winning move puts the fast processor on the root group
+        assert_eq!(
+            improved.assignment_of(0).unwrap().procs(),
+            &[ProcId(1)],
+            "fast processor should serve the heavy root, got {improved}"
+        );
+    }
+
+    #[test]
+    fn forkjoin_local_search_never_worsens_and_finds_swaps() {
+        // Same shape of argument for fork-joins: a seeded bad placement
+        // (slow processor on the heavy join) strictly improves.
+        use repliflow_core::mapping::Assignment;
+        use repliflow_core::platform::ProcId;
+        use repliflow_core::workflow::ForkJoin;
+
+        let fj = ForkJoin::new(1, vec![2, 2], 12);
+        let plat = Platform::heterogeneous(vec![4, 1, 1]);
+        let instance = ProblemInstance {
+            workflow: fj.into(),
+            platform: plat,
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(3, 2),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let bad = Mapping::new(vec![
+            Assignment::new(vec![0, 1], vec![ProcId(0)], Mode::Replicated),
+            Assignment::new(vec![2], vec![ProcId(1)], Mode::Replicated),
+            Assignment::new(vec![3], vec![ProcId(2)], Mode::Replicated), // join on slow P2
+        ]);
+        let before = instance.latency(&bad).unwrap();
+        let improved = improve_instance(&instance, bad, 50);
+        let after = instance.latency(&improved).unwrap();
+        assert!(after < before, "before {before}, after {after}");
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Neighborhood moves over pipeline mappings, shared by local search and
-//! simulated annealing.
+//! Neighborhood moves over mappings, shared by local search and
+//! simulated annealing: structural moves and processor swaps for
+//! pipelines, plus workflow-generic processor swaps that give forks and
+//! fork-joins a (minimal) local-search neighborhood — the move class
+//! that matters once link bandwidths and heterogeneous speeds make
+//! processor *identity* significant.
 
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::Platform;
-use repliflow_core::workflow::Pipeline;
+use repliflow_core::workflow::{Pipeline, Workflow};
 
 /// Generates every neighbor of `mapping` reachable by one structural move:
 /// shifting an interval boundary, moving a processor between groups,
@@ -203,6 +207,51 @@ pub fn neighbors_with_swaps(
 ) -> Vec<Mapping> {
     let mut out = neighbors(pipeline, platform, mapping, allow_dp);
     out.extend(proc_swaps(pipeline, platform, mapping, allow_dp));
+    out
+}
+
+/// Workflow-generic processor swaps: exchanges one processor between
+/// every pair of groups, keeping every group's stage set and mode — so
+/// the move is structurally legal for *any* workflow shape (fork and
+/// fork-join group structure is untouched) and only re-decides which
+/// physical processors serve which group. Swaps are what let local
+/// search move a fast processor onto the critical root/leaf group, or a
+/// well-connected one onto a transfer-heavy group, without passing
+/// through the worse intermediate states two one-directional transfers
+/// would require.
+pub fn proc_swaps_any(
+    workflow: &Workflow,
+    platform: &Platform,
+    mapping: &Mapping,
+    allow_dp: bool,
+) -> Vec<Mapping> {
+    let groups = mapping.assignments();
+    let mut out = Vec::new();
+    for g in 0..groups.len() {
+        for h in g + 1..groups.len() {
+            for &a in groups[g].procs() {
+                for &b in groups[h].procs() {
+                    let ga: Vec<_> = groups[g]
+                        .procs()
+                        .iter()
+                        .map(|&q| if q == a { b } else { q })
+                        .collect();
+                    let gh: Vec<_> = groups[h]
+                        .procs()
+                        .iter()
+                        .map(|&q| if q == b { a } else { q })
+                        .collect();
+                    let mut new_groups = groups.to_vec();
+                    new_groups[g] =
+                        Assignment::new(groups[g].stages().to_vec(), ga, groups[g].mode);
+                    new_groups[h] =
+                        Assignment::new(groups[h].stages().to_vec(), gh, groups[h].mode);
+                    out.push(Mapping::new(new_groups));
+                }
+            }
+        }
+    }
+    out.retain(|m| m.validate(workflow, platform, allow_dp).is_ok());
     out
 }
 

@@ -28,26 +28,11 @@ pub fn score_instance(instance: &ProblemInstance, mapping: &Mapping) -> Score {
     rank(instance.objective, period, latency)
 }
 
-/// Orders an already-evaluated (period, latency) pair under `objective`.
+/// Orders an already-evaluated (period, latency) pair under `objective`
+/// (delegates to [`Objective::score`], the canonical ordering shared
+/// with the exact branch-and-bound).
 pub fn rank(objective: Objective, period: Rat, latency: Rat) -> Score {
-    match objective {
-        Objective::Period => (period, latency),
-        Objective::Latency => (latency, period),
-        Objective::LatencyUnderPeriod(bound) => {
-            if period <= bound {
-                (latency, period)
-            } else {
-                (Rat::INFINITY, period)
-            }
-        }
-        Objective::PeriodUnderLatency(bound) => {
-            if latency <= bound {
-                (period, latency)
-            } else {
-                (Rat::INFINITY, latency)
-            }
-        }
-    }
+    objective.score(period, latency)
 }
 
 /// Scores `mapping` under `objective`.

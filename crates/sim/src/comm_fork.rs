@@ -1,0 +1,211 @@
+//! Fork simulation under the **general model with communication**
+//! (Sections 3.2–3.3): single-processor-per-group [`ForkAlloc`]
+//! mappings executed event by event.
+//!
+//! The analytic fork timing of `repliflow_core::comm` makes two
+//! modeling choices this simulation implements operationally:
+//!
+//! * **communication overlaps computation** on the same processor
+//!   except where the model explicitly serializes it — the `δ_0`
+//!   broadcast occupies the root's *send port* (one transfer at a time
+//!   under one-port, concurrent-with-capacity under bounded
+//!   multi-port), leaf outputs occupy each group's own *output port*
+//!   (serialized per group), and computation proceeds independently;
+//! * sends start at `S0`-completion under [`StartRule::Flexible`] and
+//!   only after the root group's whole computation under
+//!   [`StartRule::Strict`].
+//!
+//! Each resource (input link, root CPU, broadcast port, per-group CPUs
+//! and output ports) keeps its own free-time across data sets, so a
+//! data set traversing the system alone reproduces
+//! [`fork_completion_with_comm`] exactly — which the tests in
+//! `tests/comm_vs_analytic.rs` verify against both comm disciplines and
+//! both start rules. Use [`Feed::Interval`] with a large interval and
+//! read [`SimReport::max_latency`]; the saturated-feed period is *not*
+//! comparable to [`fork_period_with_comm`], whose round-robin busy-time
+//! accounting deliberately bills a processor's computation and all of
+//! its transfers sequentially.
+//!
+//! [`fork_completion_with_comm`]: repliflow_core::comm::fork_completion_with_comm
+//! [`fork_period_with_comm`]: repliflow_core::comm::fork_period_with_comm
+
+use crate::engine::entry_times;
+use crate::report::{Feed, SimReport};
+use repliflow_core::comm::{CommModel, Endpoint, ForkAlloc, Network, StartRule};
+use repliflow_core::platform::Platform;
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::Fork;
+
+/// Simulates a fork with communication costs over a one-processor-per-
+/// group allocation.
+///
+/// # Panics
+/// Panics if `alloc` is not a legal [`ForkAlloc`] for `fork` (the same
+/// contract as the analytic functions in `repliflow_core::comm`).
+#[allow(clippy::too_many_arguments)] // mirrors the analytic fork evaluators' signatures
+pub fn simulate_fork_with_comm(
+    fork: &Fork,
+    platform: &Platform,
+    network: &Network,
+    alloc: &ForkAlloc,
+    comm: CommModel,
+    start: StartRule,
+    feed: Feed,
+    n_data_sets: usize,
+) -> SimReport {
+    let m = alloc.groups.len();
+    let root = Endpoint::Proc(alloc.procs[0]);
+
+    // per-group constants
+    let group_work = |g: usize| -> u64 {
+        let leaves: u64 = alloc.groups[g].iter().map(|&s| fork.weight(s)).sum();
+        if g == 0 {
+            fork.root_weight() + leaves
+        } else {
+            leaves
+        }
+    };
+    let compute: Vec<Rat> = (0..m)
+        .map(|g| Rat::ratio(group_work(g), platform.speed(alloc.procs[g])))
+        .collect();
+    let s0_time = Rat::ratio(fork.root_weight(), platform.speed(alloc.procs[0]));
+    let pull = network.transfer_time(fork.input_size(), Endpoint::In, root);
+    let bcast: Vec<Rat> = (0..m)
+        .map(|g| network.transfer_time(fork.broadcast_size(), root, Endpoint::Proc(alloc.procs[g])))
+        .collect();
+    let outputs: Vec<Rat> = (0..m)
+        .map(|g| {
+            alloc.groups[g]
+                .iter()
+                .map(|&s| {
+                    network.transfer_time(
+                        fork.output_size(s),
+                        Endpoint::Proc(alloc.procs[g]),
+                        Endpoint::Out,
+                    )
+                })
+                .sum()
+        })
+        .collect();
+    let capacity = {
+        let volume = fork.broadcast_size() * (m as u64).saturating_sub(1);
+        if volume > 0 && !network.is_infinite() {
+            network
+                .node_capacity()
+                .map(|cap| Rat::ratio(volume, cap))
+                .unwrap_or(Rat::ZERO)
+        } else {
+            Rat::ZERO
+        }
+    };
+
+    // resource free-times, persistent across data sets
+    let mut in_link_free = Rat::ZERO;
+    let mut bcast_port_free = Rat::ZERO;
+    let mut cpu_free = vec![Rat::ZERO; m];
+    let mut out_port_free = vec![Rat::ZERO; m];
+
+    let entries = entry_times(feed, n_data_sets);
+    let mut departures = Vec::with_capacity(n_data_sets);
+    for &entry in &entries {
+        // root: pull input, compute S0 then its own leaves
+        let recv_done = entry.max(in_link_free) + pull;
+        in_link_free = recv_done;
+        let s0_done = recv_done.max(cpu_free[0]) + s0_time;
+        let root_done = recv_done.max(cpu_free[0]) + compute[0];
+        cpu_free[0] = root_done;
+        let send_start = match start {
+            StartRule::Flexible => s0_done,
+            StartRule::Strict => root_done,
+        };
+        // broadcast δ0 on the root's send port
+        let mut arrive = vec![Rat::ZERO; m];
+        match comm {
+            CommModel::OnePort => {
+                let mut t = send_start.max(bcast_port_free);
+                for g in 1..m {
+                    t += bcast[g];
+                    arrive[g] = t;
+                }
+                bcast_port_free = t;
+            }
+            CommModel::BoundedMultiPort => {
+                let base = send_start.max(bcast_port_free);
+                for g in 1..m {
+                    arrive[g] = base + bcast[g].max(capacity);
+                    bcast_port_free = bcast_port_free.max(arrive[g]);
+                }
+            }
+        }
+        // every group: compute on arrival, then push outputs on its own
+        // output port
+        let mut departure = root_done.max(out_port_free[0]) + outputs[0];
+        out_port_free[0] = departure;
+        for g in 1..m {
+            let done = arrive[g].max(cpu_free[g]) + compute[g];
+            cpu_free[g] = done;
+            let out_done = done.max(out_port_free[g]) + outputs[g];
+            out_port_free[g] = out_done;
+            departure = departure.max(out_done);
+        }
+        departures.push(departure);
+    }
+    SimReport::new(entries, departures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::comm::fork_completion_with_comm;
+    use repliflow_core::platform::ProcId;
+
+    #[test]
+    fn isolated_data_set_matches_analytic_completion() {
+        let fork = Fork::with_data_sizes(2, vec![2, 2], 6, 4, vec![2, 2]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(3, 2);
+        let fa = ForkAlloc {
+            groups: vec![vec![], vec![1], vec![2]],
+            procs: vec![ProcId(0), ProcId(1), ProcId(2)],
+        };
+        for comm in [CommModel::OnePort, CommModel::BoundedMultiPort] {
+            for start in [StartRule::Flexible, StartRule::Strict] {
+                let (_, analytic) = fork_completion_with_comm(&fork, &plat, &net, &fa, comm, start);
+                let report = simulate_fork_with_comm(
+                    &fork,
+                    &plat,
+                    &net,
+                    &fa,
+                    comm,
+                    start,
+                    Feed::Interval(Rat::int(1000)),
+                    4,
+                );
+                assert_eq!(report.max_latency(), analytic, "{comm:?}/{start:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_bound_slows_the_broadcast() {
+        let fork = Fork::with_data_sizes(0, vec![1, 1], 0, 4, vec![0, 0]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(3, 100).with_node_capacity(2);
+        let fa = ForkAlloc {
+            groups: vec![vec![], vec![1], vec![2]],
+            procs: vec![ProcId(0), ProcId(1), ProcId(2)],
+        };
+        let report = simulate_fork_with_comm(
+            &fork,
+            &plat,
+            &net,
+            &fa,
+            CommModel::BoundedMultiPort,
+            StartRule::Flexible,
+            Feed::Interval(Rat::int(1000)),
+            2,
+        );
+        // volume 8 / capacity 2 = 4, then 1 unit of leaf work
+        assert_eq!(report.max_latency(), Rat::int(5));
+    }
+}

@@ -16,8 +16,11 @@
 //!   `S0` completes for it;
 //! * fork-join: the join phase starts once *every* leaf of the data set
 //!   has finished anywhere on the platform;
-//! * optionally, the general model with communication (pull / compute /
-//!   push serialized per processor, matching formulas (1)–(2)).
+//! * optionally, the general model with communication: pipelines with
+//!   pull / compute / push serialized per processor (matching formulas
+//!   (1)–(2)), and forks with a one-port/multi-port `δ_0` broadcast and
+//!   per-group output ports (matching the analytic fork completion
+//!   times under both start rules — see [`comm_fork`]).
 //!
 //! Measurements: feed [`Feed::Saturated`] and read
 //! [`SimReport::measured_period`] over whole round-robin cycles to obtain
@@ -35,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod comm_fork;
 pub mod comm_pipeline;
 pub mod engine;
 pub mod fork;
 pub mod pipeline;
 pub mod report;
 
+pub use comm_fork::simulate_fork_with_comm;
 pub use comm_pipeline::simulate_pipeline_with_comm;
 pub use fork::{simulate_fork, simulate_forkjoin};
 pub use pipeline::simulate_pipeline;

@@ -7,14 +7,15 @@
 
 use proptest::prelude::*;
 use repliflow_core::comm::{
-    pipeline_latency_with_comm, pipeline_period_with_comm, IntervalAlloc, Network,
+    fork_completion_with_comm, pipeline_latency_with_comm, pipeline_period_with_comm, CommModel,
+    ForkAlloc, IntervalAlloc, Network, StartRule,
 };
 use repliflow_core::comm_cost;
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
-use repliflow_core::workflow::Pipeline;
-use repliflow_sim::{simulate_pipeline_with_comm, Feed};
+use repliflow_core::workflow::{Fork, Pipeline};
+use repliflow_sim::{simulate_fork_with_comm, simulate_pipeline_with_comm, Feed};
 
 /// Deterministically derives an interval partition of `n` stages onto
 /// distinct processors of a `p`-processor platform from proptest-drawn
@@ -45,6 +46,47 @@ fn mapping_of(alloc: &[IntervalAlloc]) -> Mapping {
         alloc
             .iter()
             .map(|a| Assignment::interval(a.lo, a.hi, vec![a.proc], Mode::Replicated))
+            .collect(),
+    )
+}
+
+/// Deterministically derives a fork group allocation (root group plus
+/// up to `p - 1` leaf groups on distinct processors) from proptest-drawn
+/// assignment decisions.
+fn derive_fork_alloc(n_leaves: usize, p: usize, picks: usize) -> ForkAlloc {
+    let n_groups = 1 + (p - 1).min(n_leaves);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut bits = picks;
+    for leaf in 1..=n_leaves {
+        groups[bits % n_groups].push(leaf);
+        bits /= n_groups.max(1);
+    }
+    // drop empty non-root groups so every group is meaningful
+    let mut final_groups = vec![std::mem::take(&mut groups[0])];
+    final_groups.extend(groups.into_iter().skip(1).filter(|g| !g.is_empty()));
+    let procs: Vec<ProcId> = (0..final_groups.len()).map(ProcId).collect();
+    ForkAlloc {
+        groups: final_groups,
+        procs,
+    }
+}
+
+/// The [`Mapping`] equivalent of a [`ForkAlloc`] (single-processor
+/// replicated groups; group 0 additionally holds the root stage).
+fn fork_mapping_of(alloc: &ForkAlloc) -> Mapping {
+    Mapping::new(
+        alloc
+            .groups
+            .iter()
+            .zip(&alloc.procs)
+            .enumerate()
+            .map(|(g, (leaves, &proc))| {
+                let mut stages = leaves.clone();
+                if g == 0 {
+                    stages.push(0);
+                }
+                Assignment::new(stages, vec![proc], Mode::Replicated)
+            })
             .collect(),
     )
 }
@@ -94,6 +136,66 @@ proptest! {
             5,
         );
         prop_assert_eq!(report.max_latency(), analytic_latency);
+    }
+
+    /// Fork witnesses: the discrete-event broadcast/output-port
+    /// execution of an isolated data set reproduces both the paper-
+    /// formula completion times (`core::comm`) and the general-mapping
+    /// evaluator (`core::comm_cost`) restricted to single-processor
+    /// groups — for both send disciplines and both start rules.
+    #[test]
+    fn fork_simulation_matches_analytic_comm_evaluators(
+        root_w in 1u64..=8,
+        leaf_weights in prop::collection::vec(1u64..=8, 0..=5),
+        sizes in prop::collection::vec(0u64..=6, 7),
+        speeds in prop::collection::vec(1u64..=5, 1..=4),
+        bw in 1u64..=4,
+        capacity in 0u64..=4,
+        picks in 0usize..1_000_000,
+        one_port in 0usize..2,
+        strict in 0usize..2,
+    ) {
+        let n = leaf_weights.len();
+        let p = speeds.len();
+        let fork = Fork::with_data_sizes(
+            root_w,
+            leaf_weights,
+            sizes[0],
+            sizes[1],
+            sizes[2..2 + n].to_vec(),
+        );
+        let plat = Platform::heterogeneous(speeds);
+        // capacity 0 encodes "no node bound"
+        let net = if capacity > 0 {
+            Network::uniform(p, bw).with_node_capacity(capacity)
+        } else {
+            Network::uniform(p, bw)
+        };
+        let alloc = derive_fork_alloc(n, p, picks);
+        let comm = if one_port == 0 { CommModel::OnePort } else { CommModel::BoundedMultiPort };
+        let start = if strict == 0 { StartRule::Strict } else { StartRule::Flexible };
+
+        let (_, analytic) = fork_completion_with_comm(&fork, &plat, &net, &alloc, comm, start);
+
+        // the general-mapping evaluator agrees on this class
+        let mapping = fork_mapping_of(&alloc);
+        prop_assert_eq!(
+            comm_cost::fork_latency(&fork, &plat, &net, comm, start, &mapping).unwrap(),
+            analytic
+        );
+
+        // ... and so does the independent discrete-event execution
+        let report = simulate_fork_with_comm(
+            &fork,
+            &plat,
+            &net,
+            &alloc,
+            comm,
+            start,
+            Feed::Interval(analytic + Rat::ONE),
+            4,
+        );
+        prop_assert_eq!(report.max_latency(), analytic);
     }
 
     /// Zero data sizes make the simulated general model collapse onto the

@@ -7,7 +7,7 @@
 //! [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
 
 use super::orient;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineRun};
 use crate::report::SolveError;
 use crate::request::Budget;
 use repliflow_algorithms::Solved;
@@ -35,11 +35,7 @@ impl Engine for CommExactEngine {
         true
     }
 
-    fn proves_optimality(&self, _variant: &Variant) -> bool {
-        true
-    }
-
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<Solved, SolveError> {
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<EngineRun, SolveError> {
         if !super::instance_fits(instance) {
             return Err(SolveError::ExceedsExactCapacity {
                 n_stages: instance.workflow.n_stages(),
@@ -73,12 +69,12 @@ impl Engine for CommExactEngine {
             }
         }
         match frontier.pick(instance.objective.into()) {
-            Some(sol) => Ok(orient(
+            Some(sol) => Ok(EngineRun::proven(orient(
                 instance.objective,
                 sol.mapping,
                 sol.period,
                 sol.latency,
-            )),
+            ))),
             // The enumeration is exhaustive, so an empty pick proves the
             // bi-criteria bound unattainable under this cost model.
             None => Err(SolveError::Infeasible { best_effort: None }),
@@ -128,15 +124,46 @@ impl CommHeuristicEngine {
                     ));
                 }
             }
+            // fork shapes: constructive group structure, then
+            // processor-swap local search re-decides which physical
+            // processors serve each group under the comm-aware score
             Workflow::Fork(fork) => {
-                out.push(greedy::fork_latency_greedy(fork, platform));
+                out.push(comm::improve_instance(
+                    instance,
+                    greedy::fork_latency_greedy(fork, platform),
+                    budget.local_search_rounds,
+                ));
             }
             Workflow::ForkJoin(fj) => {
-                out.push(greedy::forkjoin_latency_greedy(fj, platform));
+                out.push(comm::improve_instance(
+                    instance,
+                    greedy::forkjoin_latency_greedy(fj, platform),
+                    budget.local_search_rounds,
+                ));
             }
         }
         out
     }
+}
+
+/// The comm-heuristic portfolio's best mapping and its lexicographic
+/// score — shared with the `comm-bb` engine, which seeds its
+/// branch-and-bound incumbent from it (the determinism test guards this
+/// path: fixed seed, fixed result).
+pub(crate) fn portfolio_best(instance: &ProblemInstance, budget: &Budget) -> ((Rat, Rat), Solved) {
+    let (best_score, best) = CommHeuristicEngine
+        .candidates(instance, budget)
+        .into_iter()
+        .map(|m| (crate::score::score(instance, &m), m))
+        .min_by(|(a, _), (b, _)| a.cmp(b))
+        .expect("the portfolio always yields candidates");
+    let (period, latency) = instance
+        .objectives(&best)
+        .expect("candidate mappings are valid");
+    (
+        best_score,
+        orient(instance.objective, best, period, latency),
+    )
 }
 
 impl Engine for CommHeuristicEngine {
@@ -148,22 +175,8 @@ impl Engine for CommHeuristicEngine {
         true
     }
 
-    fn proves_optimality(&self, _variant: &Variant) -> bool {
-        false
-    }
-
-    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<Solved, SolveError> {
-        let (best_score, best) = self
-            .candidates(instance, budget)
-            .into_iter()
-            .map(|m| (crate::score::score(instance, &m), m))
-            .min_by(|(a, _), (b, _)| a.cmp(b))
-            .expect("the portfolio always yields candidates");
-
-        let (period, latency) = instance
-            .objectives(&best)
-            .expect("candidate mappings are valid");
-        let solved = orient(instance.objective, best, period, latency);
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
+        let (best_score, solved) = portfolio_best(instance, budget);
         if best_score.0 == Rat::INFINITY {
             // Every candidate violates the bi-criteria bound; hand the
             // registry the least-bad witness (a heuristic cannot prove
@@ -172,6 +185,6 @@ impl Engine for CommHeuristicEngine {
                 best_effort: Some(Box::new(solved)),
             });
         }
-        Ok(solved)
+        Ok(EngineRun::heuristic(solved))
     }
 }

@@ -1,0 +1,76 @@
+//! The `comm-bb` engine: branch-and-bound over partial mappings for
+//! [`CostModel::WithComm`] instances, seeded with the comm-heuristic
+//! portfolio's best mapping as the incumbent. Proves optimality
+//! whenever the search completes within the [`Budget`]'s node/time
+//! limits, and degrades gracefully to the incumbent (reported as
+//! [`Optimality::Heuristic`]) when it does not — so it replaces raw
+//! enumeration far beyond the `comm-exact` guard without ever running
+//! unboundedly.
+//!
+//! [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
+//! [`Optimality::Heuristic`]: crate::report::Optimality::Heuristic
+
+use super::{comm::portfolio_best, orient};
+use crate::engine::{Engine, EngineRun};
+use crate::report::{SearchStats, SolveError};
+use crate::request::Budget;
+use repliflow_core::instance::{ProblemInstance, Variant};
+use repliflow_exact::solve_comm_bb;
+
+/// Branch-and-bound over interval-by-interval (pipeline) / group-by-
+/// group (fork, fork-join) partial mappings with admissible lower
+/// bounds and dominance pruning; see `repliflow_exact::comm_bb`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommBbEngine;
+
+impl Engine for CommBbEngine {
+    fn name(&self) -> &'static str {
+        "comm-bb"
+    }
+
+    fn supports(&self, _variant: &Variant) -> bool {
+        true
+    }
+
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
+        // Surface the search's hard representation limits as an error
+        // instead of letting its asserts abort the process: the shared
+        // processor/leaf bitmask caps, plus the stage bitmask cap the
+        // branch-and-bound adds on top (unlike enumeration, it keys
+        // pipeline stages into u32 masks too).
+        if !super::instance_fits(instance)
+            || instance.workflow.n_stages() > repliflow_exact::comm_bb::MAX_STAGES
+        {
+            return Err(SolveError::ExceedsExactCapacity {
+                n_stages: instance.workflow.n_stages(),
+                n_procs: instance.platform.n_procs(),
+            });
+        }
+        // Seed the incumbent from the heuristic portfolio: a good upper
+        // bound up front is what makes the lower-bound pruning bite.
+        let (seed_score, seed) = portfolio_best(instance, budget);
+        let seed_feasible = seed_score.0.is_finite();
+        let result = solve_comm_bb(
+            instance,
+            seed_feasible.then_some(&seed.mapping),
+            &budget.bb_limits(),
+        );
+        let search = SearchStats::from(result.stats);
+        match result.best {
+            Some(sol) => Ok(EngineRun {
+                solved: orient(instance.objective, sol.mapping, sol.period, sol.latency),
+                // an exhausted search is a proof; a node/time-limited
+                // one is only as good as its incumbent
+                optimal: search.completed,
+                search: Some(search),
+            }),
+            // No feasible mapping found: a completed search *proves*
+            // the bi-criteria bound unattainable; an aborted one can
+            // only hand back the heuristic's bound-violating witness.
+            None if search.completed => Err(SolveError::Infeasible { best_effort: None }),
+            None => Err(SolveError::Infeasible {
+                best_effort: Some(Box::new(seed)),
+            }),
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! optimality, at exponential cost — the registry only auto-routes to
 //! it under the [`Budget`] size threshold.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineRun};
 use crate::report::SolveError;
 use crate::request::Budget;
 use repliflow_algorithms::Solved;
@@ -50,11 +50,7 @@ impl Engine for ExactEngine {
         true
     }
 
-    fn proves_optimality(&self, _variant: &Variant) -> bool {
-        true
-    }
-
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<Solved, SolveError> {
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<EngineRun, SolveError> {
         // Surface the exhaustive solvers' hard bitmask limits as an
         // error instead of letting their asserts abort the process.
         if !instance_fits(instance) {
@@ -64,7 +60,7 @@ impl Engine for ExactEngine {
             });
         }
         match repliflow_exact::solve(instance) {
-            Some(sol) => Ok(orient(instance.objective, sol)),
+            Some(sol) => Ok(EngineRun::proven(orient(instance.objective, sol))),
             // The frontier is exhaustive, so an empty pick proves the
             // bound unattainable.
             None => Err(SolveError::Infeasible { best_effort: None }),

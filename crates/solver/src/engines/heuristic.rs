@@ -5,11 +5,10 @@
 //! Table 1 cell (including fork-join, which the old CLI refused)
 //! without optimality guarantees.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineRun};
 use crate::report::SolveError;
 use crate::request::Budget;
 use crate::score::score;
-use repliflow_algorithms::Solved;
 use repliflow_core::instance::{ProblemInstance, Variant};
 use repliflow_core::mapping::{Mapping, Mode};
 use repliflow_core::rational::Rat;
@@ -82,11 +81,7 @@ impl Engine for HeuristicEngine {
         true
     }
 
-    fn proves_optimality(&self, _variant: &Variant) -> bool {
-        false
-    }
-
-    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<Solved, SolveError> {
+    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
         let (best_score, best) = self
             .candidates(instance, budget)
             .into_iter()
@@ -106,6 +101,6 @@ impl Engine for HeuristicEngine {
                 best_effort: Some(Box::new(solved)),
             });
         }
-        Ok(solved)
+        Ok(EngineRun::heuristic(solved))
     }
 }

@@ -3,11 +3,13 @@
 //! communication-aware counterparts.
 
 mod comm;
+mod comm_bb;
 mod exact;
 mod heuristic;
 mod paper;
 
 pub use comm::{CommExactEngine, CommHeuristicEngine};
+pub use comm_bb::CommBbEngine;
 pub use exact::ExactEngine;
 pub use heuristic::HeuristicEngine;
 pub use paper::PaperEngine;

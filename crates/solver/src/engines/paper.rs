@@ -3,7 +3,7 @@
 //! 14 and their Section 6.3 fork-join extensions). Refuses NP-hard
 //! cells — that is the registry's job to reroute.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineRun};
 use crate::report::SolveError;
 use crate::request::Budget;
 use repliflow_algorithms::{forkjoin, het_fork, het_pipeline, hom_fork, hom_pipeline, Solved};
@@ -21,24 +21,10 @@ impl PaperEngine {
             variant: instance.variant(),
         }
     }
-}
 
-impl Engine for PaperEngine {
-    fn name(&self) -> &'static str {
-        "paper"
-    }
-
-    fn supports(&self, variant: &Variant) -> bool {
-        matches!(variant.paper_complexity(), Complexity::Polynomial(_))
-    }
-
-    fn proves_optimality(&self, _variant: &Variant) -> bool {
-        // This engine only ever solves cells whose algorithm the paper
-        // proves optimal.
-        true
-    }
-
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<Solved, SolveError> {
+    /// Cell-by-cell dispatch to the theorem algorithms; every solution
+    /// this produces carries the theorem's optimality proof.
+    fn solve_cell(&self, instance: &ProblemInstance) -> Result<Solved, SolveError> {
         let platform = &instance.platform;
         let plat_hom = platform.is_homogeneous();
         let dp = instance.allow_data_parallel;
@@ -167,5 +153,21 @@ impl Engine for PaperEngine {
                 _ => Err(self.unsupported(instance)),
             },
         }
+    }
+}
+
+impl Engine for PaperEngine {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn supports(&self, variant: &Variant) -> bool {
+        matches!(variant.paper_complexity(), Complexity::Polynomial(_))
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<EngineRun, SolveError> {
+        // This engine only ever solves cells whose algorithm the paper
+        // proves optimal.
+        self.solve_cell(instance).map(EngineRun::proven)
     }
 }

@@ -11,8 +11,13 @@
 //!   instance fits under the [`Budget`] size threshold (still
 //!   `Proven`), `repliflow-heuristics` beyond it
 //!   ([`Optimality::Heuristic`]);
-//! * explicit overrides via [`EnginePref`]: `Exact`, `Heuristic`, or
-//!   `Paper` (paper algorithm or refuse).
+//! * **communication-aware instances** → `comm-exact` enumeration when
+//!   tiny, the `comm-bb` branch-and-bound (proven optimal whenever its
+//!   node/time budget suffices, incumbent-seeded from the heuristic
+//!   portfolio) within [`Budget::allows_comm_bb`], `comm-heuristic`
+//!   beyond;
+//! * explicit overrides via [`EnginePref`]: `Exact`, `Heuristic`,
+//!   `CommBb`, or `Paper` (paper algorithm or refuse).
 //!
 //! Every report can re-validate its witness mapping through the
 //! `repliflow-core` cost model ([`SolveRequest::validate_witness`], on

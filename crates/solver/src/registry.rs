@@ -3,7 +3,7 @@
 
 use crate::engine::Engine;
 use crate::engines::{
-    CommExactEngine, CommHeuristicEngine, ExactEngine, HeuristicEngine, PaperEngine,
+    CommBbEngine, CommExactEngine, CommHeuristicEngine, ExactEngine, HeuristicEngine, PaperEngine,
 };
 use crate::report::{Optimality, SolveError, SolveReport};
 use crate::request::{Budget, EnginePref, SolveRequest};
@@ -26,23 +26,27 @@ use std::time::Instant;
 /// **Communication-aware** instances ([`CostModel::WithComm`]) have no
 /// polynomial cells — the paper analyzes only the simplified model — so
 /// `Auto` routes to [`CommExactEngine`] within
-/// [`Budget::allows_comm_exact`] and to [`CommHeuristicEngine`] beyond;
-/// [`EnginePref::Paper`] refuses them.
+/// [`Budget::allows_comm_exact`], to [`CommBbEngine`] (branch-and-bound,
+/// proven-optimal whenever its node/time budget suffices) within the
+/// much larger [`Budget::allows_comm_bb`] guard, and to
+/// [`CommHeuristicEngine`] beyond; [`EnginePref::Paper`] refuses them.
 #[derive(Debug, Default)]
 pub struct EngineRegistry {
     exact: ExactEngine,
     paper: PaperEngine,
     heuristic: HeuristicEngine,
     comm_exact: CommExactEngine,
+    comm_bb: CommBbEngine,
     comm_heuristic: CommHeuristicEngine,
 }
 
 impl EngineRegistry {
     /// The engine a **communication-aware** request routes to:
     /// comm-exact within the budget's enumeration guard (or when forced
-    /// via [`EnginePref::Exact`]), comm-heuristic beyond it;
-    /// [`EnginePref::Paper`] fails — the paper's polynomial algorithms
-    /// only cover the simplified model.
+    /// via [`EnginePref::Exact`]), comm-bb within the branch-and-bound
+    /// guard (or when forced via [`EnginePref::CommBb`]), comm-heuristic
+    /// beyond both; [`EnginePref::Paper`] fails — the paper's polynomial
+    /// algorithms only cover the simplified model.
     pub fn resolve_comm(
         &self,
         pref: EnginePref,
@@ -57,10 +61,13 @@ impl EngineRegistry {
                 variant: *variant,
             }),
             EnginePref::Exact => Ok(&self.comm_exact),
+            EnginePref::CommBb => Ok(&self.comm_bb),
             EnginePref::Heuristic => Ok(&self.comm_heuristic),
             EnginePref::Auto => {
                 if budget.allows_comm_exact(n_stages, n_procs) {
                     Ok(&self.comm_exact)
+                } else if budget.allows_comm_bb(n_stages, n_procs) {
+                    Ok(&self.comm_bb)
                 } else {
                     Ok(&self.comm_heuristic)
                 }
@@ -82,6 +89,13 @@ impl EngineRegistry {
         match pref {
             EnginePref::Exact => Ok(&self.exact),
             EnginePref::Heuristic => Ok(&self.heuristic),
+            // the branch-and-bound engine prices mappings under the
+            // general model only; simplified instances have the Pareto
+            // DP (`exact`) as their proven-optimal route
+            EnginePref::CommBb => Err(SolveError::Unsupported {
+                engine: self.comm_bb.name(),
+                variant: *variant,
+            }),
             EnginePref::Paper => {
                 if self.paper.supports(variant) {
                     Ok(&self.paper)
@@ -158,17 +172,17 @@ impl EngineRegistry {
         let outcome = engine.solve(instance, budget);
         let wall_time = start.elapsed();
 
-        let (optimality, solved) = match outcome {
-            Ok(solved) => {
-                let optimality = if engine.proves_optimality(&variant) {
+        let (optimality, solved, search) = match outcome {
+            Ok(run) => {
+                let optimality = if run.optimal {
                     Optimality::Proven
                 } else {
                     Optimality::Heuristic
                 };
-                (optimality, Some(solved))
+                (optimality, Some(run.solved), run.search)
             }
             Err(SolveError::Infeasible { best_effort }) => {
-                (Optimality::Infeasible, best_effort.map(|b| *b))
+                (Optimality::Infeasible, best_effort.map(|b| *b), None)
             }
             Err(e) => return Err(e),
         };
@@ -184,6 +198,7 @@ impl EngineRegistry {
                 period: None,
                 latency: None,
                 objective_value: None,
+                search,
                 wall_time,
             });
         };
@@ -205,6 +220,7 @@ impl EngineRegistry {
             engine.name(),
             optimality,
             solved,
+            search,
             wall_time,
         ))
     }
@@ -243,9 +259,13 @@ impl EngineRegistry {
     }
 
     /// Independent simulator cross-check for communication-aware
-    /// pipeline witnesses mapped one processor per interval — exactly
-    /// the class where the paper's formulas (1)–(2), our general-mapping
-    /// evaluators and the discrete-event simulation must all agree.
+    /// witnesses mapped one processor per group: pipelines re-execute
+    /// through the pull/compute/push discrete-event simulation (period
+    /// and latency), forks through the broadcast/output-port simulation
+    /// (latency — the analytic period's busy-time accounting is not an
+    /// executable schedule). Exactly the classes where the paper's
+    /// closed formulas, our general-mapping evaluators and a
+    /// discrete-event execution must all agree.
     fn cross_check_sim(
         &self,
         instance: &repliflow_core::instance::ProblemInstance,
@@ -256,10 +276,7 @@ impl EngineRegistry {
         use repliflow_core::rational::Rat;
         use repliflow_core::workflow::Workflow;
 
-        let CostModel::WithComm { network, .. } = &instance.cost_model else {
-            return Ok(());
-        };
-        let Workflow::Pipeline(pipe) = &instance.workflow else {
+        let CostModel::WithComm { network, comm, .. } = &instance.cost_model else {
             return Ok(());
         };
         let single_proc = solved
@@ -268,8 +285,14 @@ impl EngineRegistry {
             .iter()
             .all(|a| a.n_procs() == 1 && a.mode == Mode::Replicated);
         if !single_proc {
-            return Ok(()); // the simulator models single-proc intervals only
+            return Ok(()); // the simulators model single-proc groups only
         }
+        let Workflow::Pipeline(pipe) = &instance.workflow else {
+            if let Workflow::Fork(fork) = &instance.workflow {
+                return self.cross_check_fork_sim(instance, fork, network, *comm, solved);
+            }
+            return Ok(()); // fork-join comm simulation is future work
+        };
         let mut alloc: Vec<IntervalAlloc> = solved
             .mapping
             .assignments()
@@ -309,6 +332,53 @@ impl EngineRegistry {
         if measured != solved.latency {
             return Err(SolveError::InvalidWitness(format!(
                 "simulator measured latency {measured} but the report claims {}",
+                solved.latency
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fork counterpart of the simulator cross-check: re-executes a
+    /// single-processor-per-group comm witness through the
+    /// `repliflow-sim` fork broadcast simulation and compares the
+    /// isolated-data-set latency with the report's claim.
+    fn cross_check_fork_sim(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        fork: &repliflow_core::workflow::Fork,
+        network: &repliflow_core::comm::Network,
+        comm: repliflow_core::comm::CommModel,
+        solved: &repliflow_algorithms::Solved,
+    ) -> Result<(), SolveError> {
+        use repliflow_core::comm::ForkAlloc;
+        use repliflow_core::rational::Rat;
+
+        // sort root group first, then ascending first stage — the group
+        // order the one-port broadcast serializes in
+        let mut groups: Vec<&repliflow_core::mapping::Assignment> =
+            solved.mapping.assignments().iter().collect();
+        groups.sort_by_key(|a| a.stages()[0]);
+        let alloc = ForkAlloc {
+            groups: groups
+                .iter()
+                .map(|a| a.stages().iter().copied().filter(|&s| s != 0).collect())
+                .collect(),
+            procs: groups.iter().map(|a| a.procs()[0]).collect(),
+        };
+        let sim = repliflow_sim::simulate_fork_with_comm(
+            fork,
+            &instance.platform,
+            network,
+            &alloc,
+            comm,
+            instance.cost_model.start_rule(),
+            repliflow_sim::Feed::Interval(solved.latency + Rat::ONE),
+            3,
+        );
+        let measured = sim.max_latency();
+        if measured != solved.latency {
+            return Err(SolveError::InvalidWitness(format!(
+                "fork simulator measured latency {measured} but the report claims {}",
                 solved.latency
             )));
         }
@@ -402,5 +472,22 @@ mod tests {
             .solve(&SolveRequest::new(instance).engine(EnginePref::Paper))
             .unwrap_err();
         assert!(matches!(err, SolveError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn comm_bb_override_refuses_simplified_instances() {
+        // The branch-and-bound prices mappings under the general model;
+        // simplified instances already have a proven-optimal route.
+        let registry = EngineRegistry::default();
+        let err = registry
+            .solve(&SolveRequest::new(section2(Objective::Period)).engine(EnginePref::CommBb))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::Unsupported {
+                engine: "comm-bb",
+                ..
+            }
+        ));
     }
 }

@@ -32,6 +32,33 @@ impl fmt::Display for Optimality {
     }
 }
 
+/// Statistics of a bounded tree search (the `comm-bb` engine): how much
+/// of the space was explored and whether the run is a proof.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Subtrees cut by admissible lower bounds.
+    pub pruned_bound: u64,
+    /// Partial states cut by Pareto dominance.
+    pub pruned_dominated: u64,
+    /// Whether the search ran to exhaustion within its node/time
+    /// budget; `false` downgrades the report to
+    /// [`Optimality::Heuristic`].
+    pub completed: bool,
+}
+
+impl From<repliflow_exact::BbStats> for SearchStats {
+    fn from(stats: repliflow_exact::BbStats) -> SearchStats {
+        SearchStats {
+            nodes: stats.nodes,
+            pruned_bound: stats.pruned_bound,
+            pruned_dominated: stats.pruned_dominated,
+            completed: stats.completed,
+        }
+    }
+}
+
 /// The result of one solve: classification, engine, solution and
 /// timing.
 #[derive(Clone, Debug)]
@@ -59,6 +86,9 @@ pub struct SolveReport {
     /// Value of the optimized objective (equals `period` or `latency`
     /// depending on the instance's objective).
     pub objective_value: Option<Rat>,
+    /// Tree-search statistics (engines that explore a bounded search
+    /// tree — `comm-bb`; `None` for all other engines).
+    pub search: Option<SearchStats>,
     /// Wall-clock time the engine spent.
     pub wall_time: Duration,
 }
@@ -69,12 +99,73 @@ impl SolveReport {
         self.mapping.is_some()
     }
 
+    /// Canonical JSON form of everything **deterministic** in the
+    /// report — the full report minus `wall_time`. Two runs of the same
+    /// request on the same build must produce byte-identical canonical
+    /// JSON (guarded by the determinism integration test); any
+    /// divergence means an engine leaked nondeterminism into its
+    /// result.
+    pub fn canonical_json(&self) -> String {
+        use serde_json::Value;
+        let rat = |r: Option<Rat>| match r {
+            Some(v) => Value::String(v.to_string()),
+            None => Value::Null,
+        };
+        let mut fields = vec![
+            (
+                "variant".to_string(),
+                Value::String(self.variant.to_string()),
+            ),
+            (
+                "cost_model".to_string(),
+                Value::String(self.cost_model.to_string()),
+            ),
+            (
+                "engine".to_string(),
+                Value::String(self.engine_used.to_string()),
+            ),
+            (
+                "optimality".to_string(),
+                Value::String(self.optimality.to_string()),
+            ),
+            (
+                "mapping".to_string(),
+                match &self.mapping {
+                    Some(m) => Value::String(m.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            ("period".to_string(), rat(self.period)),
+            ("latency".to_string(), rat(self.latency)),
+            ("objective".to_string(), rat(self.objective_value)),
+        ];
+        if let Some(s) = &self.search {
+            fields.push((
+                "search".to_string(),
+                Value::Object(vec![
+                    ("nodes".to_string(), Value::String(s.nodes.to_string())),
+                    (
+                        "pruned_bound".to_string(),
+                        Value::String(s.pruned_bound.to_string()),
+                    ),
+                    (
+                        "pruned_dominated".to_string(),
+                        Value::String(s.pruned_dominated.to_string()),
+                    ),
+                    ("completed".to_string(), Value::Bool(s.completed)),
+                ]),
+            ));
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("report serialization is infallible")
+    }
+
     pub(crate) fn from_solved(
         variant: Variant,
         cost_model: CostModel,
         engine_used: &'static str,
         optimality: Optimality,
         solved: Solved,
+        search: Option<SearchStats>,
         wall_time: Duration,
     ) -> SolveReport {
         SolveReport {
@@ -87,6 +178,7 @@ impl SolveReport {
             period: Some(solved.period),
             latency: Some(solved.latency),
             objective_value: Some(solved.objective),
+            search,
             wall_time,
         }
     }

@@ -20,16 +20,25 @@ pub enum EnginePref {
     /// Force the paper's polynomial algorithm; the registry refuses
     /// NP-hard cells instead of silently approximating.
     Paper,
+    /// Force the communication-aware branch-and-bound engine, whatever
+    /// the instance size (its node/time budget still applies). Only
+    /// meaningful for [`CostModel::WithComm`] instances; the registry
+    /// refuses simplified-model requests.
+    ///
+    /// [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
+    CommBb,
 }
 
 impl EnginePref {
-    /// Parses the CLI spelling (`auto`, `exact`, `heuristic`, `paper`).
+    /// Parses the CLI spelling (`auto`, `exact`, `heuristic`, `paper`,
+    /// `comm-bb`).
     pub fn parse(s: &str) -> Option<EnginePref> {
         match s {
             "auto" => Some(EnginePref::Auto),
             "exact" => Some(EnginePref::Exact),
             "heuristic" => Some(EnginePref::Heuristic),
             "paper" => Some(EnginePref::Paper),
+            "comm-bb" => Some(EnginePref::CommBb),
             _ => None,
         }
     }
@@ -92,6 +101,22 @@ pub struct Budget {
     /// Like [`Budget::max_exact_procs`], for the communication-aware
     /// exact engine.
     pub max_comm_exact_procs: usize,
+    /// Stage ceiling under which `Auto` routes a communication-aware
+    /// instance to the branch-and-bound engine (`comm-bb`) instead of
+    /// the heuristic portfolio. Far above the raw-enumeration guard:
+    /// the B&B prices partial mappings with admissible bounds and
+    /// prunes dominated states instead of visiting the whole space.
+    pub max_comm_bb_stages: usize,
+    /// Processor ceiling of the `comm-bb` auto route.
+    pub max_comm_bb_procs: usize,
+    /// Hard cap on `comm-bb` search-tree nodes; when it trips, the best
+    /// incumbent is reported with [`Quality`]-grade (non-proven)
+    /// optimality instead of running unboundedly.
+    pub bb_node_limit: u64,
+    /// Hard wall-clock cap on one `comm-bb` search, in milliseconds
+    /// (`0` = unlimited). A run that trips the *time* limit is the one
+    /// situation in which `comm-bb` stops being deterministic.
+    pub bb_time_limit_ms: u64,
     /// Round limit for the steepest-descent local search.
     pub local_search_rounds: usize,
     /// Heuristic effort tier (whether/how long to anneal).
@@ -105,12 +130,19 @@ impl Default for Budget {
         // The exhaustive solvers enumerate set partitions; 10 stages /
         // 12 processors keeps them under ~1s, matching the historical
         // CLI threshold. The comm-aware enumerator visits every legal
-        // mapping, so its thresholds are tighter.
+        // mapping, so its thresholds are tighter; the branch-and-bound
+        // reaches twice the enumeration guard (12 stages / 8 procs run
+        // in well under a second on pipelines, a few seconds on forks)
+        // with the node/time caps as the backstop.
         Budget {
             max_exact_stages: 10,
             max_exact_procs: 12,
             max_comm_exact_stages: 6,
             max_comm_exact_procs: 5,
+            max_comm_bb_stages: 12,
+            max_comm_bb_procs: 8,
+            bb_node_limit: 4_000_000,
+            bb_time_limit_ms: 10_000,
             local_search_rounds: 200,
             quality: Quality::Balanced,
             seed: 0x5EED,
@@ -129,6 +161,21 @@ impl Budget {
     /// exhaustive engine (full mapping-space enumeration).
     pub fn allows_comm_exact(&self, n_stages: usize, n_procs: usize) -> bool {
         n_stages <= self.max_comm_exact_stages && n_procs <= self.max_comm_exact_procs
+    }
+
+    /// Whether the instance is small enough for the communication-aware
+    /// branch-and-bound engine (`comm-bb`) on the `Auto` route.
+    pub fn allows_comm_bb(&self, n_stages: usize, n_procs: usize) -> bool {
+        n_stages <= self.max_comm_bb_stages && n_procs <= self.max_comm_bb_procs
+    }
+
+    /// The branch-and-bound limits this budget implies.
+    pub fn bb_limits(&self) -> repliflow_exact::BbLimits {
+        repliflow_exact::BbLimits {
+            max_nodes: self.bb_node_limit,
+            time_limit: (self.bb_time_limit_ms > 0)
+                .then(|| std::time::Duration::from_millis(self.bb_time_limit_ms)),
+        }
     }
 
     /// Overrides the quality tier (builder style).

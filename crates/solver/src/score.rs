@@ -3,7 +3,7 @@
 //! model** (delegates to `repliflow_heuristics::score::score_instance`,
 //! which evaluates through the instance's own period/latency dispatch).
 
-use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_core::instance::ProblemInstance;
 use repliflow_core::mapping::Mapping;
 use repliflow_core::rational::Rat;
 
@@ -16,9 +16,5 @@ pub(crate) fn score(instance: &ProblemInstance, mapping: &Mapping) -> (Rat, Rat)
 /// Whether the mapping meets the objective's bi-criteria bound (always
 /// true for single-criterion objectives).
 pub(crate) fn meets_bound(instance: &ProblemInstance, period: Rat, latency: Rat) -> bool {
-    match instance.objective {
-        Objective::Period | Objective::Latency => true,
-        Objective::LatencyUnderPeriod(bound) => period <= bound,
-        Objective::PeriodUnderLatency(bound) => latency <= bound,
-    }
+    instance.objective.meets_bound(period, latency)
 }

@@ -73,7 +73,10 @@ fn with_comm_routes_to_comm_exact_within_guard() {
 }
 
 #[test]
-fn with_comm_routes_to_comm_heuristic_beyond_guard() {
+fn with_comm_routes_to_comm_bb_beyond_enumeration_guard() {
+    // Between the enumeration guard and the branch-and-bound guard the
+    // auto route now proves optimality via comm-bb instead of falling
+    // back to the heuristic.
     let registry = EngineRegistry::default();
     let tiny = Budget {
         max_comm_exact_stages: 0,
@@ -83,9 +86,50 @@ fn with_comm_routes_to_comm_heuristic_beyond_guard() {
     let report = registry
         .solve(&SolveRequest::new(comm_pipeline_instance()).budget(tiny))
         .unwrap();
+    assert_eq!(report.engine_used, "comm-bb");
+    assert_eq!(report.optimality, Optimality::Proven);
+    assert!(report.search.unwrap().completed);
+    assert!(report.has_mapping());
+}
+
+#[test]
+fn with_comm_routes_to_comm_heuristic_beyond_bb_guard() {
+    let registry = EngineRegistry::default();
+    let tiny = Budget {
+        max_comm_exact_stages: 0,
+        max_comm_exact_procs: 0,
+        max_comm_bb_stages: 0,
+        max_comm_bb_procs: 0,
+        ..Budget::default()
+    };
+    let report = registry
+        .solve(&SolveRequest::new(comm_pipeline_instance()).budget(tiny))
+        .unwrap();
     assert_eq!(report.engine_used, "comm-heuristic");
     assert_eq!(report.optimality, Optimality::Heuristic);
+    assert!(report.search.is_none());
     assert!(report.has_mapping());
+}
+
+#[test]
+fn comm_bb_surfaces_stage_capacity_as_an_error() {
+    // 33 stages exceed the search's u32 stage-mask capacity; a forced
+    // comm-bb request must get a clean error, not a process abort.
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![1; 33], vec![1; 34]).into(),
+        platform: Platform::homogeneous(2, 1),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(2, 1)),
+    };
+    let err = registry
+        .solve(&SolveRequest::new(instance).engine(EnginePref::CommBb))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SolveError::ExceedsExactCapacity { n_stages: 33, .. }
+    ));
 }
 
 #[test]
