@@ -1,14 +1,15 @@
 //! Benchmarks of the `comm-bb` branch-and-bound engine on instances the
 //! old `comm-exact` enumeration guard refused: the acceptance-bar
 //! 10-stage / 8-processor pipeline (proven optimal through the auto
-//! route) and a fork beyond the guard, plus the raw search without the
-//! registry around it.
+//! route), forks beyond the guard — including the raised-guard 10-leaf
+//! fork and fork-join shapes the dominance pruning proves optimal —
+//! plus the raw search without the registry around it.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use repliflow_core::comm::{CommModel, Network};
 use repliflow_core::gen::Gen;
 use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
-use repliflow_core::workflow::{Fork, Pipeline};
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline};
 use repliflow_exact::{solve_comm_bb, BbLimits};
 use repliflow_solver::{EnginePref, EngineRegistry, SolveRequest};
 
@@ -54,6 +55,53 @@ fn beyond_guard_fork() -> ProblemInstance {
     }
 }
 
+fn ten_leaf_fork() -> ProblemInstance {
+    let mut gen = Gen::new(0xF0BB);
+    let leaves = 10;
+    ProblemInstance {
+        workflow: Fork::with_data_sizes(
+            gen.int(1, 9),
+            gen.positive_ints(leaves, 1, 9),
+            gen.int(0, 6),
+            gen.int(1, 6),
+            gen.positive_ints(leaves, 0, 5),
+        )
+        .into(),
+        platform: gen.het_platform(4, 1, 5),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(4, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    }
+}
+
+fn ten_leaf_forkjoin() -> ProblemInstance {
+    let mut gen = Gen::new(0xF1BB);
+    let leaves = 10;
+    ProblemInstance {
+        workflow: ForkJoin::with_data_sizes(
+            gen.int(1, 9),
+            gen.positive_ints(leaves, 1, 9),
+            gen.int(1, 6),
+            gen.int(0, 6),
+            gen.int(1, 6),
+            gen.positive_ints(leaves, 0, 5),
+        )
+        .into(),
+        platform: gen.het_platform(5, 1, 5),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(5, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    }
+}
+
 fn bench_comm_bb(c: &mut Criterion) {
     let registry = EngineRegistry::default();
     let mut group = c.benchmark_group("comm_bb");
@@ -75,6 +123,29 @@ fn bench_comm_bb(c: &mut Criterion) {
             registry
                 .solve(&SolveRequest::new(black_box(fork.clone())).engine(EnginePref::CommBb))
                 .unwrap()
+        })
+    });
+    // the raised-guard fork shapes: 10 leaves proven optimal through
+    // the auto route (fork dominance pruning; pre-dominance the engine
+    // capped out near 6 leaves)
+    let fork10 = ten_leaf_fork();
+    group.bench_function("auto_fork_l10_p4", |b| {
+        b.iter(|| {
+            let report = registry
+                .solve(&SolveRequest::new(black_box(fork10.clone())))
+                .unwrap();
+            assert_eq!(report.engine_used, "comm-bb");
+            report
+        })
+    });
+    let fj10 = ten_leaf_forkjoin();
+    group.bench_function("auto_forkjoin_l10_p5", |b| {
+        b.iter(|| {
+            let report = registry
+                .solve(&SolveRequest::new(black_box(fj10.clone())))
+                .unwrap();
+            assert_eq!(report.engine_used, "comm-bb");
+            report
         })
     });
     // the raw search without registry/validation overhead, no incumbent

@@ -277,6 +277,33 @@ impl ForkJoin {
         ForkJoin::new(root_weight, vec![w; n], join_weight)
     }
 
+    /// Fork-join with explicit data sizes on its fork part: `input_size`
+    /// enters the root from `P_in`, `broadcast_size` is sent to every
+    /// leaf group, and `output_sizes[i]` is shipped from leaf `i + 1` to
+    /// the *join group* (instead of `P_out` as in a plain [`Fork`]).
+    ///
+    /// # Panics
+    /// Panics if `output_sizes.len() != leaf_weights.len()`.
+    pub fn with_data_sizes(
+        root_weight: u64,
+        leaf_weights: Vec<u64>,
+        join_weight: u64,
+        input_size: u64,
+        broadcast_size: u64,
+        output_sizes: Vec<u64>,
+    ) -> Self {
+        ForkJoin {
+            fork: Fork::with_data_sizes(
+                root_weight,
+                leaf_weights,
+                input_size,
+                broadcast_size,
+                output_sizes,
+            ),
+            join_weight,
+        }
+    }
+
     /// The underlying fork (root + leaves).
     #[inline]
     pub fn fork(&self) -> &Fork {

@@ -30,6 +30,23 @@
 //! every final objective is monotone in each triple component, so a
 //! weakly dominated state cannot beat its dominator's subtree.
 //!
+//! Fork and fork-join partial states get the same treatment over a
+//! richer key — remaining stages, available processors, root group and
+//! join placement — with a value tuple covering the one-port broadcast
+//! clock, the send-start instant, the root's busy time and the created
+//! groups' period/completion terms (see `ForkSearch::dominance_tuple`
+//! for the component-by-component monotonicity argument). Two further
+//! ingredients keep those tuples *exact* rather than mere lower bounds:
+//! deferred fork-join leaf→join transfers are re-billed the moment the
+//! join group is placed, and a dedicated join-only group is branched
+//! immediately after the root so the placement happens early. Processor
+//! **symmetry breaking** (only canonical subsets over
+//! network-and-speed-equivalence classes are enumerated) and cheap
+//! stage-set/subset-level relaxations prune the child cross-product
+//! before any state is materialized. Together these push the proven
+//! frontier to 10-leaf forks and fork-joins within the default budget —
+//! the enumeration-guard era capped out near 6 leaves.
+//!
 //! The search is deterministic (fixed expansion order, no randomness);
 //! an optional incumbent (typically the comm-heuristic portfolio's best)
 //! seeds the pruning bound, and hard node/time limits make the engine's
@@ -43,7 +60,7 @@ use crate::goal::Solution;
 use crate::pipeline::{mask_procs, MAX_PROCS};
 use repliflow_core::comm::{CommModel, Network, StartRule};
 use repliflow_core::comm_cost::{
-    group_transfer, input_transfer, multiport_capacity_bound, output_transfer, PipelinePrefix,
+    input_transfer, multiport_capacity_bound, output_transfer, PipelinePrefix,
 };
 use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
@@ -461,38 +478,143 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
 // Fork / fork-join search
 // ---------------------------------------------------------------------
 
-/// Incrementally maintained lower-bound terms of a partial fork /
-/// fork-join mapping (root group fixed, some further groups created in
-/// canonical order). Every field is either exact or a quantity that can
-/// only grow as the mapping completes, keeping the derived bounds
-/// admissible.
+/// A created group's leaf→join transfers that cannot be billed yet
+/// because the join group has not been placed. The entry keeps enough
+/// exact per-group context to **re-bill** the transfers the moment the
+/// join is placed, restoring exact accounting (a precondition of the
+/// fork dominance pruning below); until then the transfers are bounded
+/// below by the cheapest join placement any completion could choose.
+#[derive(Clone)]
+struct UnresolvedOutputs {
+    /// Processor mask of the group awaiting its leaf→join billing.
+    procs: u32,
+    /// Total bytes of leaf outputs the group will ship to the join
+    /// group (worst-link billing is linear in the size, so the per-leaf
+    /// transfers over one group pair sum to one transfer of the total).
+    out_total: u64,
+    /// Group completion (arrival + latency-work delay) without the
+    /// output transfers; under bounded multi-port this is the
+    /// link-based variant (see [`ForkPartial::comp_link`]).
+    completion_base: Rat,
+    /// Same, without the broadcast transfer term (bounded multi-port
+    /// receivers only — the capacity bound is retroactive, see
+    /// [`ForkPartial::comp_nolink`]).
+    completion_nolink_base: Option<Rat>,
+    /// Per-period busy time (receive link + full-work delay) without
+    /// the output transfers.
+    busy_base: Rat,
+    /// Replication factor for period amortization.
+    k: usize,
+    /// Execution mode for period amortization.
+    mode: Mode,
+    /// Whether this is the root group (outputs bill into `root_busy`
+    /// instead of `period_others`).
+    is_root: bool,
+}
+
+/// Incrementally maintained terms of a partial fork / fork-join mapping
+/// (root group fixed, some further groups created in canonical order).
+///
+/// Every field is **exact** for the groups created so far — with two
+/// deliberate exceptions that are re-billed or recovered later:
+///
+/// * fork-join leaf→join transfers of groups created before the join
+///   placement live in `unresolved` (billed at zero in the running
+///   terms, exactly re-billed by [`ForkSearch::resolve_outputs`] when
+///   the join group appears, and bounded below by the cheapest
+///   possible join placement in [`ForkSearch::bounds`]);
+/// * the bounded multi-port capacity bound grows retroactively with
+///   every new receiver, so completions are kept as the **pair**
+///   (`comp_link`, `comp_nolink`) from which the true completion
+///   maximum `max(comp_link, cap + comp_nolink)` can be reassembled
+///   for any final receiver count.
 #[derive(Clone)]
 struct ForkPartial {
     /// When the root group may start broadcasting `δ_0` (exact).
     send_start: Rat,
     /// Root group's per-period busy time accounted so far: input
-    /// transfer + full compute + resolved leaf outputs + broadcasts to
-    /// the groups created so far (a lower bound — more receivers may
-    /// still be created).
+    /// transfer + full compute + resolved leaf outputs + broadcast
+    /// terms to the receivers created so far (one-port: the exact link
+    /// sum; multi-port: `max(link max, capacity bound so far)`).
     root_busy: Rat,
     /// Max over created *non-root* groups of their amortized period
-    /// terms (lower bounds for fork-joins whose leaf→join transfers are
-    /// not yet resolved).
+    /// terms (exact except for `unresolved` outputs).
     period_others: Rat,
-    /// Max over created groups of their completion-time lower bounds.
-    completion_max: Rat,
+    /// Max over created groups of their completion times, with
+    /// broadcast arrivals billed at their link time (one-port: the
+    /// exact serialized arrival; multi-port: `send_start + link`).
+    comp_link: Rat,
+    /// Bounded multi-port only: max over created *receiver* groups of
+    /// their completion times **without** the transfer term, so the
+    /// retroactive capacity bound can be re-applied as
+    /// `cap(final receivers) + comp_nolink` (zero when no receivers).
+    comp_nolink: Rat,
     /// One-port broadcast clock: when the last created receiver got
     /// `δ_0` (exact for the groups created so far).
     t_oneport: Rat,
     /// Broadcast receivers created so far (multi-port capacity bound).
     receivers: u64,
-    /// Fastest-per-link broadcast seen so far (multi-port root busy).
+    /// Slowest per-link broadcast seen so far (multi-port root busy).
     broadcast_link_max: Rat,
-    /// Join group processors, once a created group holds the join stage.
-    join_procs: Option<Vec<ProcId>>,
+    /// Join group processor mask, once a created group holds the join
+    /// stage (0 = not placed yet / plain fork).
+    join_mask: u32,
     /// Speed at which the join stage will run, once known.
     join_speed: Option<u64>,
+    /// Leaf→join transfers awaiting the join placement (fork-joins
+    /// only; always empty for plain forks).
+    unresolved: Vec<UnresolvedOutputs>,
+    /// `join_out[s * p + v]`: leaf `s`'s output transfer from processor
+    /// `v` alone to the placed join group — the per-leaf floor of the
+    /// latency bound (shared across clones; computed once per join
+    /// placement).
+    join_out: Option<std::rc::Rc<Vec<Rat>>>,
+    /// `join_bw[v]`: slowest-link bandwidth from processor `v` to the
+    /// placed join group (`u64::MAX` = free), so a group's total output
+    /// transfer is a single division instead of a pairwise link scan.
+    join_bw: Option<std::rc::Rc<Vec<u64>>>,
 }
+
+/// Dominance key of a fork / fork-join partial state: states sharing a
+/// key see **identical future cost increments** as a function of their
+/// (monotone) value tuples — see [`ForkSearch::dominance_tuple`] for
+/// the admissibility argument.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ForkKey {
+    /// Remaining stages: the exact bitmask under one-port (broadcast
+    /// serialization makes leaf *identity* order-significant), the
+    /// sorted multiset of `(weight, output size, is_join)` under
+    /// bounded multi-port (arrivals are order-free there, so
+    /// same-shaped leaves are interchangeable — the coarser key
+    /// collapses more states).
+    remaining: RemainingKey,
+    /// Processors still available.
+    avail: u32,
+    /// Root group processors (broadcast links, root amortization).
+    root: u32,
+    /// Root group data-parallel flag (root amortization).
+    root_dp: bool,
+    /// Join group processors (0 until placed; future leaf→join billing).
+    join: u32,
+    /// Join stage speed (0 until placed; final join-phase delay).
+    join_speed: u64,
+}
+
+/// See [`ForkKey::remaining`]. The multiset variant is memoized per
+/// mask ([`ForkSearch::multiset_memo`]), so cloning a key is one
+/// reference-count bump, not a vector copy.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum RemainingKey {
+    Mask(u32),
+    Multiset(std::rc::Rc<Vec<(u64, u64, bool)>>),
+}
+
+/// Fixed-width dominance value tuple (one-port leaves the trailing
+/// slots at zero — equal constants never decide a comparison).
+type DomTuple = [Rat; 7];
+
+/// Memoized multiset keys per remaining mask (see [`RemainingKey`]).
+type MultisetMemo = HashMap<u32, std::rc::Rc<Vec<(u64, u64, bool)>>>;
 
 struct ForkSearch<'a, 'c> {
     ctx: &'a mut Ctx<'c>,
@@ -500,6 +622,35 @@ struct ForkSearch<'a, 'c> {
     /// `Some(join weight)` for fork-joins.
     join: Option<u64>,
     full: u32,
+    n_procs: usize,
+    /// Stage bits of the leaves (`1 ..= n_leaves`).
+    leaf_bits: u32,
+    /// Pareto sets of monotone value tuples per dominance key.
+    dominance: HashMap<ForkKey, Vec<DomTuple>>,
+    /// Memoized multiset keys per remaining mask (bounded multi-port).
+    multiset_memo: MultisetMemo,
+    /// Pooled speed per processor mask (suffix period relaxation).
+    sum_speed: Vec<u64>,
+    /// Fastest single speed per processor mask (suffix delay, no dp).
+    max_speed: Vec<u64>,
+    /// Slowest speed per processor mask (replicated group delays).
+    min_speed: Vec<u64>,
+    /// Masks of the non-singleton **processor equivalence classes**:
+    /// processors with identical speed and identical links to every
+    /// other endpoint (`P_in`, `P_out`, all peers) are interchangeable
+    /// in every evaluator, so only subsets taking the lowest-indexed
+    /// available members of each class are enumerated (canonical
+    /// symmetry breaking; any mapping relabels onto a canonical one
+    /// with identical objectives).
+    class_masks: Vec<u32>,
+    /// `out_single[s * p + v]`: leaf `s`'s output transfer to `P_out`
+    /// from processor `v` alone (plain forks; empty for fork-joins).
+    out_single: Vec<Rat>,
+    /// Bandwidth from each processor to `P_out` (`u64::MAX` = free).
+    pout_bw: Vec<u64>,
+    /// Broadcast link from the current root group to `{v}` (set by
+    /// [`Self::root_with`] for the root branch being explored).
+    root_link: Vec<Rat>,
     acc: Vec<Assignment>,
 }
 
@@ -508,11 +659,86 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         let p = ctx.instance.platform.n_procs();
         let n_stages = fork.n_stages() + usize::from(join.is_some());
         let full = ((1usize << p) - 1) as u32;
+        let platform = &ctx.instance.platform;
+        let mut sum_speed = vec![0u64; 1 << p];
+        let mut max_speed = vec![0u64; 1 << p];
+        let mut min_speed = vec![u64::MAX; 1 << p];
+        for mask in 1usize..(1 << p) {
+            let low = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            let s = platform.speed(ProcId(low));
+            sum_speed[mask] = sum_speed[rest] + s;
+            max_speed[mask] = max_speed[rest].max(s);
+            min_speed[mask] = min_speed[rest].min(s);
+        }
+        let network = ctx.network;
+        // processor equivalence classes (see `ForkSearch::class_masks`)
+        let equivalent = |v: usize, w: usize| -> bool {
+            use repliflow_core::comm::Endpoint::{In, Out, Proc};
+            platform.speed(ProcId(v)) == platform.speed(ProcId(w))
+                && network.bandwidth(In, Proc(ProcId(v))) == network.bandwidth(In, Proc(ProcId(w)))
+                && network.bandwidth(Proc(ProcId(v)), Out)
+                    == network.bandwidth(Proc(ProcId(w)), Out)
+                && network.bandwidth(Proc(ProcId(v)), Proc(ProcId(w)))
+                    == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(v)))
+                && (0..p).filter(|&u| u != v && u != w).all(|u| {
+                    network.bandwidth(Proc(ProcId(v)), Proc(ProcId(u)))
+                        == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(u)))
+                        && network.bandwidth(Proc(ProcId(u)), Proc(ProcId(v)))
+                            == network.bandwidth(Proc(ProcId(u)), Proc(ProcId(w)))
+                })
+        };
+        let mut class_of = vec![usize::MAX; p];
+        let mut class_masks: Vec<u32> = Vec::new();
+        for v in 0..p {
+            if class_of[v] != usize::MAX {
+                continue;
+            }
+            let class = class_masks.len();
+            class_of[v] = class;
+            let mut mask = 1u32 << v;
+            for (w, slot) in class_of.iter_mut().enumerate().skip(v + 1) {
+                if *slot == usize::MAX && equivalent(v, w) {
+                    *slot = class;
+                    mask |= 1u32 << w;
+                }
+            }
+            class_masks.push(mask);
+        }
+        class_masks.retain(|m| m.count_ones() >= 2);
+        let out_single = if join.is_none() {
+            let mut out = vec![Rat::ZERO; (fork.n_leaves() + 1) * p];
+            for s in 1..=fork.n_leaves() {
+                for v in 0..p {
+                    out[s * p + v] = output_transfer(network, fork.output_size(s), &[ProcId(v)]);
+                }
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        let pout_bw: Vec<u64> = (0..p)
+            .map(|v| {
+                use repliflow_core::comm::Endpoint::{Out, Proc};
+                network.bandwidth(Proc(ProcId(v)), Out).unwrap_or(u64::MAX)
+            })
+            .collect();
         let mut search = ForkSearch {
             ctx,
             fork,
             join,
             full,
+            n_procs: p,
+            leaf_bits: ((1u64 << (fork.n_leaves() + 1)) - 2) as u32,
+            dominance: HashMap::new(),
+            multiset_memo: HashMap::new(),
+            sum_speed,
+            max_speed,
+            min_speed,
+            class_masks,
+            out_single,
+            pout_bw,
+            root_link: vec![Rat::ZERO; p],
             acc: Vec::new(),
         };
         // Stage bitmask of everything but the root: leaves 1..=L plus
@@ -559,43 +785,89 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     }
 
     fn mask_work(&self, mask: u32) -> u64 {
-        Self::stages_of(mask)
-            .into_iter()
-            .map(|s| self.stage_weight(s))
-            .sum()
+        let mut work = 0;
+        let mut m = mask;
+        while m != 0 {
+            work += self.stage_weight(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        work
+    }
+
+    /// Worst-link transfer time between two processor masks — the
+    /// allocation-free twin of [`group_transfer`] for the hot child
+    /// loop.
+    fn mask_transfer(&self, size: u64, from: u32, to: u32) -> Rat {
+        if size == 0 {
+            return Rat::ZERO;
+        }
+        use repliflow_core::comm::Endpoint::Proc;
+        let network = self.ctx.network;
+        let mut worst = Rat::ZERO;
+        let mut m = from;
+        while m != 0 {
+            let u = ProcId(m.trailing_zeros() as usize);
+            let mut n = to;
+            while n != 0 {
+                let v = ProcId(n.trailing_zeros() as usize);
+                let t = network.transfer_time(size, Proc(u), Proc(v));
+                if worst < t {
+                    worst = t;
+                }
+                n &= n - 1;
+            }
+            m &= m - 1;
+        }
+        worst
+    }
+
+    /// Worst-link transfer time of `size` bytes from a processor mask,
+    /// given per-processor slowest-link bandwidths (`u64::MAX` = free):
+    /// `max_v size / bw[v] = size / min_v bw[v]` — one division.
+    fn bw_transfer(size: u64, bw: &[u64], from: u32) -> Rat {
+        if size == 0 {
+            return Rat::ZERO;
+        }
+        let mut min_bw = u64::MAX;
+        let mut m = from;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            min_bw = min_bw.min(bw[v]);
+            m &= m - 1;
+        }
+        if min_bw == u64::MAX {
+            Rat::ZERO
+        } else {
+            Rat::ratio(size, min_bw)
+        }
     }
 
     /// Sum of resolved leaf-output transfer times of the group on
-    /// `procs` holding `stages`. For plain forks every leaf output goes
+    /// processor mask `q` holding `stages` (worst-link billing is
+    /// linear in the size, so the per-leaf transfers sum to one
+    /// transfer of the total). For plain forks every leaf output goes
     /// to `P_out` (always resolved); for fork-joins it goes to the join
     /// group — free inside it, billed once the join placement is known,
     /// and bounded below by zero until then (transfers are nonnegative,
     /// so dropping them keeps the partial terms admissible).
-    fn outputs_lb(&self, stages: u32, procs: &[ProcId], join_procs: Option<&[ProcId]>) -> Rat {
-        let mut total = Rat::ZERO;
-        for s in Self::stages_of(stages) {
-            if !self.is_leaf(s) {
-                continue;
-            }
-            let size = self.fork.output_size(s);
-            total += match self.join {
-                None => output_transfer(self.ctx.network, size, procs),
-                Some(_) => match join_procs {
-                    Some(jp) if jp == procs => Rat::ZERO,
-                    Some(jp) => group_transfer(self.ctx.network, size, procs, jp),
-                    None => Rat::ZERO,
-                },
-            };
+    fn outputs_lb(&self, stages: u32, q: u32, join_mask: u32, join_bw: Option<&[u64]>) -> Rat {
+        let total = self.out_total(stages);
+        match self.join {
+            None => Self::bw_transfer(total, &self.pout_bw, q),
+            Some(_) if join_mask == 0 || join_mask == q => Rat::ZERO,
+            Some(_) => match join_bw {
+                Some(bw) => Self::bw_transfer(total, bw, q),
+                None => self.mask_transfer(total, q, join_mask),
+            },
         }
-        total
     }
 
-    /// Speed at which a distinguished (root/join) stage runs in a group.
-    fn sequential_speed(&self, procs: &[ProcId], mode: Mode) -> u64 {
-        let platform = &self.ctx.instance.platform;
+    /// Speed at which a distinguished (root/join) stage runs on a
+    /// processor mask.
+    fn mask_sequential_speed(&self, q: u32, mode: Mode) -> u64 {
         match mode {
-            Mode::DataParallel => platform.subset_speed(procs),
-            Mode::Replicated => platform.subset_min_speed(procs),
+            Mode::DataParallel => self.sum_speed[q as usize],
+            Mode::Replicated => self.min_speed[q as usize],
         }
     }
 
@@ -606,6 +878,51 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         }
     }
 
+    /// Whether `q` is the canonical representative among the subsets of
+    /// `avail` equivalent to it under processor interchange: within
+    /// every equivalence class it must take the lowest-indexed
+    /// available members. Skipping non-canonical subsets loses no
+    /// mappings — relabelling within a class preserves every objective.
+    fn canonical_subset(&self, q: u32, avail: u32) -> bool {
+        for &cm in &self.class_masks {
+            let sel = q & cm;
+            let rest = avail & cm & !sel;
+            if sel != 0 && rest != 0 && (31 - sel.leading_zeros()) > rest.trailing_zeros() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Minimum of `arr[v]` over the processors `v` of `avail`
+    /// ([`Rat::INFINITY`] for the empty mask).
+    fn min_over(arr: &[Rat], avail: u32) -> Rat {
+        let mut best = Rat::INFINITY;
+        let mut m = avail;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            if arr[v] < best {
+                best = arr[v];
+            }
+            m &= m - 1;
+        }
+        best
+    }
+
+    /// Maximum of `arr[v]` over the processors `v` of `mask`.
+    fn max_over(arr: &[Rat], mask: u32) -> Rat {
+        let mut worst = Rat::ZERO;
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            if worst < arr[v] {
+                worst = arr[v];
+            }
+            m &= m - 1;
+        }
+        worst
+    }
+
     /// Fixes the root group (stages `{0} ∪ extra` on every non-empty
     /// processor subset × legal mode) and recurses over the remaining
     /// stages.
@@ -614,6 +931,13 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         let root_stage_mask = extra | 1;
         let mut q = self.full;
         loop {
+            if !self.canonical_subset(q, self.full) {
+                q = (q - 1) & self.full;
+                if q == 0 {
+                    break;
+                }
+                continue;
+            }
             for mode in [Mode::Replicated, Mode::DataParallel] {
                 if mode == Mode::DataParallel {
                     // the root (and join) may only be data-parallelized
@@ -636,12 +960,23 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         }
     }
 
+    /// Total output bytes the leaves of `stages` ship (to `P_out` for
+    /// plain forks, to the join group for fork-joins); worst-link
+    /// billing is linear in the size, so the per-leaf transfers over
+    /// one group pair sum to one transfer of this total.
+    fn out_total(&self, stages: u32) -> u64 {
+        Self::stages_of(stages)
+            .into_iter()
+            .filter(|&s| self.is_leaf(s))
+            .map(|s| self.fork.output_size(s))
+            .sum()
+    }
+
     fn root_with(&mut self, stages: u32, join_in_root: bool, q: u32, mode: Mode, remaining: u32) {
-        let platform = &self.ctx.instance.platform;
         let network = self.ctx.network;
         let procs = mask_procs(q as usize);
         let recv_in = input_transfer(network, self.fork.input_size(), &procs);
-        let s0 = self.sequential_speed(&procs, mode);
+        let s0 = self.mask_sequential_speed(q, mode);
         let full_work = self.mask_work(stages);
         // latency-flavoured root work excludes the join stage (the join
         // phase is modeled after all leaves complete)
@@ -651,8 +986,8 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             full_work
         };
         let delay_of = |work: u64| match mode {
-            Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(&procs).max(1)),
-            Mode::DataParallel => Rat::ratio(work, platform.subset_speed(&procs).max(1)),
+            Mode::Replicated => Rat::ratio(work, self.min_speed[q as usize].max(1)),
+            Mode::DataParallel => Rat::ratio(work, self.sum_speed[q as usize].max(1)),
         };
         let root_stage_done = recv_in + Rat::ratio(self.fork.root_weight(), s0);
         let root_all_done = recv_in + delay_of(latency_work);
@@ -660,30 +995,137 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             StartRule::Flexible => root_stage_done,
             StartRule::Strict => root_all_done,
         };
-        let join_procs = join_in_root.then(|| procs.clone());
-        let join_speed = join_in_root.then(|| self.sequential_speed(&procs, mode));
-        let outputs = self.outputs_lb(stages, &procs, join_procs.as_deref());
+        let join_mask = if join_in_root { q } else { 0 };
+        let join_speed = join_in_root.then(|| self.mask_sequential_speed(q, mode));
+        for v in 0..self.n_procs {
+            self.root_link[v] = self.mask_transfer(self.fork.broadcast_size(), q, 1u32 << v);
+        }
+        let (join_out, join_bw) = if join_in_root {
+            let (out, bw) = self.join_tables(q);
+            (Some(out), Some(bw))
+        } else {
+            (None, None)
+        };
+        // root outputs are exact for plain forks and when the join sits
+        // in the root group; otherwise they await the join placement
+        let mut unresolved = Vec::new();
+        let outputs = if self.join.is_some() && !join_in_root {
+            let out_total = self.out_total(stages);
+            if out_total > 0 {
+                unresolved.push(UnresolvedOutputs {
+                    procs: q,
+                    out_total,
+                    completion_base: root_all_done,
+                    completion_nolink_base: None,
+                    busy_base: recv_in + delay_of(full_work),
+                    k: q.count_ones() as usize,
+                    mode,
+                    is_root: true,
+                });
+            }
+            Rat::ZERO
+        } else {
+            self.outputs_lb(stages, q, join_mask, join_bw.as_deref().map(|v| &v[..]))
+        };
         let partial = ForkPartial {
             send_start,
             root_busy: recv_in + delay_of(full_work) + outputs,
             period_others: Rat::ZERO,
-            completion_max: root_all_done + outputs,
+            comp_link: root_all_done + outputs,
+            comp_nolink: Rat::ZERO,
             t_oneport: send_start,
             receivers: 0,
             broadcast_link_max: Rat::ZERO,
-            join_procs,
+            join_mask,
             join_speed,
+            unresolved,
+            join_out,
+            join_bw,
         };
+        // dominance and bound pruning happen at generation time — a
+        // pruned subtree never costs a node
+        let avail = self.full & !q;
+        let root_dp = mode == Mode::DataParallel;
+        if self.dominated(&partial, remaining, avail, q, root_dp) {
+            return;
+        }
+        let (lb_period, lb_latency) = self.bounds(&partial, remaining, avail, q, root_dp);
+        if self.ctx.prune(lb_period, lb_latency) {
+            return;
+        }
         self.acc
             .push(Assignment::new(Self::stages_of(stages), procs, mode));
-        self.expand(
-            &partial,
-            remaining,
-            self.full & !q,
-            q,
-            mode == Mode::DataParallel,
-        );
+        // Fork-joins whose join is outside the root get their dedicated
+        // join-only group branched *here*, right after the root — so the
+        // join placement (and with it exact accounting + dominance) is
+        // decided at depth 1 instead of last. [`Self::expand`] forbids
+        // join-only groups, so each partition is still generated once:
+        // partitions with a dedicated join group arise only from this
+        // loop, all others only from `expand`'s leaf-group order.
+        if self.join.is_some() && !join_in_root {
+            let join_bit = 1u32 << self.join_stage() as u32;
+            let leaf_remaining = remaining & !join_bit;
+            let mut qj = avail;
+            while qj != 0 {
+                if self.canonical_subset(qj, avail) {
+                    for jmode in [Mode::Replicated, Mode::DataParallel] {
+                        if !self.group_mode_legal(join_bit, qj, jmode) {
+                            continue;
+                        }
+                        let child = self.extend(&partial, join_bit, qj, jmode);
+                        let child_avail = avail & !qj;
+                        if !self.dominated(&child, leaf_remaining, child_avail, q, root_dp) {
+                            let (lb_p, lb_l) =
+                                self.bounds(&child, leaf_remaining, child_avail, q, root_dp);
+                            if !self.ctx.prune(lb_p, lb_l) {
+                                self.acc.push(Assignment::new(
+                                    vec![self.join_stage()],
+                                    mask_procs(qj as usize),
+                                    jmode,
+                                ));
+                                self.expand(&child, leaf_remaining, child_avail, q, root_dp);
+                                self.acc.pop();
+                            }
+                        }
+                        if self.ctx.aborted {
+                            self.acc.pop();
+                            return;
+                        }
+                    }
+                }
+                qj = (qj - 1) & avail;
+            }
+        }
+        self.expand(&partial, remaining, avail, q, root_dp);
         self.acc.pop();
+    }
+
+    /// Per-processor tables toward the join group on mask `join_mask`:
+    /// `join_out[s * p + v]` is leaf `s`'s output transfer from
+    /// processor `v` alone, `join_bw[v]` the slowest-link bandwidth
+    /// from `v` (`u64::MAX` = free).
+    fn join_tables(&self, join_mask: u32) -> (std::rc::Rc<Vec<Rat>>, std::rc::Rc<Vec<u64>>) {
+        use repliflow_core::comm::Endpoint::Proc;
+        let p = self.n_procs;
+        let network = self.ctx.network;
+        let mut bw = vec![u64::MAX; p];
+        for (v, slot) in bw.iter_mut().enumerate() {
+            let mut m = join_mask;
+            while m != 0 {
+                let w = ProcId(m.trailing_zeros() as usize);
+                if let Some(b) = network.bandwidth(Proc(ProcId(v)), Proc(w)) {
+                    *slot = (*slot).min(b);
+                }
+                m &= m - 1;
+            }
+        }
+        let mut out = vec![Rat::ZERO; (self.fork.n_leaves() + 1) * p];
+        for s in 1..=self.fork.n_leaves() {
+            for v in 0..p {
+                out[s * p + v] = Self::bw_transfer(self.fork.output_size(s), &bw, 1u32 << v);
+            }
+        }
+        (std::rc::Rc::new(out), std::rc::Rc::new(bw))
     }
 
     /// Admissible `(period, latency)` lower bounds of every completion
@@ -697,7 +1139,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         root_mask: u32,
         root_mode_dp: bool,
     ) -> (Rat, Rat) {
-        let platform = &self.ctx.instance.platform;
+        let network = self.ctx.network;
         if remaining != 0 && avail == 0 {
             return (Rat::INFINITY, Rat::INFINITY);
         }
@@ -711,22 +1153,124 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             partial
                 .period_others
                 .max(Self::amortize(partial.root_busy, root_k, root_mode));
-        lb_period = lb_period.max(suffix_period_bound(
-            platform,
-            self.mask_work(remaining),
-            avail,
-        ));
-
-        let mut all_done = partial.completion_max;
-        // every unplaced leaf still has to receive δ0 (not before
-        // send_start) and compute somewhere in the remaining pool
-        let allow_dp = self.ctx.instance.allow_data_parallel;
-        for s in Self::stages_of(remaining) {
-            if !self.is_leaf(s) {
-                continue;
+        let suffix_work = self.mask_work(remaining);
+        if suffix_work > 0 {
+            // pooled-speed infinite-bandwidth relaxation (see
+            // `suffix_period_bound`), served from the precomputed table
+            let pool = self.sum_speed[avail as usize];
+            if pool == 0 {
+                return (Rat::INFINITY, Rat::INFINITY);
             }
-            let delay = suffix_delay_bound(platform, self.stage_weight(s), avail, allow_dp);
-            all_done = all_done.max(partial.send_start + delay);
+            lb_period = lb_period.max(Rat::ratio(suffix_work, pool));
+        }
+        let allow_dp = self.ctx.instance.allow_data_parallel;
+        let delay_pool = if allow_dp {
+            self.sum_speed[avail as usize]
+        } else {
+            self.max_speed[avail as usize]
+        };
+
+        // created-group completions: link-based arrivals, plus (multi-
+        // port) the capacity bound at the receiver count so far — the
+        // final bound can only be larger
+        let mut all_done = partial.comp_link;
+        if self.ctx.comm == CommModel::BoundedMultiPort && partial.receivers > 0 {
+            let cap =
+                multiport_capacity_bound(network, self.fork.broadcast_size() * partial.receivers);
+            all_done = all_done.max(cap + partial.comp_nolink);
+        }
+        // unresolved leaf→join transfers cost at least the cheapest
+        // single-processor join placement any completion could choose
+        // (same argument as `PipelinePrefix::pending_send_lower_bound`)
+        if !partial.unresolved.is_empty() {
+            for u in &partial.unresolved {
+                let mut out_lb = Rat::INFINITY;
+                let mut m = avail;
+                while m != 0 {
+                    let v = 1u32 << m.trailing_zeros();
+                    let t = self.mask_transfer(u.out_total, u.procs, v);
+                    if t < out_lb {
+                        out_lb = t;
+                    }
+                    m &= m - 1;
+                }
+                if out_lb.is_finite() && out_lb > Rat::ZERO {
+                    all_done = all_done.max(u.completion_base + out_lb);
+                    if u.is_root {
+                        lb_period = lb_period.max(Self::amortize(
+                            partial.root_busy + out_lb,
+                            root_k,
+                            root_mode,
+                        ));
+                    } else {
+                        lb_period =
+                            lb_period.max(Self::amortize(u.busy_base + out_lb, u.k, u.mode));
+                    }
+                }
+            }
+        }
+        // every unplaced leaf still has to receive δ0 in a *new*
+        // receiver group, compute somewhere in the remaining pool, and
+        // ship its output onward; all three admissibly lower-bounded:
+        //
+        // * the group's broadcast link costs at least the cheapest
+        //   single-processor link from the root (`l_min`): a group is a
+        //   subset of `avail` and worst-link billing can only grow with
+        //   the subset;
+        // * under one-port the send serializes after the clock so far
+        //   (`t_oneport`); under bounded multi-port the capacity bound
+        //   at `receivers + 1` already applies to the next receiver;
+        // * the output transfer costs at least the cheapest
+        //   single-processor placement (forks ship to `P_out`;
+        //   fork-joins to the placed join group — zero while the join
+        //   is unplaced, since the leaf could share its group).
+        let remaining_leaf_mask = remaining & self.leaf_bits;
+        if remaining_leaf_mask != 0 {
+            let l_min = Self::min_over(&self.root_link, avail);
+            let arrival_base = match self.ctx.comm {
+                CommModel::OnePort => partial.t_oneport + l_min,
+                CommModel::BoundedMultiPort => {
+                    let cap_next = multiport_capacity_bound(
+                        network,
+                        self.fork.broadcast_size() * (partial.receivers + 1),
+                    );
+                    partial.send_start + l_min.max(cap_next)
+                }
+            };
+            let p = self.n_procs;
+            for s in Self::stages_of(remaining_leaf_mask) {
+                let delay = Rat::ratio(self.stage_weight(s), delay_pool);
+                let out_lb = if self.join.is_none() {
+                    // plain fork: the leaf output always ships to P_out
+                    Self::min_over(&self.out_single[s * p..(s + 1) * p], avail)
+                } else if let Some(join_out) = &partial.join_out {
+                    // fork-join, join placed: new groups are disjoint
+                    // from the join group, so the transfer is real
+                    Self::min_over(&join_out[s * p..(s + 1) * p], avail)
+                } else {
+                    // join unplaced: the leaf may share the join group
+                    Rat::ZERO
+                };
+                all_done = all_done.max(arrival_base + delay + out_lb);
+            }
+            // the root's per-period broadcast load also grows by at
+            // least one more receiver group's link
+            let root_busy_lb = match self.ctx.comm {
+                CommModel::OnePort => partial.root_busy + l_min,
+                CommModel::BoundedMultiPort => {
+                    let cap_now = multiport_capacity_bound(
+                        network,
+                        self.fork.broadcast_size() * partial.receivers,
+                    );
+                    let cap_next = multiport_capacity_bound(
+                        network,
+                        self.fork.broadcast_size() * (partial.receivers + 1),
+                    );
+                    let base = partial.root_busy - partial.broadcast_link_max.max(cap_now);
+                    base + partial.broadcast_link_max.max(l_min).max(cap_next)
+                }
+            };
+            lb_period = lb_period.max(Self::amortize(root_busy_lb, root_k, root_mode));
         }
         let lb_latency = match self.join {
             None => all_done,
@@ -737,7 +1281,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                     // processors; pool them (admissible as in
                     // suffix_delay_bound — data-parallelizing the join
                     // alone is legal)
-                    None => suffix_delay_bound(platform, join_w, avail, allow_dp),
+                    None => Rat::ratio(join_w, delay_pool.max(1)),
                 };
                 all_done + join_delay
             }
@@ -745,6 +1289,146 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         (lb_period, lb_latency)
     }
 
+    /// Canonical form of the remaining stage set for the dominance key:
+    /// the exact bitmask under one-port (the serialized broadcast makes
+    /// leaf *identity* order-significant — two same-shaped leaves with
+    /// different stage ids produce different arrival sequences), the
+    /// sorted `(weight, output size, is_join)` multiset under bounded
+    /// multi-port (arrivals there are `send_start + max(link, cap)`,
+    /// order-free, so same-shaped leaves are interchangeable).
+    fn remaining_key(&mut self, remaining: u32) -> RemainingKey {
+        match self.ctx.comm {
+            CommModel::OnePort => RemainingKey::Mask(remaining),
+            CommModel::BoundedMultiPort => {
+                if let Some(memo) = self.multiset_memo.get(&remaining) {
+                    return RemainingKey::Multiset(memo.clone());
+                }
+                let mut multiset: Vec<(u64, u64, bool)> = Self::stages_of(remaining)
+                    .into_iter()
+                    .map(|s| {
+                        let is_leaf = self.is_leaf(s);
+                        (
+                            self.stage_weight(s),
+                            if is_leaf { self.fork.output_size(s) } else { 0 },
+                            !is_leaf && s != 0,
+                        )
+                    })
+                    .collect();
+                multiset.sort_unstable();
+                let memo = std::rc::Rc::new(multiset);
+                self.multiset_memo.insert(remaining, memo.clone());
+                RemainingKey::Multiset(memo)
+            }
+        }
+    }
+
+    /// The monotone value tuple the Pareto dominance compares, and the
+    /// heart of its **admissibility argument**. Two states sharing a
+    /// [`ForkKey`] can complete with exactly the same future group
+    /// sequences (same remaining stages, processors, root group and
+    /// join placement), and with all leaf→join transfers resolved
+    /// (`unresolved` empty — the precondition checked in [`Self::expand`])
+    /// every component below is an **exact** contribution of the created
+    /// groups. For any fixed completion, the final period and latency
+    /// are non-decreasing functions of each component:
+    ///
+    /// * `period_others` — max over created non-root groups of their
+    ///   amortized period terms; enters the final period as a max term;
+    /// * `comp_link` (and, multi-port, `comp_nolink`) — created-group
+    ///   completions; the final all-leaves-done instant is
+    ///   `max(comp_link, cap(final receivers) + comp_nolink, future
+    ///   completions)`, non-decreasing in both;
+    /// * `send_start` — every future multi-port arrival is
+    ///   `send_start + max(link, cap)` and every future join-only group
+    ///   is ready at `send_start`;
+    /// * one-port `t_oneport` / `root_busy` — future arrivals extend the
+    ///   clock additively (`t_oneport + Σ future links`) and the root's
+    ///   period term grows additively by the same links;
+    /// * multi-port `root_busy − max(link max, cap so far)`,
+    ///   `broadcast_link_max` and `receivers` — the final root busy time
+    ///   re-assembles as `base + max(link max ∨ future links,
+    ///   cap(total receivers))`, non-decreasing in all three.
+    ///
+    /// Hence a state whose tuple is weakly dominated cannot complete to
+    /// a strictly better mapping than its dominator's matching
+    /// completion, and pruning it preserves optimality.
+    fn dominance_tuple(&self, partial: &ForkPartial) -> DomTuple {
+        match self.ctx.comm {
+            CommModel::OnePort => [
+                partial.period_others,
+                partial.comp_link,
+                partial.send_start,
+                partial.t_oneport,
+                partial.root_busy,
+                Rat::ZERO,
+                Rat::ZERO,
+            ],
+            CommModel::BoundedMultiPort => {
+                let cap = multiport_capacity_bound(
+                    self.ctx.network,
+                    self.fork.broadcast_size() * partial.receivers,
+                );
+                [
+                    partial.period_others,
+                    partial.comp_link,
+                    partial.comp_nolink,
+                    partial.send_start,
+                    partial.root_busy - partial.broadcast_link_max.max(cap),
+                    partial.broadcast_link_max,
+                    Rat::int(partial.receivers as i128),
+                ]
+            }
+        }
+    }
+
+    /// Checks the state against its key's Pareto set and records it
+    /// when it survives; `true` means the state is weakly dominated and
+    /// must be pruned (see [`Self::dominance_tuple`] for the
+    /// admissibility argument). States with unresolved leaf→join
+    /// transfers never participate — their tuples would be lower
+    /// bounds, and a lower bound may not certify a dominator.
+    fn dominated(
+        &mut self,
+        partial: &ForkPartial,
+        remaining: u32,
+        avail: u32,
+        root_mask: u32,
+        root_mode_dp: bool,
+    ) -> bool {
+        if !partial.unresolved.is_empty() {
+            return false;
+        }
+        let key = ForkKey {
+            remaining: self.remaining_key(remaining),
+            avail,
+            root: root_mask,
+            root_dp: root_mode_dp,
+            join: partial.join_mask,
+            join_speed: partial.join_speed.unwrap_or(0),
+        };
+        let tuple = self.dominance_tuple(partial);
+        let entry = self.dominance.entry(key).or_default();
+        if entry
+            .iter()
+            .any(|t| t.iter().zip(&tuple).all(|(a, b)| a <= b))
+        {
+            self.ctx.stats.pruned_dominated += 1;
+            return true;
+        }
+        entry.retain(|t| !tuple.iter().zip(t).all(|(a, b)| a <= b));
+        // Bounded Pareto sets keep the per-child scan O(1): dropping a
+        // would-be dominator only weakens future pruning, never
+        // correctness (an untracked state simply isn't pruned against).
+        if entry.len() < 48 {
+            entry.push(tuple);
+        }
+        false
+    }
+
+    /// Expands a partial state **whose dominance and bounds the caller
+    /// has already checked** (both prunings happen at generation time
+    /// in [`Self::root_with`] and the child loop below, so a pruned
+    /// subtree never costs a search node).
     fn expand(
         &mut self,
         partial: &ForkPartial,
@@ -763,14 +1447,37 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             }
             return;
         }
-        let (lb_period, lb_latency) =
-            self.bounds(partial, remaining, avail, root_mask, root_mode_dp);
-        if self.ctx.prune(lb_period, lb_latency) {
-            return;
-        }
         if avail == 0 {
             return; // stages remain but every processor is taken
         }
+        let join_bit = match self.join {
+            Some(_) => 1u32 << self.join_stage() as u32,
+            None => 0,
+        };
+        // dedicated (join-only) groups are branched by `root_with`
+        // right after the root; a family-2 path that has consumed every
+        // leaf without placing the join is a dead end
+        if join_bit != 0 && partial.join_mask == 0 && remaining == join_bit {
+            return;
+        }
+        // cheap per-state quantities shared by the quick filters below
+        let l_min = Self::min_over(&self.root_link, avail);
+        let arrival_base = match self.ctx.comm {
+            CommModel::OnePort => partial.t_oneport + l_min,
+            CommModel::BoundedMultiPort => {
+                let cap_next = multiport_capacity_bound(
+                    self.ctx.network,
+                    self.fork.broadcast_size() * (partial.receivers + 1),
+                );
+                partial.send_start + l_min.max(cap_next)
+            }
+        };
+        let avail_pool = self.sum_speed[avail as usize].max(1);
+        let join_lb = match (self.join, partial.join_speed) {
+            (Some(join_w), Some(speed)) => Rat::ratio(join_w, speed.max(1)),
+            (Some(join_w), None) => Rat::ratio(join_w, avail_pool),
+            (None, _) => Rat::ZERO,
+        };
         // canonical partition order: the next group takes the smallest
         // remaining stage plus any subset of the others
         let lowest = remaining & remaining.wrapping_neg();
@@ -778,13 +1485,79 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         let mut extra = rest;
         loop {
             let stages = lowest | extra;
+            // join-only groups belong to `root_with`'s family
+            if stages == join_bit {
+                if extra == 0 {
+                    break;
+                }
+                extra = (extra - 1) & rest;
+                continue;
+            }
+            // quick extra-level filter: even on all remaining
+            // processors pooled, this stage set cannot finish sooner —
+            // kills the whole processor-subset loop in one comparison
+            let wants = stages & self.leaf_bits != 0;
+            let group_arrival = if wants {
+                arrival_base
+            } else {
+                partial.send_start
+            };
+            let latency_work = self.mask_work(stages & !join_bit);
+            let quick = group_arrival + Rat::ratio(latency_work, avail_pool) + join_lb;
+            if self.ctx.prune(Rat::ZERO, quick) {
+                if extra == 0 {
+                    break;
+                }
+                extra = (extra - 1) & rest;
+                continue;
+            }
             let mut q = avail;
             loop {
+                if !self.canonical_subset(q, avail) {
+                    q = (q - 1) & avail;
+                    if q == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                // quick subset-level filter: the pooled speed of `q`
+                // upper-bounds both modes' speeds
+                let quick_q = group_arrival
+                    + Rat::ratio(latency_work, self.sum_speed[q as usize].max(1))
+                    + join_lb;
+                if self.ctx.prune(Rat::ZERO, quick_q) {
+                    q = (q - 1) & avail;
+                    if q == 0 {
+                        break;
+                    }
+                    continue;
+                }
                 for mode in [Mode::Replicated, Mode::DataParallel] {
                     if !self.group_mode_legal(stages, q, mode) {
                         continue;
                     }
-                    let child = self.extend(partial, stages, q, mode, root_mask);
+                    let child = self.extend(partial, stages, q, mode);
+                    let child_remaining = remaining & !stages;
+                    let child_avail = avail & !q;
+                    if self.dominated(
+                        &child,
+                        child_remaining,
+                        child_avail,
+                        root_mask,
+                        root_mode_dp,
+                    ) {
+                        continue;
+                    }
+                    let (lb_period, lb_latency) = self.bounds(
+                        &child,
+                        child_remaining,
+                        child_avail,
+                        root_mask,
+                        root_mode_dp,
+                    );
+                    if self.ctx.prune(lb_period, lb_latency) {
+                        continue;
+                    }
                     self.acc.push(Assignment::new(
                         Self::stages_of(stages),
                         mask_procs(q as usize),
@@ -792,8 +1565,8 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                     ));
                     self.expand(
                         &child,
-                        remaining & !stages,
-                        avail & !q,
+                        child_remaining,
+                        child_avail,
                         root_mask,
                         root_mode_dp,
                     );
@@ -826,31 +1599,54 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         !has_join || stages.count_ones() == 1
     }
 
+    /// Re-bills every [`UnresolvedOutputs`] entry now that the join
+    /// group is known: the deferred leaf→join transfers are added to
+    /// the owning group's (exact) completion and period terms, making
+    /// the whole partial state exact again — the precondition of the
+    /// dominance pruning.
+    fn resolve_outputs(&self, next: &mut ForkPartial, join_mask: u32) {
+        for u in std::mem::take(&mut next.unresolved) {
+            let out = match next.join_bw.as_deref() {
+                Some(bw) => Self::bw_transfer(u.out_total, bw, u.procs),
+                None => self.mask_transfer(u.out_total, u.procs, join_mask),
+            };
+            next.comp_link = next.comp_link.max(u.completion_base + out);
+            if let Some(nolink) = u.completion_nolink_base {
+                next.comp_nolink = next.comp_nolink.max(nolink + out);
+            }
+            if u.is_root {
+                next.root_busy += out;
+            } else {
+                next.period_others =
+                    next.period_others
+                        .max(Self::amortize(u.busy_base + out, u.k, u.mode));
+            }
+        }
+    }
+
     /// Extends the partial state with a new non-root group, updating the
     /// broadcast clock, root busy time, period terms and completions.
-    fn extend(
-        &self,
-        partial: &ForkPartial,
-        stages: u32,
-        q: u32,
-        mode: Mode,
-        root_mask: u32,
-    ) -> ForkPartial {
-        let platform = &self.ctx.instance.platform;
+    fn extend(&self, partial: &ForkPartial, stages: u32, q: u32, mode: Mode) -> ForkPartial {
         let network = self.ctx.network;
-        let procs = mask_procs(q as usize);
-        let root_procs = mask_procs(root_mask as usize);
         let mut next = partial.clone();
         let has_join = self.join.is_some() && stages & (1u32 << self.join_stage() as u32) != 0;
         if has_join {
-            next.join_procs = Some(procs.clone());
-            next.join_speed = Some(self.sequential_speed(&procs, mode));
+            next.join_mask = q;
+            next.join_speed = Some(self.mask_sequential_speed(q, mode));
+            let (out, bw) = self.join_tables(q);
+            next.join_out = Some(out);
+            next.join_bw = Some(bw);
+            // the join placement resolves every deferred leaf→join
+            // transfer of the groups created before it
+            self.resolve_outputs(&mut next, q);
         }
-        let wants = Self::stages_of(stages).iter().any(|&s| self.is_leaf(s));
+        let wants = stages & self.leaf_bits != 0;
         // the group's δ0 link, shared by the arrival clock and its
-        // per-period receive term (zero for broadcast-free groups)
+        // per-period receive term (zero for broadcast-free groups):
+        // `root_link` already holds the worst per-processor link, so
+        // the group link is its max over `q`
         let link = if wants {
-            group_transfer(network, self.fork.broadcast_size(), &root_procs, &procs)
+            Self::max_over(&self.root_link, q)
         } else {
             Rat::ZERO
         };
@@ -859,21 +1655,20 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             match self.ctx.comm {
                 CommModel::OnePort => {
                     next.t_oneport += link;
-                    next.root_busy = partial.root_busy + link;
+                    next.root_busy += link;
                     next.t_oneport
                 }
                 CommModel::BoundedMultiPort => {
+                    let old_component = next.broadcast_link_max.max(multiport_capacity_bound(
+                        network,
+                        self.fork.broadcast_size() * partial.receivers,
+                    ));
                     next.broadcast_link_max = next.broadcast_link_max.max(link);
                     let volume = self.fork.broadcast_size() * next.receivers;
                     let cap = multiport_capacity_bound(network, volume);
                     // root busy = base + max(max link, capacity); redo
                     // the (monotone) broadcast component from its parts
-                    next.root_busy = partial.root_busy
-                        + (next.broadcast_link_max.max(cap)
-                            - partial.broadcast_link_max.max(multiport_capacity_bound(
-                                network,
-                                self.fork.broadcast_size() * partial.receivers,
-                            )));
+                    next.root_busy += next.broadcast_link_max.max(cap) - old_component;
                     next.send_start + link.max(cap)
                 }
             }
@@ -890,15 +1685,47 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         };
         let k = q.count_ones() as usize;
         let delay_of = |work: u64| match mode {
-            Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(&procs).max(1)),
-            Mode::DataParallel => Rat::ratio(work, platform.subset_speed(&procs).max(1)),
+            Mode::Replicated => Rat::ratio(work, self.min_speed[q as usize].max(1)),
+            Mode::DataParallel => Rat::ratio(work, self.sum_speed[q as usize].max(1)),
         };
-        let outputs = self.outputs_lb(stages, &procs, next.join_procs.as_deref());
+        let delay = delay_of(latency_work);
+        // completion without the broadcast transfer term: the
+        // multi-port capacity bound is retroactive, so receivers keep
+        // both variants (see `ForkPartial::comp_nolink`)
+        let nolink_arrival =
+            (wants && self.ctx.comm == CommModel::BoundedMultiPort).then_some(next.send_start);
+        let deferred = self.join.is_some() && next.join_mask == 0;
+        if deferred {
+            let out_total = self.out_total(stages);
+            if out_total > 0 {
+                next.unresolved.push(UnresolvedOutputs {
+                    procs: q,
+                    out_total,
+                    completion_base: arrival + delay,
+                    completion_nolink_base: nolink_arrival.map(|a| a + delay),
+                    busy_base: link + delay_of(full_work),
+                    k,
+                    mode,
+                    is_root: false,
+                });
+            }
+        }
+        let outputs = if deferred {
+            Rat::ZERO
+        } else {
+            self.outputs_lb(
+                stages,
+                q,
+                next.join_mask,
+                next.join_bw.as_deref().map(|v| &v[..]),
+            )
+        };
         let busy = link + delay_of(full_work) + outputs;
         next.period_others = next.period_others.max(Self::amortize(busy, k, mode));
-        next.completion_max = next
-            .completion_max
-            .max(arrival + delay_of(latency_work) + outputs);
+        next.comp_link = next.comp_link.max(arrival + delay + outputs);
+        if let Some(a) = nolink_arrival {
+            next.comp_nolink = next.comp_nolink.max(a + delay + outputs);
+        }
         next
     }
 }
@@ -998,8 +1825,8 @@ mod tests {
     #[test]
     fn fork_and_forkjoin_bb_match_enumeration() {
         let mut gen = Gen::new(0xBB11);
-        for case in 0..40 {
-            let leaves = gen.size(0, 3);
+        for case in 0..60 {
+            let leaves = gen.size(0, 4);
             let p = gen.size(1, 3);
             let workflow: Workflow = if case % 2 == 0 {
                 Fork::with_data_sizes(
@@ -1011,10 +1838,15 @@ mod tests {
                 )
                 .into()
             } else {
-                repliflow_core::workflow::ForkJoin::new(
+                // nonzero data sizes exercise the deferred leaf→join
+                // re-billing behind the fork-join dominance pruning
+                repliflow_core::workflow::ForkJoin::with_data_sizes(
                     gen.int(1, 6),
                     gen.positive_ints(leaves, 1, 6),
                     gen.int(1, 5),
+                    gen.int(0, 5),
+                    gen.int(0, 5),
+                    gen.positive_ints(leaves, 0, 4),
                 )
                 .into()
             };
@@ -1026,6 +1858,54 @@ mod tests {
             let instance = comm_instance(&mut gen, workflow, p, objective);
             let result = solve_comm_bb(&instance, None, &BbLimits::default());
             assert!(result.stats.completed);
+            let bb = result
+                .best
+                .map(|s| instance.objective.score(s.period, s.latency));
+            assert_eq!(bb, brute_force_best(&instance), "case {case}");
+        }
+    }
+
+    #[test]
+    fn fork_dominance_prunes_and_stays_exact() {
+        // A fork large enough that equal-shaped partial states recur:
+        // the dominance table must actually fire, and the result must
+        // still equal brute-force enumeration.
+        let mut gen = Gen::new(0xBB14);
+        for case in 0..8 {
+            let leaves = 5;
+            let p = 4;
+            let workflow: Workflow = if case % 2 == 0 {
+                Fork::with_data_sizes(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves, 1, 6),
+                    gen.int(0, 4),
+                    gen.int(1, 4),
+                    gen.positive_ints(leaves, 0, 4),
+                )
+                .into()
+            } else {
+                repliflow_core::workflow::ForkJoin::with_data_sizes(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves - 1, 1, 6),
+                    gen.int(1, 5),
+                    gen.int(0, 4),
+                    gen.int(1, 4),
+                    gen.positive_ints(leaves - 1, 0, 4),
+                )
+                .into()
+            };
+            let objective = if case % 2 == 0 {
+                Objective::Period
+            } else {
+                Objective::Latency
+            };
+            let instance = comm_instance(&mut gen, workflow, p, objective);
+            let result = solve_comm_bb(&instance, None, &BbLimits::default());
+            assert!(result.stats.completed, "case {case}");
+            assert!(
+                result.stats.pruned_dominated > 0,
+                "case {case}: fork dominance never fired"
+            );
             let bb = result
                 .best
                 .map(|s| instance.objective.score(s.period, s.latency));

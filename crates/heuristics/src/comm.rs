@@ -7,22 +7,22 @@
 //! Pipelines search the structural neighborhood of [`crate::moves`]
 //! *plus* processor swaps ([`crate::moves::proc_swaps`]) — swaps are the
 //! move class that matters once link bandwidths make processor identity
-//! significant. Forks and fork-joins search the workflow-generic
-//! processor swaps of [`crate::moves::proc_swaps_any`]: their *group
-//! structure* still comes from the constructive candidates, but which
-//! physical processors serve each group is now locally optimized too
-//! (previously their searches returned the start mapping unchanged).
+//! significant. Forks and fork-joins search the full workflow-generic
+//! neighborhood of [`crate::moves::neighbors_any`]: structural group
+//! moves (split a group, merge two groups, migrate a single leaf) *and*
+//! processor swaps, so local search can escape a bad constructive group
+//! structure instead of merely re-labelling its processors.
 
 use crate::annealing::Schedule;
-use crate::moves::{neighbors_with_swaps, proc_swaps_any};
+use crate::moves::{neighbors_any, neighbors_with_swaps};
 use crate::score::score_instance;
 use repliflow_core::instance::ProblemInstance;
 use repliflow_core::mapping::Mapping;
 use repliflow_core::workflow::Workflow;
 
-/// Every neighbor of `mapping` under the instance's workflow shape
-/// (processor swaps only for forks and fork-joins, whose structural
-/// neighborhood is still future work).
+/// Every neighbor of `mapping` under the instance's workflow shape:
+/// the pipeline structural-move + swap neighborhood, or the fork /
+/// fork-join group-move + swap neighborhood. Both are duplicate-free.
 pub fn neighbors_instance(instance: &ProblemInstance, mapping: &Mapping) -> Vec<Mapping> {
     match &instance.workflow {
         Workflow::Pipeline(pipe) => neighbors_with_swaps(
@@ -31,7 +31,7 @@ pub fn neighbors_instance(instance: &ProblemInstance, mapping: &Mapping) -> Vec<
             mapping,
             instance.allow_data_parallel,
         ),
-        Workflow::Fork(_) | Workflow::ForkJoin(_) => proc_swaps_any(
+        Workflow::Fork(_) | Workflow::ForkJoin(_) => neighbors_any(
             &instance.workflow,
             &instance.platform,
             mapping,
@@ -204,6 +204,82 @@ mod tests {
             Assignment::new(vec![0, 1], vec![ProcId(0)], Mode::Replicated),
             Assignment::new(vec![2], vec![ProcId(1)], Mode::Replicated),
             Assignment::new(vec![3], vec![ProcId(2)], Mode::Replicated), // join on slow P2
+        ]);
+        let before = instance.latency(&bad).unwrap();
+        let improved = improve_instance(&instance, bad, 50);
+        let after = instance.latency(&improved).unwrap();
+        assert!(after < before, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn fork_structural_moves_escape_a_bad_group_structure() {
+        // Two heavy leaves crammed into one group while a processor
+        // sits idle: no processor swap can fix this (swaps preserve the
+        // group structure), but a single *split* move does. Before
+        // `group_moves_any` the fork search was stuck at the seed.
+        use repliflow_core::mapping::Assignment;
+        use repliflow_core::platform::ProcId;
+        use repliflow_core::workflow::Fork;
+
+        let fork = Fork::with_data_sizes(1, vec![10, 10], 2, 2, vec![1, 1]);
+        let plat = Platform::homogeneous(3, 1);
+        let instance = ProblemInstance {
+            workflow: fork.into(),
+            platform: plat,
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(3, 2),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let bad = Mapping::new(vec![
+            Assignment::new(vec![0], vec![ProcId(0)], Mode::Replicated),
+            // both leaves serialized on P1 while P2 idles
+            Assignment::new(vec![1, 2], vec![ProcId(1), ProcId(2)], Mode::Replicated),
+        ]);
+        let before = instance.latency(&bad).unwrap();
+        let improved = improve_instance(&instance, bad, 50);
+        let after = instance.latency(&improved).unwrap();
+        assert!(
+            after < before,
+            "a split move should strictly improve: before {before}, after {after}"
+        );
+        let group_of = |s: usize| improved.assignment_of(s).unwrap().stages().to_vec();
+        assert_ne!(
+            group_of(1),
+            group_of(2),
+            "the winning structure separates the leaves, got {improved}"
+        );
+    }
+
+    #[test]
+    fn forkjoin_structural_moves_reach_a_merge() {
+        // The join stage sits alone on a slow processor with expensive
+        // leaf->join links; merging it into the (fast) root group
+        // removes the transfer entirely. Only a structural move can do
+        // that — swaps keep the join group alive.
+        use repliflow_core::mapping::Assignment;
+        use repliflow_core::platform::ProcId;
+        use repliflow_core::workflow::ForkJoin;
+
+        let fj = ForkJoin::with_data_sizes(2, vec![2, 2], 8, 1, 1, vec![6, 6]);
+        let plat = Platform::heterogeneous(vec![4, 1, 1]);
+        let instance = ProblemInstance {
+            workflow: fj.into(),
+            platform: plat,
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(3, 1),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let bad = Mapping::new(vec![
+            Assignment::new(vec![0, 1, 2], vec![ProcId(0)], Mode::Replicated),
+            Assignment::new(vec![3], vec![ProcId(1), ProcId(2)], Mode::Replicated),
         ]);
         let before = instance.latency(&bad).unwrap();
         let improved = improve_instance(&instance, bad, 50);

@@ -1,0 +1,367 @@
+//! Fork-join simulation under the **general model with communication**
+//! (Sections 3.2–3.3): single-processor-per-group [`ForkJoinAlloc`]
+//! mappings executed event by event.
+//!
+//! The timeline extends the fork simulation of [`crate::comm_fork`]
+//! with the Section 6.3 join phase:
+//!
+//! * the root group pulls `δ_in` from `P_in`, computes `S0` (and its own
+//!   leaves), then broadcasts `δ_0` on its send port — serialized in
+//!   ascending-smallest-stage group order under one-port, concurrent
+//!   with the node-capacity bound under bounded multi-port — to every
+//!   group holding at least one leaf;
+//! * each group computes its leaves on receipt and ships each leaf's
+//!   output to the **join group** (not `P_out`) on its own output port,
+//!   serialized per group and free when the leaf already lives in the
+//!   join group;
+//! * once *every* group's outputs have arrived, the join stage runs on
+//!   the join group's processor.
+//!
+//! Each resource (input link, per-group CPUs, the root's broadcast port,
+//! per-group output ports) keeps its own free-time across data sets, so
+//! a data set traversing the system alone reproduces the analytic
+//! [`forkjoin_latency`] of `repliflow_core::comm_cost` exactly — which
+//! `tests/comm_vs_analytic.rs` property-tests against both send
+//! disciplines and both start rules. As with forks, the saturated-feed
+//! period is *not* comparable to [`forkjoin_period`], whose round-robin
+//! busy-time accounting deliberately bills a processor's computation and
+//! all of its transfers sequentially; use [`Feed::Interval`] with a
+//! large interval and read [`SimReport::max_latency`].
+//!
+//! [`forkjoin_latency`]: repliflow_core::comm_cost::forkjoin_latency
+//! [`forkjoin_period`]: repliflow_core::comm_cost::forkjoin_period
+
+use crate::engine::entry_times;
+use crate::report::{Feed, SimReport};
+use repliflow_core::comm::{CommModel, Endpoint, Network, StartRule};
+use repliflow_core::platform::{Platform, ProcId};
+use repliflow_core::rational::Rat;
+use repliflow_core::workflow::ForkJoin;
+
+/// A fork-join group mapping for the general model: group 0 holds the
+/// root stage (plus possibly leaves), `join_group` indexes the group
+/// executing the join stage (any group, including the root group or a
+/// leaf-free group of its own). One processor per group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForkJoinAlloc {
+    /// Leaf stage ids (1-based as in the fork part) per group; group 0
+    /// implicitly also contains the root stage `S0`.
+    pub groups: Vec<Vec<usize>>,
+    /// Executing processor of each group.
+    pub procs: Vec<ProcId>,
+    /// Index of the group executing the join stage.
+    pub join_group: usize,
+}
+
+impl ForkJoinAlloc {
+    fn check(&self, fj: &ForkJoin) {
+        assert_eq!(self.groups.len(), self.procs.len());
+        assert!(!self.groups.is_empty(), "need at least the root group");
+        assert!(self.join_group < self.groups.len(), "join group index");
+        let fork = fj.fork();
+        let mut seen = vec![false; fork.n_leaves() + 1];
+        for g in &self.groups {
+            for &s in g {
+                assert!(
+                    s >= 1 && s <= fork.n_leaves(),
+                    "group member {s} is not a leaf stage"
+                );
+                assert!(!seen[s], "leaf {s} mapped twice");
+                seen[s] = true;
+            }
+        }
+        assert!(
+            (1..=fork.n_leaves()).all(|s| seen[s]),
+            "every leaf must be mapped"
+        );
+        let mut procs = self.procs.clone();
+        procs.sort_unstable();
+        procs.dedup();
+        assert_eq!(procs.len(), self.procs.len(), "processors must be distinct");
+    }
+
+    /// Smallest stage id held by group `g` (root stage 0 for group 0,
+    /// the join stage for a leaf-free join group) — the key of the
+    /// deterministic group order the one-port broadcast serializes in,
+    /// matching `comm_cost`'s ascending-first-stage rule.
+    fn first_stage(&self, fj: &ForkJoin, g: usize) -> usize {
+        if g == 0 {
+            return 0;
+        }
+        match self.groups[g].iter().copied().min() {
+            Some(leaf) => {
+                if g == self.join_group {
+                    leaf.min(fj.join_stage())
+                } else {
+                    leaf
+                }
+            }
+            None => fj.join_stage(), // leaf-free: must be the join group
+        }
+    }
+}
+
+/// Simulates a fork-join with communication costs over a one-processor-
+/// per-group allocation.
+///
+/// # Panics
+/// Panics if `alloc` is not a legal [`ForkJoinAlloc`] for `fj` (leaves
+/// partitioned exactly once, distinct processors, join group in range).
+#[allow(clippy::too_many_arguments)] // mirrors the analytic fork-join evaluator's signature
+pub fn simulate_forkjoin_with_comm(
+    fj: &ForkJoin,
+    platform: &Platform,
+    network: &Network,
+    alloc: &ForkJoinAlloc,
+    comm: CommModel,
+    start: StartRule,
+    feed: Feed,
+    n_data_sets: usize,
+) -> SimReport {
+    alloc.check(fj);
+    let fork = fj.fork();
+    let m = alloc.groups.len();
+    let root = Endpoint::Proc(alloc.procs[0]);
+    let join_proc = Endpoint::Proc(alloc.procs[alloc.join_group]);
+
+    // group order of the one-port broadcast (ascending first stage; the
+    // root group is always first)
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&g| alloc.first_stage(fj, g));
+    debug_assert_eq!(order[0], 0);
+
+    // per-group constants: fork-phase compute (leaves; plus the root
+    // stage for group 0 — the join phase is modeled separately)
+    let leaf_work = |g: usize| -> u64 { alloc.groups[g].iter().map(|&s| fork.weight(s)).sum() };
+    let compute: Vec<Rat> = (0..m)
+        .map(|g| {
+            let work = if g == 0 {
+                fork.root_weight() + leaf_work(0)
+            } else {
+                leaf_work(g)
+            };
+            Rat::ratio(work, platform.speed(alloc.procs[g]))
+        })
+        .collect();
+    let s0_time = Rat::ratio(fork.root_weight(), platform.speed(alloc.procs[0]));
+    let join_time = Rat::ratio(
+        fj.join_weight(),
+        platform.speed(alloc.procs[alloc.join_group]),
+    );
+    let pull = network.transfer_time(fork.input_size(), Endpoint::In, root);
+    let bcast: Vec<Rat> = (0..m)
+        .map(|g| network.transfer_time(fork.broadcast_size(), root, Endpoint::Proc(alloc.procs[g])))
+        .collect();
+    // per-group total output push toward the join group (free inside it)
+    let outputs: Vec<Rat> = (0..m)
+        .map(|g| {
+            if g == alloc.join_group {
+                return Rat::ZERO;
+            }
+            alloc.groups[g]
+                .iter()
+                .map(|&s| {
+                    network.transfer_time(
+                        fork.output_size(s),
+                        Endpoint::Proc(alloc.procs[g]),
+                        join_proc,
+                    )
+                })
+                .sum()
+        })
+        .collect();
+    let receivers = (1..m).filter(|&g| !alloc.groups[g].is_empty()).count() as u64;
+    let capacity = {
+        let volume = fork.broadcast_size() * receivers;
+        if volume > 0 && !network.is_infinite() {
+            network
+                .node_capacity()
+                .map(|cap| Rat::ratio(volume, cap))
+                .unwrap_or(Rat::ZERO)
+        } else {
+            Rat::ZERO
+        }
+    };
+
+    // resource free-times, persistent across data sets
+    let mut in_link_free = Rat::ZERO;
+    let mut bcast_port_free = Rat::ZERO;
+    let mut cpu_free = vec![Rat::ZERO; m];
+    let mut out_port_free = vec![Rat::ZERO; m];
+
+    let entries = entry_times(feed, n_data_sets);
+    let mut departures = Vec::with_capacity(n_data_sets);
+    for &entry in &entries {
+        // root: pull input, compute S0 then its own leaves
+        let recv_done = entry.max(in_link_free) + pull;
+        in_link_free = recv_done;
+        let s0_done = recv_done.max(cpu_free[0]) + s0_time;
+        let root_done = recv_done.max(cpu_free[0]) + compute[0];
+        cpu_free[0] = root_done;
+        let send_start = match start {
+            StartRule::Flexible => s0_done,
+            StartRule::Strict => root_done,
+        };
+        // broadcast δ0 on the root's send port to every leaf-holding
+        // group, in ascending-first-stage order; a leaf-free join group
+        // receives nothing and is ready at send_start
+        let mut arrive = vec![send_start; m];
+        match comm {
+            CommModel::OnePort => {
+                let mut t = send_start.max(bcast_port_free);
+                for &g in order.iter().skip(1) {
+                    if alloc.groups[g].is_empty() {
+                        continue;
+                    }
+                    t += bcast[g];
+                    arrive[g] = t;
+                }
+                bcast_port_free = t;
+            }
+            CommModel::BoundedMultiPort => {
+                let base = send_start.max(bcast_port_free);
+                for g in 1..m {
+                    if alloc.groups[g].is_empty() {
+                        continue;
+                    }
+                    arrive[g] = base + bcast[g].max(capacity);
+                    bcast_port_free = bcast_port_free.max(arrive[g]);
+                }
+            }
+        }
+        // every group: compute its leaves, then push outputs toward the
+        // join group on its own output port; the join waits for all
+        let mut join_ready = root_done.max(out_port_free[0]) + outputs[0];
+        out_port_free[0] = join_ready;
+        for g in 1..m {
+            let done = arrive[g].max(cpu_free[g]) + compute[g];
+            cpu_free[g] = done;
+            let out_done = done.max(out_port_free[g]) + outputs[g];
+            out_port_free[g] = out_done;
+            join_ready = join_ready.max(out_done);
+        }
+        // join phase on the join group's processor
+        let join_done = join_ready.max(cpu_free[alloc.join_group]) + join_time;
+        cpu_free[alloc.join_group] = join_done;
+        departures.push(join_done);
+    }
+    SimReport::new(entries, departures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repliflow_core::comm_cost::forkjoin_latency;
+    use repliflow_core::mapping::{Assignment, Mapping, Mode};
+
+    fn mapping_of(fj: &ForkJoin, alloc: &ForkJoinAlloc) -> Mapping {
+        Mapping::new(
+            alloc
+                .groups
+                .iter()
+                .zip(&alloc.procs)
+                .enumerate()
+                .map(|(g, (leaves, &proc))| {
+                    let mut stages = leaves.clone();
+                    if g == 0 {
+                        stages.push(0);
+                    }
+                    if g == alloc.join_group {
+                        stages.push(fj.join_stage());
+                    }
+                    Assignment::new(stages, vec![proc], Mode::Replicated)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn isolated_data_set_matches_analytic_latency() {
+        let fj = ForkJoin::with_data_sizes(2, vec![2, 2], 3, 6, 4, vec![2, 2]);
+        let plat = Platform::homogeneous(3, 1);
+        let net = Network::uniform(3, 2);
+        let alloc = ForkJoinAlloc {
+            groups: vec![vec![], vec![1], vec![2]],
+            procs: vec![ProcId(0), ProcId(1), ProcId(2)],
+            join_group: 2,
+        };
+        let mapping = mapping_of(&fj, &alloc);
+        for comm in [CommModel::OnePort, CommModel::BoundedMultiPort] {
+            for start in [StartRule::Flexible, StartRule::Strict] {
+                let analytic = forkjoin_latency(&fj, &plat, &net, comm, start, &mapping).unwrap();
+                let report = simulate_forkjoin_with_comm(
+                    &fj,
+                    &plat,
+                    &net,
+                    &alloc,
+                    comm,
+                    start,
+                    Feed::Interval(Rat::int(1000)),
+                    4,
+                );
+                assert_eq!(report.max_latency(), analytic, "{comm:?}/{start:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_outputs_ship_to_the_join_group_not_out() {
+        // Heavy per-leaf outputs, join co-located with the leaves: the
+        // transfers are free, so the latency is pure compute + input +
+        // broadcast — P_out never appears in a fork-join's fork phase.
+        let fj = ForkJoin::with_data_sizes(1, vec![1], 1, 0, 2, vec![1000]);
+        let plat = Platform::homogeneous(2, 1);
+        let net = Network::uniform(2, 2);
+        let alloc = ForkJoinAlloc {
+            groups: vec![vec![], vec![1]],
+            procs: vec![ProcId(0), ProcId(1)],
+            join_group: 1,
+        };
+        let report = simulate_forkjoin_with_comm(
+            &fj,
+            &plat,
+            &net,
+            &alloc,
+            CommModel::OnePort,
+            StartRule::Flexible,
+            Feed::Interval(Rat::int(1000)),
+            2,
+        );
+        // root S0 done at 1, broadcast 1 -> arrival 2, leaf 1 -> 3,
+        // output free (same group as join), join 1 -> 4
+        assert_eq!(report.max_latency(), Rat::int(4));
+    }
+
+    #[test]
+    fn join_in_root_group_is_legal() {
+        let fj = ForkJoin::with_data_sizes(1, vec![2], 4, 2, 2, vec![2]);
+        let plat = Platform::heterogeneous(vec![2, 1]);
+        let net = Network::uniform(2, 1);
+        let alloc = ForkJoinAlloc {
+            groups: vec![vec![], vec![1]],
+            procs: vec![ProcId(0), ProcId(1)],
+            join_group: 0,
+        };
+        let mapping = mapping_of(&fj, &alloc);
+        let analytic = forkjoin_latency(
+            &fj,
+            &plat,
+            &net,
+            CommModel::OnePort,
+            StartRule::Strict,
+            &mapping,
+        )
+        .unwrap();
+        let report = simulate_forkjoin_with_comm(
+            &fj,
+            &plat,
+            &net,
+            &alloc,
+            CommModel::OnePort,
+            StartRule::Strict,
+            Feed::Interval(Rat::int(1000)),
+            3,
+        );
+        assert_eq!(report.max_latency(), analytic);
+    }
+}

@@ -18,9 +18,12 @@
 //!   has finished anywhere on the platform;
 //! * optionally, the general model with communication: pipelines with
 //!   pull / compute / push serialized per processor (matching formulas
-//!   (1)–(2)), and forks with a one-port/multi-port `δ_0` broadcast and
+//!   (1)–(2)), forks with a one-port/multi-port `δ_0` broadcast and
 //!   per-group output ports (matching the analytic fork completion
-//!   times under both start rules — see [`comm_fork`]).
+//!   times under both start rules — see [`comm_fork`]), and fork-joins
+//!   whose leaf outputs ship to the join group before the join phase
+//!   runs (matching the analytic fork-join latency — see
+//!   [`comm_fork_join`]).
 //!
 //! Measurements: feed [`Feed::Saturated`] and read
 //! [`SimReport::measured_period`] over whole round-robin cycles to obtain
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod comm_fork;
+pub mod comm_fork_join;
 pub mod comm_pipeline;
 pub mod engine;
 pub mod fork;
@@ -46,6 +50,7 @@ pub mod pipeline;
 pub mod report;
 
 pub use comm_fork::simulate_fork_with_comm;
+pub use comm_fork_join::{simulate_forkjoin_with_comm, ForkJoinAlloc};
 pub use comm_pipeline::simulate_pipeline_with_comm;
 pub use fork::{simulate_fork, simulate_forkjoin};
 pub use pipeline::simulate_pipeline;

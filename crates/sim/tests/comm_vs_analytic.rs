@@ -14,8 +14,11 @@ use repliflow_core::comm_cost;
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
-use repliflow_core::workflow::{Fork, Pipeline};
-use repliflow_sim::{simulate_fork_with_comm, simulate_pipeline_with_comm, Feed};
+use repliflow_core::workflow::{Fork, ForkJoin, Pipeline};
+use repliflow_sim::{
+    simulate_fork_with_comm, simulate_forkjoin_with_comm, simulate_pipeline_with_comm, Feed,
+    ForkJoinAlloc,
+};
 
 /// Deterministically derives an interval partition of `n` stages onto
 /// distinct processors of a `p`-processor platform from proptest-drawn
@@ -69,6 +72,60 @@ fn derive_fork_alloc(n_leaves: usize, p: usize, picks: usize) -> ForkAlloc {
         groups: final_groups,
         procs,
     }
+}
+
+/// Deterministically derives a fork-join group allocation from
+/// proptest-drawn decisions: the fork part as in [`derive_fork_alloc`],
+/// plus a join-group choice — any existing group, or (when a processor
+/// is free) a dedicated leaf-free join group of its own.
+fn derive_forkjoin_alloc(
+    n_leaves: usize,
+    p: usize,
+    picks: usize,
+    join_pick: usize,
+) -> ForkJoinAlloc {
+    let base = derive_fork_alloc(n_leaves, p, picks);
+    let mut groups = base.groups;
+    let mut procs = base.procs;
+    let choices = groups.len() + usize::from(procs.len() < p);
+    let choice = join_pick % choices;
+    let join_group = if choice == groups.len() {
+        // dedicated leaf-free join group on the first unused processor
+        groups.push(Vec::new());
+        procs.push(ProcId(procs.len()));
+        groups.len() - 1
+    } else {
+        choice
+    };
+    ForkJoinAlloc {
+        groups,
+        procs,
+        join_group,
+    }
+}
+
+/// The [`Mapping`] equivalent of a [`ForkJoinAlloc`] (single-processor
+/// replicated groups; group 0 additionally holds the root stage, the
+/// join group additionally holds the join stage).
+fn forkjoin_mapping_of(fj: &ForkJoin, alloc: &ForkJoinAlloc) -> Mapping {
+    Mapping::new(
+        alloc
+            .groups
+            .iter()
+            .zip(&alloc.procs)
+            .enumerate()
+            .map(|(g, (leaves, &proc))| {
+                let mut stages = leaves.clone();
+                if g == 0 {
+                    stages.push(0);
+                }
+                if g == alloc.join_group {
+                    stages.push(fj.join_stage());
+                }
+                Assignment::new(stages, vec![proc], Mode::Replicated)
+            })
+            .collect(),
+    )
 }
 
 /// The [`Mapping`] equivalent of a [`ForkAlloc`] (single-processor
@@ -187,6 +244,65 @@ proptest! {
         // ... and so does the independent discrete-event execution
         let report = simulate_fork_with_comm(
             &fork,
+            &plat,
+            &net,
+            &alloc,
+            comm,
+            start,
+            Feed::Interval(analytic + Rat::ONE),
+            4,
+        );
+        prop_assert_eq!(report.max_latency(), analytic);
+    }
+
+    /// Fork-join witnesses: the discrete-event execution — broadcast in,
+    /// per-group leaf outputs shipped to the join group, join phase once
+    /// everything arrived — reproduces the analytic general-mapping
+    /// fork-join latency (`core::comm_cost::forkjoin_latency`) on an
+    /// isolated data set, for both send disciplines, both start rules,
+    /// every join placement (root group, leaf group, dedicated group)
+    /// and capacity-bounded networks.
+    #[test]
+    fn forkjoin_simulation_matches_analytic_comm_evaluator(
+        root_w in 1u64..=8,
+        join_w in 1u64..=8,
+        leaf_weights in prop::collection::vec(1u64..=8, 0..=5),
+        sizes in prop::collection::vec(0u64..=6, 7),
+        speeds in prop::collection::vec(1u64..=5, 1..=4),
+        bw in 1u64..=4,
+        capacity in 0u64..=4,
+        picks in 0usize..1_000_000,
+        join_pick in 0usize..64,
+        one_port in 0usize..2,
+        strict in 0usize..2,
+    ) {
+        let n = leaf_weights.len();
+        let p = speeds.len();
+        let fj = ForkJoin::with_data_sizes(
+            root_w,
+            leaf_weights,
+            join_w,
+            sizes[0],
+            sizes[1],
+            sizes[2..2 + n].to_vec(),
+        );
+        let plat = Platform::heterogeneous(speeds);
+        // capacity 0 encodes "no node bound"
+        let net = if capacity > 0 {
+            Network::uniform(p, bw).with_node_capacity(capacity)
+        } else {
+            Network::uniform(p, bw)
+        };
+        let alloc = derive_forkjoin_alloc(n, p, picks, join_pick);
+        let comm = if one_port == 0 { CommModel::OnePort } else { CommModel::BoundedMultiPort };
+        let start = if strict == 0 { StartRule::Strict } else { StartRule::Flexible };
+
+        let mapping = forkjoin_mapping_of(&fj, &alloc);
+        let analytic =
+            comm_cost::forkjoin_latency(&fj, &plat, &net, comm, start, &mapping).unwrap();
+
+        let report = simulate_forkjoin_with_comm(
+            &fj,
             &plat,
             &net,
             &alloc,

@@ -127,6 +127,58 @@ mod tests {
     }
 
     #[test]
+    fn split_boundaries_preserve_order_for_every_size() {
+        // Audit of the contiguous-chunk split: for every batch size from
+        // empty to beyond 2× the worker count (including sizes < threads,
+        // where naive chunking could spawn empty-chunk workers or
+        // misalign output slots), report `i` must correspond to instance
+        // `i` and every slot must be written exactly once.
+        let registry = EngineRegistry::default();
+        let mut gen = Gen::new(0xBA7E);
+        for threads in [1usize, 2, 3, 5, 8] {
+            let max = 2 * threads + 1;
+            let pool: Vec<ProblemInstance> = (0..max)
+                .map(|i| {
+                    ProblemInstance::new(
+                        // distinct stage counts make any reordering of the
+                        // reports observable through the variant/mapping
+                        gen.pipeline(1 + i, 1, 9),
+                        gen.hom_platform(1 + i % 3, 1, 4),
+                        false,
+                        Objective::Period,
+                    )
+                })
+                .collect();
+            for size in 0..=max {
+                let instances = &pool[..size];
+                let options = BatchOptions {
+                    threads: Some(NonZeroUsize::new(threads).unwrap()),
+                    ..BatchOptions::default()
+                };
+                let reports = registry.solve_batch_with(instances, &options);
+                assert_eq!(reports.len(), size, "threads {threads}, size {size}");
+                for (i, (instance, report)) in instances.iter().zip(&reports).enumerate() {
+                    let report = report.as_ref().unwrap_or_else(|e| {
+                        panic!("threads {threads}, size {size}, slot {i}: {e}")
+                    });
+                    assert_eq!(
+                        report.variant,
+                        instance.variant(),
+                        "threads {threads}, size {size}: slot {i} holds another instance's report"
+                    );
+                    let serial = registry
+                        .solve(&SolveRequest::new(instance.clone()))
+                        .unwrap();
+                    assert_eq!(
+                        serial.objective_value, report.objective_value,
+                        "threads {threads}, size {size}, slot {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_thread_option_still_covers_all() {
         let mut gen = Gen::new(0xBA7D);
         let instances: Vec<ProblemInstance> = (0..5)

@@ -124,22 +124,18 @@ impl CommHeuristicEngine {
                     ));
                 }
             }
-            // fork shapes: constructive group structure, then
-            // processor-swap local search re-decides which physical
-            // processors serve each group under the comm-aware score
+            // fork shapes: constructive group structure refined by the
+            // full comm-aware neighborhood (structural group moves —
+            // split / merge / leaf migration — plus processor swaps),
+            // escalating to annealing per the quality tier exactly as
+            // pipelines do
             Workflow::Fork(fork) => {
-                out.push(comm::improve_instance(
-                    instance,
-                    greedy::fork_latency_greedy(fork, platform),
-                    budget.local_search_rounds,
-                ));
+                let start = greedy::fork_latency_greedy(fork, platform);
+                super::push_fork_portfolio(instance, start, budget, &mut out);
             }
             Workflow::ForkJoin(fj) => {
-                out.push(comm::improve_instance(
-                    instance,
-                    greedy::forkjoin_latency_greedy(fj, platform),
-                    budget.local_search_rounds,
-                ));
+                let start = greedy::forkjoin_latency_greedy(fj, platform);
+                super::push_fork_portfolio(instance, start, budget, &mut out);
             }
         }
         out

@@ -33,14 +33,15 @@ impl Engine for CommBbEngine {
     }
 
     fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
-        // Surface the search's hard representation limits as an error
-        // instead of letting its asserts abort the process: the shared
-        // processor/leaf bitmask caps, plus the stage bitmask cap the
-        // branch-and-bound adds on top (unlike enumeration, it keys
-        // pipeline stages into u32 masks too).
-        if !super::instance_fits(instance)
-            || instance.workflow.n_stages() > repliflow_exact::comm_bb::MAX_STAGES
-        {
+        // Surface the search's hard representation limits as a clean
+        // capacity error *before* the search starts, instead of letting
+        // its asserts abort the process (or, worse, letting a platform
+        // beyond the `u32` processor-mask width silently truncate): the
+        // shared processor/leaf bitmask caps, plus the stage bitmask
+        // cap the branch-and-bound adds on top (unlike enumeration, it
+        // keys pipeline stages into u32 masks too). The `Auto` route
+        // performs the same check and falls back to `comm-heuristic`.
+        if !super::comm_bb_capacity(instance) {
             return Err(SolveError::ExceedsExactCapacity {
                 n_stages: instance.workflow.n_stages(),
                 n_procs: instance.platform.n_procs(),

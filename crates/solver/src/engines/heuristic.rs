@@ -61,11 +61,16 @@ impl HeuristicEngine {
                     ));
                 }
             }
+            // fork shapes: constructive greedy start, refined by the
+            // shared fork portfolio tail (see `push_fork_portfolio` for
+            // why both engines must search identically)
             Workflow::Fork(fork) => {
-                out.push(greedy::fork_latency_greedy(fork, platform));
+                let start = greedy::fork_latency_greedy(fork, platform);
+                super::push_fork_portfolio(instance, start, budget, &mut out);
             }
             Workflow::ForkJoin(fj) => {
-                out.push(greedy::forkjoin_latency_greedy(fj, platform));
+                let start = greedy::forkjoin_latency_greedy(fj, platform);
+                super::push_fork_portfolio(instance, start, budget, &mut out);
             }
         }
         out

@@ -16,10 +16,51 @@ pub use paper::PaperEngine;
 
 pub(crate) use exact::{instance_fits, within_exact_capacity};
 
+/// Whether `comm-bb` can even *represent* the instance: the shared
+/// exhaustive-solver bitmask limits plus the branch-and-bound's own
+/// `u32` stage-mask cap. Instances beyond this panic-free ceiling are
+/// rejected by the engine with a capacity error and skipped by the
+/// `Auto` route (which falls through to `comm-heuristic`).
+pub(crate) fn comm_bb_capacity(instance: &repliflow_core::instance::ProblemInstance) -> bool {
+    instance_fits(instance) && instance.workflow.n_stages() <= repliflow_exact::comm_bb::MAX_STAGES
+}
+
+use crate::request::Budget;
 use repliflow_algorithms::Solved;
-use repliflow_core::instance::Objective;
+use repliflow_core::instance::{Objective, ProblemInstance};
 use repliflow_core::mapping::Mapping;
 use repliflow_core::rational::Rat;
+
+/// The shared fork/fork-join portfolio tail: refine a constructive
+/// `start` with the workflow-generic neighborhood (structural group
+/// moves + processor swaps; `comm::improve_instance` evaluates through
+/// the instance's own cost model, so the same code serves the
+/// simplified and comm-aware engines), escalating to annealing per the
+/// quality tier. Keeping this in one place is what makes the
+/// infinite-bandwidth degeneracy hold at the *engine* level: both
+/// portfolios search identically, they only differ in the evaluator
+/// the cost model selects.
+pub(crate) fn push_fork_portfolio(
+    instance: &ProblemInstance,
+    start: Mapping,
+    budget: &Budget,
+    out: &mut Vec<Mapping>,
+) {
+    use repliflow_heuristics::comm;
+    out.push(comm::improve_instance(
+        instance,
+        start.clone(),
+        budget.local_search_rounds,
+    ));
+    if let Some(schedule) = budget.quality.annealing_schedule() {
+        out.push(comm::anneal_instance(
+            instance,
+            start,
+            schedule,
+            budget.seed,
+        ));
+    }
+}
 
 /// Orients a (mapping, period, latency) triple into a [`Solved`] whose
 /// `objective` field matches the instance's objective — the one place

@@ -47,6 +47,15 @@ impl EngineRegistry {
     /// guard (or when forced via [`EnginePref::CommBb`]), comm-heuristic
     /// beyond both; [`EnginePref::Paper`] fails — the paper's polynomial
     /// algorithms only cover the simplified model.
+    ///
+    /// The `Auto` arm is the single source of truth for comm routing
+    /// (it is what [`EngineRegistry::solve`] uses): beyond the budget
+    /// guards it only picks an exact engine that can *represent* the
+    /// instance — the shared processor/leaf bitmask caps plus comm-bb's
+    /// stage-mask cap, with fork-shaped leaf counts recovered from the
+    /// variant's graph class — and falls back to comm-heuristic rather
+    /// than erroring (e.g. a 33-processor platform would overflow the
+    /// searches' `u32` processor masks).
     pub fn resolve_comm(
         &self,
         pref: EnginePref,
@@ -64,9 +73,23 @@ impl EngineRegistry {
             EnginePref::CommBb => Ok(&self.comm_bb),
             EnginePref::Heuristic => Ok(&self.comm_heuristic),
             EnginePref::Auto => {
-                if budget.allows_comm_exact(n_stages, n_procs) {
+                use repliflow_core::instance::GraphClass;
+                let leaves = match variant.graph {
+                    GraphClass::HomFork | GraphClass::HetFork => Some(n_stages.saturating_sub(1)),
+                    GraphClass::HomForkJoin | GraphClass::HetForkJoin => {
+                        Some(n_stages.saturating_sub(2))
+                    }
+                    _ => None,
+                };
+                let representable = n_procs <= repliflow_exact::pipeline::MAX_PROCS
+                    && leaves.unwrap_or(0) <= repliflow_exact::fork::MAX_LEAVES;
+                if budget.allows_comm_exact(n_stages, n_procs) && representable {
                     Ok(&self.comm_exact)
-                } else if budget.allows_comm_bb(n_stages, n_procs) {
+                } else if budget.allows_comm_bb(n_stages, n_procs)
+                    && leaves.is_none_or(|l| l <= budget.max_comm_bb_fork_leaves)
+                    && representable
+                    && n_stages <= repliflow_exact::comm_bb::MAX_STAGES
+                {
                     Ok(&self.comm_bb)
                 } else {
                     Ok(&self.comm_heuristic)
@@ -262,10 +285,11 @@ impl EngineRegistry {
     /// witnesses mapped one processor per group: pipelines re-execute
     /// through the pull/compute/push discrete-event simulation (period
     /// and latency), forks through the broadcast/output-port simulation
-    /// (latency — the analytic period's busy-time accounting is not an
-    /// executable schedule). Exactly the classes where the paper's
-    /// closed formulas, our general-mapping evaluators and a
-    /// discrete-event execution must all agree.
+    /// and fork-joins through its join-phase extension (latency — the
+    /// analytic period's busy-time accounting is not an executable
+    /// schedule). Exactly the classes where the paper's closed formulas,
+    /// our general-mapping evaluators and a discrete-event execution
+    /// must all agree.
     fn cross_check_sim(
         &self,
         instance: &repliflow_core::instance::ProblemInstance,
@@ -288,10 +312,15 @@ impl EngineRegistry {
             return Ok(()); // the simulators model single-proc groups only
         }
         let Workflow::Pipeline(pipe) = &instance.workflow else {
-            if let Workflow::Fork(fork) = &instance.workflow {
-                return self.cross_check_fork_sim(instance, fork, network, *comm, solved);
-            }
-            return Ok(()); // fork-join comm simulation is future work
+            return match &instance.workflow {
+                Workflow::Fork(fork) => {
+                    self.cross_check_fork_sim(instance, fork, network, *comm, solved)
+                }
+                Workflow::ForkJoin(fj) => {
+                    self.cross_check_forkjoin_sim(instance, fj, network, *comm, solved)
+                }
+                Workflow::Pipeline(_) => unreachable!("handled by the let-else"),
+            };
         };
         let mut alloc: Vec<IntervalAlloc> = solved
             .mapping
@@ -379,6 +408,66 @@ impl EngineRegistry {
         if measured != solved.latency {
             return Err(SolveError::InvalidWitness(format!(
                 "fork simulator measured latency {measured} but the report claims {}",
+                solved.latency
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fork-join counterpart of the simulator cross-check: re-executes a
+    /// single-processor-per-group comm witness through the
+    /// `repliflow-sim` fork-join simulation (broadcast in, leaf outputs
+    /// to the join group, join phase last) and compares the
+    /// isolated-data-set latency with the report's claim.
+    fn cross_check_forkjoin_sim(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        fj: &repliflow_core::workflow::ForkJoin,
+        network: &repliflow_core::comm::Network,
+        comm: repliflow_core::comm::CommModel,
+        solved: &repliflow_algorithms::Solved,
+    ) -> Result<(), SolveError> {
+        use repliflow_core::rational::Rat;
+        use repliflow_sim::ForkJoinAlloc;
+
+        // sort root group first, then ascending first stage — the group
+        // order the one-port broadcast serializes in
+        let mut groups: Vec<&repliflow_core::mapping::Assignment> =
+            solved.mapping.assignments().iter().collect();
+        groups.sort_by_key(|a| a.stages()[0]);
+        let join = fj.join_stage();
+        let join_group = groups
+            .iter()
+            .position(|a| a.contains_stage(join))
+            .expect("validated mapping places the join stage");
+        let alloc = ForkJoinAlloc {
+            groups: groups
+                .iter()
+                .map(|a| {
+                    a.stages()
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != 0 && s != join)
+                        .collect()
+                })
+                .collect(),
+            procs: groups.iter().map(|a| a.procs()[0]).collect(),
+            join_group,
+        };
+        let sim = repliflow_sim::simulate_forkjoin_with_comm(
+            fj,
+            &instance.platform,
+            network,
+            &alloc,
+            comm,
+            instance.cost_model.start_rule(),
+            repliflow_sim::Feed::Interval(solved.latency + Rat::ONE),
+            3,
+        );
+        let measured = sim.max_latency();
+        if measured != solved.latency {
+            return Err(SolveError::InvalidWitness(format!(
+                "fork-join simulator measured latency {measured} but the report claims {}",
                 solved.latency
             )));
         }

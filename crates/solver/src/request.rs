@@ -109,6 +109,14 @@ pub struct Budget {
     pub max_comm_bb_stages: usize,
     /// Processor ceiling of the `comm-bb` auto route.
     pub max_comm_bb_procs: usize,
+    /// Leaf ceiling under which `Auto` routes a communication-aware
+    /// **fork or fork-join** to `comm-bb`. Fork-shaped searches branch
+    /// over set partitions of the leaves (far wider than pipeline
+    /// intervals at equal stage counts), so their guard is expressed in
+    /// leaves: the default of 10 is the count the fork dominance
+    /// pruning proves optimal within the node/time budget (the
+    /// pre-dominance engine capped out near 6).
+    pub max_comm_bb_fork_leaves: usize,
     /// Hard cap on `comm-bb` search-tree nodes; when it trips, the best
     /// incumbent is reported with [`Quality`]-grade (non-proven)
     /// optimality instead of running unboundedly.
@@ -141,6 +149,7 @@ impl Default for Budget {
             max_comm_exact_procs: 5,
             max_comm_bb_stages: 12,
             max_comm_bb_procs: 8,
+            max_comm_bb_fork_leaves: 10,
             bb_node_limit: 4_000_000,
             bb_time_limit_ms: 10_000,
             local_search_rounds: 200,
@@ -167,6 +176,19 @@ impl Budget {
     /// branch-and-bound engine (`comm-bb`) on the `Auto` route.
     pub fn allows_comm_bb(&self, n_stages: usize, n_procs: usize) -> bool {
         n_stages <= self.max_comm_bb_stages && n_procs <= self.max_comm_bb_procs
+    }
+
+    /// Shape-aware refinement of [`Budget::allows_comm_bb`]: fork and
+    /// fork-join instances additionally respect the leaf guard
+    /// ([`Budget::max_comm_bb_fork_leaves`]).
+    pub fn allows_comm_bb_instance(&self, instance: &ProblemInstance) -> bool {
+        use repliflow_core::workflow::Workflow;
+        let leaves_ok = match &instance.workflow {
+            Workflow::Pipeline(_) => true,
+            Workflow::Fork(f) => f.n_leaves() <= self.max_comm_bb_fork_leaves,
+            Workflow::ForkJoin(fj) => fj.n_leaves() <= self.max_comm_bb_fork_leaves,
+        };
+        leaves_ok && self.allows_comm_bb(instance.workflow.n_stages(), instance.platform.n_procs())
     }
 
     /// The branch-and-bound limits this budget implies.

@@ -133,6 +133,124 @@ fn comm_bb_surfaces_stage_capacity_as_an_error() {
 }
 
 #[test]
+fn comm_bb_surfaces_processor_capacity_as_an_error() {
+    // 33 processors exceed the search's u32 processor-mask width (and
+    // the shared 20-processor bitmask cap); a forced comm-bb request
+    // must get a clean capacity error before the search starts — not a
+    // process abort, and certainly not a silently truncated mask.
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![3, 5], vec![1, 1, 1]).into(),
+        platform: Platform::homogeneous(33, 1),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(33, 1)),
+    };
+    let err = registry
+        .solve(&SolveRequest::new(instance).engine(EnginePref::CommBb))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SolveError::ExceedsExactCapacity { n_procs: 33, .. }
+    ));
+}
+
+#[test]
+fn auto_routes_oversized_platform_to_comm_heuristic() {
+    // Even with budget guards wide enough to nominally allow comm-bb at
+    // p = 33, the auto route must notice the representation limit and
+    // fall back to the heuristic instead of erroring (regression: the
+    // old route handed the instance to comm-bb, which refused it).
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![3, 5], vec![1, 1, 1]).into(),
+        platform: Platform::homogeneous(33, 1),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(33, 1)),
+    };
+    let budget = Budget {
+        max_comm_bb_procs: 64,
+        ..Budget::default()
+    };
+    let report = registry
+        .solve(&SolveRequest::new(instance).budget(budget))
+        .unwrap();
+    assert_eq!(report.engine_used, "comm-heuristic");
+    assert!(report.has_mapping());
+}
+
+/// The `Auto` boundary instances: an `n`-stage uniform comm pipeline on
+/// `p` processors (tiny node budget so routed engines return fast
+/// whatever their search does).
+fn boundary_instance(n: usize, p: usize) -> (ProblemInstance, Budget) {
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![2; n], vec![1; n + 1]).into(),
+        platform: Platform::homogeneous(p, 1),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(p, 2)),
+    };
+    let budget = Budget {
+        bb_node_limit: 10_000,
+        ..Budget::default()
+    };
+    (instance, budget)
+}
+
+#[test]
+fn auto_routing_is_exact_at_the_budget_boundaries() {
+    // The default guards: comm-exact ≤ 6 stages / ≤ 5 procs, comm-bb
+    // ≤ 12 stages / ≤ 8 procs, comm-heuristic beyond. Each boundary and
+    // its off-by-one neighbor routes to the documented engine.
+    let registry = EngineRegistry::default();
+    for (n, p, expected) in [
+        (6, 5, "comm-exact"),      // exactly at the enumeration guard
+        (7, 5, "comm-bb"),         // one stage past it
+        (6, 6, "comm-bb"),         // one processor past it
+        (12, 8, "comm-bb"),        // exactly at the comm-bb guard
+        (13, 8, "comm-heuristic"), // one stage past it
+        (12, 9, "comm-heuristic"), // one processor past it
+    ] {
+        let (instance, budget) = boundary_instance(n, p);
+        let report = registry
+            .solve(&SolveRequest::new(instance).budget(budget))
+            .unwrap_or_else(|e| panic!("boundary ({n}, {p}) failed: {e}"));
+        assert_eq!(
+            report.engine_used, expected,
+            "auto route at {n} stages / {p} procs"
+        );
+        assert!(report.has_mapping(), "({n}, {p})");
+    }
+}
+
+#[test]
+fn auto_fork_leaf_guard_bounds_comm_bb() {
+    // Fork shapes respect the dedicated leaf guard: 10 leaves (11
+    // stages) route to comm-bb, 11 leaves (12 stages — still within the
+    // stage guard) fall through to the heuristic.
+    use repliflow_core::workflow::Fork;
+    let registry = EngineRegistry::default();
+    for (leaves, expected) in [(10usize, "comm-bb"), (11, "comm-heuristic")] {
+        let instance = ProblemInstance {
+            workflow: Fork::with_data_sizes(2, vec![2; leaves], 1, 1, vec![1; leaves]).into(),
+            platform: Platform::homogeneous(4, 1),
+            allow_data_parallel: false,
+            objective: Objective::Latency,
+            cost_model: one_port(Network::uniform(4, 2)),
+        };
+        let budget = Budget {
+            bb_node_limit: 5_000,
+            ..Budget::default()
+        };
+        let report = registry
+            .solve(&SolveRequest::new(instance).budget(budget))
+            .unwrap();
+        assert_eq!(report.engine_used, expected, "{leaves} leaves");
+    }
+}
+
+#[test]
 fn paper_pref_refuses_comm_instances() {
     let registry = EngineRegistry::default();
     let err = registry

@@ -61,10 +61,16 @@ fn small_instance(gen: &mut Gen, shape: usize, case: usize) -> ProblemInstance {
             let leaves = gen.size(0, 2);
             let p = gen.size(1, 3);
             (
-                ForkJoin::new(
+                // nonzero data sizes exercise the deferred leaf→join
+                // re-billing behind the fork dominance pruning and the
+                // fork-join simulator cross-check in witness validation
+                ForkJoin::with_data_sizes(
                     gen.int(1, 7),
                     gen.positive_ints(leaves, 1, 7),
                     gen.int(1, 5),
+                    gen.int(0, 5),
+                    gen.int(0, 5),
+                    gen.positive_ints(leaves, 0, 4),
                 )
                 .into(),
                 p,
@@ -193,6 +199,160 @@ fn comm_bb_never_loses_to_the_heuristic() {
             bb.objective_value,
             heuristic.objective_value
         );
+    }
+}
+
+/// A fork or fork-join instance big enough that the comm-bb search must
+/// lean on its fork dominance pruning, yet small enough for brute-force
+/// enumeration to referee.
+fn structural_instance(gen: &mut Gen, case: usize) -> ProblemInstance {
+    let leaves = if cfg!(feature = "slow-tests") { 5 } else { 4 };
+    let p = 3;
+    let workflow: Workflow = if case.is_multiple_of(2) {
+        Fork::with_data_sizes(
+            gen.int(1, 8),
+            gen.positive_ints(leaves, 1, 8),
+            gen.int(0, 5),
+            gen.int(1, 5),
+            gen.positive_ints(leaves, 0, 4),
+        )
+        .into()
+    } else {
+        ForkJoin::with_data_sizes(
+            gen.int(1, 8),
+            gen.positive_ints(leaves - 1, 1, 8),
+            gen.int(1, 5),
+            gen.int(0, 5),
+            gen.int(1, 5),
+            gen.positive_ints(leaves - 1, 0, 4),
+        )
+        .into()
+    };
+    ProblemInstance {
+        workflow,
+        platform: gen.het_platform(p, 1, 5),
+        allow_data_parallel: gen.flip(0.5),
+        objective: if case % 4 < 2 {
+            Objective::Latency
+        } else {
+            Objective::Period
+        },
+        cost_model: CostModel::WithComm {
+            network: if gen.flip(0.5) {
+                gen.uniform_network(p, 1, 4)
+            } else {
+                gen.het_network(p, 1, 4)
+            },
+            comm: if gen.flip(0.5) {
+                CommModel::OnePort
+            } else {
+                CommModel::BoundedMultiPort
+            },
+            overlap: gen.flip(0.5),
+        },
+    }
+}
+
+#[test]
+fn comm_bb_fork_dominance_agrees_with_enumeration() {
+    // Fork/fork-join instances sized so equivalent partial states recur
+    // (the dominance table fires) while enumeration can still referee:
+    // the comm-bb result must match brute force exactly, and the
+    // structural-move-strengthened heuristic must never beat it.
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xD1FD);
+    let cases = if cfg!(feature = "slow-tests") { 30 } else { 8 };
+    for case in 0..cases {
+        let instance = structural_instance(&mut gen, case);
+        let label = format!("case {case}: {instance:?}");
+        let exact = registry
+            .solve(&SolveRequest::new(instance.clone()).engine(EnginePref::Exact))
+            .unwrap_or_else(|e| panic!("enumeration failed on {label}: {e}"));
+        let bb = registry
+            .solve(&SolveRequest::new(instance.clone()).engine(EnginePref::CommBb))
+            .unwrap_or_else(|e| panic!("comm-bb failed on {label}: {e}"));
+        assert!(bb.search.unwrap().completed, "{label}");
+        assert_eq!(bb.objective_value, exact.objective_value, "{label}");
+        assert_eq!(bb.period, exact.period, "{label}");
+        assert_eq!(bb.latency, exact.latency, "{label}");
+        let heuristic = registry
+            .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
+            .unwrap();
+        assert!(
+            bb.objective_value.unwrap() <= heuristic.objective_value.unwrap(),
+            "{label}"
+        );
+    }
+}
+
+/// The raised-guard acceptance bar, run in the release-built
+/// `differential-slow` CI job: 10-leaf fork and fork-join comm
+/// instances prove optimality through the auto route within the
+/// **default** node/time budget (the pre-dominance engine capped out
+/// near 6 leaves).
+#[cfg(feature = "slow-tests")]
+#[test]
+fn comm_bb_proves_ten_leaf_fork_and_forkjoin_instances() {
+    let registry = EngineRegistry::default();
+    let leaves = 10;
+    let mut gen = Gen::new(0xF0BB);
+    let fork = ProblemInstance {
+        workflow: Fork::with_data_sizes(
+            gen.int(1, 9),
+            gen.positive_ints(leaves, 1, 9),
+            gen.int(0, 6),
+            gen.int(1, 6),
+            gen.positive_ints(leaves, 0, 5),
+        )
+        .into(),
+        platform: gen.het_platform(4, 1, 5),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: repliflow_solver::Network::uniform(4, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    };
+    let mut gen = Gen::new(0xF1BB);
+    let forkjoin = ProblemInstance {
+        workflow: ForkJoin::with_data_sizes(
+            gen.int(1, 9),
+            gen.positive_ints(leaves, 1, 9),
+            gen.int(1, 6),
+            gen.int(0, 6),
+            gen.int(1, 6),
+            gen.positive_ints(leaves, 0, 5),
+        )
+        .into(),
+        platform: gen.het_platform(5, 1, 5),
+        allow_data_parallel: false,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: repliflow_solver::Network::uniform(5, 2),
+            comm: CommModel::OnePort,
+            overlap: true,
+        },
+    };
+    for (label, instance) in [("fork l10 p4", fork), ("forkjoin l10 p5", forkjoin)] {
+        let budget = Budget::default();
+        assert!(budget.allows_comm_bb_instance(&instance), "{label}");
+        let report = registry
+            .solve(&SolveRequest::new(instance.clone()).budget(budget))
+            .unwrap();
+        assert_eq!(report.engine_used, "comm-bb", "{label}");
+        assert_eq!(report.optimality, Optimality::Proven, "{label}");
+        let search = report.search.unwrap();
+        assert!(search.completed, "{label}: budget tripped");
+        assert!(
+            search.pruned_dominated > 0,
+            "{label}: the fork dominance never fired"
+        );
+        // the proof is meaningful: never worse than the heuristic
+        let heuristic = registry
+            .solve(&SolveRequest::new(instance).engine(EnginePref::Heuristic))
+            .unwrap();
+        assert!(report.objective_value.unwrap() <= heuristic.objective_value.unwrap());
     }
 }
 
