@@ -18,8 +18,18 @@
 //! solve --quality thorough i.json  # escalate heuristics to long annealing
 //! solve --json a.json b.json       # machine-readable reports (one array)
 //! solve a.json b.json c.json       # parallel batch over many instances
+//! solve --workers 4 *.json         # size the service worker pool
+//! solve --cache a.json a.json      # LRU solve cache (repeats become hits)
+//! solve --deadline-ms 50 a.json    # whole-invocation deadline: pre-start
+//!                                  # gate + comm-bb time clamp
+//! solve --stats *.json             # serving summary on stderr
 //! cat inst.json | solve -
 //! ```
+//!
+//! Every solve goes through a [`SolverService`] (worker pool sized by
+//! `--workers`, LRU cache enabled by `--cache`); `--stats` prints the
+//! serving summary — cache hit rate, queue wait, per-engine wall time —
+//! to **stderr**, keeping stdout snapshots and `--json` output stable.
 //!
 //! `--comm` switches an instance to the general model of Sections
 //! 3.2–3.3. Instances that already carry a `cost_model.WithComm` network
@@ -42,8 +52,8 @@
 
 use repliflow_core::instance::{Complexity, CostModel, ProblemInstance};
 use repliflow_solver::{
-    BatchOptions, Budget, CommModel, EnginePref, EngineRegistry, Network, Quality, SolveReport,
-    SolveRequest,
+    BatchOptions, Budget, CommModel, Deadline, EnginePref, Network, Provenance, Quality,
+    ServiceStats, SolveReport, SolveRequest, SolverService,
 };
 use serde_json::Value;
 use std::io::Read;
@@ -53,7 +63,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: solve [--engine auto|exact|heuristic|paper|comm-bb] [--no-validate] \
          [--comm one-port|multi-port] [--overlap] [--bandwidth B] \
-         [--quality fast|balanced|thorough] [--json] <instance.json ... | ->"
+         [--quality fast|balanced|thorough] [--workers N] [--deadline-ms D] \
+         [--cache] [--stats] [--json] <instance.json ... | ->"
     );
     ExitCode::FAILURE
 }
@@ -120,6 +131,11 @@ fn print_report(report: &SolveReport) -> bool {
     }
     println!("engine   : {}", report.engine_used);
     println!("optimal  : {}", report.optimality);
+    // only surfaced when a cache is in play, so cacheless snapshots
+    // stay byte-stable
+    if report.provenance == Provenance::Cached {
+        println!("cache    : hit (served from the solve cache)");
+    }
     if let Some(search) = &report.search {
         println!(
             "search   : {} nodes ({} bound-pruned, {} dominated), {}",
@@ -184,6 +200,10 @@ fn report_json(path: &str, report: &SolveReport) -> Value {
             "optimality".into(),
             Value::String(report.optimality.to_string()),
         ),
+        (
+            "provenance".into(),
+            Value::String(report.provenance.to_string()),
+        ),
         ("period".into(), rat(report.period)),
         ("period_f64".into(), ratf(report.period)),
         ("latency".into(), rat(report.latency)),
@@ -209,6 +229,35 @@ fn report_json(path: &str, report: &SolveReport) -> Value {
             Value::Float(report.wall_time.as_secs_f64() * 1e3),
         ),
     ])
+}
+
+/// `--stats`: the serving summary, on stderr so stdout stays
+/// machine-readable (`--json`) and snapshot-stable.
+fn print_stats(service: &SolverService, stats: &ServiceStats) {
+    eprintln!("== service stats ==");
+    eprintln!(
+        "requests  : {} ({} computed, {} cached, {} errors; hit rate {:.1}%)",
+        stats.requests,
+        stats.computed,
+        stats.cache_hits,
+        stats.errors,
+        stats.hit_rate() * 100.0
+    );
+    eprintln!(
+        "pool      : {} workers, {} jobs, queue wait {:.3} ms total",
+        service.pool_size(),
+        stats.jobs_executed,
+        stats.queue_wait.as_secs_f64() * 1e3
+    );
+    for engine in &stats.per_engine {
+        eprintln!(
+            "engine    : {:<14} {:>9.3} ms across {} solve{}",
+            engine.engine,
+            engine.wall.as_secs_f64() * 1e3,
+            engine.solves,
+            if engine.solves == 1 { "" } else { "s" }
+        );
+    }
 }
 
 /// Warns when a forced exhaustive search exceeds the auto-dispatch
@@ -240,6 +289,10 @@ fn main() -> ExitCode {
     let mut overlap = false;
     let mut bandwidth = 1u64;
     let mut quality = Quality::Balanced;
+    let mut workers: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut cache = false;
+    let mut stats = false;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -260,6 +313,16 @@ fn main() -> ExitCode {
                 Some(b) if b > 0 => bandwidth = b,
                 _ => return usage(),
             },
+            "--workers" => match it.next().as_deref().and_then(|w| w.parse().ok()) {
+                Some(w) if w > 0 => workers = Some(w),
+                _ => return usage(),
+            },
+            "--deadline-ms" => match it.next().as_deref().and_then(|d| d.parse().ok()) {
+                Some(d) => deadline_ms = Some(d),
+                None => return usage(),
+            },
+            "--cache" => cache = true,
+            "--stats" => stats = true,
             "--overlap" => overlap = true,
             "--no-validate" => validate = false,
             "--json" => json = true,
@@ -282,16 +345,25 @@ fn main() -> ExitCode {
         }
     }
 
-    let registry = EngineRegistry::default();
     let budget = Budget::default().quality(quality);
+    let mut builder = SolverService::builder().default_budget(budget);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
+    if !cache {
+        builder = builder.no_cache();
+    }
+    let service = builder.build();
+    let deadline = deadline_ms.map(Deadline::in_ms);
     let mut failed = false;
     warn_if_slow(engine, &instances);
     if instances.len() == 1 && !json {
-        let request = SolveRequest::new(instances.into_iter().next().unwrap())
+        let mut request = SolveRequest::new(instances.into_iter().next().unwrap())
             .engine(engine)
             .budget(budget)
             .validate_witness(validate);
-        match registry.solve(&request) {
+        request.deadline = deadline;
+        match service.solve(&request) {
             Ok(report) => failed |= !print_report(&report),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -299,15 +371,16 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        // Many instances (or machine-readable mode): fan out across
-        // threads.
+        // Many instances (or machine-readable mode): fan out across the
+        // service's persistent worker pool.
         let options = BatchOptions {
             engine,
             budget,
             validate_witness: validate,
+            deadline,
             ..BatchOptions::default()
         };
-        let results = registry.solve_batch_with(&instances, &options);
+        let results = service.solve_batch_with(&instances, &options);
         if json {
             let mut items = Vec::new();
             for (path, result) in paths.iter().zip(&results) {
@@ -340,6 +413,9 @@ fn main() -> ExitCode {
                 println!();
             }
         }
+    }
+    if stats {
+        print_stats(&service, &service.stats());
     }
     if failed {
         ExitCode::FAILURE

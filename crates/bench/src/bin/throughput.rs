@@ -1,0 +1,212 @@
+//! `throughput` — serving-layer benchmark: solves/sec through a
+//! [`SolverService`], cold cache vs warm cache.
+//!
+//! Drives a mixed request stream — every golden instance under
+//! `examples/instances/` plus seeded generated instances across the
+//! Table 1 shapes — through one long-lived service twice:
+//!
+//! 1. **cold**: empty cache, every request computed on the worker pool;
+//! 2. **warm**: the identical stream again, now answered from the LRU
+//!    solve cache.
+//!
+//! Prints one JSON object to stdout (cold and warm solves/sec, the
+//! speedup, cache hit rate, queue wait, per-engine wall time) — CI's
+//! bench-smoke job stores it as `BENCH_pr_throughput.json` next to the
+//! per-engine artifacts, so the serving-layer trend is tracked per PR
+//! alongside the per-solve trend.
+//!
+//! ```text
+//! throughput                 # full stream (256 requests)
+//! throughput --quick         # CI smoke profile (64 requests)
+//! throughput --workers 4     # pool size (default: available parallelism)
+//! throughput --requests 512  # explicit stream length
+//! ```
+//!
+//! [`SolverService`]: repliflow_solver::SolverService
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_solver::{CommModel, SolverService};
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: throughput [--quick] [--workers N] [--requests N]");
+    ExitCode::FAILURE
+}
+
+/// Every golden instance committed under `examples/instances/`.
+fn golden_instances() -> Vec<ProblemInstance> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/instances");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/instances is readable")
+        .map(|entry| entry.expect("directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let json = std::fs::read_to_string(p).expect("golden instance is readable");
+            serde_json::from_str(&json).expect("golden instance parses")
+        })
+        .collect()
+}
+
+/// Seeded generated instances: pipelines, forks and fork-joins over
+/// both platform kinds, a third of them communication-aware — the same
+/// mix a mixed production queue would carry.
+fn generated_instances(count: usize, seed: u64) -> Vec<ProblemInstance> {
+    let mut gen = Gen::new(seed);
+    (0..count)
+        .map(|i| {
+            let objective = if i % 2 == 0 {
+                Objective::Period
+            } else {
+                Objective::Latency
+            };
+            let procs = 2 + i % 3;
+            let platform = if i % 2 == 0 {
+                gen.hom_platform(procs, 1, 4)
+            } else {
+                gen.het_platform(procs, 1, 4)
+            };
+            let workflow: repliflow_core::workflow::Workflow = match i % 3 {
+                0 => gen.pipeline(2 + i % 5, 1, 9).into(),
+                1 => gen.fork(2 + i % 4, 1, 9).into(),
+                _ => gen.forkjoin(2 + i % 3, 1, 9).into(),
+            };
+            let mut instance = ProblemInstance::new(workflow, platform, i % 4 == 0, objective);
+            if i % 3 == 0 {
+                instance.cost_model = CostModel::WithComm {
+                    network: gen.uniform_network(procs, 1, 4),
+                    comm: if i % 6 == 0 {
+                        CommModel::OnePort
+                    } else {
+                        CommModel::BoundedMultiPort
+                    },
+                    overlap: i % 2 == 0,
+                };
+            }
+            instance
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut workers: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--workers" => match it.next().as_deref().and_then(|w| w.parse().ok()) {
+                Some(w) if w > 0 => workers = Some(w),
+                _ => return usage(),
+            },
+            "--requests" => match it.next().as_deref().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => requests = Some(r),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let target = requests.unwrap_or(if quick { 64 } else { 256 });
+
+    // Mixed stream: goldens first (the realistic hot set), generated
+    // variety behind them, cycled up to the target length.
+    let mut stream = golden_instances();
+    stream.extend(generated_instances(
+        target.saturating_sub(stream.len()),
+        0x7410,
+    ));
+    stream.truncate(target);
+
+    let mut builder = SolverService::builder().cache_capacity(2 * target);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
+    let service = builder.build();
+
+    let cold_start = Instant::now();
+    let cold_reports = service.solve_batch(&stream);
+    let cold_wall = cold_start.elapsed();
+    let cold_errors = cold_reports.iter().filter(|r| r.is_err()).count();
+
+    let warm_start = Instant::now();
+    let warm_reports = service.solve_batch(&stream);
+    let warm_wall = warm_start.elapsed();
+    let warm_errors = warm_reports.iter().filter(|r| r.is_err()).count();
+
+    let cache = service.cache_stats().expect("throughput service caches");
+    let stats = service.stats();
+    let per_sec = |wall: std::time::Duration| {
+        if wall.is_zero() {
+            f64::INFINITY
+        } else {
+            stream.len() as f64 / wall.as_secs_f64()
+        }
+    };
+    let cold_per_sec = per_sec(cold_wall);
+    let warm_per_sec = per_sec(warm_wall);
+
+    let mut per_engine = Vec::new();
+    for engine in &stats.per_engine {
+        per_engine.push(Value::Object(vec![
+            ("engine".into(), Value::String(engine.engine.to_string())),
+            (
+                "wall_ms".into(),
+                Value::Float(engine.wall.as_secs_f64() * 1e3),
+            ),
+            ("solves".into(), Value::Float(engine.solves as f64)),
+        ]));
+    }
+    let report = Value::Object(vec![
+        ("requests".into(), Value::Int(stream.len() as i128)),
+        ("workers".into(), Value::Int(service.pool_size() as i128)),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "cold_wall_ms".into(),
+            Value::Float(cold_wall.as_secs_f64() * 1e3),
+        ),
+        (
+            "warm_wall_ms".into(),
+            Value::Float(warm_wall.as_secs_f64() * 1e3),
+        ),
+        ("cold_solves_per_sec".into(), Value::Float(cold_per_sec)),
+        ("warm_solves_per_sec".into(), Value::Float(warm_per_sec)),
+        (
+            "warm_speedup".into(),
+            Value::Float(if cold_per_sec.is_finite() {
+                warm_per_sec / cold_per_sec
+            } else {
+                1.0
+            }),
+        ),
+        ("cache_hit_rate".into(), Value::Float(cache.hit_rate())),
+        ("cache_hits".into(), Value::Int(cache.hits as i128)),
+        ("cache_misses".into(), Value::Int(cache.misses as i128)),
+        (
+            "queue_wait_ms".into(),
+            Value::Float(stats.queue_wait.as_secs_f64() * 1e3),
+        ),
+        (
+            "errors".into(),
+            Value::Int((cold_errors + warm_errors) as i128),
+        ),
+        ("per_engine".into(), Value::Array(per_engine)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serialization is infallible")
+    );
+
+    if cold_errors + warm_errors > 0 {
+        eprintln!("error: {cold_errors} cold / {warm_errors} warm requests failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

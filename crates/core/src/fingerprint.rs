@@ -1,0 +1,275 @@
+//! Canonical instance fingerprints — the identity the serving layer
+//! caches on.
+//!
+//! A [`InstanceFingerprint`] is a stable 128-bit hash of a
+//! [`ProblemInstance`] (optionally extended with request-level knobs by
+//! higher layers via [`Fingerprinter`]). Two requirements shape the
+//! construction:
+//!
+//! 1. **Canonical**: the hash is computed over the instance's serde
+//!    data-model tree with object fields sorted by key, so it is
+//!    invariant under JSON field order and serialization round-trips —
+//!    an instance parsed from reordered JSON fingerprints identically
+//!    to the in-memory original.
+//! 2. **Discriminating**: every cost-relevant field (stage weights,
+//!    data sizes, processor speeds, bandwidths, discipline, overlap
+//!    flag, objective, data-parallel flag) feeds the hash through a
+//!    type-tagged encoding, so no two values with different JSON trees
+//!    collide structurally (collisions are only the generic 2^-128
+//!    hash kind).
+//!
+//! The hash itself is 128-bit FNV-1a — not cryptographic, but stable
+//! across platforms and builds, cheap, and wide enough that a serving
+//! cache will never see an accidental collision.
+
+use crate::instance::ProblemInstance;
+use serde::{Serialize, Value};
+use std::fmt;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental 128-bit FNV-1a hasher with type-tagged write helpers.
+///
+/// Higher layers (the solver's serving cache) extend an instance hash
+/// with request knobs by continuing to write into the same hasher; the
+/// tags keep adjacent fields from melting into each other.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprinter {
+    state: u128,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fingerprinter {
+        Fingerprinter {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds one tag byte (used to separate value kinds and fields).
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_bytes(&[tag]);
+    }
+
+    /// Feeds a `u64` in a fixed byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i128` in a fixed byte order.
+    pub fn write_i128(&mut self, v: i128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a whole serde [`Value`] tree in canonical form: object
+    /// fields are visited in sorted key order, every node is
+    /// type-tagged and lengths are prefixed, so distinct trees feed
+    /// distinct byte streams and JSON field order never matters.
+    pub fn write_canonical_value(&mut self, value: &Value) {
+        match value {
+            Value::Null => self.write_tag(0),
+            Value::Bool(b) => {
+                self.write_tag(1);
+                self.write_tag(*b as u8);
+            }
+            Value::Int(i) => {
+                self.write_tag(2);
+                self.write_i128(*i);
+            }
+            Value::Float(f) => {
+                // Integral floats hash like the integer they round-trip
+                // through JSON as (the vendored parser reads `2.0` as a
+                // float but `2` as an int).
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 2f64.powi(96) {
+                    self.write_tag(2);
+                    self.write_i128(*f as i128);
+                } else {
+                    self.write_tag(3);
+                    self.write_bytes(&f.to_bits().to_le_bytes());
+                }
+            }
+            Value::String(s) => {
+                self.write_tag(4);
+                self.write_str(s);
+            }
+            Value::Array(items) => {
+                self.write_tag(5);
+                self.write_u64(items.len() as u64);
+                for item in items {
+                    self.write_canonical_value(item);
+                }
+            }
+            Value::Object(fields) => {
+                self.write_tag(6);
+                self.write_u64(fields.len() as u64);
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+                for i in order {
+                    let (key, val) = &fields[i];
+                    self.write_str(key);
+                    self.write_canonical_value(val);
+                }
+            }
+        }
+    }
+
+    /// Serializes any value and feeds its canonical tree — the
+    /// convenience higher layers use to mix typed values (instances,
+    /// request knobs) into one hash without depending on the serde shim
+    /// directly.
+    pub fn write_serialized<T: Serialize>(&mut self, value: &T) {
+        self.write_canonical_value(&value.serialize());
+    }
+
+    /// Finalizes into a fingerprint.
+    pub fn finish(self) -> InstanceFingerprint {
+        InstanceFingerprint(self.state)
+    }
+}
+
+/// A stable 128-bit identity of a problem instance (plus, at higher
+/// layers, the objective-relevant request knobs). See the module docs
+/// for the invariants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceFingerprint(u128);
+
+impl InstanceFingerprint {
+    /// Hashes any serializable value's canonical tree.
+    pub fn of<T: Serialize>(value: &T) -> InstanceFingerprint {
+        let mut hasher = Fingerprinter::new();
+        hasher.write_canonical_value(&value.serialize());
+        hasher.finish()
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds a fingerprint from its raw value (e.g. parsed back from
+    /// the hex form logs carry).
+    pub fn from_u128(v: u128) -> InstanceFingerprint {
+        InstanceFingerprint(v)
+    }
+}
+
+impl fmt::Display for InstanceFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl ProblemInstance {
+    /// The canonical fingerprint of this instance — equal for any two
+    /// instances whose canonical serialized forms agree (JSON field
+    /// order and round-trips never matter), distinct whenever any
+    /// cost-relevant field differs.
+    pub fn fingerprint(&self) -> InstanceFingerprint {
+        InstanceFingerprint::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{CostModel, Objective};
+    use crate::platform::Platform;
+    use crate::workflow::Pipeline;
+
+    fn instance() -> ProblemInstance {
+        ProblemInstance::new(
+            Pipeline::new(vec![14, 4, 2, 4]),
+            Platform::homogeneous(3, 1),
+            true,
+            Objective::Period,
+        )
+    }
+
+    #[test]
+    fn equal_instances_equal_fingerprints() {
+        assert_eq!(instance().fingerprint(), instance().fingerprint());
+    }
+
+    #[test]
+    fn object_field_order_is_canonicalized() {
+        let a = Value::Object(vec![
+            ("x".into(), Value::Int(1)),
+            ("y".into(), Value::Int(2)),
+        ]);
+        let b = Value::Object(vec![
+            ("y".into(), Value::Int(2)),
+            ("x".into(), Value::Int(1)),
+        ]);
+        assert_eq!(InstanceFingerprint::of(&a), InstanceFingerprint::of(&b));
+        // ... but swapped values under swapped keys stay distinct
+        let c = Value::Object(vec![
+            ("x".into(), Value::Int(2)),
+            ("y".into(), Value::Int(1)),
+        ]);
+        assert_ne!(InstanceFingerprint::of(&a), InstanceFingerprint::of(&c));
+    }
+
+    #[test]
+    fn cost_relevant_fields_discriminate() {
+        let base = instance();
+        let mut weights = base.clone();
+        weights.workflow = Pipeline::new(vec![14, 4, 2, 5]).into();
+        assert_ne!(base.fingerprint(), weights.fingerprint());
+
+        let mut objective = base.clone();
+        objective.objective = Objective::Latency;
+        assert_ne!(base.fingerprint(), objective.fingerprint());
+
+        let mut dp = base.clone();
+        dp.allow_data_parallel = false;
+        assert_ne!(base.fingerprint(), dp.fingerprint());
+
+        let comm = base.clone().with_cost_model(CostModel::WithComm {
+            network: crate::comm::Network::uniform(3, 2),
+            comm: crate::comm::CommModel::OnePort,
+            overlap: false,
+        });
+        assert_ne!(base.fingerprint(), comm.fingerprint());
+    }
+
+    #[test]
+    fn integral_floats_hash_like_ints() {
+        assert_eq!(
+            InstanceFingerprint::of(&Value::Float(2.0)),
+            InstanceFingerprint::of(&Value::Int(2))
+        );
+        assert_ne!(
+            InstanceFingerprint::of(&Value::Float(2.5)),
+            InstanceFingerprint::of(&Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn display_is_stable_hex() {
+        let fp = instance().fingerprint();
+        let hex = fp.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(InstanceFingerprint::from_u128(fp.as_u128()), fp);
+    }
+}

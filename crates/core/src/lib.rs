@@ -23,6 +23,9 @@
 //! * [`instance`] — problem instances and the Table 1 variant taxonomy;
 //! * [`gen`] — seeded random-instance generators shared by tests and
 //!   benches;
+//! * [`fingerprint`] — canonical 128-bit instance identities (stable
+//!   under JSON field order and round-trips), the cache key substrate
+//!   of the serving layer;
 //! * [`dot`] — Figure 1/2 rendering (Graphviz DOT and ASCII).
 //!
 //! Higher-level crates build on this one: `repliflow-algorithms`
@@ -37,6 +40,7 @@ pub mod comm_cost;
 pub mod cost;
 pub mod dot;
 pub mod error;
+pub mod fingerprint;
 pub mod gen;
 pub mod instance;
 pub mod mapping;
@@ -48,6 +52,7 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::comm::{CommModel, Network, StartRule};
     pub use crate::error::Error;
+    pub use crate::fingerprint::InstanceFingerprint;
     pub use crate::instance::{CostModel, Objective, ProblemInstance, Variant};
     pub use crate::mapping::{Assignment, Mapping, Mode};
     pub use crate::platform::{Platform, ProcId};

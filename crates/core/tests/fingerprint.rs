@@ -1,0 +1,248 @@
+//! Property suite for [`InstanceFingerprint`]: the serving layer caches
+//! on this identity, so it must be (1) invariant under JSON field
+//! reordering and serde round-trips and (2) distinct whenever any
+//! cost-relevant field changes.
+//!
+//! [`InstanceFingerprint`]: repliflow_core::fingerprint::InstanceFingerprint
+
+use repliflow_core::comm::{CommModel, Network};
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_core::rational::Rat;
+use serde_json::Value;
+
+/// Seeded random instances across every workflow shape, both platform
+/// kinds and both cost models.
+fn random_instances(count: usize, seed: u64) -> Vec<ProblemInstance> {
+    let mut gen = Gen::new(seed);
+    (0..count)
+        .map(|i| {
+            let procs = 2 + i % 4;
+            let workflow: repliflow_core::workflow::Workflow = match i % 3 {
+                0 => gen.pipeline(2 + i % 5, 1, 12).into(),
+                1 => gen.fork(2 + i % 4, 1, 12).into(),
+                _ => gen.forkjoin(2 + i % 3, 1, 12).into(),
+            };
+            let platform = if i % 2 == 0 {
+                gen.hom_platform(procs, 1, 5)
+            } else {
+                gen.het_platform(procs, 1, 5)
+            };
+            let objective = match i % 4 {
+                0 => Objective::Period,
+                1 => Objective::Latency,
+                2 => Objective::LatencyUnderPeriod(Rat::new(9 + i as i128, 2)),
+                _ => Objective::PeriodUnderLatency(Rat::int(20 + i as i128)),
+            };
+            let mut instance = ProblemInstance::new(workflow, platform, i % 2 == 1, objective);
+            if i % 2 == 0 {
+                instance.cost_model = CostModel::WithComm {
+                    network: gen.het_network(procs, 1, 5),
+                    comm: if i % 4 == 0 {
+                        CommModel::OnePort
+                    } else {
+                        CommModel::BoundedMultiPort
+                    },
+                    overlap: i % 3 == 0,
+                };
+            }
+            instance
+        })
+        .collect()
+}
+
+/// Recursively reverses every JSON object's field order — a maximal
+/// reordering that JSON semantics treat as the identical document.
+fn reverse_fields(value: &Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.iter().map(reverse_fields).collect()),
+        Value::Object(fields) => Value::Object(
+            fields
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), reverse_fields(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn fingerprint_invariant_under_serde_round_trip() {
+    for (i, instance) in random_instances(60, 0xF1_01).into_iter().enumerate() {
+        let json = serde_json::to_string(&instance).unwrap();
+        let back: ProblemInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            instance.fingerprint(),
+            back.fingerprint(),
+            "instance {i} changed fingerprint across a serde round-trip"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_invariant_under_json_field_reordering() {
+    for (i, instance) in random_instances(60, 0xF1_02).into_iter().enumerate() {
+        let value = serde_json::parse_value(&serde_json::to_string(&instance).unwrap()).unwrap();
+        let reordered = serde_json::to_string(&reverse_fields(&value)).unwrap();
+        let back: ProblemInstance = serde_json::from_str(&reordered).unwrap();
+        assert_eq!(
+            instance.fingerprint(),
+            back.fingerprint(),
+            "instance {i} changed fingerprint after JSON field reordering"
+        );
+        // double-check the reordering actually produced the same instance
+        assert_eq!(instance, back, "reordering corrupted instance {i}");
+    }
+}
+
+#[test]
+fn fingerprint_invariant_under_pretty_printing() {
+    for (i, instance) in random_instances(20, 0xF1_03).into_iter().enumerate() {
+        let pretty = serde_json::to_string_pretty(&instance).unwrap();
+        let back: ProblemInstance = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(
+            instance.fingerprint(),
+            back.fingerprint(),
+            "instance {i} changed fingerprint across pretty-printing"
+        );
+    }
+}
+
+#[test]
+fn distinct_when_a_stage_weight_changes() {
+    let mut gen = Gen::new(0xF1_04);
+    for n in 2..8 {
+        let weights = gen.positive_ints(n, 1, 20);
+        let base = ProblemInstance::new(
+            repliflow_core::workflow::Pipeline::new(weights.clone()),
+            gen.hom_platform(3, 1, 4),
+            false,
+            Objective::Period,
+        );
+        for stage in 0..n {
+            let mut bumped = weights.clone();
+            bumped[stage] += 1;
+            let changed = ProblemInstance {
+                workflow: repliflow_core::workflow::Pipeline::new(bumped).into(),
+                ..base.clone()
+            };
+            assert_ne!(
+                base.fingerprint(),
+                changed.fingerprint(),
+                "n={n}: weight bump at stage {stage} not reflected"
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_when_platform_speed_changes() {
+    let mut gen = Gen::new(0xF1_05);
+    let base = ProblemInstance::new(
+        gen.pipeline(4, 1, 9),
+        repliflow_core::platform::Platform::heterogeneous(vec![3, 2, 1]),
+        false,
+        Objective::Latency,
+    );
+    let changed = ProblemInstance {
+        platform: repliflow_core::platform::Platform::heterogeneous(vec![3, 2, 2]),
+        ..base.clone()
+    };
+    assert_ne!(base.fingerprint(), changed.fingerprint());
+}
+
+#[test]
+fn distinct_when_bandwidth_overlap_or_discipline_changes() {
+    let skeleton = ProblemInstance::new(
+        repliflow_core::workflow::Pipeline::new(vec![2, 2, 2]),
+        repliflow_core::platform::Platform::homogeneous(3, 2),
+        false,
+        Objective::Period,
+    );
+    let with = |network: Network, comm: CommModel, overlap: bool| {
+        skeleton.clone().with_cost_model(CostModel::WithComm {
+            network,
+            comm,
+            overlap,
+        })
+    };
+    let base = with(Network::uniform(3, 2), CommModel::OnePort, false);
+    assert_ne!(
+        base.fingerprint(),
+        with(Network::uniform(3, 3), CommModel::OnePort, false).fingerprint(),
+        "bandwidth change not reflected"
+    );
+    assert_ne!(
+        base.fingerprint(),
+        with(Network::uniform(3, 2), CommModel::BoundedMultiPort, false).fingerprint(),
+        "discipline change not reflected"
+    );
+    assert_ne!(
+        base.fingerprint(),
+        with(Network::uniform(3, 2), CommModel::OnePort, true).fingerprint(),
+        "overlap change not reflected"
+    );
+}
+
+#[test]
+fn distinct_when_objective_or_bound_changes() {
+    let mut gen = Gen::new(0xF1_07);
+    let base = ProblemInstance::new(
+        gen.pipeline(4, 1, 9),
+        gen.hom_platform(3, 1, 4),
+        true,
+        Objective::Period,
+    );
+    for other in [
+        Objective::Latency,
+        Objective::LatencyUnderPeriod(Rat::int(5)),
+        Objective::LatencyUnderPeriod(Rat::int(6)),
+        Objective::PeriodUnderLatency(Rat::int(5)),
+    ] {
+        let changed = ProblemInstance {
+            objective: other,
+            ..base.clone()
+        };
+        assert_ne!(
+            base.fingerprint(),
+            changed.fingerprint(),
+            "objective change to {other:?} not reflected"
+        );
+    }
+    // the two bound values above must also differ from each other
+    let a = ProblemInstance {
+        objective: Objective::LatencyUnderPeriod(Rat::int(5)),
+        ..base.clone()
+    };
+    let b = ProblemInstance {
+        objective: Objective::LatencyUnderPeriod(Rat::int(6)),
+        ..base.clone()
+    };
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn distinct_when_data_parallel_flag_flips() {
+    for instance in random_instances(20, 0xF1_08) {
+        let flipped = ProblemInstance {
+            allow_data_parallel: !instance.allow_data_parallel,
+            ..instance.clone()
+        };
+        assert_ne!(instance.fingerprint(), flipped.fingerprint());
+    }
+}
+
+#[test]
+fn random_instances_rarely_collide() {
+    // 200 random instances: all pairwise distinct (a collision here
+    // would mean the canonical encoding drops information).
+    let instances = random_instances(200, 0xF1_09);
+    let mut prints: Vec<u128> = instances
+        .iter()
+        .map(|i| i.fingerprint().as_u128())
+        .collect();
+    prints.sort_unstable();
+    prints.dedup();
+    assert_eq!(prints.len(), instances.len(), "fingerprint collision");
+}

@@ -1,19 +1,26 @@
-//! Parallel batch solving — the workspace's first scaling primitive.
+//! Parallel batch solving on borrowed registries.
 //!
-//! `rayon` is the natural fit here, but the build environment has no
-//! registry access, so the fan-out runs on scoped OS threads with a
-//! contiguous-chunk split: report order matches instance order, and the
-//! registry (all engines are stateless and [`Sync`]) is shared across
-//! workers without locking.
+//! This is the **pool-less** compat path: [`EngineRegistry`] is often
+//! used as a plain borrowed value (tests, one-shot tools), so its batch
+//! methods fan out on scoped OS threads exactly as they did before the
+//! serving layer existed. Long-lived callers should use
+//! [`SolverService`] instead, whose batch path runs on a persistent
+//! work-stealing [`WorkerPool`] created once per service — that is what
+//! the CLI, the free [`solve_batch`] function and the throughput bench
+//! go through.
+//!
+//! [`SolverService`]: crate::SolverService
+//! [`WorkerPool`]: crate::pool::WorkerPool
+//! [`solve_batch`]: crate::solve_batch
 
 use crate::registry::EngineRegistry;
 use crate::report::{SolveError, SolveReport};
-use crate::request::{Budget, EnginePref};
+use crate::request::{Budget, CancelToken, Deadline, EnginePref};
 use repliflow_core::instance::ProblemInstance;
 use std::num::NonZeroUsize;
 
 /// Options shared by every instance of a batch.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchOptions {
     /// Engine routing preference for every instance.
     pub engine: EnginePref,
@@ -21,8 +28,20 @@ pub struct BatchOptions {
     pub budget: Budget,
     /// Witness validation for every report.
     pub validate_witness: bool,
-    /// Worker thread count; `None` uses the available parallelism.
+    /// Worker thread count; `None` uses the available parallelism (for
+    /// [`SolverService`] batches: the service's pool size). On the
+    /// pooled path this bounds *concurrency* by chunking, it does not
+    /// spawn threads.
+    ///
+    /// [`SolverService`]: crate::SolverService
     pub threads: Option<NonZeroUsize>,
+    /// Optional per-batch deadline applied to every instance (see
+    /// [`Deadline`] for the fail-fast / degrade semantics).
+    pub deadline: Option<Deadline>,
+    /// Optional cancellation token checked before each instance starts:
+    /// cancelling mid-batch makes the not-yet-started remainder fail
+    /// fast with [`SolveError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BatchOptions {
@@ -32,6 +51,8 @@ impl Default for BatchOptions {
             budget: Budget::default(),
             validate_witness: true,
             threads: None,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -80,6 +101,8 @@ impl EngineRegistry {
                             options.engine,
                             &options.budget,
                             options.validate_witness,
+                            options.deadline,
+                            options.cancel.as_ref(),
                         ));
                     }
                 });

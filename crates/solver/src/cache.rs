@@ -1,0 +1,321 @@
+//! The solve cache: a thread-safe LRU over canonical request
+//! fingerprints.
+//!
+//! Serving workloads repeat themselves — the same golden instances, the
+//! same dashboard queries, the same retry storms — and PRs 1–4 made
+//! each solve as fast as it is going to get. The remaining win is to
+//! not solve at all: [`SolveCache`] keys finished [`SolveReport`]s on
+//! the [`InstanceFingerprint`] of the full request (instance + engine
+//! preference + budget + validation flag) and serves hits back tagged
+//! [`Provenance::Cached`]. Canonical report JSON is identical for a hit
+//! and a fresh computation (pinned by the determinism suite), so a
+//! cache can be dropped in front of any caller without observable
+//! changes beyond speed.
+//!
+//! The eviction policy is plain LRU over a fixed entry capacity: one
+//! mutex around an index map plus an intrusive recency list. Solve
+//! costs dwarf a map lookup by many orders of magnitude, so a single
+//! lock is nowhere near the bottleneck even at pool-saturating
+//! concurrency.
+//!
+//! [`Provenance::Cached`]: crate::Provenance::Cached
+
+use crate::report::SolveReport;
+use repliflow_core::fingerprint::InstanceFingerprint;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Counters describing a cache's lifetime behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a report.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Reports inserted.
+    pub insertions: u64,
+    /// Reports evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: InstanceFingerprint,
+    report: SolveReport,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner {
+    index: HashMap<InstanceFingerprint, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl Inner {
+    /// Unlinks entry `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n].prev = prev,
+        }
+    }
+
+    /// Links entry `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.entries[h].prev = i,
+        }
+        self.head = i;
+    }
+}
+
+/// A bounded, thread-safe LRU cache of [`SolveReport`]s keyed on
+/// request fingerprints.
+pub struct SolveCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("cache lock");
+        f.debug_struct("SolveCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.index.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl SolveCache {
+    /// Cache holding at most `capacity` reports (`capacity` is clamped
+    /// to at least 1 — use no cache at all to disable caching).
+    pub fn new(capacity: usize) -> SolveCache {
+        SolveCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                index: HashMap::new(),
+                entries: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").index.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, marking the entry most recently used. Counts a
+    /// hit or miss.
+    pub fn get(&self, key: InstanceFingerprint) -> Option<SolveReport> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.index.get(&key).copied() {
+            Some(i) => {
+                inner.stats.hits += 1;
+                inner.unlink(i);
+                inner.push_front(i);
+                Some(inner.entries[i].report.clone())
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → report`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&self, key: InstanceFingerprint, report: SolveReport) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.insertions += 1;
+        if let Some(i) = inner.index.get(&key).copied() {
+            inner.entries[i].report = report;
+            inner.unlink(i);
+            inner.push_front(i);
+            return;
+        }
+        if inner.index.len() >= self.capacity {
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL, "non-empty cache has a tail");
+            inner.unlink(victim);
+            let old_key = inner.entries[victim].key;
+            inner.index.remove(&old_key);
+            inner.free.push(victim);
+            inner.stats.evictions += 1;
+        }
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.entries[slot] = Entry {
+                    key,
+                    report,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                inner.entries.push(Entry {
+                    key,
+                    report,
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.entries.len() - 1
+            }
+        };
+        inner.index.insert(key, slot);
+        inner.push_front(slot);
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.index.clear();
+        inner.entries.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Optimality, Provenance, SolveReport};
+    use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+    use repliflow_core::platform::Platform;
+    use repliflow_core::workflow::Pipeline;
+    use std::time::Duration;
+
+    fn key(n: u128) -> InstanceFingerprint {
+        InstanceFingerprint::from_u128(n)
+    }
+
+    fn dummy_report(tag: u64) -> SolveReport {
+        let instance = ProblemInstance::new(
+            Pipeline::uniform(1, tag.max(1)),
+            Platform::homogeneous(1, 1),
+            false,
+            Objective::Period,
+        );
+        SolveReport {
+            variant: instance.variant(),
+            complexity: instance.variant().paper_complexity(),
+            cost_model: CostModel::Simplified,
+            engine_used: "paper",
+            optimality: Optimality::Proven,
+            mapping: None,
+            period: None,
+            latency: None,
+            objective_value: None,
+            search: None,
+            provenance: Provenance::Computed,
+            wall_time: Duration::from_millis(tag),
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_report() {
+        let cache = SolveCache::new(4);
+        cache.insert(key(1), dummy_report(7));
+        let hit = cache.get(key(1)).expect("hit");
+        assert_eq!(hit.wall_time, Duration::from_millis(7));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SolveCache::new(2);
+        cache.insert(key(1), dummy_report(1));
+        cache.insert(key(2), dummy_report(2));
+        // touch 1 so 2 becomes the LRU victim
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), dummy_report(3));
+        assert!(cache.get(key(2)).is_none(), "2 was the LRU entry");
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let cache = SolveCache::new(2);
+        cache.insert(key(1), dummy_report(1));
+        cache.insert(key(1), dummy_report(9));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.get(key(1)).unwrap().wall_time,
+            Duration::from_millis(9)
+        );
+    }
+
+    #[test]
+    fn eviction_churn_stays_bounded() {
+        let cache = SolveCache::new(3);
+        for i in 0..100u128 {
+            cache.insert(key(i), dummy_report(i as u64));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 97);
+        // the three newest survive
+        for i in 97..100u128 {
+            assert!(cache.get(key(i)).is_some(), "entry {i} evicted wrongly");
+        }
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let cache = SolveCache::new(2);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert(key(1), dummy_report(1));
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(2)).is_none());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

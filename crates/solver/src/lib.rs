@@ -22,9 +22,18 @@
 //! Every report can re-validate its witness mapping through the
 //! `repliflow-core` cost model ([`SolveRequest::validate_witness`], on
 //! by default), so a reported optimum is always backed by a concrete,
-//! recomputed mapping. [`EngineRegistry::solve_batch`] fans a whole
-//! instance set out across OS threads — the workspace's first scaling
-//! primitive.
+//! recomputed mapping.
+//!
+//! ## Serving API
+//!
+//! The recommended entry point for anything longer-lived than one call
+//! is [`SolverService`] (built via [`SolverBuilder`]): a persistent
+//! work-stealing worker pool, an LRU solve cache over canonical
+//! request fingerprints, per-request [`Deadline`]s / [`CancelToken`]s,
+//! order-tagged result streaming ([`SolverService::solve_stream`]) and
+//! serving statistics. The free [`solve`]/[`solve_batch`] functions
+//! are thin compat wrappers over a lazily-initialized default service,
+//! so small callers never have to see the machinery.
 //!
 //! ```
 //! use repliflow_core::instance::{Objective, ProblemInstance};
@@ -46,18 +55,30 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod engine;
 pub mod engines;
+pub mod pool;
 mod registry;
 mod report;
 mod request;
 mod score;
+mod service;
 
 pub use batch::BatchOptions;
+pub use cache::{CacheStats, SolveCache};
 pub use engine::Engine;
 pub use registry::EngineRegistry;
-pub use report::{Optimality, SolveError, SolveReport};
-pub use request::{Budget, EnginePref, Quality, SolveRequest};
+pub use report::{Optimality, Provenance, SolveError, SolveReport};
+pub use request::{Budget, CancelToken, Deadline, EnginePref, Quality, SolveRequest};
+pub use service::{
+    batch_threads, EngineWall, ServiceStats, SolveStream, SolverBuilder, SolverService,
+    DEFAULT_CACHE_CAPACITY,
+};
+
+// Re-exported so callers can share the instance-identity machinery the
+// solve cache keys on.
+pub use repliflow_core::fingerprint::InstanceFingerprint;
 
 // Re-exported so callers can build communication-aware requests without
 // importing repliflow-core separately.
@@ -67,20 +88,26 @@ pub use repliflow_core::instance::CostModel;
 use repliflow_core::instance::ProblemInstance;
 use std::sync::OnceLock;
 
-fn default_registry() -> &'static EngineRegistry {
-    static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
-    REGISTRY.get_or_init(EngineRegistry::default)
+/// The process-wide default [`SolverService`] the free functions serve
+/// from: created lazily on first use with default builder settings
+/// (available-parallelism pool, [`DEFAULT_CACHE_CAPACITY`] cache).
+pub fn default_service() -> &'static SolverService {
+    static SERVICE: OnceLock<SolverService> = OnceLock::new();
+    SERVICE.get_or_init(SolverService::default)
 }
 
-/// Solves one request through the default [`EngineRegistry`].
+/// Solves one request through the [`default_service`] (compat wrapper —
+/// identical results to a bare [`EngineRegistry`], but repeated
+/// requests are served from the solve cache).
 pub fn solve(request: &SolveRequest) -> Result<SolveReport, SolveError> {
-    default_registry().solve(request)
+    default_service().solve(request)
 }
 
-/// Solves many instances in parallel through the default registry with
-/// default [`BatchOptions`].
+/// Solves many instances in parallel on the [`default_service`]'s
+/// persistent worker pool with default [`BatchOptions`] (compat
+/// wrapper; `reports[i]` corresponds to `instances[i]`).
 pub fn solve_batch(instances: &[ProblemInstance]) -> Vec<Result<SolveReport, SolveError>> {
-    default_registry().solve_batch(instances)
+    default_service().solve_batch(instances)
 }
 
 /// Exact (period, latency) Pareto frontier of an instance — the

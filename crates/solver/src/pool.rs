@@ -1,0 +1,304 @@
+//! A persistent work-stealing worker pool — the serving layer's
+//! replacement for per-call scoped OS threads.
+//!
+//! The ROADMAP flagged `solve_batch`'s scoped threads as the thing to
+//! swap out "when batch sizes grow beyond thousands": spawning a thread
+//! per call is fine for one CLI invocation and hopeless for a long-
+//! lived service taking batch after batch. [`WorkerPool`] spawns its
+//! workers **once** and keeps them parked on a condvar between
+//! requests; a [`SolverService`] owns exactly one pool for its whole
+//! lifetime (pinned by a regression test through
+//! [`WorkerPool::workers`] / [`WorkerPool::spawned_threads`]).
+//!
+//! The scheduling discipline is crossbeam-style work stealing scaled
+//! down to std primitives (the build environment vendors no crossbeam):
+//! every worker owns a deque, submissions are dealt round-robin, a
+//! worker pops its own deque from the front and steals from the *back*
+//! of its siblings' deques when its own runs dry. Long jobs therefore
+//! cannot strand queued work behind them — an idle worker takes it.
+//!
+//! [`SolverService`]: crate::SolverService
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Task {
+    run: Job,
+    enqueued: Instant,
+}
+
+struct PoolState {
+    /// Jobs submitted but not yet claimed by a worker. Pushes to a
+    /// deque happen *before* the increment, claims *before* the pop, so
+    /// `jobs in deques >= pending` always holds and a claiming worker
+    /// is guaranteed to find a task.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    next_deque: AtomicUsize,
+    queue_wait_nanos: AtomicU64,
+    jobs_executed: AtomicU64,
+    /// Incremented at every `thread::spawn` call — a real counter, so a
+    /// regression that starts spawning per call becomes observable.
+    spawned: AtomicUsize,
+}
+
+/// A fixed-size pool of persistent worker threads with work stealing.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("jobs_executed", &self.jobs_executed())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (clamped to at least 1). The
+    /// threads live until the pool is dropped; dropping waits for every
+    /// submitted job to finish.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                pending: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_deque: AtomicUsize::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            spawned: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                shared.spawned.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("repliflow-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> WorkerPool {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of live worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total threads this pool ever spawned — a live counter bumped at
+    /// every `thread::spawn` site (not an alias of
+    /// [`WorkerPool::workers`]), so the batch regression test would
+    /// catch any future change that starts spawning per call.
+    pub fn spawned_threads(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Submits one job; it runs on some worker as soon as one is free.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let task = Task {
+            run: Box::new(job),
+            enqueued: Instant::now(),
+        };
+        let slot = self.shared.next_deque.fetch_add(1, Ordering::Relaxed) % self.workers();
+        self.shared.deques[slot]
+            .lock()
+            .expect("pool deque lock")
+            .push_back(task);
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        state.pending += 1;
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Cumulative time submitted jobs spent queued before a worker
+    /// picked them up — the serving-layer "queue wait" statistic.
+    pub fn total_queue_wait(&self) -> Duration {
+        Duration::from_nanos(self.shared.queue_wait_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Jobs picked up for execution (counted at pick-up, so a caller
+    /// that has observed a job's result always sees it included).
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.jobs_executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    loop {
+        // Claim one pending job (or exit once drained + shut down).
+        {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if state.pending > 0 {
+                    state.pending -= 1;
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool state lock");
+            }
+        }
+        // Find the claimed job: own deque front first, then steal from
+        // the back of the siblings'. The claim above reserved exactly
+        // one task somewhere, so the scan terminates.
+        let task = 'find: loop {
+            let n = shared.deques.len();
+            for offset in 0..n {
+                let slot = (index + offset) % n;
+                let mut deque = shared.deques[slot].lock().expect("pool deque lock");
+                let popped = if offset == 0 {
+                    deque.pop_front()
+                } else {
+                    deque.pop_back()
+                };
+                if let Some(task) = popped {
+                    break 'find task;
+                }
+            }
+            // Another claimant's push/pop is mid-flight; yield and rescan.
+            std::thread::yield_now();
+        };
+        let waited = task.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        shared.queue_wait_nanos.fetch_add(waited, Ordering::Relaxed);
+        // Counted at pick-up (not completion) so that by the time a
+        // job's *result* is observable anywhere, the job is in the
+        // count — callers reading the counter after collecting a batch
+        // see every one of the batch's jobs.
+        shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        // A panicking job must not take the worker down with it: the
+        // pool stays full-strength for the next request and the panic
+        // surfaces at the caller as a missing result.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..200 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 200);
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert_eq!(pool.jobs_executed(), 200);
+    }
+
+    #[test]
+    fn drop_drains_submitted_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins the workers
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn stealing_keeps_short_jobs_flowing_past_a_long_one() {
+        // One long job occupies one worker; the other worker must steal
+        // and drain everything else meanwhile.
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        for i in 0..20 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).expect("receiver alive"));
+        }
+        drop(tx);
+        // All 20 short jobs complete while the long job still blocks.
+        let mut seen: Vec<i32> = rx.iter().take(20).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("job panic must stay contained"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("pool survived the panic"), 42);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn workers_clamped_to_at_least_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.spawned_threads(), 1);
+    }
+}

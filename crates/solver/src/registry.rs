@@ -6,7 +6,7 @@ use crate::engines::{
     CommBbEngine, CommExactEngine, CommHeuristicEngine, ExactEngine, HeuristicEngine, PaperEngine,
 };
 use crate::report::{Optimality, SolveError, SolveReport};
-use crate::request::{Budget, EnginePref, SolveRequest};
+use crate::request::{Budget, CancelToken, Deadline, EnginePref, SolveRequest};
 use crate::score::meets_bound;
 use repliflow_core::instance::{CostModel, Variant};
 use std::time::Instant;
@@ -144,14 +144,55 @@ impl EngineRegistry {
     }
 
     /// Solves one request end to end: classify, route, solve, validate,
-    /// report.
+    /// report. Honors the request's serving controls: an expired
+    /// [`Deadline`] fails fast with [`SolveError::DeadlineExceeded`], a
+    /// cancelled [`CancelToken`] with [`SolveError::Cancelled`], and a
+    /// live deadline clamps the effective `bb_time_limit_ms` so a
+    /// budgeted search degrades to its incumbent instead of overrunning.
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
         self.solve_parts(
             &request.instance,
             request.engine,
             &request.budget,
             request.validate_witness,
+            request.deadline,
+            request.cancel.as_ref(),
         )
+    }
+
+    /// Applies the serving controls to a budget: fails fast on expired
+    /// deadlines / cancelled tokens, otherwise returns the effective
+    /// budget with `bb_time_limit_ms` clamped to the time remaining —
+    /// so a deadline that expires mid-search degrades the run to its
+    /// incumbent exactly like the standing time limit does. (The
+    /// serving cache never writes back results computed under a
+    /// deadline, so a clamped-and-degraded incumbent cannot leak to
+    /// full-budget requests.)
+    pub(crate) fn effective_budget(
+        budget: &Budget,
+        deadline: Option<Deadline>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Budget, SolveError> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(SolveError::Cancelled);
+        }
+        let Some(deadline) = deadline else {
+            return Ok(*budget);
+        };
+        let Some(remaining) = deadline.remaining() else {
+            return Err(SolveError::DeadlineExceeded);
+        };
+        let remaining_ms = remaining
+            .as_millis()
+            .clamp(1, u64::MAX as u128) // a live deadline grants at least 1ms
+            as u64;
+        let mut effective = *budget;
+        effective.bb_time_limit_ms = if effective.bb_time_limit_ms == 0 {
+            remaining_ms
+        } else {
+            effective.bb_time_limit_ms.min(remaining_ms)
+        };
+        Ok(effective)
     }
 
     /// Borrow-based core of [`EngineRegistry::solve`], shared with the
@@ -162,7 +203,11 @@ impl EngineRegistry {
         pref: EnginePref,
         budget: &Budget,
         validate_witness: bool,
+        deadline: Option<Deadline>,
+        cancel: Option<&CancelToken>,
     ) -> Result<SolveReport, SolveError> {
+        let effective = Self::effective_budget(budget, deadline, cancel)?;
+        let budget = &effective;
         let variant = instance.variant();
         let n_stages = instance.workflow.n_stages();
         let n_procs = instance.platform.n_procs();
@@ -222,6 +267,7 @@ impl EngineRegistry {
                 latency: None,
                 objective_value: None,
                 search,
+                provenance: crate::report::Provenance::Computed,
                 wall_time,
             });
         };

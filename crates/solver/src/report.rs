@@ -48,6 +48,36 @@ pub struct SearchStats {
     pub completed: bool,
 }
 
+/// Where a [`SolveReport`] came from: freshly computed by an engine, or
+/// served from the [`SolverService`] cache.
+///
+/// Provenance is **serving metadata**, not part of the solution: like
+/// `wall_time` it is excluded from [`SolveReport::canonical_json`], and
+/// the determinism suite pins that a cached report is byte-identical to
+/// a freshly computed one under the canonical form.
+///
+/// [`SolverService`]: crate::SolverService
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Provenance {
+    /// An engine produced this report for this request.
+    #[default]
+    Computed,
+    /// The report was served without a fresh computation: from the
+    /// solve cache (originally computed for an earlier request with the
+    /// same fingerprint), or coalesced from a duplicate request in the
+    /// same batch. `wall_time` still records the original compute cost.
+    Cached,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Provenance::Computed => "computed",
+            Provenance::Cached => "cached",
+        })
+    }
+}
+
 impl From<repliflow_exact::BbStats> for SearchStats {
     fn from(stats: repliflow_exact::BbStats) -> SearchStats {
         SearchStats {
@@ -89,7 +119,12 @@ pub struct SolveReport {
     /// Tree-search statistics (engines that explore a bounded search
     /// tree — `comm-bb`; `None` for all other engines).
     pub search: Option<SearchStats>,
-    /// Wall-clock time the engine spent.
+    /// Whether the report was computed for this request or served from
+    /// the solve cache (serving metadata, excluded from
+    /// [`SolveReport::canonical_json`]).
+    pub provenance: Provenance,
+    /// Wall-clock time the engine spent **computing** the report (a
+    /// cached report keeps its original compute time).
     pub wall_time: Duration,
 }
 
@@ -100,7 +135,9 @@ impl SolveReport {
     }
 
     /// Canonical JSON form of everything **deterministic** in the
-    /// report — the full report minus `wall_time`. Two runs of the same
+    /// report — the full report minus `wall_time` and `provenance`
+    /// (serving metadata: a cache hit must be byte-identical to the
+    /// fresh computation it stands in for). Two runs of the same
     /// request on the same build must produce byte-identical canonical
     /// JSON (guarded by the determinism integration test); any
     /// divergence means an engine leaked nondeterminism into its
@@ -179,6 +216,7 @@ impl SolveReport {
             latency: Some(solved.latency),
             objective_value: Some(solved.objective),
             search,
+            provenance: Provenance::Computed,
             wall_time,
         }
     }
@@ -227,6 +265,22 @@ pub enum SolveError {
         /// Processor count the network was built for.
         got: usize,
     },
+    /// The request's [`Deadline`] had already expired before any engine
+    /// started (a deadline that expires *mid-search* instead degrades
+    /// the run to its incumbent, exactly like `bb_time_limit_ms`).
+    ///
+    /// [`Deadline`]: crate::Deadline
+    DeadlineExceeded,
+    /// The request's [`CancelToken`] was cancelled before any engine
+    /// started.
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Cancelled,
+    /// The engine panicked mid-solve (an engine bug). The serving layer
+    /// contains the panic — the worker pool survives and the rest of
+    /// the batch still completes — and reports the lost request with
+    /// this error instead of poisoning the whole batch.
+    EnginePanicked,
 }
 
 impl fmt::Display for SolveError {
@@ -252,6 +306,18 @@ impl fmt::Display for SolveError {
                 write!(
                     f,
                     "network describes {got} processors but the platform has {expected}"
+                )
+            }
+            SolveError::DeadlineExceeded => {
+                write!(f, "the request deadline expired before solving started")
+            }
+            SolveError::Cancelled => {
+                write!(f, "the request was cancelled before solving started")
+            }
+            SolveError::EnginePanicked => {
+                write!(
+                    f,
+                    "the engine panicked mid-solve (engine bug); no result produced"
                 )
             }
         }

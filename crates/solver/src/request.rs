@@ -1,7 +1,12 @@
 //! The request side of the engine API: what to solve, with which
-//! engine, under which resource budget.
+//! engine, under which resource budget — plus the serving-layer request
+//! controls (deadlines, cancellation, canonical fingerprints).
 
+use repliflow_core::fingerprint::{Fingerprinter, InstanceFingerprint};
 use repliflow_core::instance::ProblemInstance;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which engine the registry should route a request to.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -207,9 +212,104 @@ impl Budget {
     }
 }
 
-/// A complete solve request: the instance plus routing and validation
-/// options. Construct with [`SolveRequest::new`] and refine with the
-/// builder methods.
+/// A wall-clock deadline for one request.
+///
+/// Semantics mirror [`Budget::bb_time_limit_ms`]: a deadline that is
+/// already expired when the request reaches the registry fails fast
+/// with [`SolveError::DeadlineExceeded`] (no engine starts); a deadline
+/// that expires *during* a budgeted search degrades the run to its best
+/// incumbent, because the registry clamps the effective
+/// `bb_time_limit_ms` to the time remaining. Results computed under any
+/// deadline are never written back to the solve cache — a clamped run
+/// may carry a degraded incumbent that would poison full-budget
+/// requests — though deadlined requests still *read* the cache.
+///
+/// The deadline is a pre-start gate plus a branch-and-bound clamp, not
+/// a preemption mechanism: engines without an internal time budget
+/// (the exhaustive enumerators, the paper algorithms, the heuristics)
+/// run to completion once started, even past the deadline. Route
+/// latency-critical traffic through `Auto` (whose size guards keep the
+/// unbudgeted engines on small instances) rather than forcing `Exact`
+/// on large ones.
+///
+/// [`SolveError::DeadlineExceeded`]: crate::SolveError::DeadlineExceeded
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    /// `None` means the requested duration overflowed `Instant`
+    /// arithmetic — unreachably far in the future, i.e. never expires.
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// Deadline `ms` milliseconds from now (`0` is immediately
+    /// expired — useful for "serve from cache or fail fast").
+    pub fn in_ms(ms: u64) -> Deadline {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// Deadline `duration` from now. A duration too large for `Instant`
+    /// arithmetic saturates to "never expires" instead of panicking.
+    pub fn after(duration: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(duration),
+        }
+    }
+
+    /// Deadline at an absolute instant.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at: Some(at) }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left, or `None` when expired. A saturated ("never
+    /// expires") deadline reports [`Duration::MAX`].
+    pub fn remaining(&self) -> Option<Duration> {
+        match self.at {
+            None => Some(Duration::MAX),
+            Some(at) => {
+                let now = Instant::now();
+                (now < at).then(|| at - now)
+            }
+        }
+    }
+}
+
+/// A shareable cancellation flag: clone the token, hand one copy to the
+/// request (or [`BatchOptions`]) and keep the other; calling
+/// [`CancelToken::cancel`] makes every not-yet-started solve carrying
+/// the token fail fast with [`SolveError::Cancelled`].
+///
+/// [`BatchOptions`]: crate::BatchOptions
+/// [`SolveError::Cancelled`]: crate::SolveError::Cancelled
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// A complete solve request: the instance plus routing, validation and
+/// serving controls. Construct with [`SolveRequest::new`] and refine
+/// with the builder methods.
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
     /// The problem to solve.
@@ -222,6 +322,12 @@ pub struct SolveRequest {
     /// before reporting (structural legality + recomputed period and
     /// latency must match the engine's claim).
     pub validate_witness: bool,
+    /// Optional wall-clock deadline (see [`Deadline`] for the degrade
+    /// semantics). Not part of the request fingerprint.
+    pub deadline: Option<Deadline>,
+    /// Optional cancellation token checked before the engine starts.
+    /// Not part of the request fingerprint.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveRequest {
@@ -233,6 +339,8 @@ impl SolveRequest {
             engine: EnginePref::Auto,
             budget: Budget::default(),
             validate_witness: true,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -252,5 +360,61 @@ impl SolveRequest {
     pub fn validate_witness(mut self, validate: bool) -> SolveRequest {
         self.validate_witness = validate;
         self
+    }
+
+    /// Attaches a wall-clock deadline.
+    pub fn deadline(mut self, deadline: Deadline) -> SolveRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token (keep a clone to trigger it).
+    pub fn cancel_token(mut self, token: CancelToken) -> SolveRequest {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The canonical fingerprint of this request — the solve-cache key.
+    ///
+    /// Extends [`ProblemInstance::fingerprint`] with every
+    /// objective-relevant request knob: the engine preference, the full
+    /// [`Budget`] (limits, quality tier, seed) and the witness-
+    /// validation flag. Transient serving controls (deadline, cancel
+    /// token) are deliberately **excluded**: they do not change what
+    /// the right answer is, only how long we are willing to wait for
+    /// it.
+    pub fn fingerprint(&self) -> InstanceFingerprint {
+        let mut hasher = Fingerprinter::new();
+        hasher.write_serialized(&self.instance);
+        hasher.write_tag(match self.engine {
+            EnginePref::Auto => 0,
+            EnginePref::Exact => 1,
+            EnginePref::Heuristic => 2,
+            EnginePref::Paper => 3,
+            EnginePref::CommBb => 4,
+        });
+        let b = &self.budget;
+        for knob in [
+            b.max_exact_stages as u64,
+            b.max_exact_procs as u64,
+            b.max_comm_exact_stages as u64,
+            b.max_comm_exact_procs as u64,
+            b.max_comm_bb_stages as u64,
+            b.max_comm_bb_procs as u64,
+            b.max_comm_bb_fork_leaves as u64,
+            b.bb_node_limit,
+            b.bb_time_limit_ms,
+            b.local_search_rounds as u64,
+        ] {
+            hasher.write_u64(knob);
+        }
+        hasher.write_tag(match b.quality {
+            Quality::Fast => 0,
+            Quality::Balanced => 1,
+            Quality::Thorough => 2,
+        });
+        hasher.write_u64(b.seed);
+        hasher.write_tag(self.validate_witness as u8);
+        hasher.finish()
     }
 }

@@ -1,0 +1,780 @@
+//! The serving layer: a long-lived [`SolverService`] over the engine
+//! registry.
+//!
+//! PRs 1–4 made each individual solve as good as it gets (Table 1
+//! routing, comm-aware exact/heuristic engines, branch-and-bound). What
+//! was missing is everything *around* the solves once traffic is
+//! sustained: worker threads were spawned per batch call, nothing was
+//! cached across requests, and nothing could be cancelled or bounded by
+//! a wall-clock deadline. [`SolverService`] packages those serving
+//! concerns in one long-lived object:
+//!
+//! * a persistent work-stealing [`WorkerPool`] created **once**,
+//!   lazily on the first batch/stream call (see
+//!   [`SolverService::spawned_threads`] — repeated batches never spawn
+//!   new threads, and single solves never spawn any);
+//! * an LRU [`SolveCache`] keyed on canonical request fingerprints
+//!   ([`SolveRequest::fingerprint`]), serving byte-identical reports
+//!   tagged [`Provenance::Cached`];
+//! * per-request [`Deadline`]s and [`CancelToken`]s with
+//!   fail-fast/degrade semantics;
+//! * order-tagged streaming ([`SolverService::solve_stream`]) that
+//!   yields results as they finish, which
+//!   [`SolverService::solve_batch`] reassembles into input order;
+//! * serving statistics ([`ServiceStats`]): cache hit rate, queue
+//!   wait, per-engine wall time.
+//!
+//! Construct with [`SolverBuilder`]:
+//!
+//! ```
+//! use repliflow_core::instance::{Objective, ProblemInstance};
+//! use repliflow_core::platform::Platform;
+//! use repliflow_core::workflow::Pipeline;
+//! use repliflow_solver::{Provenance, SolverService};
+//!
+//! let service = SolverService::builder()
+//!     .workers(2)
+//!     .cache_capacity(64)
+//!     .build();
+//! let instance = ProblemInstance::new(
+//!     Pipeline::new(vec![14, 4, 2, 4]),
+//!     Platform::homogeneous(3, 1),
+//!     true,
+//!     Objective::Period,
+//! );
+//! let cold = service.solve(&service.request(instance.clone())).unwrap();
+//! let warm = service.solve(&service.request(instance)).unwrap();
+//! assert_eq!(cold.provenance, Provenance::Computed);
+//! assert_eq!(warm.provenance, Provenance::Cached);
+//! // a cache hit is byte-identical to the fresh computation
+//! assert_eq!(cold.canonical_json(), warm.canonical_json());
+//! ```
+//!
+//! The free [`solve`]/[`solve_batch`] functions are thin compat
+//! wrappers over a lazily-initialized default service, so pre-service
+//! callers keep working unchanged.
+//!
+//! [`solve`]: crate::solve
+//! [`solve_batch`]: crate::solve_batch
+//! [`Deadline`]: crate::Deadline
+//! [`CancelToken`]: crate::CancelToken
+
+use crate::batch::BatchOptions;
+use crate::cache::{CacheStats, SolveCache};
+use crate::pool::WorkerPool;
+use crate::registry::EngineRegistry;
+use crate::report::{Provenance, SolveError, SolveReport};
+use crate::request::{Budget, EnginePref, SolveRequest};
+use repliflow_core::fingerprint::InstanceFingerprint;
+use repliflow_core::instance::ProblemInstance;
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default solve-cache capacity (reports). Reports are small (a
+/// mapping, a few rationals, counters); a thousand of them is well
+/// under a megabyte while covering far more distinct requests than any
+/// golden set or dashboard rotation.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Wall-time-per-engine accumulator in [`ServiceStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineWall {
+    /// Engine name (as in [`SolveReport::engine_used`]).
+    pub engine: &'static str,
+    /// Total wall time the engine spent computing (cache hits excluded).
+    pub wall: Duration,
+    /// Number of computed solves.
+    pub solves: u64,
+}
+
+/// Snapshot of a service's serving statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests served (hits + computed + errors).
+    pub requests: u64,
+    /// Requests served from the cache.
+    pub cache_hits: u64,
+    /// Requests computed by an engine.
+    pub computed: u64,
+    /// Requests that ended in a [`SolveError`].
+    pub errors: u64,
+    /// Cumulative time jobs spent queued before a worker picked them up.
+    pub queue_wait: Duration,
+    /// Jobs the worker pool executed.
+    pub jobs_executed: u64,
+    /// Computed wall time grouped by engine, sorted by engine name.
+    pub per_engine: Vec<EngineWall>,
+}
+
+impl ServiceStats {
+    /// Cache hit rate over all served requests (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    requests: u64,
+    cache_hits: u64,
+    computed: u64,
+    errors: u64,
+    per_engine: HashMap<&'static str, (Duration, u64)>,
+}
+
+/// The parts of a service that jobs on pool workers need: shared via
+/// `Arc` so a submitted closure outlives the borrow that created it.
+struct ServiceCore {
+    registry: EngineRegistry,
+    cache: Option<SolveCache>,
+    default_engine: EnginePref,
+    default_budget: Budget,
+    default_validate: bool,
+    stats: Mutex<StatsInner>,
+}
+
+impl ServiceCore {
+    /// The full serving path for one request: serving-control
+    /// pre-checks, cache lookup, engine dispatch, cache write-back,
+    /// statistics. `key` is the optionally precomputed request
+    /// fingerprint (the batch path already fingerprints every request
+    /// for duplicate coalescing — no point hashing twice).
+    fn solve_keyed(
+        &self,
+        request: &SolveRequest,
+        key: Option<InstanceFingerprint>,
+    ) -> Result<SolveReport, SolveError> {
+        // Fail fast (expired deadline / cancelled token) before touching
+        // the cache.
+        if let Err(e) = EngineRegistry::effective_budget(
+            &request.budget,
+            request.deadline,
+            request.cancel.as_ref(),
+        ) {
+            self.note(|s| {
+                s.requests += 1;
+                s.errors += 1;
+            });
+            return Err(e);
+        }
+        // Any live deadline makes the run non-cacheable for *writes*:
+        // the registry re-derives the remaining time when the engine
+        // actually starts, so the effective budget may be clamped below
+        // the request's by then (a check here would race that one) —
+        // and a clamped run may carry a degraded incumbent that must
+        // never be served to full-budget requests under the unclamped
+        // fingerprint. Reads are fine: a cached full-budget report is
+        // at least as good as anything a deadlined run could compute.
+        let deadline_free = request.deadline.is_none();
+        let keyed = self
+            .cache
+            .as_ref()
+            .map(|c| (key.unwrap_or_else(|| request.fingerprint()), c));
+        if let Some((key, cache)) = &keyed {
+            if let Some(mut report) = cache.get(*key) {
+                report.provenance = Provenance::Cached;
+                self.note(|s| {
+                    s.requests += 1;
+                    s.cache_hits += 1;
+                });
+                return Ok(report);
+            }
+        }
+        let result = self.registry.solve(request);
+        match &result {
+            Ok(report) => {
+                let (engine, wall) = (report.engine_used, report.wall_time);
+                self.note(|s| {
+                    s.requests += 1;
+                    s.computed += 1;
+                    let slot = s.per_engine.entry(engine).or_insert((Duration::ZERO, 0));
+                    slot.0 += wall;
+                    slot.1 += 1;
+                });
+                // A search that tripped its node/time budget
+                // (`completed == false`) reports a load-dependent
+                // incumbent — caching it would freeze a degraded answer
+                // under a fingerprint whose budget allows a better one.
+                let search_complete = report.search.is_none_or(|s| s.completed);
+                if deadline_free && search_complete {
+                    if let Some((key, cache)) = &keyed {
+                        cache.insert(*key, report.clone());
+                    }
+                }
+            }
+            Err(_) => self.note(|s| {
+                s.requests += 1;
+                s.errors += 1;
+            }),
+        }
+        result
+    }
+
+    fn note(&self, update: impl FnOnce(&mut StatsInner)) {
+        update(&mut self.stats.lock().expect("stats lock"));
+    }
+}
+
+/// Runs the serving path with panics contained: an engine panic becomes
+/// [`SolveError::EnginePanicked`] for *this* request instead of losing
+/// the batch slot (and in chunked batches, the rest of the chunk). The
+/// pool worker additionally survives any panic that escapes a job —
+/// defense in depth.
+fn solve_containing_panics(
+    core: &ServiceCore,
+    request: &SolveRequest,
+    key: Option<InstanceFingerprint>,
+) -> Result<SolveReport, SolveError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        core.solve_keyed(request, key)
+    })) {
+        Ok(result) => result,
+        Err(_) => {
+            // the panic unwound before the serving path recorded stats
+            core.note(|s| {
+                s.requests += 1;
+                s.errors += 1;
+            });
+            Err(SolveError::EnginePanicked)
+        }
+    }
+}
+
+/// Builder for [`SolverService`] — worker count, cache capacity,
+/// default budget/engine, registry policy.
+#[derive(Debug)]
+pub struct SolverBuilder {
+    workers: Option<usize>,
+    cache_capacity: usize,
+    default_engine: EnginePref,
+    default_budget: Budget,
+    validate_witness: bool,
+    registry: Option<EngineRegistry>,
+}
+
+impl Default for SolverBuilder {
+    fn default() -> Self {
+        SolverBuilder {
+            workers: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            default_engine: EnginePref::Auto,
+            default_budget: Budget::default(),
+            validate_witness: true,
+            registry: None,
+        }
+    }
+}
+
+impl SolverBuilder {
+    /// Worker thread count (default: the machine's available
+    /// parallelism; clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> SolverBuilder {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Solve-cache capacity in reports; `0` disables caching entirely
+    /// (default: [`DEFAULT_CACHE_CAPACITY`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> SolverBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Disables the solve cache (same as `cache_capacity(0)`).
+    pub fn no_cache(self) -> SolverBuilder {
+        self.cache_capacity(0)
+    }
+
+    /// Default engine preference for requests built via
+    /// [`SolverService::request`] and for [`SolverService::solve_batch`].
+    pub fn default_engine(mut self, engine: EnginePref) -> SolverBuilder {
+        self.default_engine = engine;
+        self
+    }
+
+    /// Default budget (same scope as [`SolverBuilder::default_engine`]).
+    pub fn default_budget(mut self, budget: Budget) -> SolverBuilder {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Default witness-validation flag (same scope as
+    /// [`SolverBuilder::default_engine`]).
+    pub fn validate_witness(mut self, validate: bool) -> SolverBuilder {
+        self.validate_witness = validate;
+        self
+    }
+
+    /// Custom engine registry (routing policy). Defaults to
+    /// [`EngineRegistry::default`].
+    pub fn registry(mut self, registry: EngineRegistry) -> SolverBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Builds the service. The worker pool is **lazy**: its threads
+    /// spawn on the first batch/stream call and then live as long as
+    /// the service — a service used only for single solves (including
+    /// the default one behind the free [`solve`](crate::solve)) never
+    /// spawns a thread.
+    pub fn build(self) -> SolverService {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1);
+        SolverService {
+            core: Arc::new(ServiceCore {
+                registry: self.registry.unwrap_or_default(),
+                cache: (self.cache_capacity > 0).then(|| SolveCache::new(self.cache_capacity)),
+                default_engine: self.default_engine,
+                default_budget: self.default_budget,
+                default_validate: self.validate_witness,
+                stats: Mutex::new(StatsInner::default()),
+            }),
+            workers,
+            pool: OnceLock::new(),
+        }
+    }
+}
+
+/// A long-lived, cached, pooled serving API over the engine registry.
+/// A solve is served from the cache when its fingerprint hits,
+/// computed on the registry otherwise; batches and streams run on the
+/// persistent pool. See the crate-level "Serving API" section for the
+/// full picture.
+pub struct SolverService {
+    core: Arc<ServiceCore>,
+    /// Resolved worker count; the pool itself spawns lazily.
+    workers: usize,
+    pool: OnceLock<WorkerPool>,
+}
+
+impl std::fmt::Debug for SolverService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverService")
+            .field("workers", &self.workers)
+            .field("pool_started", &self.pool.get().is_some())
+            .field("cache", &self.core.cache)
+            .finish()
+    }
+}
+
+impl Default for SolverService {
+    fn default() -> Self {
+        SolverService::builder().build()
+    }
+}
+
+impl SolverService {
+    /// Starts configuring a service.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::default()
+    }
+
+    /// A request for `instance` carrying this service's defaults
+    /// (engine preference, budget, validation flag).
+    pub fn request(&self, instance: ProblemInstance) -> SolveRequest {
+        SolveRequest::new(instance)
+            .engine(self.core.default_engine)
+            .budget(self.core.default_budget)
+            .validate_witness(self.core.default_validate)
+    }
+
+    /// The pool, spawned on first parallel use.
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.workers))
+    }
+
+    /// Solves one request through the cache and registry (on the
+    /// calling thread — single solves neither pay a queue hop nor
+    /// start the worker pool). An engine panic is contained and
+    /// reported as [`SolveError::EnginePanicked`], same as on the
+    /// batch/stream paths.
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
+        solve_containing_panics(&self.core, request, None)
+    }
+
+    /// Solves `instances` in parallel on the service pool under the
+    /// service defaults; `reports[i]` corresponds to `instances[i]`.
+    pub fn solve_batch(
+        &self,
+        instances: &[ProblemInstance],
+    ) -> Vec<Result<SolveReport, SolveError>> {
+        let options = BatchOptions {
+            engine: self.core.default_engine,
+            budget: self.core.default_budget,
+            validate_witness: self.core.default_validate,
+            ..BatchOptions::default()
+        };
+        self.solve_batch_with(instances, &options)
+    }
+
+    /// Solves `instances` in parallel on the service pool under
+    /// explicit options. With `options.threads` unset every distinct
+    /// instance becomes one pool job (maximum overlap, reassembled from
+    /// the finish-order stream); setting it bounds concurrency by
+    /// chunking the batch into that many jobs — no threads are spawned
+    /// either way.
+    ///
+    /// When the service caches, duplicate requests **within one batch**
+    /// are coalesced: each distinct fingerprint is solved once and the
+    /// result is fanned out to every duplicate slot (tagged
+    /// [`Provenance::Cached`]) — concurrent duplicates never race each
+    /// other past the cache.
+    ///
+    /// Must not be called from inside one of this service's own pool
+    /// jobs (the reassembly wait could then starve the pool).
+    pub fn solve_batch_with(
+        &self,
+        instances: &[ProblemInstance],
+        options: &BatchOptions,
+    ) -> Vec<Result<SolveReport, SolveError>> {
+        if instances.is_empty() {
+            return Vec::new();
+        }
+        // Coalesce duplicate fingerprints (cache-enabled services
+        // only): `canonical[i]` is the first input index with request
+        // `i`'s fingerprint; only canonical requests are submitted, and
+        // the fingerprint computed here rides along so the serving path
+        // does not hash the same request twice.
+        let coalesce = self.core.cache.is_some();
+        let mut canonical: Vec<usize> = Vec::with_capacity(instances.len());
+        let mut unique: Vec<(usize, SolveRequest, Option<InstanceFingerprint>)> =
+            Vec::with_capacity(instances.len());
+        let mut seen: HashMap<InstanceFingerprint, usize> = HashMap::new();
+        for (i, instance) in instances.iter().enumerate() {
+            let request = SolveRequest {
+                instance: instance.clone(),
+                engine: options.engine,
+                budget: options.budget,
+                validate_witness: options.validate_witness,
+                deadline: options.deadline,
+                cancel: options.cancel.clone(),
+            };
+            let key = coalesce.then(|| request.fingerprint());
+            let leader = match key {
+                Some(key) => *seen.entry(key).or_insert(i),
+                None => i,
+            };
+            canonical.push(leader);
+            if leader == i {
+                unique.push((i, request, key));
+            }
+        }
+        let mut slots: Vec<Option<Result<SolveReport, SolveError>>> =
+            (0..instances.len()).map(|_| None).collect();
+        let (tx, rx) = mpsc::channel();
+        match options.threads {
+            None => {
+                // one job per distinct request: maximum overlap
+                for (index, request, key) in unique {
+                    let core = Arc::clone(&self.core);
+                    let tx = tx.clone();
+                    self.pool().submit(move || {
+                        let _ = tx.send((index, solve_containing_panics(&core, &request, key)));
+                    });
+                }
+            }
+            Some(threads) => {
+                let concurrency = threads.get().min(unique.len().max(1));
+                let chunk_len = unique.len().div_ceil(concurrency).max(1);
+                let mut chunks = Vec::new();
+                let mut rest = unique;
+                while !rest.is_empty() {
+                    let tail = rest.split_off(chunk_len.min(rest.len()));
+                    chunks.push(std::mem::replace(&mut rest, tail));
+                }
+                for chunk in chunks {
+                    let core = Arc::clone(&self.core);
+                    let tx = tx.clone();
+                    self.pool().submit(move || {
+                        for (index, request, key) in &chunk {
+                            let result = solve_containing_panics(&core, request, *key);
+                            if tx.send((*index, result)).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        // fan the leaders' results out to their duplicate slots
+        for i in 0..instances.len() {
+            let leader = canonical[i];
+            if leader == i {
+                continue;
+            }
+            // a leader slot can only be empty if its job died mid-panic
+            // before sending; surface that as the engine-bug error
+            let mut result = slots[leader]
+                .clone()
+                .unwrap_or(Err(SolveError::EnginePanicked));
+            if let Ok(report) = &mut result {
+                report.provenance = Provenance::Cached;
+            }
+            self.core.note(|s| {
+                s.requests += 1;
+                match &result {
+                    Ok(_) => s.cache_hits += 1,
+                    Err(_) => s.errors += 1,
+                }
+            });
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(SolveError::EnginePanicked)))
+            .collect()
+    }
+
+    /// Submits every request to the pool and returns an iterator that
+    /// yields `(input_index, result)` pairs **as they finish** —
+    /// order-tagged, not order-blocked: a fast solve is handed out
+    /// while slower siblings still run. [`SolverService::solve_batch`]
+    /// is exactly this plus index reassembly.
+    pub fn solve_stream<I>(&self, requests: I) -> SolveStream
+    where
+        I: IntoIterator<Item = SolveRequest>,
+    {
+        let (tx, rx) = mpsc::channel();
+        let mut total = 0;
+        for (i, request) in requests.into_iter().enumerate() {
+            total += 1;
+            let core = Arc::clone(&self.core);
+            let tx = tx.clone();
+            self.pool().submit(move || {
+                let _ = tx.send((i, solve_containing_panics(&core, &request, None)));
+            });
+        }
+        SolveStream {
+            rx,
+            remaining: total,
+        }
+    }
+
+    /// Configured worker count (constant for the service's lifetime —
+    /// the regression suite pins that repeated batches never change
+    /// it). The threads themselves spawn lazily on the first
+    /// batch/stream call; [`SolverService::spawned_threads`] reports
+    /// how many actually exist.
+    pub fn pool_size(&self) -> usize {
+        self.workers
+    }
+
+    /// Total worker threads this service ever spawned — `0` before the
+    /// first batch/stream call, then exactly [`SolverService::pool_size`]
+    /// forever (a live spawn counter, not an alias: any regression that
+    /// reintroduced per-call spawning would move it).
+    pub fn spawned_threads(&self) -> usize {
+        self.pool.get().map_or(0, WorkerPool::spawned_threads)
+    }
+
+    /// Solve-cache counters, or `None` when caching is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.cache.as_ref().map(SolveCache::stats)
+    }
+
+    /// Drops every cached report (for cold-start measurements).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.core.cache {
+            cache.clear();
+        }
+    }
+
+    /// Snapshot of the serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.core.stats.lock().expect("stats lock");
+        let mut per_engine: Vec<EngineWall> = inner
+            .per_engine
+            .iter()
+            .map(|(&engine, &(wall, solves))| EngineWall {
+                engine,
+                wall,
+                solves,
+            })
+            .collect();
+        per_engine.sort_by_key(|e| e.engine);
+        ServiceStats {
+            requests: inner.requests,
+            cache_hits: inner.cache_hits,
+            computed: inner.computed,
+            errors: inner.errors,
+            queue_wait: self
+                .pool
+                .get()
+                .map_or(Duration::ZERO, WorkerPool::total_queue_wait),
+            jobs_executed: self.pool.get().map_or(0, WorkerPool::jobs_executed),
+            per_engine,
+        }
+    }
+}
+
+/// Iterator over finish-ordered `(input_index, result)` pairs from
+/// [`SolverService::solve_stream`]. Dropping it early is fine: in-
+/// flight solves complete on the pool and their results are discarded.
+pub struct SolveStream {
+    rx: Receiver<(usize, Result<SolveReport, SolveError>)>,
+    remaining: usize,
+}
+
+impl Iterator for SolveStream {
+    type Item = (usize, Result<SolveReport, SolveError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(item) => {
+                self.remaining -= 1;
+                Some(item)
+            }
+            // every sender dropped without sending (job panicked)
+            Err(_) => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // lower bound 0: a panicking job drops its sender without sending
+        (0, Some(self.remaining))
+    }
+}
+
+/// Re-exported convenience: the `threads` field of [`BatchOptions`] is
+/// a [`NonZeroUsize`]; this mirrors `NonZeroUsize::new` for callers that
+/// do not want the import.
+pub fn batch_threads(n: usize) -> Option<NonZeroUsize> {
+    NonZeroUsize::new(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::CancelToken;
+    use repliflow_core::gen::Gen;
+    use repliflow_core::instance::Objective;
+
+    fn instances(n: usize, seed: u64) -> Vec<ProblemInstance> {
+        let mut gen = Gen::new(seed);
+        (0..n)
+            .map(|i| {
+                ProblemInstance::new(
+                    gen.pipeline(1 + i % 5, 1, 9),
+                    gen.hom_platform(1 + i % 3, 1, 4),
+                    i % 2 == 0,
+                    Objective::Period,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let service = SolverService::builder().workers(3).build();
+        let batch = instances(11, 0x5E01);
+        let reports = service.solve_batch(&batch);
+        assert_eq!(reports.len(), batch.len());
+        for (instance, report) in batch.iter().zip(&reports) {
+            assert_eq!(report.as_ref().unwrap().variant, instance.variant());
+        }
+    }
+
+    #[test]
+    fn chunked_batch_matches_streamed_batch() {
+        let service = SolverService::builder().workers(2).no_cache().build();
+        let batch = instances(9, 0x5E02);
+        let streamed = service.solve_batch(&batch);
+        let options = BatchOptions {
+            threads: batch_threads(3),
+            ..BatchOptions::default()
+        };
+        let chunked = service.solve_batch_with(&batch, &options);
+        for (a, b) in streamed.iter().zip(&chunked) {
+            assert_eq!(
+                a.as_ref().unwrap().canonical_json(),
+                b.as_ref().unwrap().canonical_json()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_serves_second_request() {
+        let service = SolverService::builder().workers(1).build();
+        let request = service.request(instances(1, 0x5E03).pop().unwrap());
+        let first = service.solve(&request).unwrap();
+        let second = service.solve(&request).unwrap();
+        assert_eq!(first.provenance, Provenance::Computed);
+        assert_eq!(second.provenance, Provenance::Cached);
+        assert_eq!(first.canonical_json(), second.canonical_json());
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.computed, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cache_service_always_computes() {
+        let service = SolverService::builder().workers(1).no_cache().build();
+        let request = service.request(instances(1, 0x5E04).pop().unwrap());
+        assert_eq!(
+            service.solve(&request).unwrap().provenance,
+            Provenance::Computed
+        );
+        assert_eq!(
+            service.solve(&request).unwrap().provenance,
+            Provenance::Computed
+        );
+        assert!(service.cache_stats().is_none());
+    }
+
+    #[test]
+    fn cancelled_token_fails_fast() {
+        let service = SolverService::builder().workers(1).build();
+        let token = CancelToken::new();
+        token.cancel();
+        let request = service
+            .request(instances(1, 0x5E05).pop().unwrap())
+            .cancel_token(token);
+        assert!(matches!(
+            service.solve(&request),
+            Err(SolveError::Cancelled)
+        ));
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn stream_yields_every_index_once() {
+        let service = SolverService::builder().workers(4).no_cache().build();
+        let batch = instances(13, 0x5E06);
+        let requests: Vec<SolveRequest> =
+            batch.iter().map(|i| service.request(i.clone())).collect();
+        let mut seen: Vec<usize> = service
+            .solve_stream(requests)
+            .map(|(i, result)| {
+                assert!(result.is_ok());
+                i
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..13).collect::<Vec<_>>());
+    }
+}

@@ -9,7 +9,9 @@
 use repliflow_core::gen::Gen;
 use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
 use repliflow_core::workflow::Pipeline;
-use repliflow_solver::{Budget, CommModel, EnginePref, EngineRegistry, Quality, SolveRequest};
+use repliflow_solver::{
+    Budget, CommModel, EnginePref, EngineRegistry, Provenance, Quality, SolveRequest, SolverService,
+};
 
 fn comm_pipeline(seed: u64, n: usize, p: usize) -> ProblemInstance {
     let mut gen = Gen::new(seed);
@@ -60,6 +62,92 @@ fn fixed_seed_comm_bb_reports_are_byte_identical() {
     assert_eq!(first, second, "comm-bb leaked nondeterminism");
     assert!(first.contains("comm-bb"));
     assert!(first.contains("\"completed\":true"), "report: {first}");
+}
+
+/// Serving-layer extension: for a fixed-seed request stream, reports
+/// served from the solve cache are **byte-identical** (canonical JSON)
+/// to freshly computed ones — caching must be observable only through
+/// `provenance` and speed.
+#[test]
+fn cached_reports_are_byte_identical_to_computed_ones() {
+    let service = SolverService::builder().workers(2).build();
+    let requests: Vec<SolveRequest> = (0..6u64)
+        .map(|i| {
+            SolveRequest::new(comm_pipeline(0xCA0 + i, 4 + (i % 4) as usize, 3))
+                .engine(EnginePref::Heuristic)
+                .budget(Budget::default().quality(Quality::Fast))
+        })
+        .collect();
+    for request in &requests {
+        let cold = service.solve(request).unwrap();
+        let warm = service.solve(request).unwrap();
+        // an independent registry (no cache anywhere) agrees byte for byte
+        let fresh = EngineRegistry::default().solve(request).unwrap();
+        assert_eq!(cold.provenance, Provenance::Computed);
+        assert_eq!(warm.provenance, Provenance::Cached);
+        assert_eq!(cold.canonical_json(), warm.canonical_json());
+        assert_eq!(cold.canonical_json(), fresh.canonical_json());
+    }
+}
+
+/// Serving-layer extension: `solve_stream` + index reassembly equals
+/// sequential `solve` output, for every batch size from empty to
+/// beyond 2× the worker count, across worker counts {1, 2, 3, 5, 8}.
+/// Guards both the stream's order tags and the pool's claim/steal
+/// machinery against dropped or duplicated requests.
+#[test]
+fn stream_reassembly_equals_sequential_solve_across_worker_counts() {
+    let registry = EngineRegistry::default();
+    let mut gen = Gen::new(0xCAFE);
+    for workers in [1usize, 2, 3, 5, 8] {
+        let service = SolverService::builder().workers(workers).no_cache().build();
+        let max = 2 * workers + 1;
+        let pool: Vec<ProblemInstance> = (0..max)
+            .map(|i| {
+                ProblemInstance::new(
+                    // distinct stage counts make any index mix-up observable
+                    Pipeline::new(gen.positive_ints(1 + i, 1, 9)),
+                    gen.hom_platform(1 + i % 3, 1, 4),
+                    false,
+                    Objective::Period,
+                )
+            })
+            .collect();
+        for size in 0..=max {
+            let requests: Vec<SolveRequest> = pool[..size]
+                .iter()
+                .map(|instance| SolveRequest::new(instance.clone()))
+                .collect();
+            let mut reassembled: Vec<Option<String>> = vec![None; size];
+            let mut yielded = 0;
+            for (index, result) in service.solve_stream(requests) {
+                let report = result.unwrap_or_else(|e| {
+                    panic!("workers {workers}, size {size}, index {index}: {e}")
+                });
+                assert!(
+                    reassembled[index].is_none(),
+                    "workers {workers}, size {size}: index {index} yielded twice"
+                );
+                reassembled[index] = Some(report.canonical_json());
+                yielded += 1;
+            }
+            assert_eq!(
+                yielded, size,
+                "workers {workers}, size {size}: lost results"
+            );
+            for (i, instance) in pool[..size].iter().enumerate() {
+                let sequential = registry
+                    .solve(&SolveRequest::new(instance.clone()))
+                    .unwrap()
+                    .canonical_json();
+                assert_eq!(
+                    reassembled[i].as_deref(),
+                    Some(sequential.as_str()),
+                    "workers {workers}, size {size}: slot {i} diverged from sequential solve"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Request-level fingerprint properties: [`SolveRequest::fingerprint`]
+//! extends the instance fingerprint with every objective-relevant
+//! request knob (engine preference, budget, quality tier, seed,
+//! validation flag) and with nothing else — transient serving controls
+//! (deadline, cancel token) must not change the cache key.
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{Objective, ProblemInstance};
+use repliflow_solver::{Budget, CancelToken, Deadline, EnginePref, Quality, SolveRequest};
+
+fn base_request(seed: u64) -> SolveRequest {
+    let mut gen = Gen::new(seed);
+    SolveRequest::new(ProblemInstance::new(
+        gen.pipeline(5, 1, 12),
+        gen.het_platform(3, 1, 5),
+        true,
+        Objective::Period,
+    ))
+}
+
+#[test]
+fn engine_pref_is_part_of_the_key() {
+    let base = base_request(0xFA_01);
+    let mut prints = vec![];
+    for pref in [
+        EnginePref::Auto,
+        EnginePref::Exact,
+        EnginePref::Heuristic,
+        EnginePref::Paper,
+        EnginePref::CommBb,
+    ] {
+        prints.push(base.clone().engine(pref).fingerprint());
+    }
+    prints.sort();
+    prints.dedup();
+    assert_eq!(prints.len(), 5, "engine preferences collided");
+}
+
+#[test]
+fn quality_tier_is_part_of_the_key() {
+    let base = base_request(0xFA_02);
+    let of = |q: Quality| {
+        base.clone()
+            .budget(Budget::default().quality(q))
+            .fingerprint()
+    };
+    assert_ne!(of(Quality::Fast), of(Quality::Balanced));
+    assert_ne!(of(Quality::Balanced), of(Quality::Thorough));
+    assert_ne!(of(Quality::Fast), of(Quality::Thorough));
+}
+
+#[test]
+fn every_budget_knob_is_part_of_the_key() {
+    let base = base_request(0xFA_03);
+    let fp = |budget: Budget| base.clone().budget(budget).fingerprint();
+    let reference = fp(Budget::default());
+    let d = Budget::default();
+    let variants = [
+        Budget {
+            max_exact_stages: d.max_exact_stages + 1,
+            ..d
+        },
+        Budget {
+            max_exact_procs: d.max_exact_procs + 1,
+            ..d
+        },
+        Budget {
+            max_comm_exact_stages: d.max_comm_exact_stages + 1,
+            ..d
+        },
+        Budget {
+            max_comm_exact_procs: d.max_comm_exact_procs + 1,
+            ..d
+        },
+        Budget {
+            max_comm_bb_stages: d.max_comm_bb_stages + 1,
+            ..d
+        },
+        Budget {
+            max_comm_bb_procs: d.max_comm_bb_procs + 1,
+            ..d
+        },
+        Budget {
+            max_comm_bb_fork_leaves: d.max_comm_bb_fork_leaves + 1,
+            ..d
+        },
+        Budget {
+            bb_node_limit: d.bb_node_limit + 1,
+            ..d
+        },
+        Budget {
+            bb_time_limit_ms: d.bb_time_limit_ms + 1,
+            ..d
+        },
+        Budget {
+            local_search_rounds: d.local_search_rounds + 1,
+            ..d
+        },
+        Budget {
+            seed: d.seed + 1,
+            ..d
+        },
+    ];
+    for (i, variant) in variants.into_iter().enumerate() {
+        assert_ne!(
+            reference,
+            fp(variant),
+            "budget knob {i} is missing from the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn validation_flag_is_part_of_the_key() {
+    let base = base_request(0xFA_04);
+    assert_ne!(
+        base.clone().validate_witness(true).fingerprint(),
+        base.validate_witness(false).fingerprint()
+    );
+}
+
+#[test]
+fn transient_serving_controls_do_not_change_the_key() {
+    let base = base_request(0xFA_05);
+    let reference = base.fingerprint();
+    assert_eq!(
+        reference,
+        base.clone().deadline(Deadline::in_ms(1_000)).fingerprint(),
+        "a deadline must not change the cache key"
+    );
+    assert_eq!(
+        reference,
+        base.clone().cancel_token(CancelToken::new()).fingerprint(),
+        "a cancel token must not change the cache key"
+    );
+}
+
+#[test]
+fn request_fingerprint_tracks_the_instance() {
+    // different instances, same knobs: the instance part dominates
+    assert_ne!(
+        base_request(0xFA_06).fingerprint(),
+        base_request(0xFA_07).fingerprint()
+    );
+    // the request fingerprint differs from the bare instance fingerprint
+    // (knobs are mixed in)
+    let request = base_request(0xFA_06);
+    assert_ne!(
+        request.fingerprint(),
+        request.instance.fingerprint(),
+        "request knobs were not mixed into the key"
+    );
+}
+
+#[test]
+fn fingerprint_is_stable_within_a_process() {
+    let request = base_request(0xFA_08);
+    let a = request.fingerprint();
+    let b = request.clone().fingerprint();
+    assert_eq!(a, b);
+}

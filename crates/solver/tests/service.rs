@@ -1,0 +1,345 @@
+//! Integration suite for the serving layer: pool lifetime, deadline
+//! semantics, cache correctness and the warm-vs-cold acceptance bar.
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_solver::{
+    BatchOptions, CancelToken, CommModel, Deadline, Provenance, SolveError, SolverService,
+};
+use std::path::PathBuf;
+
+fn simplified_instances(n: usize, seed: u64) -> Vec<ProblemInstance> {
+    let mut gen = Gen::new(seed);
+    (0..n)
+        .map(|i| {
+            ProblemInstance::new(
+                gen.pipeline(1 + i % 6, 1, 9),
+                gen.hom_platform(1 + i % 3, 1, 4),
+                i % 2 == 0,
+                Objective::Period,
+            )
+        })
+        .collect()
+}
+
+fn comm_instance(seed: u64, n: usize, p: usize) -> ProblemInstance {
+    let mut gen = Gen::new(seed);
+    ProblemInstance::new(
+        gen.pipeline(n, 1, 12),
+        gen.het_platform(p, 1, 5),
+        false,
+        Objective::Period,
+    )
+    .with_cost_model(CostModel::WithComm {
+        network: gen.het_network(p, 1, 4),
+        comm: CommModel::OnePort,
+        overlap: true,
+    })
+}
+
+fn golden_instances() -> Vec<ProblemInstance> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/instances");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/instances is readable")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 8, "golden set shrank unexpectedly");
+    paths
+        .iter()
+        .map(|p| {
+            serde_json::from_str(&std::fs::read_to_string(p).expect("golden readable"))
+                .expect("golden parses")
+        })
+        .collect()
+}
+
+/// ROADMAP-flagged regression: batch work must reuse one persistent
+/// pool. Repeated `solve_batch` calls on one service never change the
+/// worker count — workers are created once per service, not per call.
+#[test]
+fn repeated_batches_do_not_spawn_unbounded_threads() {
+    let service = SolverService::builder().workers(3).no_cache().build();
+    assert_eq!(service.pool_size(), 3);
+    // the pool is lazy: nothing spawns before the first parallel call
+    assert_eq!(service.spawned_threads(), 0);
+    let batch = simplified_instances(10, 0x3E01);
+    for round in 0..20 {
+        let reports = service.solve_batch(&batch);
+        assert!(reports.iter().all(Result::is_ok), "round {round} failed");
+        assert_eq!(
+            service.pool_size(),
+            3,
+            "round {round}: pool size changed — threads are being spawned per call"
+        );
+        assert_eq!(
+            service.spawned_threads(),
+            3,
+            "round {round}: service spawned additional threads"
+        );
+    }
+    // all 200 instance solves ran as pool jobs on those same 3 workers
+    assert_eq!(service.stats().jobs_executed, 20 * 10);
+}
+
+/// Single solves run on the calling thread: a service (like the one
+/// behind the free `solve()` wrapper) that never batches never spawns
+/// a worker thread at all.
+#[test]
+fn single_solves_never_start_the_pool() {
+    let service = SolverService::builder().workers(4).build();
+    for seed in 0..5 {
+        let request = service.request(simplified_instances(1, 0x3E20 + seed).pop().unwrap());
+        assert!(service.solve(&request).is_ok());
+    }
+    assert_eq!(
+        service.spawned_threads(),
+        0,
+        "single solves spawned threads"
+    );
+    // the first batch starts the pool, exactly once
+    let batch = simplified_instances(4, 0x3E21);
+    service.solve_batch(&batch);
+    assert_eq!(service.spawned_threads(), 4);
+}
+
+/// Bugfix satellite: a deadline that is already expired when the
+/// request arrives returns a clean `DeadlineExceeded` — not a panic,
+/// not an empty report. Pinned at the pathological 0ms deadline.
+#[test]
+fn expired_deadline_fails_cleanly_at_zero_ms() {
+    let service = SolverService::builder().workers(1).build();
+    let request = service
+        .request(simplified_instances(1, 0x3E02).pop().unwrap())
+        .deadline(Deadline::in_ms(0));
+    match service.solve(&request) {
+        Err(SolveError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // the error formats cleanly for CLI consumption
+    assert!(SolveError::DeadlineExceeded
+        .to_string()
+        .contains("deadline"));
+}
+
+#[test]
+fn expired_deadline_fails_cleanly_across_a_batch() {
+    let service = SolverService::builder().workers(2).build();
+    let batch = simplified_instances(5, 0x3E03);
+    let options = BatchOptions {
+        deadline: Some(Deadline::in_ms(0)),
+        ..BatchOptions::default()
+    };
+    for result in service.solve_batch_with(&batch, &options) {
+        assert!(matches!(result, Err(SolveError::DeadlineExceeded)));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.errors, 5);
+    // fail-fast errors still count as served requests (the stats
+    // invariant is requests == computed + cache_hits + errors)
+    assert_eq!(stats.requests, 5);
+    assert_eq!(
+        stats.requests,
+        stats.computed + stats.cache_hits + stats.errors
+    );
+}
+
+/// An absurdly large deadline must saturate, not panic, and must behave
+/// like "no deadline" for expiry purposes.
+#[test]
+fn overflowing_deadline_saturates_instead_of_panicking() {
+    let service = SolverService::builder().workers(1).build();
+    let huge = Deadline::in_ms(u64::MAX);
+    assert!(!huge.expired());
+    let request = service
+        .request(simplified_instances(1, 0x3E09).pop().unwrap())
+        .deadline(huge);
+    assert!(service.solve(&request).is_ok());
+}
+
+/// Duplicate requests inside one batch are coalesced: one compute per
+/// distinct fingerprint, duplicates fanned out as `Cached` — identical
+/// files in one CLI invocation become hits even on a many-worker pool,
+/// instead of racing each other past the cache.
+#[test]
+fn duplicate_instances_in_one_batch_are_coalesced() {
+    let service = SolverService::builder().workers(4).build();
+    let instance = comm_instance(0x3E0A, 4, 3);
+    let batch: Vec<ProblemInstance> = vec![instance; 6];
+    let reports = service.solve_batch(&batch);
+    let computed = reports
+        .iter()
+        .filter(|r| r.as_ref().unwrap().provenance == Provenance::Computed)
+        .count();
+    let cached = reports
+        .iter()
+        .filter(|r| r.as_ref().unwrap().provenance == Provenance::Cached)
+        .count();
+    assert_eq!(computed, 1, "exactly one leader computes");
+    assert_eq!(cached, 5, "every duplicate is served the leader's report");
+    let first = reports[0].as_ref().unwrap().canonical_json();
+    for report in &reports {
+        assert_eq!(report.as_ref().unwrap().canonical_json(), first);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.computed, 1);
+    assert_eq!(stats.cache_hits, 5);
+}
+
+/// A budgeted search that trips its node limit reports a
+/// load/budget-dependent incumbent (`search.completed == false`) — such
+/// reports must never be written to the cache, or a degraded answer
+/// would be frozen under a fingerprint whose budget could do better.
+#[test]
+fn incomplete_searches_are_not_cached() {
+    use repliflow_solver::{Budget, EnginePref, SolveRequest};
+    let service = SolverService::builder().workers(1).build();
+    let instance = comm_instance(0x3E0B, 8, 4);
+    let starved = Budget {
+        bb_node_limit: 1,
+        ..Budget::default()
+    };
+    let request = SolveRequest::new(instance)
+        .engine(EnginePref::CommBb)
+        .budget(starved);
+    let first = service.solve(&request).unwrap();
+    assert!(
+        first.search.is_some_and(|s| !s.completed),
+        "node limit 1 must leave the search incomplete"
+    );
+    // nothing was cached: the identical request computes again
+    let second = service.solve(&request).unwrap();
+    assert_eq!(second.provenance, Provenance::Computed);
+}
+
+#[test]
+fn generous_deadline_changes_nothing() {
+    let service = SolverService::builder().workers(1).no_cache().build();
+    let instance = comm_instance(0x3E04, 6, 4);
+    let plain = service.solve(&service.request(instance.clone())).unwrap();
+    let deadlined = service
+        .solve(&service.request(instance).deadline(Deadline::in_ms(600_000)))
+        .unwrap();
+    assert_eq!(plain.canonical_json(), deadlined.canonical_json());
+}
+
+/// A deadline below the default `bb_time_limit_ms` clamps the effective
+/// budget, so the result — even when computed comfortably within the
+/// deadline — must not be written back to the cache under the
+/// unclamped fingerprint.
+#[test]
+fn clamped_deadline_runs_are_not_cached() {
+    let service = SolverService::builder().workers(1).build();
+    let instance = comm_instance(0x3E05, 5, 3);
+    // default budget has bb_time_limit_ms = 10_000; 5s clamps it
+    let clamped = service
+        .request(instance.clone())
+        .deadline(Deadline::in_ms(5_000));
+    assert_eq!(
+        service.solve(&clamped).unwrap().provenance,
+        Provenance::Computed
+    );
+    // an unclamped request must compute (nothing was cached) ...
+    let unclamped = service.request(instance);
+    assert_eq!(
+        service.solve(&unclamped).unwrap().provenance,
+        Provenance::Computed
+    );
+    // ... and only now does the cache serve
+    assert_eq!(
+        service.solve(&unclamped).unwrap().provenance,
+        Provenance::Cached
+    );
+}
+
+#[test]
+fn cancelled_batch_fails_fast_everywhere() {
+    let service = SolverService::builder().workers(2).build();
+    let token = CancelToken::new();
+    token.cancel();
+    let options = BatchOptions {
+        cancel: Some(token),
+        ..BatchOptions::default()
+    };
+    let batch = simplified_instances(6, 0x3E06);
+    for result in service.solve_batch_with(&batch, &options) {
+        assert!(matches!(result, Err(SolveError::Cancelled)));
+    }
+}
+
+#[test]
+fn cached_reports_survive_golden_batch_round_trips() {
+    let service = SolverService::builder().workers(2).build();
+    let goldens = golden_instances();
+    let cold = service.solve_batch(&goldens);
+    let warm = service.solve_batch(&goldens);
+    for ((instance, cold), warm) in goldens.iter().zip(&cold).zip(&warm) {
+        let cold = cold.as_ref().expect("cold golden solve succeeds");
+        let warm = warm.as_ref().expect("warm golden solve succeeds");
+        assert_eq!(cold.provenance, Provenance::Computed);
+        assert_eq!(
+            warm.provenance,
+            Provenance::Cached,
+            "{:?} missed the cache on the second pass",
+            instance.variant()
+        );
+        assert_eq!(
+            cold.canonical_json(),
+            warm.canonical_json(),
+            "cached report diverged for {:?}",
+            instance.variant()
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, goldens.len() as u64);
+    assert_eq!(stats.computed, goldens.len() as u64);
+}
+
+#[test]
+fn lru_capacity_one_still_serves_repeats() {
+    let service = SolverService::builder()
+        .workers(1)
+        .cache_capacity(1)
+        .build();
+    let a = service.request(simplified_instances(1, 0x3E07).pop().unwrap());
+    let b = service.request(comm_instance(0x3E08, 4, 3));
+    assert_eq!(service.solve(&a).unwrap().provenance, Provenance::Computed);
+    assert_eq!(service.solve(&a).unwrap().provenance, Provenance::Cached);
+    // b evicts a
+    assert_eq!(service.solve(&b).unwrap().provenance, Provenance::Computed);
+    assert_eq!(service.solve(&a).unwrap().provenance, Provenance::Computed);
+}
+
+/// Acceptance criterion: a warm-cache repeat of the golden-instance
+/// batch is at least **10×** faster than the cold pass (the throughput
+/// bench measures the same thing continuously; this pins it). Runs in
+/// the release-mode `slow-tests` CI job — wall-clock assertions do not
+/// belong in the default debug profile.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn warm_golden_batch_is_ten_times_faster_than_cold() {
+    use std::time::Instant;
+    let service = SolverService::builder().workers(2).build();
+    let goldens = golden_instances();
+
+    let cold_start = Instant::now();
+    let cold = service.solve_batch(&goldens);
+    let cold_wall = cold_start.elapsed();
+    assert!(cold.iter().all(Result::is_ok));
+
+    let warm_start = Instant::now();
+    let warm = service.solve_batch(&goldens);
+    let warm_wall = warm_start.elapsed();
+    assert!(warm.iter().all(Result::is_ok));
+    assert_eq!(
+        service.cache_stats().expect("cache enabled").hits,
+        goldens.len() as u64
+    );
+
+    assert!(
+        cold_wall >= warm_wall * 10,
+        "warm pass not >=10x faster: cold {cold_wall:?} vs warm {warm_wall:?}"
+    );
+}

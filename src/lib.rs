@@ -24,7 +24,10 @@
 //! * [`solver`] — **the one public way to solve anything**: the
 //!   `SolveRequest → SolveReport` engine API whose registry
 //!   auto-routes every Table 1 cell (paper algorithm / exhaustive
-//!   search / heuristics), plus parallel `solve_batch`.
+//!   search / heuristics), plus the `SolverService` serving layer
+//!   (persistent worker pool, LRU solve cache, deadlines/cancellation,
+//!   order-tagged streaming) that the free `solve`/`solve_batch`
+//!   wrappers ride on.
 //! * [`algorithms`] — every polynomial algorithm in the
 //!   paper (Theorems 1–4, 6–8, 10–11, 14 and the Section 6.3 fork-join
 //!   extensions).
@@ -70,6 +73,7 @@ pub use repliflow_solver as solver;
 pub mod prelude {
     pub use repliflow_core::prelude::*;
     pub use repliflow_solver::{
-        Budget, EnginePref, Optimality, Quality, SolveReport, SolveRequest,
+        Budget, CancelToken, Deadline, EnginePref, Optimality, Provenance, Quality, SolveReport,
+        SolveRequest, SolverService,
     };
 }
