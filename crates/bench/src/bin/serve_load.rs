@@ -1,0 +1,262 @@
+//! `serve_load` — daemon serving benchmark: requests/sec and latency
+//! percentiles through a real `repliflow-serve` daemon over TCP.
+//!
+//! Where `throughput` measures the in-process [`SolverService`], this
+//! measures the full network path: an in-process [`Server`] on an
+//! ephemeral loopback port, `--clients` closed-loop connections each
+//! issuing `--requests` line-protocol solves over a mixed stream
+//! (golden instances + seeded generated variety), client-observed
+//! latencies accumulated in a [`LatencyHistogram`]. A single-client
+//! warmup pass seeds the daemon's solve cache first, so the measured
+//! run reflects steady-state serving (protocol + transport + cache)
+//! rather than first-compute cost.
+//!
+//! Prints one JSON object to stdout (requests/sec at the given
+//! concurrency, client-side p50/p95/p99, daemon-side cache hit rate and
+//! utilization) — CI's bench-smoke job stores it as
+//! `BENCH_pr_serve.json`, so daemon serving performance is tracked per
+//! PR alongside the solver trends.
+//!
+//! ```text
+//! serve_load                 # 8 clients x 200 requests
+//! serve_load --quick         # CI smoke profile (4 x 40)
+//! serve_load --clients 16    # concurrency
+//! serve_load --requests 500  # per-client request count
+//! serve_load --workers 4     # daemon pool size
+//! ```
+//!
+//! [`SolverService`]: repliflow_solver::SolverService
+//! [`Server`]: repliflow_serve::Server
+//! [`LatencyHistogram`]: repliflow_solver::LatencyHistogram
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_serve::server::{Server, ServerConfig};
+use repliflow_serve::{RemoteClient, RemoteSolveOptions};
+use repliflow_solver::{CommModel, LatencyHistogram};
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: serve_load [--quick] [--clients N] [--requests N] [--workers N]");
+    ExitCode::FAILURE
+}
+
+/// Every golden instance committed under `examples/instances/`.
+fn golden_instances() -> Vec<ProblemInstance> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/instances");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/instances is readable")
+        .map(|entry| entry.expect("directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let json = std::fs::read_to_string(p).expect("golden instance is readable");
+            serde_json::from_str(&json).expect("golden instance parses")
+        })
+        .collect()
+}
+
+/// Seeded generated variety behind the goldens (same mix as the
+/// `throughput` bench: all three shapes, both platform kinds, a third
+/// communication-aware).
+fn generated_instances(count: usize, seed: u64) -> Vec<ProblemInstance> {
+    let mut gen = Gen::new(seed);
+    (0..count)
+        .map(|i| {
+            let objective = if i % 2 == 0 {
+                Objective::Period
+            } else {
+                Objective::Latency
+            };
+            let procs = 2 + i % 3;
+            let platform = if i % 2 == 0 {
+                gen.hom_platform(procs, 1, 4)
+            } else {
+                gen.het_platform(procs, 1, 4)
+            };
+            let workflow: repliflow_core::workflow::Workflow = match i % 3 {
+                0 => gen.pipeline(2 + i % 5, 1, 9).into(),
+                1 => gen.fork(2 + i % 4, 1, 9).into(),
+                _ => gen.forkjoin(2 + i % 3, 1, 9).into(),
+            };
+            let mut instance = ProblemInstance::new(workflow, platform, i % 4 == 0, objective);
+            if i % 3 == 0 {
+                instance.cost_model = CostModel::WithComm {
+                    network: gen.uniform_network(procs, 1, 4),
+                    comm: if i % 6 == 0 {
+                        CommModel::OnePort
+                    } else {
+                        CommModel::BoundedMultiPort
+                    },
+                    overlap: i % 2 == 0,
+                };
+            }
+            instance
+        })
+        .collect()
+}
+
+fn us(d: Option<Duration>) -> Value {
+    match d {
+        Some(d) => Value::Int(d.as_micros() as i128),
+        None => Value::Null,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--clients" => match it.next().as_deref().and_then(|c| c.parse().ok()) {
+                Some(c) if c > 0 => clients = Some(c),
+                _ => return usage(),
+            },
+            "--requests" => match it.next().as_deref().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => requests = Some(r),
+                _ => return usage(),
+            },
+            "--workers" => match it.next().as_deref().and_then(|w| w.parse().ok()) {
+                Some(w) if w > 0 => workers = Some(w),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let clients = clients.unwrap_or(if quick { 4 } else { 8 });
+    let per_client = requests.unwrap_or(if quick { 40 } else { 200 });
+
+    // The working set every client cycles through.
+    let mut stream = golden_instances();
+    stream.extend(generated_instances(32, 0x5E12E));
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_capacity: 4 * stream.len(),
+        ..ServerConfig::default()
+    })
+    .expect("daemon binds an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let options = RemoteSolveOptions::default();
+
+    // Warmup: one pass over the whole set seeds the solve cache.
+    let mut warm = RemoteClient::connect(addr).expect("warmup client connects");
+    let mut warm_errors = 0usize;
+    for instance in &stream {
+        if warm.solve(instance, &options).is_err() {
+            warm_errors += 1;
+        }
+    }
+
+    // Measured run: closed-loop clients, each cycling the stream from a
+    // staggered offset so concurrent requests mix instances.
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let stream = stream.clone();
+            std::thread::spawn(move || {
+                let mut latencies = LatencyHistogram::new();
+                let mut errors = 0usize;
+                let mut client = RemoteClient::connect(addr).expect("load client connects");
+                for i in 0..per_client {
+                    let instance = &stream[(c * 7 + i) % stream.len()];
+                    let sent = Instant::now();
+                    match client.solve(instance, &options) {
+                        Ok(_) => latencies.record(sent.elapsed()),
+                        Err(_) => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+    let mut latencies = LatencyHistogram::new();
+    let mut errors = warm_errors;
+    for thread in threads {
+        let (client_latencies, client_errors) = thread.join().expect("client thread");
+        latencies.merge(&client_latencies);
+        errors += client_errors;
+    }
+    let elapsed = start.elapsed();
+
+    // Daemon-side view, then drain it.
+    let mut admin = RemoteClient::connect(addr).expect("admin client connects");
+    let stats = admin.stats().expect("stats verb");
+    handle.shutdown();
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon drains cleanly");
+
+    let total = latencies.count();
+    let per_sec = if elapsed.is_zero() {
+        f64::INFINITY
+    } else {
+        total as f64 / elapsed.as_secs_f64()
+    };
+    let snapshot = latencies.snapshot();
+    let daemon_field = |section: &str, name: &str| {
+        stats
+            .field(section)
+            .and_then(|s| s.field(name))
+            .cloned()
+            .unwrap_or(Value::Null)
+    };
+    let report = Value::Object(vec![
+        ("clients".into(), Value::Int(clients as i128)),
+        ("requests_per_client".into(), Value::Int(per_client as i128)),
+        ("requests".into(), Value::Int(total as i128)),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "elapsed_ms".into(),
+            Value::Float(elapsed.as_secs_f64() * 1e3),
+        ),
+        ("requests_per_sec".into(), Value::Float(per_sec)),
+        ("p50_us".into(), us(snapshot.p50)),
+        ("p95_us".into(), us(snapshot.p95)),
+        ("p99_us".into(), us(snapshot.p99)),
+        ("max_us".into(), us(snapshot.max)),
+        ("mean_us".into(), us(snapshot.mean)),
+        (
+            "daemon_cache_hit_rate".into(),
+            daemon_field("service", "cache_hit_rate"),
+        ),
+        (
+            "daemon_worker_utilization".into(),
+            daemon_field("service", "worker_utilization"),
+        ),
+        (
+            "daemon_accepted".into(),
+            daemon_field("admission", "accepted"),
+        ),
+        (
+            "daemon_rejected".into(),
+            daemon_field("admission", "rejected"),
+        ),
+        ("errors".into(), Value::Int(errors as i128)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serialization is infallible")
+    );
+
+    if errors > 0 {
+        eprintln!("error: {errors} requests failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

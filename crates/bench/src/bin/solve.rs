@@ -23,13 +23,22 @@
 //! solve --deadline-ms 50 a.json    # whole-invocation deadline: pre-start
 //!                                  # gate + comm-bb time clamp
 //! solve --stats *.json             # serving summary on stderr
+//! solve --remote HOST:PORT a.json  # solve on a repliflow-serve daemon
 //! cat inst.json | solve -
 //! ```
 //!
-//! Every solve goes through a [`SolverService`] (worker pool sized by
-//! `--workers`, LRU cache enabled by `--cache`); `--stats` prints the
-//! serving summary — cache hit rate, queue wait, per-engine wall time —
-//! to **stderr**, keeping stdout snapshots and `--json` output stable.
+//! Every local solve goes through a [`SolverService`] (worker pool
+//! sized by `--workers`, LRU cache enabled by `--cache`); `--stats`
+//! prints the serving summary — cache hit rate, queue wait, latency
+//! percentiles, per-engine wall time — to **stderr**, keeping stdout
+//! snapshots and `--json` output stable.
+//!
+//! `--remote` ships the same requests to a `repliflow-serve` daemon
+//! instead and renders the responses through the same report printer —
+//! a remote solve's output is **identical** to the local output for the
+//! same instance (the daemon returns the report's canonical JSON
+//! verbatim). `--deadline-ms` maps onto the wire `deadline_ms` field;
+//! `--stats` prints the daemon's metrics snapshot.
 //!
 //! `--comm` switches an instance to the general model of Sections
 //! 3.2–3.3. Instances that already carry a `cost_model.WithComm` network
@@ -49,11 +58,13 @@
 //!
 //! [`ProblemInstance`]: repliflow_core::instance::ProblemInstance
 //! [`SolveReport`]: repliflow_solver::SolveReport
+//! [`SolverService`]: repliflow_solver::SolverService
 
 use repliflow_core::instance::{Complexity, CostModel, ProblemInstance};
+use repliflow_serve::{RemoteClient, RemoteReport, RemoteSolveOptions};
 use repliflow_solver::{
-    BatchOptions, Budget, CommModel, Deadline, EnginePref, Network, Provenance, Quality,
-    ServiceStats, SolveReport, SolveRequest, SolverService,
+    BatchOptions, Budget, CommModel, Deadline, EnginePref, Network, Quality, ServiceStats,
+    SolveReport, SolveRequest, SolverService,
 };
 use serde_json::Value;
 use std::io::Read;
@@ -64,7 +75,7 @@ fn usage() -> ExitCode {
         "usage: solve [--engine auto|exact|heuristic|paper|comm-bb] [--no-validate] \
          [--comm one-port|multi-port] [--overlap] [--bandwidth B] \
          [--quality fast|balanced|thorough] [--workers N] [--deadline-ms D] \
-         [--cache] [--stats] [--json] <instance.json ... | ->"
+         [--cache] [--stats] [--json] [--remote HOST:PORT] <instance.json ... | ->"
     );
     ExitCode::FAILURE
 }
@@ -117,118 +128,167 @@ fn apply_comm_flags(
     instance
 }
 
-/// Prints one report; returns whether it represents a solved instance
-/// (an unattainable bound is reported, but counts as a failure for the
-/// process exit code).
-fn print_report(report: &SolveReport) -> bool {
-    println!("instance : {}", report.variant);
-    match report.complexity {
-        Complexity::Polynomial(thm) => println!("cell     : polynomial ({thm})"),
-        Complexity::NpHard(thm) => println!("cell     : NP-hard ({thm})"),
-    }
-    if report.cost_model.is_comm_aware() {
-        println!("model    : {}", report.cost_model);
-    }
-    println!("engine   : {}", report.engine_used);
-    println!("optimal  : {}", report.optimality);
-    // only surfaced when a cache is in play, so cacheless snapshots
-    // stay byte-stable
-    if report.provenance == Provenance::Cached {
-        println!("cache    : hit (served from the solve cache)");
-    }
-    if let Some(search) = &report.search {
-        println!(
-            "search   : {} nodes ({} bound-pruned, {} dominated), {}",
-            search.nodes,
-            search.pruned_bound,
-            search.pruned_dominated,
-            if search.completed {
-                "exhausted"
-            } else {
-                "budget-limited"
-            }
-        );
-    }
-    match (&report.mapping, report.period, report.latency) {
-        (Some(mapping), Some(period), Some(latency)) => {
-            println!("mapping  : {mapping}");
-            println!("period   : {period} ({:.6})", period.to_f64());
-            println!("latency  : {latency} ({:.6})", latency.to_f64());
-            if let Some(objective) = report.objective_value {
-                println!("objective: {objective}");
-            }
-            match report.optimality {
-                repliflow_solver::Optimality::Infeasible => {
-                    println!("status   : bound unattainable (best bound-violating witness shown)")
-                }
-                _ => println!("status   : feasible"),
-            }
-        }
-        _ => println!("status   : bound proven unattainable (no mapping exists)"),
-    }
-    report.optimality != repliflow_solver::Optimality::Infeasible
+/// One report, flattened for rendering — the bridge that lets local
+/// [`SolveReport`]s and remote [`RemoteReport`]s share one printer and
+/// one `--json` encoder, so `--remote` output is identical to local
+/// output by construction.
+struct ReportFields {
+    variant: String,
+    cell: String,
+    cost_model: String,
+    comm_aware: bool,
+    engine: String,
+    optimality: String,
+    provenance: String,
+    search: Option<(u64, u64, u64, bool)>,
+    mapping: Option<String>,
+    /// `(exact rational, float rendering)`.
+    period: Option<(String, f64)>,
+    latency: Option<(String, f64)>,
+    objective: Option<(String, f64)>,
+    wall_time_ms: f64,
 }
 
-/// One report as a JSON object for `--json` mode (exact rationals as
-/// strings, floats for plotting, wall time for the perf trajectory).
-fn report_json(path: &str, report: &SolveReport) -> Value {
-    let rat = |r: Option<repliflow_core::rational::Rat>| match r {
-        Some(v) => Value::String(v.to_string()),
-        None => Value::Null,
-    };
-    let ratf = |r: Option<repliflow_core::rational::Rat>| match r {
-        Some(v) => Value::Float(v.to_f64()),
-        None => Value::Null,
-    };
-    let cell = match report.complexity {
-        Complexity::Polynomial(thm) => format!("polynomial ({thm})"),
-        Complexity::NpHard(thm) => format!("NP-hard ({thm})"),
-    };
-    Value::Object(vec![
-        ("file".into(), Value::String(path.to_string())),
-        ("variant".into(), Value::String(report.variant.to_string())),
-        ("cell".into(), Value::String(cell)),
-        (
-            "cost_model".into(),
-            Value::String(report.cost_model.to_string()),
-        ),
-        (
-            "engine".into(),
-            Value::String(report.engine_used.to_string()),
-        ),
-        (
-            "optimality".into(),
-            Value::String(report.optimality.to_string()),
-        ),
-        (
-            "provenance".into(),
-            Value::String(report.provenance.to_string()),
-        ),
-        ("period".into(), rat(report.period)),
-        ("period_f64".into(), ratf(report.period)),
-        ("latency".into(), rat(report.latency)),
-        ("latency_f64".into(), ratf(report.latency)),
-        ("objective".into(), rat(report.objective_value)),
-        ("objective_f64".into(), ratf(report.objective_value)),
-        (
-            "search_nodes".into(),
-            match &report.search {
-                Some(s) => Value::Float(s.nodes as f64),
-                None => Value::Null,
+impl ReportFields {
+    fn from_local(report: &SolveReport) -> ReportFields {
+        let rat = |r: Option<repliflow_core::rational::Rat>| r.map(|v| (v.to_string(), v.to_f64()));
+        ReportFields {
+            variant: report.variant.to_string(),
+            cell: match report.complexity {
+                Complexity::Polynomial(thm) => format!("polynomial ({thm})"),
+                Complexity::NpHard(thm) => format!("NP-hard ({thm})"),
             },
-        ),
-        (
-            "search_completed".into(),
-            match &report.search {
-                Some(s) => Value::Bool(s.completed),
-                None => Value::Null,
-            },
-        ),
-        (
-            "wall_time_ms".into(),
-            Value::Float(report.wall_time.as_secs_f64() * 1e3),
-        ),
-    ])
+            cost_model: report.cost_model.to_string(),
+            comm_aware: report.cost_model.is_comm_aware(),
+            engine: report.engine_used.to_string(),
+            optimality: report.optimality.to_string(),
+            provenance: report.provenance.to_string(),
+            search: report
+                .search
+                .map(|s| (s.nodes, s.pruned_bound, s.pruned_dominated, s.completed)),
+            mapping: report.mapping.as_ref().map(|m| m.to_string()),
+            period: rat(report.period),
+            latency: rat(report.latency),
+            objective: rat(report.objective_value),
+            wall_time_ms: report.wall_time.as_secs_f64() * 1e3,
+        }
+    }
+
+    fn from_remote(report: &RemoteReport) -> ReportFields {
+        let canonical = |name: &str| report.canonical_str(name).unwrap_or("?").to_string();
+        let pair = |name: &str, f: Option<f64>| {
+            Some((
+                report.canonical_str(name)?.to_string(),
+                f.unwrap_or(f64::NAN),
+            ))
+        };
+        let cost_model = canonical("cost_model");
+        ReportFields {
+            variant: canonical("variant"),
+            cell: report.cell.clone(),
+            comm_aware: cost_model != "simplified",
+            cost_model,
+            engine: canonical("engine"),
+            optimality: canonical("optimality"),
+            provenance: report.provenance.clone(),
+            search: report.search(),
+            mapping: report.canonical_str("mapping").map(str::to_string),
+            period: pair("period", report.period_f64),
+            latency: pair("latency", report.latency_f64),
+            objective: pair("objective", report.objective_f64),
+            wall_time_ms: report.wall_time_ms,
+        }
+    }
+
+    /// Prints the human-readable report; returns whether it represents
+    /// a solved instance (an unattainable bound is reported, but counts
+    /// as a failure for the process exit code).
+    fn print(&self) -> bool {
+        println!("instance : {}", self.variant);
+        println!("cell     : {}", self.cell);
+        if self.comm_aware {
+            println!("model    : {}", self.cost_model);
+        }
+        println!("engine   : {}", self.engine);
+        println!("optimal  : {}", self.optimality);
+        // only surfaced when a cache is in play, so cacheless snapshots
+        // stay byte-stable
+        if self.provenance == "cached" {
+            println!("cache    : hit (served from the solve cache)");
+        }
+        if let Some((nodes, pruned_bound, pruned_dominated, completed)) = self.search {
+            println!(
+                "search   : {nodes} nodes ({pruned_bound} bound-pruned, {pruned_dominated} \
+                 dominated), {}",
+                if completed {
+                    "exhausted"
+                } else {
+                    "budget-limited"
+                }
+            );
+        }
+        match (&self.mapping, &self.period, &self.latency) {
+            (Some(mapping), Some((period, period_f)), Some((latency, latency_f))) => {
+                println!("mapping  : {mapping}");
+                println!("period   : {period} ({period_f:.6})");
+                println!("latency  : {latency} ({latency_f:.6})");
+                if let Some((objective, _)) = &self.objective {
+                    println!("objective: {objective}");
+                }
+                if self.optimality == "infeasible" {
+                    println!("status   : bound unattainable (best bound-violating witness shown)");
+                } else {
+                    println!("status   : feasible");
+                }
+            }
+            _ => println!("status   : bound proven unattainable (no mapping exists)"),
+        }
+        self.optimality != "infeasible"
+    }
+
+    /// The report as a JSON object for `--json` mode (exact rationals
+    /// as strings, floats for plotting, wall time for the perf
+    /// trajectory).
+    fn json(&self, path: &str) -> Value {
+        let rat = |p: &Option<(String, f64)>| match p {
+            Some((s, _)) => Value::String(s.clone()),
+            None => Value::Null,
+        };
+        let ratf = |p: &Option<(String, f64)>| match p {
+            Some((_, f)) => Value::Float(*f),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("file".into(), Value::String(path.to_string())),
+            ("variant".into(), Value::String(self.variant.clone())),
+            ("cell".into(), Value::String(self.cell.clone())),
+            ("cost_model".into(), Value::String(self.cost_model.clone())),
+            ("engine".into(), Value::String(self.engine.clone())),
+            ("optimality".into(), Value::String(self.optimality.clone())),
+            ("provenance".into(), Value::String(self.provenance.clone())),
+            ("period".into(), rat(&self.period)),
+            ("period_f64".into(), ratf(&self.period)),
+            ("latency".into(), rat(&self.latency)),
+            ("latency_f64".into(), ratf(&self.latency)),
+            ("objective".into(), rat(&self.objective)),
+            ("objective_f64".into(), ratf(&self.objective)),
+            (
+                "search_nodes".into(),
+                match self.search {
+                    Some((nodes, ..)) => Value::Float(nodes as f64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "search_completed".into(),
+                match self.search {
+                    Some((.., completed)) => Value::Bool(completed),
+                    None => Value::Null,
+                },
+            ),
+            ("wall_time_ms".into(), Value::Float(self.wall_time_ms)),
+        ])
+    }
 }
 
 /// `--stats`: the serving summary, on stderr so stdout stays
@@ -244,10 +304,23 @@ fn print_stats(service: &SolverService, stats: &ServiceStats) {
         stats.hit_rate() * 100.0
     );
     eprintln!(
-        "pool      : {} workers, {} jobs, queue wait {:.3} ms total",
+        "pool      : {} workers, {} jobs, queue wait {:.3} ms total, utilization {:.1}%",
         service.pool_size(),
         stats.jobs_executed,
-        stats.queue_wait.as_secs_f64() * 1e3
+        stats.queue_wait.as_secs_f64() * 1e3,
+        stats.worker_utilization * 100.0
+    );
+    let us = |d: Option<std::time::Duration>| match d {
+        Some(d) => format!("{:.3} ms", d.as_secs_f64() * 1e3),
+        None => "-".to_string(),
+    };
+    eprintln!(
+        "latency   : p50 {}, p95 {}, p99 {}, max {} over {} serves",
+        us(stats.latency.p50),
+        us(stats.latency.p95),
+        us(stats.latency.p99),
+        us(stats.latency.max),
+        stats.latency.count
     );
     for engine in &stats.per_engine {
         eprintln!(
@@ -280,6 +353,80 @@ fn warn_if_slow(engine: EnginePref, instances: &[ProblemInstance]) {
     }
 }
 
+/// `--remote`: ship every instance to a `repliflow-serve` daemon over
+/// one connection and render the responses through the same printers as
+/// local solves.
+fn run_remote(
+    addr: &str,
+    paths: &[String],
+    instances: Vec<ProblemInstance>,
+    options: &RemoteSolveOptions,
+    json: bool,
+    stats: bool,
+) -> ExitCode {
+    let mut client = match RemoteClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    let single = instances.len() == 1;
+    let mut items = Vec::new();
+    for (path, instance) in paths.iter().zip(instances) {
+        if !single && !json {
+            println!("== {path} ==");
+        }
+        match client.solve(&instance, options) {
+            Ok(report) => {
+                let fields = ReportFields::from_remote(&report);
+                if json {
+                    failed |= fields.optimality == "infeasible";
+                    items.push(fields.json(path));
+                } else {
+                    failed |= !fields.print();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                failed = true;
+            }
+        }
+        if !single && !json {
+            println!();
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Value::Array(items))
+                .expect("report serialization is infallible")
+        );
+    }
+    if stats {
+        match client.stats() {
+            Ok(snapshot) => {
+                eprintln!("== daemon stats ==");
+                eprintln!(
+                    "{}",
+                    serde_json::to_string_pretty(&snapshot)
+                        .expect("snapshot serialization is infallible")
+                );
+            }
+            Err(e) => {
+                eprintln!("error: stats: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = EnginePref::Auto;
@@ -293,6 +440,7 @@ fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut cache = false;
     let mut stats = false;
+    let mut remote: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -321,6 +469,10 @@ fn main() -> ExitCode {
                 Some(d) => deadline_ms = Some(d),
                 None => return usage(),
             },
+            "--remote" => match it.next() {
+                Some(addr) => remote = Some(addr),
+                None => return usage(),
+            },
             "--cache" => cache = true,
             "--stats" => stats = true,
             "--overlap" => overlap = true,
@@ -344,6 +496,17 @@ fn main() -> ExitCode {
             }
         }
     }
+    warn_if_slow(engine, &instances);
+
+    if let Some(addr) = remote {
+        let options = RemoteSolveOptions {
+            engine,
+            quality,
+            validate,
+            deadline_ms,
+        };
+        return run_remote(&addr, &paths, instances, &options, json, stats);
+    }
 
     let budget = Budget::default().quality(quality);
     let mut builder = SolverService::builder().default_budget(budget);
@@ -356,7 +519,6 @@ fn main() -> ExitCode {
     let service = builder.build();
     let deadline = deadline_ms.map(Deadline::in_ms);
     let mut failed = false;
-    warn_if_slow(engine, &instances);
     if instances.len() == 1 && !json {
         let mut request = SolveRequest::new(instances.into_iter().next().unwrap())
             .engine(engine)
@@ -364,7 +526,7 @@ fn main() -> ExitCode {
             .validate_witness(validate);
         request.deadline = deadline;
         match service.solve(&request) {
-            Ok(report) => failed |= !print_report(&report),
+            Ok(report) => failed |= !ReportFields::from_local(&report).print(),
             Err(e) => {
                 eprintln!("error: {e}");
                 failed = true;
@@ -387,7 +549,7 @@ fn main() -> ExitCode {
                 match result {
                     Ok(report) => {
                         failed |= report.optimality == repliflow_solver::Optimality::Infeasible;
-                        items.push(report_json(path, report));
+                        items.push(ReportFields::from_local(report).json(path));
                     }
                     Err(e) => {
                         eprintln!("error: {path}: {e}");
@@ -404,7 +566,7 @@ fn main() -> ExitCode {
             for (path, result) in paths.iter().zip(results) {
                 println!("== {path} ==");
                 match result {
-                    Ok(report) => failed |= !print_report(&report),
+                    Ok(report) => failed |= !ReportFields::from_local(&report).print(),
                     Err(e) => {
                         eprintln!("error: {path}: {e}");
                         failed = true;

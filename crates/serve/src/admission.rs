@@ -1,0 +1,246 @@
+//! Admission control: the bounded gate between the accept loop and the
+//! solver's worker pool.
+//!
+//! The replication-queueing literature the ROADMAP cites (Sun/Koksal/
+//! Shroff; Wang/Joshi/Wornell) is blunt about unbounded queues: once
+//! arrival rate exceeds service rate, an unbounded queue converts a
+//! capacity problem into unbounded *latency* for everyone. The daemon
+//! therefore bounds the number of admitted-but-unfinished solves and
+//! sheds the excess immediately with structured `overloaded` responses
+//! — a rejected client knows within microseconds, instead of waiting
+//! out a queue that can never catch up. A second, per-connection
+//! in-flight cap keeps one greedy pipelining client from occupying the
+//! whole global queue.
+//!
+//! [`Admission::try_admit`] hands out RAII [`Ticket`]s; dropping the
+//! ticket (response written, or solve callback finished) releases both
+//! the global slot and the connection's slot and counts the request as
+//! completed. High-water marks and accept/reject/complete counters
+//! feed the `stats` verb.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum admitted-but-unfinished solve requests daemon-wide
+    /// (running on a worker *or* queued for one). `0` sheds every
+    /// solve — useful for tests and maintenance mode.
+    pub queue_depth: usize,
+    /// Maximum admitted-but-unfinished solve requests per connection.
+    pub per_conn_inflight: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_depth: 64,
+            per_conn_inflight: 16,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counts {
+    in_flight: usize,
+    high_water: usize,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global admitted-request bound is at capacity.
+    QueueFull,
+    /// This connection already has its maximum admitted requests.
+    ConnectionBusy,
+}
+
+impl RejectReason {
+    /// Human-readable message for the error envelope.
+    pub fn message(self, config: &AdmissionConfig) -> String {
+        match self {
+            RejectReason::QueueFull => format!(
+                "request queue full ({} admitted requests in flight); retry later",
+                config.queue_depth
+            ),
+            RejectReason::ConnectionBusy => format!(
+                "connection in-flight cap reached ({} requests); await responses before \
+                 pipelining more",
+                config.per_conn_inflight
+            ),
+        }
+    }
+}
+
+/// Snapshot of the admission counters for the `stats` verb.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Admitted-but-unfinished solves right now.
+    pub in_flight: usize,
+    /// Largest `in_flight` ever observed.
+    pub high_water: usize,
+    /// Solve requests admitted.
+    pub accepted: u64,
+    /// Solve requests shed (queue full or connection cap).
+    pub rejected: u64,
+    /// Admitted solves whose response lifecycle finished.
+    pub completed: u64,
+}
+
+/// The daemon-wide admission gate. Shared across connections.
+#[derive(Debug)]
+pub struct Admission {
+    config: AdmissionConfig,
+    counts: Mutex<Counts>,
+}
+
+impl Admission {
+    /// A gate with the given limits.
+    pub fn new(config: AdmissionConfig) -> Arc<Admission> {
+        Arc::new(Admission {
+            config,
+            counts: Mutex::new(Counts::default()),
+        })
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Tries to admit one solve for the connection owning
+    /// `conn_inflight`. On success the returned [`Ticket`] holds both
+    /// the global slot and the connection slot until dropped; on
+    /// rejection the reject counter is bumped and the caller should
+    /// answer `overloaded`.
+    pub fn try_admit(
+        self: &Arc<Admission>,
+        conn_inflight: &Arc<AtomicUsize>,
+    ) -> Result<Ticket, RejectReason> {
+        let mut counts = self.counts.lock().expect("admission lock");
+        if counts.in_flight >= self.config.queue_depth {
+            counts.rejected += 1;
+            return Err(RejectReason::QueueFull);
+        }
+        // The per-connection counter is only ever mutated under the
+        // global lock, so the check-then-increment below cannot race
+        // with this connection's other admissions.
+        if conn_inflight.load(Ordering::Relaxed) >= self.config.per_conn_inflight {
+            counts.rejected += 1;
+            return Err(RejectReason::ConnectionBusy);
+        }
+        counts.in_flight += 1;
+        counts.high_water = counts.high_water.max(counts.in_flight);
+        counts.accepted += 1;
+        conn_inflight.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket {
+            admission: Arc::clone(self),
+            conn_inflight: Arc::clone(conn_inflight),
+        })
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let counts = self.counts.lock().expect("admission lock");
+        AdmissionStats {
+            in_flight: counts.in_flight,
+            high_water: counts.high_water,
+            accepted: counts.accepted,
+            rejected: counts.rejected,
+            completed: counts.completed,
+        }
+    }
+}
+
+/// RAII admission slot: held from admit until the request's response
+/// lifecycle finishes; dropping releases the global and per-connection
+/// slots and counts the completion.
+#[derive(Debug)]
+pub struct Ticket {
+    admission: Arc<Admission>,
+    conn_inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let mut counts = self.admission.counts.lock().expect("admission lock");
+        counts.in_flight -= 1;
+        counts.completed += 1;
+        self.conn_inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> Arc<AtomicUsize> {
+        Arc::new(AtomicUsize::new(0))
+    }
+
+    #[test]
+    fn queue_depth_bounds_global_inflight() {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 2,
+            per_conn_inflight: 10,
+        });
+        let c = conn();
+        let t1 = admission.try_admit(&c).unwrap();
+        let _t2 = admission.try_admit(&c).unwrap();
+        assert_eq!(
+            admission.try_admit(&c).unwrap_err(),
+            RejectReason::QueueFull
+        );
+        let stats = admission.stats();
+        assert_eq!((stats.accepted, stats.rejected, stats.in_flight), (2, 1, 2));
+        assert_eq!(stats.high_water, 2);
+        drop(t1);
+        assert!(admission.try_admit(&c).is_ok());
+        assert_eq!(admission.stats().high_water, 2);
+    }
+
+    #[test]
+    fn per_connection_cap_binds_before_the_global_one() {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 100,
+            per_conn_inflight: 1,
+        });
+        let (a, b) = (conn(), conn());
+        let _ta = admission.try_admit(&a).unwrap();
+        assert_eq!(
+            admission.try_admit(&a).unwrap_err(),
+            RejectReason::ConnectionBusy
+        );
+        // a different connection still gets in
+        let _tb = admission.try_admit(&b).unwrap();
+        assert_eq!(admission.stats().in_flight, 2);
+    }
+
+    #[test]
+    fn zero_depth_sheds_everything() {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 0,
+            per_conn_inflight: 1,
+        });
+        assert_eq!(
+            admission.try_admit(&conn()).unwrap_err(),
+            RejectReason::QueueFull
+        );
+    }
+
+    #[test]
+    fn dropping_tickets_counts_completions_and_frees_conn_slots() {
+        let admission = Admission::new(AdmissionConfig::default());
+        let c = conn();
+        let tickets: Vec<Ticket> = (0..5).map(|_| admission.try_admit(&c).unwrap()).collect();
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+        drop(tickets);
+        let stats = admission.stats();
+        assert_eq!((stats.in_flight, stats.completed), (0, 5));
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! A synchronous client for the daemon protocol: used by the CLI's
+//! `--remote` mode, the `repliflow-serve ctl` admin subcommand, the
+//! integration suite and the serving benchmark.
+//!
+//! One [`RemoteClient`] owns one TCP connection and issues one request
+//! at a time (simple lock-step request/response; the *daemon* supports
+//! pipelining, this client just doesn't need it — tests that exercise
+//! pipelining write to the socket directly).
+
+use crate::protocol::{ErrorCode, PROTOCOL_VERSION};
+use repliflow_core::instance::ProblemInstance;
+use repliflow_solver::{EnginePref, Quality};
+use serde::{Serialize, Value};
+use serde_json::parse_value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The wire spelling of an [`EnginePref`] (inverse of
+/// [`EnginePref::parse`]).
+pub fn engine_wire_name(engine: EnginePref) -> &'static str {
+    match engine {
+        EnginePref::Auto => "auto",
+        EnginePref::Exact => "exact",
+        EnginePref::Heuristic => "heuristic",
+        EnginePref::Paper => "paper",
+        EnginePref::CommBb => "comm-bb",
+    }
+}
+
+/// The wire spelling of a [`Quality`] (inverse of [`Quality::parse`]).
+pub fn quality_wire_name(quality: Quality) -> &'static str {
+    match quality {
+        Quality::Fast => "fast",
+        Quality::Balanced => "balanced",
+        Quality::Thorough => "thorough",
+    }
+}
+
+/// Everything that can go wrong talking to a daemon.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Transport failure (connect, read, write, or the daemon hung up).
+    Io(std::io::Error),
+    /// The daemon answered something this client cannot interpret.
+    Protocol(String),
+    /// The daemon answered with an error envelope.
+    Server {
+        /// Parsed error category (`None` for codes this build does not
+        /// know — a newer daemon).
+        code: Option<ErrorCode>,
+        /// The wire spelling of the code, verbatim.
+        raw_code: String,
+        /// The daemon's human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Io(e) => write!(f, "connection error: {e}"),
+            RemoteError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RemoteError::Server {
+                raw_code, message, ..
+            } => write!(f, "daemon error [{raw_code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> RemoteError {
+        RemoteError::Io(e)
+    }
+}
+
+/// A solve response as it crossed the wire. `canonical` is the
+/// daemon-side report's canonical JSON object, embedded verbatim —
+/// [`RemoteReport::canonical_json`] re-serializes it byte-identically
+/// to what [`SolveReport::canonical_json`] produced in the daemon
+/// (object field order is preserved end to end). The other fields are
+/// the serving metadata the canonical form deliberately excludes.
+///
+/// [`SolveReport::canonical_json`]: repliflow_solver::SolveReport::canonical_json
+#[derive(Clone, Debug)]
+pub struct RemoteReport {
+    /// The canonical report object (verbatim from the daemon).
+    pub canonical: Value,
+    /// Table 1 cell with complexity class, e.g. `polynomial (Thm. 6)`.
+    pub cell: String,
+    /// `computed` or `cached` (daemon-side provenance).
+    pub provenance: String,
+    /// Daemon-side serve wall time in milliseconds.
+    pub wall_time_ms: f64,
+    /// Float rendering of the period, when present.
+    pub period_f64: Option<f64>,
+    /// Float rendering of the latency, when present.
+    pub latency_f64: Option<f64>,
+    /// Float rendering of the objective value, when present.
+    pub objective_f64: Option<f64>,
+}
+
+impl RemoteReport {
+    fn from_wire(ok: &Value) -> Result<RemoteReport, RemoteError> {
+        let field = |name: &str| {
+            ok.field(name)
+                .ok_or_else(|| RemoteError::Protocol(format!("solve payload missing `{name}`")))
+        };
+        let string = |name: &str| {
+            field(name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| RemoteError::Protocol(format!("`{name}` is not a string")))
+        };
+        let float = |name: &str| match field(name)? {
+            Value::Null => Ok(None),
+            Value::Float(v) => Ok(Some(*v)),
+            Value::Int(v) => Ok(Some(*v as f64)),
+            _ => Err(RemoteError::Protocol(format!("`{name}` is not a number"))),
+        };
+        Ok(RemoteReport {
+            canonical: field("canonical")?.clone(),
+            cell: string("cell")?,
+            provenance: string("provenance")?,
+            wall_time_ms: float("wall_time_ms")?
+                .ok_or_else(|| RemoteError::Protocol("`wall_time_ms` is null".into()))?,
+            period_f64: float("period_f64")?,
+            latency_f64: float("latency_f64")?,
+            objective_f64: float("objective_f64")?,
+        })
+    }
+
+    /// The canonical JSON string — byte-identical to the daemon-side
+    /// [`SolveReport::canonical_json`] output.
+    ///
+    /// [`SolveReport::canonical_json`]: repliflow_solver::SolveReport::canonical_json
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(&self.canonical).expect("canonical value re-serializes")
+    }
+
+    /// A string field of the canonical object (`None` when null or
+    /// absent).
+    pub fn canonical_str(&self, name: &str) -> Option<&str> {
+        self.canonical.field(name).and_then(Value::as_str)
+    }
+
+    /// Whether the daemon served this report from its cache.
+    pub fn is_cached(&self) -> bool {
+        self.provenance == "cached"
+    }
+
+    /// The canonical `search` block, parsed:
+    /// `(nodes, pruned_bound, pruned_dominated, completed)`.
+    pub fn search(&self) -> Option<(u64, u64, u64, bool)> {
+        let search = self.canonical.field("search")?;
+        let count = |name: &str| search.field(name)?.as_str()?.parse::<u64>().ok();
+        Some((
+            count("nodes")?,
+            count("pruned_bound")?,
+            count("pruned_dominated")?,
+            matches!(search.field("completed"), Some(Value::Bool(true))),
+        ))
+    }
+}
+
+/// Per-request options for [`RemoteClient::solve`]; mirrors the wire
+/// fields of the `solve` verb.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteSolveOptions {
+    /// Engine routing preference.
+    pub engine: EnginePref,
+    /// Heuristic effort tier.
+    pub quality: Quality,
+    /// Witness re-validation daemon-side.
+    pub validate: bool,
+    /// Optional deadline in milliseconds (daemon clock, starts at
+    /// request parse).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for RemoteSolveOptions {
+    fn default() -> Self {
+        RemoteSolveOptions {
+            engine: EnginePref::Auto,
+            quality: Quality::Balanced,
+            validate: true,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// One connection to a daemon.
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl RemoteClient {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RemoteClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request object (the `v` and `id` fields are added
+    /// here) and blocks for its response, returning the `ok` payload.
+    fn roundtrip(&mut self, mut fields: Vec<(String, Value)>) -> Result<Value, RemoteError> {
+        self.next_id += 1;
+        let id = Value::Int(self.next_id as i128);
+        let mut request = vec![
+            ("v".to_string(), Value::Int(PROTOCOL_VERSION)),
+            ("id".to_string(), id.clone()),
+        ];
+        request.append(&mut fields);
+        let line = serde_json::to_string(&Value::Object(request))
+            .expect("request serialization is infallible");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(RemoteError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before answering",
+            )));
+        }
+        let response = parse_value(response.trim_end())
+            .map_err(|e| RemoteError::Protocol(format!("unparseable response: {e}")))?;
+        match response.field("id") {
+            Some(got) if *got == id => {}
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "response id {other:?} does not match request id {id:?}"
+                )));
+            }
+        }
+        if let Some(envelope) = response.field("err") {
+            let raw_code = envelope
+                .field("code")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            return Err(RemoteError::Server {
+                code: ErrorCode::parse(&raw_code),
+                raw_code,
+                message: envelope
+                    .field("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            });
+        }
+        match response.field("ok") {
+            Some(ok) => Ok(ok.clone()),
+            None => Err(RemoteError::Protocol(
+                "response carries neither `ok` nor `err`".into(),
+            )),
+        }
+    }
+
+    /// Solves one instance on the daemon.
+    pub fn solve(
+        &mut self,
+        instance: &ProblemInstance,
+        options: &RemoteSolveOptions,
+    ) -> Result<RemoteReport, RemoteError> {
+        let mut fields = vec![
+            ("verb".to_string(), Value::String("solve".into())),
+            ("instance".to_string(), instance.serialize()),
+            (
+                "engine".to_string(),
+                Value::String(engine_wire_name(options.engine).into()),
+            ),
+            (
+                "quality".to_string(),
+                Value::String(quality_wire_name(options.quality).into()),
+            ),
+            ("validate".to_string(), Value::Bool(options.validate)),
+        ];
+        if let Some(ms) = options.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::Int(ms as i128)));
+        }
+        let ok = self.roundtrip(fields)?;
+        RemoteReport::from_wire(&ok)
+    }
+
+    /// Fetches the daemon's metrics snapshot (the `stats` verb).
+    pub fn stats(&mut self) -> Result<Value, RemoteError> {
+        self.roundtrip(vec![("verb".to_string(), Value::String("stats".into()))])
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), RemoteError> {
+        let ok = self.roundtrip(vec![("verb".to_string(), Value::String("ping".into()))])?;
+        match ok.field("pong") {
+            Some(Value::Bool(true)) => Ok(()),
+            _ => Err(RemoteError::Protocol("ping did not pong".into())),
+        }
+    }
+
+    /// Requests a graceful drain. The daemon acknowledges, finishes
+    /// everything admitted, then exits.
+    pub fn shutdown(&mut self) -> Result<(), RemoteError> {
+        let ok = self.roundtrip(vec![("verb".to_string(), Value::String("shutdown".into()))])?;
+        match ok.field("draining") {
+            Some(Value::Bool(true)) => Ok(()),
+            _ => Err(RemoteError::Protocol(
+                "shutdown was not acknowledged".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! repliflow-serve — the network-facing solver daemon.
+//!
+//! Everything below `crates/solver` answers *"how do we solve one
+//! request well?"*; this crate answers *"how do we keep answering under
+//! load, forever, and stop cleanly?"*. It wraps one shared
+//! [`SolverService`] (persistent worker pool + fingerprint-keyed solve
+//! cache) in a TCP daemon speaking a line-delimited JSON protocol:
+//!
+//! * [`protocol`] — the wire grammar: versioned requests with echoed
+//!   ids, four verbs (`solve`, `stats`, `ping`, `shutdown`), structured
+//!   error envelopes. Malformed, oversized or mis-versioned lines get
+//!   an error response, never a dropped connection or a panic.
+//! * [`admission`] — bounded admission with immediate load-shedding
+//!   (`overloaded`), a per-connection in-flight cap, and counters.
+//! * [`server`] — the daemon: thread-per-connection accept loop,
+//!   per-connection writer threads (responses in completion order, so
+//!   clients may pipeline), graceful drain that answers everything
+//!   admitted before exiting.
+//! * [`signal`] — SIGINT/SIGTERM → drain flag, without a `libc` crate.
+//! * [`client`] — a synchronous client: the CLI's `--remote` mode, the
+//!   `ctl` admin subcommand, tests and benchmarks.
+//!
+//! The load-bearing protocol guarantee: a remote solve's canonical
+//! report is **byte-identical** to an in-process solve of the same
+//! instance — the daemon embeds [`SolveReport::canonical_json`]'s
+//! object verbatim in the response and the client re-serializes it
+//! without reordering (pinned by `tests/daemon.rs`).
+//!
+//! [`SolverService`]: repliflow_solver::SolverService
+//! [`SolveReport::canonical_json`]: repliflow_solver::SolveReport::canonical_json
+
+pub mod admission;
+pub mod client;
+mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, RejectReason, Ticket};
+pub use client::{
+    engine_wire_name, quality_wire_name, RemoteClient, RemoteError, RemoteReport,
+    RemoteSolveOptions,
+};
+pub use protocol::{ErrorCode, DEFAULT_MAX_LINE_BYTES, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle, DEFAULT_PORT};

@@ -1,0 +1,158 @@
+//! `repliflow-serve` — run the solver daemon, or administrate one.
+//!
+//! ```text
+//! repliflow-serve                          # serve on 127.0.0.1:7473
+//! repliflow-serve --addr 0.0.0.0:9000     # custom bind address
+//! repliflow-serve --workers 4 --no-cache  # pool and cache knobs
+//! repliflow-serve --queue-depth 16 --per-conn-inflight 4
+//! repliflow-serve --quality fast          # default heuristic tier
+//! repliflow-serve ctl ping                # admin: liveness probe
+//! repliflow-serve ctl stats               # admin: metrics snapshot
+//! repliflow-serve ctl shutdown            # admin: graceful drain
+//! repliflow-serve ctl stats --addr 127.0.0.1:9000
+//! ```
+//!
+//! The daemon prints `listening on ADDR` to stdout once ready (scripts
+//! wait for that line), serves until SIGINT/SIGTERM or a `shutdown`
+//! verb, drains — every admitted request is answered — and exits 0.
+//!
+//! `ctl` connects as a client, runs one verb, prints the response
+//! (pretty JSON for `stats`) and exits 0 on success.
+
+use repliflow_serve::server::{Server, ServerConfig};
+use repliflow_serve::{signal, RemoteClient, DEFAULT_PORT};
+use repliflow_solver::{Budget, Quality};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repliflow-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--per-conn-inflight N] [--no-cache] [--cache-capacity N] \
+         [--quality fast|balanced|thorough] [--max-line-bytes N]\n\
+         \x20      repliflow-serve ctl ping|stats|shutdown [--addr HOST:PORT]"
+    );
+    ExitCode::FAILURE
+}
+
+/// The `ctl` admin subcommand: one verb over one connection.
+fn ctl(args: &[String]) -> ExitCode {
+    let mut verb: Option<String> = None;
+    let mut addr = format!("127.0.0.1:{DEFAULT_PORT}");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return usage(),
+            },
+            "ping" | "stats" | "shutdown" if verb.is_none() => verb = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(verb) = verb else {
+        return usage();
+    };
+    let mut client = match RemoteClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match verb.as_str() {
+        "ping" => client.ping().map(|()| println!("pong")),
+        "shutdown" => client.shutdown().map(|()| println!("draining")),
+        _stats => client.stats().map(|snapshot| {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+            );
+        }),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("ctl") {
+        return ctl(&args[1..]);
+    }
+
+    let mut config = ServerConfig {
+        honor_process_signals: true,
+        ..ServerConfig::default()
+    };
+    let mut quality = Quality::Balanced;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => config.addr = a,
+                None => return usage(),
+            },
+            "--workers" => match it.next().as_deref().and_then(|w| w.parse().ok()) {
+                Some(w) if w > 0 => config.workers = Some(w),
+                _ => return usage(),
+            },
+            "--queue-depth" => match it.next().as_deref().and_then(|d| d.parse().ok()) {
+                Some(d) => config.admission.queue_depth = d,
+                None => return usage(),
+            },
+            "--per-conn-inflight" => match it.next().as_deref().and_then(|c| c.parse().ok()) {
+                Some(c) if c > 0 => config.admission.per_conn_inflight = c,
+                _ => return usage(),
+            },
+            "--no-cache" => config.cache_capacity = 0,
+            "--cache-capacity" => match it.next().as_deref().and_then(|c| c.parse().ok()) {
+                Some(c) => config.cache_capacity = c,
+                None => return usage(),
+            },
+            "--quality" => match it.next().as_deref().and_then(Quality::parse) {
+                Some(q) => quality = q,
+                None => return usage(),
+            },
+            "--max-line-bytes" => match it.next().as_deref().and_then(|b| b.parse().ok()) {
+                Some(b) if b > 0 => config.max_line_bytes = b,
+                _ => return usage(),
+            },
+            "-h" | "--help" => return usage(),
+            _ => return usage(),
+        }
+    }
+    config.default_budget = Budget::default().quality(quality);
+
+    signal::install_handlers();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Readiness line; scripts wait for it before connecting.
+            println!("listening on {addr}");
+        }
+        Err(e) => {
+            eprintln!("error: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("drained; exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

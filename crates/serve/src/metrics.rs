@@ -1,0 +1,145 @@
+//! The `stats` verb's payload: one JSON snapshot of everything the
+//! daemon can observe about itself — server lifecycle, admission
+//! counters, solver service statistics (cache hit rate, per-engine
+//! wall time, worker utilization) and the end-to-end latency
+//! histogram's percentiles.
+//!
+//! Layout (all durations in milliseconds unless suffixed `_us`):
+//!
+//! ```json
+//! {"server":{"uptime_ms":...,"draining":false,
+//!            "connections_open":1,"connections_total":3},
+//!  "admission":{"in_flight":2,"high_water":4,"queue_depth":64,
+//!               "per_conn_inflight":16,"accepted":10,"rejected":1,
+//!               "completed":8},
+//!  "service":{"requests":9,"cache_hits":3,"computed":5,"errors":1,
+//!             "cache_hit_rate":0.333,"workers":8,
+//!             "queue_wait_ms":...,"jobs_executed":5,
+//!             "busy_ms":...,"worker_utilization":0.41,
+//!             "per_engine":[{"engine":"paper","wall_ms":...,"solves":4}]},
+//!  "cache":{"hits":3,"misses":6,"insertions":5,"evictions":0},
+//!  "latency":{"count":9,"mean_us":...,"min_us":...,"max_us":...,
+//!             "p50_us":...,"p95_us":...,"p99_us":...}}
+//! ```
+//!
+//! `cache` is `null` when the daemon runs cacheless; latency
+//! percentiles are `null` until the first request is served.
+
+use crate::server::ServerShared;
+use repliflow_solver::{HistogramSnapshot, SolverService};
+use serde::Value;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Milliseconds as a JSON float (µs precision is plenty for wall time).
+fn ms(d: Duration) -> Value {
+    Value::Float((d.as_micros() as f64) / 1e3)
+}
+
+/// Whole microseconds as a JSON integer, `null` when absent — integer
+/// so tests and dashboards compare percentiles without float fuzz.
+fn us(d: Option<Duration>) -> Value {
+    match d {
+        Some(d) => Value::Int(d.as_micros() as i128),
+        None => Value::Null,
+    }
+}
+
+/// The latency histogram section.
+fn latency_section(snapshot: &HistogramSnapshot) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::Int(snapshot.count as i128)),
+        ("mean_us".into(), us(snapshot.mean)),
+        ("min_us".into(), us(snapshot.min)),
+        ("max_us".into(), us(snapshot.max)),
+        ("p50_us".into(), us(snapshot.p50)),
+        ("p95_us".into(), us(snapshot.p95)),
+        ("p99_us".into(), us(snapshot.p99)),
+    ])
+}
+
+/// Builds the full metrics snapshot served by the `stats` verb.
+pub(crate) fn snapshot(service: &SolverService, shared: &ServerShared) -> Value {
+    let admission = shared.admission.stats();
+    let config = shared.admission.config();
+    let stats = service.stats();
+    let per_engine = stats
+        .per_engine
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("engine".into(), Value::String(e.engine.into())),
+                ("wall_ms".into(), ms(e.wall)),
+                ("solves".into(), Value::Int(e.solves as i128)),
+            ])
+        })
+        .collect();
+    let cache = match service.cache_stats() {
+        None => Value::Null,
+        Some(c) => Value::Object(vec![
+            ("hits".into(), Value::Int(c.hits as i128)),
+            ("misses".into(), Value::Int(c.misses as i128)),
+            ("insertions".into(), Value::Int(c.insertions as i128)),
+            ("evictions".into(), Value::Int(c.evictions as i128)),
+        ]),
+    };
+    Value::Object(vec![
+        (
+            "server".into(),
+            Value::Object(vec![
+                ("uptime_ms".into(), ms(shared.started.elapsed())),
+                ("draining".into(), Value::Bool(shared.draining())),
+                (
+                    "connections_open".into(),
+                    Value::Int(shared.connections_open.load(Ordering::Relaxed) as i128),
+                ),
+                (
+                    "connections_total".into(),
+                    Value::Int(shared.connections_total.load(Ordering::Relaxed) as i128),
+                ),
+            ]),
+        ),
+        (
+            "admission".into(),
+            Value::Object(vec![
+                ("in_flight".into(), Value::Int(admission.in_flight as i128)),
+                (
+                    "high_water".into(),
+                    Value::Int(admission.high_water as i128),
+                ),
+                ("queue_depth".into(), Value::Int(config.queue_depth as i128)),
+                (
+                    "per_conn_inflight".into(),
+                    Value::Int(config.per_conn_inflight as i128),
+                ),
+                ("accepted".into(), Value::Int(admission.accepted as i128)),
+                ("rejected".into(), Value::Int(admission.rejected as i128)),
+                ("completed".into(), Value::Int(admission.completed as i128)),
+            ]),
+        ),
+        (
+            "service".into(),
+            Value::Object(vec![
+                ("requests".into(), Value::Int(stats.requests as i128)),
+                ("cache_hits".into(), Value::Int(stats.cache_hits as i128)),
+                ("computed".into(), Value::Int(stats.computed as i128)),
+                ("errors".into(), Value::Int(stats.errors as i128)),
+                ("cache_hit_rate".into(), Value::Float(stats.hit_rate())),
+                ("workers".into(), Value::Int(service.pool_size() as i128)),
+                ("queue_wait_ms".into(), ms(stats.queue_wait)),
+                (
+                    "jobs_executed".into(),
+                    Value::Int(stats.jobs_executed as i128),
+                ),
+                ("busy_ms".into(), ms(stats.busy)),
+                (
+                    "worker_utilization".into(),
+                    Value::Float(stats.worker_utilization),
+                ),
+                ("per_engine".into(), Value::Array(per_engine)),
+            ]),
+        ),
+        ("cache".into(), cache),
+        ("latency".into(), latency_section(&stats.latency)),
+    ])
+}

@@ -1,0 +1,582 @@
+//! The wire protocol: one line of JSON per request, one line of JSON
+//! per response, over a plain TCP stream.
+//!
+//! ## Grammar
+//!
+//! Every request is a single JSON object terminated by `\n`:
+//!
+//! ```json
+//! {"v":1,"id":"r-1","verb":"solve","instance":{...},"engine":"auto",
+//!  "quality":"balanced","validate":true,"deadline_ms":250}
+//! {"v":1,"id":2,"verb":"stats"}
+//! {"v":1,"id":3,"verb":"ping"}
+//! {"v":1,"id":4,"verb":"shutdown"}
+//! ```
+//!
+//! * `v` — protocol version, required, must equal
+//!   [`PROTOCOL_VERSION`]; anything else is answered with an
+//!   `unsupported_version` error envelope.
+//! * `id` — required request id (string or integer), echoed verbatim
+//!   on the response so clients may pipeline requests and match
+//!   responses arriving in completion order.
+//! * `verb` — `solve`, `stats`, `ping` or `shutdown`.
+//! * `solve` only: `instance` (required; the same JSON accepted by the
+//!   `solve` CLI and golden instance files), plus optional `engine`
+//!   (`auto`/`exact`/`heuristic`/`paper`/`comm-bb`), `quality`
+//!   (`fast`/`balanced`/`thorough`), `validate` (bool, default true)
+//!   and `deadline_ms` (integer; the deadline clock starts when the
+//!   daemon parses the request, so it covers queueing).
+//!
+//! Unknown top-level fields are rejected (`bad_request`) instead of
+//! ignored: a client typo like `"dedline_ms"` must not silently solve
+//! without its deadline.
+//!
+//! Responses are one JSON object per line, always carrying `v` and the
+//! echoed `id` (or `null` when the request line was too broken to
+//! extract one):
+//!
+//! ```json
+//! {"v":1,"id":"r-1","ok":{...}}
+//! {"v":1,"id":"r-1","err":{"code":"overloaded","message":"..."}}
+//! ```
+//!
+//! `ok` payloads: a [report object](report_to_wire) for `solve`, a
+//! metrics snapshot for `stats`, `{"pong":true}` for `ping`,
+//! `{"draining":true}` for `shutdown`. Error codes are enumerated by
+//! [`ErrorCode`].
+
+use repliflow_solver::{EnginePref, Quality, SolveError, SolveReport};
+use serde::{Deserialize, Value};
+use serde_json::parse_value;
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: i128 = 1;
+
+/// Default cap on one request line, in bytes (1 MiB). Lines longer
+/// than the cap are consumed and answered with a `line_too_long`
+/// error envelope — the connection survives.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Machine-readable error category of an error envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not a valid request object (malformed JSON,
+    /// missing/mistyped/unknown fields, bad instance).
+    BadRequest,
+    /// `v` was missing or not [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The request line exceeded the daemon's line-length cap.
+    LineTooLong,
+    /// Admission control shed the request (queue full or the
+    /// connection's in-flight cap reached). Retry later, or elsewhere.
+    Overloaded,
+    /// The daemon is draining and no longer admits solve requests.
+    ShuttingDown,
+    /// The request's deadline expired before an engine started.
+    DeadlineExceeded,
+    /// The request was cancelled before an engine started.
+    Cancelled,
+    /// The solver rejected or failed the request (unsupported cell,
+    /// capacity, network mismatch, invalid witness, unattainable
+    /// bound...). The message carries the solver's description.
+    SolveFailed,
+    /// An engine bug (contained panic). The daemon survives.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::SolveFailed => "solve_failed",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling (clients matching on responses).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "unsupported_version" => ErrorCode::UnsupportedVersion,
+            "line_too_long" => ErrorCode::LineTooLong,
+            "overloaded" => ErrorCode::Overloaded,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "cancelled" => ErrorCode::Cancelled,
+            "solve_failed" => ErrorCode::SolveFailed,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The envelope for a [`SolveError`] (code + human-readable
+    /// message).
+    pub fn of_solve_error(error: &SolveError) -> (ErrorCode, String) {
+        let code = match error {
+            SolveError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            SolveError::Cancelled => ErrorCode::Cancelled,
+            SolveError::EnginePanicked => ErrorCode::Internal,
+            _ => ErrorCode::SolveFailed,
+        };
+        (code, error.to_string())
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The solve-specific body of a request.
+#[derive(Clone, Debug)]
+pub struct SolveBody {
+    /// The instance, exactly as the `solve` CLI accepts it.
+    pub instance: repliflow_core::instance::ProblemInstance,
+    /// Engine routing preference (default `auto`).
+    pub engine: EnginePref,
+    /// Heuristic effort tier (default `balanced`), applied on top of
+    /// the daemon's default budget.
+    pub quality: Quality,
+    /// Witness re-validation (default true).
+    pub validate: bool,
+    /// Optional wall-clock deadline in milliseconds, measured from
+    /// request parse time (covers queueing).
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub struct WireRequest {
+    /// The client-chosen request id (string or integer), echoed on the
+    /// response.
+    pub id: Value,
+    /// What to do.
+    pub verb: Verb,
+}
+
+/// The request verb.
+#[derive(Clone, Debug)]
+pub enum Verb {
+    /// Solve one instance.
+    Solve(Box<SolveBody>),
+    /// Return the metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: stop accepting, answer everything
+    /// admitted, exit.
+    Shutdown,
+}
+
+/// A request parse failure: the best-effort extracted id (for the
+/// error envelope), the error category and a message.
+#[derive(Clone, Debug)]
+pub struct ParseFailure {
+    /// Echoable id when one could be extracted, else `Value::Null`.
+    pub id: Value,
+    /// Error category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseFailure {
+    fn new(id: Value, code: ErrorCode, message: impl Into<String>) -> ParseFailure {
+        ParseFailure {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Whether a value is usable as a request id (string or integer).
+fn valid_id(v: &Value) -> bool {
+    matches!(v, Value::String(_) | Value::Int(_))
+}
+
+/// Parses one request line. On failure the returned [`ParseFailure`]
+/// still carries the request id whenever the line was well-formed
+/// enough to contain one, so the error envelope stays matchable.
+pub fn parse_request(line: &str) -> Result<WireRequest, ParseFailure> {
+    let root = parse_value(line).map_err(|e| {
+        ParseFailure::new(
+            Value::Null,
+            ErrorCode::BadRequest,
+            format!("malformed JSON: {e}"),
+        )
+    })?;
+    let Value::Object(fields) = &root else {
+        return Err(ParseFailure::new(
+            Value::Null,
+            ErrorCode::BadRequest,
+            "request must be a JSON object",
+        ));
+    };
+    // Best-effort id for error envelopes from here on.
+    let id = match root.field("id") {
+        Some(v) if valid_id(v) => v.clone(),
+        _ => Value::Null,
+    };
+    let fail = |code, message: String| Err(ParseFailure::new(id.clone(), code, message));
+    match root.field("v") {
+        Some(v) if v.as_int() == Some(PROTOCOL_VERSION) => {}
+        Some(v) => {
+            return fail(
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "unsupported protocol version {v:?} (this daemon speaks v{PROTOCOL_VERSION})"
+                ),
+            );
+        }
+        None => {
+            return fail(
+                ErrorCode::UnsupportedVersion,
+                format!("missing protocol version field `v` (expected {PROTOCOL_VERSION})"),
+            );
+        }
+    }
+    if id == Value::Null {
+        return fail(
+            ErrorCode::BadRequest,
+            "missing or invalid `id` (string or integer required)".to_string(),
+        );
+    }
+    let Some(verb) = root.field("verb").and_then(Value::as_str) else {
+        return fail(ErrorCode::BadRequest, "missing `verb` string".to_string());
+    };
+    let solve_only = ["instance", "engine", "quality", "validate", "deadline_ms"];
+    let allowed: &[&str] = match verb {
+        "solve" => &[
+            "v",
+            "id",
+            "verb",
+            "instance",
+            "engine",
+            "quality",
+            "validate",
+            "deadline_ms",
+        ],
+        "stats" | "ping" | "shutdown" => &["v", "id", "verb"],
+        other => {
+            return fail(ErrorCode::BadRequest, format!("unknown verb `{other}`"));
+        }
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            let hint = if solve_only.contains(&key.as_str()) {
+                format!(" (only valid on verb `solve`, not `{verb}`)")
+            } else {
+                String::new()
+            };
+            return fail(
+                ErrorCode::BadRequest,
+                format!("unknown field `{key}`{hint}"),
+            );
+        }
+    }
+    let verb = match verb {
+        "stats" => Verb::Stats,
+        "ping" => Verb::Ping,
+        "shutdown" => Verb::Shutdown,
+        _solve => {
+            let Some(instance_value) = root.field("instance") else {
+                return fail(
+                    ErrorCode::BadRequest,
+                    "verb `solve` requires an `instance` object".to_string(),
+                );
+            };
+            let instance =
+                match repliflow_core::instance::ProblemInstance::deserialize(instance_value) {
+                    Ok(instance) => instance,
+                    Err(e) => {
+                        return fail(ErrorCode::BadRequest, format!("invalid instance: {e}"));
+                    }
+                };
+            let engine = match root.field("engine") {
+                None => EnginePref::Auto,
+                Some(v) => match v.as_str().and_then(EnginePref::parse) {
+                    Some(engine) => engine,
+                    None => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid `engine` {v:?} (auto|exact|heuristic|paper|comm-bb)"),
+                        );
+                    }
+                },
+            };
+            let quality = match root.field("quality") {
+                None => Quality::Balanced,
+                Some(v) => match v.as_str().and_then(Quality::parse) {
+                    Some(quality) => quality,
+                    None => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid `quality` {v:?} (fast|balanced|thorough)"),
+                        );
+                    }
+                },
+            };
+            let validate = match root.field("validate") {
+                None => true,
+                Some(Value::Bool(b)) => *b,
+                Some(v) => {
+                    return fail(
+                        ErrorCode::BadRequest,
+                        format!("invalid `validate` {v:?} (boolean required)"),
+                    );
+                }
+            };
+            let deadline_ms = match root.field("deadline_ms") {
+                None => None,
+                Some(v) => match v.as_int() {
+                    Some(ms) if (0..=u64::MAX as i128).contains(&ms) => Some(ms as u64),
+                    _ => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid `deadline_ms` {v:?} (non-negative integer required)"),
+                        );
+                    }
+                },
+            };
+            Verb::Solve(Box::new(SolveBody {
+                instance,
+                engine,
+                quality,
+                validate,
+                deadline_ms,
+            }))
+        }
+    };
+    Ok(WireRequest { id, verb })
+}
+
+/// Renders a success response line (without the trailing newline).
+pub fn ok_response(id: &Value, body: Value) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("v".into(), Value::Int(PROTOCOL_VERSION)),
+        ("id".into(), id.clone()),
+        ("ok".into(), body),
+    ]))
+    .expect("response serialization is infallible")
+}
+
+/// Renders an error response line (without the trailing newline).
+pub fn err_response(id: &Value, code: ErrorCode, message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("v".into(), Value::Int(PROTOCOL_VERSION)),
+        ("id".into(), id.clone()),
+        (
+            "err".into(),
+            Value::Object(vec![
+                ("code".into(), Value::String(code.as_str().into())),
+                ("message".into(), Value::String(message.into())),
+            ]),
+        ),
+    ]))
+    .expect("response serialization is infallible")
+}
+
+/// The `ok` payload of a solve response. The `canonical` field embeds
+/// the report's [`canonical_json`] object **verbatim** — the
+/// deterministic solution content a remote client re-serializes to get
+/// bytes identical to an in-process solve (pinned by the daemon
+/// integration suite). The siblings carry serving metadata and float
+/// renderings that are excluded from the canonical form.
+///
+/// [`canonical_json`]: SolveReport::canonical_json
+pub fn report_to_wire(report: &SolveReport) -> Value {
+    let canonical = parse_value(&report.canonical_json()).expect("canonical_json emits valid JSON");
+    let cell = match report.complexity {
+        repliflow_core::instance::Complexity::Polynomial(thm) => format!("polynomial ({thm})"),
+        repliflow_core::instance::Complexity::NpHard(thm) => format!("NP-hard ({thm})"),
+    };
+    let opt_f64 = |r: Option<repliflow_core::rational::Rat>| match r {
+        Some(v) => Value::Float(v.to_f64()),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("canonical".into(), canonical),
+        ("cell".into(), Value::String(cell)),
+        (
+            "provenance".into(),
+            Value::String(report.provenance.to_string()),
+        ),
+        (
+            "wall_time_ms".into(),
+            Value::Float(report.wall_time.as_secs_f64() * 1e3),
+        ),
+        ("period_f64".into(), opt_f64(report.period)),
+        ("latency_f64".into(), opt_f64(report.latency)),
+        ("objective_f64".into(), opt_f64(report.objective_value)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance_json() -> &'static str {
+        r#"{"workflow":{"Pipeline":{"weights":[14,4,2,4],"data_sizes":[0,0,0,0,0]}},
+            "platform":{"speeds":[2,2,1,1]},"allow_data_parallel":true,"objective":"Period"}"#
+    }
+
+    #[test]
+    fn parses_a_full_solve_request() {
+        let line = format!(
+            r#"{{"v":1,"id":"r-7","verb":"solve","instance":{},"engine":"exact",
+                "quality":"fast","validate":false,"deadline_ms":250}}"#,
+            instance_json()
+        );
+        let request = parse_request(&line).unwrap();
+        assert_eq!(request.id, Value::String("r-7".into()));
+        let Verb::Solve(body) = request.verb else {
+            panic!("expected solve verb");
+        };
+        assert_eq!(body.engine, EnginePref::Exact);
+        assert_eq!(body.quality, Quality::Fast);
+        assert!(!body.validate);
+        assert_eq!(body.deadline_ms, Some(250));
+        assert_eq!(body.instance.workflow.n_stages(), 4);
+    }
+
+    #[test]
+    fn admin_verbs_parse_with_integer_ids() {
+        for (verb, pattern) in [
+            (
+                "stats",
+                matches!(
+                    parse_request(r#"{"v":1,"id":3,"verb":"stats"}"#)
+                        .unwrap()
+                        .verb,
+                    Verb::Stats
+                ),
+            ),
+            (
+                "ping",
+                matches!(
+                    parse_request(r#"{"v":1,"id":3,"verb":"ping"}"#)
+                        .unwrap()
+                        .verb,
+                    Verb::Ping
+                ),
+            ),
+            (
+                "shutdown",
+                matches!(
+                    parse_request(r#"{"v":1,"id":3,"verb":"shutdown"}"#)
+                        .unwrap()
+                        .verb,
+                    Verb::Shutdown
+                ),
+            ),
+        ] {
+            assert!(pattern, "verb {verb}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json_with_null_id() {
+        let failure = parse_request("this is not json").unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert_eq!(failure.id, Value::Null);
+    }
+
+    #[test]
+    fn rejects_truncated_json() {
+        let failure = parse_request(r#"{"v":1,"id":"x","verb":"solve","instance":{"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn rejects_wrong_version_but_echoes_the_id() {
+        let failure = parse_request(r#"{"v":99,"id":"x","verb":"ping"}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::UnsupportedVersion);
+        assert_eq!(failure.id, Value::String("x".into()));
+    }
+
+    #[test]
+    fn rejects_missing_version() {
+        let failure = parse_request(r#"{"id":"x","verb":"ping"}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::UnsupportedVersion);
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let failure = parse_request(r#"{"v":1,"id":"x","verb":"ping","zzz":1}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert!(failure.message.contains("zzz"), "{}", failure.message);
+    }
+
+    #[test]
+    fn rejects_solve_fields_on_admin_verbs_with_a_hint() {
+        let failure =
+            parse_request(r#"{"v":1,"id":"x","verb":"stats","deadline_ms":5}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert!(failure.message.contains("only valid on verb `solve`"));
+    }
+
+    #[test]
+    fn rejects_missing_id() {
+        let failure = parse_request(r#"{"v":1,"verb":"ping"}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert!(failure.message.contains("id"));
+    }
+
+    #[test]
+    fn rejects_bad_instance_with_message() {
+        let failure =
+            parse_request(r#"{"v":1,"id":"x","verb":"solve","instance":{"nope":1}}"#).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert!(failure.message.contains("invalid instance"));
+    }
+
+    #[test]
+    fn response_envelopes_round_trip() {
+        let ok = ok_response(
+            &Value::Int(5),
+            Value::Object(vec![("pong".into(), Value::Bool(true))]),
+        );
+        let parsed = parse_value(&ok).unwrap();
+        assert_eq!(parsed.field("id").unwrap(), &Value::Int(5));
+        assert_eq!(
+            parsed.field("ok").unwrap().field("pong"),
+            Some(&Value::Bool(true))
+        );
+
+        let err = err_response(
+            &Value::String("a".into()),
+            ErrorCode::Overloaded,
+            "queue full",
+        );
+        let parsed = parse_value(&err).unwrap();
+        let envelope = parsed.field("err").unwrap();
+        assert_eq!(envelope.field("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(ErrorCode::parse("overloaded"), Some(ErrorCode::Overloaded));
+    }
+
+    #[test]
+    fn every_error_code_round_trips_its_spelling() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::LineTooLong,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::SolveFailed,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+}

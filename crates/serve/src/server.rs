@@ -1,0 +1,482 @@
+//! The daemon itself: accept loop, per-connection protocol handling,
+//! admission, and graceful drain.
+//!
+//! ## Architecture
+//!
+//! One [`Server`] owns one shared [`SolverService`] (persistent worker
+//! pool + solve cache) and a TCP listener. Each accepted connection
+//! gets two threads:
+//!
+//! * a **reader** (the connection thread): parses bounded request
+//!   lines, answers admin verbs inline, and for `solve` requests asks
+//!   the [`Admission`] gate for a ticket — admitted requests are
+//!   submitted to the service pool via
+//!   [`SolverService::solve_detached`], shed ones are answered
+//!   `overloaded` immediately;
+//! * a **writer**: serializes responses from an mpsc channel, one JSON
+//!   line each, in *completion* order — the echoed request `id` is the
+//!   client's correlation key, so one connection can pipeline many
+//!   solves and a fast solve overtakes a slow sibling.
+//!
+//! Compute never runs on connection threads: connections are cheap
+//! (two mostly-parked threads), and total solve concurrency is bounded
+//! by the service pool regardless of the connection count.
+//!
+//! ## Lifecycle
+//!
+//! Drain is requested by SIGINT/SIGTERM (when
+//! [`ServerConfig::honor_process_signals`] is set), by the protocol
+//! `shutdown` verb, or by [`ServerHandle::shutdown`]. The server then
+//! 1. stops accepting (the listener closes — new connects are
+//!    refused),
+//! 2. stops reading new requests on every connection,
+//! 3. answers every already-admitted request (each reader drops its
+//!    channel sender and joins its writer, which drains the in-flight
+//!    solve callbacks' responses first),
+//! 4. joins every connection thread and returns cleanly — the binary
+//!    exits 0.
+//!
+//! Nothing admitted is ever dropped: a ticket only dies after its
+//! response line is queued to the writer, and the writer only exits
+//! after the queue is empty.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::protocol::{
+    err_response, ok_response, parse_request, report_to_wire, ErrorCode, Verb,
+    DEFAULT_MAX_LINE_BYTES,
+};
+use crate::{metrics, signal};
+use repliflow_solver::{Budget, Deadline, SolveRequest, SolverService};
+use serde::Value;
+use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default TCP port of the daemon.
+pub const DEFAULT_PORT: u16 = 7473;
+
+/// How long blocked reads and idle accept polls sleep before
+/// re-checking the drain flag — the upper bound on how stale a drain
+/// request can go unnoticed.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Everything configurable about a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port —
+    /// see [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission limits (global queue depth, per-connection in-flight
+    /// cap).
+    pub admission: AdmissionConfig,
+    /// Request line length cap in bytes; longer lines are answered
+    /// with `line_too_long` and skipped.
+    pub max_line_bytes: usize,
+    /// Worker threads for the shared solver service (`None`: available
+    /// parallelism).
+    pub workers: Option<usize>,
+    /// Solve-cache capacity in reports (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Default budget applied to every request (the wire `quality`
+    /// field overrides its quality tier per request).
+    pub default_budget: Budget,
+    /// Whether SIGINT/SIGTERM (via [`signal::install_handlers`])
+    /// request drain. The binary sets this; library users and tests
+    /// drive drain via [`ServerHandle::shutdown`] instead.
+    pub honor_process_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: format!("127.0.0.1:{DEFAULT_PORT}"),
+            admission: AdmissionConfig::default(),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            workers: None,
+            cache_capacity: repliflow_solver::DEFAULT_CACHE_CAPACITY,
+            default_budget: Budget::default(),
+            honor_process_signals: false,
+        }
+    }
+}
+
+/// State shared between the accept loop, every connection, and
+/// [`ServerHandle`]s.
+pub(crate) struct ServerShared {
+    pub(crate) admission: Arc<Admission>,
+    draining: AtomicBool,
+    honor_signals: bool,
+    pub(crate) started: Instant,
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) connections_open: AtomicUsize,
+    max_line_bytes: usize,
+    default_budget: Budget,
+}
+
+impl ServerShared {
+    /// Whether drain has been requested through any channel.
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || (self.honor_signals && signal::drain_requested())
+    }
+}
+
+/// A handle for requesting drain (and observing it) from outside the
+/// server thread. Cloneable; safe to keep after the server exits.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting, answer everything
+    /// admitted, return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] consumes it and
+/// blocks until drained.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<SolverService>,
+    shared: Arc<ServerShared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared solver service. The
+    /// service's worker pool spawns lazily on the first admitted
+    /// solve.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let mut builder = SolverService::builder()
+            .cache_capacity(config.cache_capacity)
+            .default_budget(config.default_budget);
+        if let Some(workers) = config.workers {
+            builder = builder.workers(workers);
+        }
+        Ok(Server {
+            listener,
+            service: Arc::new(builder.build()),
+            shared: Arc::new(ServerShared {
+                admission: Admission::new(config.admission),
+                draining: AtomicBool::new(false),
+                honor_signals: config.honor_process_signals,
+                started: Instant::now(),
+                connections_total: AtomicU64::new(0),
+                connections_open: AtomicUsize::new(0),
+                max_line_bytes: config.max_line_bytes,
+                default_budget: config.default_budget,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A drain handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The shared solver service (for in-process observability).
+    pub fn service(&self) -> &Arc<SolverService> {
+        &self.service
+    }
+
+    /// Serves until drain is requested, then drains and returns. On a
+    /// clean drain every admitted request has been answered and every
+    /// connection closed by the time this returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            service,
+            shared,
+        } = self;
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                    shared.connections_open.fetch_add(1, Ordering::Relaxed);
+                    let service = Arc::clone(&service);
+                    let shared_conn = Arc::clone(&shared);
+                    connections.push(
+                        std::thread::Builder::new()
+                            .name("repliflow-serve-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, &service, &shared_conn);
+                                shared_conn.connections_open.fetch_sub(1, Ordering::Relaxed);
+                            })
+                            .expect("connection thread spawns"),
+                    );
+                    // Reap finished connection threads so a long-lived
+                    // daemon's handle list doesn't grow without bound.
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // Transient accept errors (e.g. a connection reset
+                // between accept queue and accept) must not kill the
+                // daemon.
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+        // Drain: close the listener first (new connects are refused),
+        // then wait for every connection to answer its admitted
+        // requests and hang up.
+        drop(listener);
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one bounded line read.
+enum Line {
+    /// A complete line (without the terminator).
+    Full(String),
+    /// The line exceeded the cap; it was consumed and discarded.
+    TooLong,
+    /// Clean end of stream (or an unterminated trailing fragment).
+    Eof,
+    /// Drain was requested while waiting for bytes.
+    Draining,
+    /// Unrecoverable stream error.
+    Failed,
+}
+
+/// A newline-delimited reader with a hard per-line byte cap and
+/// drain-aware blocking: reads use a short timeout so a parked
+/// connection notices a drain request within [`POLL_INTERVAL`].
+struct LineReader<'a> {
+    stream: TcpStream,
+    shared: &'a ServerShared,
+    pending: Vec<u8>,
+    /// Set while consuming the remainder of an over-cap line.
+    discarding: bool,
+}
+
+impl<'a> LineReader<'a> {
+    fn new(stream: TcpStream, shared: &'a ServerShared) -> LineReader<'a> {
+        LineReader {
+            stream,
+            shared,
+            pending: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    fn next_line(&mut self) -> Line {
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Hand out a complete buffered line first.
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if self.discarding {
+                    self.discarding = false;
+                    return Line::TooLong;
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Line::Full(s),
+                    // surfaced as a parse failure by the caller
+                    Err(_) => Line::Full("\u{fffd}".into()),
+                };
+            }
+            // Over-cap partial line: switch to discard mode, keep
+            // consuming until its newline goes by.
+            if self.pending.len() > self.shared.max_line_bytes {
+                self.pending.clear();
+                self.discarding = true;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Line::Eof,
+                Ok(n) => {
+                    if self.discarding {
+                        // only the terminator matters; retain the tail
+                        // after it for the next request
+                        if let Some(pos) = chunk[..n].iter().position(|&b| b == b'\n') {
+                            self.pending.extend_from_slice(&chunk[..=pos]);
+                            self.pending.extend_from_slice(&chunk[pos + 1..n]);
+                        }
+                    } else {
+                        self.pending.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if self.shared.draining() {
+                        return Line::Draining;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Line::Failed,
+            }
+        }
+    }
+}
+
+/// Serves one connection: reads requests until EOF/drain, answers via
+/// the writer thread, then waits for every admitted solve's response
+/// to flush before hanging up.
+fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // A stuck peer must not wedge the writer (and thus drain) forever.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("repliflow-serve-write".into())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            for line in rx {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    // Peer is gone: stop writing. Senders' `send`s fail
+                    // harmlessly; admission tickets still release.
+                    return;
+                }
+            }
+        })
+        .expect("writer thread spawns");
+
+    let conn_inflight = Arc::new(AtomicUsize::new(0));
+    let mut reader = LineReader::new(stream, shared);
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match reader.next_line() {
+            Line::Full(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(&line, service, shared, &conn_inflight, &tx);
+            }
+            Line::TooLong => {
+                let _ = tx.send(err_response(
+                    &Value::Null,
+                    ErrorCode::LineTooLong,
+                    &format!(
+                        "request line exceeds the {} byte cap; request skipped",
+                        shared.max_line_bytes
+                    ),
+                ));
+            }
+            Line::Draining | Line::Eof | Line::Failed => break,
+        }
+    }
+    // Dropping our sender lets the writer exit once every in-flight
+    // solve callback has delivered its response — the "no admitted
+    // request is ever dropped" half of graceful drain.
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Dispatches one parsed request line.
+fn handle_line(
+    line: &str,
+    service: &Arc<SolverService>,
+    shared: &Arc<ServerShared>,
+    conn_inflight: &Arc<AtomicUsize>,
+    tx: &mpsc::Sender<String>,
+) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(failure) => {
+            let _ = tx.send(err_response(&failure.id, failure.code, &failure.message));
+            return;
+        }
+    };
+    let id = request.id;
+    match request.verb {
+        Verb::Ping => {
+            let _ = tx.send(ok_response(
+                &id,
+                Value::Object(vec![("pong".into(), Value::Bool(true))]),
+            ));
+        }
+        Verb::Stats => {
+            let _ = tx.send(ok_response(&id, metrics::snapshot(service, shared)));
+        }
+        Verb::Shutdown => {
+            // Answer first, then raise the flag: the writer drains its
+            // queue before exiting, so the acknowledgement always ships.
+            let _ = tx.send(ok_response(
+                &id,
+                Value::Object(vec![("draining".into(), Value::Bool(true))]),
+            ));
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        Verb::Solve(body) => {
+            if shared.draining() {
+                let _ = tx.send(err_response(
+                    &id,
+                    ErrorCode::ShuttingDown,
+                    "daemon is draining; no new requests admitted",
+                ));
+                return;
+            }
+            let ticket = match shared.admission.try_admit(conn_inflight) {
+                Ok(ticket) => ticket,
+                Err(reason) => {
+                    let _ = tx.send(err_response(
+                        &id,
+                        ErrorCode::Overloaded,
+                        &reason.message(shared.admission.config()),
+                    ));
+                    return;
+                }
+            };
+            let mut solve = SolveRequest::new(body.instance)
+                .engine(body.engine)
+                .budget(shared.default_budget.quality(body.quality))
+                .validate_witness(body.validate);
+            if let Some(ms) = body.deadline_ms {
+                solve = solve.deadline(Deadline::in_ms(ms));
+            }
+            let tx = tx.clone();
+            service.solve_detached(solve, move |result| {
+                let response = match result {
+                    Ok(report) => ok_response(&id, report_to_wire(&report)),
+                    Err(error) => {
+                        let (code, message) = ErrorCode::of_solve_error(&error);
+                        err_response(&id, code, &message)
+                    }
+                };
+                // Release the slot before queuing the response: a
+                // client that has read its answer must already see the
+                // request as completed (e.g. in a follow-up `stats`).
+                drop(ticket);
+                let _ = tx.send(response);
+            });
+        }
+    }
+}

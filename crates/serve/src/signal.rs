@@ -1,0 +1,82 @@
+//! Process signal handling for graceful drain, without a `libc` crate.
+//!
+//! The build environment vendors no `libc`, so the daemon declares the
+//! one POSIX symbol it needs itself: `signal(2)`. The installed
+//! handler does the only thing that is async-signal-safe here — store
+//! into a process-global [`AtomicBool`] — and the server's accept and
+//! connection loops poll that flag alongside their own drain flag.
+//! This is the classic self-pipe trick minus the pipe: every loop
+//! already wakes on a short timeout (non-blocking accept poll, read
+//! timeouts), so a flag is all the wake-up machinery required.
+//!
+//! Only the daemon binary installs the handlers
+//! ([`install_handlers`]); the library and its tests drive drain
+//! through [`ServerHandle::shutdown`] instead and never touch process
+//! state.
+//!
+//! [`ServerHandle::shutdown`]: crate::server::ServerHandle::shutdown
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on SIGINT/SIGTERM; polled by the server loops.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// `SIGINT` on every platform this repo targets.
+const SIGINT: i32 = 2;
+/// `SIGTERM` likewise.
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `signal(2)`. The handler is passed as a raw function
+    /// address (`sighandler_t`).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The installed handler: flag-store only (async-signal-safe).
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain.
+/// Call once from the daemon binary before serving. No-op on
+/// non-unix platforms (drain remains available via the `shutdown`
+/// verb and [`ServerHandle::shutdown`]).
+///
+/// [`ServerHandle::shutdown`]: crate::server::ServerHandle::shutdown
+pub fn install_handlers() {
+    #[cfg(unix)]
+    // SAFETY: `signal` is the POSIX function; the handler only stores
+    // into an atomic, which is async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a SIGINT/SIGTERM arrived since [`install_handlers`].
+pub fn drain_requested() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn a_raised_sigint_sets_the_drain_flag() {
+        install_handlers();
+        assert!(!drain_requested());
+        // SAFETY: raising a signal whose handler we just installed; the
+        // handler only stores into an atomic.
+        unsafe {
+            raise(SIGINT);
+        }
+        assert!(drain_requested());
+    }
+}

@@ -1,0 +1,482 @@
+//! End-to-end daemon tests: a real [`Server`] on an ephemeral port,
+//! real TCP clients, and the protocol guarantees the crate advertises —
+//! byte-identical remote solves, structured errors for every kind of
+//! bad input, deterministic load-shedding at saturation, and a graceful
+//! drain that answers every admitted request.
+
+use repliflow_serve::server::{Server, ServerConfig, ServerHandle};
+use repliflow_serve::{AdmissionConfig, ErrorCode, RemoteClient, RemoteError, RemoteSolveOptions};
+use repliflow_solver::{Budget, EnginePref, SolveRequest, SolverService};
+use serde::Value;
+use serde_json::parse_value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn instances_dir() -> PathBuf {
+    // crates/serve -> workspace root -> examples/instances
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/instances")
+        .canonicalize()
+        .expect("examples/instances exists")
+}
+
+fn golden_instances() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(instances_dir())
+        .expect("instances directory is readable")
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 8, "golden instance set shrank unexpectedly");
+    paths
+}
+
+fn load_instance(path: &Path) -> repliflow_core::instance::ProblemInstance {
+    let json = std::fs::read_to_string(path).expect("instance file is readable");
+    serde_json::from_str(&json).expect("golden instance parses")
+}
+
+/// A communication-aware fork whose forced `comm-bb` search reliably
+/// outlives a few-hundred-ms time limit (10 leaves branch over set
+/// partitions — seconds of search space), so a daemon given a small
+/// `bb_time_limit_ms` holds a worker for predictably ~that long.
+fn slow_instance_json() -> String {
+    r#"{"workflow":{"Fork":{"root_weight":5,
+        "leaf_weights":[7,3,9,4,6,8,2,5,7,4],
+        "input_size":3,"broadcast_size":5,
+        "output_sizes":[2,1,3,1,2,3,1,2,2,1]}},
+      "platform":{"speeds":[3,2,2,1,1,1]},
+      "allow_data_parallel":false,
+      "objective":"Latency",
+      "cost_model":{"WithComm":{"network":{
+        "proc_bw":[[1,1,1,1,1,1],[1,1,1,1,1,1],[1,1,1,1,1,1],
+                   [1,1,1,1,1,1],[1,1,1,1,1,1],[1,1,1,1,1,1]],
+        "input_bw":[2,2,2,2,2,2],"output_bw":[2,2,2,2,2,2],
+        "node_capacity":null,"infinite":false},
+        "comm":"OnePort","overlap":false}}}"#
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A budget whose `comm-bb` runs are cut at `ms` wall-clock.
+fn slow_budget(ms: u64) -> Budget {
+    Budget {
+        bb_time_limit_ms: ms,
+        bb_node_limit: u64::MAX,
+        ..Budget::default()
+    }
+}
+
+/// Binds a server with `config`, runs it on a background thread, and
+/// returns everything a test needs to talk to and stop it.
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("server binds an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// Sends raw request lines over one socket and reads `expect` response
+/// lines (completion order), returning them parsed.
+fn raw_exchange(addr: SocketAddr, lines: &[String], expect: usize) -> Vec<Value> {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for line in lines {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+    let mut responses = Vec::new();
+    for _ in 0..expect {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("response read") > 0,
+            "daemon hung up before answering everything"
+        );
+        responses.push(parse_value(line.trim_end()).expect("response parses"));
+    }
+    responses
+}
+
+fn err_code(response: &Value) -> Option<&str> {
+    response.field("err")?.field("code")?.as_str()
+}
+
+fn id_int(response: &Value) -> i128 {
+    match response.field("id") {
+        Some(Value::Int(id)) => *id,
+        other => panic!("response id is not an integer: {other:?}"),
+    }
+}
+
+#[test]
+fn golden_roundtrips_are_byte_identical_to_in_process_solves() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let service = SolverService::builder().build();
+    let mut client = RemoteClient::connect(addr).expect("client connects");
+    for path in golden_instances() {
+        let instance = load_instance(&path);
+        let local = service
+            .solve(&SolveRequest::new(instance.clone()))
+            .unwrap_or_else(|e| panic!("local solve of {path:?} failed: {e}"));
+        let remote = client
+            .solve(&instance, &RemoteSolveOptions::default())
+            .unwrap_or_else(|e| panic!("remote solve of {path:?} failed: {e}"));
+        assert_eq!(
+            remote.canonical_json(),
+            local.canonical_json(),
+            "remote report for {path:?} diverges from the in-process solve"
+        );
+        assert!(!remote.cell.is_empty());
+        assert!(remote.wall_time_ms >= 0.0);
+    }
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_clients_each_get_consistent_reports() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    // Reference canonical answers, solved once in-process.
+    let paths: Vec<PathBuf> = golden_instances().into_iter().take(4).collect();
+    let service = SolverService::builder().build();
+    let expected: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            service
+                .solve(&SolveRequest::new(load_instance(p)))
+                .expect("local solve")
+                .canonical_json()
+        })
+        .collect();
+    let threads: Vec<_> = (0..6)
+        .map(|worker| {
+            let paths = paths.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = RemoteClient::connect(addr).expect("client connects");
+                // stagger which instance each worker starts with
+                for i in 0..paths.len() * 2 {
+                    let k = (worker + i) % paths.len();
+                    let remote = client
+                        .solve(&load_instance(&paths[k]), &RemoteSolveOptions::default())
+                        .expect("remote solve");
+                    assert_eq!(remote.canonical_json(), expected[k]);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturation_sheds_deterministically_with_overloaded() {
+    let (addr, handle, join) = start(ServerConfig {
+        workers: Some(1),
+        cache_capacity: 0,
+        admission: AdmissionConfig {
+            queue_depth: 2,
+            per_conn_inflight: 16,
+        },
+        default_budget: slow_budget(400),
+        ..ServerConfig::default()
+    });
+    let instance = slow_instance_json();
+    let lines: Vec<String> = (1..=6)
+        .map(|id| {
+            format!(
+                r#"{{"v":1,"id":{id},"verb":"solve","engine":"comm-bb","instance":{instance}}}"#
+            )
+        })
+        .collect();
+    let responses = raw_exchange(addr, &lines, 6);
+    // Requests 1 and 2 fill the queue (one running, one waiting);
+    // 3..6 arrive microseconds later, while both are still unfinished
+    // (each runs ~400ms), and must be shed.
+    let mut ok = Vec::new();
+    let mut shed = Vec::new();
+    for response in &responses {
+        match err_code(response) {
+            None => ok.push(id_int(response)),
+            Some("overloaded") => shed.push(id_int(response)),
+            Some(other) => panic!("unexpected error code {other}"),
+        }
+    }
+    ok.sort_unstable();
+    shed.sort_unstable();
+    assert_eq!(
+        ok,
+        vec![1, 2],
+        "exactly the first two requests are admitted"
+    );
+    assert_eq!(shed, vec![3, 4, 5, 6], "the rest are shed immediately");
+
+    // The shed requests are visible in the metrics.
+    let mut client = RemoteClient::connect(addr).expect("stats client connects");
+    let stats = client.stats().expect("stats verb");
+    let admission = stats.field("admission").unwrap();
+    assert_eq!(admission.field("accepted").unwrap().as_int(), Some(2));
+    assert_eq!(admission.field("rejected").unwrap().as_int(), Some(4));
+    assert_eq!(admission.field("high_water").unwrap().as_int(), Some(2));
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn per_connection_inflight_cap_binds_before_the_global_queue() {
+    let (addr, handle, join) = start(ServerConfig {
+        workers: Some(1),
+        cache_capacity: 0,
+        admission: AdmissionConfig {
+            queue_depth: 64,
+            per_conn_inflight: 1,
+        },
+        default_budget: slow_budget(300),
+        ..ServerConfig::default()
+    });
+    let instance = slow_instance_json();
+    let lines: Vec<String> = (1..=3)
+        .map(|id| {
+            format!(
+                r#"{{"v":1,"id":{id},"verb":"solve","engine":"comm-bb","instance":{instance}}}"#
+            )
+        })
+        .collect();
+    let responses = raw_exchange(addr, &lines, 3);
+    let shed: Vec<i128> = responses
+        .iter()
+        .filter(|r| err_code(r) == Some("overloaded"))
+        .map(id_int)
+        .collect();
+    assert_eq!(shed, vec![2, 3], "one in flight per connection, rest shed");
+    let busy = responses
+        .iter()
+        .find(|r| err_code(r) == Some("overloaded"))
+        .and_then(|r| r.field("err").unwrap().field("message").unwrap().as_str())
+        .unwrap();
+    assert!(
+        busy.contains("connection in-flight cap"),
+        "reject message names the per-connection cap: {busy}"
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn graceful_drain_under_load_answers_every_admitted_request() {
+    let (addr, _handle, join) = start(ServerConfig {
+        workers: Some(2),
+        cache_capacity: 0,
+        admission: AdmissionConfig::default(),
+        default_budget: slow_budget(300),
+        ..ServerConfig::default()
+    });
+    let instance = slow_instance_json();
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for id in 1..=6 {
+        let line = format!(
+            r#"{{"v":1,"id":{id},"verb":"solve","engine":"comm-bb","instance":{instance}}}"#
+        );
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.flush().unwrap();
+    // Let the daemon parse and admit all six (parsing is microseconds;
+    // each solve runs ~300ms), then ask for a drain mid-flight.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut admin = RemoteClient::connect(addr).expect("admin connects");
+    admin.shutdown().expect("shutdown verb acknowledged");
+
+    // Every admitted request is still answered, then the daemon hangs
+    // up — nothing is lost.
+    let mut answered = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break; // clean EOF after the responses
+        }
+        let response = parse_value(line.trim_end()).expect("response parses");
+        assert_eq!(err_code(&response), None, "admitted solve failed: {line}");
+        answered.push(id_int(&response));
+    }
+    answered.sort_unstable();
+    assert_eq!(answered, vec![1, 2, 3, 4, 5, 6]);
+
+    // The server thread exits cleanly and the port stops accepting.
+    join.join().unwrap().unwrap();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener is closed after drain"
+    );
+}
+
+#[test]
+fn broken_input_gets_structured_errors_and_the_connection_survives() {
+    let (addr, handle, join) = start(ServerConfig {
+        max_line_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let lines = vec![
+        "this is not json".to_string(),
+        r#"{"v":1,"id":"trunc","verb":"solve","instance":{"#.to_string(),
+        r#"{"v":7,"id":"vers","verb":"ping"}"#.to_string(),
+        r#"{"v":1,"id":"field","verb":"ping","bogus":1}"#.to_string(),
+        r#"{"v":1,"id":"verb","verb":"dance"}"#.to_string(),
+        format!(
+            r#"{{"v":1,"id":"big","verb":"ping","pad":"{}"}}"#,
+            "x".repeat(4000)
+        ),
+        r#"{"v":1,"id":"alive","verb":"ping"}"#.to_string(),
+    ];
+    let responses = raw_exchange(addr, &lines, 7);
+    let code = |i: usize| err_code(&responses[i]);
+    let id = |i: usize| responses[i].field("id").unwrap().clone();
+    assert_eq!(code(0), Some("bad_request"));
+    assert_eq!(id(0), Value::Null, "no id extractable from non-JSON");
+    assert_eq!(code(1), Some("bad_request"), "truncated JSON");
+    assert_eq!(code(2), Some("unsupported_version"));
+    assert_eq!(
+        id(2),
+        Value::String("vers".into()),
+        "id echoed despite bad version"
+    );
+    assert_eq!(code(3), Some("bad_request"), "unknown field");
+    assert_eq!(code(4), Some("bad_request"), "unknown verb");
+    assert_eq!(code(5), Some("line_too_long"), "over the 1 KiB cap");
+    assert_eq!(id(5), Value::Null, "oversized lines are skipped unparsed");
+    // ...and after all that abuse, the same connection still serves.
+    assert_eq!(code(6), None);
+    assert_eq!(
+        responses[6].field("ok").unwrap().field("pong"),
+        Some(&Value::Bool(true))
+    );
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn stats_snapshot_reports_counters_cache_and_percentiles() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let mut client = RemoteClient::connect(addr).expect("client connects");
+    let instance = load_instance(&instances_dir().join("hom_pipeline_period.json"));
+    for _ in 0..5 {
+        client
+            .solve(&instance, &RemoteSolveOptions::default())
+            .expect("solve");
+    }
+    let stats = client.stats().expect("stats verb");
+
+    let admission = stats.field("admission").unwrap();
+    assert_eq!(admission.field("accepted").unwrap().as_int(), Some(5));
+    assert_eq!(admission.field("completed").unwrap().as_int(), Some(5));
+    assert_eq!(admission.field("rejected").unwrap().as_int(), Some(0));
+
+    let service = stats.field("service").unwrap();
+    assert_eq!(service.field("requests").unwrap().as_int(), Some(5));
+    assert_eq!(service.field("computed").unwrap().as_int(), Some(1));
+    assert_eq!(service.field("cache_hits").unwrap().as_int(), Some(4));
+
+    let cache = stats.field("cache").unwrap();
+    assert_eq!(cache.field("hits").unwrap().as_int(), Some(4));
+    assert_eq!(cache.field("insertions").unwrap().as_int(), Some(1));
+
+    let latency = stats.field("latency").unwrap();
+    assert_eq!(latency.field("count").unwrap().as_int(), Some(5));
+    let p50 = latency
+        .field("p50_us")
+        .unwrap()
+        .as_int()
+        .expect("p50 present");
+    let p95 = latency
+        .field("p95_us")
+        .unwrap()
+        .as_int()
+        .expect("p95 present");
+    let p99 = latency
+        .field("p99_us")
+        .unwrap()
+        .as_int()
+        .expect("p99 present");
+    let max = latency
+        .field("max_us")
+        .unwrap()
+        .as_int()
+        .expect("max present");
+    assert!(
+        p50 <= p95 && p95 <= p99 && p99 <= max,
+        "{p50} {p95} {p99} {max}"
+    );
+    // One real compute dominates four cache hits: the distribution
+    // cannot be flat-zero at the top.
+    assert!(max > 0, "the computed solve took measurable time");
+
+    let server = stats.field("server").unwrap();
+    assert_eq!(server.field("draining").unwrap(), &Value::Bool(false));
+    assert!(server.field("connections_total").unwrap().as_int() >= Some(1));
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn expired_deadlines_map_to_a_deadline_exceeded_envelope() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let mut client = RemoteClient::connect(addr).expect("client connects");
+    let instance = load_instance(&instances_dir().join("hom_pipeline_period.json"));
+    let error = client
+        .solve(
+            &instance,
+            &RemoteSolveOptions {
+                deadline_ms: Some(0),
+                ..RemoteSolveOptions::default()
+            },
+        )
+        .expect_err("an already-expired deadline cannot succeed");
+    match error {
+        RemoteError::Server { code, .. } => {
+            assert_eq!(code, Some(ErrorCode::DeadlineExceeded));
+        }
+        other => panic!("expected a server error envelope, got {other}"),
+    }
+    // The connection is still usable afterwards.
+    client
+        .solve(&instance, &RemoteSolveOptions::default())
+        .expect("solve after the failed one");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn forced_engine_preference_is_honored_remotely() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let mut client = RemoteClient::connect(addr).expect("client connects");
+    let instance = load_instance(&instances_dir().join("hom_pipeline_period.json"));
+    let remote = client
+        .solve(
+            &instance,
+            &RemoteSolveOptions {
+                engine: EnginePref::Exact,
+                ..RemoteSolveOptions::default()
+            },
+        )
+        .expect("exact solve");
+    assert_eq!(remote.canonical_str("engine"), Some("exact"));
+    assert_eq!(remote.canonical_str("optimality"), Some("proven"));
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}

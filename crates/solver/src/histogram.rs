@@ -1,0 +1,348 @@
+//! Fixed-bucket log-scale latency histogram — the tail-latency
+//! primitive behind [`ServiceStats`] and the daemon's `stats` verb.
+//!
+//! The replication-queueing literature the ROADMAP cites is explicit
+//! that *tail* latency, not the mean, dominates user experience at
+//! fanout scale: a serving layer that only tracks averages cannot see
+//! the p99 regressions replication/hedging is supposed to fix. This
+//! module provides the measurement side: a fixed-size, allocation-free
+//! histogram with logarithmic buckets (HdrHistogram-style log-linear
+//! layout, pure integer math) and nearest-rank percentile accessors.
+//!
+//! Layout: durations are recorded in whole microseconds. Values below
+//! `SUBBUCKETS` (16) µs get exact unit buckets; above that, each power
+//! of two is split into `SUBBUCKETS` linear sub-buckets, so any
+//! recorded value is reproduced by its bucket upper bound with relative
+//! error at most `1/SUBBUCKETS` (6.25%). Values past ~19 hours clamp into the last
+//! bucket. Recording is O(1) with no allocation; a histogram is ~4 KiB
+//! of counters.
+//!
+//! [`ServiceStats`]: crate::ServiceStats
+
+use std::time::Duration;
+
+/// Linear sub-buckets per power of two (and the exact-bucket prefix
+/// width): relative quantization error is `1/SUBBUCKETS`.
+const SUBBUCKETS: u64 = 16;
+/// log2 of `SUBBUCKETS`.
+const SUB_BITS: u32 = 4;
+/// Largest exponent tracked exactly: values at or past
+/// `2^(MAX_EXP + 1)` µs (~19 hours) clamp into the final bucket.
+const MAX_EXP: u32 = 35;
+/// Total bucket count.
+const BUCKETS: usize = (SUBBUCKETS + (MAX_EXP as u64 - SUB_BITS as u64 + 1) * SUBBUCKETS) as usize;
+
+/// Bucket index of a value in whole microseconds.
+fn bucket_index(us: u64) -> usize {
+    if us < SUBBUCKETS {
+        return us as usize;
+    }
+    let exp = 63 - us.leading_zeros();
+    if exp > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = (us >> (exp - SUB_BITS)) & (SUBBUCKETS - 1);
+    let index = SUBBUCKETS + (exp - SUB_BITS) as u64 * SUBBUCKETS + sub;
+    index as usize
+}
+
+/// Inclusive upper bound (in µs) of the bucket at `index` — what the
+/// percentile accessors report for samples landing in that bucket.
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBBUCKETS {
+        return index;
+    }
+    let exp = SUB_BITS + ((index - SUBBUCKETS) / SUBBUCKETS) as u32;
+    let sub = (index - SUBBUCKETS) % SUBBUCKETS;
+    // the bucket covers [base + sub*width, base + (sub+1)*width)
+    (1u64 << exp) + (sub + 1) * (1u64 << (exp - SUB_BITS)) - 1
+}
+
+/// A fixed-bucket log-scale histogram of durations with percentile
+/// accessors. `Default`/`new` is empty; recording never allocates.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(0.50))
+            .field("p95", &self.percentile(0.95))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one duration (clamped to whole microseconds; sub-µs
+    /// samples land in the 0 µs bucket).
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded durations (`None` when empty). Exact — the
+    /// sum is tracked outside the buckets.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_micros((self.sum_us / self.count as u128) as u64))
+    }
+
+    /// Largest recorded duration, at bucket resolution (`None` when
+    /// empty).
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_micros(self.max_us))
+    }
+
+    /// Nearest-rank percentile with the *exclusive* rank convention
+    /// `rank = floor(q * count) + 1` (capped at `count`): the smallest
+    /// bucket upper bound such that more than `q` of all samples fall
+    /// at or below it. With 100 samples, `percentile(0.99)` therefore
+    /// reports the single slowest one — the convention that makes "1
+    /// slow request in 100" visible at p99. `None` when empty;
+    /// quantized to the bucket width (≤ 6.25% relative error), and
+    /// clamped to the exact recorded maximum so `percentile(q) <= max()`
+    /// always holds.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).floor() as u64 + 1).min(self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Duration::from_micros(bucket_upper(index).min(self.max_us)));
+            }
+        }
+        // unreachable: seen == count >= rank after the last bucket
+        Some(Duration::from_micros(self.max_us))
+    }
+
+    /// Median (see [`LatencyHistogram::percentile`]).
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<Duration> {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+
+    /// An owned point-in-time summary (what [`ServiceStats`] carries).
+    ///
+    /// [`ServiceStats`]: crate::ServiceStats
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            mean: self.mean(),
+            min: (self.count > 0).then(|| Duration::from_micros(self.min_us)),
+            max: self.max(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+        }
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (slot, n) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Point-in-time percentile summary of a [`LatencyHistogram`]
+/// (`None` fields when no samples were recorded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: Option<Duration>,
+    /// Smallest sample (bucket resolution).
+    pub min: Option<Duration>,
+    /// Largest sample (bucket resolution).
+    pub max: Option<Duration>,
+    /// Median.
+    pub p50: Option<Duration>,
+    /// 95th percentile.
+    pub p95: Option<Duration>,
+    /// 99th percentile.
+    pub p99: Option<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quantization bound: reported percentiles overestimate the true
+    /// sample by at most 1/SUBBUCKETS relative error.
+    fn assert_close(reported: Duration, true_us: u64) {
+        let reported = reported.as_micros() as u64;
+        assert!(
+            reported >= true_us && (reported - true_us) as f64 <= true_us as f64 / 16.0 + 1.0,
+            "reported {reported}µs vs true {true_us}µs"
+        );
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds_error() {
+        for us in (0..10_000u64).chain([1 << 20, (1 << 30) + 12345, 1 << 36]) {
+            let upper = bucket_upper(bucket_index(us));
+            assert!(upper >= us.min(bucket_upper(BUCKETS - 1)), "us={us}");
+            if (SUBBUCKETS..(1 << MAX_EXP)).contains(&us) {
+                assert!(
+                    (upper - us) as f64 <= us as f64 / 16.0,
+                    "us={us} upper={upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_uppers_strictly_increase() {
+        for i in 1..BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn constant_distribution_collapses_to_one_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(777));
+        }
+        let p50 = h.p50().unwrap();
+        assert_eq!(p50, h.p95().unwrap());
+        assert_eq!(p50, h.p99().unwrap());
+        assert_close(p50, 777);
+        assert_eq!(h.mean().unwrap(), Duration::from_micros(777));
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles_match_known_ranks() {
+        // 1..=10_000 µs uniformly: p50 ≈ 5000µs, p95 ≈ 9500µs, p99 ≈ 9900µs
+        let mut h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_close(h.p50().unwrap(), 5001);
+        assert_close(h.p95().unwrap(), 9501);
+        assert_close(h.p99().unwrap(), 9901);
+        assert_close(h.max().unwrap(), 10_000);
+    }
+
+    #[test]
+    fn one_slow_sample_in_a_hundred_is_visible_at_p99() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(500));
+        assert_close(h.p50().unwrap(), 100);
+        assert_close(h.p95().unwrap(), 100);
+        assert_close(h.p99().unwrap(), 500_000);
+    }
+
+    #[test]
+    fn bimodal_distribution_p95_sits_in_the_slow_mode() {
+        // 90% fast (~1ms), 10% slow (~100ms): p50 fast, p95/p99 slow.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..900 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..100 {
+            h.record(Duration::from_millis(100));
+        }
+        assert_close(h.p50().unwrap(), 1_000);
+        assert_close(h.p95().unwrap(), 100_000);
+        assert_close(h.p99().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in [3u64, 17, 170, 1_700, 17_000, 170_000] {
+            a.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        for us in [5u64, 55, 555, 5_555, 55_555] {
+            b.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_samples_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(20));
+        h.record(Duration::from_secs(1_000_000_000));
+        assert_eq!(h.count(), 2);
+        // rank floor(0*2)+1 = 1: the sub-µs sample, clamped to 0µs
+        assert_eq!(h.percentile(0.0).unwrap(), Duration::from_micros(0));
+        // the huge sample lands in (and reports) the final clamp bucket
+        assert_eq!(
+            h.p99().unwrap(),
+            Duration::from_micros(bucket_upper(BUCKETS - 1))
+        );
+    }
+}

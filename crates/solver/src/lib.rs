@@ -58,6 +58,7 @@ mod batch;
 mod cache;
 mod engine;
 pub mod engines;
+pub mod histogram;
 pub mod pool;
 mod registry;
 mod report;
@@ -68,6 +69,7 @@ mod service;
 pub use batch::BatchOptions;
 pub use cache::{CacheStats, SolveCache};
 pub use engine::Engine;
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::EngineRegistry;
 pub use report::{Optimality, Provenance, SolveError, SolveReport};
 pub use request::{Budget, CancelToken, Deadline, EnginePref, Quality, SolveRequest};

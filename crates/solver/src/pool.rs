@@ -47,7 +47,11 @@ struct Shared {
     deques: Vec<Mutex<VecDeque<Task>>>,
     next_deque: AtomicUsize,
     queue_wait_nanos: AtomicU64,
+    busy_nanos: AtomicU64,
     jobs_executed: AtomicU64,
+    /// When the pool spawned — the denominator of the utilization
+    /// statistic (`busy / (workers * uptime)`).
+    started: Instant,
     /// Incremented at every `thread::spawn` call — a real counter, so a
     /// regression that starts spawning per call becomes observable.
     spawned: AtomicUsize,
@@ -83,7 +87,9 @@ impl WorkerPool {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             next_deque: AtomicUsize::new(0),
             queue_wait_nanos: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
+            started: Instant::now(),
             spawned: AtomicUsize::new(0),
         });
         let handles = (0..workers)
@@ -149,6 +155,28 @@ impl WorkerPool {
     pub fn jobs_executed(&self) -> u64 {
         self.shared.jobs_executed.load(Ordering::Relaxed)
     }
+
+    /// Cumulative wall time workers spent *running* jobs (as opposed to
+    /// parked) — the numerator of the utilization statistic.
+    pub fn total_busy(&self) -> Duration {
+        Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Time since the pool's threads spawned.
+    pub fn uptime(&self) -> Duration {
+        self.shared.started.elapsed()
+    }
+
+    /// Fraction of worker capacity spent running jobs since spawn:
+    /// `busy / (workers * uptime)`, in `[0, 1]` (0 right at spawn).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.workers() as f64 * self.uptime().as_secs_f64();
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.total_busy().as_secs_f64() / capacity).min(1.0)
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -210,7 +238,10 @@ fn worker_loop(shared: &Shared, index: usize) {
         // A panicking job must not take the worker down with it: the
         // pool stays full-strength for the next request and the panic
         // surfaces at the caller as a missing result.
+        let run_start = Instant::now();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
+        let busy = run_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        shared.busy_nanos.fetch_add(busy, Ordering::Relaxed);
     }
 }
 

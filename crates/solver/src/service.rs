@@ -61,6 +61,7 @@
 
 use crate::batch::BatchOptions;
 use crate::cache::{CacheStats, SolveCache};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::pool::WorkerPool;
 use crate::registry::EngineRegistry;
 use crate::report::{Provenance, SolveError, SolveReport};
@@ -107,6 +108,17 @@ pub struct ServiceStats {
     pub jobs_executed: u64,
     /// Computed wall time grouped by engine, sorted by engine name.
     pub per_engine: Vec<EngineWall>,
+    /// Distribution of end-to-end serve latencies (cache hits, computes
+    /// *and* errors — what a caller observed, not what an engine
+    /// spent), with p50/p95/p99 accessors. Batch-duplicate fan-outs are
+    /// not re-recorded (only their leader's serve is).
+    pub latency: HistogramSnapshot,
+    /// Cumulative wall time pool workers spent running jobs
+    /// ([`Duration::ZERO`] before the pool's first batch/stream use).
+    pub busy: Duration,
+    /// Fraction of worker capacity spent running jobs since the pool
+    /// spawned (`busy / (workers * uptime)`; `0` before first use).
+    pub worker_utilization: f64,
 }
 
 impl ServiceStats {
@@ -127,6 +139,7 @@ struct StatsInner {
     computed: u64,
     errors: u64,
     per_engine: HashMap<&'static str, (Duration, u64)>,
+    latency: LatencyHistogram,
 }
 
 /// The parts of a service that jobs on pool workers need: shared via
@@ -232,7 +245,8 @@ fn solve_containing_panics(
     request: &SolveRequest,
     key: Option<InstanceFingerprint>,
 ) -> Result<SolveReport, SolveError> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let serve_start = std::time::Instant::now();
+    let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         core.solve_keyed(request, key)
     })) {
         Ok(result) => result,
@@ -244,7 +258,13 @@ fn solve_containing_panics(
             });
             Err(SolveError::EnginePanicked)
         }
-    }
+    };
+    // End-to-end serve latency of this serve operation (hit, compute
+    // or error alike); batch-duplicate fan-outs bump `requests` without
+    // a serve of their own and are deliberately not recorded here.
+    let served_in = serve_start.elapsed();
+    core.note(|s| s.latency.record(served_in));
+    result
 }
 
 /// Builder for [`SolverService`] — worker count, cache capacity,
@@ -542,6 +562,24 @@ impl SolverService {
             .collect()
     }
 
+    /// Submits one request to the service pool and invokes `on_done`
+    /// with the result on the worker that served it — the asynchronous
+    /// single-request entry point (the network daemon's solve path:
+    /// admit, submit, write the response from the callback). The same
+    /// serving pipeline as [`SolverService::solve`] applies — cache,
+    /// deadline/cancel fail-fast, panic containment — and the call
+    /// never blocks on the solve itself (it may briefly block starting
+    /// the pool on first use).
+    pub fn solve_detached(
+        &self,
+        request: SolveRequest,
+        on_done: impl FnOnce(Result<SolveReport, SolveError>) + Send + 'static,
+    ) {
+        let core = Arc::clone(&self.core);
+        self.pool()
+            .submit(move || on_done(solve_containing_panics(&core, &request, None)));
+    }
+
     /// Submits every request to the pool and returns an iterator that
     /// yields `(input_index, result)` pairs **as they finish** —
     /// order-tagged, not order-blocked: a fast solve is handed out
@@ -620,6 +658,12 @@ impl SolverService {
                 .map_or(Duration::ZERO, WorkerPool::total_queue_wait),
             jobs_executed: self.pool.get().map_or(0, WorkerPool::jobs_executed),
             per_engine,
+            latency: inner.latency.snapshot(),
+            busy: self
+                .pool
+                .get()
+                .map_or(Duration::ZERO, WorkerPool::total_busy),
+            worker_utilization: self.pool.get().map_or(0.0, WorkerPool::utilization),
         }
     }
 }
