@@ -22,6 +22,11 @@
 //! solve --cache a.json a.json      # LRU solve cache (repeats become hits)
 //! solve --deadline-ms 50 a.json    # whole-invocation deadline: pre-start
 //!                                  # gate + comm-bb time clamp
+//! solve --hedge i.json             # race comm-bb vs comm-heuristic
+//! solve --hedge-delay-ms 50 i.json # widen the proof grace window
+//! solve --escalate a.json          # background thorough re-solve refreshes
+//!                                  # the cache (implies --cache)
+//! solve --cache-shards 4 a.json    # lock-striping of the solve cache
 //! solve --stats *.json             # serving summary on stderr
 //! solve --remote HOST:PORT a.json  # solve on a repliflow-serve daemon
 //! cat inst.json | solve -
@@ -72,10 +77,12 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: solve [--engine auto|exact|heuristic|paper|comm-bb] [--no-validate] \
+        "usage: solve [--engine auto|exact|heuristic|paper|comm-bb|hedged] [--no-validate] \
          [--comm one-port|multi-port] [--overlap] [--bandwidth B] \
          [--quality fast|balanced|thorough] [--workers N] [--deadline-ms D] \
-         [--cache] [--stats] [--json] [--remote HOST:PORT] <instance.json ... | ->"
+         [--hedge] [--hedge-delay-ms W] [--escalate] \
+         [--cache] [--cache-shards S] [--stats] [--json] [--remote HOST:PORT] \
+         <instance.json ... | ->"
     );
     ExitCode::FAILURE
 }
@@ -331,6 +338,26 @@ fn print_stats(service: &SolverService, stats: &ServiceStats) {
             if engine.solves == 1 { "" } else { "s" }
         );
     }
+    // hedge/escalation lines appear only when the machinery ran, so
+    // plain invocations keep their historical stats output
+    if stats.hedge.races > 0 {
+        eprintln!(
+            "hedge     : {} races ({} primary wins, {} secondary wins, {} losers cancelled, \
+             {} window rescues)",
+            stats.hedge.races,
+            stats.hedge.primary_wins,
+            stats.hedge.secondary_wins,
+            stats.hedge.losers_cancelled,
+            stats.hedge.window_rescues
+        );
+    }
+    let esc = &stats.escalation;
+    if esc.scheduled + esc.shed > 0 {
+        eprintln!(
+            "escalation: {} scheduled ({} refreshed, {} unimproved, {} failed), {} shed",
+            esc.scheduled, esc.refreshed, esc.unimproved, esc.failed, esc.shed
+        );
+    }
 }
 
 /// Warns when a forced exhaustive search exceeds the auto-dispatch
@@ -438,7 +465,10 @@ fn main() -> ExitCode {
     let mut quality = Quality::Balanced;
     let mut workers: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut hedge_delay_ms: Option<u64> = None;
+    let mut escalate = false;
     let mut cache = false;
+    let mut cache_shards: Option<usize> = None;
     let mut stats = false;
     let mut remote: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
@@ -469,10 +499,20 @@ fn main() -> ExitCode {
                 Some(d) => deadline_ms = Some(d),
                 None => return usage(),
             },
+            "--hedge-delay-ms" => match it.next().as_deref().and_then(|d| d.parse().ok()) {
+                Some(d) => hedge_delay_ms = Some(d),
+                None => return usage(),
+            },
+            "--cache-shards" => match it.next().as_deref().and_then(|s| s.parse().ok()) {
+                Some(s) if s > 0 => cache_shards = Some(s),
+                _ => return usage(),
+            },
             "--remote" => match it.next() {
                 Some(addr) => remote = Some(addr),
                 None => return usage(),
             },
+            "--hedge" => engine = EnginePref::Hedged,
+            "--escalate" => escalate = true,
             "--cache" => cache = true,
             "--stats" => stats = true,
             "--overlap" => overlap = true,
@@ -508,10 +548,20 @@ fn main() -> ExitCode {
         return run_remote(&addr, &paths, instances, &options, json, stats);
     }
 
-    let budget = Budget::default().quality(quality);
-    let mut builder = SolverService::builder().default_budget(budget);
+    let mut budget = Budget::default().quality(quality);
+    if let Some(ms) = hedge_delay_ms {
+        budget = budget.hedge_delay_ms(ms);
+    }
+    // escalation refreshes cache entries, so it needs the cache
+    let cache = cache || escalate;
+    let mut builder = SolverService::builder()
+        .default_budget(budget)
+        .escalation(escalate);
     if let Some(workers) = workers {
         builder = builder.workers(workers);
+    }
+    if let Some(shards) = cache_shards {
+        builder = builder.cache_shards(shards);
     }
     if !cache {
         builder = builder.no_cache();
@@ -575,6 +625,11 @@ fn main() -> ExitCode {
                 println!();
             }
         }
+    }
+    if escalate {
+        // let in-flight background re-solves finish before the process
+        // exits (and before their counters are reported)
+        service.drain_escalations();
     }
     if stats {
         print_stats(&service, &service.stats());

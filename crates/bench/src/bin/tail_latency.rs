@@ -1,0 +1,348 @@
+//! `tail_latency` — the PR's tail-latency benchmark: hedged racing vs
+//! the straight `comm-bb` route, plus contended solve-cache throughput
+//! by shard count.
+//!
+//! **Hedging section.** Drives one mixed stream of communication-aware
+//! instances — mostly easy (comm-bb proves in milliseconds), a minority
+//! deliberately hard (comm-bb burns its whole `bb_time_limit_ms`) —
+//! through a cacheless [`SolverService`] twice, one request at a time
+//! so every latency sample is a clean per-request measurement:
+//!
+//! 1. **off**: every request pinned to `engine: comm-bb` — the
+//!    unhedged proving route, whose tail is the time limit;
+//! 2. **on**: the identical stream pinned to `engine: hedged` — the
+//!    race settles on the heuristic when the proof misses the
+//!    [`Budget::hedge_delay_ms`] grace window.
+//!
+//! Reports p50/p95/p99 for both modes and **asserts the hedged p99 is
+//! no worse than the unhedged p99** (exit code 1 otherwise): the whole
+//! point of the hedge is the tail, so the tail is the acceptance bar.
+//!
+//! **Cache section.** Builds a [`SolveCache`] per shard count in
+//! {1, 2, 4, 8}, pre-fills it with synthetic fingerprints, then hammers
+//! `get` from several threads and reports lookups/sec. **Asserts the
+//! 8-shard cache beats the 1-shard cache** — the lock-striping must pay
+//! for itself under contention. On a single-core machine striping has
+//! no parallelism to recover and the comparison is scheduler noise, so
+//! the assertion is enforced only when `available_parallelism >= 2`
+//! (every CI runner); the JSON records whether it was enforced.
+//!
+//! Prints one JSON object to stdout; CI's bench-smoke job stores it as
+//! `BENCH_pr_hedge.json` next to the other perf artifacts.
+//!
+//! ```text
+//! tail_latency             # full profile (96 requests, 3 cache trials)
+//! tail_latency --quick     # CI smoke profile (32 requests, 2 trials)
+//! tail_latency --threads 8 # cache-contention thread count
+//! ```
+//!
+//! [`SolverService`]: repliflow_solver::SolverService
+//! [`SolveCache`]: repliflow_solver::SolveCache
+//! [`Budget::hedge_delay_ms`]: repliflow_solver::Budget
+
+use repliflow_core::gen::Gen;
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_solver::{
+    Budget, CommModel, EnginePref, EngineRegistry, InstanceFingerprint, Quality, SolveCache,
+    SolveRequest, SolverService,
+};
+use serde_json::Value;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tail_latency [--quick] [--requests N] [--threads N]");
+    ExitCode::FAILURE
+}
+
+fn comm_instance(seed: u64, n: usize, p: usize) -> ProblemInstance {
+    let mut gen = Gen::new(seed);
+    ProblemInstance::new(
+        gen.pipeline(n, 1, 12),
+        gen.het_platform(p, 1, 5),
+        false,
+        Objective::Period,
+    )
+    .with_cost_model(CostModel::WithComm {
+        network: gen.het_network(p, 1, 4),
+        comm: CommModel::OnePort,
+        overlap: true,
+    })
+}
+
+/// The benchmark stream: every 6th instance is a deliberately hard one
+/// (20 stages x 10 heterogeneous processors — far past what comm-bb can
+/// enumerate inside its time limit, while the heuristic portfolio stays
+/// cheap), the rest are easy proving work. Distinct seeds keep every
+/// fingerprint unique, so no cache could help even if one were enabled.
+fn stream(requests: usize) -> Vec<ProblemInstance> {
+    (0..requests)
+        .map(|i| {
+            if i % 6 == 3 {
+                comm_instance(0x7A11 + i as u64, 20, 10)
+            } else {
+                comm_instance(0x7A11 + i as u64, 5 + i % 3, 3)
+            }
+        })
+        .collect()
+}
+
+/// The bench budget: bb caps widened so the hard instances still route
+/// to comm-bb (the tail we are engineering away), time limit tightened
+/// so one unhedged run never stalls the bench for the default 10 s, and
+/// `Quality::Fast` so the heuristic side of every race is cheap — the
+/// latency-sensitive serving profile hedging is designed for.
+fn bench_budget(bb_time_limit_ms: u64) -> Budget {
+    Budget {
+        max_comm_bb_stages: 32,
+        max_comm_bb_procs: 20,
+        bb_time_limit_ms,
+        ..Budget::default().quality(Quality::Fast)
+    }
+}
+
+/// Solves the stream one request at a time and returns the sorted
+/// per-request latencies.
+fn measure(
+    service: &SolverService,
+    stream: &[ProblemInstance],
+    engine: EnginePref,
+    budget: Budget,
+) -> Result<Vec<Duration>, String> {
+    let mut samples = Vec::with_capacity(stream.len());
+    for (i, instance) in stream.iter().enumerate() {
+        let request = SolveRequest::new(instance.clone())
+            .engine(engine)
+            .budget(budget);
+        let start = Instant::now();
+        service
+            .solve(&request)
+            .map_err(|e| format!("request {i} failed under {engine:?}: {e}"))?;
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    Ok(samples)
+}
+
+/// Nearest-rank percentile of an ascending sample vector.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn latency_section(sorted: &[Duration]) -> Value {
+    let ms = |d: Duration| Value::Float(d.as_secs_f64() * 1e3);
+    Value::Object(vec![
+        ("samples".into(), Value::Int(sorted.len() as i128)),
+        ("p50_ms".into(), ms(percentile(sorted, 50.0))),
+        ("p95_ms".into(), ms(percentile(sorted, 95.0))),
+        ("p99_ms".into(), ms(percentile(sorted, 99.0))),
+        ("max_ms".into(), ms(*sorted.last().expect("non-empty"))),
+    ])
+}
+
+/// Synthetic, Fibonacci-mixed cache key: the high 64 bits drive shard
+/// selection, so the mixer spreads the key set across every shard the
+/// way real fingerprints do.
+fn synthetic_key(i: u64) -> InstanceFingerprint {
+    let hi = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    InstanceFingerprint::from_u128(((hi as u128) << 64) | i as u128)
+}
+
+/// Contended lookup throughput of one cache configuration: `threads`
+/// workers each performing `ops` gets over a pre-filled key set.
+/// Returns lookups/sec. The seed report is cloned under every key —
+/// a wide instance makes it realistically heavy, and `get` clones the
+/// report while holding the shard lock, which is exactly the critical
+/// section striping is meant to split.
+fn contended_lookups(
+    shards: usize,
+    threads: usize,
+    ops: usize,
+    report: &repliflow_solver::SolveReport,
+) -> f64 {
+    const KEYS: usize = 256;
+    let cache = Arc::new(SolveCache::with_shards(2 * KEYS, shards));
+    for i in 0..KEYS as u64 {
+        cache.insert(synthetic_key(i), report.clone());
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..ops {
+                    let k = synthetic_key(((t * ops + i) % KEYS) as u64);
+                    assert!(cache.get(k).is_some(), "pre-filled key missing");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("lookup thread panicked");
+    }
+    (threads * ops) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut requests: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--requests" => match it.next().as_deref().and_then(|r| r.parse().ok()) {
+                Some(r) if r > 0 => requests = Some(r),
+                _ => return usage(),
+            },
+            "--threads" => match it.next().as_deref().and_then(|t| t.parse().ok()) {
+                Some(t) if t > 0 => threads = Some(t),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let requests = requests.unwrap_or(if quick { 32 } else { 96 });
+    let bb_time_limit_ms: u64 = 250;
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // More threads than cores on any plausible runner: contention (and
+    // single-mutex convoying) is the phenomenon under measurement.
+    let threads = threads.unwrap_or((2 * parallelism).clamp(8, 16));
+    let trials = if quick { 2 } else { 3 };
+
+    let stream = stream(requests);
+    let budget = bench_budget(bb_time_limit_ms);
+    // Cacheless on purpose: every sample is a real solve, and the two
+    // passes over the same stream stay independent.
+    let service = SolverService::builder().no_cache().build();
+
+    let off = match measure(&service, &stream, EnginePref::CommBb, budget) {
+        Ok(samples) => samples,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let on = match measure(&service, &stream, EnginePref::Hedged, budget) {
+        Ok(samples) => samples,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = service.stats();
+
+    // Contended cache throughput. Trials are interleaved round-robin
+    // over the shard counts (1,2,4,8,1,2,4,8,...) so slow drift in the
+    // machine hits every configuration equally; the best trial per
+    // configuration is reported.
+    let lookup_ops = if quick { 100_000 } else { 200_000 };
+    let seed_report = EngineRegistry::default()
+        .solve(
+            &SolveRequest::new(comm_instance(0x7A00, 20, 10))
+                .engine(EnginePref::Heuristic)
+                .budget(Budget::default().quality(Quality::Fast)),
+        )
+        .expect("seed report solves");
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut best = [0.0f64; 4];
+    for _ in 0..trials {
+        for (slot, &shards) in shard_counts.iter().enumerate() {
+            let per_sec = contended_lookups(shards, threads, lookup_ops, &seed_report);
+            best[slot] = best[slot].max(per_sec);
+        }
+    }
+    let cache_rows: Vec<(usize, f64)> = shard_counts.iter().copied().zip(best).collect();
+
+    let report = Value::Object(vec![
+        ("requests".into(), Value::Int(requests as i128)),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "bb_time_limit_ms".into(),
+            Value::Int(bb_time_limit_ms as i128),
+        ),
+        (
+            "hedge_delay_ms".into(),
+            Value::Int(budget.hedge_delay_ms as i128),
+        ),
+        ("hedging_off".into(), latency_section(&off)),
+        ("hedging_on".into(), latency_section(&on)),
+        (
+            "hedge_stats".into(),
+            Value::Object(vec![
+                ("races".into(), Value::Int(stats.hedge.races as i128)),
+                (
+                    "primary_wins".into(),
+                    Value::Int(stats.hedge.primary_wins as i128),
+                ),
+                (
+                    "secondary_wins".into(),
+                    Value::Int(stats.hedge.secondary_wins as i128),
+                ),
+                (
+                    "losers_cancelled".into(),
+                    Value::Int(stats.hedge.losers_cancelled as i128),
+                ),
+                (
+                    "window_rescues".into(),
+                    Value::Int(stats.hedge.window_rescues as i128),
+                ),
+            ]),
+        ),
+        (
+            "cache_contention".into(),
+            Value::Object(vec![
+                ("threads".into(), Value::Int(threads as i128)),
+                ("parallelism".into(), Value::Int(parallelism as i128)),
+                ("asserted".into(), Value::Bool(parallelism >= 2)),
+                ("lookups_per_thread".into(), Value::Int(lookup_ops as i128)),
+                (
+                    "by_shards".into(),
+                    Value::Array(
+                        cache_rows
+                            .iter()
+                            .map(|&(shards, per_sec)| {
+                                Value::Object(vec![
+                                    ("shards".into(), Value::Int(shards as i128)),
+                                    ("lookups_per_sec".into(), Value::Float(per_sec)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serialization is infallible")
+    );
+
+    // Acceptance bars — the reason this bench exists.
+    let off_p99 = percentile(&off, 99.0);
+    let on_p99 = percentile(&on, 99.0);
+    if on_p99 > off_p99 {
+        eprintln!(
+            "error: hedged p99 {:.1} ms exceeds unhedged p99 {:.1} ms",
+            on_p99.as_secs_f64() * 1e3,
+            off_p99.as_secs_f64() * 1e3
+        );
+        return ExitCode::FAILURE;
+    }
+    let one_shard = cache_rows[0].1;
+    let eight_shard = cache_rows.last().expect("shard rows non-empty").1;
+    if parallelism < 2 {
+        eprintln!(
+            "note: single-core machine — striping has no parallelism to recover, \
+             shard-scaling bar not enforced (8-shard {eight_shard:.0}/s, 1-shard {one_shard:.0}/s)"
+        );
+    } else if eight_shard < one_shard {
+        eprintln!("error: 8-shard throughput {eight_shard:.0}/s below 1-shard {one_shard:.0}/s");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -24,6 +24,7 @@ pub fn engine_wire_name(engine: EnginePref) -> &'static str {
         EnginePref::Heuristic => "heuristic",
         EnginePref::Paper => "paper",
         EnginePref::CommBb => "comm-bb",
+        EnginePref::Hedged => "hedged",
     }
 }
 

@@ -4,6 +4,8 @@
 //! repliflow-serve                          # serve on 127.0.0.1:7473
 //! repliflow-serve --addr 0.0.0.0:9000     # custom bind address
 //! repliflow-serve --workers 4 --no-cache  # pool and cache knobs
+//! repliflow-serve --cache-shards 16       # cache lock striping
+//! repliflow-serve --escalate              # background thorough re-solves
 //! repliflow-serve --queue-depth 16 --per-conn-inflight 4
 //! repliflow-serve --quality fast          # default heuristic tier
 //! repliflow-serve ctl ping                # admin: liveness probe
@@ -27,8 +29,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repliflow-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--per-conn-inflight N] [--no-cache] [--cache-capacity N] \
-         [--quality fast|balanced|thorough] [--max-line-bytes N]\n\
+         [--per-conn-inflight N] [--no-cache] [--cache-capacity N] [--cache-shards N] \
+         [--escalate] [--quality fast|balanced|thorough] [--max-line-bytes N]\n\
          \x20      repliflow-serve ctl ping|stats|shutdown [--addr HOST:PORT]"
     );
     ExitCode::FAILURE
@@ -113,6 +115,11 @@ fn main() -> ExitCode {
                 Some(c) => config.cache_capacity = c,
                 None => return usage(),
             },
+            "--cache-shards" => match it.next().as_deref().and_then(|s| s.parse().ok()) {
+                Some(s) if s > 0 => config.cache_shards = s,
+                _ => return usage(),
+            },
+            "--escalate" => config.escalation = true,
             "--quality" => match it.next().as_deref().and_then(Quality::parse) {
                 Some(q) => quality = q,
                 None => return usage(),

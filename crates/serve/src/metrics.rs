@@ -17,13 +17,21 @@
 //!             "queue_wait_ms":...,"jobs_executed":5,
 //!             "busy_ms":...,"worker_utilization":0.41,
 //!             "per_engine":[{"engine":"paper","wall_ms":...,"solves":4}]},
-//!  "cache":{"hits":3,"misses":6,"insertions":5,"evictions":0},
+//!  "cache":{"hits":3,"misses":6,"insertions":5,"evictions":0,
+//!           "shards":8},
+//!  "hedge":{"races":2,"primary_wins":1,"secondary_wins":1,
+//!           "losers_cancelled":2,"window_rescues":0},
+//!  "escalation":{"scheduled":1,"refreshed":1,"unimproved":0,
+//!                "shed":0,"failed":0},
 //!  "latency":{"count":9,"mean_us":...,"min_us":...,"max_us":...,
 //!             "p50_us":...,"p95_us":...,"p99_us":...}}
 //! ```
 //!
 //! `cache` is `null` when the daemon runs cacheless; latency
-//! percentiles are `null` until the first request is served.
+//! percentiles are `null` until the first request is served. The
+//! `hedge` counters stay zero until the first `engine: "hedged"`
+//! request; `escalation` counters stay zero unless the daemon runs
+//! with `--escalate`.
 
 use crate::server::ServerShared;
 use repliflow_solver::{HistogramSnapshot, SolverService};
@@ -81,8 +89,47 @@ pub(crate) fn snapshot(service: &SolverService, shared: &ServerShared) -> Value 
             ("misses".into(), Value::Int(c.misses as i128)),
             ("insertions".into(), Value::Int(c.insertions as i128)),
             ("evictions".into(), Value::Int(c.evictions as i128)),
+            (
+                "shards".into(),
+                Value::Int(service.cache_shards().unwrap_or(0) as i128),
+            ),
         ]),
     };
+    let hedge = Value::Object(vec![
+        ("races".into(), Value::Int(stats.hedge.races as i128)),
+        (
+            "primary_wins".into(),
+            Value::Int(stats.hedge.primary_wins as i128),
+        ),
+        (
+            "secondary_wins".into(),
+            Value::Int(stats.hedge.secondary_wins as i128),
+        ),
+        (
+            "losers_cancelled".into(),
+            Value::Int(stats.hedge.losers_cancelled as i128),
+        ),
+        (
+            "window_rescues".into(),
+            Value::Int(stats.hedge.window_rescues as i128),
+        ),
+    ]);
+    let escalation = Value::Object(vec![
+        (
+            "scheduled".into(),
+            Value::Int(stats.escalation.scheduled as i128),
+        ),
+        (
+            "refreshed".into(),
+            Value::Int(stats.escalation.refreshed as i128),
+        ),
+        (
+            "unimproved".into(),
+            Value::Int(stats.escalation.unimproved as i128),
+        ),
+        ("shed".into(), Value::Int(stats.escalation.shed as i128)),
+        ("failed".into(), Value::Int(stats.escalation.failed as i128)),
+    ]);
     Value::Object(vec![
         (
             "server".into(),
@@ -140,6 +187,8 @@ pub(crate) fn snapshot(service: &SolverService, shared: &ServerShared) -> Value 
             ]),
         ),
         ("cache".into(), cache),
+        ("hedge".into(), hedge),
+        ("escalation".into(), escalation),
         ("latency".into(), latency_section(&stats.latency)),
     ])
 }

@@ -80,6 +80,13 @@ pub struct ServerConfig {
     pub workers: Option<usize>,
     /// Solve-cache capacity in reports (`0` disables caching).
     pub cache_capacity: usize,
+    /// Lock-striped solve-cache shard count (rounded to a power of two
+    /// and clamped to the capacity; see `SolveCache::with_shards`).
+    pub cache_shards: usize,
+    /// Whether budgeted background escalation is enabled: heuristic
+    /// answers get a bounded thorough-tier re-solve whose improvement
+    /// refreshes the cache (`escalated` provenance on later hits).
+    pub escalation: bool,
     /// Default budget applied to every request (the wire `quality`
     /// field overrides its quality tier per request).
     pub default_budget: Budget,
@@ -97,6 +104,8 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             workers: None,
             cache_capacity: repliflow_solver::DEFAULT_CACHE_CAPACITY,
+            cache_shards: repliflow_solver::DEFAULT_CACHE_SHARDS,
+            escalation: false,
             default_budget: Budget::default(),
             honor_process_signals: false,
         }
@@ -160,6 +169,8 @@ impl Server {
         listener.set_nonblocking(true)?;
         let mut builder = SolverService::builder()
             .cache_capacity(config.cache_capacity)
+            .cache_shards(config.cache_shards)
+            .escalation(config.escalation)
             .default_budget(config.default_budget);
         if let Some(workers) = config.workers {
             builder = builder.workers(workers);

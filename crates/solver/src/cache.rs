@@ -1,5 +1,5 @@
-//! The solve cache: a thread-safe LRU over canonical request
-//! fingerprints.
+//! The solve cache: a thread-safe, lock-striped LRU over canonical
+//! request fingerprints.
 //!
 //! Serving workloads repeat themselves — the same golden instances, the
 //! same dashboard queries, the same retry storms — and PRs 1–4 made
@@ -12,13 +12,46 @@
 //! cache can be dropped in front of any caller without observable
 //! changes beyond speed.
 //!
-//! The eviction policy is plain LRU over a fixed entry capacity: one
-//! mutex around an index map plus an intrusive recency list. Solve
-//! costs dwarf a map lookup by many orders of magnitude, so a single
-//! lock is nowhere near the bottleneck even at pool-saturating
-//! concurrency.
+//! # Sharding
+//!
+//! The cache is split into N independent **lock-striped shards** (N a
+//! power of two, [`SolveCache::with_shards`]), each a plain LRU — an
+//! index map plus an intrusive recency list behind one mutex. A key's
+//! shard is selected by the *high* bits of its 128-bit fingerprint:
+//! FNV-1a mixes every input byte into the top bits, so keys spread
+//! uniformly and two concurrent warm-path lookups almost never contend
+//! on the same mutex. One solve dwarfs a map lookup by many orders of
+//! magnitude, so sharding is irrelevant for cold traffic — it exists
+//! for the warm path under concurrent daemon load, where every request
+//! is a lookup and a single mutex becomes the serialization point (the
+//! `tail_latency` bench measures contended throughput by shard count).
+//!
+//! [`SolveCache::new`] builds a single-shard cache (the exact
+//! pre-sharding semantics); the serving layer defaults to
+//! [`DEFAULT_CACHE_SHARDS`](crate::service::DEFAULT_CACHE_SHARDS).
+//!
+//! # What is (and is not) written back
+//!
+//! The cache itself stores whatever it is given; the *serving layer*
+//! ([`SolverService`]) enforces two write-back rules on top:
+//!
+//! * **no write under a deadline** — a deadline-clamped run may carry a
+//!   degraded incumbent that must not be served to full-budget
+//!   requests (reads are still allowed);
+//! * **no write for incomplete searches** — a `comm-bb` run that
+//!   tripped its node/time budget reports a load-dependent incumbent,
+//!   so only completed searches (and all non-search engines) are
+//!   written back.
+//!
+//! Batch duplicates are **coalesced per fingerprint** before they ever
+//! reach the cache: one leader computes, every duplicate slot is fanned
+//! out as [`Provenance::Cached`] — concurrent repeats never race each
+//! other past the cache. Background escalation refreshes an entry in
+//! place with an improved report tagged
+//! [`Provenance::Escalated`](crate::Provenance::Escalated).
 //!
 //! [`Provenance::Cached`]: crate::Provenance::Cached
+//! [`SolverService`]: crate::SolverService
 
 use crate::report::SolveReport;
 use repliflow_core::fingerprint::InstanceFingerprint;
@@ -48,6 +81,13 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
 }
 
 const NIL: usize = usize::MAX;
@@ -69,6 +109,17 @@ struct Inner {
 }
 
 impl Inner {
+    fn new() -> Inner {
+        Inner {
+            index: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
     /// Unlinks entry `i` from the recency list.
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.entries[i].prev, self.entries[i].next);
@@ -92,99 +143,44 @@ impl Inner {
         }
         self.head = i;
     }
-}
 
-/// A bounded, thread-safe LRU cache of [`SolveReport`]s keyed on
-/// request fingerprints.
-pub struct SolveCache {
-    capacity: usize,
-    inner: Mutex<Inner>,
-}
-
-impl std::fmt::Debug for SolveCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("cache lock");
-        f.debug_struct("SolveCache")
-            .field("capacity", &self.capacity)
-            .field("len", &inner.index.len())
-            .field("stats", &inner.stats)
-            .finish()
-    }
-}
-
-impl SolveCache {
-    /// Cache holding at most `capacity` reports (`capacity` is clamped
-    /// to at least 1 — use no cache at all to disable caching).
-    pub fn new(capacity: usize) -> SolveCache {
-        SolveCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                index: HashMap::new(),
-                entries: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                stats: CacheStats::default(),
-            }),
-        }
-    }
-
-    /// The entry capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Current number of cached reports.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").index.len()
-    }
-
-    /// Whether the cache holds nothing.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Looks `key` up, marking the entry most recently used. Counts a
-    /// hit or miss.
-    pub fn get(&self, key: InstanceFingerprint) -> Option<SolveReport> {
-        let mut inner = self.inner.lock().expect("cache lock");
-        match inner.index.get(&key).copied() {
+    /// One shard's LRU lookup.
+    fn get(&mut self, key: InstanceFingerprint) -> Option<SolveReport> {
+        match self.index.get(&key).copied() {
             Some(i) => {
-                inner.stats.hits += 1;
-                inner.unlink(i);
-                inner.push_front(i);
-                Some(inner.entries[i].report.clone())
+                self.stats.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.entries[i].report.clone())
             }
             None => {
-                inner.stats.misses += 1;
+                self.stats.misses += 1;
                 None
             }
         }
     }
 
-    /// Inserts (or refreshes) `key → report`, evicting the least
-    /// recently used entry when full.
-    pub fn insert(&self, key: InstanceFingerprint, report: SolveReport) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.stats.insertions += 1;
-        if let Some(i) = inner.index.get(&key).copied() {
-            inner.entries[i].report = report;
-            inner.unlink(i);
-            inner.push_front(i);
+    /// One shard's LRU insert under a per-shard `capacity`.
+    fn insert(&mut self, key: InstanceFingerprint, report: SolveReport, capacity: usize) {
+        self.stats.insertions += 1;
+        if let Some(i) = self.index.get(&key).copied() {
+            self.entries[i].report = report;
+            self.unlink(i);
+            self.push_front(i);
             return;
         }
-        if inner.index.len() >= self.capacity {
-            let victim = inner.tail;
-            debug_assert_ne!(victim, NIL, "non-empty cache has a tail");
-            inner.unlink(victim);
-            let old_key = inner.entries[victim].key;
-            inner.index.remove(&old_key);
-            inner.free.push(victim);
-            inner.stats.evictions += 1;
+        if self.index.len() >= capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "non-empty shard has a tail");
+            self.unlink(victim);
+            let old_key = self.entries[victim].key;
+            self.index.remove(&old_key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
         }
-        let slot = match inner.free.pop() {
+        let slot = match self.free.pop() {
             Some(slot) => {
-                inner.entries[slot] = Entry {
+                self.entries[slot] = Entry {
                     key,
                     report,
                     prev: NIL,
@@ -193,32 +189,149 @@ impl SolveCache {
                 slot
             }
             None => {
-                inner.entries.push(Entry {
+                self.entries.push(Entry {
                     key,
                     report,
                     prev: NIL,
                     next: NIL,
                 });
-                inner.entries.len() - 1
+                self.entries.len() - 1
             }
         };
-        inner.index.insert(key, slot);
-        inner.push_front(slot);
+        self.index.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+/// A bounded, thread-safe, lock-striped LRU cache of [`SolveReport`]s
+/// keyed on request fingerprints. See the module docs for the sharding
+/// scheme and the serving layer's write-back rules.
+pub struct SolveCache {
+    /// Per-shard entry capacity (total capacity = `shard_capacity *
+    /// shards.len()`).
+    shard_capacity: usize,
+    /// `log2(shards.len())` — the number of fingerprint high bits that
+    /// select a shard.
+    shard_bits: u32,
+    shards: Vec<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCache")
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SolveCache {
+    /// Single-shard cache holding at most `capacity` reports
+    /// (`capacity` is clamped to at least 1 — use no cache at all to
+    /// disable caching). Exactly the pre-sharding LRU semantics; the
+    /// serving layer uses [`SolveCache::with_shards`].
+    pub fn new(capacity: usize) -> SolveCache {
+        SolveCache::with_shards(capacity, 1)
     }
 
-    /// Snapshot of the lifetime counters.
+    /// Cache striped over `shards` independent LRU shards with a
+    /// *total* capacity of (at least) `capacity` reports.
+    ///
+    /// `shards` is rounded up to a power of two, clamped to at least 1
+    /// and to at most `capacity` (a cache of 4 entries gets at most 4
+    /// shards no matter what was asked — more stripes than entries
+    /// would silently multiply the requested capacity); `capacity` is
+    /// split evenly, rounding each shard's slice up, so the effective
+    /// total capacity ([`SolveCache::capacity`]) is
+    /// `ceil(capacity / shards) * shards`. Eviction is LRU **per
+    /// shard**: with uniformly spread fingerprints (which FNV-1a
+    /// provides) the global behavior matches a single LRU of the same
+    /// total capacity; a workload that fits in capacity behaves
+    /// identically for any shard count.
+    pub fn with_shards(capacity: usize, shards: usize) -> SolveCache {
+        let capacity = capacity.max(1);
+        // largest power of two ≤ capacity: the shard-count ceiling
+        let floor_pow2 = 1usize << (usize::BITS - 1 - capacity.leading_zeros());
+        let shards = shards.max(1).next_power_of_two().min(floor_pow2);
+        let shard_capacity = capacity.div_ceil(shards);
+        SolveCache {
+            shard_capacity,
+            shard_bits: shards.trailing_zeros(),
+            shards: (0..shards).map(|_| Mutex::new(Inner::new())).collect(),
+        }
+    }
+
+    /// The effective total entry capacity (per-shard capacity × shard
+    /// count; at least the capacity requested at construction).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// The number of lock-striped shards (a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` lives in: the highest `log2(shards)` bits of the
+    /// 128-bit fingerprint.
+    fn shard_for(&self, key: InstanceFingerprint) -> &Mutex<Inner> {
+        // `>> (128 - bits)` keeps exactly the top `bits` bits; a shift
+        // by 128 (the 1-shard case) would overflow, so mask via u64
+        // arithmetic on the top half instead.
+        let hi = (key.as_u128() >> 64) as u64;
+        let idx = (hi >> (64 - self.shard_bits as u64).min(63)) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Current number of cached reports (summed over shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").index.len())
+            .sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, marking the entry most recently used within its
+    /// shard. Counts a hit or miss.
+    pub fn get(&self, key: InstanceFingerprint) -> Option<SolveReport> {
+        self.shard_for(key).lock().expect("cache lock").get(key)
+    }
+
+    /// Inserts (or refreshes) `key → report`, evicting its shard's
+    /// least recently used entry when the shard is full.
+    pub fn insert(&self, key: InstanceFingerprint, report: SolveReport) {
+        self.shard_for(key)
+            .lock()
+            .expect("cache lock")
+            .insert(key, report, self.shard_capacity);
+    }
+
+    /// Snapshot of the lifetime counters (summed over shards).
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(shard.lock().expect("cache lock").stats);
+        }
+        total
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.index.clear();
-        inner.entries.clear();
-        inner.free.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
+        for shard in &self.shards {
+            let mut inner = shard.lock().expect("cache lock");
+            inner.index.clear();
+            inner.entries.clear();
+            inner.free.clear();
+            inner.head = NIL;
+            inner.tail = NIL;
+        }
     }
 }
 
@@ -317,5 +430,81 @@ mod tests {
         assert!(cache.get(key(1)).is_some());
         assert!(cache.get(key(2)).is_none());
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// A key that lands in shard `shard` of a `shards`-way cache, with
+    /// low bits `salt` to keep keys distinct.
+    fn key_in_shard(shard: u128, shards: usize, salt: u128) -> InstanceFingerprint {
+        let bits = shards.trailing_zeros();
+        key((shard << (128 - bits)) | salt)
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(SolveCache::with_shards(16, 0).shards(), 1);
+        assert_eq!(SolveCache::with_shards(16, 3).shards(), 4);
+        assert_eq!(SolveCache::with_shards(16, 8).shards(), 8);
+        // shard count never exceeds capacity (no silent inflation)
+        assert_eq!(SolveCache::with_shards(1, 8).shards(), 1);
+        assert_eq!(SolveCache::with_shards(1, 8).capacity(), 1);
+        assert_eq!(SolveCache::with_shards(5, 8).shards(), 4);
+    }
+
+    #[test]
+    fn capacity_is_split_rounding_up() {
+        let cache = SolveCache::with_shards(10, 4);
+        assert_eq!(cache.capacity(), 12); // ceil(10/4)=3 per shard
+        assert_eq!(SolveCache::with_shards(1024, 8).capacity(), 1024);
+    }
+
+    #[test]
+    fn high_bits_select_the_shard() {
+        // Per-shard capacity 1: keys engineered into the same shard
+        // evict each other; keys in different shards coexist.
+        let cache = SolveCache::with_shards(4, 4);
+        cache.insert(key_in_shard(0, 4, 1), dummy_report(1));
+        cache.insert(key_in_shard(1, 4, 2), dummy_report(2));
+        cache.insert(key_in_shard(2, 4, 3), dummy_report(3));
+        cache.insert(key_in_shard(3, 4, 4), dummy_report(4));
+        assert_eq!(cache.len(), 4, "distinct shards never evict each other");
+        assert_eq!(cache.stats().evictions, 0);
+        // a fifth key into shard 0 evicts the shard-0 resident only
+        cache.insert(key_in_shard(0, 4, 5), dummy_report(5));
+        assert_eq!(cache.len(), 4);
+        assert!(cache.get(key_in_shard(0, 4, 1)).is_none());
+        assert!(cache.get(key_in_shard(1, 4, 2)).is_some());
+    }
+
+    #[test]
+    fn shard_counts_agree_when_capacity_does_not_bind() {
+        // The same mixed lookup/insert trace against every shard count:
+        // hit/miss outcomes and final contents must be identical as
+        // long as no shard evicts.
+        let caches: Vec<SolveCache> = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|s| SolveCache::with_shards(256, s))
+            .collect();
+        // Fibonacci-hash the index into the *high* 64 bits (where the
+        // shard selector looks) and keep the index in the low bits so
+        // keys stay distinct.
+        let mix =
+            |i: u128| key((((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as u128) << 64) | i);
+        for cache in &caches {
+            for i in 0..64u128 {
+                assert!(cache.get(mix(i)).is_none(), "cold lookup must miss");
+                cache.insert(mix(i), dummy_report(i as u64));
+            }
+            for i in 0..64u128 {
+                let hit = cache.get(mix(i)).expect("warm lookup must hit");
+                assert_eq!(hit.wall_time, Duration::from_millis(i as u64));
+            }
+            assert_eq!(cache.len(), 64);
+            let stats = cache.stats();
+            assert_eq!(
+                (stats.hits, stats.misses, stats.insertions, stats.evictions),
+                (64, 64, 64, 0),
+                "shard count changed observable behavior"
+            );
+        }
     }
 }

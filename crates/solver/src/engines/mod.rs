@@ -5,12 +5,14 @@
 mod comm;
 mod comm_bb;
 mod exact;
+pub mod hedged;
 mod heuristic;
 mod paper;
 
 pub use comm::{CommExactEngine, CommHeuristicEngine};
 pub use comm_bb::CommBbEngine;
 pub use exact::ExactEngine;
+pub use hedged::{HedgeStats, HedgedEngine};
 pub use heuristic::HeuristicEngine;
 pub use paper::PaperEngine;
 

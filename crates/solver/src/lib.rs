@@ -17,7 +17,9 @@
 //!   portfolio) within [`Budget::allows_comm_bb`], `comm-heuristic`
 //!   beyond;
 //! * explicit overrides via [`EnginePref`]: `Exact`, `Heuristic`,
-//!   `CommBb`, or `Paper` (paper algorithm or refuse).
+//!   `CommBb`, `Paper` (paper algorithm or refuse), or `Hedged`
+//!   (tail-latency route racing `comm-bb` against `comm-heuristic`;
+//!   see [`engines::hedged`]).
 //!
 //! Every report can re-validate its witness mapping through the
 //! `repliflow-core` cost model ([`SolveRequest::validate_witness`], on
@@ -68,14 +70,15 @@ mod service;
 
 pub use batch::BatchOptions;
 pub use cache::{CacheStats, SolveCache};
-pub use engine::Engine;
+pub use engine::{Engine, EngineRun};
+pub use engines::{HedgeStats, HedgedEngine};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::EngineRegistry;
-pub use report::{Optimality, Provenance, SolveError, SolveReport};
+pub use report::{Optimality, Provenance, SearchStats, SolveError, SolveReport};
 pub use request::{Budget, CancelToken, Deadline, EnginePref, Quality, SolveRequest};
 pub use service::{
-    batch_threads, EngineWall, ServiceStats, SolveStream, SolverBuilder, SolverService,
-    DEFAULT_CACHE_CAPACITY,
+    batch_threads, EngineWall, EscalationStats, ServiceStats, SolveStream, SolverBuilder,
+    SolverService, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS, DEFAULT_MAX_ESCALATIONS,
 };
 
 // Re-exported so callers can share the instance-identity machinery the

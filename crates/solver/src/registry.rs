@@ -3,7 +3,8 @@
 
 use crate::engine::Engine;
 use crate::engines::{
-    CommBbEngine, CommExactEngine, CommHeuristicEngine, ExactEngine, HeuristicEngine, PaperEngine,
+    CommBbEngine, CommExactEngine, CommHeuristicEngine, ExactEngine, HedgeStats, HedgedEngine,
+    HeuristicEngine, PaperEngine,
 };
 use crate::report::{Optimality, SolveError, SolveReport};
 use crate::request::{Budget, CancelToken, Deadline, EnginePref, SolveRequest};
@@ -38,9 +39,16 @@ pub struct EngineRegistry {
     comm_exact: CommExactEngine,
     comm_bb: CommBbEngine,
     comm_heuristic: CommHeuristicEngine,
+    hedged: HedgedEngine,
 }
 
 impl EngineRegistry {
+    /// Snapshot of the hedged engine's race counters (zeroes until the
+    /// first [`EnginePref::Hedged`] request races).
+    pub fn hedge_stats(&self) -> HedgeStats {
+        self.hedged.stats()
+    }
+
     /// The engine a **communication-aware** request routes to:
     /// comm-exact within the budget's enumeration guard (or when forced
     /// via [`EnginePref::Exact`]), comm-bb within the branch-and-bound
@@ -71,6 +79,7 @@ impl EngineRegistry {
             }),
             EnginePref::Exact => Ok(&self.comm_exact),
             EnginePref::CommBb => Ok(&self.comm_bb),
+            EnginePref::Hedged => Ok(&self.hedged),
             EnginePref::Heuristic => Ok(&self.comm_heuristic),
             EnginePref::Auto => {
                 use repliflow_core::instance::GraphClass;
@@ -117,6 +126,12 @@ impl EngineRegistry {
             // DP (`exact`) as their proven-optimal route
             EnginePref::CommBb => Err(SolveError::Unsupported {
                 engine: self.comm_bb.name(),
+                variant: *variant,
+            }),
+            // racing only pays where solve-time tails exist — i.e. on
+            // comm-aware instances; simplified ones are refused too
+            EnginePref::Hedged => Err(SolveError::Unsupported {
+                engine: self.hedged.name(),
                 variant: *variant,
             }),
             EnginePref::Paper => {

@@ -48,13 +48,15 @@ pub struct SearchStats {
     pub completed: bool,
 }
 
-/// Where a [`SolveReport`] came from: freshly computed by an engine, or
-/// served from the [`SolverService`] cache.
+/// Where a [`SolveReport`] came from: freshly computed by an engine,
+/// served from the [`SolverService`] cache, or refreshed in the cache
+/// by a background escalation re-solve.
 ///
 /// Provenance is **serving metadata**, not part of the solution: like
 /// `wall_time` it is excluded from [`SolveReport::canonical_json`], and
-/// the determinism suite pins that a cached report is byte-identical to
-/// a freshly computed one under the canonical form.
+/// the determinism suite pins that a cached (or escalation-refreshed)
+/// report is byte-identical to a freshly computed one under the
+/// canonical form.
 ///
 /// [`SolverService`]: crate::SolverService
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,6 +69,14 @@ pub enum Provenance {
     /// same fingerprint), or coalesced from a duplicate request in the
     /// same batch. `wall_time` still records the original compute cost.
     Cached,
+    /// The report was improved by a background escalation re-solve (a
+    /// thorough-tier recomputation scheduled after a fast-tier answer
+    /// was already served) and refreshed the cache entry under the
+    /// original request's fingerprint. Served to every later hit on
+    /// that fingerprint, so callers can observe that their answer is
+    /// the escalated one. `wall_time` records the escalated run's
+    /// compute cost.
+    Escalated,
 }
 
 impl fmt::Display for Provenance {
@@ -74,6 +84,7 @@ impl fmt::Display for Provenance {
         f.write_str(match self {
             Provenance::Computed => "computed",
             Provenance::Cached => "cached",
+            Provenance::Escalated => "escalated",
         })
     }
 }

@@ -32,11 +32,18 @@ pub enum EnginePref {
     ///
     /// [`CostModel::WithComm`]: repliflow_core::instance::CostModel::WithComm
     CommBb,
+    /// Race the communication-aware branch-and-bound against the
+    /// heuristic portfolio and take the first acceptable result (the
+    /// tail-latency route — see `solver::engines::hedged`). Only
+    /// meaningful for `WithComm` instances; the registry refuses
+    /// simplified-model requests, which already have a cheap proven
+    /// route.
+    Hedged,
 }
 
 impl EnginePref {
     /// Parses the CLI spelling (`auto`, `exact`, `heuristic`, `paper`,
-    /// `comm-bb`).
+    /// `comm-bb`, `hedged`).
     pub fn parse(s: &str) -> Option<EnginePref> {
         match s {
             "auto" => Some(EnginePref::Auto),
@@ -44,6 +51,7 @@ impl EnginePref {
             "heuristic" => Some(EnginePref::Heuristic),
             "paper" => Some(EnginePref::Paper),
             "comm-bb" => Some(EnginePref::CommBb),
+            "hedged" => Some(EnginePref::Hedged),
             _ => None,
         }
     }
@@ -132,6 +140,15 @@ pub struct Budget {
     pub bb_time_limit_ms: u64,
     /// Round limit for the steepest-descent local search.
     pub local_search_rounds: usize,
+    /// The hedged engine's grace window, in milliseconds: when the
+    /// *heuristic* racer finishes first, the race waits up to this long
+    /// for the branch-and-bound racer before settling — a proven-optimal
+    /// result that lands inside the window is always preferred over the
+    /// earlier heuristic one. `0` means first acceptable result wins
+    /// outright. Only the hedged engine reads it, but it is part of the
+    /// request fingerprint (it changes which answer a hedged request
+    /// settles on).
+    pub hedge_delay_ms: u64,
     /// Heuristic effort tier (whether/how long to anneal).
     pub quality: Quality,
     /// Seed for randomized heuristics (kept fixed for reproducibility).
@@ -158,6 +175,7 @@ impl Default for Budget {
             bb_node_limit: 4_000_000,
             bb_time_limit_ms: 10_000,
             local_search_rounds: 200,
+            hedge_delay_ms: 25,
             quality: Quality::Balanced,
             seed: 0x5EED,
         }
@@ -208,6 +226,12 @@ impl Budget {
     /// Overrides the quality tier (builder style).
     pub fn quality(mut self, quality: Quality) -> Budget {
         self.quality = quality;
+        self
+    }
+
+    /// Overrides the hedged engine's grace window (builder style).
+    pub fn hedge_delay_ms(mut self, ms: u64) -> Budget {
+        self.hedge_delay_ms = ms;
         self
     }
 }
@@ -392,6 +416,7 @@ impl SolveRequest {
             EnginePref::Heuristic => 2,
             EnginePref::Paper => 3,
             EnginePref::CommBb => 4,
+            EnginePref::Hedged => 5,
         });
         let b = &self.budget;
         for knob in [
@@ -405,6 +430,7 @@ impl SolveRequest {
             b.bb_node_limit,
             b.bb_time_limit_ms,
             b.local_search_rounds as u64,
+            b.hedge_delay_ms,
         ] {
             hasher.write_u64(knob);
         }

@@ -22,7 +22,15 @@
 //!   yields results as they finish, which
 //!   [`SolverService::solve_batch`] reassembles into input order;
 //! * serving statistics ([`ServiceStats`]): cache hit rate, queue
-//!   wait, per-engine wall time.
+//!   wait, per-engine wall time, hedge-race and escalation counters;
+//! * opt-in **budgeted escalation** ([`SolverBuilder::escalation`]):
+//!   a fresh heuristic-tier answer is returned immediately while a
+//!   background thorough re-solve (widened `comm-bb` caps, quality
+//!   raised to the escalation tier) runs on a small dedicated pool —
+//!   bounded by [`SolverBuilder::max_escalations`], shedding instead
+//!   of queueing, so it can never delay foreground serving. A strict
+//!   improvement refreshes the cache entry under the original
+//!   fingerprint with [`Provenance::Escalated`].
 //!
 //! Construct with [`SolverBuilder`]:
 //!
@@ -61,15 +69,17 @@
 
 use crate::batch::BatchOptions;
 use crate::cache::{CacheStats, SolveCache};
+use crate::engines::HedgeStats;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::pool::WorkerPool;
 use crate::registry::EngineRegistry;
-use crate::report::{Provenance, SolveError, SolveReport};
-use crate::request::{Budget, EnginePref, SolveRequest};
+use crate::report::{Optimality, Provenance, SolveError, SolveReport};
+use crate::request::{Budget, EnginePref, Quality, SolveRequest};
 use repliflow_core::fingerprint::InstanceFingerprint;
 use repliflow_core::instance::ProblemInstance;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -80,6 +90,16 @@ use std::time::Duration;
 /// golden set or dashboard rotation.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
+/// Default number of lock-striped solve-cache shards (see
+/// [`SolveCache::with_shards`]): enough stripes that warm-path lookups
+/// from a saturated daemon worker pool rarely contend, while per-shard
+/// capacity stays large enough for LRU to behave like one global list.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Default cap on concurrently running background escalations (see
+/// [`SolverBuilder::escalation`]).
+pub const DEFAULT_MAX_ESCALATIONS: usize = 2;
+
 /// Wall-time-per-engine accumulator in [`ServiceStats`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineWall {
@@ -89,6 +109,25 @@ pub struct EngineWall {
     pub wall: Duration,
     /// Number of computed solves.
     pub solves: u64,
+}
+
+/// Counters of the background escalation machinery (see
+/// [`SolverBuilder::escalation`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EscalationStats {
+    /// Background re-solves scheduled.
+    pub scheduled: u64,
+    /// Escalations whose improved report refreshed the cache entry
+    /// (tagged [`Provenance::Escalated`]).
+    pub refreshed: u64,
+    /// Escalations completed without an improvement (nothing written).
+    pub unimproved: u64,
+    /// Escalation candidates dropped because the concurrency bound was
+    /// reached or the same fingerprint was already escalating —
+    /// foreground serving is never blocked to make room.
+    pub shed: u64,
+    /// Escalation re-solves that errored or panicked.
+    pub failed: u64,
 }
 
 /// Snapshot of a service's serving statistics.
@@ -119,6 +158,12 @@ pub struct ServiceStats {
     /// Fraction of worker capacity spent running jobs since the pool
     /// spawned (`busy / (workers * uptime)`; `0` before first use).
     pub worker_utilization: f64,
+    /// Race counters of the hedged engine (all zero until the first
+    /// [`EnginePref::Hedged`] request).
+    pub hedge: HedgeStats,
+    /// Background escalation counters (all zero unless
+    /// [`SolverBuilder::escalation`] enabled the machinery).
+    pub escalation: EscalationStats,
 }
 
 impl ServiceStats {
@@ -140,6 +185,32 @@ struct StatsInner {
     errors: u64,
     per_engine: HashMap<&'static str, (Duration, u64)>,
     latency: LatencyHistogram,
+    escalation: EscalationStats,
+}
+
+/// The background-escalation machinery: its own small worker pool (so
+/// escalations can never crowd foreground solves off the service
+/// pool), a hard concurrency bound, and per-fingerprint dedup.
+struct EscalationState {
+    /// Concurrency bound; candidates beyond it are shed, not queued.
+    max_concurrent: usize,
+    /// Quality tier escalated re-solves run at.
+    quality: Quality,
+    /// Lazily spawned pool sized `max_concurrent` — escalations cost
+    /// no threads until the first one is scheduled.
+    pool: OnceLock<WorkerPool>,
+    /// Escalations currently running or queued.
+    inflight: AtomicUsize,
+    /// Fingerprints with an escalation in flight (dedup: a hot key that
+    /// is re-requested while escalating is not escalated twice).
+    inflight_keys: Mutex<HashSet<InstanceFingerprint>>,
+}
+
+impl EscalationState {
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.max_concurrent))
+    }
 }
 
 /// The parts of a service that jobs on pool workers need: shared via
@@ -151,6 +222,7 @@ struct ServiceCore {
     default_budget: Budget,
     default_validate: bool,
     stats: Mutex<StatsInner>,
+    escalation: Option<EscalationState>,
 }
 
 impl ServiceCore {
@@ -192,7 +264,12 @@ impl ServiceCore {
             .map(|c| (key.unwrap_or_else(|| request.fingerprint()), c));
         if let Some((key, cache)) = &keyed {
             if let Some(mut report) = cache.get(*key) {
-                report.provenance = Provenance::Cached;
+                // An escalation-refreshed entry keeps its `Escalated`
+                // tag so callers can see their answer is the improved
+                // one; every other hit is plain `Cached`.
+                if report.provenance != Provenance::Escalated {
+                    report.provenance = Provenance::Cached;
+                }
                 self.note(|s| {
                     s.requests += 1;
                     s.cache_hits += 1;
@@ -241,7 +318,7 @@ impl ServiceCore {
 /// pool worker additionally survives any panic that escapes a job —
 /// defense in depth.
 fn solve_containing_panics(
-    core: &ServiceCore,
+    core: &Arc<ServiceCore>,
     request: &SolveRequest,
     key: Option<InstanceFingerprint>,
 ) -> Result<SolveReport, SolveError> {
@@ -264,7 +341,134 @@ fn solve_containing_panics(
     // a serve of their own and are deliberately not recorded here.
     let served_in = serve_start.elapsed();
     core.note(|s| s.latency.record(served_in));
+    // The answer is already settled and timed; whatever escalation does
+    // from here happens after the caller got their report.
+    if let Ok(report) = &result {
+        maybe_escalate(core, request, key, report);
+    }
     result
+}
+
+/// The background thorough re-solve an escalation runs: same request,
+/// quality raised to the escalation tier, `comm-bb` routing guards
+/// widened to the search's representable caps so `Auto` can reroute a
+/// heuristic-tier comm instance into the proven engine. The *bounded*
+/// searches are the only ones widened — the unbudgeted exhaustive
+/// enumerators keep their guards, so an escalation can never run
+/// unboundedly (comm-bb still respects `bb_node_limit` /
+/// `bb_time_limit_ms`). Deadline and cancel token are dropped: the
+/// background run is free to take its full budget.
+fn escalated_request(request: &SolveRequest, quality: Quality) -> SolveRequest {
+    let mut budget = request.budget;
+    budget.quality = quality;
+    budget.max_comm_bb_stages = budget
+        .max_comm_bb_stages
+        .max(repliflow_exact::comm_bb::MAX_STAGES);
+    budget.max_comm_bb_procs = budget
+        .max_comm_bb_procs
+        .max(repliflow_exact::pipeline::MAX_PROCS);
+    SolveRequest {
+        instance: request.instance.clone(),
+        engine: request.engine,
+        budget,
+        validate_witness: request.validate_witness,
+        deadline: None,
+        cancel: None,
+    }
+}
+
+/// Whether `improved` is worth refreshing the cache entry that holds
+/// `current`: a completed search that either upgrades the optimality
+/// claim to proven or strictly improves the objective value. Incomplete
+/// searches are never written (the no-cache-on-incomplete rule), and
+/// infeasible outcomes never overwrite a witness.
+fn is_improvement(current: &SolveReport, improved: &SolveReport) -> bool {
+    if improved.search.is_some_and(|s| !s.completed) {
+        return false;
+    }
+    match (improved.optimality, current.optimality) {
+        (Optimality::Infeasible, _) => false,
+        (Optimality::Proven, Optimality::Proven) => false,
+        (Optimality::Proven, _) => true,
+        _ => match (improved.objective_value, current.objective_value) {
+            (Some(new), Some(old)) => new < old,
+            _ => false,
+        },
+    }
+}
+
+/// Schedules a bounded background re-solve of `request` at the
+/// escalation quality tier when the foreground answer left room for
+/// improvement. Never blocks: over-bound candidates are shed, the
+/// re-solve runs on the dedicated escalation pool, and the improved
+/// report (if any) refreshes the solve-cache entry under the original
+/// fingerprint tagged [`Provenance::Escalated`].
+fn maybe_escalate(
+    core: &Arc<ServiceCore>,
+    request: &SolveRequest,
+    key: Option<InstanceFingerprint>,
+    report: &SolveReport,
+) {
+    let Some(esc) = &core.escalation else {
+        return;
+    };
+    // Only freshly computed, improvable answers escalate: a cache hit
+    // was either escalated already or is still escalating (dedup), and
+    // a proven/infeasible answer has nothing to gain.
+    if report.provenance != Provenance::Computed || report.optimality != Optimality::Heuristic {
+        return;
+    }
+    // Without a cache there is nowhere to put the improved report.
+    if core.cache.is_none() {
+        return;
+    }
+    let escalated = escalated_request(request, esc.quality);
+    // Concurrency bound: reserve a slot or shed — never queue behind
+    // the bound, never make the foreground wait.
+    let reserved = esc
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < esc.max_concurrent).then_some(n + 1)
+        })
+        .is_ok();
+    if !reserved {
+        core.note(|s| s.escalation.shed += 1);
+        return;
+    }
+    let key = key.unwrap_or_else(|| request.fingerprint());
+    {
+        let mut keys = esc.inflight_keys.lock().expect("escalation keys lock");
+        if !keys.insert(key) {
+            esc.inflight.fetch_sub(1, Ordering::SeqCst);
+            core.note(|s| s.escalation.shed += 1);
+            return;
+        }
+    }
+    core.note(|s| s.escalation.scheduled += 1);
+    let core = Arc::clone(core);
+    let baseline = report.clone();
+    esc.pool().submit(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.registry.solve(&escalated)
+        }));
+        match outcome {
+            Ok(Ok(mut improved)) if is_improvement(&baseline, &improved) => {
+                improved.provenance = Provenance::Escalated;
+                if let Some(cache) = &core.cache {
+                    cache.insert(key, improved);
+                }
+                core.note(|s| s.escalation.refreshed += 1);
+            }
+            Ok(Ok(_)) => core.note(|s| s.escalation.unimproved += 1),
+            Ok(Err(_)) | Err(_) => core.note(|s| s.escalation.failed += 1),
+        }
+        let esc = core.escalation.as_ref().expect("escalation state exists");
+        esc.inflight_keys
+            .lock()
+            .expect("escalation keys lock")
+            .remove(&key);
+        esc.inflight.fetch_sub(1, Ordering::SeqCst);
+    });
 }
 
 /// Builder for [`SolverService`] — worker count, cache capacity,
@@ -273,10 +477,14 @@ fn solve_containing_panics(
 pub struct SolverBuilder {
     workers: Option<usize>,
     cache_capacity: usize,
+    cache_shards: usize,
     default_engine: EnginePref,
     default_budget: Budget,
     validate_witness: bool,
     registry: Option<EngineRegistry>,
+    escalation: bool,
+    max_escalations: usize,
+    escalation_quality: Quality,
 }
 
 impl Default for SolverBuilder {
@@ -284,10 +492,14 @@ impl Default for SolverBuilder {
         SolverBuilder {
             workers: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_shards: DEFAULT_CACHE_SHARDS,
             default_engine: EnginePref::Auto,
             default_budget: Budget::default(),
             validate_witness: true,
             registry: None,
+            escalation: false,
+            max_escalations: DEFAULT_MAX_ESCALATIONS,
+            escalation_quality: Quality::Thorough,
         }
     }
 }
@@ -307,9 +519,45 @@ impl SolverBuilder {
         self
     }
 
+    /// Number of lock-striped cache shards (default:
+    /// [`DEFAULT_CACHE_SHARDS`]; rounded up to a power of two, see
+    /// [`SolveCache::with_shards`]). `1` restores a single global lock.
+    pub fn cache_shards(mut self, shards: usize) -> SolverBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
     /// Disables the solve cache (same as `cache_capacity(0)`).
     pub fn no_cache(self) -> SolverBuilder {
         self.cache_capacity(0)
+    }
+
+    /// Enables budgeted background escalation: after a fresh
+    /// heuristic-strength answer is served, a thorough-tier re-solve is
+    /// scheduled on a dedicated small pool, and an improved result
+    /// refreshes the cache entry tagged [`Provenance::Escalated`].
+    /// Bounded by [`SolverBuilder::max_escalations`] (candidates beyond
+    /// the bound are shed, never queued) and deduplicated per
+    /// fingerprint — foreground admission is never blocked. Requires a
+    /// cache (with caching disabled there is nowhere to publish the
+    /// improvement, so nothing is scheduled).
+    pub fn escalation(mut self, enabled: bool) -> SolverBuilder {
+        self.escalation = enabled;
+        self
+    }
+
+    /// Cap on concurrently running background escalations (default:
+    /// [`DEFAULT_MAX_ESCALATIONS`]; clamped to at least 1).
+    pub fn max_escalations(mut self, max: usize) -> SolverBuilder {
+        self.max_escalations = max;
+        self
+    }
+
+    /// Quality tier escalated re-solves run at (default:
+    /// [`Quality::Thorough`]).
+    pub fn escalation_quality(mut self, quality: Quality) -> SolverBuilder {
+        self.escalation_quality = quality;
+        self
     }
 
     /// Default engine preference for requests built via
@@ -353,14 +601,23 @@ impl SolverBuilder {
                     .unwrap_or(1)
             })
             .max(1);
+        let escalation = self.escalation.then(|| EscalationState {
+            max_concurrent: self.max_escalations.max(1),
+            quality: self.escalation_quality,
+            pool: OnceLock::new(),
+            inflight: AtomicUsize::new(0),
+            inflight_keys: Mutex::new(HashSet::new()),
+        });
         SolverService {
             core: Arc::new(ServiceCore {
                 registry: self.registry.unwrap_or_default(),
-                cache: (self.cache_capacity > 0).then(|| SolveCache::new(self.cache_capacity)),
+                cache: (self.cache_capacity > 0)
+                    .then(|| SolveCache::with_shards(self.cache_capacity, self.cache_shards)),
                 default_engine: self.default_engine,
                 default_budget: self.default_budget,
                 default_validate: self.validate_witness,
                 stats: Mutex::new(StatsInner::default()),
+                escalation,
             }),
             workers,
             pool: OnceLock::new(),
@@ -664,6 +921,27 @@ impl SolverService {
                 .get()
                 .map_or(Duration::ZERO, WorkerPool::total_busy),
             worker_utilization: self.pool.get().map_or(0.0, WorkerPool::utilization),
+            hedge: self.core.registry.hedge_stats(),
+            escalation: inner.escalation,
+        }
+    }
+
+    /// Number of lock-striped cache shards (`None` when caching is
+    /// disabled). Always a power of two.
+    pub fn cache_shards(&self) -> Option<usize> {
+        self.core.cache.as_ref().map(SolveCache::shards)
+    }
+
+    /// Blocks until no background escalation is in flight (test and
+    /// shutdown aid; returns immediately when escalation is disabled).
+    /// Only waits for escalations already scheduled — a concurrent
+    /// foreground solve can of course schedule a new one right after.
+    pub fn drain_escalations(&self) {
+        let Some(esc) = &self.core.escalation else {
+            return;
+        };
+        while esc.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
         }
     }
 }

@@ -163,3 +163,46 @@ fn different_seeds_may_differ_but_stay_valid() {
     assert!(json.contains("\"mapping\""));
     assert!(json.contains("\"search\""));
 }
+
+/// Escalation-refreshed cache entries are not a third report flavor:
+/// the entry the background re-solve publishes is byte-identical (in
+/// canonical JSON, which excludes serving provenance) to what a direct
+/// foreground solve with the escalated budget would produce. The only
+/// difference an observer can see is the `escalated` provenance tag.
+#[test]
+fn escalation_refreshed_entries_are_byte_identical_to_direct_solves() {
+    // Foreground: comm-bb disabled (stage cap 0), 7 stages > the
+    // comm-exact cap, so the first answer is heuristic-tier and
+    // escalates in the background with widened bb caps.
+    let budget = Budget {
+        max_comm_bb_stages: 0,
+        ..Budget::default()
+    };
+    let instance = comm_pipeline(0xDE81, 7, 4);
+    let service = SolverService::builder().workers(1).escalation(true).build();
+    let request = SolveRequest::new(instance.clone()).budget(budget);
+    let first = service.solve(&request).unwrap();
+    assert_eq!(first.provenance, Provenance::Computed);
+    service.drain_escalations();
+    let escalated_hit = service.solve(&request).unwrap();
+    assert_eq!(escalated_hit.provenance, Provenance::Escalated);
+
+    // Reconstruct the escalated budget the service used (thorough
+    // quality, bb caps widened to the solvers' structural limits) and
+    // solve directly through a bare registry.
+    let escalated_budget = Budget {
+        quality: Quality::Thorough,
+        max_comm_bb_stages: repliflow_exact::comm_bb::MAX_STAGES,
+        max_comm_bb_procs: repliflow_exact::pipeline::MAX_PROCS,
+        ..budget
+    };
+    let direct = canonical(
+        &EngineRegistry::default(),
+        &SolveRequest::new(instance).budget(escalated_budget),
+    );
+    assert_eq!(
+        escalated_hit.canonical_json(),
+        direct,
+        "escalation produced a report a direct solve could not reproduce"
+    );
+}

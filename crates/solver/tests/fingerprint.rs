@@ -28,12 +28,13 @@ fn engine_pref_is_part_of_the_key() {
         EnginePref::Heuristic,
         EnginePref::Paper,
         EnginePref::CommBb,
+        EnginePref::Hedged,
     ] {
         prints.push(base.clone().engine(pref).fingerprint());
     }
     prints.sort();
     prints.dedup();
-    assert_eq!(prints.len(), 5, "engine preferences collided");
+    assert_eq!(prints.len(), 6, "engine preferences collided");
 }
 
 #[test]
@@ -94,6 +95,10 @@ fn every_budget_knob_is_part_of_the_key() {
         },
         Budget {
             local_search_rounds: d.local_search_rounds + 1,
+            ..d
+        },
+        Budget {
+            hedge_delay_ms: d.hedge_delay_ms + 1,
             ..d
         },
         Budget {

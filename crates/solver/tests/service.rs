@@ -343,3 +343,138 @@ fn warm_golden_batch_is_ten_times_faster_than_cold() {
         "warm pass not >=10x faster: cold {cold_wall:?} vs warm {warm_wall:?}"
     );
 }
+
+/// Escalation end-to-end: a fresh heuristic-tier answer triggers one
+/// bounded background thorough re-solve; the proven improvement
+/// refreshes the cache entry under the original fingerprint, tagged
+/// `escalated`, and served hits keep that tag (never re-escalating).
+#[test]
+fn escalation_refreshes_the_cache_with_a_proven_report() {
+    use repliflow_solver::{Budget, Optimality, SolveRequest};
+    // stage cap 0 disables comm-bb in the foreground: a 7-stage comm
+    // instance routes to comm-heuristic (comm-exact caps out at 6
+    // stages), leaving a provable gap for the escalated re-solve
+    let budget = Budget {
+        max_comm_bb_stages: 0,
+        ..Budget::default()
+    };
+    let service = SolverService::builder().workers(1).escalation(true).build();
+    let request = SolveRequest::new(comm_instance(0xE5C1, 7, 4)).budget(budget);
+    let first = service.solve(&request).unwrap();
+    assert_eq!(first.provenance, Provenance::Computed);
+    assert_eq!(first.optimality, Optimality::Heuristic);
+    service.drain_escalations();
+    let stats = service.stats();
+    assert_eq!(stats.escalation.scheduled, 1);
+    assert_eq!(
+        stats.escalation.refreshed, 1,
+        "the proven escalated re-solve must refresh the cache entry"
+    );
+    let second = service.solve(&request).unwrap();
+    assert_eq!(second.provenance, Provenance::Escalated);
+    assert_eq!(second.optimality, Optimality::Proven);
+    // a hit on the escalated entry never schedules another escalation
+    service.drain_escalations();
+    assert_eq!(service.stats().escalation.scheduled, 1);
+}
+
+/// The escalation concurrency bound sheds (never queues) candidates
+/// beyond it, and in-flight escalations never extend foreground serve
+/// latency — the structural guarantee behind "escalation never blocks
+/// admission".
+#[test]
+fn escalations_are_bounded_and_never_block_the_foreground() {
+    use repliflow_solver::{Budget, EnginePref, SolveRequest};
+    use std::time::Instant;
+    // Engine pinned to the heuristic portfolio: the escalated re-solve
+    // is the *thorough* portfolio run, several times slower than the
+    // balanced foreground pass on this size — a deterministic overlap
+    // window for the bound to bite.
+    let budget = Budget {
+        max_comm_bb_stages: 0,
+        ..Budget::default()
+    };
+    let make_request = |seed: u64| {
+        SolveRequest::new(comm_instance(seed, 16, 6))
+            .engine(EnginePref::Heuristic)
+            .budget(budget)
+    };
+    // self-calibrated baseline: one balanced solve with no escalation
+    let baseline_service = SolverService::builder().workers(1).build();
+    let baseline_start = Instant::now();
+    baseline_service.solve(&make_request(0xE5C2)).unwrap();
+    let baseline = baseline_start.elapsed();
+
+    let service = SolverService::builder()
+        .workers(1)
+        .escalation(true)
+        .max_escalations(1)
+        .build();
+    for i in 0..3u64 {
+        let start = Instant::now();
+        let report = service.solve(&make_request(0xE5C3 + i)).unwrap();
+        let served_in = start.elapsed();
+        assert_eq!(report.provenance, Provenance::Computed);
+        // a blocked foreground would absorb the thorough re-solve's
+        // wall time (~5x the balanced pass); 4x the self-calibrated
+        // baseline separates the two regimes without absolute clocks
+        assert!(
+            served_in < baseline * 4,
+            "foreground solve took {served_in:?} vs baseline {baseline:?} — \
+             escalation is blocking the serving path"
+        );
+    }
+    service.drain_escalations();
+    let stats = service.stats();
+    assert_eq!(
+        stats.escalation.scheduled + stats.escalation.shed,
+        3,
+        "every fresh heuristic answer is either escalated or shed"
+    );
+    assert!(
+        stats.escalation.shed >= 1,
+        "the bound of 1 must shed overlapping candidates (stats: {stats:?})"
+    );
+    assert!(stats.escalation.scheduled >= 1);
+}
+
+/// Sharding is invisible to correctness: the same batch served under
+/// every shard count in {1, 2, 4, 8} produces byte-identical reports
+/// and identical hit/insert counters.
+#[test]
+fn sharded_cache_serves_identical_reports_across_shard_counts() {
+    let batch = simplified_instances(12, 0x3E10);
+    let mut expected: Option<Vec<String>> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let service = SolverService::builder()
+            .workers(2)
+            .cache_shards(shards)
+            .build();
+        assert_eq!(service.cache_shards(), Some(shards));
+        let cold = service.solve_batch(&batch);
+        let warm = service.solve_batch(&batch);
+        let stats = service.cache_stats().expect("cache enabled");
+        assert_eq!(
+            (stats.insertions, stats.hits),
+            (batch.len() as u64, batch.len() as u64),
+            "shard count {shards} changed cache behavior"
+        );
+        let jsons: Vec<String> = cold
+            .iter()
+            .zip(&warm)
+            .map(|(c, w)| {
+                let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+                assert_eq!(
+                    c.canonical_json(),
+                    w.canonical_json(),
+                    "cache hit diverged from computed report"
+                );
+                c.canonical_json()
+            })
+            .collect();
+        match &expected {
+            None => expected = Some(jsons),
+            Some(e) => assert_eq!(e, &jsons, "shard count {shards} changed results"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs link checker: fails CI when README.md or docs/*.md reference
+files or CLI flags that do not exist.
+
+Three checks, all against the repository the script lives in:
+
+1. **Markdown links** `[text](target)` with a relative target must
+   point at an existing file (anchors are stripped; http(s) links are
+   ignored).
+2. **Inline repo paths** — any `crates/...`, `docs/...`, `src/...`,
+   `examples/...` or `scripts/...` token — must exist on disk, so a
+   renamed module or deleted golden file breaks the build instead of
+   rotting in prose.
+3. **CLI flags** — any `--flag` token (outside fenced ``` blocks only
+   when the block is a shell transcript is NOT distinguished; all
+   occurrences count) must appear in some Rust source under `crates/`,
+   so documented flags are always parsed by a real binary. Flags of
+   external tools (cargo) are allowlisted below.
+
+Exit code 0 when everything resolves, 1 otherwise (one line per
+failure).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+# Flags documented in prose but owned by external tools, not us.
+EXTERNAL_FLAGS = {
+    "--release",  # cargo
+    "--bin",  # cargo
+    "--no-deps",  # cargo doc
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PATH_RE = re.compile(r"\b(?:crates|docs|src|examples|scripts)/[A-Za-z0-9_./-]*[A-Za-z0-9_/-]")
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]+")
+
+
+def rust_sources() -> str:
+    chunks = []
+    for path in (ROOT / "crates").rglob("*.rs"):
+        chunks.append(path.read_text(encoding="utf-8"))
+    return "\n".join(chunks)
+
+
+def main() -> int:
+    failures = []
+    sources = rust_sources()
+    for doc in DOC_FILES:
+        if not doc.exists():
+            failures.append(f"{doc.relative_to(ROOT)}: expected doc file is missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(ROOT)
+
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = (doc.parent / target.split("#")[0]).resolve()
+            if not path.exists():
+                failures.append(f"{rel}: broken link target `{target}`")
+
+        for match in PATH_RE.finditer(text):
+            token = match.group(0)
+            if not (ROOT / token).exists():
+                failures.append(f"{rel}: referenced path `{token}` does not exist")
+
+        for match in FLAG_RE.finditer(text):
+            flag = match.group(0)
+            if flag in EXTERNAL_FLAGS:
+                continue
+            if f'"{flag}"' not in sources:
+                failures.append(
+                    f"{rel}: flag `{flag}` is not parsed by any binary under crates/"
+                )
+
+    for failure in sorted(set(failures)):
+        print(f"error: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    checked = ", ".join(str(d.relative_to(ROOT)) for d in DOC_FILES)
+    print(f"docs-link check passed ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
