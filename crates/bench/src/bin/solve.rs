@@ -97,7 +97,11 @@ fn read_instance(path: &str) -> Result<ProblemInstance, String> {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
     };
-    serde_json::from_str(&json).map_err(|e| format!("invalid instance JSON in {path}: {e}"))
+    // The streaming deserializer builds the instance straight off the
+    // byte cursor — no intermediate `Value` tree — so multi-megabyte
+    // instance files load in one near-linear pass.
+    serde_json::from_str_streaming(&json)
+        .map_err(|e| format!("invalid instance JSON in {path}: {e}"))
 }
 
 /// Applies the `--comm` / `--overlap` / `--bandwidth` flags: `--comm`
@@ -146,6 +150,9 @@ struct ReportFields {
     comm_aware: bool,
     engine: String,
     optimality: String,
+    /// Why auto-dispatch downgraded from the exact comm route, when it
+    /// did (the `SolveReport::fallback` reason, rendered).
+    fallback: Option<String>,
     provenance: String,
     search: Option<(u64, u64, u64, bool)>,
     mapping: Option<String>,
@@ -169,6 +176,7 @@ impl ReportFields {
             comm_aware: report.cost_model.is_comm_aware(),
             engine: report.engine_used.to_string(),
             optimality: report.optimality.to_string(),
+            fallback: report.fallback.as_ref().map(|r| r.to_string()),
             provenance: report.provenance.to_string(),
             search: report
                 .search
@@ -197,6 +205,7 @@ impl ReportFields {
             cost_model,
             engine: canonical("engine"),
             optimality: canonical("optimality"),
+            fallback: report.canonical_str("fallback").map(str::to_string),
             provenance: report.provenance.clone(),
             search: report.search(),
             mapping: report.canonical_str("mapping").map(str::to_string),
@@ -218,6 +227,11 @@ impl ReportFields {
         }
         println!("engine   : {}", self.engine);
         println!("optimal  : {}", self.optimality);
+        // only instances beyond an exact-route cap carry a reason, so
+        // the golden snapshots (all within caps) stay byte-stable
+        if let Some(reason) = &self.fallback {
+            println!("fallback : {reason}");
+        }
         // only surfaced when a cache is in play, so cacheless snapshots
         // stay byte-stable
         if self.provenance == "cached" {
@@ -272,6 +286,13 @@ impl ReportFields {
             ("cost_model".into(), Value::String(self.cost_model.clone())),
             ("engine".into(), Value::String(self.engine.clone())),
             ("optimality".into(), Value::String(self.optimality.clone())),
+            (
+                "fallback".into(),
+                match &self.fallback {
+                    Some(reason) => Value::String(reason.clone()),
+                    None => Value::Null,
+                },
+            ),
             ("provenance".into(), Value::String(self.provenance.clone())),
             ("period".into(), rat(&self.period)),
             ("period_f64".into(), ratf(&self.period)),
@@ -295,6 +316,30 @@ impl ReportFields {
             ),
             ("wall_time_ms".into(), Value::Float(self.wall_time_ms)),
         ])
+    }
+}
+
+/// `--stats` aggregate of auto-dispatch downgrades: one line per
+/// distinct reason, counted — the serving-side view of the structured
+/// [`SolveReport::fallback`] field.
+fn print_fallbacks(fallbacks: &[String]) {
+    if fallbacks.is_empty() {
+        return;
+    }
+    let mut counts: Vec<(&String, usize)> = Vec::new();
+    for reason in fallbacks {
+        match counts.iter_mut().find(|(r, _)| *r == reason) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((reason, 1)),
+        }
+    }
+    eprintln!(
+        "fallback  : {} auto downgrade{} to the heuristic",
+        fallbacks.len(),
+        if fallbacks.len() == 1 { "" } else { "s" }
+    );
+    for (reason, count) in counts {
+        eprintln!("            {count}x {reason}");
     }
 }
 
@@ -401,6 +446,7 @@ fn run_remote(
     let mut failed = false;
     let single = instances.len() == 1;
     let mut items = Vec::new();
+    let mut fallbacks: Vec<String> = Vec::new();
     for (path, instance) in paths.iter().zip(instances) {
         if !single && !json {
             println!("== {path} ==");
@@ -408,6 +454,7 @@ fn run_remote(
         match client.solve(&instance, options) {
             Ok(report) => {
                 let fields = ReportFields::from_remote(&report);
+                fallbacks.extend(fields.fallback.clone());
                 if json {
                     failed |= fields.optimality == "infeasible";
                     items.push(fields.json(path));
@@ -446,6 +493,7 @@ fn run_remote(
                 failed = true;
             }
         }
+        print_fallbacks(&fallbacks);
     }
     if failed {
         ExitCode::FAILURE
@@ -569,6 +617,7 @@ fn main() -> ExitCode {
     let service = builder.build();
     let deadline = deadline_ms.map(Deadline::in_ms);
     let mut failed = false;
+    let mut fallbacks: Vec<String> = Vec::new();
     if instances.len() == 1 && !json {
         let mut request = SolveRequest::new(instances.into_iter().next().unwrap())
             .engine(engine)
@@ -576,7 +625,11 @@ fn main() -> ExitCode {
             .validate_witness(validate);
         request.deadline = deadline;
         match service.solve(&request) {
-            Ok(report) => failed |= !ReportFields::from_local(&report).print(),
+            Ok(report) => {
+                let fields = ReportFields::from_local(&report);
+                fallbacks.extend(fields.fallback.clone());
+                failed |= !fields.print();
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 failed = true;
@@ -599,7 +652,9 @@ fn main() -> ExitCode {
                 match result {
                     Ok(report) => {
                         failed |= report.optimality == repliflow_solver::Optimality::Infeasible;
-                        items.push(ReportFields::from_local(report).json(path));
+                        let fields = ReportFields::from_local(report);
+                        fallbacks.extend(fields.fallback.clone());
+                        items.push(fields.json(path));
                     }
                     Err(e) => {
                         eprintln!("error: {path}: {e}");
@@ -616,7 +671,11 @@ fn main() -> ExitCode {
             for (path, result) in paths.iter().zip(results) {
                 println!("== {path} ==");
                 match result {
-                    Ok(report) => failed |= !ReportFields::from_local(&report).print(),
+                    Ok(report) => {
+                        let fields = ReportFields::from_local(&report);
+                        fallbacks.extend(fields.fallback.clone());
+                        failed |= !fields.print();
+                    }
                     Err(e) => {
                         eprintln!("error: {path}: {e}");
                         failed = true;
@@ -633,6 +692,7 @@ fn main() -> ExitCode {
     }
     if stats {
         print_stats(&service, &service.stats());
+        print_fallbacks(&fallbacks);
     }
     if failed {
         ExitCode::FAILURE

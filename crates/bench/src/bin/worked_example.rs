@@ -17,7 +17,11 @@ use repliflow_solver::{EnginePref, SolveReport, SolveRequest};
 
 /// Proven-optimal solve of the example pipeline through the unified
 /// engine API (forced exhaustive search — the period cell is NP-hard).
-fn optimum(pipe: &Pipeline, platform: &Platform, objective: Objective) -> SolveReport {
+fn optimum(
+    pipe: &Pipeline,
+    platform: &Platform,
+    objective: Objective,
+) -> std::sync::Arc<SolveReport> {
     let request = SolveRequest::new(ProblemInstance {
         cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: pipe.clone().into(),
@@ -139,7 +143,7 @@ fn main() {
     println!(
         "  paper claims the optimal period is 5; exhaustive search finds {} via {}",
         best_p.period.unwrap(),
-        best_p.mapping.unwrap()
+        best_p.mapping.clone().unwrap()
     );
     println!("  DISCREPANCY: replicate [S1,S2] on the fast pair (18/(2*2) = 4.5) and");
     println!("  [S3,S4] on the slow pair (6/(2*1) = 3) — a legal interval mapping that");
@@ -148,7 +152,7 @@ fn main() {
     println!(
         "\n  paper claims the optimal latency is 12.8; exhaustive search finds {} via {}",
         best_l.latency.unwrap(),
-        best_l.mapping.unwrap()
+        best_l.mapping.clone().unwrap()
     );
     println!("  DISCREPANCY: data-parallelize S1 on {{P1,P3,P4}} (14/4 = 3.5) and run");
     println!("  S2..S4 on the *fast* P2 (10/2 = 5): latency 8.5 < 12.8.");

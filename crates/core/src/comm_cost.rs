@@ -231,7 +231,10 @@ pub fn pipeline_objectives(
 /// chosen yet.
 #[derive(Clone, Debug)]
 pub struct PendingGroup {
-    procs: Vec<ProcId>,
+    /// Shared slice so prefix extension is a reference-count bump, not
+    /// a copy — the branch-and-bound search interns one slice per
+    /// processor set and pushes millions of groups from it.
+    procs: std::rc::Rc<[ProcId]>,
     mode: Mode,
     /// Input transfer + computation delay of the group — everything
     /// except the send to the (future) successor.
@@ -239,7 +242,9 @@ pub struct PendingGroup {
 }
 
 impl PendingGroup {
-    /// Processors of the open group (sorted ascending).
+    /// Processors of the open group (in the order the caller passed to
+    /// [`PipelinePrefix::push_group`]; all evaluators are
+    /// order-insensitive).
     pub fn procs(&self) -> &[ProcId] {
         &self.procs
     }
@@ -324,7 +329,7 @@ impl PipelinePrefix {
         platform: &Platform,
         network: &Network,
         hi: usize,
-        procs: Vec<ProcId>,
+        procs: std::rc::Rc<[ProcId]>,
         mode: Mode,
     ) -> PipelinePrefix {
         let lo = self.next_stage;
@@ -343,13 +348,11 @@ impl PipelinePrefix {
             }
             None => (self.period_closed, self.latency_closed),
         };
-        let assignment = Assignment::interval(lo, hi, procs, mode);
-        let compute = group_delay(
-            assignment.work(|s| pipeline.weight(s)),
-            &assignment,
-            platform,
-        );
-        let procs = assignment.procs().to_vec();
+        let work: u64 = (lo..=hi).map(|s| pipeline.weight(s)).sum();
+        let compute = match mode {
+            Mode::Replicated => Rat::ratio(work, platform.subset_min_speed(&procs)),
+            Mode::DataParallel => Rat::ratio(work, platform.subset_speed(&procs)),
+        };
         PipelinePrefix {
             next_stage: hi + 1,
             period_closed,
@@ -1048,7 +1051,7 @@ mod tests {
                     Mode::Replicated
                 };
                 assignments.push(Assignment::interval(lo, hi, procs.clone(), mode));
-                prefix = prefix.push_group(&pipe, &plat, &net, hi, procs, mode);
+                prefix = prefix.push_group(&pipe, &plat, &net, hi, procs.into(), mode);
                 lo = hi + 1;
             }
             let mapping = Mapping::new(assignments);
@@ -1069,8 +1072,14 @@ mod tests {
             let plat = gen.het_platform(p, 1, 4);
             let net = gen.het_network(p, 1, 6);
             let first: Vec<ProcId> = vec![ProcId(0)];
-            let prefix =
-                PipelinePrefix::empty().push_group(&pipe, &plat, &net, 0, first, Mode::Replicated);
+            let prefix = PipelinePrefix::empty().push_group(
+                &pipe,
+                &plat,
+                &net,
+                0,
+                first.into(),
+                Mode::Replicated,
+            );
             let avail: Vec<ProcId> = (1..p).map(ProcId).collect();
             let lb = prefix.pending_send_lower_bound(&pipe, &net, &avail);
             // every non-empty subset of avail is a possible successor

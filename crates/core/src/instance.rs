@@ -156,6 +156,54 @@ impl serde::Deserialize for ProblemInstance {
     }
 }
 
+// Hand-written for the same reason as the tree impl above: `cost_model`
+// defaults to `Simplified` when absent. This is the near-linear load
+// path for multi-MB instance files (`serde_json::from_str_streaming`).
+impl serde::DeserializeStream for ProblemInstance {
+    fn deserialize_stream(
+        parser: &mut serde::de::JsonParser<'_>,
+    ) -> Result<Self, serde::de::Error> {
+        let mut workflow = None;
+        let mut platform = None;
+        let mut allow_data_parallel = None;
+        let mut objective = None;
+        let mut cost_model = None;
+        parser.begin_object()?;
+        let mut first = true;
+        while let Some(key) = parser.object_next(first)? {
+            first = false;
+            match key.as_ref() {
+                "workflow" => {
+                    workflow = Some(serde::DeserializeStream::deserialize_stream(parser)?)
+                }
+                "platform" => {
+                    platform = Some(serde::DeserializeStream::deserialize_stream(parser)?)
+                }
+                "allow_data_parallel" => {
+                    allow_data_parallel =
+                        Some(serde::DeserializeStream::deserialize_stream(parser)?)
+                }
+                "objective" => {
+                    objective = Some(serde::DeserializeStream::deserialize_stream(parser)?)
+                }
+                "cost_model" => {
+                    cost_model = Some(serde::DeserializeStream::deserialize_stream(parser)?)
+                }
+                _ => parser.skip_value()?,
+            }
+        }
+        let missing = |name| serde::de::Error::missing_field(name, "ProblemInstance");
+        Ok(ProblemInstance {
+            workflow: workflow.ok_or_else(|| missing("workflow"))?,
+            platform: platform.ok_or_else(|| missing("platform"))?,
+            allow_data_parallel: allow_data_parallel
+                .ok_or_else(|| missing("allow_data_parallel"))?,
+            objective: objective.ok_or_else(|| missing("objective"))?,
+            cost_model: cost_model.unwrap_or(CostModel::Simplified),
+        })
+    }
+}
+
 impl ProblemInstance {
     /// Instance under the simplified Section 3.4 model (the common
     /// case; switch models with [`ProblemInstance::with_cost_model`]).
@@ -500,6 +548,47 @@ mod tests {
         let json = serde_json::to_string(&inst).unwrap();
         let back: ProblemInstance = serde_json::from_str(&json).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn streaming_deserializer_matches_the_tree_path() {
+        let inst = ProblemInstance {
+            cost_model: CostModel::WithComm {
+                network: crate::comm::Network::uniform(3, 2),
+                comm: CommModel::BoundedMultiPort,
+                overlap: true,
+            },
+            workflow: Pipeline::with_data_sizes(vec![8, 4], vec![8, 2, 8]).into(),
+            platform: Platform::heterogeneous(vec![2, 2, 1]),
+            allow_data_parallel: false,
+            objective: Objective::PeriodUnderLatency(Rat::new(9, 2)),
+        };
+        for json in [
+            serde_json::to_string(&inst).unwrap(),
+            serde_json::to_string_pretty(&inst).unwrap(),
+        ] {
+            let tree: ProblemInstance = serde_json::from_str(&json).unwrap();
+            let streamed: ProblemInstance = serde_json::from_str_streaming(&json).unwrap();
+            assert_eq!(tree, streamed);
+            assert_eq!(inst, streamed);
+        }
+    }
+
+    #[test]
+    fn streaming_deserializer_accepts_reordered_and_unknown_fields() {
+        // field order is free in JSON and unknown keys are skipped —
+        // the hand-rolled streaming impl must match the tree path here
+        let json = r#"{
+            "objective": "Period",
+            "cost_model": "Simplified",
+            "platform": { "speeds": [1, 1] },
+            "comment": { "unknown": ["keys", "are", "skipped"] },
+            "allow_data_parallel": true,
+            "workflow": { "Pipeline": { "weights": [3, 5], "data_sizes": [0, 0, 0] } }
+        }"#;
+        let tree: ProblemInstance = serde_json::from_str(json).unwrap();
+        let streamed: ProblemInstance = serde_json::from_str_streaming(json).unwrap();
+        assert_eq!(tree, streamed);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Streaming-deserializer equivalence: `from_str_streaming` must accept
+//! exactly the JSON the tree path accepts and produce identical
+//! instances — on every committed golden file and on a synthetic
+//! instance big enough (a dense 120-processor network matrix) that the
+//! streaming path is the one the serving layer actually leans on.
+
+use repliflow_core::instance::{CostModel, Objective, ProblemInstance};
+use repliflow_core::prelude::{CommModel, Network};
+use repliflow_core::workflow::Pipeline;
+use std::path::PathBuf;
+
+#[test]
+fn every_golden_instance_parses_identically_via_both_paths() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/instances");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/instances is readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let json = std::fs::read_to_string(&path).expect("golden readable");
+        let tree: ProblemInstance = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{path:?} rejected by tree path: {e}"));
+        let streamed: ProblemInstance = serde_json::from_str_streaming(&json)
+            .unwrap_or_else(|e| panic!("{path:?} rejected by streaming path: {e}"));
+        assert_eq!(tree, streamed, "{path:?}: paths disagree");
+        checked += 1;
+    }
+    assert!(checked >= 8, "golden set shrank unexpectedly");
+}
+
+#[test]
+fn multi_megabyte_instance_round_trips_through_the_streaming_path() {
+    // p = 120 needs the wide-mask representation downstream and its
+    // dense proc_bw matrix dominates the file — the shape the
+    // de-quadratic loading work targets.
+    let p = 120;
+    let n = 40;
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes((1..=n as u64).collect(), (0..=n as u64).collect())
+            .into(),
+        platform: repliflow_core::platform::Platform::heterogeneous((1..=p as u64).collect()),
+        allow_data_parallel: true,
+        objective: Objective::Latency,
+        cost_model: CostModel::WithComm {
+            network: Network::uniform(p, 3),
+            comm: CommModel::BoundedMultiPort,
+            overlap: true,
+        },
+    };
+    let json = serde_json::to_string_pretty(&instance).expect("serializes");
+    assert!(
+        json.len() > 100_000,
+        "synthetic instance should be large ({} bytes)",
+        json.len()
+    );
+    let streamed: ProblemInstance = serde_json::from_str_streaming(&json).expect("streaming parse");
+    assert_eq!(streamed, instance);
+    let tree: ProblemInstance = serde_json::from_str(&json).expect("tree parse");
+    assert_eq!(tree, streamed);
+}

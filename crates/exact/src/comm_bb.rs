@@ -39,13 +39,42 @@
 //! ingredients keep those tuples *exact* rather than mere lower bounds:
 //! deferred fork-join leaf→join transfers are re-billed the moment the
 //! join group is placed, and a dedicated join-only group is branched
-//! immediately after the root so the placement happens early. Processor
-//! **symmetry breaking** (only canonical subsets over
-//! network-and-speed-equivalence classes are enumerated) and cheap
-//! stage-set/subset-level relaxations prune the child cross-product
-//! before any state is materialized. Together these push the proven
-//! frontier to 10-leaf forks and fork-joins within the default budget —
-//! the enumeration-guard era capped out near 6 leaves.
+//! immediately after the root so the placement happens early.
+//!
+//! # Wide masks and symmetry breaking
+//!
+//! Processor and stage sets are tracked through the [`ProcMask`]
+//! abstraction (`u64` fast path, [`Mask128`] beyond 64), lifting the
+//! historical 32-stage/20-processor bitmask caps to [`MAX_STAGES`] /
+//! [`MAX_PROCS`]. What makes large *symmetric* platforms tractable is
+//! that processor subsets are enumerated **generatively** over
+//! network-and-speed-equivalence classes ([`canonical_subsets`]):
+//! processors with identical speed and identical links to every
+//! endpoint are interchangeable in every evaluator, so only subsets
+//! taking the lowest-indexed available members of each class exist in
+//! the search — a homogeneous 33-processor platform contributes 34
+//! subsets per level instead of 2³³, while fully heterogeneous
+//! platforms degenerate to the classic descending submask walk. Both
+//! searches share the same classes; any mapping relabels within classes
+//! onto a canonical one with identical objectives, so no objective
+//! value is lost.
+//!
+//! # Parallel root-branch exploration
+//!
+//! With [`BbLimits::parallelism`] > 1 the root branches (first pipeline
+//! group / fork root-group choices) are dealt round-robin to that many
+//! scoped worker threads, each running an independent search over its
+//! branches with a private dominance table and a **shared atomic
+//! incumbent** used for bound pruning. Completed parallel runs return
+//! **byte-identical** results to the sequential search: pruning against
+//! any real completion's score never cuts a subtree containing a
+//! solution at least as good, so every state on the path to the
+//! first-in-branch-order optimal completion is explored under every
+//! timing, and the per-job winners are merged in deterministic
+//! `(score, branch index)` order. Node and pruning *counters* do vary
+//! with thread timing (and a tripped node limit aborts at a
+//! timing-dependent point), which is why the serving layer excludes
+//! them from canonical report bytes.
 //!
 //! The search is deterministic (fixed expansion order, no randomness);
 //! an optional incumbent (typically the comm-heuristic portfolio's best)
@@ -57,7 +86,7 @@
 //! [`PipelinePrefix`]: repliflow_core::comm_cost::PipelinePrefix
 
 use crate::goal::Solution;
-use crate::pipeline::{mask_procs, MAX_PROCS};
+use crate::mask::{canonical_subsets, Mask128, ProcMask};
 use repliflow_core::comm::{CommModel, Network, StartRule};
 use repliflow_core::comm_cost::{
     input_transfer, multiport_capacity_bound, output_transfer, PipelinePrefix,
@@ -68,17 +97,24 @@ use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
 use repliflow_core::workflow::{Fork, Pipeline, Workflow};
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Hard resource limits of one branch-and-bound run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BbLimits {
-    /// Maximum number of search-tree nodes to expand.
+    /// Maximum number of search-tree nodes to expand (summed across
+    /// parallel jobs; enforced in 64-node batches when parallel).
     pub max_nodes: u64,
-    /// Wall-clock limit (checked every 1024 nodes; `None` = unlimited).
-    /// Note that a run that trips the *time* limit is the one situation
-    /// in which the search stops being deterministic.
+    /// Wall-clock limit (`None` = unlimited). A run that trips the
+    /// *time* limit — or, in parallel mode, the node limit — stops
+    /// being deterministic; completed runs always are.
     pub time_limit: Option<Duration>,
+    /// Number of root-branch worker threads (1 = fully sequential).
+    /// Completed runs return byte-identical results at any setting.
+    pub parallelism: usize,
 }
 
 impl Default for BbLimits {
@@ -86,6 +122,7 @@ impl Default for BbLimits {
         BbLimits {
             max_nodes: 2_000_000,
             time_limit: Some(Duration::from_secs(10)),
+            parallelism: 1,
         }
     }
 }
@@ -93,7 +130,9 @@ impl Default for BbLimits {
 /// What one branch-and-bound run did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BbStats {
-    /// Search-tree nodes expanded.
+    /// Search-tree nodes expanded (summed over parallel jobs; the split
+    /// between jobs — and hence the exact total under pruning — is
+    /// timing-dependent in parallel runs).
     pub nodes: u64,
     /// Subtrees cut by the admissible lower bounds.
     pub pruned_bound: u64,
@@ -116,17 +155,25 @@ pub struct BbResult {
 }
 
 /// Maximum stage count accepted by the search (stage sets are tracked
-/// as `u32` bitmasks — unlike the plain enumerators, the canonical
-/// fork/fork-join partition order keys on stage masks too).
-pub const MAX_STAGES: usize = 32;
+/// as [`ProcMask`] bitmasks up to [`Mask128`] wide).
+pub const MAX_STAGES: usize = 128;
+
+/// Maximum processor count accepted by the search — the width of the
+/// widest mask instantiation. Note this is a *representation* limit:
+/// heterogeneous platforms this large are far beyond any practical
+/// budget, and the serving layer admits instances by their
+/// symmetry-reduced branching factor (see [`comm_equiv_class_sizes`]),
+/// not by this cap alone.
+pub const MAX_PROCS: usize = 128;
 
 /// Lexicographic (primary, tiebreak) score — see [`Objective::score`].
 type Score = (Rat, Rat);
 
 /// Solves a communication-aware instance by branch-and-bound over the
-/// full Section 3.4 mapping space. The optional `incumbent` (any legal
-/// mapping, typically the comm-heuristic's best) seeds the pruning bound
-/// and the fallback answer.
+/// full Section 3.4 mapping space, picking the narrowest mask width
+/// that fits the instance (`u64`, then [`Mask128`]). The optional
+/// `incumbent` (any legal mapping, typically the comm-heuristic's best)
+/// seeds the pruning bound and the fallback answer.
 ///
 /// # Panics
 /// Panics if the instance is not [`CostModel::WithComm`] or exceeds the
@@ -136,79 +183,355 @@ pub fn solve_comm_bb(
     incumbent: Option<&Mapping>,
     limits: &BbLimits,
 ) -> BbResult {
-    let CostModel::WithComm { network, comm, .. } = &instance.cost_model else {
-        panic!("comm-bb solves communication-aware instances only");
-    };
-    assert!(
-        instance.platform.n_procs() <= MAX_PROCS,
-        "comm-bb supports at most {MAX_PROCS} processors"
-    );
-    assert!(
-        instance.workflow.n_stages() <= MAX_STAGES,
-        "comm-bb supports at most {MAX_STAGES} stages"
-    );
-    let mut ctx = Ctx {
-        instance,
-        network,
-        comm: *comm,
-        start: instance.cost_model.start_rule(),
-        best: None,
-        stats: BbStats::default(),
-        max_nodes: limits.max_nodes,
-        deadline: limits.time_limit.map(|t| Instant::now() + t),
-        aborted: false,
-    };
-    if let Some(mapping) = incumbent {
-        if let Ok((period, latency)) = instance.objectives(mapping) {
-            ctx.offer(mapping.clone(), period, latency);
-        }
-    }
-    match &instance.workflow {
-        Workflow::Pipeline(pipe) => PipeSearch::run(&mut ctx, pipe),
-        Workflow::Fork(fork) => ForkSearch::run(&mut ctx, fork, None),
-        Workflow::ForkJoin(fj) => ForkSearch::run(&mut ctx, fj.fork(), Some(fj.join_weight())),
-    }
-    ctx.stats.completed = !ctx.aborted;
-    BbResult {
-        best: ctx.best.map(|(_, sol)| sol),
-        stats: ctx.stats,
+    let dim = instance
+        .platform
+        .n_procs()
+        .max(instance.workflow.n_stages());
+    if dim <= u64::BITS as usize {
+        solve_comm_bb_with_mask::<u64>(instance, incumbent, limits)
+    } else {
+        solve_comm_bb_with_mask::<Mask128>(instance, incumbent, limits)
     }
 }
 
-/// Shared search context: incumbent, statistics and limits.
+/// [`solve_comm_bb`] pinned to a specific mask width `M`. The search is
+/// width-agnostic: any two instantiations whose widths fit the instance
+/// produce identical results node for node (property-tested against the
+/// legacy `u32` width). Public so the equivalence suite can pin widths.
+///
+/// # Panics
+/// Panics on non-[`CostModel::WithComm`] instances and on instances
+/// exceeding `M::BITS` or the structural caps.
+pub fn solve_comm_bb_with_mask<M: ProcMask>(
+    instance: &ProblemInstance,
+    incumbent: Option<&Mapping>,
+    limits: &BbLimits,
+) -> BbResult {
+    let CostModel::WithComm { network, comm, .. } = &instance.cost_model else {
+        panic!("comm-bb solves communication-aware instances only");
+    };
+    let n_procs = instance.platform.n_procs();
+    let n_stages = instance.workflow.n_stages();
+    assert!(
+        n_procs <= MAX_PROCS && n_procs <= M::BITS,
+        "comm-bb supports at most {} processors at this mask width",
+        MAX_PROCS.min(M::BITS)
+    );
+    assert!(
+        n_stages <= MAX_STAGES && n_stages <= M::BITS,
+        "comm-bb supports at most {} stages at this mask width",
+        MAX_STAGES.min(M::BITS)
+    );
+    let seed: Option<(Score, Solution)> = incumbent.and_then(|mapping| {
+        let (period, latency) = instance.objectives(mapping).ok()?;
+        let score = instance.objective.score(period, latency);
+        (score.0 != Rat::INFINITY).then(|| {
+            (
+                score,
+                Solution {
+                    mapping: mapping.clone(),
+                    period,
+                    latency,
+                },
+            )
+        })
+    });
+    let classes: Vec<M> = class_masks(&equiv_members(&instance.platform, network));
+    let jobs = limits.parallelism.max(1);
+    if jobs == 1 {
+        let mut ctx = Ctx::new(instance, network, *comm, limits, None);
+        if let Some((score, solution)) = seed {
+            ctx.seed(score, solution);
+        }
+        run_search::<M>(instance, &mut ctx, &classes, 0, 1);
+        ctx.stats.completed = !ctx.aborted;
+        return BbResult {
+            best: ctx.best.map(|(_, sol)| sol),
+            stats: ctx.stats,
+        };
+    }
+    // Parallel root-branch driver: deal the root branches round-robin
+    // to scoped jobs sharing an atomic incumbent, then merge the
+    // per-job winners in deterministic (score, branch index) order —
+    // exactly the solution the sequential search would keep first.
+    let shared = Shared {
+        nodes: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
+        best: Mutex::new(seed.as_ref().map(|(score, _)| *score)),
+    };
+    type JobOutcome = (BbStats, bool, Option<(Score, usize, Solution)>);
+    let results: Vec<JobOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|job| {
+                let shared = &shared;
+                let classes = &classes;
+                let seed = seed.clone();
+                scope.spawn(move || {
+                    let mut ctx = Ctx::new(instance, network, *comm, limits, Some(shared));
+                    if let Some((score, solution)) = seed {
+                        ctx.seed(score, solution);
+                    }
+                    run_search::<M>(instance, &mut ctx, classes, job, jobs);
+                    let best = ctx.best.take().map(|(s, sol)| (s, ctx.best_branch, sol));
+                    (ctx.stats, ctx.aborted, best)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("comm-bb job panicked"))
+            .collect()
+    });
+    let mut stats = BbStats {
+        completed: true,
+        ..BbStats::default()
+    };
+    let mut best: Option<(Score, usize, Solution)> = None;
+    for (job_stats, aborted, job_best) in results {
+        stats.nodes += job_stats.nodes;
+        stats.pruned_bound += job_stats.pruned_bound;
+        stats.pruned_dominated += job_stats.pruned_dominated;
+        if aborted {
+            stats.completed = false;
+        }
+        if let Some((score, branch, solution)) = job_best {
+            let better = match &best {
+                None => true,
+                Some((b_score, b_branch, _)) => {
+                    score < *b_score || (score == *b_score && branch < *b_branch)
+                }
+            };
+            if better {
+                best = Some((score, branch, solution));
+            }
+        }
+    }
+    BbResult {
+        best: best.map(|(_, _, sol)| sol),
+        stats,
+    }
+}
+
+/// Dispatches one job's share of the root branches to the right search.
+fn run_search<M: ProcMask>(
+    instance: &ProblemInstance,
+    ctx: &mut Ctx<'_>,
+    classes: &[M],
+    job: usize,
+    jobs: usize,
+) {
+    match &instance.workflow {
+        Workflow::Pipeline(pipe) => PipeSearch::run(ctx, pipe, classes, job, jobs),
+        Workflow::Fork(fork) => ForkSearch::run(ctx, fork, None, classes, job, jobs),
+        Workflow::ForkJoin(fj) => {
+            ForkSearch::run(ctx, fj.fork(), Some(fj.join_weight()), classes, job, jobs)
+        }
+    }
+}
+
+/// The **processor equivalence classes** of a platform/network pair:
+/// processors with identical speed and identical links to every other
+/// endpoint (`P_in`, `P_out`, all peers) are interchangeable in every
+/// evaluator. Classes are returned as ascending member lists, ordered
+/// by lowest member.
+fn equiv_members(platform: &Platform, network: &Network) -> Vec<Vec<usize>> {
+    use repliflow_core::comm::Endpoint::{In, Out, Proc};
+    let p = platform.n_procs();
+    let equivalent = |v: usize, w: usize| -> bool {
+        platform.speed(ProcId(v)) == platform.speed(ProcId(w))
+            && network.bandwidth(In, Proc(ProcId(v))) == network.bandwidth(In, Proc(ProcId(w)))
+            && network.bandwidth(Proc(ProcId(v)), Out) == network.bandwidth(Proc(ProcId(w)), Out)
+            && network.bandwidth(Proc(ProcId(v)), Proc(ProcId(w)))
+                == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(v)))
+            && (0..p).filter(|&u| u != v && u != w).all(|u| {
+                network.bandwidth(Proc(ProcId(v)), Proc(ProcId(u)))
+                    == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(u)))
+                    && network.bandwidth(Proc(ProcId(u)), Proc(ProcId(v)))
+                        == network.bandwidth(Proc(ProcId(u)), Proc(ProcId(w)))
+            })
+    };
+    let mut class_of = vec![usize::MAX; p];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for v in 0..p {
+        if class_of[v] != usize::MAX {
+            continue;
+        }
+        let index = classes.len();
+        class_of[v] = index;
+        let mut members = vec![v];
+        for (w, slot) in class_of.iter_mut().enumerate().skip(v + 1) {
+            if *slot == usize::MAX && equivalent(v, w) {
+                *slot = index;
+                members.push(w);
+            }
+        }
+        classes.push(members);
+    }
+    classes
+}
+
+/// Sizes of the processor equivalence classes of a platform/network
+/// pair. The comm-bb branching factor per search level is bounded by
+/// `Π (size_i + 1)` — the serving layer admits instances whose product
+/// stays tractable even when the raw processor count exceeds its
+/// processor budget (e.g. a homogeneous 33-processor cluster has one
+/// class of 33 → 34 canonical subsets per level).
+pub fn comm_equiv_class_sizes(platform: &Platform, network: &Network) -> Vec<usize> {
+    equiv_members(platform, network)
+        .iter()
+        .map(Vec::len)
+        .collect()
+}
+
+/// Converts member lists into class bitmasks at width `M`.
+fn class_masks<M: ProcMask>(members: &[Vec<usize>]) -> Vec<M> {
+    members
+        .iter()
+        .map(|class| class.iter().fold(M::empty(), |mask, &v| mask.or(M::bit(v))))
+        .collect()
+}
+
+/// Cross-job state of a parallel run: global node budget, abort flag
+/// and the best score found by any job (the shared pruning incumbent).
+struct Shared {
+    nodes: AtomicU64,
+    aborted: AtomicBool,
+    best: Mutex<Option<Score>>,
+}
+
+/// Per-job search context: incumbent, statistics and limits.
 struct Ctx<'a> {
     instance: &'a ProblemInstance,
     network: &'a Network,
     comm: CommModel,
     start: StartRule,
+    /// Best complete solution found *by this job* (strict-improvement
+    /// sequence — deterministic for completed runs).
     best: Option<(Score, Solution)>,
+    /// Root-branch index of the first offer of `best` (`usize::MAX`
+    /// for the seeded incumbent) — the parallel merge tiebreak.
+    best_branch: usize,
+    /// Root-branch index currently being explored.
+    branch: usize,
+    /// Pruning bound: the best score seen by this job *or adopted from
+    /// [`Shared::best`]* — always a real completion's score, so
+    /// bound-pruning strictly above it never cuts an optimal subtree.
+    bound: Option<Score>,
     stats: BbStats,
     max_nodes: u64,
     deadline: Option<Instant>,
     aborted: bool,
+    shared: Option<&'a Shared>,
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    fn new(
+        instance: &'a ProblemInstance,
+        network: &'a Network,
+        comm: CommModel,
+        limits: &BbLimits,
+        shared: Option<&'a Shared>,
+    ) -> Self {
+        Ctx {
+            instance,
+            network,
+            comm,
+            start: instance.cost_model.start_rule(),
+            best: None,
+            best_branch: usize::MAX,
+            branch: usize::MAX,
+            bound: None,
+            stats: BbStats::default(),
+            max_nodes: limits.max_nodes,
+            deadline: limits.time_limit.map(|t| Instant::now() + t),
+            aborted: false,
+            shared,
+        }
+    }
+
+    /// Installs the incumbent seed as local best and pruning bound.
+    fn seed(&mut self, score: Score, solution: Solution) {
+        self.best = Some((score, solution));
+        self.best_branch = usize::MAX;
+        self.bound = Some(score);
+    }
+
     /// Accounts one expanded node; `false` once a limit has tripped.
+    /// Parallel jobs sync with [`Shared`] every 64 local nodes: flush
+    /// the node count, honor global aborts, adopt a better bound.
     fn tick(&mut self) -> bool {
         if self.aborted {
             return false;
         }
         self.stats.nodes += 1;
-        if self.stats.nodes >= self.max_nodes {
-            self.aborted = true;
-        } else if self.stats.nodes & 1023 == 0 {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
+        match self.shared {
+            None => {
+                if self.stats.nodes >= self.max_nodes {
                     self.aborted = true;
+                } else if self.stats.nodes & 1023 == 0 {
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            self.aborted = true;
+                        }
+                    }
+                }
+            }
+            Some(shared) => {
+                if self.stats.nodes & 63 == 0 {
+                    if shared.aborted.load(Ordering::Relaxed) {
+                        self.aborted = true;
+                        return false;
+                    }
+                    let total = shared.nodes.fetch_add(64, Ordering::Relaxed) + 64;
+                    let deadline_hit = self
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() >= deadline);
+                    if total >= self.max_nodes || deadline_hit {
+                        shared.aborted.store(true, Ordering::Relaxed);
+                        self.aborted = true;
+                        return false;
+                    }
+                    let global = *shared.best.lock().expect("incumbent lock");
+                    if let Some(score) = global {
+                        if self.bound.is_none_or(|bound| score < bound) {
+                            self.bound = Some(score);
+                        }
+                    }
                 }
             }
         }
         !self.aborted
     }
 
+    /// Cheap abort probe for long *unowned* root-branch spans (no node
+    /// is expanded while skipping branches dealt to other jobs).
+    fn poll_abort(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        if let Some(shared) = self.shared {
+            if shared.aborted.load(Ordering::Relaxed) {
+                self.aborted = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                if let Some(shared) = self.shared {
+                    shared.aborted.store(true, Ordering::Relaxed);
+                }
+                self.aborted = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Offers a complete mapping; keeps it iff it is bound-feasible and
-    /// lexicographically better than the incumbent.
+    /// lexicographically better than this job's incumbent (strict — so
+    /// the recorded solution is the *first* best-scoring completion in
+    /// branch order, the anchor of parallel determinism). Improvements
+    /// are published to the shared incumbent for cross-job pruning.
     fn offer(&mut self, mapping: Mapping, period: Rat, latency: Rat) {
         let score = self.instance.objective.score(period, latency);
         if score.0 == Rat::INFINITY {
@@ -223,13 +546,23 @@ impl Ctx<'_> {
                     latency,
                 },
             ));
+            self.best_branch = self.branch;
+            if self.bound.is_none_or(|bound| score < bound) {
+                self.bound = Some(score);
+            }
+            if let Some(shared) = self.shared {
+                let mut global = shared.best.lock().expect("incumbent lock");
+                if global.is_none_or(|b| score < b) {
+                    *global = Some(score);
+                }
+            }
         }
     }
 
     /// Whether a subtree with the given admissible `(period, latency)`
     /// lower bounds can be cut: either the bi-criteria bound is already
     /// unattainable inside it, or its primary criterion cannot beat the
-    /// incumbent (strictly — an equal primary could still win the
+    /// pruning bound (strictly — an equal primary could still win the
     /// tiebreak).
     fn prune(&mut self, lb_period: Rat, lb_latency: Rat) -> bool {
         let objective = self.instance.objective;
@@ -246,8 +579,8 @@ impl Ctx<'_> {
             Objective::Period | Objective::PeriodUnderLatency(_) => lb_period,
             Objective::Latency | Objective::LatencyUnderPeriod(_) => lb_latency,
         };
-        if let Some((best, _)) = &self.best {
-            if lb_primary > best.0 {
+        if let Some(bound) = &self.bound {
+            if lb_primary > bound.0 {
                 self.stats.pruned_bound += 1;
                 return true;
             }
@@ -257,25 +590,16 @@ impl Ctx<'_> {
 }
 
 /// Sum of speeds of the processors in `mask`.
-fn mask_sum_speed(platform: &Platform, mask: u32) -> u64 {
-    let mut m = mask;
-    let mut sum = 0;
-    while m != 0 {
-        sum += platform.speed(ProcId(m.trailing_zeros() as usize));
-        m &= m - 1;
-    }
-    sum
+fn mask_sum_speed<M: ProcMask>(platform: &Platform, mask: M) -> u64 {
+    mask.ones().map(|v| platform.speed(ProcId(v))).sum()
 }
 
 /// Fastest speed among the processors in `mask` (0 for the empty mask).
-fn mask_max_speed(platform: &Platform, mask: u32) -> u64 {
-    let mut m = mask;
-    let mut max = 0;
-    while m != 0 {
-        max = max.max(platform.speed(ProcId(m.trailing_zeros() as usize)));
-        m &= m - 1;
-    }
-    max
+fn mask_max_speed<M: ProcMask>(platform: &Platform, mask: M) -> u64 {
+    mask.ones()
+        .map(|v| platform.speed(ProcId(v)))
+        .max()
+        .unwrap_or(0)
 }
 
 /// **Admissible period lower bound** for mapping stages of total work
@@ -287,7 +611,7 @@ fn mask_max_speed(platform: &Platform, mask: u32) -> u64 {
 /// infinite-bandwidth relaxation with all remaining speed pooled into
 /// one perfectly-amortized group. Communication terms are relaxed to
 /// zero, which can only lower the bound.
-pub fn suffix_period_bound(platform: &Platform, work: u64, avail: u32) -> Rat {
+pub fn suffix_period_bound<M: ProcMask>(platform: &Platform, work: u64, avail: M) -> Rat {
     if work == 0 {
         return Rat::ZERO;
     }
@@ -305,7 +629,12 @@ pub fn suffix_period_bound(platform: &Platform, work: u64, avail: u32) -> Rat {
 /// (`Σ_avail` when data-parallelism is allowed, the fastest single
 /// processor otherwise) and zeroing all transfers never overestimates
 /// the delay any completion pays.
-pub fn suffix_delay_bound(platform: &Platform, work: u64, avail: u32, allow_dp: bool) -> Rat {
+pub fn suffix_delay_bound<M: ProcMask>(
+    platform: &Platform,
+    work: u64,
+    avail: M,
+    allow_dp: bool,
+) -> Rat {
     if work == 0 {
         return Rat::ZERO;
     }
@@ -320,6 +649,77 @@ pub fn suffix_delay_bound(platform: &Platform, work: u64, avail: u32, allow_dp: 
     Rat::ratio(work, pool)
 }
 
+/// Per-mask speed aggregates for the fork search. Small platforms get
+/// dense `O(2^p)` tables (built incrementally, one lookup per query);
+/// wide platforms — where `2^p` tables are unaffordable precisely
+/// because symmetry breaking made the search itself affordable — fall
+/// back to per-bit iteration.
+struct Speeds {
+    per_proc: Vec<u64>,
+    /// Dense per-mask tables; empty when gated off.
+    sum: Vec<u64>,
+    max: Vec<u64>,
+    min: Vec<u64>,
+}
+
+impl Speeds {
+    fn new(platform: &Platform, dense: bool) -> Speeds {
+        let per_proc: Vec<u64> = (0..platform.n_procs())
+            .map(|v| platform.speed(ProcId(v)))
+            .collect();
+        let (sum, max, min) = if dense {
+            let p = per_proc.len();
+            let mut sum = vec![0u64; 1 << p];
+            let mut max = vec![0u64; 1 << p];
+            let mut min = vec![u64::MAX; 1 << p];
+            for mask in 1usize..(1 << p) {
+                let low = mask.trailing_zeros() as usize;
+                let rest = mask & (mask - 1);
+                let s = per_proc[low];
+                sum[mask] = sum[rest] + s;
+                max[mask] = max[rest].max(s);
+                min[mask] = min[rest].min(s);
+            }
+            (sum, max, min)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        Speeds {
+            per_proc,
+            sum,
+            max,
+            min,
+        }
+    }
+
+    fn sum<M: ProcMask>(&self, mask: M) -> u64 {
+        if self.sum.is_empty() {
+            mask.ones().map(|v| self.per_proc[v]).sum()
+        } else {
+            self.sum[mask.dense_index()]
+        }
+    }
+
+    fn max<M: ProcMask>(&self, mask: M) -> u64 {
+        if self.max.is_empty() {
+            mask.ones().map(|v| self.per_proc[v]).max().unwrap_or(0)
+        } else {
+            self.max[mask.dense_index()]
+        }
+    }
+
+    fn min<M: ProcMask>(&self, mask: M) -> u64 {
+        if self.min.is_empty() {
+            mask.ones()
+                .map(|v| self.per_proc[v])
+                .min()
+                .unwrap_or(u64::MAX)
+        } else {
+            self.min[mask.dense_index()]
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Pipeline search
 // ---------------------------------------------------------------------
@@ -327,21 +727,28 @@ pub fn suffix_delay_bound(platform: &Platform, work: u64, avail: u32, allow_dp: 
 /// Dominance key of a pipeline partial state: next stage, processors
 /// consumed so far, and the open group (procs + mode). States sharing a
 /// key have identical future cost increments.
-type PipeKey = (usize, u32, u32, bool);
+type PipeKey<M> = (usize, M, M, bool);
 
-struct PipeSearch<'a, 'c> {
+struct PipeSearch<'a, 'c, M: ProcMask> {
     ctx: &'a mut Ctx<'c>,
     pipe: &'a Pipeline,
+    /// Processor equivalence classes (canonical subset enumeration).
+    classes: &'a [M],
     /// `suffix_work[i]` = total weight of stages `i..n`.
     suffix_work: Vec<u64>,
-    full: u32,
+    full: M,
     /// Pareto sets of (closed period, closed latency, open busy) per key.
-    dominance: HashMap<PipeKey, Vec<(Rat, Rat, Rat)>>,
-    acc: Vec<Assignment>,
+    dominance: HashMap<PipeKey<M>, Vec<(Rat, Rat, Rat)>>,
+    /// Interned processor slice per mask: pushing a group is a
+    /// reference-count bump instead of a fresh allocation, and the
+    /// mapping is only materialized when a completion is offered.
+    procs_cache: HashMap<M, Rc<[ProcId]>>,
+    /// `(lo, hi, procs, mode)` of the groups on the current DFS path.
+    acc: Vec<(usize, usize, M, Mode)>,
 }
 
-impl<'a, 'c> PipeSearch<'a, 'c> {
-    fn run(ctx: &'a mut Ctx<'c>, pipe: &'a Pipeline) {
+impl<'a, 'c, M: ProcMask> PipeSearch<'a, 'c, M> {
+    fn run(ctx: &'a mut Ctx<'c>, pipe: &'a Pipeline, classes: &'a [M], job: usize, jobs: usize) {
         let n = pipe.n_stages();
         let p = ctx.instance.platform.n_procs();
         let mut suffix_work = vec![0u64; n + 1];
@@ -351,25 +758,89 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
         let mut search = PipeSearch {
             ctx,
             pipe,
+            classes,
             suffix_work,
-            full: ((1usize << p) - 1) as u32,
+            full: M::full(p),
             dominance: HashMap::new(),
+            procs_cache: HashMap::new(),
             acc: Vec::new(),
         };
-        search.expand(&PipelinePrefix::empty(), 0);
+        search.run_branches(job, jobs);
+    }
+
+    fn procs_of(&mut self, mask: M) -> Rc<[ProcId]> {
+        self.procs_cache
+            .entry(mask)
+            .or_insert_with(|| mask.ones().map(ProcId).collect())
+            .clone()
+    }
+
+    /// Materializes the current DFS path as a mapping (offer time only).
+    fn mapping(&self) -> Mapping {
+        Mapping::new(
+            self.acc
+                .iter()
+                .map(|&(lo, hi, mask, mode)| {
+                    Assignment::interval(lo, hi, mask.ones().map(ProcId).collect(), mode)
+                })
+                .collect(),
+        )
+    }
+
+    /// Enumerates the root branches — the `(last stage, processor
+    /// subset, mode)` choices of the *first* group — and explores the
+    /// ones dealt to this job. The static round-robin branch → job map
+    /// keeps the parallel merge deterministic.
+    fn run_branches(&mut self, job: usize, jobs: usize) {
+        let n = self.pipe.n_stages();
+        let allow_dp = self.ctx.instance.allow_data_parallel;
+        let root = PipelinePrefix::empty();
+        let mut branch = 0usize;
+        for hi in 0..n {
+            for sub in canonical_subsets(self.full, self.classes) {
+                if sub.is_empty() {
+                    continue;
+                }
+                for mode in [Mode::Replicated, Mode::DataParallel] {
+                    if mode == Mode::DataParallel && (!allow_dp || hi != 0 || sub.count() < 2) {
+                        continue;
+                    }
+                    if branch % jobs == job {
+                        self.ctx.branch = branch;
+                        let procs = self.procs_of(sub);
+                        let child = root.push_group(
+                            self.pipe,
+                            &self.ctx.instance.platform,
+                            self.ctx.network,
+                            hi,
+                            procs,
+                            mode,
+                        );
+                        self.acc.push((0, hi, sub, mode));
+                        self.expand(&child, sub);
+                        self.acc.pop();
+                        if self.ctx.aborted {
+                            return;
+                        }
+                    }
+                    branch += 1;
+                    if branch & 0xFFF == 0 && self.ctx.poll_abort() {
+                        return;
+                    }
+                }
+            }
+        }
     }
 
     /// Admissible `(period, latency)` lower bounds of every completion
-    /// of `prefix` using only the processors of `avail`.
-    fn bounds(&self, prefix: &PipelinePrefix, avail: u32) -> (Rat, Rat) {
-        let platform = &self.ctx.instance.platform;
-        let network = self.ctx.network;
+    /// of `prefix` using only the processors of `avail` (non-empty —
+    /// the caller handles exhausted pools).
+    fn bounds(&mut self, prefix: &PipelinePrefix, avail: M) -> (Rat, Rat) {
         let i = prefix.next_stage();
         let n = self.pipe.n_stages();
-        if i < n && avail == 0 {
-            return (Rat::INFINITY, Rat::INFINITY); // unmappable suffix
-        }
-        let avail_procs: Vec<ProcId> = mask_procs(avail as usize);
+        let avail_procs = self.procs_of(avail);
+        let platform = &self.ctx.instance.platform;
+        let network = self.ctx.network;
         let send_lb = prefix.pending_send_lower_bound(self.pipe, network, &avail_procs);
         let mut lb_period = prefix.period_closed();
         let mut lb_latency = prefix.latency_closed();
@@ -398,7 +869,7 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
         (lb_period, lb_latency)
     }
 
-    fn expand(&mut self, prefix: &PipelinePrefix, used: u32) {
+    fn expand(&mut self, prefix: &PipelinePrefix, used: M) {
         if !self.ctx.tick() {
             return;
         }
@@ -406,11 +877,14 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
         let i = prefix.next_stage();
         if i == n {
             let (period, latency) = prefix.finish(self.pipe, self.ctx.network);
-            self.ctx
-                .offer(Mapping::new(self.acc.clone()), period, latency);
+            let mapping = self.mapping();
+            self.ctx.offer(mapping, period, latency);
             return;
         }
-        let avail = self.full & !used;
+        let avail = self.full.minus(used);
+        if avail.is_empty() {
+            return; // stages remain but every processor is taken
+        }
         let (lb_period, lb_latency) = self.bounds(prefix, avail);
         if self.ctx.prune(lb_period, lb_latency) {
             return;
@@ -420,10 +894,7 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
         // increments are identical and every final objective is monotone
         // in each term, so a weakly dominated state cannot win.
         if let Some(open) = prefix.pending() {
-            let last_mask = open
-                .procs()
-                .iter()
-                .fold(0u32, |m, q| m | (1u32 << q.0 as u32));
+            let &(_, _, last_mask, _) = self.acc.last().expect("open group is on the path");
             let key = (i, used, last_mask, open.mode() == Mode::DataParallel);
             let triple = (prefix.period_closed(), prefix.latency_closed(), open.busy());
             let entry = self.dominance.entry(key).or_default();
@@ -437,37 +908,31 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
             entry.retain(|t| !(triple.0 <= t.0 && triple.1 <= t.1 && triple.2 <= t.2));
             entry.push(triple);
         }
-        if avail == 0 {
-            return; // stages remain but every processor is taken
-        }
         let allow_dp = self.ctx.instance.allow_data_parallel;
         for hi in i..n {
-            let mut sub = avail;
-            loop {
+            for sub in canonical_subsets(avail, self.classes) {
+                if sub.is_empty() {
+                    continue;
+                }
                 for mode in [Mode::Replicated, Mode::DataParallel] {
-                    if mode == Mode::DataParallel && (!allow_dp || hi != i || sub.count_ones() < 2)
-                    {
+                    if mode == Mode::DataParallel && (!allow_dp || hi != i || sub.count() < 2) {
                         continue;
                     }
-                    let procs = mask_procs(sub as usize);
+                    let procs = self.procs_of(sub);
                     let child = prefix.push_group(
                         self.pipe,
                         &self.ctx.instance.platform,
                         self.ctx.network,
                         hi,
-                        procs.clone(),
+                        procs,
                         mode,
                     );
-                    self.acc.push(Assignment::interval(i, hi, procs, mode));
-                    self.expand(&child, used | sub);
+                    self.acc.push((i, hi, sub, mode));
+                    self.expand(&child, used.or(sub));
                     self.acc.pop();
                     if self.ctx.aborted {
                         return;
                     }
-                }
-                sub = (sub - 1) & avail;
-                if sub == 0 {
-                    break;
                 }
             }
         }
@@ -485,9 +950,9 @@ impl<'a, 'c> PipeSearch<'a, 'c> {
 /// fork dominance pruning below); until then the transfers are bounded
 /// below by the cheapest join placement any completion could choose.
 #[derive(Clone)]
-struct UnresolvedOutputs {
+struct UnresolvedOutputs<M> {
     /// Processor mask of the group awaiting its leaf→join billing.
-    procs: u32,
+    procs: M,
     /// Total bytes of leaf outputs the group will ship to the join
     /// group (worst-link billing is linear in the size, so the per-leaf
     /// transfers over one group pair sum to one transfer of the total).
@@ -529,7 +994,7 @@ struct UnresolvedOutputs {
 ///   maximum `max(comp_link, cap + comp_nolink)` can be reassembled
 ///   for any final receiver count.
 #[derive(Clone)]
-struct ForkPartial {
+struct ForkPartial<M> {
     /// When the root group may start broadcasting `δ_0` (exact).
     send_start: Rat,
     /// Root group's per-period busy time accounted so far: input
@@ -557,22 +1022,22 @@ struct ForkPartial {
     /// Slowest per-link broadcast seen so far (multi-port root busy).
     broadcast_link_max: Rat,
     /// Join group processor mask, once a created group holds the join
-    /// stage (0 = not placed yet / plain fork).
-    join_mask: u32,
+    /// stage (empty = not placed yet / plain fork).
+    join_mask: M,
     /// Speed at which the join stage will run, once known.
     join_speed: Option<u64>,
     /// Leaf→join transfers awaiting the join placement (fork-joins
     /// only; always empty for plain forks).
-    unresolved: Vec<UnresolvedOutputs>,
+    unresolved: Vec<UnresolvedOutputs<M>>,
     /// `join_out[s * p + v]`: leaf `s`'s output transfer from processor
     /// `v` alone to the placed join group — the per-leaf floor of the
     /// latency bound (shared across clones; computed once per join
     /// placement).
-    join_out: Option<std::rc::Rc<Vec<Rat>>>,
+    join_out: Option<Rc<Vec<Rat>>>,
     /// `join_bw[v]`: slowest-link bandwidth from processor `v` to the
     /// placed join group (`u64::MAX` = free), so a group's total output
     /// transfer is a single division instead of a pairwise link scan.
-    join_bw: Option<std::rc::Rc<Vec<u64>>>,
+    join_bw: Option<Rc<Vec<u64>>>,
 }
 
 /// Dominance key of a fork / fork-join partial state: states sharing a
@@ -580,22 +1045,23 @@ struct ForkPartial {
 /// (monotone) value tuples — see [`ForkSearch::dominance_tuple`] for
 /// the admissibility argument.
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct ForkKey {
+struct ForkKey<M> {
     /// Remaining stages: the exact bitmask under one-port (broadcast
     /// serialization makes leaf *identity* order-significant), the
     /// sorted multiset of `(weight, output size, is_join)` under
     /// bounded multi-port (arrivals are order-free there, so
     /// same-shaped leaves are interchangeable — the coarser key
     /// collapses more states).
-    remaining: RemainingKey,
+    remaining: RemainingKey<M>,
     /// Processors still available.
-    avail: u32,
+    avail: M,
     /// Root group processors (broadcast links, root amortization).
-    root: u32,
+    root: M,
     /// Root group data-parallel flag (root amortization).
     root_dp: bool,
-    /// Join group processors (0 until placed; future leaf→join billing).
-    join: u32,
+    /// Join group processors (empty until placed; future leaf→join
+    /// billing).
+    join: M,
     /// Join stage speed (0 until placed; final join-phase delay).
     join_speed: u64,
 }
@@ -604,9 +1070,9 @@ struct ForkKey {
 /// mask ([`ForkSearch::multiset_memo`]), so cloning a key is one
 /// reference-count bump, not a vector copy.
 #[derive(Clone, PartialEq, Eq, Hash)]
-enum RemainingKey {
-    Mask(u32),
-    Multiset(std::rc::Rc<Vec<(u64, u64, bool)>>),
+enum RemainingKey<M> {
+    Mask(M),
+    Multiset(Rc<Vec<(u64, u64, bool)>>),
 }
 
 /// Fixed-width dominance value tuple (one-port leaves the trailing
@@ -614,35 +1080,26 @@ enum RemainingKey {
 type DomTuple = [Rat; 7];
 
 /// Memoized multiset keys per remaining mask (see [`RemainingKey`]).
-type MultisetMemo = HashMap<u32, std::rc::Rc<Vec<(u64, u64, bool)>>>;
+type MultisetMemo<M> = HashMap<M, Rc<Vec<(u64, u64, bool)>>>;
 
-struct ForkSearch<'a, 'c> {
+struct ForkSearch<'a, 'c, M: ProcMask> {
     ctx: &'a mut Ctx<'c>,
     fork: &'a Fork,
     /// `Some(join weight)` for fork-joins.
     join: Option<u64>,
-    full: u32,
+    full: M,
     n_procs: usize,
     /// Stage bits of the leaves (`1 ..= n_leaves`).
-    leaf_bits: u32,
+    leaf_bits: M,
+    /// Processor equivalence classes (canonical subset enumeration —
+    /// see [`comm_equiv_class_sizes`]).
+    classes: &'a [M],
     /// Pareto sets of monotone value tuples per dominance key.
-    dominance: HashMap<ForkKey, Vec<DomTuple>>,
+    dominance: HashMap<ForkKey<M>, Vec<DomTuple>>,
     /// Memoized multiset keys per remaining mask (bounded multi-port).
-    multiset_memo: MultisetMemo,
-    /// Pooled speed per processor mask (suffix period relaxation).
-    sum_speed: Vec<u64>,
-    /// Fastest single speed per processor mask (suffix delay, no dp).
-    max_speed: Vec<u64>,
-    /// Slowest speed per processor mask (replicated group delays).
-    min_speed: Vec<u64>,
-    /// Masks of the non-singleton **processor equivalence classes**:
-    /// processors with identical speed and identical links to every
-    /// other endpoint (`P_in`, `P_out`, all peers) are interchangeable
-    /// in every evaluator, so only subsets taking the lowest-indexed
-    /// available members of each class are enumerated (canonical
-    /// symmetry breaking; any mapping relabels onto a canonical one
-    /// with identical objectives).
-    class_masks: Vec<u32>,
+    multiset_memo: MultisetMemo<M>,
+    /// Per-mask speed aggregates (dense tables on small platforms).
+    speeds: Speeds,
     /// `out_single[s * p + v]`: leaf `s`'s output transfer to `P_out`
     /// from processor `v` alone (plain forks; empty for fork-joins).
     out_single: Vec<Rat>,
@@ -651,61 +1108,29 @@ struct ForkSearch<'a, 'c> {
     /// Broadcast link from the current root group to `{v}` (set by
     /// [`Self::root_with`] for the root branch being explored).
     root_link: Vec<Rat>,
-    acc: Vec<Assignment>,
+    /// `(stages, procs, mode)` of the groups on the current DFS path;
+    /// materialized into a [`Mapping`] only when a completion is
+    /// offered.
+    acc: Vec<(M, M, Mode)>,
 }
 
-impl<'a, 'c> ForkSearch<'a, 'c> {
-    fn run(ctx: &'a mut Ctx<'c>, fork: &'a Fork, join: Option<u64>) {
+impl<'a, 'c, M: ProcMask> ForkSearch<'a, 'c, M> {
+    fn run(
+        ctx: &'a mut Ctx<'c>,
+        fork: &'a Fork,
+        join: Option<u64>,
+        classes: &'a [M],
+        job: usize,
+        jobs: usize,
+    ) {
         let p = ctx.instance.platform.n_procs();
         let n_stages = fork.n_stages() + usize::from(join.is_some());
-        let full = ((1usize << p) - 1) as u32;
-        let platform = &ctx.instance.platform;
-        let mut sum_speed = vec![0u64; 1 << p];
-        let mut max_speed = vec![0u64; 1 << p];
-        let mut min_speed = vec![u64::MAX; 1 << p];
-        for mask in 1usize..(1 << p) {
-            let low = mask.trailing_zeros() as usize;
-            let rest = mask & (mask - 1);
-            let s = platform.speed(ProcId(low));
-            sum_speed[mask] = sum_speed[rest] + s;
-            max_speed[mask] = max_speed[rest].max(s);
-            min_speed[mask] = min_speed[rest].min(s);
-        }
+        // Dense per-mask speed tables cost O(2^p) memory *per job*;
+        // past the gate the bit-iterating fallback computes identical
+        // values, so the cutover cannot change any result.
+        let dense = p <= if jobs > 1 { 16 } else { 20 };
+        let speeds = Speeds::new(&ctx.instance.platform, dense);
         let network = ctx.network;
-        // processor equivalence classes (see `ForkSearch::class_masks`)
-        let equivalent = |v: usize, w: usize| -> bool {
-            use repliflow_core::comm::Endpoint::{In, Out, Proc};
-            platform.speed(ProcId(v)) == platform.speed(ProcId(w))
-                && network.bandwidth(In, Proc(ProcId(v))) == network.bandwidth(In, Proc(ProcId(w)))
-                && network.bandwidth(Proc(ProcId(v)), Out)
-                    == network.bandwidth(Proc(ProcId(w)), Out)
-                && network.bandwidth(Proc(ProcId(v)), Proc(ProcId(w)))
-                    == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(v)))
-                && (0..p).filter(|&u| u != v && u != w).all(|u| {
-                    network.bandwidth(Proc(ProcId(v)), Proc(ProcId(u)))
-                        == network.bandwidth(Proc(ProcId(w)), Proc(ProcId(u)))
-                        && network.bandwidth(Proc(ProcId(u)), Proc(ProcId(v)))
-                            == network.bandwidth(Proc(ProcId(u)), Proc(ProcId(w)))
-                })
-        };
-        let mut class_of = vec![usize::MAX; p];
-        let mut class_masks: Vec<u32> = Vec::new();
-        for v in 0..p {
-            if class_of[v] != usize::MAX {
-                continue;
-            }
-            let class = class_masks.len();
-            class_of[v] = class;
-            let mut mask = 1u32 << v;
-            for (w, slot) in class_of.iter_mut().enumerate().skip(v + 1) {
-                if *slot == usize::MAX && equivalent(v, w) {
-                    *slot = class;
-                    mask |= 1u32 << w;
-                }
-            }
-            class_masks.push(mask);
-        }
-        class_masks.retain(|m| m.count_ones() >= 2);
         let out_single = if join.is_none() {
             let mut out = vec![Rat::ZERO; (fork.n_leaves() + 1) * p];
             for s in 1..=fork.n_leaves() {
@@ -727,35 +1152,57 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             ctx,
             fork,
             join,
-            full,
+            full: M::full(p),
             n_procs: p,
-            leaf_bits: ((1u64 << (fork.n_leaves() + 1)) - 2) as u32,
+            leaf_bits: M::full(fork.n_leaves() + 1).minus(M::bit(0)),
+            classes,
             dominance: HashMap::new(),
             multiset_memo: HashMap::new(),
-            sum_speed,
-            max_speed,
-            min_speed,
-            class_masks,
+            speeds,
             out_single,
             pout_bw,
             root_link: vec![Rat::ZERO; p],
             acc: Vec::new(),
         };
-        // Stage bitmask of everything but the root: leaves 1..=L plus
-        // the join stage for fork-joins.
-        let non_root: u32 = ((1u64 << n_stages) - 2) as u32;
-        // Branch the root group: any subset of the non-root stages may
-        // share it.
-        let mut extra = non_root;
-        loop {
-            search.branch_root(extra, non_root & !extra);
-            if search.ctx.aborted {
-                return;
+        // Root branches: the root group holds stage 0 plus any subset
+        // of the non-root stages (leaves 1..=L plus the join stage for
+        // fork-joins) on any canonical processor subset × legal mode.
+        // The static round-robin branch → job map keeps the parallel
+        // merge deterministic.
+        let non_root = M::full(n_stages).minus(M::bit(0));
+        let join_stage = fork.n_stages();
+        let allow_dp = search.ctx.instance.allow_data_parallel;
+        let mut branch = 0usize;
+        for extra in non_root.submasks_desc() {
+            let remaining = non_root.minus(extra);
+            let join_in_root = search.join.is_some() && extra.contains(join_stage);
+            let root_stage_mask = extra.or(M::bit(0));
+            for q in canonical_subsets(search.full, classes) {
+                if q.is_empty() {
+                    continue;
+                }
+                for mode in [Mode::Replicated, Mode::DataParallel] {
+                    if mode == Mode::DataParallel {
+                        // the root (and join) may only be
+                        // data-parallelized alone
+                        let legal = allow_dp && extra.is_empty() && q.count() >= 2;
+                        if !legal {
+                            continue;
+                        }
+                    }
+                    if branch % jobs == job {
+                        search.ctx.branch = branch;
+                        search.root_with(root_stage_mask, join_in_root, q, mode, remaining);
+                        if search.ctx.aborted {
+                            return;
+                        }
+                    }
+                    branch += 1;
+                    if branch & 0xFFF == 0 && search.ctx.poll_abort() {
+                        return;
+                    }
+                }
             }
-            if extra == 0 {
-                break;
-            }
-            extra = (extra - 1) & non_root;
         }
     }
 
@@ -774,49 +1221,29 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         }
     }
 
-    fn stages_of(mask: u32) -> Vec<usize> {
-        let mut stages = Vec::new();
-        let mut m = mask;
-        while m != 0 {
-            stages.push(m.trailing_zeros() as usize);
-            m &= m - 1;
-        }
-        stages
-    }
-
-    fn mask_work(&self, mask: u32) -> u64 {
-        let mut work = 0;
-        let mut m = mask;
-        while m != 0 {
-            work += self.stage_weight(m.trailing_zeros() as usize);
-            m &= m - 1;
-        }
-        work
+    fn mask_work(&self, mask: M) -> u64 {
+        mask.ones().map(|s| self.stage_weight(s)).sum()
     }
 
     /// Worst-link transfer time between two processor masks — the
     /// allocation-free twin of [`group_transfer`] for the hot child
     /// loop.
-    fn mask_transfer(&self, size: u64, from: u32, to: u32) -> Rat {
+    ///
+    /// [`group_transfer`]: repliflow_core::comm_cost::group_transfer
+    fn mask_transfer(&self, size: u64, from: M, to: M) -> Rat {
         if size == 0 {
             return Rat::ZERO;
         }
         use repliflow_core::comm::Endpoint::Proc;
         let network = self.ctx.network;
         let mut worst = Rat::ZERO;
-        let mut m = from;
-        while m != 0 {
-            let u = ProcId(m.trailing_zeros() as usize);
-            let mut n = to;
-            while n != 0 {
-                let v = ProcId(n.trailing_zeros() as usize);
-                let t = network.transfer_time(size, Proc(u), Proc(v));
+        for u in from.ones() {
+            for v in to.ones() {
+                let t = network.transfer_time(size, Proc(ProcId(u)), Proc(ProcId(v)));
                 if worst < t {
                     worst = t;
                 }
-                n &= n - 1;
             }
-            m &= m - 1;
         }
         worst
     }
@@ -824,17 +1251,11 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// Worst-link transfer time of `size` bytes from a processor mask,
     /// given per-processor slowest-link bandwidths (`u64::MAX` = free):
     /// `max_v size / bw[v] = size / min_v bw[v]` — one division.
-    fn bw_transfer(size: u64, bw: &[u64], from: u32) -> Rat {
+    fn bw_transfer(size: u64, bw: &[u64], from: M) -> Rat {
         if size == 0 {
             return Rat::ZERO;
         }
-        let mut min_bw = u64::MAX;
-        let mut m = from;
-        while m != 0 {
-            let v = m.trailing_zeros() as usize;
-            min_bw = min_bw.min(bw[v]);
-            m &= m - 1;
-        }
+        let min_bw = from.ones().map(|v| bw[v]).min().unwrap_or(u64::MAX);
         if min_bw == u64::MAX {
             Rat::ZERO
         } else {
@@ -850,11 +1271,11 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// group — free inside it, billed once the join placement is known,
     /// and bounded below by zero until then (transfers are nonnegative,
     /// so dropping them keeps the partial terms admissible).
-    fn outputs_lb(&self, stages: u32, q: u32, join_mask: u32, join_bw: Option<&[u64]>) -> Rat {
+    fn outputs_lb(&self, stages: M, q: M, join_mask: M, join_bw: Option<&[u64]>) -> Rat {
         let total = self.out_total(stages);
         match self.join {
             None => Self::bw_transfer(total, &self.pout_bw, q),
-            Some(_) if join_mask == 0 || join_mask == q => Rat::ZERO,
+            Some(_) if join_mask.is_empty() || join_mask == q => Rat::ZERO,
             Some(_) => match join_bw {
                 Some(bw) => Self::bw_transfer(total, bw, q),
                 None => self.mask_transfer(total, q, join_mask),
@@ -864,10 +1285,10 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
 
     /// Speed at which a distinguished (root/join) stage runs on a
     /// processor mask.
-    fn mask_sequential_speed(&self, q: u32, mode: Mode) -> u64 {
+    fn mask_sequential_speed(&self, q: M, mode: Mode) -> u64 {
         match mode {
-            Mode::DataParallel => self.sum_speed[q as usize],
-            Mode::Replicated => self.min_speed[q as usize],
+            Mode::DataParallel => self.speeds.sum(q),
+            Mode::Replicated => self.speeds.min(q),
         }
     }
 
@@ -878,103 +1299,44 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         }
     }
 
-    /// Whether `q` is the canonical representative among the subsets of
-    /// `avail` equivalent to it under processor interchange: within
-    /// every equivalence class it must take the lowest-indexed
-    /// available members. Skipping non-canonical subsets loses no
-    /// mappings — relabelling within a class preserves every objective.
-    fn canonical_subset(&self, q: u32, avail: u32) -> bool {
-        for &cm in &self.class_masks {
-            let sel = q & cm;
-            let rest = avail & cm & !sel;
-            if sel != 0 && rest != 0 && (31 - sel.leading_zeros()) > rest.trailing_zeros() {
-                return false;
-            }
-        }
-        true
-    }
-
     /// Minimum of `arr[v]` over the processors `v` of `avail`
     /// ([`Rat::INFINITY`] for the empty mask).
-    fn min_over(arr: &[Rat], avail: u32) -> Rat {
+    fn min_over(arr: &[Rat], avail: M) -> Rat {
         let mut best = Rat::INFINITY;
-        let mut m = avail;
-        while m != 0 {
-            let v = m.trailing_zeros() as usize;
+        for v in avail.ones() {
             if arr[v] < best {
                 best = arr[v];
             }
-            m &= m - 1;
         }
         best
     }
 
     /// Maximum of `arr[v]` over the processors `v` of `mask`.
-    fn max_over(arr: &[Rat], mask: u32) -> Rat {
+    fn max_over(arr: &[Rat], mask: M) -> Rat {
         let mut worst = Rat::ZERO;
-        let mut m = mask;
-        while m != 0 {
-            let v = m.trailing_zeros() as usize;
+        for v in mask.ones() {
             if worst < arr[v] {
                 worst = arr[v];
             }
-            m &= m - 1;
         }
         worst
-    }
-
-    /// Fixes the root group (stages `{0} ∪ extra` on every non-empty
-    /// processor subset × legal mode) and recurses over the remaining
-    /// stages.
-    fn branch_root(&mut self, extra: u32, remaining: u32) {
-        let join_in_root = self.join.is_some() && extra & (1u32 << self.join_stage() as u32) != 0;
-        let root_stage_mask = extra | 1;
-        let mut q = self.full;
-        loop {
-            if !self.canonical_subset(q, self.full) {
-                q = (q - 1) & self.full;
-                if q == 0 {
-                    break;
-                }
-                continue;
-            }
-            for mode in [Mode::Replicated, Mode::DataParallel] {
-                if mode == Mode::DataParallel {
-                    // the root (and join) may only be data-parallelized
-                    // alone
-                    let legal =
-                        self.ctx.instance.allow_data_parallel && extra == 0 && q.count_ones() >= 2;
-                    if !legal {
-                        continue;
-                    }
-                }
-                self.root_with(root_stage_mask, join_in_root, q, mode, remaining);
-                if self.ctx.aborted {
-                    return;
-                }
-            }
-            q = (q - 1) & self.full;
-            if q == 0 {
-                break;
-            }
-        }
     }
 
     /// Total output bytes the leaves of `stages` ship (to `P_out` for
     /// plain forks, to the join group for fork-joins); worst-link
     /// billing is linear in the size, so the per-leaf transfers over
     /// one group pair sum to one transfer of this total.
-    fn out_total(&self, stages: u32) -> u64 {
-        Self::stages_of(stages)
-            .into_iter()
+    fn out_total(&self, stages: M) -> u64 {
+        stages
+            .ones()
             .filter(|&s| self.is_leaf(s))
             .map(|s| self.fork.output_size(s))
             .sum()
     }
 
-    fn root_with(&mut self, stages: u32, join_in_root: bool, q: u32, mode: Mode, remaining: u32) {
+    fn root_with(&mut self, stages: M, join_in_root: bool, q: M, mode: Mode, remaining: M) {
         let network = self.ctx.network;
-        let procs = mask_procs(q as usize);
+        let procs: Vec<ProcId> = q.ones().map(ProcId).collect();
         let recv_in = input_transfer(network, self.fork.input_size(), &procs);
         let s0 = self.mask_sequential_speed(q, mode);
         let full_work = self.mask_work(stages);
@@ -985,9 +1347,11 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         } else {
             full_work
         };
+        let q_min = self.speeds.min(q).max(1);
+        let q_sum = self.speeds.sum(q).max(1);
         let delay_of = |work: u64| match mode {
-            Mode::Replicated => Rat::ratio(work, self.min_speed[q as usize].max(1)),
-            Mode::DataParallel => Rat::ratio(work, self.sum_speed[q as usize].max(1)),
+            Mode::Replicated => Rat::ratio(work, q_min),
+            Mode::DataParallel => Rat::ratio(work, q_sum),
         };
         let root_stage_done = recv_in + Rat::ratio(self.fork.root_weight(), s0);
         let root_all_done = recv_in + delay_of(latency_work);
@@ -995,10 +1359,10 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             StartRule::Flexible => root_stage_done,
             StartRule::Strict => root_all_done,
         };
-        let join_mask = if join_in_root { q } else { 0 };
+        let join_mask = if join_in_root { q } else { M::empty() };
         let join_speed = join_in_root.then(|| self.mask_sequential_speed(q, mode));
         for v in 0..self.n_procs {
-            self.root_link[v] = self.mask_transfer(self.fork.broadcast_size(), q, 1u32 << v);
+            self.root_link[v] = self.mask_transfer(self.fork.broadcast_size(), q, M::bit(v));
         }
         let (join_out, join_bw) = if join_in_root {
             let (out, bw) = self.join_tables(q);
@@ -1018,7 +1382,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                     completion_base: root_all_done,
                     completion_nolink_base: None,
                     busy_base: recv_in + delay_of(full_work),
-                    k: q.count_ones() as usize,
+                    k: q.count(),
                     mode,
                     is_root: true,
                 });
@@ -1044,7 +1408,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         };
         // dominance and bound pruning happen at generation time — a
         // pruned subtree never costs a node
-        let avail = self.full & !q;
+        let avail = self.full.minus(q);
         let root_dp = mode == Mode::DataParallel;
         if self.dominated(&partial, remaining, avail, q, root_dp) {
             return;
@@ -1053,8 +1417,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         if self.ctx.prune(lb_period, lb_latency) {
             return;
         }
-        self.acc
-            .push(Assignment::new(Self::stages_of(stages), procs, mode));
+        self.acc.push((stages, q, mode));
         // Fork-joins whose join is outside the root get their dedicated
         // join-only group branched *here*, right after the root — so the
         // join placement (and with it exact accounting + dominance) is
@@ -1063,37 +1426,32 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         // partitions with a dedicated join group arise only from this
         // loop, all others only from `expand`'s leaf-group order.
         if self.join.is_some() && !join_in_root {
-            let join_bit = 1u32 << self.join_stage() as u32;
-            let leaf_remaining = remaining & !join_bit;
-            let mut qj = avail;
-            while qj != 0 {
-                if self.canonical_subset(qj, avail) {
-                    for jmode in [Mode::Replicated, Mode::DataParallel] {
-                        if !self.group_mode_legal(join_bit, qj, jmode) {
-                            continue;
-                        }
-                        let child = self.extend(&partial, join_bit, qj, jmode);
-                        let child_avail = avail & !qj;
-                        if !self.dominated(&child, leaf_remaining, child_avail, q, root_dp) {
-                            let (lb_p, lb_l) =
-                                self.bounds(&child, leaf_remaining, child_avail, q, root_dp);
-                            if !self.ctx.prune(lb_p, lb_l) {
-                                self.acc.push(Assignment::new(
-                                    vec![self.join_stage()],
-                                    mask_procs(qj as usize),
-                                    jmode,
-                                ));
-                                self.expand(&child, leaf_remaining, child_avail, q, root_dp);
-                                self.acc.pop();
-                            }
-                        }
-                        if self.ctx.aborted {
+            let join_bit = M::bit(self.join_stage());
+            let leaf_remaining = remaining.minus(join_bit);
+            for qj in canonical_subsets(avail, self.classes) {
+                if qj.is_empty() {
+                    continue;
+                }
+                for jmode in [Mode::Replicated, Mode::DataParallel] {
+                    if !self.group_mode_legal(join_bit, qj, jmode) {
+                        continue;
+                    }
+                    let child = self.extend(&partial, join_bit, qj, jmode);
+                    let child_avail = avail.minus(qj);
+                    if !self.dominated(&child, leaf_remaining, child_avail, q, root_dp) {
+                        let (lb_p, lb_l) =
+                            self.bounds(&child, leaf_remaining, child_avail, q, root_dp);
+                        if !self.ctx.prune(lb_p, lb_l) {
+                            self.acc.push((join_bit, qj, jmode));
+                            self.expand(&child, leaf_remaining, child_avail, q, root_dp);
                             self.acc.pop();
-                            return;
                         }
                     }
+                    if self.ctx.aborted {
+                        self.acc.pop();
+                        return;
+                    }
                 }
-                qj = (qj - 1) & avail;
             }
         }
         self.expand(&partial, remaining, avail, q, root_dp);
@@ -1104,28 +1462,25 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// `join_out[s * p + v]` is leaf `s`'s output transfer from
     /// processor `v` alone, `join_bw[v]` the slowest-link bandwidth
     /// from `v` (`u64::MAX` = free).
-    fn join_tables(&self, join_mask: u32) -> (std::rc::Rc<Vec<Rat>>, std::rc::Rc<Vec<u64>>) {
+    fn join_tables(&self, join_mask: M) -> (Rc<Vec<Rat>>, Rc<Vec<u64>>) {
         use repliflow_core::comm::Endpoint::Proc;
         let p = self.n_procs;
         let network = self.ctx.network;
         let mut bw = vec![u64::MAX; p];
         for (v, slot) in bw.iter_mut().enumerate() {
-            let mut m = join_mask;
-            while m != 0 {
-                let w = ProcId(m.trailing_zeros() as usize);
-                if let Some(b) = network.bandwidth(Proc(ProcId(v)), Proc(w)) {
+            for w in join_mask.ones() {
+                if let Some(b) = network.bandwidth(Proc(ProcId(v)), Proc(ProcId(w))) {
                     *slot = (*slot).min(b);
                 }
-                m &= m - 1;
             }
         }
         let mut out = vec![Rat::ZERO; (self.fork.n_leaves() + 1) * p];
         for s in 1..=self.fork.n_leaves() {
             for v in 0..p {
-                out[s * p + v] = Self::bw_transfer(self.fork.output_size(s), &bw, 1u32 << v);
+                out[s * p + v] = Self::bw_transfer(self.fork.output_size(s), &bw, M::bit(v));
             }
         }
-        (std::rc::Rc::new(out), std::rc::Rc::new(bw))
+        (Rc::new(out), Rc::new(bw))
     }
 
     /// Admissible `(period, latency)` lower bounds of every completion
@@ -1133,17 +1488,17 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// `remaining` stages still to place on the `avail` processors.
     fn bounds(
         &self,
-        partial: &ForkPartial,
-        remaining: u32,
-        avail: u32,
-        root_mask: u32,
+        partial: &ForkPartial<M>,
+        remaining: M,
+        avail: M,
+        root_mask: M,
         root_mode_dp: bool,
     ) -> (Rat, Rat) {
         let network = self.ctx.network;
-        if remaining != 0 && avail == 0 {
+        if !remaining.is_empty() && avail.is_empty() {
             return (Rat::INFINITY, Rat::INFINITY);
         }
-        let root_k = root_mask.count_ones() as usize;
+        let root_k = root_mask.count();
         let root_mode = if root_mode_dp {
             Mode::DataParallel
         } else {
@@ -1156,8 +1511,8 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         let suffix_work = self.mask_work(remaining);
         if suffix_work > 0 {
             // pooled-speed infinite-bandwidth relaxation (see
-            // `suffix_period_bound`), served from the precomputed table
-            let pool = self.sum_speed[avail as usize];
+            // `suffix_period_bound`), served from the speed aggregates
+            let pool = self.speeds.sum(avail);
             if pool == 0 {
                 return (Rat::INFINITY, Rat::INFINITY);
             }
@@ -1165,9 +1520,9 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         }
         let allow_dp = self.ctx.instance.allow_data_parallel;
         let delay_pool = if allow_dp {
-            self.sum_speed[avail as usize]
+            self.speeds.sum(avail)
         } else {
-            self.max_speed[avail as usize]
+            self.speeds.max(avail)
         };
 
         // created-group completions: link-based arrivals, plus (multi-
@@ -1185,14 +1540,11 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         if !partial.unresolved.is_empty() {
             for u in &partial.unresolved {
                 let mut out_lb = Rat::INFINITY;
-                let mut m = avail;
-                while m != 0 {
-                    let v = 1u32 << m.trailing_zeros();
-                    let t = self.mask_transfer(u.out_total, u.procs, v);
+                for v in avail.ones() {
+                    let t = self.mask_transfer(u.out_total, u.procs, M::bit(v));
                     if t < out_lb {
                         out_lb = t;
                     }
-                    m &= m - 1;
                 }
                 if out_lb.is_finite() && out_lb > Rat::ZERO {
                     all_done = all_done.max(u.completion_base + out_lb);
@@ -1224,8 +1576,8 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         //   single-processor placement (forks ship to `P_out`;
         //   fork-joins to the placed join group — zero while the join
         //   is unplaced, since the leaf could share its group).
-        let remaining_leaf_mask = remaining & self.leaf_bits;
-        if remaining_leaf_mask != 0 {
+        let remaining_leaf_mask = remaining.and(self.leaf_bits);
+        if !remaining_leaf_mask.is_empty() {
             let l_min = Self::min_over(&self.root_link, avail);
             let arrival_base = match self.ctx.comm {
                 CommModel::OnePort => partial.t_oneport + l_min,
@@ -1238,7 +1590,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                 }
             };
             let p = self.n_procs;
-            for s in Self::stages_of(remaining_leaf_mask) {
+            for s in remaining_leaf_mask.ones() {
                 let delay = Rat::ratio(self.stage_weight(s), delay_pool);
                 let out_lb = if self.join.is_none() {
                     // plain fork: the leaf output always ships to P_out
@@ -1296,15 +1648,15 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// sorted `(weight, output size, is_join)` multiset under bounded
     /// multi-port (arrivals there are `send_start + max(link, cap)`,
     /// order-free, so same-shaped leaves are interchangeable).
-    fn remaining_key(&mut self, remaining: u32) -> RemainingKey {
+    fn remaining_key(&mut self, remaining: M) -> RemainingKey<M> {
         match self.ctx.comm {
             CommModel::OnePort => RemainingKey::Mask(remaining),
             CommModel::BoundedMultiPort => {
                 if let Some(memo) = self.multiset_memo.get(&remaining) {
                     return RemainingKey::Multiset(memo.clone());
                 }
-                let mut multiset: Vec<(u64, u64, bool)> = Self::stages_of(remaining)
-                    .into_iter()
+                let mut multiset: Vec<(u64, u64, bool)> = remaining
+                    .ones()
                     .map(|s| {
                         let is_leaf = self.is_leaf(s);
                         (
@@ -1315,7 +1667,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                     })
                     .collect();
                 multiset.sort_unstable();
-                let memo = std::rc::Rc::new(multiset);
+                let memo = Rc::new(multiset);
                 self.multiset_memo.insert(remaining, memo.clone());
                 RemainingKey::Multiset(memo)
             }
@@ -1327,10 +1679,11 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// [`ForkKey`] can complete with exactly the same future group
     /// sequences (same remaining stages, processors, root group and
     /// join placement), and with all leaf→join transfers resolved
-    /// (`unresolved` empty — the precondition checked in [`Self::expand`])
-    /// every component below is an **exact** contribution of the created
-    /// groups. For any fixed completion, the final period and latency
-    /// are non-decreasing functions of each component:
+    /// (`unresolved` empty — the precondition checked in
+    /// [`Self::dominated`]) every component below is an **exact**
+    /// contribution of the created groups. For any fixed completion,
+    /// the final period and latency are non-decreasing functions of
+    /// each component:
     ///
     /// * `period_others` — max over created non-root groups of their
     ///   amortized period terms; enters the final period as a max term;
@@ -1352,7 +1705,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// Hence a state whose tuple is weakly dominated cannot complete to
     /// a strictly better mapping than its dominator's matching
     /// completion, and pruning it preserves optimality.
-    fn dominance_tuple(&self, partial: &ForkPartial) -> DomTuple {
+    fn dominance_tuple(&self, partial: &ForkPartial<M>) -> DomTuple {
         match self.ctx.comm {
             CommModel::OnePort => [
                 partial.period_others,
@@ -1389,10 +1742,10 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// bounds, and a lower bound may not certify a dominator.
     fn dominated(
         &mut self,
-        partial: &ForkPartial,
-        remaining: u32,
-        avail: u32,
-        root_mask: u32,
+        partial: &ForkPartial<M>,
+        remaining: M,
+        avail: M,
+        root_mask: M,
         root_mode_dp: bool,
     ) -> bool {
         if !partial.unresolved.is_empty() {
@@ -1431,33 +1784,33 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// subtree never costs a search node).
     fn expand(
         &mut self,
-        partial: &ForkPartial,
-        remaining: u32,
-        avail: u32,
-        root_mask: u32,
+        partial: &ForkPartial<M>,
+        remaining: M,
+        avail: M,
+        root_mask: M,
         root_mode_dp: bool,
     ) {
         if !self.ctx.tick() {
             return;
         }
-        if remaining == 0 {
-            let mapping = Mapping::new(self.acc.clone());
+        if remaining.is_empty() {
+            let mapping = self.mapping();
             if let Ok((period, latency)) = self.ctx.instance.objectives(&mapping) {
                 self.ctx.offer(mapping, period, latency);
             }
             return;
         }
-        if avail == 0 {
+        if avail.is_empty() {
             return; // stages remain but every processor is taken
         }
         let join_bit = match self.join {
-            Some(_) => 1u32 << self.join_stage() as u32,
-            None => 0,
+            Some(_) => M::bit(self.join_stage()),
+            None => M::empty(),
         };
         // dedicated (join-only) groups are branched by `root_with`
         // right after the root; a family-2 path that has consumed every
         // leaf without placing the join is a dead end
-        if join_bit != 0 && partial.join_mask == 0 && remaining == join_bit {
+        if !join_bit.is_empty() && partial.join_mask.is_empty() && remaining == join_bit {
             return;
         }
         // cheap per-state quantities shared by the quick filters below
@@ -1472,7 +1825,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                 partial.send_start + l_min.max(cap_next)
             }
         };
-        let avail_pool = self.sum_speed[avail as usize].max(1);
+        let avail_pool = self.speeds.sum(avail).max(1);
         let join_lb = match (self.join, partial.join_speed) {
             (Some(join_w), Some(speed)) => Rat::ratio(join_w, speed.max(1)),
             (Some(join_w), None) => Rat::ratio(join_w, avail_pool),
@@ -1480,56 +1833,37 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         };
         // canonical partition order: the next group takes the smallest
         // remaining stage plus any subset of the others
-        let lowest = remaining & remaining.wrapping_neg();
-        let rest = remaining ^ lowest;
-        let mut extra = rest;
-        loop {
-            let stages = lowest | extra;
+        let lowest = M::bit(remaining.lowest());
+        let rest = remaining.minus(lowest);
+        for extra in rest.submasks_desc() {
+            let stages = lowest.or(extra);
             // join-only groups belong to `root_with`'s family
             if stages == join_bit {
-                if extra == 0 {
-                    break;
-                }
-                extra = (extra - 1) & rest;
                 continue;
             }
             // quick extra-level filter: even on all remaining
             // processors pooled, this stage set cannot finish sooner —
             // kills the whole processor-subset loop in one comparison
-            let wants = stages & self.leaf_bits != 0;
+            let wants = !stages.and(self.leaf_bits).is_empty();
             let group_arrival = if wants {
                 arrival_base
             } else {
                 partial.send_start
             };
-            let latency_work = self.mask_work(stages & !join_bit);
+            let latency_work = self.mask_work(stages.minus(join_bit));
             let quick = group_arrival + Rat::ratio(latency_work, avail_pool) + join_lb;
             if self.ctx.prune(Rat::ZERO, quick) {
-                if extra == 0 {
-                    break;
-                }
-                extra = (extra - 1) & rest;
                 continue;
             }
-            let mut q = avail;
-            loop {
-                if !self.canonical_subset(q, avail) {
-                    q = (q - 1) & avail;
-                    if q == 0 {
-                        break;
-                    }
+            for q in canonical_subsets(avail, self.classes) {
+                if q.is_empty() {
                     continue;
                 }
                 // quick subset-level filter: the pooled speed of `q`
                 // upper-bounds both modes' speeds
-                let quick_q = group_arrival
-                    + Rat::ratio(latency_work, self.sum_speed[q as usize].max(1))
-                    + join_lb;
+                let quick_q =
+                    group_arrival + Rat::ratio(latency_work, self.speeds.sum(q).max(1)) + join_lb;
                 if self.ctx.prune(Rat::ZERO, quick_q) {
-                    q = (q - 1) & avail;
-                    if q == 0 {
-                        break;
-                    }
                     continue;
                 }
                 for mode in [Mode::Replicated, Mode::DataParallel] {
@@ -1537,8 +1871,8 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                         continue;
                     }
                     let child = self.extend(partial, stages, q, mode);
-                    let child_remaining = remaining & !stages;
-                    let child_avail = avail & !q;
+                    let child_remaining = remaining.minus(stages);
+                    let child_avail = avail.minus(q);
                     if self.dominated(
                         &child,
                         child_remaining,
@@ -1558,11 +1892,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                     if self.ctx.prune(lb_period, lb_latency) {
                         continue;
                     }
-                    self.acc.push(Assignment::new(
-                        Self::stages_of(stages),
-                        mask_procs(q as usize),
-                        mode,
-                    ));
+                    self.acc.push((stages, q, mode));
                     self.expand(
                         &child,
                         child_remaining,
@@ -1575,28 +1905,36 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
                         return;
                     }
                 }
-                q = (q - 1) & avail;
-                if q == 0 {
-                    break;
-                }
             }
-            if extra == 0 {
-                break;
-            }
-            extra = (extra - 1) & rest;
         }
     }
 
-    fn group_mode_legal(&self, stages: u32, q: u32, mode: Mode) -> bool {
+    /// Materializes the current DFS path as a mapping (offer time only).
+    fn mapping(&self) -> Mapping {
+        Mapping::new(
+            self.acc
+                .iter()
+                .map(|&(stages, procs, mode)| {
+                    Assignment::new(
+                        stages.ones().collect(),
+                        procs.ones().map(ProcId).collect(),
+                        mode,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn group_mode_legal(&self, stages: M, q: M, mode: Mode) -> bool {
         if mode == Mode::Replicated {
             return true;
         }
-        if !self.ctx.instance.allow_data_parallel || q.count_ones() < 2 {
+        if !self.ctx.instance.allow_data_parallel || q.count() < 2 {
             return false;
         }
         // a data-parallel group may not mix the join stage with leaves
-        let has_join = self.join.is_some() && stages & (1u32 << self.join_stage() as u32) != 0;
-        !has_join || stages.count_ones() == 1
+        let has_join = self.join.is_some() && stages.contains(self.join_stage());
+        !has_join || stages.count() == 1
     }
 
     /// Re-bills every [`UnresolvedOutputs`] entry now that the join
@@ -1604,7 +1942,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
     /// the owning group's (exact) completion and period terms, making
     /// the whole partial state exact again — the precondition of the
     /// dominance pruning.
-    fn resolve_outputs(&self, next: &mut ForkPartial, join_mask: u32) {
+    fn resolve_outputs(&self, next: &mut ForkPartial<M>, join_mask: M) {
         for u in std::mem::take(&mut next.unresolved) {
             let out = match next.join_bw.as_deref() {
                 Some(bw) => Self::bw_transfer(u.out_total, bw, u.procs),
@@ -1626,10 +1964,10 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
 
     /// Extends the partial state with a new non-root group, updating the
     /// broadcast clock, root busy time, period terms and completions.
-    fn extend(&self, partial: &ForkPartial, stages: u32, q: u32, mode: Mode) -> ForkPartial {
+    fn extend(&self, partial: &ForkPartial<M>, stages: M, q: M, mode: Mode) -> ForkPartial<M> {
         let network = self.ctx.network;
         let mut next = partial.clone();
-        let has_join = self.join.is_some() && stages & (1u32 << self.join_stage() as u32) != 0;
+        let has_join = self.join.is_some() && stages.contains(self.join_stage());
         if has_join {
             next.join_mask = q;
             next.join_speed = Some(self.mask_sequential_speed(q, mode));
@@ -1640,7 +1978,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
             // transfer of the groups created before it
             self.resolve_outputs(&mut next, q);
         }
-        let wants = stages & self.leaf_bits != 0;
+        let wants = !stages.and(self.leaf_bits).is_empty();
         // the group's δ0 link, shared by the arrival clock and its
         // per-period receive term (zero for broadcast-free groups):
         // `root_link` already holds the worst per-processor link, so
@@ -1683,10 +2021,12 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         } else {
             full_work
         };
-        let k = q.count_ones() as usize;
+        let k = q.count();
+        let q_min = self.speeds.min(q).max(1);
+        let q_sum = self.speeds.sum(q).max(1);
         let delay_of = |work: u64| match mode {
-            Mode::Replicated => Rat::ratio(work, self.min_speed[q as usize].max(1)),
-            Mode::DataParallel => Rat::ratio(work, self.sum_speed[q as usize].max(1)),
+            Mode::Replicated => Rat::ratio(work, q_min),
+            Mode::DataParallel => Rat::ratio(work, q_sum),
         };
         let delay = delay_of(latency_work);
         // completion without the broadcast transfer term: the
@@ -1694,7 +2034,7 @@ impl<'a, 'c> ForkSearch<'a, 'c> {
         // both variants (see `ForkPartial::comp_nolink`)
         let nolink_arrival =
             (wants && self.ctx.comm == CommModel::BoundedMultiPort).then_some(next.send_start);
-        let deferred = self.join.is_some() && next.join_mask == 0;
+        let deferred = self.join.is_some() && next.join_mask.is_empty();
         if deferred {
             let out_total = self.out_total(stages);
             if out_total > 0 {
@@ -1922,6 +2262,7 @@ mod tests {
         let limits = BbLimits {
             max_nodes: 50,
             time_limit: None,
+            parallelism: 1,
         };
         let result = solve_comm_bb(&instance, None, &limits);
         assert!(!result.stats.completed);
@@ -1968,5 +2309,160 @@ mod tests {
         let result = solve_comm_bb(&instance, None, &BbLimits::default());
         assert!(result.stats.completed);
         assert!(result.best.is_none());
+    }
+
+    #[test]
+    fn mask_widths_walk_the_same_tree() {
+        // The search is width-agnostic: the legacy u32 width, the u64
+        // fast path and the two-word Mask128 must agree on the best
+        // solution (mapping included) *and* on every node/prune counter
+        // — i.e. they walk the exact same tree.
+        let mut gen = Gen::new(0xBB15);
+        for case in 0..24 {
+            let p = gen.size(1, 4);
+            let workflow: Workflow = if case % 2 == 0 {
+                let n = gen.size(1, 4);
+                Pipeline::with_data_sizes(
+                    gen.positive_ints(n, 1, 9),
+                    gen.positive_ints(n + 1, 0, 6),
+                )
+                .into()
+            } else {
+                let leaves = gen.size(0, 3);
+                repliflow_core::workflow::ForkJoin::with_data_sizes(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves, 1, 6),
+                    gen.int(1, 5),
+                    gen.int(0, 5),
+                    gen.int(0, 5),
+                    gen.positive_ints(leaves, 0, 4),
+                )
+                .into()
+            };
+            let objective = if case % 3 == 0 {
+                Objective::Latency
+            } else {
+                Objective::Period
+            };
+            let instance = comm_instance(&mut gen, workflow, p, objective);
+            let legacy = solve_comm_bb_with_mask::<u32>(&instance, None, &BbLimits::default());
+            let wide = solve_comm_bb_with_mask::<u64>(&instance, None, &BbLimits::default());
+            let wider = solve_comm_bb_with_mask::<Mask128>(&instance, None, &BbLimits::default());
+            assert_eq!(legacy.best, wide.best, "case {case}: u32 vs u64 solution");
+            assert_eq!(legacy.stats, wide.stats, "case {case}: u32 vs u64 stats");
+            assert_eq!(
+                legacy.best, wider.best,
+                "case {case}: u32 vs Mask128 solution"
+            );
+            assert_eq!(
+                legacy.stats, wider.stats,
+                "case {case}: u32 vs Mask128 stats"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_root_branches_match_sequential_bit_for_bit() {
+        // Completed parallel runs must return the same solution object
+        // as the sequential search, at any job count (the shared
+        // incumbent may shift node counters, never the answer).
+        let mut gen = Gen::new(0xBB16);
+        for case in 0..12 {
+            let p = gen.size(2, 4);
+            let workflow: Workflow = if case % 2 == 0 {
+                let n = gen.size(2, 4);
+                Pipeline::with_data_sizes(
+                    gen.positive_ints(n, 1, 9),
+                    gen.positive_ints(n + 1, 0, 6),
+                )
+                .into()
+            } else {
+                let leaves = gen.size(1, 4);
+                Fork::with_data_sizes(
+                    gen.int(1, 6),
+                    gen.positive_ints(leaves, 1, 6),
+                    gen.int(0, 5),
+                    gen.int(0, 5),
+                    gen.positive_ints(leaves, 0, 4),
+                )
+                .into()
+            };
+            let objective = if case % 3 == 0 {
+                Objective::Latency
+            } else {
+                Objective::Period
+            };
+            let instance = comm_instance(&mut gen, workflow, p, objective);
+            let sequential = solve_comm_bb(&instance, None, &BbLimits::default());
+            assert!(sequential.stats.completed);
+            for jobs in [2usize, 3, 5] {
+                let parallel = solve_comm_bb(
+                    &instance,
+                    None,
+                    &BbLimits {
+                        parallelism: jobs,
+                        ..BbLimits::default()
+                    },
+                );
+                assert!(parallel.stats.completed, "case {case}, {jobs} jobs");
+                assert_eq!(
+                    sequential.best, parallel.best,
+                    "case {case}, {jobs} jobs: parallel diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_platform_past_the_legacy_cap_is_proven() {
+        // 33 processors blew the old u32 mask; with wide masks and
+        // canonical class enumeration (one class of 33 → 34 subsets
+        // per level) the instance is proven in milliseconds.
+        let instance = ProblemInstance {
+            workflow: Pipeline::with_data_sizes(vec![4, 7, 3], vec![2, 1, 1, 2]).into(),
+            platform: Platform::homogeneous(33, 3),
+            allow_data_parallel: true,
+            objective: Objective::Period,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(33, 2),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let result = solve_comm_bb(&instance, None, &BbLimits::default());
+        assert!(result.stats.completed, "p = 33 no longer proves");
+        assert!(result.best.is_some());
+        // the same tree parallelized stays bit-identical
+        let parallel = solve_comm_bb(
+            &instance,
+            None,
+            &BbLimits {
+                parallelism: 4,
+                ..BbLimits::default()
+            },
+        );
+        assert!(parallel.stats.completed);
+        assert_eq!(result.best, parallel.best);
+    }
+
+    #[test]
+    fn mask128_dispatch_solves_past_64_processors() {
+        // Beyond 64 processors the solver switches to the two-word
+        // mask; a homogeneous 70-processor platform still collapses to
+        // 71 canonical subsets per level.
+        let instance = ProblemInstance {
+            workflow: Pipeline::with_data_sizes(vec![5, 2], vec![1, 1, 1]).into(),
+            platform: Platform::homogeneous(70, 2),
+            allow_data_parallel: true,
+            objective: Objective::Latency,
+            cost_model: CostModel::WithComm {
+                network: Network::uniform(70, 3),
+                comm: CommModel::OnePort,
+                overlap: true,
+            },
+        };
+        let result = solve_comm_bb(&instance, None, &BbLimits::default());
+        assert!(result.stats.completed);
+        assert!(result.best.is_some());
     }
 }

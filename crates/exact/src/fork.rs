@@ -16,6 +16,7 @@
 //! cost functions on tiny instances.
 
 use crate::goal::{Frontier, Goal, Solution};
+use crate::mask::ProcMask;
 use crate::pipeline::{group_cost, mask_procs, MaskSpeeds, MAX_PROCS};
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::Platform;
@@ -53,25 +54,12 @@ impl<'a> LeafDp<'a> {
     }
 
     fn subset_work(&self, leaf_mask: u32) -> u64 {
-        let mut work = 0;
-        let mut m = leaf_mask;
-        while m != 0 {
-            let i = m.trailing_zeros() as usize;
-            work += self.leaf_weights[i];
-            m &= m - 1;
-        }
-        work
+        leaf_mask.ones().map(|i| self.leaf_weights[i]).sum()
     }
 
     /// Stage ids (1-based leaves) of a leaf mask.
     fn leaf_stages(leaf_mask: u32) -> Vec<usize> {
-        let mut stages = Vec::new();
-        let mut m = leaf_mask;
-        while m != 0 {
-            stages.push(m.trailing_zeros() as usize + 1);
-            m &= m - 1;
-        }
-        stages
+        leaf_mask.ones().map(|i| i + 1).collect()
     }
 
     /// Pareto frontier of `(max period, max delay)` over all covers of
@@ -87,18 +75,19 @@ impl<'a> LeafDp<'a> {
             return cached.clone();
         }
         let mut result: LeafFrontier = Vec::new();
-        let lowest = leaf_mask & leaf_mask.wrapping_neg();
+        let lowest = u32::bit(leaf_mask.lowest());
         let rest_leaves = leaf_mask ^ lowest;
         // enumerate subsets of rest_leaves, each united with the lowest leaf
-        let mut extra = rest_leaves;
-        loop {
+        for extra in rest_leaves.submasks_desc() {
             let group_leaves = extra | lowest;
             let work = self.subset_work(group_leaves);
             // enumerate non-empty processor subsets
-            let mut q = proc_mask;
-            loop {
+            for q in proc_mask.submasks_desc() {
+                if q.is_empty() {
+                    continue;
+                }
                 for mode in [Mode::Replicated, Mode::DataParallel] {
-                    if mode == Mode::DataParallel && (!self.allow_dp || q.count_ones() < 2) {
+                    if mode == Mode::DataParallel && (!self.allow_dp || q.count() < 2) {
                         continue;
                     }
                     let (gp, gd) = group_cost(work, q as usize, mode, self.speeds);
@@ -118,15 +107,7 @@ impl<'a> LeafDp<'a> {
                         }
                     }
                 }
-                q = (q - 1) & proc_mask;
-                if q == 0 {
-                    break;
-                }
             }
-            if extra == 0 {
-                break;
-            }
-            extra = (extra - 1) & rest_leaves;
         }
         self.memo.insert((leaf_mask, proc_mask), result.clone());
         result
@@ -159,15 +140,16 @@ pub fn pareto_fork(fork: &Fork, platform: &Platform, allow_dp: bool) -> Frontier
     let mut frontier = Frontier::new();
     // enumerate the root group: leaf subset (possibly empty) × processor
     // subset × mode.
-    let mut root_leaves = full_leaves;
-    loop {
+    for root_leaves in full_leaves.submasks_desc() {
         let root_work = w0 + leaf_dp.subset_work(root_leaves);
-        let mut q = full_procs;
-        loop {
+        for q in full_procs.submasks_desc() {
+            if q.is_empty() {
+                continue;
+            }
             for mode in [Mode::Replicated, Mode::DataParallel] {
                 if mode == Mode::DataParallel {
                     // the root may only be data-parallelized alone
-                    if !allow_dp || root_leaves != 0 || q.count_ones() < 2 {
+                    if !allow_dp || root_leaves != 0 || q.count() < 2 {
                         continue;
                     }
                 }
@@ -195,15 +177,7 @@ pub fn pareto_fork(fork: &Fork, platform: &Platform, allow_dp: bool) -> Frontier
                     });
                 }
             }
-            q = (q - 1) & full_procs;
-            if q == 0 {
-                break;
-            }
         }
-        if root_leaves == 0 {
-            break;
-        }
-        root_leaves = (root_leaves - 1) & full_leaves;
     }
     frontier
 }
@@ -301,11 +275,13 @@ fn rec_assign(
     }
     let block = &blocks[b];
     let has_seq = block.iter().any(|s| sequential_stages.contains(s));
-    let mut sub = avail;
-    loop {
+    for sub in avail.submasks_desc() {
+        if sub.is_empty() {
+            continue;
+        }
         for mode in [Mode::Replicated, Mode::DataParallel] {
             if mode == Mode::DataParallel {
-                let legal = allow_dp && sub.count_ones() >= 2 && (!has_seq || block.len() == 1);
+                let legal = allow_dp && sub.count() >= 2 && (!has_seq || block.len() == 1);
                 if !legal {
                     continue;
                 }
@@ -321,10 +297,6 @@ fn rec_assign(
                 visit,
             );
             acc.pop();
-        }
-        sub = (sub - 1) & avail;
-        if sub == 0 {
-            break;
         }
     }
 }

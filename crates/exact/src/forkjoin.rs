@@ -9,6 +9,7 @@
 
 use crate::fork::{assign_procs, for_each_partition};
 use crate::goal::{Frontier, Goal, Solution};
+use crate::mask::ProcMask;
 use crate::pipeline::{group_cost, mask_procs, MaskSpeeds, MAX_PROCS};
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::Platform;
@@ -18,46 +19,21 @@ use repliflow_core::workflow::ForkJoin;
 use crate::fork::MAX_LEAVES;
 
 fn leaf_stages(leaf_mask: u32) -> Vec<usize> {
-    let mut stages = Vec::new();
-    let mut m = leaf_mask;
-    while m != 0 {
-        stages.push(m.trailing_zeros() as usize + 1);
-        m &= m - 1;
-    }
-    stages
+    leaf_mask.ones().map(|i| i + 1).collect()
 }
 
 fn subset_work(leaf_weights: &[u64], leaf_mask: u32) -> u64 {
-    let mut work = 0;
-    let mut m = leaf_mask;
-    while m != 0 {
-        work += leaf_weights[m.trailing_zeros() as usize];
-        m &= m - 1;
-    }
-    work
+    leaf_mask.ones().map(|i| leaf_weights[i]).sum()
 }
 
 /// Iterates all submasks of `mask` including `0` and `mask` itself.
 fn submasks(mask: u32) -> impl Iterator<Item = u32> {
-    let mut sub = mask;
-    let mut done = false;
-    std::iter::from_fn(move || {
-        if done {
-            return None;
-        }
-        let current = sub;
-        if sub == 0 {
-            done = true;
-        } else {
-            sub = (sub - 1) & mask;
-        }
-        Some(current)
-    })
+    mask.submasks_desc()
 }
 
 /// Iterates all **non-empty** submasks of `mask`.
 fn nonempty_submasks(mask: u32) -> impl Iterator<Item = u32> {
-    submasks(mask).filter(|&s| s != 0)
+    mask.submasks_desc().filter(|s| !s.is_empty())
 }
 
 /// The exact (period, latency) Pareto frontier over all legal fork-join

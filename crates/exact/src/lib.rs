@@ -11,8 +11,12 @@
 //! * [`pipeline`] — Pareto subset-DP over (stage prefix × processor mask)
 //!   plus a brute-force enumerator;
 //! * [`comm_bb`] — branch-and-bound over partial mappings for the
-//!   **communication-aware** general model, with admissible lower bounds
-//!   and dominance pruning (far beyond what full enumeration reaches);
+//!   **communication-aware** general model, with admissible lower bounds,
+//!   dominance pruning, canonical symmetry breaking over processor
+//!   equivalence classes and optional parallel root-branch exploration
+//!   (far beyond what full enumeration reaches);
+//! * [`mask`] — the [`mask::ProcMask`] bitmask abstraction the searches
+//!   are generic over (`u64` fast path, [`mask::Mask128`] beyond 64);
 //! * [`fork`] — root-group enumeration × memoized Pareto leaf-cover DP,
 //!   plus a set-partition brute force;
 //! * [`forkjoin`] — the Section 6.3 extension with distinguished root and
@@ -31,12 +35,16 @@ pub mod comm_bb;
 pub mod fork;
 pub mod forkjoin;
 pub mod goal;
+pub mod mask;
 pub mod oracle;
 pub mod pipeline;
 
-pub use comm_bb::{solve_comm_bb, BbLimits, BbResult, BbStats};
+pub use comm_bb::{
+    comm_equiv_class_sizes, solve_comm_bb, solve_comm_bb_with_mask, BbLimits, BbResult, BbStats,
+};
 pub use fork::{brute_force_fork, enumerate_fork, pareto_fork, solve_fork};
 pub use forkjoin::{brute_force_forkjoin, enumerate_forkjoin, pareto_forkjoin, solve_forkjoin};
 pub use goal::{Frontier, Goal, Solution};
+pub use mask::{Mask128, ProcMask};
 pub use oracle::{min_latency, min_period, pareto, solve};
 pub use pipeline::{brute_force_pipeline, enumerate_pipeline, pareto_pipeline, solve_pipeline};

@@ -1,0 +1,477 @@
+//! Wide processor/stage bitmasks for the exact searches.
+//!
+//! The branch-and-bound searches track stage sets and processor sets as
+//! bitmasks. Historically those were hard-wired `u32`, which capped the
+//! comm-aware searches at 32 stages/processors and silently pushed
+//! larger platforms onto the heuristic path. [`ProcMask`] abstracts the
+//! handful of mask operations the searches actually use so they can be
+//! instantiated at any width: `u64` is the fast path (one register),
+//! [`Mask128`] covers platforms up to 128 processors with a two-word
+//! fixed bitset, and the legacy `u32` instantiation is kept for the
+//! cross-width equivalence property suite.
+//!
+//! Two iteration primitives matter for search determinism and must
+//! behave identically at every width (pinned by the tests below):
+//!
+//! * [`ProcMask::submasks_desc`] — the classic `sub = (sub - 1) & mask`
+//!   descending submask walk, generalized to multi-word masks with an
+//!   explicit borrow;
+//! * [`canonical_subsets`] — descending enumeration of only the
+//!   *canonical* subsets under processor-equivalence symmetry: within
+//!   every equivalence class a canonical subset takes the
+//!   lowest-indexed available members, so a fully symmetric platform
+//!   contributes `p + 1` subsets instead of `2^p`. When every class is
+//!   a singleton the sequence degenerates to exactly
+//!   [`ProcMask::submasks_desc`].
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A fixed-width bitset of processor (or stage) indices.
+///
+/// All operations are value-semantics (`Copy`) and must be pure: the
+/// searches rely on identical results across repeated calls and across
+/// widths (for masks whose bits fit the narrower width).
+pub trait ProcMask: Copy + Eq + Hash + Debug + Send + Sync + 'static {
+    /// Number of representable bit positions.
+    const BITS: usize;
+
+    /// The empty mask.
+    fn empty() -> Self;
+
+    /// The lowest `n` bits set (`n <= Self::BITS`).
+    fn full(n: usize) -> Self;
+
+    /// A single set bit at position `i`.
+    fn bit(i: usize) -> Self;
+
+    /// Whether no bit is set.
+    fn is_empty(self) -> bool;
+
+    /// Whether bit `i` is set.
+    fn contains(self, i: usize) -> bool;
+
+    /// Number of set bits.
+    fn count(self) -> usize;
+
+    /// Index of the lowest set bit (callers must ensure non-empty).
+    fn lowest(self) -> usize;
+
+    /// Index of the highest set bit (callers must ensure non-empty).
+    fn highest(self) -> usize;
+
+    /// Bitwise union.
+    fn or(self, other: Self) -> Self;
+
+    /// Bitwise intersection.
+    fn and(self, other: Self) -> Self;
+
+    /// Bits of `self` not in `other` (`self & !other`).
+    fn minus(self, other: Self) -> Self;
+
+    /// Clears the lowest set bit (`m & (m - 1)`; identity on empty).
+    fn clear_lowest(self) -> Self;
+
+    /// The multi-word generalization of `(self - 1) & mask` — the step
+    /// of the descending submask walk. Callers must ensure `self` is
+    /// non-empty.
+    fn sub_one_and(self, mask: Self) -> Self;
+
+    /// The mask's value as a dense table index. Only meaningful when
+    /// every set bit is below `usize::BITS` (the dense speed tables are
+    /// gated on small processor counts).
+    fn dense_index(self) -> usize;
+
+    /// Iterates the set bit positions in ascending order.
+    fn ones(self) -> Ones<Self> {
+        Ones { mask: self }
+    }
+
+    /// Iterates all submasks of `self` in descending numeric order,
+    /// from `self` down to and including the empty mask.
+    fn submasks_desc(self) -> SubmasksDesc<Self> {
+        SubmasksDesc {
+            mask: self,
+            cur: Some(self),
+        }
+    }
+}
+
+/// Ascending iterator over set bit positions (see [`ProcMask::ones`]).
+pub struct Ones<M> {
+    mask: M,
+}
+
+impl<M: ProcMask> Iterator for Ones<M> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.mask.is_empty() {
+            return None;
+        }
+        let i = self.mask.lowest();
+        self.mask = self.mask.clear_lowest();
+        Some(i)
+    }
+}
+
+/// Descending submask iterator (see [`ProcMask::submasks_desc`]).
+pub struct SubmasksDesc<M> {
+    mask: M,
+    cur: Option<M>,
+}
+
+impl<M: ProcMask> Iterator for SubmasksDesc<M> {
+    type Item = M;
+
+    fn next(&mut self) -> Option<M> {
+        let cur = self.cur?;
+        self.cur = if cur.is_empty() {
+            None
+        } else {
+            Some(cur.sub_one_and(self.mask))
+        };
+        Some(cur)
+    }
+}
+
+macro_rules! impl_word_mask {
+    ($($t:ty),*) => {$(
+        impl ProcMask for $t {
+            const BITS: usize = <$t>::BITS as usize;
+
+            fn empty() -> Self {
+                0
+            }
+
+            fn full(n: usize) -> Self {
+                assert!(n <= <Self as ProcMask>::BITS);
+                if n == <Self as ProcMask>::BITS {
+                    <$t>::MAX
+                } else {
+                    (1 << n) - 1
+                }
+            }
+
+            fn bit(i: usize) -> Self {
+                1 << i
+            }
+
+            fn is_empty(self) -> bool {
+                self == 0
+            }
+
+            fn contains(self, i: usize) -> bool {
+                i < <Self as ProcMask>::BITS && self & (1 << i) != 0
+            }
+
+            fn count(self) -> usize {
+                self.count_ones() as usize
+            }
+
+            fn lowest(self) -> usize {
+                self.trailing_zeros() as usize
+            }
+
+            fn highest(self) -> usize {
+                (<$t>::BITS - 1 - self.leading_zeros()) as usize
+            }
+
+            fn or(self, other: Self) -> Self {
+                self | other
+            }
+
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+
+            fn minus(self, other: Self) -> Self {
+                self & !other
+            }
+
+            fn clear_lowest(self) -> Self {
+                self & self.wrapping_sub(1)
+            }
+
+            fn sub_one_and(self, mask: Self) -> Self {
+                debug_assert!(self != 0);
+                (self - 1) & mask
+            }
+
+            fn dense_index(self) -> usize {
+                self as usize
+            }
+        }
+    )*};
+}
+
+impl_word_mask!(u32, u64, usize);
+
+/// A 128-bit two-word bitset for platforms/workflows past 64 entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mask128(pub [u64; 2]);
+
+impl ProcMask for Mask128 {
+    const BITS: usize = 128;
+
+    fn empty() -> Self {
+        Mask128([0, 0])
+    }
+
+    fn full(n: usize) -> Self {
+        assert!(n <= 128);
+        Mask128([
+            if n >= 64 { u64::MAX } else { (1 << n) - 1 },
+            if n <= 64 {
+                0
+            } else if n == 128 {
+                u64::MAX
+            } else {
+                (1 << (n - 64)) - 1
+            },
+        ])
+    }
+
+    fn bit(i: usize) -> Self {
+        let mut words = [0u64; 2];
+        words[i / 64] = 1 << (i % 64);
+        Mask128(words)
+    }
+
+    fn is_empty(self) -> bool {
+        self.0 == [0, 0]
+    }
+
+    fn contains(self, i: usize) -> bool {
+        i < 128 && self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn count(self) -> usize {
+        (self.0[0].count_ones() + self.0[1].count_ones()) as usize
+    }
+
+    fn lowest(self) -> usize {
+        if self.0[0] != 0 {
+            self.0[0].trailing_zeros() as usize
+        } else {
+            64 + self.0[1].trailing_zeros() as usize
+        }
+    }
+
+    fn highest(self) -> usize {
+        if self.0[1] != 0 {
+            127 - self.0[1].leading_zeros() as usize
+        } else {
+            63 - self.0[0].leading_zeros() as usize
+        }
+    }
+
+    fn or(self, other: Self) -> Self {
+        Mask128([self.0[0] | other.0[0], self.0[1] | other.0[1]])
+    }
+
+    fn and(self, other: Self) -> Self {
+        Mask128([self.0[0] & other.0[0], self.0[1] & other.0[1]])
+    }
+
+    fn minus(self, other: Self) -> Self {
+        Mask128([self.0[0] & !other.0[0], self.0[1] & !other.0[1]])
+    }
+
+    fn clear_lowest(self) -> Self {
+        if self.0[0] != 0 {
+            Mask128([self.0[0] & (self.0[0] - 1), self.0[1]])
+        } else {
+            Mask128([0, self.0[1] & self.0[1].wrapping_sub(1)])
+        }
+    }
+
+    fn sub_one_and(self, mask: Self) -> Self {
+        debug_assert!(!self.is_empty());
+        // two-word decrement with borrow, then intersect
+        let (lo, borrow) = self.0[0].overflowing_sub(1);
+        let hi = if borrow { self.0[1] - 1 } else { self.0[1] };
+        Mask128([lo & mask.0[0], hi & mask.0[1]])
+    }
+
+    fn dense_index(self) -> usize {
+        debug_assert_eq!(self.0[1], 0, "dense tables are gated on small masks");
+        self.0[0] as usize
+    }
+}
+
+/// Descending enumeration of the canonical subsets of `avail` under the
+/// processor-equivalence `classes` (see module docs). `classes` must
+/// partition the processor set into masks ordered ascending by lowest
+/// member; a canonical subset takes, within every class, the
+/// lowest-indexed members still present in `avail`.
+///
+/// The enumeration is a mixed-radix countdown — per class, the digit is
+/// "how many of the class's available members are taken", mapped to the
+/// prefix of the class's available bits; the class containing the
+/// lowest bit is the least-significant digit. With singleton classes
+/// only, this is exactly the descending submask walk, so fully
+/// heterogeneous platforms see the historical enumeration order.
+///
+/// Yields the empty mask last; callers that need non-empty subsets
+/// filter it out.
+pub fn canonical_subsets<M: ProcMask>(avail: M, classes: &[M]) -> CanonicalSubsets<M> {
+    let mut segs = Vec::with_capacity(classes.len());
+    let mut current = M::empty();
+    for &class in classes {
+        let seg = avail.and(class);
+        if !seg.is_empty() {
+            current = current.or(seg);
+            segs.push((seg, seg));
+        }
+    }
+    CanonicalSubsets {
+        segs,
+        current,
+        done: false,
+    }
+}
+
+/// Iterator of [`canonical_subsets`].
+pub struct CanonicalSubsets<M> {
+    /// `(available class members, currently taken prefix)`, ordered
+    /// ascending by lowest member (least-significant digit first).
+    segs: Vec<(M, M)>,
+    current: M,
+    done: bool,
+}
+
+impl<M: ProcMask> Iterator for CanonicalSubsets<M> {
+    type Item = M;
+
+    fn next(&mut self) -> Option<M> {
+        if self.done {
+            return None;
+        }
+        let out = self.current;
+        // decrement the mixed-radix counter: drop the highest taken
+        // member of the least-significant non-empty digit, resetting
+        // exhausted digits back to their full prefix (borrow).
+        let mut i = 0;
+        loop {
+            let Some((seg, cur)) = self.segs.get_mut(i) else {
+                self.done = true;
+                break;
+            };
+            if cur.is_empty() {
+                self.current = self.current.or(*seg);
+                *cur = *seg;
+                i += 1;
+            } else {
+                let next = cur.minus(M::bit(cur.highest()));
+                self.current = self.current.minus(*cur).or(next);
+                *cur = next;
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect32(avail: u32, classes: &[u32]) -> Vec<u32> {
+        canonical_subsets(avail, classes).collect()
+    }
+
+    #[test]
+    fn submask_walk_matches_the_classic_loop() {
+        for mask in [0u32, 0b1, 0b1011, 0b110100] {
+            let via_iter: Vec<u32> = mask.submasks_desc().collect();
+            let mut classic = vec![mask];
+            let mut sub = mask;
+            while sub != 0 {
+                sub = (sub - 1) & mask;
+                classic.push(sub);
+            }
+            assert_eq!(via_iter, classic, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn widths_agree_on_shared_range() {
+        let mask = 0b1011_0110u32;
+        let a: Vec<u64> = (mask as u64).submasks_desc().collect();
+        let b: Vec<u32> = mask.submasks_desc().collect();
+        let c: Vec<Mask128> = Mask128([mask as u64, 0]).submasks_desc().collect();
+        assert_eq!(a, b.iter().map(|&m| m as u64).collect::<Vec<_>>());
+        assert_eq!(a, c.iter().map(|m| m.0[0]).collect::<Vec<_>>());
+        let ones: Vec<usize> = Mask128([mask as u64, 0]).ones().collect();
+        assert_eq!(ones, (mask as u64).ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mask128_crosses_the_word_boundary() {
+        let mask = Mask128::bit(63).or(Mask128::bit(64)).or(Mask128::bit(70));
+        assert_eq!(mask.count(), 3);
+        assert_eq!(mask.lowest(), 63);
+        assert_eq!(mask.highest(), 70);
+        // all 8 submasks, descending, with correct borrows
+        let subs: Vec<Mask128> = mask.submasks_desc().collect();
+        assert_eq!(subs.len(), 8);
+        assert_eq!(subs[0], mask);
+        assert_eq!(*subs.last().unwrap(), Mask128::empty());
+        for w in subs.windows(2) {
+            // strictly descending as 128-bit numbers
+            let hi = (w[0].0[1], w[0].0[0]);
+            let lo = (w[1].0[1], w[1].0[0]);
+            assert!(hi > lo);
+        }
+        assert_eq!(Mask128::full(128).count(), 128);
+        assert_eq!(Mask128::full(65).count(), 65);
+        assert_eq!(Mask128::full(65).highest(), 64);
+        assert_eq!(mask.clear_lowest(), Mask128::bit(64).or(Mask128::bit(70)));
+        assert_eq!(mask.clear_lowest().clear_lowest(), Mask128::bit(70));
+    }
+
+    #[test]
+    fn canonical_subsets_with_singleton_classes_is_the_submask_walk() {
+        let avail = 0b10110u32;
+        let classes: Vec<u32> = (0..5).map(|i| 1u32 << i).collect();
+        let expected: Vec<u32> = avail.submasks_desc().collect();
+        assert_eq!(collect32(avail, &classes), expected);
+    }
+
+    #[test]
+    fn canonical_subsets_collapse_symmetric_classes_to_prefixes() {
+        // one class of 4 interchangeable processors: 5 subsets, not 16
+        let avail = 0b1111u32;
+        assert_eq!(
+            collect32(avail, &[0b1111]),
+            vec![0b1111, 0b0111, 0b0011, 0b0001, 0b0000]
+        );
+        // partially used class {0,1,2,3} with members {1,3} available:
+        // prefixes of the *available* members
+        assert_eq!(collect32(0b1010, &[0b1111]), vec![0b1010, 0b0010, 0b0000]);
+    }
+
+    #[test]
+    fn canonical_subsets_mixed_classes() {
+        // class {0,1} symmetric, processors 2 and 3 singletons
+        let classes = [0b0011u32, 0b0100, 0b1000];
+        let subs = collect32(0b1111, &classes);
+        // 3 prefixes of {0,1} x 2 x 2 = 12 subsets
+        assert_eq!(subs.len(), 12);
+        // descending as numbers, first is full, last is empty
+        assert_eq!(subs[0], 0b1111);
+        assert_eq!(*subs.last().unwrap(), 0);
+        for w in subs.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // never takes bit 1 of the class without bit 0
+        assert!(subs.iter().all(|&s| s & 0b10 == 0 || s & 0b01 != 0));
+    }
+
+    #[test]
+    fn canonical_subsets_of_empty_avail_yield_exactly_empty() {
+        let subs = collect32(0, &[0b11, 0b100]);
+        assert_eq!(subs, vec![0]);
+    }
+}

@@ -14,6 +14,7 @@
 //! only (when the model allows it at all).
 
 use crate::goal::{Frontier, Goal, Solution};
+use crate::mask::ProcMask;
 use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
@@ -41,8 +42,8 @@ impl MaskSpeeds {
         let mut min_speed = vec![u64::MAX; full];
         let mut sum_speed = vec![0u64; full];
         for mask in 1..full {
-            let low = mask.trailing_zeros() as usize;
-            let rest = mask & (mask - 1);
+            let low = mask.lowest();
+            let rest = mask.clear_lowest();
             let s = platform.speed(ProcId(low));
             min_speed[mask] = min_speed[rest].min(s);
             sum_speed[mask] = sum_speed[rest] + s;
@@ -56,14 +57,7 @@ impl MaskSpeeds {
 
 /// Processor ids of a mask, ascending.
 pub(crate) fn mask_procs(mask: usize) -> Vec<ProcId> {
-    let mut procs = Vec::with_capacity(mask.count_ones() as usize);
-    let mut m = mask;
-    while m != 0 {
-        let u = m.trailing_zeros() as usize;
-        procs.push(ProcId(u));
-        m &= m - 1;
-    }
-    procs
+    mask.ones().map(ProcId).collect()
 }
 
 /// (period, delay) of a stage group of total `work` on processor-mask
@@ -112,12 +106,14 @@ pub fn pareto_pipeline(pipeline: &Pipeline, platform: &Platform, allow_dp: bool)
             for j in i..n {
                 let work = pipeline.interval_work(i, j);
                 // iterate non-empty submasks of the complement
-                let mut sub = complement;
-                loop {
+                for sub in complement.submasks_desc() {
+                    if sub.is_empty() {
+                        continue;
+                    }
                     for mode in [Mode::Replicated, Mode::DataParallel] {
                         if mode == Mode::DataParallel {
                             // single stages only; k = 1 duplicates Replicated
-                            if !allow_dp || i != j || sub.count_ones() < 2 {
+                            if !allow_dp || i != j || sub.count() < 2 {
                                 continue;
                             }
                         }
@@ -131,10 +127,6 @@ pub fn pareto_pipeline(pipeline: &Pipeline, platform: &Platform, allow_dp: bool)
                                 latency: base.latency + gd,
                             });
                         }
-                    }
-                    sub = (sub - 1) & complement;
-                    if sub == 0 {
-                        break;
                     }
                 }
             }
@@ -192,19 +184,17 @@ fn rec_enumerate(
         return;
     }
     for j in start..n {
-        let mut sub = avail;
-        loop {
+        for sub in avail.submasks_desc() {
+            if sub.is_empty() {
+                continue;
+            }
             for mode in [Mode::Replicated, Mode::DataParallel] {
-                if mode == Mode::DataParallel && (!allow_dp || start != j || sub.count_ones() < 2) {
+                if mode == Mode::DataParallel && (!allow_dp || start != j || sub.count() < 2) {
                     continue;
                 }
                 acc.push(Assignment::interval(start, j, mask_procs(sub), mode));
                 rec_enumerate(n, _full, j + 1, avail & !sub, allow_dp, acc, visit);
                 acc.pop();
-            }
-            sub = (sub - 1) & avail;
-            if sub == 0 {
-                break;
             }
         }
     }

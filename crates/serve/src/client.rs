@@ -100,6 +100,11 @@ pub struct RemoteReport {
     pub latency_f64: Option<f64>,
     /// Float rendering of the objective value, when present.
     pub objective_f64: Option<f64>,
+    /// Daemon-side search counters `(nodes, pruned_bound,
+    /// pruned_dominated, completed)` — serving metadata; the canonical
+    /// form only records completion because the counters are
+    /// timing-dependent under the parallel root-branch search.
+    pub search_stats: Option<(u64, u64, u64, bool)>,
 }
 
 impl RemoteReport {
@@ -120,6 +125,18 @@ impl RemoteReport {
             Value::Int(v) => Ok(Some(*v as f64)),
             _ => Err(RemoteError::Protocol(format!("`{name}` is not a number"))),
         };
+        let search_stats = ok.field("search_stats").and_then(|stats| {
+            let count = |name: &str| match stats.field(name)? {
+                Value::Int(v) if (0..=u64::MAX as i128).contains(v) => Some(*v as u64),
+                _ => None,
+            };
+            Some((
+                count("nodes")?,
+                count("pruned_bound")?,
+                count("pruned_dominated")?,
+                matches!(stats.field("completed"), Some(Value::Bool(true))),
+            ))
+        });
         Ok(RemoteReport {
             canonical: field("canonical")?.clone(),
             cell: string("cell")?,
@@ -129,6 +146,7 @@ impl RemoteReport {
             period_f64: float("period_f64")?,
             latency_f64: float("latency_f64")?,
             objective_f64: float("objective_f64")?,
+            search_stats,
         })
     }
 
@@ -151,17 +169,12 @@ impl RemoteReport {
         self.provenance == "cached"
     }
 
-    /// The canonical `search` block, parsed:
-    /// `(nodes, pruned_bound, pruned_dominated, completed)`.
+    /// The daemon's search counters, when the routed engine ran a
+    /// search: `(nodes, pruned_bound, pruned_dominated, completed)`.
+    /// Sourced from the wire-level `search_stats` sibling — the
+    /// canonical `search` block only records completion.
     pub fn search(&self) -> Option<(u64, u64, u64, bool)> {
-        let search = self.canonical.field("search")?;
-        let count = |name: &str| search.field(name)?.as_str()?.parse::<u64>().ok();
-        Some((
-            count("nodes")?,
-            count("pruned_bound")?,
-            count("pruned_dominated")?,
-            matches!(search.field("completed"), Some(Value::Bool(true))),
-        ))
+        self.search_stats
     }
 }
 

@@ -417,6 +417,25 @@ pub fn report_to_wire(report: &SolveReport) -> Value {
         ("period_f64".into(), opt_f64(report.period)),
         ("latency_f64".into(), opt_f64(report.latency)),
         ("objective_f64".into(), opt_f64(report.objective_value)),
+        (
+            // Search counters are timing-dependent under the parallel
+            // root-branch search, so the canonical form only records
+            // completion; the full counters ride along here as serving
+            // metadata for remote observability.
+            "search_stats".into(),
+            match &report.search {
+                Some(s) => Value::Object(vec![
+                    ("nodes".into(), Value::Int(s.nodes as i128)),
+                    ("pruned_bound".into(), Value::Int(s.pruned_bound as i128)),
+                    (
+                        "pruned_dominated".into(),
+                        Value::Int(s.pruned_dominated as i128),
+                    ),
+                    ("completed".into(), Value::Bool(s.completed)),
+                ]),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 

@@ -6,11 +6,14 @@
 //! each solve as fast as it is going to get. The remaining win is to
 //! not solve at all: [`SolveCache`] keys finished [`SolveReport`]s on
 //! the [`InstanceFingerprint`] of the full request (instance + engine
-//! preference + budget + validation flag) and serves hits back tagged
-//! [`Provenance::Cached`]. Canonical report JSON is identical for a hit
-//! and a fresh computation (pinned by the determinism suite), so a
-//! cache can be dropped in front of any caller without observable
-//! changes beyond speed.
+//! preference + budget + validation flag). Entries are shared
+//! `Arc<SolveReport>`s: a hit is a pointer clone, not a deep copy of
+//! the report (mappings can be arbitrarily large), and the serving
+//! layer tags the entry [`Provenance::Cached`] **once at insertion**
+//! so the warm path never mutates. Canonical report JSON is identical
+//! for a hit and a fresh computation (pinned by the determinism
+//! suite), so a cache can be dropped in front of any caller without
+//! observable changes beyond speed.
 //!
 //! # Sharding
 //!
@@ -56,7 +59,7 @@
 use crate::report::SolveReport;
 use repliflow_core::fingerprint::InstanceFingerprint;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Counters describing a cache's lifetime behavior.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -94,7 +97,7 @@ const NIL: usize = usize::MAX;
 
 struct Entry {
     key: InstanceFingerprint,
-    report: SolveReport,
+    report: Arc<SolveReport>,
     prev: usize,
     next: usize,
 }
@@ -144,14 +147,15 @@ impl Inner {
         self.head = i;
     }
 
-    /// One shard's LRU lookup.
-    fn get(&mut self, key: InstanceFingerprint) -> Option<SolveReport> {
+    /// One shard's LRU lookup. A hit hands back a pointer clone of the
+    /// shared entry — O(1), no report deep-copy on the warm path.
+    fn get(&mut self, key: InstanceFingerprint) -> Option<Arc<SolveReport>> {
         match self.index.get(&key).copied() {
             Some(i) => {
                 self.stats.hits += 1;
                 self.unlink(i);
                 self.push_front(i);
-                Some(self.entries[i].report.clone())
+                Some(Arc::clone(&self.entries[i].report))
             }
             None => {
                 self.stats.misses += 1;
@@ -161,7 +165,7 @@ impl Inner {
     }
 
     /// One shard's LRU insert under a per-shard `capacity`.
-    fn insert(&mut self, key: InstanceFingerprint, report: SolveReport, capacity: usize) {
+    fn insert(&mut self, key: InstanceFingerprint, report: Arc<SolveReport>, capacity: usize) {
         self.stats.insertions += 1;
         if let Some(i) = self.index.get(&key).copied() {
             self.entries[i].report = report;
@@ -299,14 +303,20 @@ impl SolveCache {
     }
 
     /// Looks `key` up, marking the entry most recently used within its
-    /// shard. Counts a hit or miss.
-    pub fn get(&self, key: InstanceFingerprint) -> Option<SolveReport> {
+    /// shard. Counts a hit or miss. Hits return a pointer clone of the
+    /// shared entry — the report itself is never deep-copied.
+    pub fn get(&self, key: InstanceFingerprint) -> Option<Arc<SolveReport>> {
         self.shard_for(key).lock().expect("cache lock").get(key)
     }
 
     /// Inserts (or refreshes) `key → report`, evicting its shard's
-    /// least recently used entry when the shard is full.
-    pub fn insert(&self, key: InstanceFingerprint, report: SolveReport) {
+    /// least recently used entry when the shard is full. Callers hand
+    /// over the `Arc` already carrying the provenance every later hit
+    /// should observe (the serving layer tags entries
+    /// [`Provenance::Cached`] or `Escalated` before insertion).
+    ///
+    /// [`Provenance::Cached`]: crate::Provenance::Cached
+    pub fn insert(&self, key: InstanceFingerprint, report: Arc<SolveReport>) {
         self.shard_for(key)
             .lock()
             .expect("cache lock")
@@ -366,6 +376,7 @@ mod tests {
             latency: None,
             objective_value: None,
             search: None,
+            fallback: None,
             provenance: Provenance::Computed,
             wall_time: Duration::from_millis(tag),
         }
@@ -374,7 +385,7 @@ mod tests {
     #[test]
     fn hit_returns_inserted_report() {
         let cache = SolveCache::new(4);
-        cache.insert(key(1), dummy_report(7));
+        cache.insert(key(1), Arc::new(dummy_report(7)));
         let hit = cache.get(key(1)).expect("hit");
         assert_eq!(hit.wall_time, Duration::from_millis(7));
         assert_eq!(cache.stats().hits, 1);
@@ -384,11 +395,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = SolveCache::new(2);
-        cache.insert(key(1), dummy_report(1));
-        cache.insert(key(2), dummy_report(2));
+        cache.insert(key(1), Arc::new(dummy_report(1)));
+        cache.insert(key(2), Arc::new(dummy_report(2)));
         // touch 1 so 2 becomes the LRU victim
         assert!(cache.get(key(1)).is_some());
-        cache.insert(key(3), dummy_report(3));
+        cache.insert(key(3), Arc::new(dummy_report(3)));
         assert!(cache.get(key(2)).is_none(), "2 was the LRU entry");
         assert!(cache.get(key(1)).is_some());
         assert!(cache.get(key(3)).is_some());
@@ -399,8 +410,8 @@ mod tests {
     #[test]
     fn reinsert_refreshes_in_place() {
         let cache = SolveCache::new(2);
-        cache.insert(key(1), dummy_report(1));
-        cache.insert(key(1), dummy_report(9));
+        cache.insert(key(1), Arc::new(dummy_report(1)));
+        cache.insert(key(1), Arc::new(dummy_report(9)));
         assert_eq!(cache.len(), 1);
         assert_eq!(
             cache.get(key(1)).unwrap().wall_time,
@@ -412,7 +423,7 @@ mod tests {
     fn eviction_churn_stays_bounded() {
         let cache = SolveCache::new(3);
         for i in 0..100u128 {
-            cache.insert(key(i), dummy_report(i as u64));
+            cache.insert(key(i), Arc::new(dummy_report(i as u64)));
         }
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.stats().evictions, 97);
@@ -426,7 +437,7 @@ mod tests {
     fn hit_rate_arithmetic() {
         let cache = SolveCache::new(2);
         assert_eq!(cache.stats().hit_rate(), 0.0);
-        cache.insert(key(1), dummy_report(1));
+        cache.insert(key(1), Arc::new(dummy_report(1)));
         assert!(cache.get(key(1)).is_some());
         assert!(cache.get(key(2)).is_none());
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -462,14 +473,14 @@ mod tests {
         // Per-shard capacity 1: keys engineered into the same shard
         // evict each other; keys in different shards coexist.
         let cache = SolveCache::with_shards(4, 4);
-        cache.insert(key_in_shard(0, 4, 1), dummy_report(1));
-        cache.insert(key_in_shard(1, 4, 2), dummy_report(2));
-        cache.insert(key_in_shard(2, 4, 3), dummy_report(3));
-        cache.insert(key_in_shard(3, 4, 4), dummy_report(4));
+        cache.insert(key_in_shard(0, 4, 1), Arc::new(dummy_report(1)));
+        cache.insert(key_in_shard(1, 4, 2), Arc::new(dummy_report(2)));
+        cache.insert(key_in_shard(2, 4, 3), Arc::new(dummy_report(3)));
+        cache.insert(key_in_shard(3, 4, 4), Arc::new(dummy_report(4)));
         assert_eq!(cache.len(), 4, "distinct shards never evict each other");
         assert_eq!(cache.stats().evictions, 0);
         // a fifth key into shard 0 evicts the shard-0 resident only
-        cache.insert(key_in_shard(0, 4, 5), dummy_report(5));
+        cache.insert(key_in_shard(0, 4, 5), Arc::new(dummy_report(5)));
         assert_eq!(cache.len(), 4);
         assert!(cache.get(key_in_shard(0, 4, 1)).is_none());
         assert!(cache.get(key_in_shard(1, 4, 2)).is_some());
@@ -492,7 +503,7 @@ mod tests {
         for cache in &caches {
             for i in 0..64u128 {
                 assert!(cache.get(mix(i)).is_none(), "cold lookup must miss");
-                cache.insert(mix(i), dummy_report(i as u64));
+                cache.insert(mix(i), Arc::new(dummy_report(i as u64)));
             }
             for i in 0..64u128 {
                 let hit = cache.get(mix(i)).expect("warm lookup must hit");

@@ -35,12 +35,10 @@ impl Engine for CommBbEngine {
     fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
         // Surface the search's hard representation limits as a clean
         // capacity error *before* the search starts, instead of letting
-        // its asserts abort the process (or, worse, letting a platform
-        // beyond the `u32` processor-mask width silently truncate): the
-        // shared processor/leaf bitmask caps, plus the stage bitmask
-        // cap the branch-and-bound adds on top (unlike enumeration, it
-        // keys pipeline stages into u32 masks too). The `Auto` route
-        // performs the same check and falls back to `comm-heuristic`.
+        // its asserts abort the process: the wide-mask search caps out
+        // at `comm_bb::{MAX_STAGES, MAX_PROCS}` (128 each). The `Auto`
+        // route performs the same check and falls back to
+        // `comm-heuristic`.
         if !super::comm_bb_capacity(instance) {
             return Err(SolveError::ExceedsExactCapacity {
                 n_stages: instance.workflow.n_stages(),
@@ -51,11 +49,14 @@ impl Engine for CommBbEngine {
         // bound up front is what makes the lower-bound pruning bite.
         let (seed_score, seed) = portfolio_best(instance, budget);
         let seed_feasible = seed_score.0.is_finite();
-        let result = solve_comm_bb(
-            instance,
-            seed_feasible.then_some(&seed.mapping),
-            &budget.bb_limits(),
-        );
+        // Spread the root branches over the machine. Not a budget knob:
+        // completed searches return bit-identical results at any thread
+        // count, and incomplete ones are never cached.
+        let mut limits = budget.bb_limits();
+        limits.parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let result = solve_comm_bb(instance, seed_feasible.then_some(&seed.mapping), &limits);
         let search = SearchStats::from(result.stats);
         match result.best {
             Some(sol) => Ok(EngineRun {

@@ -18,13 +18,17 @@ pub use paper::PaperEngine;
 
 pub(crate) use exact::{instance_fits, within_exact_capacity};
 
-/// Whether `comm-bb` can even *represent* the instance: the shared
-/// exhaustive-solver bitmask limits plus the branch-and-bound's own
-/// `u32` stage-mask cap. Instances beyond this panic-free ceiling are
-/// rejected by the engine with a capacity error and skipped by the
-/// `Auto` route (which falls through to `comm-heuristic`).
+/// Whether `comm-bb` can even *represent* the instance. The
+/// branch-and-bound's wide-mask search carries its own capacity
+/// (`repliflow_exact::comm_bb::{MAX_STAGES, MAX_PROCS}`, 128 each) —
+/// it no longer shares the dense-DP bitmask limits of the
+/// simplified-model solvers (`pipeline::MAX_PROCS` / `fork::MAX_LEAVES`
+/// = 20). Instances beyond this panic-free ceiling are rejected by the
+/// engine with a capacity error and skipped by the `Auto` route (which
+/// falls through to `comm-heuristic`).
 pub(crate) fn comm_bb_capacity(instance: &repliflow_core::instance::ProblemInstance) -> bool {
-    instance_fits(instance) && instance.workflow.n_stages() <= repliflow_exact::comm_bb::MAX_STAGES
+    instance.workflow.n_stages() <= repliflow_exact::comm_bb::MAX_STAGES
+        && instance.platform.n_procs() <= repliflow_exact::comm_bb::MAX_PROCS
 }
 
 use crate::request::Budget;

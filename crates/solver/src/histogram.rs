@@ -121,8 +121,8 @@ impl LatencyHistogram {
         (self.count > 0).then(|| Duration::from_micros((self.sum_us / self.count as u128) as u64))
     }
 
-    /// Largest recorded duration, at bucket resolution (`None` when
-    /// empty).
+    /// Largest recorded duration, exact — tracked outside the buckets
+    /// (`None` when empty).
     pub fn max(&self) -> Option<Duration> {
         (self.count > 0).then(|| Duration::from_micros(self.max_us))
     }
@@ -133,20 +133,33 @@ impl LatencyHistogram {
     /// at or below it. With 100 samples, `percentile(0.99)` therefore
     /// reports the single slowest one — the convention that makes "1
     /// slow request in 100" visible at p99. `None` when empty;
-    /// quantized to the bucket width (≤ 6.25% relative error), and
-    /// clamped to the exact recorded maximum so `percentile(q) <= max()`
-    /// always holds.
+    /// quantized to the bucket width (≤ 6.25% relative error) in the
+    /// interior, **exact at the ends**: a rank of 1 (which includes
+    /// `q = 0.0`, and any q on a single-sample histogram) returns the
+    /// exact recorded minimum, a rank of `count` (which includes
+    /// `q = 1.0`) the exact recorded maximum — both survive
+    /// [`LatencyHistogram::merge`], which merges min/max exactly.
+    /// Interior ranks are clamped to the recorded extremes so
+    /// `min() <= percentile(q) <= max()` always holds.
     pub fn percentile(&self, q: f64) -> Option<Duration> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).floor() as u64 + 1).min(self.count);
+        if rank <= 1 {
+            return Some(Duration::from_micros(self.min_us));
+        }
+        if rank >= self.count {
+            return Some(Duration::from_micros(self.max_us));
+        }
         let mut seen = 0u64;
         for (index, &n) in self.counts.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(Duration::from_micros(bucket_upper(index).min(self.max_us)));
+                return Some(Duration::from_micros(
+                    bucket_upper(index).clamp(self.min_us, self.max_us),
+                ));
             }
         }
         // unreachable: seen == count >= rank after the last bucket
@@ -203,9 +216,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Exact mean.
     pub mean: Option<Duration>,
-    /// Smallest sample (bucket resolution).
+    /// Smallest sample (exact).
     pub min: Option<Duration>,
-    /// Largest sample (bucket resolution).
+    /// Largest sample (exact).
     pub max: Option<Duration>,
     /// Median.
     pub p50: Option<Duration>,
@@ -339,10 +352,58 @@ mod tests {
         assert_eq!(h.count(), 2);
         // rank floor(0*2)+1 = 1: the sub-µs sample, clamped to 0µs
         assert_eq!(h.percentile(0.0).unwrap(), Duration::from_micros(0));
-        // the huge sample lands in (and reports) the final clamp bucket
-        assert_eq!(
-            h.p99().unwrap(),
-            Duration::from_micros(bucket_upper(BUCKETS - 1))
-        );
+        // rank 2 = count: the exact recorded maximum, even though the
+        // sample itself sits far beyond the final bucket's range
+        assert_eq!(h.p99().unwrap(), Duration::from_secs(1_000_000_000));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact_at_any_q() {
+        // One sample: every q has rank 1 = count, so both end rules
+        // agree and return the exact recorded value — no bucket
+        // quantization even for values mid-bucket like 777.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(777));
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                h.percentile(q).unwrap(),
+                Duration::from_micros(777),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_return_exact_min_and_max() {
+        let mut h = LatencyHistogram::new();
+        for us in [333u64, 777, 5_001, 99_991] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.percentile(0.0).unwrap(), Duration::from_micros(333));
+        assert_eq!(h.percentile(1.0).unwrap(), Duration::from_micros(99_991));
+        // interior quantiles stay within the recorded extremes
+        for q in [0.1, 0.5, 0.9] {
+            let p = h.percentile(q).unwrap();
+            assert!(p >= Duration::from_micros(333), "q={q}");
+            assert!(p <= Duration::from_micros(99_991), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merged_histogram_keeps_exact_extremes() {
+        // The exact-min/exact-max rule must survive a merge: extremes
+        // recorded in *different* histograms are still reported exactly
+        // afterwards.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(123));
+        a.record(Duration::from_micros(4_567));
+        b.record(Duration::from_micros(89));
+        b.record(Duration::from_micros(1_000_003));
+        a.merge(&b);
+        assert_eq!(a.percentile(0.0).unwrap(), Duration::from_micros(89));
+        assert_eq!(a.percentile(1.0).unwrap(), Duration::from_micros(1_000_003));
+        assert_eq!(a.snapshot().min.unwrap(), Duration::from_micros(89));
+        assert_eq!(a.snapshot().max.unwrap(), Duration::from_micros(1_000_003));
     }
 }

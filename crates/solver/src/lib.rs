@@ -74,7 +74,7 @@ pub use engine::{Engine, EngineRun};
 pub use engines::{HedgeStats, HedgedEngine};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::EngineRegistry;
-pub use report::{Optimality, Provenance, SearchStats, SolveError, SolveReport};
+pub use report::{FallbackReason, Optimality, Provenance, SearchStats, SolveError, SolveReport};
 pub use request::{Budget, CancelToken, Deadline, EnginePref, Quality, SolveRequest};
 pub use service::{
     batch_threads, EngineWall, EscalationStats, ServiceStats, SolveStream, SolverBuilder,
@@ -104,14 +104,16 @@ pub fn default_service() -> &'static SolverService {
 /// Solves one request through the [`default_service`] (compat wrapper —
 /// identical results to a bare [`EngineRegistry`], but repeated
 /// requests are served from the solve cache).
-pub fn solve(request: &SolveRequest) -> Result<SolveReport, SolveError> {
+pub fn solve(request: &SolveRequest) -> Result<std::sync::Arc<SolveReport>, SolveError> {
     default_service().solve(request)
 }
 
 /// Solves many instances in parallel on the [`default_service`]'s
 /// persistent worker pool with default [`BatchOptions`] (compat
 /// wrapper; `reports[i]` corresponds to `instances[i]`).
-pub fn solve_batch(instances: &[ProblemInstance]) -> Vec<Result<SolveReport, SolveError>> {
+pub fn solve_batch(
+    instances: &[ProblemInstance],
+) -> Vec<Result<std::sync::Arc<SolveReport>, SolveError>> {
     default_service().solve_batch(instances)
 }
 

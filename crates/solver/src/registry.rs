@@ -6,7 +6,7 @@ use crate::engines::{
     CommBbEngine, CommExactEngine, CommHeuristicEngine, ExactEngine, HedgeStats, HedgedEngine,
     HeuristicEngine, PaperEngine,
 };
-use crate::report::{Optimality, SolveError, SolveReport};
+use crate::report::{FallbackReason, Optimality, SolveError, SolveReport};
 use crate::request::{Budget, CancelToken, Deadline, EnginePref, SolveRequest};
 use crate::score::meets_bound;
 use repliflow_core::instance::{CostModel, Variant};
@@ -49,7 +49,8 @@ impl EngineRegistry {
         self.hedged.stats()
     }
 
-    /// The engine a **communication-aware** request routes to:
+    /// The engine a **communication-aware** request routes to, plus the
+    /// structured reason when `Auto` declined a stronger engine:
     /// comm-exact within the budget's enumeration guard (or when forced
     /// via [`EnginePref::Exact`]), comm-bb within the branch-and-bound
     /// guard (or when forced via [`EnginePref::CommBb`]), comm-heuristic
@@ -57,54 +58,111 @@ impl EngineRegistry {
     /// algorithms only cover the simplified model.
     ///
     /// The `Auto` arm is the single source of truth for comm routing
-    /// (it is what [`EngineRegistry::solve`] uses): beyond the budget
-    /// guards it only picks an exact engine that can *represent* the
-    /// instance — the shared processor/leaf bitmask caps plus comm-bb's
-    /// stage-mask cap, with fork-shaped leaf counts recovered from the
-    /// variant's graph class — and falls back to comm-heuristic rather
-    /// than erroring (e.g. a 33-processor platform would overflow the
-    /// searches' `u32` processor masks).
+    /// (it is what [`EngineRegistry::solve`] uses). The comm-bb guard:
+    ///
+    /// * stages within `min(budget.max_comm_bb_stages,`
+    ///   [`comm_bb::MAX_STAGES`]`)`;
+    /// * fork/fork-join leaves within `budget.max_comm_bb_fork_leaves`;
+    /// * processors within `budget.max_comm_bb_procs`, **or** — the
+    ///   symmetry escape hatch — within the engine's wide-mask capacity
+    ///   ([`comm_bb::MAX_PROCS`] = 128) with a symmetry-reduced
+    ///   branching width `Π (class_size + 1)` over the platform's
+    ///   processor equivalence classes no larger than
+    ///   `2^budget.max_comm_bb_procs` (clamped at `2^20`). A
+    ///   homogeneous 33-processor platform collapses to one class
+    ///   (width 34) and is admitted; 33 distinct speeds are not.
+    ///
+    /// When `Auto` falls back to comm-heuristic the declined guard is
+    /// returned as a [`FallbackReason`] so the report can say *why* the
+    /// answer is heuristic-grade. Explicit preferences never report a
+    /// fallback.
+    ///
+    /// [`comm_bb::MAX_STAGES`]: repliflow_exact::comm_bb::MAX_STAGES
+    /// [`comm_bb::MAX_PROCS`]: repliflow_exact::comm_bb::MAX_PROCS
     pub fn resolve_comm(
         &self,
         pref: EnginePref,
         variant: &Variant,
-        n_stages: usize,
-        n_procs: usize,
+        instance: &repliflow_core::instance::ProblemInstance,
         budget: &Budget,
-    ) -> Result<&dyn Engine, SolveError> {
+    ) -> Result<(&dyn Engine, Option<FallbackReason>), SolveError> {
         match pref {
             EnginePref::Paper => Err(SolveError::Unsupported {
                 engine: self.paper.name(),
                 variant: *variant,
             }),
-            EnginePref::Exact => Ok(&self.comm_exact),
-            EnginePref::CommBb => Ok(&self.comm_bb),
-            EnginePref::Hedged => Ok(&self.hedged),
-            EnginePref::Heuristic => Ok(&self.comm_heuristic),
+            EnginePref::Exact => Ok((&self.comm_exact, None)),
+            EnginePref::CommBb => Ok((&self.comm_bb, None)),
+            EnginePref::Hedged => Ok((&self.hedged, None)),
+            EnginePref::Heuristic => Ok((&self.comm_heuristic, None)),
             EnginePref::Auto => {
-                use repliflow_core::instance::GraphClass;
-                let leaves = match variant.graph {
-                    GraphClass::HomFork | GraphClass::HetFork => Some(n_stages.saturating_sub(1)),
-                    GraphClass::HomForkJoin | GraphClass::HetForkJoin => {
-                        Some(n_stages.saturating_sub(2))
-                    }
-                    _ => None,
+                use repliflow_core::workflow::Workflow;
+                let n_stages = instance.workflow.n_stages();
+                let n_procs = instance.platform.n_procs();
+                let leaves = match &instance.workflow {
+                    Workflow::Pipeline(_) => None,
+                    Workflow::Fork(f) => Some(f.n_leaves()),
+                    Workflow::ForkJoin(fj) => Some(fj.n_leaves()),
                 };
-                let representable = n_procs <= repliflow_exact::pipeline::MAX_PROCS
+                // comm-exact enumerates the full mapping space on the
+                // dense-DP masks, so it keeps their representation caps.
+                let exact_representable = n_procs <= repliflow_exact::pipeline::MAX_PROCS
                     && leaves.unwrap_or(0) <= repliflow_exact::fork::MAX_LEAVES;
-                if budget.allows_comm_exact(n_stages, n_procs) && representable {
-                    Ok(&self.comm_exact)
-                } else if budget.allows_comm_bb(n_stages, n_procs)
-                    && leaves.is_none_or(|l| l <= budget.max_comm_bb_fork_leaves)
-                    && representable
-                    && n_stages <= repliflow_exact::comm_bb::MAX_STAGES
-                {
-                    Ok(&self.comm_bb)
-                } else {
-                    Ok(&self.comm_heuristic)
+                if budget.allows_comm_exact(n_stages, n_procs) && exact_representable {
+                    return Ok((&self.comm_exact, None));
                 }
+                let stage_cap = budget
+                    .max_comm_bb_stages
+                    .min(repliflow_exact::comm_bb::MAX_STAGES);
+                let stages_ok = n_stages <= stage_cap;
+                let leaves_ok = leaves.is_none_or(|l| l <= budget.max_comm_bb_fork_leaves);
+                let procs_ok = n_procs <= budget.max_comm_bb_procs
+                    || (n_procs <= repliflow_exact::comm_bb::MAX_PROCS
+                        && Self::symmetry_width(instance)
+                            .is_some_and(|w| w <= 1u128 << budget.max_comm_bb_procs.min(20)));
+                if stages_ok && leaves_ok && procs_ok {
+                    return Ok((&self.comm_bb, None));
+                }
+                let reason = if !stages_ok {
+                    FallbackReason::CommBbStages {
+                        n_stages,
+                        cap: stage_cap,
+                    }
+                } else if !leaves_ok {
+                    FallbackReason::CommBbForkLeaves {
+                        leaves: leaves.unwrap_or(0),
+                        cap: budget.max_comm_bb_fork_leaves,
+                    }
+                } else {
+                    FallbackReason::CommBbProcs {
+                        n_procs,
+                        cap: if n_procs > repliflow_exact::comm_bb::MAX_PROCS {
+                            repliflow_exact::comm_bb::MAX_PROCS
+                        } else {
+                            budget.max_comm_bb_procs
+                        },
+                    }
+                };
+                Ok((&self.comm_heuristic, Some(reason)))
             }
         }
+    }
+
+    /// The symmetry-reduced root branching width of a comm-aware
+    /// instance: `Π (class_size + 1)` over the platform's processor
+    /// equivalence classes (saturating), the quantity the comm-bb
+    /// canonical subset enumeration actually branches over. `None` for
+    /// non-comm instances.
+    fn symmetry_width(instance: &repliflow_core::instance::ProblemInstance) -> Option<u128> {
+        let CostModel::WithComm { network, .. } = &instance.cost_model else {
+            return None;
+        };
+        let classes = repliflow_exact::comm_equiv_class_sizes(&instance.platform, network);
+        Some(
+            classes
+                .iter()
+                .fold(1u128, |acc, &c| acc.saturating_mul(c as u128 + 1)),
+        )
     }
 
     /// The engine a **simplified-model** request for `variant` (with
@@ -226,6 +284,7 @@ impl EngineRegistry {
         let variant = instance.variant();
         let n_stages = instance.workflow.n_stages();
         let n_procs = instance.platform.n_procs();
+        let mut fallback = None;
         let engine: &dyn Engine = if let CostModel::WithComm { network, .. } = &instance.cost_model
         {
             // Surface a mis-sized network as a request error up front
@@ -236,7 +295,9 @@ impl EngineRegistry {
                     got: network.n_procs(),
                 });
             }
-            self.resolve_comm(pref, &variant, n_stages, n_procs, budget)?
+            let (engine, reason) = self.resolve_comm(pref, &variant, instance, budget)?;
+            fallback = reason;
+            engine
         } else if pref == EnginePref::Auto
             && !self.paper.supports(&variant)
             && budget.allows_exact(n_stages, n_procs)
@@ -282,6 +343,7 @@ impl EngineRegistry {
                 latency: None,
                 objective_value: None,
                 search,
+                fallback,
                 provenance: crate::report::Provenance::Computed,
                 wall_time,
             });
@@ -298,7 +360,7 @@ impl EngineRegistry {
         } else {
             Optimality::Infeasible
         };
-        Ok(SolveReport::from_solved(
+        let mut report = SolveReport::from_solved(
             variant,
             instance.cost_model.clone(),
             engine.name(),
@@ -306,7 +368,9 @@ impl EngineRegistry {
             solved,
             search,
             wall_time,
-        ))
+        );
+        report.fallback = fallback;
+        Ok(report)
     }
 
     /// Re-derives the witness's legality and objective values through

@@ -89,6 +89,62 @@ impl fmt::Display for Provenance {
     }
 }
 
+/// Why the `Auto` route declined a stronger engine and fell back to a
+/// weaker one — surfaced on the report (and in its canonical form) so
+/// callers can tell a heuristic answer that *had* to be heuristic from
+/// one the router silently downgraded.
+///
+/// Today every variant describes the communication-aware
+/// branch-and-bound route (`comm-bb`); a report with `fallback: None`
+/// either did not qualify for a stronger engine in the first place or
+/// was served by one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The platform has more processors than the `comm-bb` route
+    /// admits (the budget's processor ceiling, or — past the budget's
+    /// symmetry escape hatch — the engine's hard mask capacity or the
+    /// symmetry-reduced branching width).
+    CommBbProcs {
+        /// Processors in the instance's platform.
+        n_procs: usize,
+        /// The ceiling that rejected it.
+        cap: usize,
+    },
+    /// The workflow has more stages than the `comm-bb` route admits.
+    CommBbStages {
+        /// Stages in the instance's workflow.
+        n_stages: usize,
+        /// The ceiling that rejected it.
+        cap: usize,
+    },
+    /// A fork/fork-join workflow has more leaves than the `comm-bb`
+    /// route admits ([`Budget::max_comm_bb_fork_leaves`]).
+    ///
+    /// [`Budget::max_comm_bb_fork_leaves`]: crate::Budget::max_comm_bb_fork_leaves
+    CommBbForkLeaves {
+        /// Leaves in the instance's fork/fork-join workflow.
+        leaves: usize,
+        /// The ceiling that rejected it.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::CommBbProcs { n_procs, cap } => {
+                write!(f, "comm-bb declined: {n_procs} processors > cap {cap}")
+            }
+            FallbackReason::CommBbStages { n_stages, cap } => {
+                write!(f, "comm-bb declined: {n_stages} stages > cap {cap}")
+            }
+            FallbackReason::CommBbForkLeaves { leaves, cap } => {
+                write!(f, "comm-bb declined: {leaves} fork leaves > cap {cap}")
+            }
+        }
+    }
+}
+
 impl From<repliflow_exact::BbStats> for SearchStats {
     fn from(stats: repliflow_exact::BbStats) -> SearchStats {
         SearchStats {
@@ -130,6 +186,11 @@ pub struct SolveReport {
     /// Tree-search statistics (engines that explore a bounded search
     /// tree — `comm-bb`; `None` for all other engines).
     pub search: Option<SearchStats>,
+    /// Why the `Auto` route downgraded this request to a weaker engine
+    /// (`None` when no stronger engine was declined). Deterministic —
+    /// derived from the instance and the budget alone — so it is part
+    /// of [`SolveReport::canonical_json`].
+    pub fallback: Option<FallbackReason>,
     /// Whether the report was computed for this request or served from
     /// the solve cache (serving metadata, excluded from
     /// [`SolveReport::canonical_json`]).
@@ -187,22 +248,19 @@ impl SolveReport {
             ("latency".to_string(), rat(self.latency)),
             ("objective".to_string(), rat(self.objective_value)),
         ];
+        // Node/prune counters are *timing-dependent* under parallel
+        // root-branch search (threads adopt each other's incumbents at
+        // racy instants), so only `completed` — the proof bit — is part
+        // of the canonical form. The counters stay on [`SearchStats`]
+        // for observability.
         if let Some(s) = &self.search {
             fields.push((
                 "search".to_string(),
-                Value::Object(vec![
-                    ("nodes".to_string(), Value::String(s.nodes.to_string())),
-                    (
-                        "pruned_bound".to_string(),
-                        Value::String(s.pruned_bound.to_string()),
-                    ),
-                    (
-                        "pruned_dominated".to_string(),
-                        Value::String(s.pruned_dominated.to_string()),
-                    ),
-                    ("completed".to_string(), Value::Bool(s.completed)),
-                ]),
+                Value::Object(vec![("completed".to_string(), Value::Bool(s.completed))]),
             ));
+        }
+        if let Some(reason) = &self.fallback {
+            fields.push(("fallback".to_string(), Value::String(reason.to_string())));
         }
         serde_json::to_string(&Value::Object(fields)).expect("report serialization is infallible")
     }
@@ -227,6 +285,7 @@ impl SolveReport {
             latency: Some(solved.latency),
             objective_value: Some(solved.objective),
             search,
+            fallback: None,
             provenance: Provenance::Computed,
             wall_time,
         }
@@ -259,9 +318,11 @@ pub enum SolveError {
     /// with the core cost model (this is a bug in the engine).
     InvalidWitness(String),
     /// The instance exceeds the exhaustive solvers' hard capacity
-    /// (bitmask representation: at most 20 processors / 20 fork
-    /// leaves). Only reachable with an explicit `Exact` override — the
-    /// `Auto` route falls back to heuristics instead.
+    /// (dense-DP bitmask tables: at most 20 processors / 20 fork
+    /// leaves for the simplified-model solvers; the comm-aware
+    /// branch-and-bound reaches 128 of each through its wide-mask
+    /// search). Only reachable with an explicit `Exact`/`CommBb`
+    /// override — the `Auto` route falls back to heuristics instead.
     ExceedsExactCapacity {
         /// Stages in the instance's workflow.
         n_stages: usize,

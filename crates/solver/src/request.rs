@@ -215,11 +215,18 @@ impl Budget {
     }
 
     /// The branch-and-bound limits this budget implies.
+    ///
+    /// `parallelism` starts at `1` (sequential); the `comm-bb` engine
+    /// widens it to the machine's available parallelism at run time. It
+    /// is deliberately **not** a budget knob and not part of the request
+    /// fingerprint: completed searches return bit-identical reports at
+    /// any thread count, and incomplete ones are never cached.
     pub fn bb_limits(&self) -> repliflow_exact::BbLimits {
         repliflow_exact::BbLimits {
             max_nodes: self.bb_node_limit,
             time_limit: (self.bb_time_limit_ms > 0)
                 .then(|| std::time::Duration::from_millis(self.bb_time_limit_ms)),
+            parallelism: 1,
         }
     }
 

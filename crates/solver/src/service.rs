@@ -235,7 +235,7 @@ impl ServiceCore {
         &self,
         request: &SolveRequest,
         key: Option<InstanceFingerprint>,
-    ) -> Result<SolveReport, SolveError> {
+    ) -> Result<Arc<SolveReport>, SolveError> {
         // Fail fast (expired deadline / cancelled token) before touching
         // the cache.
         if let Err(e) = EngineRegistry::effective_budget(
@@ -263,13 +263,12 @@ impl ServiceCore {
             .as_ref()
             .map(|c| (key.unwrap_or_else(|| request.fingerprint()), c));
         if let Some((key, cache)) = &keyed {
-            if let Some(mut report) = cache.get(*key) {
-                // An escalation-refreshed entry keeps its `Escalated`
-                // tag so callers can see their answer is the improved
-                // one; every other hit is plain `Cached`.
-                if report.provenance != Provenance::Escalated {
-                    report.provenance = Provenance::Cached;
-                }
+            if let Some(report) = cache.get(*key) {
+                // Entries are tagged at insertion time — `Cached` on
+                // write-back, `Escalated` on an escalation refresh (so
+                // callers can see their answer is the improved one) —
+                // which makes the warm path a pure pointer clone: no
+                // mutation, no deep copy.
                 self.note(|s| {
                     s.requests += 1;
                     s.cache_hits += 1;
@@ -277,8 +276,7 @@ impl ServiceCore {
                 return Ok(report);
             }
         }
-        let result = self.registry.solve(request);
-        match &result {
+        match self.registry.solve(request) {
             Ok(report) => {
                 let (engine, wall) = (report.engine_used, report.wall_time);
                 self.note(|s| {
@@ -295,16 +293,27 @@ impl ServiceCore {
                 let search_complete = report.search.is_none_or(|s| s.completed);
                 if deadline_free && search_complete {
                     if let Some((key, cache)) = &keyed {
-                        cache.insert(*key, report.clone());
+                        // One deep clone per cold insert, so every
+                        // later hit can hand back the entry untouched.
+                        cache.insert(
+                            *key,
+                            Arc::new(SolveReport {
+                                provenance: Provenance::Cached,
+                                ..report.clone()
+                            }),
+                        );
                     }
                 }
+                Ok(Arc::new(report))
             }
-            Err(_) => self.note(|s| {
-                s.requests += 1;
-                s.errors += 1;
-            }),
+            Err(e) => {
+                self.note(|s| {
+                    s.requests += 1;
+                    s.errors += 1;
+                });
+                Err(e)
+            }
         }
-        result
     }
 
     fn note(&self, update: impl FnOnce(&mut StatsInner)) {
@@ -321,7 +330,7 @@ fn solve_containing_panics(
     core: &Arc<ServiceCore>,
     request: &SolveRequest,
     key: Option<InstanceFingerprint>,
-) -> Result<SolveReport, SolveError> {
+) -> Result<Arc<SolveReport>, SolveError> {
     let serve_start = std::time::Instant::now();
     let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         core.solve_keyed(request, key)
@@ -366,7 +375,7 @@ fn escalated_request(request: &SolveRequest, quality: Quality) -> SolveRequest {
         .max(repliflow_exact::comm_bb::MAX_STAGES);
     budget.max_comm_bb_procs = budget
         .max_comm_bb_procs
-        .max(repliflow_exact::pipeline::MAX_PROCS);
+        .max(repliflow_exact::comm_bb::MAX_PROCS);
     SolveRequest {
         instance: request.instance.clone(),
         engine: request.engine,
@@ -407,7 +416,7 @@ fn maybe_escalate(
     core: &Arc<ServiceCore>,
     request: &SolveRequest,
     key: Option<InstanceFingerprint>,
-    report: &SolveReport,
+    report: &Arc<SolveReport>,
 ) {
     let Some(esc) = &core.escalation else {
         return;
@@ -446,7 +455,7 @@ fn maybe_escalate(
     }
     core.note(|s| s.escalation.scheduled += 1);
     let core = Arc::clone(core);
-    let baseline = report.clone();
+    let baseline = Arc::clone(report);
     esc.pool().submit(move || {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             core.registry.solve(&escalated)
@@ -455,7 +464,7 @@ fn maybe_escalate(
             Ok(Ok(mut improved)) if is_improvement(&baseline, &improved) => {
                 improved.provenance = Provenance::Escalated;
                 if let Some(cache) = &core.cache {
-                    cache.insert(key, improved);
+                    cache.insert(key, Arc::new(improved));
                 }
                 core.note(|s| s.escalation.refreshed += 1);
             }
@@ -678,7 +687,7 @@ impl SolverService {
     /// start the worker pool). An engine panic is contained and
     /// reported as [`SolveError::EnginePanicked`], same as on the
     /// batch/stream paths.
-    pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, SolveError> {
+    pub fn solve(&self, request: &SolveRequest) -> Result<Arc<SolveReport>, SolveError> {
         solve_containing_panics(&self.core, request, None)
     }
 
@@ -687,7 +696,7 @@ impl SolverService {
     pub fn solve_batch(
         &self,
         instances: &[ProblemInstance],
-    ) -> Vec<Result<SolveReport, SolveError>> {
+    ) -> Vec<Result<Arc<SolveReport>, SolveError>> {
         let options = BatchOptions {
             engine: self.core.default_engine,
             budget: self.core.default_budget,
@@ -716,7 +725,7 @@ impl SolverService {
         &self,
         instances: &[ProblemInstance],
         options: &BatchOptions,
-    ) -> Vec<Result<SolveReport, SolveError>> {
+    ) -> Vec<Result<Arc<SolveReport>, SolveError>> {
         if instances.is_empty() {
             return Vec::new();
         }
@@ -749,7 +758,7 @@ impl SolverService {
                 unique.push((i, request, key));
             }
         }
-        let mut slots: Vec<Option<Result<SolveReport, SolveError>>> =
+        let mut slots: Vec<Option<Result<Arc<SolveReport>, SolveError>>> =
             (0..instances.len()).map(|_| None).collect();
         let (tx, rx) = mpsc::channel();
         match options.threads {
@@ -802,7 +811,11 @@ impl SolverService {
                 .clone()
                 .unwrap_or(Err(SolveError::EnginePanicked));
             if let Ok(report) = &mut result {
-                report.provenance = Provenance::Cached;
+                // pointer clone when the leader's entry is already
+                // cache-tagged; one copy-on-write otherwise
+                if report.provenance == Provenance::Computed {
+                    Arc::make_mut(report).provenance = Provenance::Cached;
+                }
             }
             self.core.note(|s| {
                 s.requests += 1;
@@ -830,7 +843,7 @@ impl SolverService {
     pub fn solve_detached(
         &self,
         request: SolveRequest,
-        on_done: impl FnOnce(Result<SolveReport, SolveError>) + Send + 'static,
+        on_done: impl FnOnce(Result<Arc<SolveReport>, SolveError>) + Send + 'static,
     ) {
         let core = Arc::clone(&self.core);
         self.pool()
@@ -950,12 +963,12 @@ impl SolverService {
 /// [`SolverService::solve_stream`]. Dropping it early is fine: in-
 /// flight solves complete on the pool and their results are discarded.
 pub struct SolveStream {
-    rx: Receiver<(usize, Result<SolveReport, SolveError>)>,
+    rx: Receiver<(usize, Result<Arc<SolveReport>, SolveError>)>,
     remaining: usize,
 }
 
 impl Iterator for SolveStream {
-    type Item = (usize, Result<SolveReport, SolveError>);
+    type Item = (usize, Result<Arc<SolveReport>, SolveError>);
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {

@@ -10,8 +10,8 @@ use repliflow_core::mapping::Mode;
 use repliflow_core::platform::Platform;
 use repliflow_core::workflow::{Pipeline, Workflow};
 use repliflow_solver::{
-    Budget, CommModel, CostModel, EnginePref, EngineRegistry, Network, Optimality, Quality,
-    SolveError, SolveRequest,
+    Budget, CommModel, CostModel, EnginePref, EngineRegistry, FallbackReason, Network, Optimality,
+    Quality, SolveError, SolveRequest,
 };
 use std::path::PathBuf;
 
@@ -113,11 +113,11 @@ fn with_comm_routes_to_comm_heuristic_beyond_bb_guard() {
 
 #[test]
 fn comm_bb_surfaces_stage_capacity_as_an_error() {
-    // 33 stages exceed the search's u32 stage-mask capacity; a forced
+    // 129 stages exceed the wide-mask stage capacity (128); a forced
     // comm-bb request must get a clean error, not a process abort.
     let registry = EngineRegistry::default();
     let instance = ProblemInstance {
-        workflow: Pipeline::with_data_sizes(vec![1; 33], vec![1; 34]).into(),
+        workflow: Pipeline::with_data_sizes(vec![1; 129], vec![1; 130]).into(),
         platform: Platform::homogeneous(2, 1),
         allow_data_parallel: false,
         objective: Objective::Period,
@@ -128,39 +128,41 @@ fn comm_bb_surfaces_stage_capacity_as_an_error() {
         .unwrap_err();
     assert!(matches!(
         err,
-        SolveError::ExceedsExactCapacity { n_stages: 33, .. }
+        SolveError::ExceedsExactCapacity { n_stages: 129, .. }
     ));
 }
 
 #[test]
 fn comm_bb_surfaces_processor_capacity_as_an_error() {
-    // 33 processors exceed the search's u32 processor-mask width (and
-    // the shared 20-processor bitmask cap); a forced comm-bb request
-    // must get a clean capacity error before the search starts — not a
-    // process abort, and certainly not a silently truncated mask.
+    // 129 processors exceed the wide-mask processor capacity (128); a
+    // forced comm-bb request must get a clean capacity error before the
+    // search starts — not a process abort, and certainly not a silently
+    // truncated mask.
     let registry = EngineRegistry::default();
     let instance = ProblemInstance {
         workflow: Pipeline::with_data_sizes(vec![3, 5], vec![1, 1, 1]).into(),
-        platform: Platform::homogeneous(33, 1),
+        platform: Platform::homogeneous(129, 1),
         allow_data_parallel: false,
         objective: Objective::Period,
-        cost_model: one_port(Network::uniform(33, 1)),
+        cost_model: one_port(Network::uniform(129, 1)),
     };
     let err = registry
         .solve(&SolveRequest::new(instance).engine(EnginePref::CommBb))
         .unwrap_err();
     assert!(matches!(
         err,
-        SolveError::ExceedsExactCapacity { n_procs: 33, .. }
+        SolveError::ExceedsExactCapacity { n_procs: 129, .. }
     ));
 }
 
 #[test]
-fn auto_routes_oversized_platform_to_comm_heuristic() {
-    // Even with budget guards wide enough to nominally allow comm-bb at
-    // p = 33, the auto route must notice the representation limit and
-    // fall back to the heuristic instead of erroring (regression: the
-    // old route handed the instance to comm-bb, which refused it).
+fn auto_proves_homogeneous_p33_through_comm_bb_under_default_budget() {
+    // The headline of the lifted caps: 33 processors used to be beyond
+    // the u32 masks (and beyond every budget guard), so this instance
+    // could only ever get a heuristic answer. The wide-mask search plus
+    // the symmetry escape hatch (a homogeneous platform collapses to a
+    // single equivalence class, root branching width 34) now proves it
+    // under the *default* budget.
     let registry = EngineRegistry::default();
     let instance = ProblemInstance {
         workflow: Pipeline::with_data_sizes(vec![3, 5], vec![1, 1, 1]).into(),
@@ -169,20 +171,63 @@ fn auto_routes_oversized_platform_to_comm_heuristic() {
         objective: Objective::Period,
         cost_model: one_port(Network::uniform(33, 1)),
     };
+    let report = registry.solve(&SolveRequest::new(instance)).unwrap();
+    assert_eq!(report.engine_used, "comm-bb");
+    assert_eq!(report.optimality, Optimality::Proven);
+    assert!(report.search.unwrap().completed);
+    assert!(report.fallback.is_none());
+    assert!(report.has_mapping());
+}
+
+#[test]
+fn auto_surfaces_heuristic_fallback_reason_at_the_processor_cap() {
+    // 33 *distinct-speed* processors defeat the symmetry escape hatch
+    // (33 singleton classes, width 2^33 > 2^8), so the default budget
+    // falls back to the heuristic — and the report must say why, as a
+    // structured reason, instead of silently downgrading. One processor
+    // fewer on the budget guard itself (p = 8 homogeneous would route
+    // to comm-bb) pins the boundary from the admitted side below in
+    // `auto_routing_is_exact_at_the_budget_boundaries`.
+    let registry = EngineRegistry::default();
+    let instance = ProblemInstance {
+        workflow: Pipeline::with_data_sizes(vec![3, 5], vec![1, 1, 1]).into(),
+        platform: Platform::heterogeneous((1..=33).collect()),
+        allow_data_parallel: false,
+        objective: Objective::Period,
+        cost_model: one_port(Network::uniform(33, 1)),
+    };
+    // Routing guards stay at their defaults (that's what's under test);
+    // only the heuristic's effort knobs are trimmed for suite speed.
     let budget = Budget {
-        max_comm_bb_procs: 64,
+        local_search_rounds: 1,
+        quality: Quality::Fast,
         ..Budget::default()
     };
     let report = registry
         .solve(&SolveRequest::new(instance).budget(budget))
         .unwrap();
     assert_eq!(report.engine_used, "comm-heuristic");
+    assert_eq!(report.optimality, Optimality::Heuristic);
     assert!(report.has_mapping());
+    let reason = report.fallback.expect("auto fallback carries a reason");
+    assert!(matches!(
+        reason,
+        FallbackReason::CommBbProcs {
+            n_procs: 33,
+            cap: 8
+        }
+    ));
+    assert!(report
+        .canonical_json()
+        .contains("\"fallback\":\"comm-bb declined: 33 processors > cap 8\""));
 }
 
 /// The `Auto` boundary instances: an `n`-stage uniform comm pipeline on
-/// `p` processors (tiny node budget so routed engines return fast
-/// whatever their search does).
+/// `p` processors. The budget keeps the default routing guards but
+/// strips the routed engines down to near-nothing (tiny node/time
+/// limits, one local-search round, no annealing) — routing decisions
+/// don't depend on those knobs, and the big-`p` rows would otherwise
+/// spend minutes in the heuristic portfolio.
 fn boundary_instance(n: usize, p: usize) -> (ProblemInstance, Budget) {
     let instance = ProblemInstance {
         workflow: Pipeline::with_data_sizes(vec![2; n], vec![1; n + 1]).into(),
@@ -193,6 +238,9 @@ fn boundary_instance(n: usize, p: usize) -> (ProblemInstance, Budget) {
     };
     let budget = Budget {
         bb_node_limit: 10_000,
+        bb_time_limit_ms: 500,
+        local_search_rounds: 1,
+        quality: Quality::Fast,
         ..Budget::default()
     };
     (instance, budget)
@@ -201,16 +249,22 @@ fn boundary_instance(n: usize, p: usize) -> (ProblemInstance, Budget) {
 #[test]
 fn auto_routing_is_exact_at_the_budget_boundaries() {
     // The default guards: comm-exact ≤ 6 stages / ≤ 5 procs, comm-bb
-    // ≤ 12 stages / ≤ 8 procs, comm-heuristic beyond. Each boundary and
-    // its off-by-one neighbor routes to the documented engine.
+    // ≤ 12 stages / ≤ 8 procs — but these boundary instances are
+    // *homogeneous*, so past the raw processor guard the symmetry
+    // escape hatch keeps admitting comm-bb (one equivalence class,
+    // width p + 1 ≤ 2^8) all the way to the 128-processor mask
+    // capacity; comm-heuristic beyond. Each boundary and its off-by-one
+    // neighbor routes to the documented engine.
     let registry = EngineRegistry::default();
     for (n, p, expected) in [
-        (6, 5, "comm-exact"),      // exactly at the enumeration guard
-        (7, 5, "comm-bb"),         // one stage past it
-        (6, 6, "comm-bb"),         // one processor past it
-        (12, 8, "comm-bb"),        // exactly at the comm-bb guard
-        (13, 8, "comm-heuristic"), // one stage past it
-        (12, 9, "comm-heuristic"), // one processor past it
+        (6, 5, "comm-exact"),        // exactly at the enumeration guard
+        (7, 5, "comm-bb"),           // one stage past it
+        (6, 6, "comm-bb"),           // one processor past it
+        (12, 8, "comm-bb"),          // exactly at the comm-bb guard
+        (13, 8, "comm-heuristic"),   // one stage past it
+        (12, 9, "comm-bb"),          // past the proc guard, admitted by symmetry
+        (12, 128, "comm-bb"),        // exactly at the wide-mask capacity
+        (12, 129, "comm-heuristic"), // one processor past the mask capacity
     ] {
         let (instance, budget) = boundary_instance(n, p);
         let report = registry

@@ -193,7 +193,7 @@ fn escalation_refreshed_entries_are_byte_identical_to_direct_solves() {
     let escalated_budget = Budget {
         quality: Quality::Thorough,
         max_comm_bb_stages: repliflow_exact::comm_bb::MAX_STAGES,
-        max_comm_bb_procs: repliflow_exact::pipeline::MAX_PROCS,
+        max_comm_bb_procs: repliflow_exact::comm_bb::MAX_PROCS,
         ..budget
     };
     let direct = canonical(

@@ -56,7 +56,7 @@ fn main() {
         ..instance.clone()
     }))
     .unwrap();
-    let choice_mapping = choice.mapping.expect("deadline is achievable");
+    let choice_mapping = choice.mapping.clone().expect("deadline is achievable");
     let (choice_period, choice_latency) = (choice.period.unwrap(), choice.latency.unwrap());
     println!(
         "\nchosen mapping (max rate under {deadline} ms deadline, {} engine, {} optimum):\n  {}",

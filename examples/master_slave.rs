@@ -19,7 +19,7 @@ fn request(
     workflow: impl Into<Workflow>,
     platform: &Platform,
     objective: Objective,
-) -> SolveReport {
+) -> std::sync::Arc<SolveReport> {
     solve(&SolveRequest::new(ProblemInstance {
         cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: workflow.into(),
@@ -73,7 +73,7 @@ fn main() {
     );
 
     // Validate the throughput claim by executing 400 batches, saturated.
-    let period_mapping = by_period.mapping.unwrap();
+    let period_mapping = by_period.mapping.clone().unwrap();
     let report = sim::simulate_fork(&fork, &platform, &period_mapping, sim::Feed::Saturated, 400)
         .expect("mapping is valid");
     let window = 4 * sim::fork::cycle_length(&period_mapping);
@@ -88,7 +88,7 @@ fn main() {
     // fork-join extension (still auto-dispatched, still polynomial).
     let fj = ForkJoin::uniform(12, 8, 40, 20);
     let sol = request(fj.clone(), &platform, Objective::Latency);
-    let sol_mapping = sol.mapping.unwrap();
+    let sol_mapping = sol.mapping.clone().unwrap();
     let sol_latency = sol.latency.unwrap();
     println!(
         "\nwith a gather stage (fork-join): min latency {} via {}",

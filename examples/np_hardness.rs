@@ -17,7 +17,7 @@ use repliflow::solver::{EnginePref, SolveReport, SolveRequest};
 use std::time::Instant;
 
 /// Exhaustive minimum-latency solve of a reduced pipeline instance.
-fn exact_min_latency(pipeline: &Pipeline, platform: &Platform) -> SolveReport {
+fn exact_min_latency(pipeline: &Pipeline, platform: &Platform) -> std::sync::Arc<SolveReport> {
     let request = SolveRequest::new(ProblemInstance::new(
         pipeline.clone(),
         platform.clone(),
@@ -56,7 +56,7 @@ fn main() {
     // partition problem
     let best = exact_min_latency(&reduced.pipeline, &reduced.platform);
     let best_latency = best.latency.unwrap();
-    let best_mapping = best.mapping.unwrap();
+    let best_mapping = best.mapping.clone().unwrap();
     println!(
         "exhaustive mapping search finds latency {} via {}",
         best_latency, best_mapping

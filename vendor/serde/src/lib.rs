@@ -12,7 +12,18 @@
 //! booleans, strings, `Vec<T>`, `Option<T>`, and `&'static str`
 //! (deserialized by leaking, which the workspace only uses for
 //! `'static` theorem labels). Not supported: generics in derived types,
-//! serde attributes, borrowed data.
+//! serde attributes.
+//!
+//! Two deserialization paths share one grammar:
+//!
+//! * [`Deserialize`] reads from an owned [`Value`] tree (flexible —
+//!   callers can inspect or transform the tree first);
+//! * [`DeserializeStream`] reads straight off the JSON text through the
+//!   [`de::JsonParser`] cursor, borrowing escape-free strings from the
+//!   input instead of allocating — the near-linear path for multi-MB
+//!   instance files, where building the intermediate tree (one
+//!   `String` + `Vec` per node, then a second full traversal) dominates
+//!   the parse.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -97,7 +108,17 @@ pub trait Deserialize: Sized {
     fn deserialize(value: &Value) -> Result<Self, de::Error>;
 }
 
-/// Deserialization errors.
+/// Streaming deserialization straight off JSON text — no intermediate
+/// [`Value`] tree. Derived alongside [`Deserialize`] by the
+/// `#[derive(Deserialize)]` shim; the two paths accept the same wire
+/// format.
+pub trait DeserializeStream: Sized {
+    /// Reads `Self` from the parser's current position, consuming
+    /// exactly one JSON value.
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error>;
+}
+
+/// Deserialization errors and the streaming JSON cursor.
 pub mod de {
     use std::fmt;
 
@@ -138,6 +159,352 @@ pub mod de {
     }
 
     impl std::error::Error for Error {}
+
+    use super::Value;
+    use std::borrow::Cow;
+
+    /// A streaming JSON cursor: one pass over the input bytes, no
+    /// intermediate tree, escape-free strings borrowed from the input.
+    ///
+    /// This is the single JSON grammar implementation of the shim —
+    /// [`crate::DeserializeStream`] impls consume it directly, and the
+    /// `serde_json` facade's tree parser is just
+    /// [`JsonParser::parse_value_tree`].
+    ///
+    /// Composite values follow a first-flag protocol so impls need no
+    /// side state: `begin_object`/`begin_array` consume the opener,
+    /// then [`JsonParser::object_next`] / [`JsonParser::array_next`]
+    /// are called with `first = true` once and `first = false` after,
+    /// returning `None`/`false` when the closer is consumed.
+    pub struct JsonParser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> JsonParser<'a> {
+        /// A cursor at the start of `text`.
+        pub fn new(text: &'a str) -> JsonParser<'a> {
+            JsonParser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        fn err(&self, msg: &str) -> Error {
+            Error::custom(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        /// The next non-whitespace byte without consuming it (`None` at
+        /// end of input). `Some(b'"')` means a string follows, `{` an
+        /// object, and so on — what derived enum impls branch on.
+        pub fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn parse_lit(&mut self, lit: &str) -> Result<(), Error> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{lit}`")))
+            }
+        }
+
+        /// Consumes `null`.
+        pub fn parse_null(&mut self) -> Result<(), Error> {
+            self.parse_lit("null")
+        }
+
+        /// Consumes `true` or `false`.
+        pub fn parse_bool(&mut self) -> Result<bool, Error> {
+            match self.peek() {
+                Some(b't') => self.parse_lit("true").map(|()| true),
+                Some(b'f') => self.parse_lit("false").map(|()| false),
+                _ => Err(self.err("expected boolean")),
+            }
+        }
+
+        /// The raw text of the next number token (shared scan for the
+        /// integer and float paths).
+        fn number_text(&mut self) -> Result<&'a str, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while let Some(&b) = self.bytes.get(self.pos) {
+                match b {
+                    b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-' => self.pos += 1,
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number"))?;
+            if text.is_empty() || text == "-" {
+                return Err(self.err("expected number"));
+            }
+            Ok(text)
+        }
+
+        /// Consumes a number as an integer (accepting integral floats,
+        /// mirroring [`Value::as_int`]).
+        pub fn parse_i128(&mut self) -> Result<i128, Error> {
+            let text = self.number_text()?;
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(i);
+            }
+            match text.parse::<f64>() {
+                Ok(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(96) => Ok(f as i128),
+                _ => Err(self.err("expected integer")),
+            }
+        }
+
+        /// Consumes a number as a float (integers widen losslessly).
+        pub fn parse_f64(&mut self) -> Result<f64, Error> {
+            let text = self.number_text()?;
+            text.parse::<f64>().map_err(|_| self.err("invalid float"))
+        }
+
+        /// Consumes a string, borrowing from the input when it contains
+        /// no escapes (the common case for keys and enum tags).
+        pub fn parse_str(&mut self) -> Result<Cow<'a, str>, Error> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected string"));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let head = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8"))?;
+            if self.bytes.get(self.pos) == Some(&b'"') {
+                self.pos += 1;
+                return Ok(Cow::Borrowed(head));
+            }
+            // escapes present: fall back to an owned buffer
+            let mut out = String::from(head);
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(Cow::Owned(out));
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| self.err("unterminated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                    16,
+                                )
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad codepoint"))?,
+                                );
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    None => return Err(self.err("unterminated string")),
+                    Some(_) => {
+                        let start = self.pos;
+                        while let Some(&b) = self.bytes.get(self.pos) {
+                            if b == b'"' || b == b'\\' {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .map_err(|_| self.err("invalid UTF-8"))?,
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Consumes the opening `{` of an object.
+        pub fn begin_object(&mut self) -> Result<(), Error> {
+            self.expect(b'{')
+        }
+
+        /// Advances to the next key of the current object, consuming
+        /// the separating `,` (when `!first`) and the key's `:`.
+        /// Returns `None` after consuming the closing `}`.
+        pub fn object_next(&mut self, first: bool) -> Result<Option<Cow<'a, str>>, Error> {
+            match self.peek() {
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(None);
+                }
+                Some(b',') if !first => {
+                    self.pos += 1;
+                }
+                Some(_) if first => {}
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+            let key = self.parse_str()?;
+            self.expect(b':')?;
+            Ok(Some(key))
+        }
+
+        /// Consumes the opening `[` of an array.
+        pub fn begin_array(&mut self) -> Result<(), Error> {
+            self.expect(b'[')
+        }
+
+        /// Whether another element follows in the current array,
+        /// consuming the separating `,` (when `!first`) or the closing
+        /// `]`.
+        pub fn array_next(&mut self, first: bool) -> Result<bool, Error> {
+            match self.peek() {
+                Some(b']') => {
+                    self.pos += 1;
+                    Ok(false)
+                }
+                Some(b',') if !first => {
+                    self.pos += 1;
+                    Ok(true)
+                }
+                Some(_) if first => Ok(true),
+                _ => Err(self.err("expected `,` or `]`")),
+            }
+        }
+
+        /// Consumes and discards one value of any shape (unknown object
+        /// fields, ignored enum payloads).
+        pub fn skip_value(&mut self) -> Result<(), Error> {
+            match self
+                .peek()
+                .ok_or_else(|| self.err("unexpected end of input"))?
+            {
+                b'{' => {
+                    self.begin_object()?;
+                    let mut first = true;
+                    while self.object_next(first)?.is_some() {
+                        first = false;
+                        self.skip_value()?;
+                    }
+                    Ok(())
+                }
+                b'[' => {
+                    self.begin_array()?;
+                    let mut first = true;
+                    while self.array_next(first)? {
+                        first = false;
+                        self.skip_value()?;
+                    }
+                    Ok(())
+                }
+                b'"' => self.parse_str().map(|_| ()),
+                b't' => self.parse_lit("true"),
+                b'f' => self.parse_lit("false"),
+                b'n' => self.parse_lit("null"),
+                _ => self.number_text().map(|_| ()),
+            }
+        }
+
+        /// Consumes one value into an owned [`Value`] tree (the
+        /// `serde_json::parse_value` backend, and the
+        /// [`crate::DeserializeStream`] impl for [`Value`] itself).
+        pub fn parse_value_tree(&mut self) -> Result<Value, Error> {
+            match self
+                .peek()
+                .ok_or_else(|| self.err("unexpected end of input"))?
+            {
+                b'{' => {
+                    self.begin_object()?;
+                    let mut fields = Vec::new();
+                    let mut first = true;
+                    while let Some(key) = self.object_next(first)? {
+                        first = false;
+                        fields.push((key.into_owned(), self.parse_value_tree()?));
+                    }
+                    Ok(Value::Object(fields))
+                }
+                b'[' => {
+                    self.begin_array()?;
+                    let mut items = Vec::new();
+                    let mut first = true;
+                    while self.array_next(first)? {
+                        first = false;
+                        items.push(self.parse_value_tree()?);
+                    }
+                    Ok(Value::Array(items))
+                }
+                b'"' => Ok(Value::String(self.parse_str()?.into_owned())),
+                b't' => self.parse_lit("true").map(|()| Value::Bool(true)),
+                b'f' => self.parse_lit("false").map(|()| Value::Bool(false)),
+                b'n' => self.parse_lit("null").map(|()| Value::Null),
+                _ => {
+                    let text = self.number_text()?;
+                    if let Ok(i) = text.parse::<i128>() {
+                        Ok(Value::Int(i))
+                    } else {
+                        text.parse::<f64>()
+                            .map(Value::Float)
+                            .map_err(|_| self.err("invalid number"))
+                    }
+                }
+            }
+        }
+
+        /// Checks nothing but whitespace remains (call after the last
+        /// value when the input must be exactly one document).
+        pub fn end(&mut self) -> Result<(), Error> {
+            self.skip_ws();
+            if self.pos == self.bytes.len() {
+                Ok(())
+            } else {
+                Err(self.err("trailing characters"))
+            }
+        }
+    }
 }
 
 macro_rules! impl_int {
@@ -153,6 +520,12 @@ macro_rules! impl_int {
                     .as_int()
                     .ok_or_else(|| de::Error::expected("integer", stringify!($t)))?;
                 <$t>::try_from(i)
+                    .map_err(|_| de::Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+        impl DeserializeStream for $t {
+            fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+                <$t>::try_from(parser.parse_i128()?)
                     .map_err(|_| de::Error::expected("in-range integer", stringify!($t)))
             }
         }
@@ -274,5 +647,62 @@ impl Serialize for Value {
 impl Deserialize for Value {
     fn deserialize(value: &Value) -> Result<Self, de::Error> {
         Ok(value.clone())
+    }
+}
+
+impl DeserializeStream for bool {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        parser.parse_bool()
+    }
+}
+
+impl DeserializeStream for f64 {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        parser.parse_f64()
+    }
+}
+
+impl DeserializeStream for String {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        parser.parse_str().map(|s| s.into_owned())
+    }
+}
+
+impl DeserializeStream for &'static str {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        // Same leak as the tree path: only `'static` theorem labels.
+        parser
+            .parse_str()
+            .map(|s| &*Box::leak(s.into_owned().into_boxed_str()))
+    }
+}
+
+impl<T: DeserializeStream> DeserializeStream for Vec<T> {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        parser.begin_array()?;
+        let mut out = Vec::new();
+        let mut first = true;
+        while parser.array_next(first)? {
+            first = false;
+            out.push(T::deserialize_stream(parser)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: DeserializeStream> DeserializeStream for Option<T> {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        if parser.peek() == Some(b'n') {
+            parser.parse_null()?;
+            Ok(None)
+        } else {
+            T::deserialize_stream(parser).map(Some)
+        }
+    }
+}
+
+impl DeserializeStream for Value {
+    fn deserialize_stream(parser: &mut de::JsonParser<'_>) -> Result<Self, de::Error> {
+        parser.parse_value_tree()
     }
 }

@@ -376,11 +376,141 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl parses")
 }
 
-/// Derives the vendored `serde::Deserialize` trait.
+/// Named-struct body of a streaming impl: out-of-order fields into
+/// `Option` temporaries (types inferred from the construction site),
+/// unknown fields skipped — same acceptance as the tree path's
+/// `field()` lookups.
+fn gen_struct_fields_stream(path: &str, type_name: &str, fields: &[String]) -> String {
+    let mut s = String::from("{\n");
+    for f in fields {
+        s.push_str(&format!("let mut __f_{f} = ::std::option::Option::None;\n"));
+    }
+    s.push_str(
+        "parser.begin_object()?;\n\
+         let mut __first = true;\n\
+         while let ::std::option::Option::Some(__key) = parser.object_next(__first)? {\n\
+         __first = false;\n\
+         match ::std::convert::AsRef::<str>::as_ref(&__key) {\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => __f_{f} = ::std::option::Option::Some(\
+             ::serde::DeserializeStream::deserialize_stream(parser)?),\n"
+        ));
+    }
+    s.push_str("_ => parser.skip_value()?,\n}\n}\n");
+    s.push_str(&format!("::std::result::Result::Ok({path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: __f_{f}.ok_or_else(|| \
+             ::serde::de::Error::missing_field(\"{f}\", \"{type_name}\"))?,\n"
+        ));
+    }
+    s.push_str("})\n}");
+    s
+}
+
+/// Tuple body of a streaming impl: fixed-arity array.
+fn gen_tuple_stream(path: &str, type_name: &str, n: usize) -> String {
+    let mut s = String::from("{\nparser.begin_array()?;\n");
+    for k in 0..n {
+        s.push_str(&format!(
+            "let __x{k} = {{ if !parser.array_next({first})? {{ \
+             return ::std::result::Result::Err(\
+             ::serde::de::Error::expected(\"{n}-element array\", \"{type_name}\")); }} \
+             ::serde::DeserializeStream::deserialize_stream(parser)? }};\n",
+            first = k == 0,
+        ));
+    }
+    s.push_str(&format!(
+        "if parser.array_next(false)? {{ return ::std::result::Result::Err(\
+         ::serde::de::Error::expected(\"{n}-element array\", \"{type_name}\")); }}\n"
+    ));
+    let binds: Vec<String> = (0..n).map(|k| format!("__x{k}")).collect();
+    s.push_str(&format!(
+        "::std::result::Result::Ok({path}({}))\n}}",
+        binds.join(", ")
+    ));
+    s
+}
+
+fn gen_deserialize_stream(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => gen_struct_fields_stream(name, name, fields),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::DeserializeStream::deserialize_stream(parser)?))"
+        ),
+        Shape::Tuple(n) => gen_tuple_stream(name, name, *n),
+        Shape::Unit => format!("parser.skip_value()?;\n::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                        ));
+                        // externally tagged form {"V": <ignored>} also accepted
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ parser.skip_value()?; \
+                             ::std::result::Result::Ok({name}::{v}) }},\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::DeserializeStream::deserialize_stream(parser)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let block =
+                            gen_tuple_stream(&format!("{name}::{v}"), &format!("{name}::{v}"), *n);
+                        tagged_arms.push_str(&format!("\"{v}\" => {block},\n"));
+                    }
+                    Shape::Struct(fields) => {
+                        let block = gen_struct_fields_stream(&format!("{name}::{v}"), name, fields);
+                        tagged_arms.push_str(&format!("\"{v}\" => {block},\n"));
+                    }
+                    Shape::Enum(_) => unreachable!(),
+                }
+            }
+            // a bare string is a unit variant; otherwise a single-key
+            // externally tagged object
+            format!(
+                "if parser.peek() == ::std::option::Option::Some(34u8) {{\n\
+                 let __tag = parser.parse_str()?;\n\
+                 return match ::std::convert::AsRef::<str>::as_ref(&__tag) {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(__other, \"{name}\")), }};\n}}\n\
+                 parser.begin_object()?;\n\
+                 let ::std::option::Option::Some(__tag) = parser.object_next(true)? else {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::de::Error::expected(\"variant object\", \"{name}\"));\n}};\n\
+                 let __value = (match ::std::convert::AsRef::<str>::as_ref(&__tag) {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(__other, \"{name}\")), }})?;\n\
+                 if parser.object_next(false)?.is_some() {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::de::Error::expected(\"single-key variant object\", \"{name}\"));\n}}\n\
+                 ::std::result::Result::Ok(__value)"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::DeserializeStream for {name} {{\n\
+         fn deserialize_stream(parser: &mut ::serde::de::JsonParser<'_>) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Deserialize` **and**
+/// `serde::DeserializeStream` traits (both read the same wire format;
+/// the streaming impl parses straight off the JSON text).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item)
-        .parse()
-        .expect("generated Deserialize impl parses")
+    let mut out = gen_deserialize(&item);
+    out.push_str(&gen_deserialize_stream(&item));
+    out.parse().expect("generated Deserialize impl parses")
 }

@@ -4,10 +4,14 @@
 //! Provides [`to_string`], [`to_string_pretty`] and [`from_str`] with
 //! real-serde_json wire conventions for the types this workspace
 //! derives (externally tagged enums, newtype structs as their inner
-//! value, `null` for `Option::None`).
+//! value, `null` for `Option::None`). [`from_str_streaming`] is the
+//! single-pass counterpart of [`from_str`] for multi-MB inputs: it
+//! deserializes straight off the text through
+//! [`serde::de::JsonParser`], skipping the intermediate [`Value`] tree
+//! (and its per-node allocations) entirely.
 
 pub use serde::Value;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, DeserializeStream, Serialize};
 use std::fmt::Write as _;
 
 /// JSON (de)serialization error.
@@ -136,220 +140,31 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> Error {
-        Error::new(format!("{msg} at byte {}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), Error> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, Error> {
-        match self
-            .peek()
-            .ok_or_else(|| self.err("unexpected end of input"))?
-        {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Value::String(self.parse_string()?)),
-            b't' => self.parse_lit("true", Value::Bool(true)),
-            b'f' => self.parse_lit("false", Value::Bool(false)),
-            b'n' => self.parse_lit("null", Value::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, Error> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Object(fields));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Value, Error> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, Error> {
-        if self.bytes.get(self.pos) != Some(&b'"') {
-            return Err(self.err("expected string"));
-        }
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8"))?,
-            );
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| self.err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, Error> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        if text.is_empty() || text == "-" {
-            return Err(self.err("expected number"));
-        }
-        if is_float {
-            text.parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| self.err("invalid float"))
-        } else {
-            text.parse::<i128>()
-                .map(Value::Int)
-                .map_err(|_| self.err("integer out of range"))
-        }
-    }
-}
-
-/// Parses `text` into a [`Value`] tree.
+/// Parses `text` into a [`Value`] tree (one shared grammar: this is
+/// [`serde::de::JsonParser::parse_value_tree`] plus an
+/// end-of-input check).
 pub fn parse_value(text: &str) -> Result<Value, Error> {
-    let mut parser = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let value = parser.parse_value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.err("trailing characters"));
-    }
+    let mut parser = serde::de::JsonParser::new(text);
+    let value = parser.parse_value_tree()?;
+    parser.end()?;
     Ok(value)
 }
 
-/// Deserializes a `T` from JSON text.
+/// Deserializes a `T` from JSON text through the [`Value`] tree.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     Ok(T::deserialize(&parse_value(text)?)?)
+}
+
+/// Deserializes a `T` from JSON text in one streaming pass — no
+/// intermediate [`Value`] tree, escape-free strings borrowed from the
+/// input. Same wire format and acceptance as [`from_str`]; prefer this
+/// for large instance files, where the tree's per-node allocations
+/// dominate the parse.
+pub fn from_str_streaming<T: DeserializeStream>(text: &str) -> Result<T, Error> {
+    let mut parser = serde::de::JsonParser::new(text);
+    let value = T::deserialize_stream(&mut parser)?;
+    parser.end()?;
+    Ok(value)
 }
 
 #[cfg(test)]
@@ -383,6 +198,43 @@ mod tests {
                 "x".into(),
                 Value::Array(vec![Value::Int(1), Value::Float(2.5)])
             )])
+        );
+    }
+
+    #[test]
+    fn streaming_primitives_match_the_tree_path() {
+        assert_eq!(
+            from_str_streaming::<Vec<i64>>("[1, -2, 3]").unwrap(),
+            from_str::<Vec<i64>>("[1, -2, 3]").unwrap()
+        );
+        assert_eq!(
+            from_str_streaming::<Option<bool>>("null").unwrap(),
+            None::<bool>
+        );
+        assert_eq!(from_str_streaming::<f64>("2.5").unwrap(), 2.5);
+        // escape-handling parity: escaped strings take the owned path,
+        // clean strings borrow — both must decode identically
+        let escaped = "\"a\\\"b\\\\c\\nd\\u0041\"";
+        assert_eq!(
+            from_str_streaming::<String>(escaped).unwrap(),
+            from_str::<String>(escaped).unwrap()
+        );
+        assert_eq!(from_str_streaming::<String>("\"plain\"").unwrap(), "plain");
+    }
+
+    #[test]
+    fn streaming_rejects_trailing_garbage_and_truncation() {
+        assert!(from_str_streaming::<Vec<i64>>("[1] x").is_err());
+        assert!(from_str_streaming::<Vec<i64>>("[1, 2").is_err());
+        assert!(from_str_streaming::<bool>("tru").is_err());
+    }
+
+    #[test]
+    fn streaming_value_equals_parse_value() {
+        let text = "{\"a\": [1, 2.5, \"s\"], \"b\": {\"c\": null, \"d\": true}}";
+        assert_eq!(
+            from_str_streaming::<Value>(text).unwrap(),
+            parse_value(text).unwrap()
         );
     }
 }
