@@ -184,7 +184,7 @@ fn main() -> ExitCode {
 
     // ---- gate 3: parallel root branches >= 1.5x, identical result ----
     let workload = parallel_workload();
-    let workers = std::thread::available_parallelism()
+    let workers = repliflow_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let (seq_ms, seq) = best_of(repeats, || {

@@ -149,7 +149,7 @@ fn main() -> ExitCode {
     .expect("daemon binds an ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let handle = server.handle();
-    let daemon = std::thread::spawn(move || server.run());
+    let daemon = repliflow_sync::thread::spawn(move || server.run());
 
     let options = RemoteSolveOptions::default();
 
@@ -168,7 +168,7 @@ fn main() -> ExitCode {
     let threads: Vec<_> = (0..clients)
         .map(|c| {
             let stream = stream.clone();
-            std::thread::spawn(move || {
+            repliflow_sync::thread::spawn(move || {
                 let mut latencies = LatencyHistogram::new();
                 let mut errors = 0usize;
                 let mut client = RemoteClient::connect(addr).expect("load client connects");

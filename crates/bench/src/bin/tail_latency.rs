@@ -46,9 +46,9 @@ use repliflow_solver::{
     Budget, CommModel, EnginePref, EngineRegistry, InstanceFingerprint, Quality, SolveCache,
     SolveRequest, SolverService,
 };
+use repliflow_sync::sync::Arc;
 use serde_json::Value;
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
@@ -170,7 +170,7 @@ fn contended_lookups(
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let cache = Arc::clone(&cache);
-            std::thread::spawn(move || {
+            repliflow_sync::thread::spawn(move || {
                 for i in 0..ops {
                     let k = synthetic_key(((t * ops + i) % KEYS) as u64);
                     assert!(cache.get(k).is_some(), "pre-filled key missing");
@@ -205,7 +205,7 @@ fn main() -> ExitCode {
     }
     let requests = requests.unwrap_or(if quick { 32 } else { 96 });
     let bb_time_limit_ms: u64 = 250;
-    let parallelism = std::thread::available_parallelism()
+    let parallelism = repliflow_sync::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     // More threads than cores on any plausible runner: contention (and

@@ -21,7 +21,7 @@ fn optimum(
     pipe: &Pipeline,
     platform: &Platform,
     objective: Objective,
-) -> std::sync::Arc<SolveReport> {
+) -> repliflow_sync::sync::Arc<SolveReport> {
     let request = SolveRequest::new(ProblemInstance {
         cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: pipe.clone().into(),

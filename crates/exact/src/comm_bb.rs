@@ -96,10 +96,10 @@ use repliflow_core::mapping::{Assignment, Mapping, Mode};
 use repliflow_core::platform::{Platform, ProcId};
 use repliflow_core::rational::Rat;
 use repliflow_core::workflow::{Fork, Pipeline, Workflow};
+use repliflow_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use repliflow_sync::sync::Mutex;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Hard resource limits of one branch-and-bound run.
@@ -260,7 +260,7 @@ pub fn solve_comm_bb_with_mask<M: ProcMask>(
         best: Mutex::new(seed.as_ref().map(|(score, _)| *score)),
     };
     type JobOutcome = (BbStats, bool, Option<(Score, usize, Solution)>);
-    let results: Vec<JobOutcome> = std::thread::scope(|scope| {
+    let results: Vec<JobOutcome> = repliflow_sync::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|job| {
                 let shared = &shared;
@@ -478,15 +478,21 @@ impl<'a> Ctx<'a> {
             }
             Some(shared) => {
                 if self.stats.nodes & 63 == 0 {
+                    // relaxed: cooperative abort flag — observing it a
+                    // poll-batch late only expands a few extra nodes,
+                    // it never affects correctness of the incumbent.
                     if shared.aborted.load(Ordering::Relaxed) {
                         self.aborted = true;
                         return false;
                     }
+                    // relaxed: advisory global node budget — the cap is
+                    // approximate by design (checked every 64 nodes).
                     let total = shared.nodes.fetch_add(64, Ordering::Relaxed) + 64;
                     let deadline_hit = self
                         .deadline
                         .is_some_and(|deadline| Instant::now() >= deadline);
                     if total >= self.max_nodes || deadline_hit {
+                        // relaxed: cooperative abort flag (see above).
                         shared.aborted.store(true, Ordering::Relaxed);
                         self.aborted = true;
                         return false;
@@ -510,6 +516,8 @@ impl<'a> Ctx<'a> {
             return true;
         }
         if let Some(shared) = self.shared {
+            // relaxed: cooperative abort flag — a late observation
+            // merely delays the stop by one probe.
             if shared.aborted.load(Ordering::Relaxed) {
                 self.aborted = true;
                 return true;
@@ -518,6 +526,7 @@ impl<'a> Ctx<'a> {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 if let Some(shared) = self.shared {
+                    // relaxed: cooperative abort flag (see above).
                     shared.aborted.store(true, Ordering::Relaxed);
                 }
                 self.aborted = true;

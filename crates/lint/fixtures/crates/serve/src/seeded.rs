@@ -1,0 +1,28 @@
+//! Seeded lint violations. This file is **not** compiled — it lives in
+//! a `fixtures/` tree that cargo never sees and the workspace lint run
+//! skips. CI lints it with `--root crates/lint/fixtures` and asserts
+//! the run FAILS: if repliflow-lint ever stops tripping on these, the
+//! tripwire itself is broken.
+
+use std::sync::Mutex; // seeded: no-std-sync
+use std::thread; // seeded: no-std-sync
+
+fn serve_one(queue: &Mutex<Vec<u32>>) -> u32 {
+    // seeded: no-panic-path (unwrap + expect on a serving path)
+    let mut q = queue.lock().unwrap();
+    q.pop().expect("queue is never empty")
+}
+
+fn shed_everything() {
+    // seeded: no-panic-path (panic! on a serving path)
+    panic!("refusing to serve");
+}
+
+fn count(c: &std::sync::atomic::AtomicU64) -> u64 {
+    // seeded: relaxed-invariant (no invariant marker in range)
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn allow_without_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(no-panic-path)
+}

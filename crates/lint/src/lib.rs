@@ -1,0 +1,625 @@
+//! `repliflow-lint`: the workspace's concurrency-hygiene static
+//! analyzer.
+//!
+//! PR 9 introduced the [`repliflow-sync`] facade so every concurrency
+//! primitive in the workspace can be swapped for a loom-style shim
+//! under `--cfg loom` and model-checked. A facade only helps while it
+//! is *actually used* — one stray `std::sync::Mutex` re-opens the gap
+//! between what the model checker explores and what production runs.
+//! This crate is the tripwire: a fast, dependency-free **lexical**
+//! pass (comments and string literals are stripped by a real scanner,
+//! not a regex) that hard-fails CI on three rules:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `no-std-sync` | `std::sync` / `std::thread` are forbidden outside `crates/sync` (and `vendor/`). Go through `repliflow_sync::{sync, thread}` so loom models see the op. |
+//! | `no-panic-path` | `.unwrap()` / `.expect(` / `panic!` are forbidden on serving paths (`crates/serve/src/**`, `crates/solver/src/{service,pool,cache}.rs`) outside `#[cfg(test)]`. A panicking daemon thread silently sheds its connection. |
+//! | `relaxed-invariant` | every `Ordering::Relaxed` must carry a `relaxed:` invariant comment on the same line or within the [`RELAXED_WINDOW`] preceding lines, stating *why* relaxed ordering is sound there. |
+//!
+//! Individual sites opt out with an **allowlist trailer** on the same
+//! or the preceding line — a reason is mandatory:
+//!
+//! ```text
+//! .expect("worker thread spawns") // lint: allow(no-panic-path) -- zero workers serve nothing; dying at startup is by design
+//! ```
+//!
+//! The binary (`cargo run -p repliflow-lint`) walks a source tree,
+//! prints violations as `file:line: [rule] message`, and exits
+//! non-zero when any are found. CI runs it twice: once over the
+//! workspace (must pass) and once over `crates/lint/fixtures`, a
+//! seeded-violation tree (must *fail* — proving the tripwire trips).
+//!
+//! [`repliflow-sync`]: ../repliflow_sync/index.html
+
+use std::path::{Path, PathBuf};
+
+/// `std::sync`/`std::thread` outside the facade crate.
+pub const RULE_NO_STD_SYNC: &str = "no-std-sync";
+/// Panicking calls on serving paths.
+pub const RULE_NO_PANIC_PATH: &str = "no-panic-path";
+/// `Ordering::Relaxed` without an invariant comment.
+pub const RULE_RELAXED_INVARIANT: &str = "relaxed-invariant";
+
+/// How many lines above an `Ordering::Relaxed` use a `relaxed:`
+/// comment may sit (consecutive annotated uses share one comment).
+pub const RELAXED_WINDOW: usize = 5;
+
+/// One finding. Ordering: by file, then line, then rule.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Path relative to the linted root, with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of the `RULE_*` constants.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source line split by the scanner: executable text on one side,
+/// comment text on the other (string/char literal *contents* appear in
+/// neither — `"panic!"` cannot trip a rule, and a rule cannot be
+/// silenced from inside a string).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// Code with comments and literal contents removed.
+    pub code: String,
+    /// Concatenated comment text of the line.
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks delimiting the raw string.
+    RawStr(u32),
+}
+
+/// Splits Rust source into per-line code/comment halves. This is a
+/// lexical scanner, not a parser: it tracks line and block comments
+/// (nested), plain/raw/byte string literals, character literals, and
+/// distinguishes lifetimes (`'a`) from char literals (`'a'`).
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Line comments end at the newline; strings and block
+            // comments continue across it.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' || (c == 'b' && next == Some('r')) {
+                    // Possible raw string: r"..", r#".."#, br#".."#…
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'\x'`-style and `'a'`
+                    // are literals; anything else ('static, 'a>) is a
+                    // lifetime and passes through untouched.
+                    if next == Some('\\') {
+                        let mut j = i + 2; // first escape char
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push_str("' '");
+                        i = (j + 1).min(chars.len());
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (incl. \" and \\)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                    if closes {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]` item (the
+/// attribute line, the item header, and — for brace-delimited items —
+/// the whole body, tracked by brace depth on comment-stripped code).
+pub fn test_mask(lines: &[ScannedLine]) -> Vec<bool> {
+    fn brace_delta(code: &str) -> i64 {
+        let mut d = 0;
+        for c in code.chars() {
+            match c {
+                '{' => d += 1,
+                '}' => d -= 1,
+                _ => {}
+            }
+        }
+        d
+    }
+
+    let mut mask = vec![false; lines.len()];
+    let mut pending = false; // saw #[cfg(test)], waiting for the item
+    let mut depth: i64 = 0;
+    let mut in_item = false;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if in_item {
+            mask[i] = true;
+            depth += brace_delta(code);
+            if depth <= 0 {
+                in_item = false;
+            }
+            continue;
+        }
+        if !pending && (code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test")) {
+            mask[i] = true;
+            pending = true;
+            // Attribute and item on one line: fall through to the
+            // pending logic below against this same line's braces.
+            if !code.contains('{') && !code.contains(';') {
+                continue;
+            }
+        }
+        if pending {
+            mask[i] = true;
+            if code.contains('{') {
+                pending = false;
+                depth = brace_delta(code);
+                if depth > 0 {
+                    in_item = true;
+                }
+            } else if code.contains(';') {
+                // `#[cfg(test)] use …;` / `mod tests;` — single line.
+                pending = false;
+            }
+        }
+    }
+    mask
+}
+
+/// Whether the violation of `rule` at `line_idx` is excused by a
+/// `// lint: allow(<rule>) -- reason` trailer on the same or the
+/// preceding line. Returns `Err(message)` for an allow without a
+/// reason — an unexplained exemption is itself a violation.
+fn allowed(lines: &[ScannedLine], line_idx: usize, rule: &str) -> Result<bool, String> {
+    let marker = format!("lint: allow({rule})");
+    for idx in [Some(line_idx), line_idx.checked_sub(1)]
+        .into_iter()
+        .flatten()
+    {
+        let comment = &lines[idx].comment;
+        if let Some(pos) = comment.find(&marker) {
+            let rest = &comment[pos + marker.len()..];
+            let reason = rest.trim_start().strip_prefix("--").map(str::trim);
+            return match reason {
+                Some(r) if !r.is_empty() => Ok(true),
+                _ => Err(format!(
+                    "`lint: allow({rule})` requires a reason: \
+                     `// lint: allow({rule}) -- <why this site is exempt>`"
+                )),
+            };
+        }
+    }
+    Ok(false)
+}
+
+/// Whether `rel_path` (workspace-relative, `/`-separated) is on a
+/// serving path for [`RULE_NO_PANIC_PATH`].
+pub fn is_serving_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/serve/src/")
+        || matches!(
+            rel_path,
+            "crates/solver/src/service.rs"
+                | "crates/solver/src/pool.rs"
+                | "crates/solver/src/cache.rs"
+        )
+}
+
+/// Whether `rel_path` is exempt from [`RULE_NO_STD_SYNC`] — the facade
+/// itself, and vendored crates (which shim or *are* std).
+pub fn is_sync_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/sync/") || rel_path.starts_with("vendor/")
+}
+
+/// Lints one file's source text. `rel_path` selects which rules apply
+/// (see [`is_serving_path`] / [`is_sync_exempt`]).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let lines = scan(source);
+    let tests = test_mask(&lines);
+    let mut out = Vec::new();
+    let mut push = |line_idx: usize, rule: &'static str, message: String| match allowed(
+        &lines, line_idx, rule,
+    ) {
+        Ok(true) => {}
+        Ok(false) => out.push(Violation {
+            file: rel_path.to_string(),
+            line: line_idx + 1,
+            rule,
+            message,
+        }),
+        Err(bad_allow) => out.push(Violation {
+            file: rel_path.to_string(),
+            line: line_idx + 1,
+            rule,
+            message: bad_allow,
+        }),
+    };
+
+    let serving = is_serving_path(rel_path);
+    let sync_exempt = is_sync_exempt(rel_path);
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if !sync_exempt && (code.contains("std::sync") || code.contains("std::thread")) {
+            push(
+                i,
+                RULE_NO_STD_SYNC,
+                "use `repliflow_sync::{sync, thread}` instead of `std` so loom models \
+                 see this operation"
+                    .to_string(),
+            );
+        }
+        if tests[i] {
+            continue; // panic/relaxed rules don't apply inside #[cfg(test)]
+        }
+        if serving {
+            for token in [".unwrap()", ".expect(", "panic!"] {
+                if code.contains(token) {
+                    push(
+                        i,
+                        RULE_NO_PANIC_PATH,
+                        format!(
+                            "`{token}` on a serving path: recover (e.g. \
+                             `unwrap_or_else(PoisonError::into_inner)`, degrade to a miss, \
+                             or shed the request) instead of panicking the daemon"
+                        ),
+                    );
+                }
+            }
+        }
+        if code.contains("Ordering::Relaxed") {
+            let lo = i.saturating_sub(RELAXED_WINDOW);
+            let annotated = lines[lo..=i].iter().any(|l| l.comment.contains("relaxed:"));
+            if !annotated {
+                push(
+                    i,
+                    RULE_RELAXED_INVARIANT,
+                    format!(
+                        "`Ordering::Relaxed` without a `relaxed:` invariant comment within \
+                         {RELAXED_WINDOW} lines: state why unordered access is sound here"
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Recursively lints every `.rs` file under `root`, returning sorted
+/// violations and the number of files scanned. `vendor/`, `target/`,
+/// `.git/`, and `fixtures/` subtrees are skipped (a root that itself
+/// points *into* a fixtures tree is scanned normally — that is how CI
+/// checks the seeded violations still trip).
+pub fn lint_tree(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+    const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+    fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if SKIP_DIRS.contains(&name) {
+                    continue;
+                }
+                walk(&path, files)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+        Ok(())
+    }
+
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(path)?;
+        violations.extend(lint_source(&rel, &source));
+    }
+    violations.sort();
+    Ok((violations, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn scanner_strips_comments_and_strings() {
+        let lines = scan(concat!(
+            "let a = \"std::sync inside a string\"; // std::thread in a comment\n",
+            "/* std::sync in a block\n",
+            "   still the block */ let b = 1;\n",
+        ));
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].comment.contains("std::thread"));
+        assert!(lines[1].code.is_empty());
+        assert!(lines[1].comment.contains("std::sync in a block"));
+        assert!(lines[2].code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn scanner_handles_raw_strings_chars_and_lifetimes() {
+        let lines = scan(concat!(
+            "let r = r#\"panic!(\"inside raw\")\"#;\n",
+            "let c = '\\n'; let q = '\"'; fn f<'a>(x: &'a str) {}\n",
+            "let s = \"escaped \\\" quote panic! still string\";\n",
+        ));
+        assert!(!lines[0].code.contains("panic!"));
+        // the '"' char literal must not open a string state
+        assert!(lines[1].code.contains("fn f<'a>"));
+        assert!(!lines[2].code.contains("panic!"));
+    }
+
+    #[test]
+    fn no_std_sync_fires_outside_the_facade() {
+        let violations = lint_source("crates/solver/src/x.rs", "use std::sync::Mutex;\n");
+        assert_eq!(rules(&violations), [RULE_NO_STD_SYNC]);
+        assert!(lint_source("crates/sync/src/lib.rs", "pub use std::sync::*;\n").is_empty());
+        assert!(lint_source("vendor/loom/src/rt.rs", "use std::thread;\n").is_empty());
+        // string/comment occurrences never fire
+        assert!(lint_source(
+            "crates/core/src/x.rs",
+            "// std::sync is forbidden\nlet s = \"std::thread\";\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn no_panic_path_fires_only_on_serving_paths() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"no\"); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/serve/src/server.rs", src)),
+            [RULE_NO_PANIC_PATH; 3]
+        );
+        assert_eq!(
+            rules(&lint_source("crates/solver/src/pool.rs", src)),
+            [RULE_NO_PANIC_PATH; 3]
+        );
+        // non-serving files may unwrap (engines legitimately assert)
+        assert!(lint_source("crates/exact/src/comm_bb.rs", src).is_empty());
+        // unwrap_or_else / expect_err are not panicking calls
+        assert!(lint_source(
+            "crates/serve/src/server.rs",
+            "x.unwrap_or_else(PoisonError::into_inner);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_panic_rule() {
+        let src = concat!(
+            "fn serve() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { x.unwrap(); panic!(\"fine in tests\"); }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        // …but a single-line #[cfg(test)] use does not exempt the rest
+        let src2 = "#[cfg(test)]\nuse helpers::*;\nfn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/serve/src/server.rs", src2)),
+            [RULE_NO_PANIC_PATH]
+        );
+    }
+
+    #[test]
+    fn relaxed_requires_a_nearby_invariant_comment() {
+        let bare = "counter.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/x.rs", bare)),
+            [RULE_RELAXED_INVARIANT]
+        );
+        let annotated = concat!(
+            "// relaxed: stat counter only — nothing synchronizes on it.\n",
+            "counter.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(lint_source("crates/core/src/x.rs", annotated).is_empty());
+        // one comment covers a short run of consecutive uses
+        let run = concat!(
+            "// relaxed: independent stat counters, advisory snapshot.\n",
+            "a.load(Ordering::Relaxed);\n",
+            "b.load(Ordering::Relaxed);\n",
+            "c.load(Ordering::Relaxed);\n",
+        );
+        assert!(lint_source("crates/core/src/x.rs", run).is_empty());
+        // …but not an arbitrarily distant one
+        let far = concat!(
+            "// relaxed: too far away\n",
+            "\n\n\n\n\n\n",
+            "a.load(Ordering::Relaxed);\n",
+        );
+        assert_eq!(
+            rules(&lint_source("crates/core/src/x.rs", far)),
+            [RULE_RELAXED_INVARIANT]
+        );
+    }
+
+    #[test]
+    fn allow_trailer_with_reason_silences_a_rule() {
+        let src = "spawn().expect(\"spawns\") // lint: allow(no-panic-path) -- fatal at startup by design\n";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        // the preceding line works too
+        let above = concat!(
+            "// lint: allow(no-std-sync) -- facade bootstrap documented in CONCURRENCY.md\n",
+            "use std::sync::Mutex;\n",
+        );
+        assert!(lint_source("crates/core/src/x.rs", above).is_empty());
+        // an allow for a *different* rule does not silence this one
+        let wrong = "use std::sync::Mutex; // lint: allow(no-panic-path) -- wrong rule\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/x.rs", wrong)),
+            [RULE_NO_STD_SYNC]
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_a_violation() {
+        let src = "x.unwrap(); // lint: allow(no-panic-path)\n";
+        let violations = lint_source("crates/serve/src/server.rs", src);
+        assert_eq!(rules(&violations), [RULE_NO_PANIC_PATH]);
+        assert!(violations[0].message.contains("requires a reason"));
+    }
+
+    #[test]
+    fn violations_render_as_file_line_rule() {
+        let v = &lint_source("crates/serve/src/x.rs", "fn f() { panic!(\"boom\") }\n")[0];
+        assert_eq!(
+            v.to_string(),
+            format!("crates/serve/src/x.rs:1: [no-panic-path] {}", v.message)
+        );
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean_and_the_fixture_trips() {
+        // CARGO_MANIFEST_DIR = crates/lint → workspace root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let (violations, scanned) = lint_tree(&root).expect("workspace scan");
+        assert!(
+            violations.is_empty(),
+            "workspace must lint clean, found:\n{}",
+            violations
+                .iter()
+                .map(Violation::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(scanned > 40, "workspace scan saw only {scanned} files");
+
+        let (seeded, _) = lint_tree(&root.join("crates/lint/fixtures")).expect("fixture scan");
+        let seen: std::collections::BTreeSet<_> = seeded.iter().map(|v| v.rule).collect();
+        assert!(
+            seen.contains(RULE_NO_STD_SYNC)
+                && seen.contains(RULE_NO_PANIC_PATH)
+                && seen.contains(RULE_RELAXED_INVARIANT),
+            "seeded fixture must trip every rule, tripped: {seen:?}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! CLI for [`repliflow_lint`]: `repliflow-lint [--root <dir>]`.
+//!
+//! Walks `<dir>` (default: the current directory), lints every `.rs`
+//! file outside `vendor/`/`target/`/`fixtures/`, prints violations as
+//! `file:line: [rule] message`, and exits non-zero when any exist —
+//! the hard-failing CI step. Point `--root` at
+//! `crates/lint/fixtures` to verify the seeded violations still trip
+//! (CI inverts that exit code).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repliflow-lint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match repliflow_lint::lint_tree(&root) {
+        Ok((violations, scanned)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("repliflow-lint: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "repliflow-lint: {} violation(s) in {scanned} files",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot lint {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,8 +18,8 @@
 //! completed. High-water marks and accept/reject/complete counters
 //! feed the `stats` verb.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use repliflow_sync::sync::atomic::{AtomicUsize, Ordering};
+use repliflow_sync::sync::{Arc, Mutex, PoisonError};
 
 /// Admission limits.
 #[derive(Clone, Copy, Debug)]
@@ -121,14 +121,17 @@ impl Admission {
         self: &Arc<Admission>,
         conn_inflight: &Arc<AtomicUsize>,
     ) -> Result<Ticket, RejectReason> {
-        let mut counts = self.counts.lock().expect("admission lock");
+        // Only counter arithmetic ever runs under this lock, so a
+        // poisoned mutex still holds coherent counts — recover instead
+        // of panicking the accept loop (pinned by modelcheck_admission).
+        let mut counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
         if counts.in_flight >= self.config.queue_depth {
             counts.rejected += 1;
             return Err(RejectReason::QueueFull);
         }
-        // The per-connection counter is only ever mutated under the
-        // global lock, so the check-then-increment below cannot race
-        // with this connection's other admissions.
+        // relaxed: the per-connection counter is only ever mutated
+        // under the global `counts` lock, whose acquire/release orders
+        // the accesses — check-then-increment cannot race.
         if conn_inflight.load(Ordering::Relaxed) >= self.config.per_conn_inflight {
             counts.rejected += 1;
             return Err(RejectReason::ConnectionBusy);
@@ -136,6 +139,7 @@ impl Admission {
         counts.in_flight += 1;
         counts.high_water = counts.high_water.max(counts.in_flight);
         counts.accepted += 1;
+        // relaxed: ordered by the held `counts` lock (see load above).
         conn_inflight.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket {
             admission: Arc::clone(self),
@@ -145,7 +149,7 @@ impl Admission {
 
     /// Point-in-time counters.
     pub fn stats(&self) -> AdmissionStats {
-        let counts = self.counts.lock().expect("admission lock");
+        let counts = self.counts.lock().unwrap_or_else(PoisonError::into_inner);
         AdmissionStats {
             in_flight: counts.in_flight,
             high_water: counts.high_water,
@@ -167,9 +171,16 @@ pub struct Ticket {
 
 impl Drop for Ticket {
     fn drop(&mut self) {
-        let mut counts = self.admission.counts.lock().expect("admission lock");
+        // Recover a poisoned lock so a panicking request still releases
+        // its slots — a leaked slot would shrink capacity forever.
+        let mut counts = self
+            .admission
+            .counts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         counts.in_flight -= 1;
         counts.completed += 1;
+        // relaxed: ordered by the held `counts` lock (see try_admit).
         self.conn_inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }

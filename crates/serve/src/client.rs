@@ -155,7 +155,10 @@ impl RemoteReport {
     ///
     /// [`SolveReport::canonical_json`]: repliflow_solver::SolveReport::canonical_json
     pub fn canonical_json(&self) -> String {
-        serde_json::to_string(&self.canonical).expect("canonical value re-serializes")
+        // Value trees always re-serialize; should that ever change, a
+        // "null" sentinel fails any downstream byte comparison loudly
+        // without panicking the client.
+        serde_json::to_string(&self.canonical).unwrap_or_else(|_| "null".into())
     }
 
     /// A string field of the canonical object (`None` when null or
@@ -234,7 +237,7 @@ impl RemoteClient {
         ];
         request.append(&mut fields);
         let line = serde_json::to_string(&Value::Object(request))
-            .expect("request serialization is infallible");
+            .map_err(|e| RemoteError::Protocol(format!("request serialization failed: {e}")))?;
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;

@@ -35,8 +35,8 @@
 
 use crate::server::ServerShared;
 use repliflow_solver::{HistogramSnapshot, SolverService};
+use repliflow_sync::sync::atomic::Ordering;
 use serde::Value;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Milliseconds as a JSON float (µs precision is plenty for wall time).
@@ -138,10 +138,14 @@ pub(crate) fn snapshot(service: &SolverService, shared: &ServerShared) -> Value 
                 ("draining".into(), Value::Bool(shared.draining())),
                 (
                     "connections_open".into(),
+                    // relaxed: point-in-time gauge for a stats page —
+                    // a stale-by-one read is indistinguishable from
+                    // reading a moment earlier.
                     Value::Int(shared.connections_open.load(Ordering::Relaxed) as i128),
                 ),
                 (
                     "connections_total".into(),
+                    // relaxed: monotone counter, same reasoning.
                     Value::Int(shared.connections_total.load(Ordering::Relaxed) as i128),
                 ),
             ]),

@@ -366,7 +366,18 @@ pub fn ok_response(id: &Value, body: Value) -> String {
         ("id".into(), id.clone()),
         ("ok".into(), body),
     ]))
-    .expect("response serialization is infallible")
+    .unwrap_or_else(|_| fallback_error_line())
+}
+
+/// A hand-assembled error line for the (unreachable in practice) case
+/// where serializing a [`Value`] tree fails: serving paths must never
+/// panic, and a malformed-but-parseable envelope beats a dead
+/// connection.
+fn fallback_error_line() -> String {
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":null,\"err\":{{\"code\":\"solve_failed\",\
+         \"message\":\"internal: response serialization failed\"}}}}"
+    )
 }
 
 /// Renders an error response line (without the trailing newline).
@@ -382,7 +393,7 @@ pub fn err_response(id: &Value, code: ErrorCode, message: &str) -> String {
             ]),
         ),
     ]))
-    .expect("response serialization is infallible")
+    .unwrap_or_else(|_| fallback_error_line())
 }
 
 /// The `ok` payload of a solve response. The `canonical` field embeds
@@ -394,7 +405,13 @@ pub fn err_response(id: &Value, code: ErrorCode, message: &str) -> String {
 ///
 /// [`canonical_json`]: SolveReport::canonical_json
 pub fn report_to_wire(report: &SolveReport) -> Value {
-    let canonical = parse_value(&report.canonical_json()).expect("canonical_json emits valid JSON");
+    // canonical_json comes from our own serializer, so the parse cannot
+    // fail; if it ever did, ship the text as an opaque string instead
+    // of panicking the connection thread.
+    let canonical = match parse_value(&report.canonical_json()) {
+        Ok(value) => value,
+        Err(_) => Value::String(report.canonical_json()),
+    };
     let cell = match report.complexity {
         repliflow_core::instance::Complexity::Polynomial(thm) => format!("polynomial ({thm})"),
         repliflow_core::instance::Complexity::NpHard(thm) => format!("NP-hard ({thm})"),

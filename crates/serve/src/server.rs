@@ -47,12 +47,12 @@ use crate::protocol::{
 };
 use crate::{metrics, signal};
 use repliflow_solver::{Budget, Deadline, SolveRequest, SolverService};
+use repliflow_sync::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use repliflow_sync::sync::{mpsc, Arc};
+use repliflow_sync::thread::JoinHandle;
 use serde::Value;
 use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Default TCP port of the daemon.
@@ -221,31 +221,44 @@ impl Server {
         while !shared.draining() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    // relaxed: gauge/counter metrics only — nothing is
+                    // ordered against these loads, stats() tolerates a
+                    // momentarily stale value.
                     shared.connections_total.fetch_add(1, Ordering::Relaxed);
                     shared.connections_open.fetch_add(1, Ordering::Relaxed);
                     let service = Arc::clone(&service);
                     let shared_conn = Arc::clone(&shared);
-                    connections.push(
-                        std::thread::Builder::new()
-                            .name("repliflow-serve-conn".into())
-                            .spawn(move || {
-                                handle_connection(stream, &service, &shared_conn);
-                                shared_conn.connections_open.fetch_sub(1, Ordering::Relaxed);
-                            })
-                            .expect("connection thread spawns"),
-                    );
+                    let spawned = repliflow_sync::thread::Builder::new()
+                        .name("repliflow-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &service, &shared_conn);
+                            // relaxed: gauge metric only (see above).
+                            shared_conn.connections_open.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    match spawned {
+                        Ok(handle) => connections.push(handle),
+                        // Spawn fails only under resource exhaustion;
+                        // shedding this connection (the dropped closure
+                        // drops the stream, hanging up on the peer) is
+                        // strictly better than panicking the accept
+                        // loop and killing every live connection.
+                        Err(_) => {
+                            // relaxed: gauge metric only (see above).
+                            shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
                     // Reap finished connection threads so a long-lived
                     // daemon's handle list doesn't grow without bound.
                     connections.retain(|h| !h.is_finished());
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
+                    repliflow_sync::thread::sleep(POLL_INTERVAL);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 // Transient accept errors (e.g. a connection reset
                 // between accept queue and accept) must not kill the
                 // daemon.
-                Err(_) => std::thread::sleep(POLL_INTERVAL),
+                Err(_) => repliflow_sync::thread::sleep(POLL_INTERVAL),
             }
         }
         // Drain: close the listener first (new connects are refused),
@@ -359,7 +372,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &A
         return;
     };
     let (tx, rx) = mpsc::channel::<String>();
-    let writer = std::thread::Builder::new()
+    let spawned = repliflow_sync::thread::Builder::new()
         .name("repliflow-serve-write".into())
         .spawn(move || {
             let mut out = BufWriter::new(write_half);
@@ -375,8 +388,13 @@ fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &A
                     return;
                 }
             }
-        })
-        .expect("writer thread spawns");
+        });
+    // Without a writer thread the connection cannot answer anything;
+    // hang up (the peer retries) rather than panic the daemon. Spawn
+    // fails only under resource exhaustion.
+    let Ok(writer) = spawned else {
+        return;
+    };
 
     let conn_inflight = Arc::new(AtomicUsize::new(0));
     let mut reader = LineReader::new(stream, shared);

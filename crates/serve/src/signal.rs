@@ -16,7 +16,7 @@
 //!
 //! [`ServerHandle::shutdown`]: crate::server::ServerHandle::shutdown
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use repliflow_sync::sync::atomic::{AtomicBool, Ordering};
 
 /// Set by the handler on SIGINT/SIGTERM; polled by the server loops.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);

@@ -7,12 +7,12 @@
 use repliflow_serve::server::{Server, ServerConfig, ServerHandle};
 use repliflow_serve::{AdmissionConfig, ErrorCode, RemoteClient, RemoteError, RemoteSolveOptions};
 use repliflow_solver::{Budget, EnginePref, SolveRequest, SolverService};
+use repliflow_sync::thread::JoinHandle;
 use serde::Value;
 use serde_json::parse_value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 fn instances_dir() -> PathBuf {
@@ -81,7 +81,7 @@ fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, JoinHandle<std::io:
     .expect("server binds an ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let handle = server.handle();
-    let join = std::thread::spawn(move || server.run());
+    let join = repliflow_sync::thread::spawn(move || server.run());
     (addr, handle, join)
 }
 
@@ -163,7 +163,7 @@ fn concurrent_clients_each_get_consistent_reports() {
         .map(|worker| {
             let paths = paths.clone();
             let expected = expected.clone();
-            std::thread::spawn(move || {
+            repliflow_sync::thread::spawn(move || {
                 let mut client = RemoteClient::connect(addr).expect("client connects");
                 // stagger which instance each worker starts with
                 for i in 0..paths.len() * 2 {
@@ -298,7 +298,7 @@ fn graceful_drain_under_load_answers_every_admitted_request() {
     stream.flush().unwrap();
     // Let the daemon parse and admit all six (parsing is microseconds;
     // each solve runs ~300ms), then ask for a drain mid-flight.
-    std::thread::sleep(Duration::from_millis(150));
+    repliflow_sync::thread::sleep(Duration::from_millis(150));
     let mut admin = RemoteClient::connect(addr).expect("admin connects");
     admin.shutdown().expect("shutdown verb acknowledged");
 

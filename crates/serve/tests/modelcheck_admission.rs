@@ -1,0 +1,142 @@
+//! Loom-model checks for [`Admission`] ticket accounting.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p repliflow-serve
+//! --test modelcheck_admission` — without `--cfg loom` this file is
+//! empty.
+//!
+//! Properties explored over every bounded-preemption interleaving:
+//! the global cap is never exceeded (high-water ≤ queue_depth), every
+//! admit is eventually matched by exactly one completion (tickets
+//! release on drop — including a drop driven by a panic unwinding),
+//! and the per-connection cap binds independently of the global one.
+#![cfg(loom)]
+
+use repliflow_serve::admission::{Admission, AdmissionConfig};
+use repliflow_sync::loom;
+use repliflow_sync::sync::atomic::{AtomicUsize, Ordering};
+use repliflow_sync::sync::Arc;
+use repliflow_sync::thread;
+
+fn conn() -> Arc<AtomicUsize> {
+    Arc::new(AtomicUsize::new(0))
+}
+
+#[test]
+fn global_cap_never_exceeded_under_concurrent_admits() {
+    let schedules = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 1,
+            per_conn_inflight: 8,
+        });
+        // Both sides HOLD their ticket until after the join, so a
+        // double-admit would be directly observable as in_flight == 2.
+        let racer = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let c = conn();
+                admission.try_admit(&c).ok()
+            })
+        };
+        let c = conn();
+        let mine = admission.try_admit(&c).ok();
+        let theirs = racer.join().expect("racer joins");
+        let stats = admission.stats();
+        // Neither holder released yet: with depth 1, exactly one of
+        // the two racing admits can have won, in every interleaving.
+        assert_eq!(stats.high_water, 1, "queue_depth=1 was exceeded");
+        assert_eq!((stats.accepted, stats.rejected), (1, 1));
+        assert_eq!(stats.in_flight, 1);
+        assert!(mine.is_some() != theirs.is_some(), "exactly one winner");
+        drop((mine, theirs));
+        let stats = admission.stats();
+        assert_eq!(stats.completed, 1, "the winner's ticket must release");
+        assert_eq!(stats.in_flight, 0);
+    })
+    .schedules;
+    eprintln!("admission_global_cap: {schedules} schedules");
+    assert!(schedules >= 4, "explored only {schedules} schedules");
+}
+
+#[test]
+fn panicking_holder_never_leaks_its_slot() {
+    // The seeded handler panic below fires once per explored schedule;
+    // silence the global hook for the duration so the test log stays
+    // readable (failures still surface through loom's ModelFailure).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let schedules = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 2,
+            per_conn_inflight: 2,
+        });
+        let worker = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let c = conn();
+                // A request handler that panics mid-flight: the RAII
+                // ticket must still release during the unwind.
+                let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ticket = admission.try_admit(&c).expect("depth 2 admits");
+                    panic!("handler panicked while holding a ticket");
+                }));
+                assert!(unwound.is_err());
+                assert_eq!(c.load(Ordering::SeqCst), 0, "conn slot leaked");
+            })
+        };
+        let c = conn();
+        let ticket = admission.try_admit(&c).expect("depth 2 admits");
+        drop(ticket);
+        worker.join().expect("worker joins");
+        let stats = admission.stats();
+        assert_eq!(stats.in_flight, 0, "a panicked holder leaked its slot");
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+    })
+    .schedules;
+    std::panic::set_hook(prev);
+    eprintln!("admission_panic_release: {schedules} schedules");
+    assert!(schedules >= 4, "explored only {schedules} schedules");
+}
+
+#[test]
+fn per_connection_cap_binds_under_races_too() {
+    let schedules = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let admission = Admission::new(AdmissionConfig {
+            queue_depth: 8,
+            per_conn_inflight: 1,
+        });
+        // One pipelining connection races two admits; a second
+        // connection must be unaffected by the first one's cap.
+        let shared_conn = conn();
+        let racer = {
+            let admission = Arc::clone(&admission);
+            let shared_conn = Arc::clone(&shared_conn);
+            thread::spawn(move || admission.try_admit(&shared_conn).ok())
+        };
+        let mine = admission.try_admit(&shared_conn).ok();
+        let theirs = racer.join().expect("racer joins");
+        let other = conn();
+        let unaffected = admission.try_admit(&other);
+        assert!(unaffected.is_ok(), "other connections must admit freely");
+        // The shared connection never exceeds its cap of 1 live ticket.
+        assert!(shared_conn.load(Ordering::SeqCst) <= 1, "conn cap exceeded");
+        drop((mine, theirs, unaffected));
+        assert_eq!(shared_conn.load(Ordering::SeqCst), 0);
+        assert_eq!(admission.stats().in_flight, 0);
+    })
+    .schedules;
+    eprintln!("admission_conn_cap: {schedules} schedules");
+    assert!(schedules >= 4, "explored only {schedules} schedules");
+}

@@ -80,7 +80,7 @@ impl EngineRegistry {
             .threads
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
+                repliflow_sync::thread::available_parallelism()
                     .map(NonZeroUsize::get)
                     .unwrap_or(1)
             })
@@ -89,7 +89,7 @@ impl EngineRegistry {
 
         let mut results: Vec<Option<Result<SolveReport, SolveError>>> =
             (0..instances.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
+        repliflow_sync::thread::scope(|scope| {
             for (input, output) in instances
                 .chunks(chunk_len)
                 .zip(results.chunks_mut(chunk_len))

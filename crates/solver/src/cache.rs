@@ -58,8 +58,8 @@
 
 use crate::report::SolveReport;
 use repliflow_core::fingerprint::InstanceFingerprint;
+use repliflow_sync::sync::{Arc, Mutex, PoisonError};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Counters describing a cache's lifetime behavior.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -293,7 +293,8 @@ impl SolveCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache lock").index.len())
+            .filter_map(|s| s.lock().ok())
+            .map(|inner| inner.index.len())
             .sum()
     }
 
@@ -306,7 +307,12 @@ impl SolveCache {
     /// shard. Counts a hit or miss. Hits return a pointer clone of the
     /// shared entry — the report itself is never deep-copied.
     pub fn get(&self, key: InstanceFingerprint) -> Option<Arc<SolveReport>> {
-        self.shard_for(key).lock().expect("cache lock").get(key)
+        // A poisoned shard (a thread unwound while relinking the LRU
+        // list) degrades to a miss: the intrusive links may be torn,
+        // so the shard is treated as opaque rather than panicking the
+        // worker — the caller just recomputes. Pinned by
+        // poisoned_shard_degrades_to_miss below.
+        self.shard_for(key).lock().ok()?.get(key)
     }
 
     /// Inserts (or refreshes) `key → report`, evicting its shard's
@@ -317,17 +323,19 @@ impl SolveCache {
     ///
     /// [`Provenance::Cached`]: crate::Provenance::Cached
     pub fn insert(&self, key: InstanceFingerprint, report: Arc<SolveReport>) {
-        self.shard_for(key)
-            .lock()
-            .expect("cache lock")
-            .insert(key, report, self.shard_capacity);
+        // Poisoned shard: skip the write (degrade-to-miss, as in get).
+        if let Ok(mut inner) = self.shard_for(key).lock() {
+            inner.insert(key, report, self.shard_capacity);
+        }
     }
 
     /// Snapshot of the lifetime counters (summed over shards).
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            total.merge(shard.lock().expect("cache lock").stats);
+            if let Ok(inner) = shard.lock() {
+                total.merge(inner.stats);
+            }
         }
         total
     }
@@ -335,12 +343,18 @@ impl SolveCache {
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut inner = shard.lock().expect("cache lock");
+            // Clearing a poisoned shard is safe (every link is reset
+            // below), and recovering it un-wedges the shard for reuse.
+            let mut inner = shard.lock().unwrap_or_else(PoisonError::into_inner);
             inner.index.clear();
             inner.entries.clear();
             inner.free.clear();
             inner.head = NIL;
             inner.tail = NIL;
+            drop(inner);
+            // Poisoning is sticky on std mutexes; the shard is now in a
+            // known-good (empty) state, so forget the old panic.
+            shard.clear_poison();
         }
     }
 }
@@ -484,6 +498,82 @@ mod tests {
         assert_eq!(cache.len(), 4);
         assert!(cache.get(key_in_shard(0, 4, 1)).is_none());
         assert!(cache.get(key_in_shard(1, 4, 2)).is_some());
+    }
+
+    #[test]
+    fn capacity_one_survives_concurrent_insert_and_hit() {
+        // A single-slot, single-shard cache is the maximal-contention
+        // configuration: every thread fights over one mutex and one
+        // LRU slot. Nothing may panic, and the invariant len ≤ 1 must
+        // hold throughout and afterwards.
+        let cache = SolveCache::new(1);
+        assert_eq!(cache.capacity(), 1);
+        repliflow_sync::thread::scope(|s| {
+            for t in 0..4u128 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..200u128 {
+                        let k = key(t * 1000 + i);
+                        cache.insert(k, Arc::new(dummy_report(1)));
+                        let _ = cache.get(k);
+                        assert!(cache.len() <= 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 800);
+    }
+
+    #[test]
+    fn hits_share_one_arc_under_contention() {
+        // A hit is a pointer clone of the inserted Arc — concurrent
+        // readers all observe the *same* allocation, never a copy.
+        let cache = SolveCache::new(8);
+        let report = Arc::new(dummy_report(5));
+        cache.insert(key(1), Arc::clone(&report));
+        repliflow_sync::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let hit = cache.get(key(1)).expect("entry stays resident");
+                        assert!(Arc::ptr_eq(&hit, &report), "hit must share the Arc");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_to_miss() {
+        let cache = SolveCache::new(4);
+        cache.insert(key(1), Arc::new(dummy_report(1)));
+        assert!(cache.get(key(1)).is_some());
+        // Poison the (only) shard: unwind while holding its lock, as a
+        // worker crashing mid-relink would.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.shards[0].lock().unwrap();
+            panic!("simulated crash while holding the shard lock");
+        }));
+        assert!(unwound.is_err());
+        // Reads degrade to a miss instead of panicking the caller…
+        assert!(cache.get(key(1)).is_none());
+        // …writes are skipped, and the aggregate views stay calm.
+        cache.insert(key(2), Arc::new(dummy_report(2)));
+        assert!(cache.get(key(2)).is_none());
+        assert_eq!(cache.len(), 0);
+        let _ = cache.stats();
+        // clear() recovers the shard for reuse.
+        cache.clear();
+        cache.insert(key(3), Arc::new(dummy_report(3)));
+        assert_eq!(
+            cache
+                .get(key(3))
+                .expect("recovered shard serves again")
+                .wall_time,
+            Duration::from_millis(3)
+        );
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

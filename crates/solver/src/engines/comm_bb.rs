@@ -53,7 +53,7 @@ impl Engine for CommBbEngine {
         // completed searches return bit-identical results at any thread
         // count, and incomplete ones are never cached.
         let mut limits = budget.bb_limits();
-        limits.parallelism = std::thread::available_parallelism()
+        limits.parallelism = repliflow_sync::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let result = solve_comm_bb(instance, seed_feasible.then_some(&seed.mapping), &limits);

@@ -52,9 +52,9 @@ use crate::pool::WorkerPool;
 use crate::report::SolveError;
 use crate::request::{Budget, CancelToken};
 use repliflow_core::instance::{CostModel, ProblemInstance, Variant};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, OnceLock};
+use repliflow_sync::sync::atomic::{AtomicU64, Ordering};
+use repliflow_sync::sync::mpsc::{self, RecvTimeoutError};
+use repliflow_sync::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Lifetime counters of a [`HedgedEngine`] (exposed through
@@ -133,8 +133,12 @@ impl HedgedEngine {
     /// Snapshot of the race counters.
     pub fn stats(&self) -> HedgeStats {
         HedgeStats {
+            // relaxed: independent monotone stat counters — the
+            // snapshot is advisory and needs no cross-counter
+            // consistency.
             races: self.races.load(Ordering::Relaxed),
             primary_wins: self.primary_wins.load(Ordering::Relaxed),
+            // relaxed: as above — advisory stat counters.
             secondary_wins: self.secondary_wins.load(Ordering::Relaxed),
             losers_cancelled: self.losers_cancelled.load(Ordering::Relaxed),
             window_rescues: self.window_rescues.load(Ordering::Relaxed),
@@ -145,7 +149,7 @@ impl HedgedEngine {
     /// concurrent hedged requests still race in parallel.
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(|| {
-            let workers = std::thread::available_parallelism()
+            let workers = repliflow_sync::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2)
                 .max(2);
@@ -156,12 +160,16 @@ impl HedgedEngine {
     /// Records a win for racer `index` and, when the loser is still
     /// outstanding, cancels it.
     fn settle(&self, index: usize, loser_outstanding: bool, loser_token: &CancelToken) {
+        // relaxed: stat counters only — no other memory is published
+        // through them; winner selection is decided by the mpsc
+        // channel, not these counts.
         match index {
             0 => self.primary_wins.fetch_add(1, Ordering::Relaxed),
             _ => self.secondary_wins.fetch_add(1, Ordering::Relaxed),
         };
         if loser_outstanding {
             loser_token.cancel();
+            // relaxed: stat counter only (see above).
             self.losers_cancelled.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -222,6 +230,7 @@ impl Engine for HedgedEngine {
             });
         }
         drop(tx);
+        // relaxed: stat counter only — nothing synchronizes on it.
         self.races.fetch_add(1, Ordering::Relaxed);
 
         let Ok((first_i, first)) = rx.recv() else {
@@ -243,6 +252,7 @@ impl Engine for HedgedEngine {
                 match rx.recv_timeout(window) {
                     Ok((second_i, Ok(second))) if second.optimal => {
                         self.settle(second_i, false, &tokens[first_i]);
+                        // relaxed: stat counter only (see settle).
                         self.window_rescues.fetch_add(1, Ordering::Relaxed);
                         Ok(second)
                     }

@@ -91,7 +91,7 @@ pub use repliflow_core::comm::{CommModel, Network, StartRule};
 pub use repliflow_core::instance::CostModel;
 
 use repliflow_core::instance::ProblemInstance;
-use std::sync::OnceLock;
+use repliflow_sync::sync::OnceLock;
 
 /// The process-wide default [`SolverService`] the free functions serve
 /// from: created lazily on first use with default builder settings
@@ -104,7 +104,7 @@ pub fn default_service() -> &'static SolverService {
 /// Solves one request through the [`default_service`] (compat wrapper —
 /// identical results to a bare [`EngineRegistry`], but repeated
 /// requests are served from the solve cache).
-pub fn solve(request: &SolveRequest) -> Result<std::sync::Arc<SolveReport>, SolveError> {
+pub fn solve(request: &SolveRequest) -> Result<repliflow_sync::sync::Arc<SolveReport>, SolveError> {
     default_service().solve(request)
 }
 
@@ -113,7 +113,7 @@ pub fn solve(request: &SolveRequest) -> Result<std::sync::Arc<SolveReport>, Solv
 /// wrapper; `reports[i]` corresponds to `instances[i]`).
 pub fn solve_batch(
     instances: &[ProblemInstance],
-) -> Vec<Result<std::sync::Arc<SolveReport>, SolveError>> {
+) -> Vec<Result<repliflow_sync::sync::Arc<SolveReport>, SolveError>> {
     default_service().solve_batch(instances)
 }
 

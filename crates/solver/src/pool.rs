@@ -19,10 +19,10 @@
 //!
 //! [`SolverService`]: crate::SolverService
 
+use repliflow_sync::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use repliflow_sync::sync::{Arc, Condvar, Mutex, PoisonError};
+use repliflow_sync::thread::JoinHandle;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -95,11 +95,13 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|index| {
                 let shared = Arc::clone(&shared);
+                // relaxed: monotonic diagnostics counter, read only by
+                // spawned_threads() for regression tests.
                 shared.spawned.fetch_add(1, Ordering::Relaxed);
-                std::thread::Builder::new()
+                repliflow_sync::thread::Builder::new()
                     .name(format!("repliflow-worker-{index}"))
                     .spawn(move || worker_loop(&shared, index))
-                    .expect("worker thread spawns")
+                    .expect("worker thread spawns") // lint: allow(no-panic-path) -- a pool with zero workers cannot serve anything; failing to spawn at startup is fatal by design
             })
             .collect();
         WorkerPool { shared, handles }
@@ -108,7 +110,7 @@ impl WorkerPool {
     /// A pool sized to the machine's available parallelism.
     pub fn with_available_parallelism() -> WorkerPool {
         WorkerPool::new(
-            std::thread::available_parallelism()
+            repliflow_sync::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
         )
@@ -124,6 +126,7 @@ impl WorkerPool {
     /// [`WorkerPool::workers`]), so the batch regression test would
     /// catch any future change that starts spawning per call.
     pub fn spawned_threads(&self) -> usize {
+        // relaxed: diagnostics read; no ordering with job execution.
         self.shared.spawned.load(Ordering::Relaxed)
     }
 
@@ -133,32 +136,52 @@ impl WorkerPool {
             run: Box::new(job),
             enqueued: Instant::now(),
         };
+        // relaxed: round-robin cursor; any interleaving of increments
+        // still deals submissions across deques, and stealing corrects
+        // imbalance anyway.
         let slot = self.shared.next_deque.fetch_add(1, Ordering::Relaxed) % self.workers();
+        // No user code runs under pool locks, so a poisoned lock only
+        // means some worker unwound mid-bookkeeping; the protected
+        // state is a plain counter/deque that is still consistent.
         self.shared.deques[slot]
             .lock()
-            .expect("pool deque lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .push_back(task);
-        let mut state = self.shared.state.lock().expect("pool state lock");
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         state.pending += 1;
         drop(state);
+        // The notify stays *after* the pending increment published
+        // under the state lock: a worker that checked `pending == 0`
+        // and parked can only have done so before our increment, so
+        // this notify reaches it (modelcheck_pool verifies; moving the
+        // increment out of the lock reintroduces a lost wakeup).
         self.shared.available.notify_one();
     }
 
     /// Cumulative time submitted jobs spent queued before a worker
     /// picked them up — the serving-layer "queue wait" statistic.
     pub fn total_queue_wait(&self) -> Duration {
+        // relaxed: statistics accumulator; readers tolerate lag.
         Duration::from_nanos(self.shared.queue_wait_nanos.load(Ordering::Relaxed))
     }
 
     /// Jobs picked up for execution (counted at pick-up, so a caller
     /// that has observed a job's result always sees it included).
     pub fn jobs_executed(&self) -> u64 {
+        // relaxed: counted at pick-up; callers that observed a job's
+        // result are ordered after the increment via the channel/lock
+        // that delivered the result, not via this load.
         self.shared.jobs_executed.load(Ordering::Relaxed)
     }
 
     /// Cumulative wall time workers spent *running* jobs (as opposed to
     /// parked) — the numerator of the utilization statistic.
     pub fn total_busy(&self) -> Duration {
+        // relaxed: statistics accumulator; readers tolerate lag.
         Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed))
     }
 
@@ -182,7 +205,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state lock");
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             state.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -196,7 +223,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     loop {
         // Claim one pending job (or exit once drained + shut down).
         {
-            let mut state = shared.state.lock().expect("pool state lock");
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if state.pending > 0 {
                     state.pending -= 1;
@@ -205,7 +232,10 @@ fn worker_loop(shared: &Shared, index: usize) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.available.wait(state).expect("pool state lock");
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         // Find the claimed job: own deque front first, then steal from
@@ -215,7 +245,9 @@ fn worker_loop(shared: &Shared, index: usize) {
             let n = shared.deques.len();
             for offset in 0..n {
                 let slot = (index + offset) % n;
-                let mut deque = shared.deques[slot].lock().expect("pool deque lock");
+                let mut deque = shared.deques[slot]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 let popped = if offset == 0 {
                     deque.pop_front()
                 } else {
@@ -226,14 +258,16 @@ fn worker_loop(shared: &Shared, index: usize) {
                 }
             }
             // Another claimant's push/pop is mid-flight; yield and rescan.
-            std::thread::yield_now();
+            repliflow_sync::thread::yield_now();
         };
         let waited = task.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // relaxed: statistics accumulator; see total_queue_wait().
         shared.queue_wait_nanos.fetch_add(waited, Ordering::Relaxed);
         // Counted at pick-up (not completion) so that by the time a
         // job's *result* is observable anywhere, the job is in the
         // count — callers reading the counter after collecting a batch
         // see every one of the batch's jobs.
+        // relaxed: see jobs_executed() — result delivery orders it.
         shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
         // A panicking job must not take the worker down with it: the
         // pool stays full-strength for the next request and the panic
@@ -241,6 +275,7 @@ fn worker_loop(shared: &Shared, index: usize) {
         let run_start = Instant::now();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.run));
         let busy = run_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // relaxed: statistics accumulator; see total_busy().
         shared.busy_nanos.fetch_add(busy, Ordering::Relaxed);
     }
 }
@@ -248,8 +283,8 @@ fn worker_loop(shared: &Shared, index: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::mpsc;
+    use repliflow_sync::sync::atomic::AtomicUsize;
+    use repliflow_sync::sync::mpsc;
 
     #[test]
     fn executes_every_job_exactly_once() {

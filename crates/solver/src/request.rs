@@ -4,8 +4,8 @@
 
 use repliflow_core::fingerprint::{Fingerprinter, InstanceFingerprint};
 use repliflow_core::instance::ProblemInstance;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use repliflow_sync::sync::atomic::{AtomicBool, Ordering};
+use repliflow_sync::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which engine the registry should route a request to.

@@ -77,11 +77,11 @@ use crate::report::{Optimality, Provenance, SolveError, SolveReport};
 use crate::request::{Budget, EnginePref, Quality, SolveRequest};
 use repliflow_core::fingerprint::InstanceFingerprint;
 use repliflow_core::instance::ProblemInstance;
+use repliflow_sync::sync::atomic::{AtomicUsize, Ordering};
+use repliflow_sync::sync::mpsc::{self, Receiver};
+use repliflow_sync::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Default solve-cache capacity (reports). Reports are small (a
@@ -317,7 +317,10 @@ impl ServiceCore {
     }
 
     fn note(&self, update: impl FnOnce(&mut StatsInner)) {
-        update(&mut self.stats.lock().expect("stats lock"));
+        // The stats mutex only ever guards counter bumps (no user code
+        // runs under it), so a poisoned lock holds valid counters —
+        // recover rather than panic the serving path.
+        update(&mut self.stats.lock().unwrap_or_else(PoisonError::into_inner));
     }
 }
 
@@ -446,7 +449,12 @@ fn maybe_escalate(
     }
     let key = key.unwrap_or_else(|| request.fingerprint());
     {
-        let mut keys = esc.inflight_keys.lock().expect("escalation keys lock");
+        // Key-set ops are plain HashSet insert/remove — a poisoned lock
+        // still holds a coherent set, so recover instead of panicking.
+        let mut keys = esc
+            .inflight_keys
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if !keys.insert(key) {
             esc.inflight.fetch_sub(1, Ordering::SeqCst);
             core.note(|s| s.escalation.shed += 1);
@@ -471,10 +479,15 @@ fn maybe_escalate(
             Ok(Ok(_)) => core.note(|s| s.escalation.unimproved += 1),
             Ok(Err(_)) | Err(_) => core.note(|s| s.escalation.failed += 1),
         }
-        let esc = core.escalation.as_ref().expect("escalation state exists");
+        // Escalation state is immutable once built and this job was
+        // submitted through it, so `else` is defensively unreachable —
+        // skipping cleanup beats panicking a pool worker.
+        let Some(esc) = core.escalation.as_ref() else {
+            return;
+        };
         esc.inflight_keys
             .lock()
-            .expect("escalation keys lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&key);
         esc.inflight.fetch_sub(1, Ordering::SeqCst);
     });
@@ -605,7 +618,7 @@ impl SolverBuilder {
         let workers = self
             .workers
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
+                repliflow_sync::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
             })
@@ -906,7 +919,11 @@ impl SolverService {
 
     /// Snapshot of the serving statistics.
     pub fn stats(&self) -> ServiceStats {
-        let inner = self.core.stats.lock().expect("stats lock");
+        let inner = self
+            .core
+            .stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut per_engine: Vec<EngineWall> = inner
             .per_engine
             .iter()
@@ -954,7 +971,7 @@ impl SolverService {
             return;
         };
         while esc.inflight.load(Ordering::SeqCst) > 0 {
-            std::thread::yield_now();
+            repliflow_sync::thread::yield_now();
         }
     }
 }

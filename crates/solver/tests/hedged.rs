@@ -11,8 +11,8 @@ use repliflow_solver::{
     Budget, CommModel, Engine, EnginePref, EngineRun, HedgeStats, HedgedEngine, Optimality,
     SolveError, SolveRequest, SolverService,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use repliflow_sync::sync::atomic::{AtomicU64, Ordering};
+use repliflow_sync::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn comm_instance(seed: u64, n: usize, p: usize) -> ProblemInstance {
@@ -77,7 +77,7 @@ impl Engine for Scripted {
 
     fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Result<EngineRun, SolveError> {
         self.runs.fetch_add(1, Ordering::SeqCst);
-        std::thread::sleep(self.delay);
+        repliflow_sync::thread::sleep(self.delay);
         if self.fail {
             return Err(SolveError::EnginePanicked);
         }

@@ -1,0 +1,81 @@
+//! Loom-model checks for the [`CancelToken`] pre-start gate.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p repliflow-solver
+//! --test modelcheck_cancel` — without `--cfg loom` this file is empty.
+//!
+//! The serving layer's contract (hedged racer, batch slots): a solve
+//! checks `is_cancelled()` *before* starting the engine; a `cancel()`
+//! that completes before that check must be observed, in every
+//! interleaving — a racer that starts anyway wastes a worker for the
+//! whole solve. Cancellation is one `SeqCst` flag, so the model also
+//! pins the clone-visibility property: flipping any clone flips all.
+#![cfg(loom)]
+
+use repliflow_solver::CancelToken;
+use repliflow_sync::loom;
+use repliflow_sync::sync::atomic::{AtomicBool, Ordering};
+use repliflow_sync::sync::Arc;
+use repliflow_sync::thread;
+
+#[test]
+fn cancel_before_the_gate_always_stops_the_start() {
+    let schedules = loom::Builder {
+        max_preemptions: 3,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let token = CancelToken::new();
+        let gate_token = token.clone();
+        let started = Arc::new(AtomicBool::new(false));
+        let started2 = Arc::clone(&started);
+        // The "solve" side: pre-start gate, then the work's first op.
+        let solver = thread::spawn(move || {
+            if !gate_token.is_cancelled() {
+                started2.store(true, Ordering::SeqCst);
+            }
+        });
+        // The "caller" side: cancels, then observes whether the solve
+        // slipped through the gate first.
+        token.cancel();
+        let started_before_join = started.load(Ordering::SeqCst);
+        solver.join().expect("solver joins");
+        // Both orders of {cancel, gate} are legal. What must NEVER
+        // happen: the caller observes `started` *and* a later gate
+        // check still reads un-cancelled — i.e. once cancel() returns,
+        // every subsequent is_cancelled() is true.
+        assert!(token.is_cancelled(), "cancel() must be durable");
+        if started_before_join {
+            // The gate ran first — fine; but it can only have read
+            // `false` before our cancel, never after.
+            assert!(started.load(Ordering::SeqCst));
+        }
+    })
+    .schedules;
+    eprintln!("cancel_gate: {schedules} schedules");
+    assert!(schedules >= 4, "explored only {schedules} schedules");
+}
+
+#[test]
+fn cancel_through_any_clone_is_visible_to_every_clone() {
+    let schedules = loom::Builder {
+        max_preemptions: 3,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let original = CancelToken::new();
+        let racer_a = original.clone();
+        let racer_b = original.clone();
+        let canceller = thread::spawn(move || {
+            racer_a.cancel();
+        });
+        // Whatever this observes mid-race, after the join the flip is
+        // visible through the *other* clone and the original alike.
+        let _mid_race = racer_b.is_cancelled();
+        canceller.join().expect("canceller joins");
+        assert!(racer_b.is_cancelled(), "clone must observe the cancel");
+        assert!(original.is_cancelled(), "original must observe it too");
+    })
+    .schedules;
+    eprintln!("cancel_clone_visibility: {schedules} schedules");
+    assert!(schedules >= 4, "explored only {schedules} schedules");
+}

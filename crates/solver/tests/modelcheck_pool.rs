@@ -1,0 +1,176 @@
+//! Loom-model checks for the [`WorkerPool`] park/unpark handshake.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p repliflow-solver
+//! --test modelcheck_pool` — without `--cfg loom` this file is empty.
+//!
+//! The pool's safety argument (pool.rs `submit`): the pending
+//! increment is published under the state lock and the notify happens
+//! after it, so a worker that observed `pending == 0` and parked must
+//! have parked *before* the increment, and the notify reaches it.
+//! These tests explore every bounded-preemption interleaving of that
+//! handshake: no lost wakeup (every submitted job runs), no shutdown
+//! deadlock (drop always joins). A deliberately broken variant — the
+//! pending count moved *out* of the lock — is checked to fail, and its
+//! failing schedule to replay deterministically.
+#![cfg(loom)]
+
+use repliflow_solver::pool::WorkerPool;
+use repliflow_sync::loom;
+use repliflow_sync::sync::atomic::{AtomicUsize, Ordering};
+use repliflow_sync::sync::{Arc, Condvar, Mutex};
+use repliflow_sync::thread;
+
+#[test]
+fn submit_then_drop_runs_the_job_in_every_interleaving() {
+    let report = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1);
+        let ran2 = Arc::clone(&ran);
+        pool.submit(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool); // shutdown must drain: join only returns once the job ran
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "lost wakeup: job never ran");
+    });
+    eprintln!("submit_then_drop: {} schedules", report.schedules);
+    assert!(
+        report.schedules >= 40,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+#[test]
+fn two_submitters_one_worker_both_jobs_run() {
+    let report = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = Arc::new(WorkerPool::new(1));
+        let submitter = {
+            let (pool, ran) = (Arc::clone(&pool), Arc::clone(&ran));
+            thread::spawn(move || {
+                let ran2 = Arc::clone(&ran);
+                pool.submit(move || {
+                    ran2.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        };
+        let ran3 = Arc::clone(&ran);
+        pool.submit(move || {
+            ran3.fetch_add(1, Ordering::SeqCst);
+        });
+        submitter.join().expect("submitter joins");
+        drop(
+            Arc::try_unwrap(pool).unwrap_or_else(|_| panic!("root holds the last pool reference")),
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "a submission was lost");
+    });
+    eprintln!("two_submitters: {} schedules", report.schedules);
+    assert!(
+        report.schedules >= 200,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+#[test]
+fn empty_pool_shutdown_never_deadlocks() {
+    let report = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .model(|| {
+        // Parked, never-signalled workers must still see shutdown.
+        drop(WorkerPool::new(2));
+    });
+    eprintln!("empty_pool_shutdown: {} schedules", report.schedules);
+    assert!(
+        report.schedules >= 2,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// The mini-pool handshake with the pending count *outside* the mutex
+/// — exactly the regression `WorkerPool::submit`'s comment warns
+/// about. `publish_under_lock` selects the correct vs broken variant.
+fn mini_pool_handshake(publish_under_lock: bool) {
+    let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let pending = Arc::new(AtomicUsize::new(0));
+
+    let worker = {
+        let (state, pending) = (Arc::clone(&state), Arc::clone(&pending));
+        thread::spawn(move || {
+            let (lock, cv) = &*state;
+            let mut guard = lock.lock().unwrap();
+            loop {
+                let ready = if publish_under_lock {
+                    *guard > 0
+                } else {
+                    pending.load(Ordering::SeqCst) > 0
+                };
+                if ready {
+                    return;
+                }
+                guard = cv.wait(guard).unwrap();
+            }
+        })
+    };
+
+    let (lock, cv) = &*state;
+    if publish_under_lock {
+        // Correct: the worker cannot sit between its check and its
+        // park while we hold the lock, so the notify always lands.
+        *lock.lock().unwrap() += 1;
+    } else {
+        // Broken: the increment needs no lock, so it can slip into the
+        // gap between the worker's check and its park — the notify
+        // then fires before the worker waits, and is lost.
+        pending.fetch_add(1, Ordering::SeqCst);
+    }
+    cv.notify_one();
+    worker.join().expect("worker exits");
+}
+
+#[test]
+fn broken_handshake_is_found_and_its_schedule_replays() {
+    // The correct variant survives exhaustive exploration…
+    let ok = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .check(|| mini_pool_handshake(true))
+    .expect("publish-under-lock handshake has no lost wakeup");
+    assert!(ok.complete, "correct variant should explore to completion");
+
+    // …the broken one is caught as a deadlock, with a schedule.
+    let failure = loom::Builder {
+        max_preemptions: 2,
+        max_schedules: 50_000,
+    }
+    .check(|| mini_pool_handshake(false))
+    .expect_err("increment outside the lock must lose a wakeup");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock, got: {}",
+        failure.message
+    );
+
+    // The recorded schedule replays the failure deterministically —
+    // this is the debugging loop a real regression would use.
+    let replayed = loom::replay(|| mini_pool_handshake(false), &failure.schedule)
+        .expect_err("failing schedule must reproduce the deadlock");
+    assert!(replayed.message.contains("deadlock"));
+    assert_eq!(replayed.schedules, 1, "replay runs exactly one schedule");
+
+    // And the fix passes under the exact schedule that broke the bug.
+    loom::replay(|| mini_pool_handshake(true), &failure.schedule)
+        .expect("fixed handshake survives the once-failing schedule");
+}

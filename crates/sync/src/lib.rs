@@ -1,0 +1,58 @@
+//! **repliflow-sync** — the workspace's single doorway to concurrency
+//! primitives.
+//!
+//! Every crate imports `Mutex`, `Condvar`, channels, atomics and
+//! threads from here instead of `std::sync`/`std::thread` (enforced by
+//! `repliflow-lint`'s `no-std-sync` rule). In a normal build the
+//! modules below are plain re-exports — zero cost, identical types.
+//! Under `RUSTFLAGS="--cfg loom"` they switch to the vendored
+//! loom-lite shims, whose operations are scheduling points of a
+//! deterministic model checker, so the `modelcheck_*` test suites can
+//! exhaustively explore thread interleavings of the real production
+//! code. See `docs/CONCURRENCY.md` for the rules and workflow.
+//!
+//! Two deliberate exceptions stay on std under both cfgs:
+//!
+//! * [`sync::Arc`] — the sequentialized explorer cannot race reference
+//!   counts, and a shimmed `Arc` would lose unsized coercion
+//!   (`Arc<dyn Engine>`) on stable.
+//! * [`thread::scope`] — scoped spawns borrow from the parent stack;
+//!   the model scheduler only manages `'static` threads. Code using
+//!   `scope` (comm-bb root parallelism, batch fan-out) is exercised by
+//!   stress tests instead of models.
+
+/// `std::sync` facade: loom-lite shims under `cfg(loom)`.
+#[cfg(loom)]
+pub mod sync {
+    pub use loom::sync::{
+        atomic, mpsc, Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock,
+        RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
+    pub use std::sync::Weak;
+}
+
+/// `std::sync` facade: direct re-export in normal builds.
+#[cfg(not(loom))]
+pub mod sync {
+    pub use std::sync::*;
+}
+
+/// `std::thread` facade: loom-lite shims under `cfg(loom)`.
+#[cfg(loom)]
+pub mod thread {
+    pub use loom::thread::{available_parallelism, sleep, spawn, yield_now, Builder, JoinHandle};
+    // Scoped threads and introspection stay on std (see crate docs).
+    pub use std::thread::{current, panicking, scope, Result, Scope, ScopedJoinHandle, Thread};
+}
+
+/// `std::thread` facade: direct re-export in normal builds.
+#[cfg(not(loom))]
+pub mod thread {
+    pub use std::thread::*;
+}
+
+/// The model-checker entry points, available only under `cfg(loom)`
+/// so `modelcheck_*` suites can write `repliflow_sync::loom::model(..)`
+/// without a direct vendor dependency.
+#[cfg(loom)]
+pub use loom;

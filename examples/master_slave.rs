@@ -19,7 +19,7 @@ fn request(
     workflow: impl Into<Workflow>,
     platform: &Platform,
     objective: Objective,
-) -> std::sync::Arc<SolveReport> {
+) -> repliflow_sync::sync::Arc<SolveReport> {
     solve(&SolveRequest::new(ProblemInstance {
         cost_model: repliflow_core::instance::CostModel::Simplified,
         workflow: workflow.into(),

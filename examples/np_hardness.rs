@@ -17,7 +17,10 @@ use repliflow::solver::{EnginePref, SolveReport, SolveRequest};
 use std::time::Instant;
 
 /// Exhaustive minimum-latency solve of a reduced pipeline instance.
-fn exact_min_latency(pipeline: &Pipeline, platform: &Platform) -> std::sync::Arc<SolveReport> {
+fn exact_min_latency(
+    pipeline: &Pipeline,
+    platform: &Platform,
+) -> repliflow_sync::sync::Arc<SolveReport> {
     let request = SolveRequest::new(ProblemInstance::new(
         pipeline.clone(),
         platform.clone(),

@@ -33,6 +33,8 @@ EXTERNAL_FLAGS = {
     "--release",  # cargo
     "--bin",  # cargo
     "--no-deps",  # cargo doc
+    "--test",  # cargo test (integration-test selector)
+    "--cfg",  # rustc, via RUSTFLAGS (the loom model-check builds)
 }
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

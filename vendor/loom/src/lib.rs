@@ -1,0 +1,360 @@
+//! Vendored **loom-lite**: an offline, dependency-free model checker
+//! for the repliflow concurrency facade, API-compatible with the
+//! subset of [loom](https://docs.rs/loom) this workspace uses.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let handle = loom::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     handle.join().expect("joins");
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.schedules >= 2);
+//! ```
+//!
+//! The closure is executed under **every** thread interleaving within
+//! a bounded-preemption search (see [`Builder`]); a failing execution
+//! reports its *schedule string*, which [`replay`] re-runs exactly.
+//! See `vendor/loom/src/rt.rs` for the scheduler and the memory-model
+//! caveats (operation interleavings are explored exhaustively; weak
+//! memory reorderings are not).
+//!
+//! Outside a [`model`] run, every shim falls back to the real std
+//! primitive, so `--cfg loom` builds of code that never enters a model
+//! remain fully functional.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{replay, Builder, ModelFailure, Report};
+
+/// Checks `f` under every schedule the default [`Builder`] explores,
+/// panicking with a replayable schedule string on the first failure.
+pub fn model<F: Fn()>(f: F) -> Report {
+    Builder::default().model(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+
+    #[test]
+    fn sequential_closure_runs_once() {
+        let report = crate::model(|| {
+            let m = Mutex::new(1);
+            *m.lock().expect("lock") += 1;
+            assert_eq!(*m.lock().expect("lock"), 2);
+        });
+        assert_eq!(report.schedules, 1);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn explores_multiple_schedules() {
+        let report = crate::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let h = crate::thread::spawn(move || {
+                f2.store(true, Ordering::SeqCst);
+            });
+            // Both outcomes must be reachable; we only assert type
+            // safety here — the counting test below checks coverage.
+            let _ = flag.load(Ordering::SeqCst);
+            h.join().expect("joins");
+            assert!(flag.load(Ordering::SeqCst));
+        });
+        assert!(report.schedules >= 2, "only {} schedules", report.schedules);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn finds_atomicity_violation_and_replays_it() {
+        // Classic lost update: read-modify-write split across two
+        // atomic ops instead of one fetch_add.
+        let racy = || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let c = Arc::clone(&counter);
+                handles.push(crate::thread::spawn(move || {
+                    let seen = c.load(Ordering::SeqCst);
+                    c.store(seen + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().expect("joins");
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let failure = crate::Builder::default()
+            .check(racy)
+            .expect_err("the lost update must be found");
+        assert!(
+            failure.message.contains("lost update"),
+            "{}",
+            failure.message
+        );
+        assert!(!failure.schedule.is_empty());
+        // The captured schedule reproduces the same failure on the
+        // first try, and a corrected closure passes under any replay.
+        let replayed =
+            crate::replay(racy, &failure.schedule).expect_err("failing schedule must reproduce");
+        assert!(replayed.message.contains("lost update"));
+        crate::replay(
+            || {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let c = Arc::clone(&counter);
+                    handles.push(crate::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("joins");
+                }
+                assert_eq!(counter.load(Ordering::SeqCst), 2);
+            },
+            &failure.schedule,
+        )
+        .expect("fixed closure passes under the old failing schedule");
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let report = crate::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = crate::thread::spawn(move || {
+                let mut g = m2.lock().expect("lock");
+                let seen = *g;
+                *g = seen + 1;
+            });
+            {
+                let mut g = m.lock().expect("lock");
+                let seen = *g;
+                *g = seen + 1;
+            }
+            h.join().expect("joins");
+            assert_eq!(*m.lock().expect("lock"), 2);
+        });
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn detects_deadlock_with_schedule() {
+        let failure = crate::Builder::default()
+            .check(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = crate::thread::spawn(move || {
+                    let _ga = a2.lock().expect("lock a");
+                    let _gb = b2.lock().expect("lock b");
+                });
+                let _gb = b.lock().expect("lock b");
+                let _ga = a.lock().expect("lock a");
+                drop((_gb, _ga));
+                h.join().expect("joins");
+            })
+            .expect_err("lock-order inversion must deadlock somewhere");
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    #[test]
+    fn condvar_handshake_with_notify_under_lock_passes() {
+        let report = crate::model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let h = crate::thread::spawn(move || {
+                let (lock, cv) = &*s2;
+                *lock.lock().expect("lock") = true;
+                cv.notify_one();
+            });
+            let (lock, cv) = &*state;
+            let mut ready = lock.lock().expect("lock");
+            while !*ready {
+                ready = cv.wait(ready).expect("wait");
+            }
+            drop(ready);
+            h.join().expect("joins");
+        });
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn condvar_lost_wakeup_found_when_publish_outside_lock() {
+        // The notifier publishes through an atomic and notifies
+        // without ever holding the mutex: the notification can land in
+        // the waiter's check→wait gap and be lost for good.
+        let failure = crate::Builder::default()
+            .check(|| {
+                let ready = Arc::new(AtomicBool::new(false));
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let (r2, p2) = (Arc::clone(&ready), Arc::clone(&pair));
+                let h = crate::thread::spawn(move || {
+                    r2.store(true, Ordering::SeqCst);
+                    p2.1.notify_one();
+                });
+                let (lock, cv) = &*pair;
+                let mut guard = lock.lock().expect("lock");
+                while !ready.load(Ordering::SeqCst) {
+                    guard = cv.wait(guard).expect("wait");
+                }
+                drop(guard);
+                h.join().expect("joins");
+            })
+            .expect_err("lost wakeup must be found");
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    #[test]
+    fn rwlock_readers_exclude_writer() {
+        let report = crate::model(|| {
+            let l = Arc::new(RwLock::new(7u32));
+            let l2 = Arc::clone(&l);
+            let h = crate::thread::spawn(move || {
+                *l2.write().expect("write") += 1;
+            });
+            let seen = *l.read().expect("read");
+            assert!(seen == 7 || seen == 8);
+            h.join().expect("joins");
+            assert_eq!(*l.read().expect("read"), 8);
+        });
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn mpsc_delivers_and_disconnects() {
+        let report = crate::model(|| {
+            let (tx, rx) = mpsc::channel::<u32>();
+            let h = crate::thread::spawn(move || {
+                tx.send(1).expect("send");
+                tx.send(2).expect("send");
+            });
+            assert_eq!(rx.recv().expect("recv"), 1);
+            assert_eq!(rx.recv().expect("recv"), 2);
+            h.join().expect("joins");
+            assert!(rx.recv().is_err(), "all senders gone");
+        });
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn mpsc_recv_timeout_fires_only_when_stuck() {
+        let report = crate::model(|| {
+            let (tx, rx) = mpsc::channel::<u32>();
+            let h = crate::thread::spawn(move || {
+                tx.send(9).expect("send");
+                // keep tx alive until after the send
+            });
+            // Either the value arrives, or (on schedules where this
+            // thread runs ahead and the model's logical timeout fires)
+            // Timeout — never Disconnected while tx is alive and
+            // unsent items remain possible.
+            match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                Ok(v) => assert_eq!(v, 9),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    assert_eq!(rx.recv().expect("value still arrives"), 9);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("sender was alive")
+                }
+            }
+            h.join().expect("joins");
+        });
+        assert!(report.schedules >= 1);
+    }
+
+    #[test]
+    fn fallback_mode_without_model_uses_std() {
+        // No model() wrapper: the shims must behave as plain std.
+        let m = Mutex::new(5);
+        assert_eq!(*m.lock().expect("lock"), 5);
+        let (tx, rx) = mpsc::channel();
+        let h = crate::thread::spawn(move || tx.send(42).expect("send"));
+        assert_eq!(rx.recv().expect("recv"), 42);
+        h.join().expect("joins");
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::SeqCst);
+        assert!(flag.load(Ordering::SeqCst));
+        assert!(crate::thread::available_parallelism().expect("cores").get() >= 1);
+    }
+
+    #[test]
+    fn join_handle_reports_finish_and_value() {
+        let report = crate::model(|| {
+            let h = crate::thread::spawn(|| 21 * 2);
+            let value = h.join().expect("joins");
+            assert_eq!(value, 42);
+        });
+        assert!(report.schedules >= 1);
+        // is_finished in fallback mode
+        let h = crate::thread::spawn(|| ());
+        h.join().expect("joins");
+    }
+
+    #[test]
+    fn yield_now_hands_over_and_spin_waits_terminate() {
+        let report = crate::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let h = crate::thread::spawn(move || {
+                f2.store(true, Ordering::SeqCst);
+            });
+            while !flag.load(Ordering::SeqCst) {
+                crate::thread::yield_now();
+            }
+            h.join().expect("joins");
+        });
+        assert!(report.schedules >= 1);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn preemption_bound_caps_exploration() {
+        let small = crate::Builder {
+            max_preemptions: 0,
+            max_schedules: 10_000,
+        }
+        .check(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let h = crate::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("joins");
+        })
+        .expect("no failure");
+        let full = crate::Builder {
+            max_preemptions: 3,
+            max_schedules: 10_000,
+        }
+        .check(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let h = crate::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("joins");
+        })
+        .expect("no failure");
+        assert!(
+            full.schedules > small.schedules,
+            "bound 3 ({}) must explore more than bound 0 ({})",
+            full.schedules,
+            small.schedules
+        );
+    }
+}

@@ -1,0 +1,673 @@
+//! The model-checking runtime: a cooperative scheduler that runs one
+//! model thread at a time and explores the tree of scheduling
+//! decisions by depth-first search.
+//!
+//! Every shimmed operation (atomic access, mutex acquire, channel
+//! send/recv, spawn, yield) calls a *yield point* before taking
+//! effect, handing the scheduler a chance to switch threads. Each
+//! switch away from a still-runnable thread is a *preemption*; the
+//! exploration is exhaustive up to a configurable preemption bound
+//! (the classic CHESS-style bounded search — most interleaving bugs
+//! need very few preemptions to surface).
+//!
+//! Model threads are real OS threads parked on a condvar; exactly one
+//! is marked `active` and allowed to run between scheduling points, so
+//! shim internals never race and every execution is deterministic
+//! given its decision sequence. That sequence — the chosen thread id
+//! at each decision point, rendered as `"0,1,1,0"` — is the *schedule
+//! string*: a failing schedule is printed on failure and can be
+//! replayed exactly with [`replay`].
+//!
+//! **Memory model.** Because the checker sequentializes execution, all
+//! atomics behave as sequentially consistent regardless of their
+//! declared `Ordering` — this explores interleavings of *operations*,
+//! not weak-memory reorderings. Lost wakeups, deadlocks, ticket leaks
+//! and torn state machines are all interleaving bugs and are in scope;
+//! `Relaxed`-vs-`Acquire` fence placement is not.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind model threads once an execution has
+/// failed or been abandoned; never surfaces to user code.
+pub(crate) struct LoomAbort;
+
+/// Livelock backstop: scheduling points allowed in one execution.
+const MAX_OPS_PER_EXECUTION: usize = 250_000;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler context of the calling thread, when it is a model
+/// thread of a live execution. `None` means the shims fall back to
+/// plain std behaviour.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// May be chosen as the next active thread.
+    Runnable,
+    /// Waiting on a resource; a waker must mark it runnable. `timed`
+    /// waits (condvar/channel timeouts) are eligible for the
+    /// timeout-firing escape when the whole execution would otherwise
+    /// deadlock.
+    Blocked {
+        timed: bool,
+    },
+    Finished,
+}
+
+/// One branch point of the DFS: the runnable candidates at a moment
+/// where the scheduler had a choice, and which one this execution took.
+#[derive(Clone, Debug)]
+struct Decision {
+    /// Deterministically ordered candidate thread ids (the yielding
+    /// thread first when it is still runnable, then ascending).
+    candidates: Vec<usize>,
+    /// Index into `candidates` taken by the current execution.
+    chosen: usize,
+    /// `true` when the thread that was active at the decision is still
+    /// runnable: choosing any candidate but the first (itself) then
+    /// costs one preemption. Forced switches (block/finish) are free.
+    voluntary: bool,
+    /// Preemptions already spent on the path above this decision.
+    preemptions_before: usize,
+}
+
+impl Decision {
+    fn cost(&self, index: usize) -> usize {
+        usize::from(self.voluntary && index != 0)
+    }
+}
+
+struct Sched {
+    active: usize,
+    threads: Vec<TState>,
+    /// Set when a deadlock-escape timeout fired for the thread; the
+    /// timed wait that observes it reports a timeout.
+    timed_out: Vec<bool>,
+    /// Threads blocked joining on the indexed thread.
+    joiners: Vec<Vec<usize>>,
+    decisions: Vec<Decision>,
+    depth: usize,
+    /// Forced choices (thread ids) consumed once `decisions` is
+    /// exhausted — the [`replay`] mechanism.
+    forced: VecDeque<usize>,
+    /// Scheduling points seen this execution; a backstop cap turns
+    /// livelocks (e.g. two threads spin-yielding at each other) into a
+    /// reported failure instead of a hang.
+    ops: usize,
+    preemptions: usize,
+    failure: Option<Failure>,
+    done: bool,
+    live: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Failure {
+    message: String,
+    schedule: String,
+}
+
+impl Sched {
+    fn schedule_string(&self) -> String {
+        self.decisions
+            .iter()
+            .take(self.depth)
+            .map(|d| d.candidates[d.chosen].to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t] == TState::Runnable)
+            .collect()
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                message,
+                schedule: self.schedule_string(),
+            });
+        }
+    }
+
+    /// Bumps the per-execution scheduling-point counter, failing on
+    /// the livelock backstop.
+    fn count_op(&mut self) {
+        self.ops += 1;
+        if self.ops == MAX_OPS_PER_EXECUTION {
+            self.fail(format!(
+                "execution exceeded {MAX_OPS_PER_EXECUTION} scheduling points (livelock?)"
+            ));
+        }
+    }
+
+    /// Picks the next active thread among the runnable ones (the
+    /// yielding thread first when still runnable), recording or
+    /// replaying a decision when there is a real choice.
+    ///
+    /// `exclude_me` models `yield_now`: the yielding thread stays
+    /// runnable but hands the CPU to someone else when anyone else can
+    /// run (otherwise a spin-yield loop would be scheduled forever and
+    /// no execution of a spin-wait model would terminate). The switch
+    /// is free — it was invited.
+    fn choose(&mut self, me: usize, me_runnable: bool, exclude_me: bool) {
+        let mut candidates = self.runnable();
+        if me_runnable {
+            candidates.retain(|&t| t != me);
+            if exclude_me {
+                if candidates.is_empty() {
+                    // Nobody else to hand over to: keep spinning.
+                    self.active = me;
+                    return;
+                }
+            } else {
+                candidates.insert(0, me);
+            }
+        }
+        debug_assert!(!candidates.is_empty());
+        if candidates.len() == 1 {
+            self.active = candidates[0];
+            return;
+        }
+        let index = if self.depth < self.decisions.len() {
+            // Re-executing a recorded prefix (DFS backtrack replay).
+            let recorded = &self.decisions[self.depth];
+            if recorded.candidates != candidates {
+                self.fail(format!(
+                    "non-deterministic execution: decision {} saw candidates {:?}, \
+                     previously {:?} (model closures must be deterministic)",
+                    self.depth, candidates, recorded.candidates
+                ));
+                return;
+            }
+            recorded.chosen
+        } else if let Some(tid) = self.forced.pop_front() {
+            // Replaying a captured schedule string.
+            let index = candidates.iter().position(|&c| c == tid).unwrap_or(0);
+            self.decisions.push(Decision {
+                candidates: candidates.clone(),
+                chosen: index,
+                voluntary: me_runnable && !exclude_me,
+                preemptions_before: self.preemptions,
+            });
+            index
+        } else {
+            // Fresh decision: take the first candidate; siblings are
+            // explored by `advance` on later executions.
+            self.decisions.push(Decision {
+                candidates: candidates.clone(),
+                chosen: 0,
+                voluntary: me_runnable && !exclude_me,
+                preemptions_before: self.preemptions,
+            });
+            0
+        };
+        self.preemptions += self.decisions[self.depth].cost(index);
+        self.active = candidates[index];
+        self.depth += 1;
+    }
+
+    /// Called when no thread is runnable: fire a pending timed wait
+    /// (timeouts only elapse when nothing else can make progress,
+    /// which keeps executions finite and deterministic) or declare a
+    /// deadlock.
+    fn no_runnable(&mut self) {
+        if self.live == 0 {
+            self.done = true;
+            return;
+        }
+        let timed =
+            (0..self.threads.len()).find(|&t| self.threads[t] == TState::Blocked { timed: true });
+        match timed {
+            Some(t) => {
+                self.threads[t] = TState::Runnable;
+                self.timed_out[t] = true;
+                self.active = t;
+            }
+            None => {
+                let blocked: Vec<usize> = (0..self.threads.len())
+                    .filter(|&t| matches!(self.threads[t], TState::Blocked { .. }))
+                    .collect();
+                self.fail(format!(
+                    "deadlock: no runnable thread (blocked: {blocked:?})"
+                ));
+            }
+        }
+    }
+}
+
+/// One execution of the model closure under one schedule prefix.
+pub(crate) struct Execution {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    /// OS handles of spawned model threads, joined by the driver after
+    /// each execution settles.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    fn new(decisions: Vec<Decision>, forced: VecDeque<usize>) -> Arc<Self> {
+        Arc::new(Execution {
+            sched: Mutex::new(Sched {
+                active: 0,
+                threads: vec![TState::Runnable],
+                timed_out: vec![false],
+                joiners: vec![Vec::new()],
+                decisions,
+                depth: 0,
+                forced,
+                ops: 0,
+                preemptions: 0,
+                failure: None,
+                done: false,
+                live: 1,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn abort() -> ! {
+        panic::panic_any(LoomAbort)
+    }
+
+    /// Parks until this thread is the active one (or the execution has
+    /// failed, in which case the thread unwinds).
+    fn wait_active<'a>(
+        &'a self,
+        mut sched: std::sync::MutexGuard<'a, Sched>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, Sched> {
+        while sched.failure.is_none()
+            && !(sched.active == me && sched.threads[me] == TState::Runnable)
+        {
+            sched = self.cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+        }
+        if sched.failure.is_some() {
+            drop(sched);
+            Self::abort();
+        }
+        sched
+    }
+
+    /// A scheduling point: the calling (active, runnable) thread hands
+    /// the scheduler a chance to run someone else.
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.yield_impl(me, false);
+    }
+
+    /// An explicit `yield_now`: hand the CPU to another runnable
+    /// thread when one exists (free switch — see [`Sched::choose`]).
+    pub(crate) fn yield_now_point(&self, me: usize) {
+        self.yield_impl(me, true);
+    }
+
+    fn yield_impl(&self, me: usize, exclude_me: bool) {
+        let mut sched = self.lock();
+        if sched.failure.is_some() {
+            drop(sched);
+            Self::abort();
+        }
+        debug_assert_eq!(sched.active, me, "yield from a descheduled thread");
+        sched.count_op();
+        sched.choose(me, true, exclude_me);
+        drop(sched);
+        self.cv.notify_all();
+        drop(self.wait_active(self.lock(), me));
+    }
+
+    /// Blocks the calling thread until a waker marks it runnable (or,
+    /// for `timed` waits, until the deadlock-escape timeout fires).
+    /// Returns `true` when the wake was a timeout.
+    pub(crate) fn block(&self, me: usize, timed: bool) -> bool {
+        let mut sched = self.lock();
+        if sched.failure.is_some() {
+            drop(sched);
+            Self::abort();
+        }
+        sched.threads[me] = TState::Blocked { timed };
+        sched.timed_out[me] = false;
+        sched.count_op();
+        if sched.runnable().is_empty() {
+            sched.no_runnable();
+        } else {
+            sched.choose(me, false, false);
+        }
+        drop(sched);
+        self.cv.notify_all();
+        let mut sched = self.wait_active(self.lock(), me);
+        let fired = std::mem::replace(&mut sched.timed_out[me], false);
+        drop(sched);
+        fired
+    }
+
+    /// Marks `targets` runnable (a resource they were blocked on became
+    /// available). The caller keeps running; the woken threads compete
+    /// at the next decision point.
+    pub(crate) fn wake(&self, targets: &[usize]) {
+        if targets.is_empty() {
+            return;
+        }
+        let mut sched = self.lock();
+        for &t in targets {
+            if matches!(sched.threads[t], TState::Blocked { .. }) {
+                sched.threads[t] = TState::Runnable;
+            }
+        }
+        drop(sched);
+        self.cv.notify_all();
+    }
+
+    /// Registers a new model thread; returns its id. The caller then
+    /// starts its OS thread via [`Execution::spawn_os`].
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut sched = self.lock();
+        let tid = sched.threads.len();
+        sched.threads.push(TState::Runnable);
+        sched.timed_out.push(false);
+        sched.joiners.push(Vec::new());
+        sched.live += 1;
+        tid
+    }
+
+    /// Runs `body` as model thread `tid` on a fresh OS thread. The
+    /// body parks until first scheduled.
+    pub(crate) fn spawn_os(self: &Arc<Self>, tid: usize, body: impl FnOnce() + Send + 'static) {
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                set_current(Some((Arc::clone(&exec), tid)));
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    drop(exec.wait_active(exec.lock(), tid));
+                    body();
+                }));
+                set_current(None);
+                match outcome {
+                    Ok(()) => exec.finish(tid),
+                    Err(payload) => exec.fail_unwind(tid, payload),
+                }
+            })
+            .expect("loom model OS thread spawns");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    /// Marks `me` finished, wakes its joiners, schedules a successor.
+    fn finish(&self, me: usize) {
+        let mut sched = self.lock();
+        sched.threads[me] = TState::Finished;
+        sched.live -= 1;
+        let joiners = std::mem::take(&mut sched.joiners[me]);
+        for j in joiners {
+            if matches!(sched.threads[j], TState::Blocked { .. }) {
+                sched.threads[j] = TState::Runnable;
+            }
+        }
+        if sched.failure.is_none() {
+            if sched.runnable().is_empty() {
+                sched.no_runnable();
+            } else {
+                sched.choose(me, false, false);
+            }
+        }
+        drop(sched);
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until `target` finishes (join support).
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        loop {
+            {
+                let mut sched = self.lock();
+                if sched.failure.is_some() {
+                    drop(sched);
+                    Self::abort();
+                }
+                if sched.threads[target] == TState::Finished {
+                    return;
+                }
+                sched.joiners[target].push(me);
+            }
+            self.block(me, false);
+        }
+    }
+
+    /// Whether `target` has finished (`JoinHandle::is_finished`).
+    pub(crate) fn thread_finished(&self, target: usize) -> bool {
+        self.lock().threads[target] == TState::Finished
+    }
+
+    /// Records a model-thread panic as the execution's failure (unless
+    /// it is the abort payload of an already-failed execution).
+    fn fail_unwind(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut sched = self.lock();
+        if payload.downcast_ref::<LoomAbort>().is_none() {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".into());
+            sched.fail(format!("thread {me} panicked: {message}"));
+        }
+        sched.threads[me] = TState::Finished;
+        sched.live -= 1;
+        if sched.live == 0 {
+            sched.done = true;
+        }
+        drop(sched);
+        self.cv.notify_all();
+    }
+}
+
+/// Exploration statistics returned by [`Builder::check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: u64,
+    /// `true` when the bounded-preemption exploration was exhausted;
+    /// `false` when it stopped at [`Builder::max_schedules`].
+    pub complete: bool,
+}
+
+/// A model failure: the assertion/deadlock message plus the schedule
+/// string that reproduces it via [`replay`].
+#[derive(Clone, Debug)]
+pub struct ModelFailure {
+    /// What went wrong (panic message or deadlock description).
+    pub message: String,
+    /// The failing schedule, replayable with [`replay`].
+    pub schedule: String,
+    /// Schedules explored up to and including the failing one.
+    pub schedules: u64,
+}
+
+impl std::fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failure after {} schedule(s)\n  schedule: \"{}\"\n  {}",
+            self.schedules, self.schedule, self.message
+        )
+    }
+}
+
+impl std::error::Error for ModelFailure {}
+
+/// Exploration configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Exhaustiveness bound: how many times the scheduler may switch
+    /// away from a still-runnable thread on one execution path. 2–3
+    /// preemptions surface the overwhelming majority of interleaving
+    /// bugs while keeping the schedule tree tractable.
+    pub max_preemptions: usize,
+    /// Safety valve on the number of schedules (the exploration stops
+    /// with `Report::complete == false` when it trips).
+    pub max_schedules: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_schedules: 200_000,
+        }
+    }
+}
+
+/// Installs a panic hook that silences [`LoomAbort`] unwinds (they are
+/// scheduler control flow, not failures) exactly once per process.
+fn install_quiet_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<LoomAbort>().is_none() {
+            previous(info);
+        }
+    }));
+}
+
+impl Builder {
+    /// Explores `f` under every schedule within the preemption bound.
+    /// Returns the exploration report, or the first failure found.
+    pub fn check<F: Fn()>(&self, f: F) -> Result<Report, ModelFailure> {
+        install_quiet_hook();
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut schedules = 0u64;
+        loop {
+            let exec = Execution::new(decisions, VecDeque::new());
+            run_root(&exec, &f);
+            join_os_threads(&exec);
+            schedules += 1;
+            let (failure, recorded) = {
+                let mut sched = exec.lock();
+                (sched.failure.clone(), std::mem::take(&mut sched.decisions))
+            };
+            if let Some(failure) = failure {
+                return Err(ModelFailure {
+                    message: failure.message,
+                    schedule: failure.schedule,
+                    schedules,
+                });
+            }
+            decisions = recorded;
+            if !advance(&mut decisions, self.max_preemptions) {
+                return Ok(Report {
+                    schedules,
+                    complete: true,
+                });
+            }
+            if schedules >= self.max_schedules {
+                return Ok(Report {
+                    schedules,
+                    complete: false,
+                });
+            }
+        }
+    }
+
+    /// Like [`Builder::check`], but panics with the failing schedule
+    /// (the [`model`](crate::model) entry point).
+    pub fn model<F: Fn()>(&self, f: F) -> Report {
+        match self.check(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+}
+
+/// Runs the model closure as thread 0 on the calling thread, then
+/// waits for the execution to settle (all threads finished, or failed).
+fn run_root<F: Fn()>(exec: &Arc<Execution>, f: &F) {
+    set_current(Some((Arc::clone(exec), 0)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    set_current(None);
+    match outcome {
+        Ok(()) => exec.finish(0),
+        Err(payload) => exec.fail_unwind(0, payload),
+    }
+    let mut sched = exec.lock();
+    while !sched.done && sched.failure.is_none() {
+        sched = exec.cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn join_os_threads(exec: &Arc<Execution>) {
+    let handles = std::mem::take(&mut *exec.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Advances the decision stack to the next unexplored schedule within
+/// the preemption bound; `false` when the tree is exhausted.
+fn advance(decisions: &mut Vec<Decision>, max_preemptions: usize) -> bool {
+    while let Some(last) = decisions.last() {
+        let mut next = last.chosen + 1;
+        while next < last.candidates.len()
+            && last.preemptions_before + last.cost(next) > max_preemptions
+        {
+            next += 1;
+        }
+        if next < last.candidates.len() {
+            decisions.last_mut().expect("non-empty stack").chosen = next;
+            return true;
+        }
+        decisions.pop();
+    }
+    false
+}
+
+/// Runs `f` once under the exact schedule captured from a failure
+/// (decision points beyond the recorded prefix take the default
+/// choice). Returns the failure it reproduces, or `Ok(())` when the
+/// schedule no longer fails (e.g. after a fix).
+pub fn replay<F: Fn()>(f: F, schedule: &str) -> Result<(), ModelFailure> {
+    install_quiet_hook();
+    let forced: VecDeque<usize> = schedule
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("malformed schedule token `{s}`"))
+        })
+        .collect();
+    let exec = Execution::new(Vec::new(), forced);
+    run_root(&exec, &f);
+    join_os_threads(&exec);
+    let failure = exec.lock().failure.clone();
+    match failure {
+        Some(failure) => Err(ModelFailure {
+            message: failure.message,
+            schedule: failure.schedule,
+            schedules: 1,
+        }),
+        None => Ok(()),
+    }
+}

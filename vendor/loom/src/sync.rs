@@ -1,0 +1,967 @@
+//! Shimmed `std::sync` subset: `Mutex`, `Condvar`, `RwLock`, `mpsc`,
+//! and `atomic` primitives whose operations are scheduling points of
+//! the model checker.
+//!
+//! Inside a model run every operation first yields to the scheduler,
+//! then executes atomically (only one model thread runs between
+//! scheduling points); blocking operations deschedule the thread until
+//! a waker marks it runnable. Outside a model run everything delegates
+//! to the real std primitives, so `--cfg loom` builds remain fully
+//! functional for code paths no model exercises.
+//!
+//! `Arc` and `OnceLock` are re-exported from std unchanged: the
+//! sequentialized explorer cannot race reference counts, and a custom
+//! `Arc` would lose unsized coercion (`Arc<dyn Trait>`) on stable.
+//! Model closures must not race `OnceLock::get_or_init` — std blocks
+//! the loser internally, invisibly to the scheduler.
+
+use crate::rt;
+use std::sync::TryLockError;
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError};
+
+/// Waiter bookkeeping shared by the lock shims: who currently holds
+/// the resource and which model threads are parked on it.
+#[derive(Default)]
+struct LockWaiters {
+    /// Writers for `RwLock`, the single holder for `Mutex`.
+    held_exclusive: bool,
+    /// Shared readers (`RwLock` only; always 0 for `Mutex`).
+    readers: usize,
+    waiters: Vec<usize>,
+}
+
+impl LockWaiters {
+    const fn new() -> Self {
+        LockWaiters {
+            held_exclusive: false,
+            readers: 0,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+fn lock_waiters(m: &std::sync::Mutex<LockWaiters>) -> std::sync::MutexGuard<'_, LockWaiters> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Releases a lock's model slot and wakes every parked waiter (they
+/// re-compete; the scheduler explores the outcomes).
+fn release_model_lock(
+    exec: &Arc<rt::Execution>,
+    m: &std::sync::Mutex<LockWaiters>,
+    exclusive: bool,
+) {
+    let waiters = {
+        let mut state = lock_waiters(m);
+        if exclusive {
+            state.held_exclusive = false;
+        } else {
+            state.readers -= 1;
+        }
+        std::mem::take(&mut state.waiters)
+    };
+    exec.wake(&waiters);
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-aware mutual exclusion lock (API subset of `std::sync::Mutex`).
+pub struct Mutex<T> {
+    model: std::sync::Mutex<LockWaiters>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            model: std::sync::Mutex::new(LockWaiters::new()),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                loop {
+                    {
+                        let mut state = lock_waiters(&self.model);
+                        if !state.held_exclusive {
+                            state.held_exclusive = true;
+                            break;
+                        }
+                        state.waiters.push(me);
+                    }
+                    exec.block(me, false);
+                }
+                // The model slot guarantees exclusivity, so the inner
+                // std lock is always free here (poisoning aside).
+                let (inner, poisoned) = match self.inner.try_lock() {
+                    Ok(guard) => (guard, false),
+                    Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model mutex slot held but std lock busy")
+                    }
+                };
+                let guard = MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((exec, me)),
+                };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    /// Forgets a previous holder's panic (mirror of
+    /// `std::sync::Mutex::clear_poison`).
+    pub fn clear_poison(&self) {
+        self.inner.clear_poison();
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = self.model.take() {
+            release_model_lock(&exec, &self.lock.model, true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condvar wait (mirror of std's, constructible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-aware condition variable.
+///
+/// Timed waits never measure real time inside a model: the timeout
+/// "fires" only when the whole execution would otherwise be stuck,
+/// which is exactly the set of schedules where a real timeout becomes
+/// observable.
+pub struct Condvar {
+    waiters: std::sync::Mutex<Vec<usize>>,
+    std_cv: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            waiters: std::sync::Mutex::new(Vec::new()),
+            std_cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn push_waiter(&self, me: usize) {
+        self.waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(me);
+    }
+
+    fn remove_waiter(&self, me: usize) {
+        self.waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|&t| t != me);
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::current() {
+            Some((exec, me)) => {
+                // The yield models the check→wait gap: a notify issued
+                // without holding the mutex can land here and be lost,
+                // exactly as on real hardware.
+                exec.yield_point(me);
+                let lock = guard.lock;
+                self.push_waiter(me);
+                drop(guard);
+                exec.block(me, false);
+                lock.lock()
+            }
+            None => {
+                let lock = guard.lock;
+                let mut shell = guard;
+                let inner = shell.inner.take().expect("guard holds the lock");
+                drop(shell);
+                match self.std_cv.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                let lock = guard.lock;
+                self.push_waiter(me);
+                drop(guard);
+                let fired = exec.block(me, true);
+                if fired {
+                    // Timed out: nobody notified us, so take ourselves
+                    // off the waiter list before reacquiring.
+                    self.remove_waiter(me);
+                }
+                match lock.lock() {
+                    Ok(guard) => Ok((guard, WaitTimeoutResult(fired))),
+                    Err(p) => Err(PoisonError::new((p.into_inner(), WaitTimeoutResult(fired)))),
+                }
+            }
+            None => {
+                let lock = guard.lock;
+                let mut shell = guard;
+                let inner = shell.inner.take().expect("guard holds the lock");
+                drop(shell);
+                match self.std_cv.wait_timeout(inner, dur) {
+                    Ok((inner, res)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(inner),
+                            model: None,
+                        },
+                        WaitTimeoutResult(res.timed_out()),
+                    )),
+                    Err(p) => {
+                        let (inner, res) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(inner),
+                                model: None,
+                            },
+                            WaitTimeoutResult(res.timed_out()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                let woken = {
+                    let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    if waiters.is_empty() {
+                        None
+                    } else {
+                        Some(waiters.remove(0))
+                    }
+                };
+                if let Some(w) = woken {
+                    exec.wake(&[w]);
+                }
+                // No waiter: the notification is lost, as with a real
+                // condvar. That asymmetry is what the models probe.
+            }
+            None => self.std_cv.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                let woken =
+                    std::mem::take(&mut *self.waiters.lock().unwrap_or_else(|e| e.into_inner()));
+                exec.wake(&woken);
+            }
+            None => self.std_cv.notify_all(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-aware reader-writer lock (API subset of `std::sync::RwLock`).
+pub struct RwLock<T> {
+    model: std::sync::Mutex<LockWaiters>,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            model: std::sync::Mutex::new(LockWaiters::new()),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                loop {
+                    {
+                        let mut state = lock_waiters(&self.model);
+                        if !state.held_exclusive {
+                            state.readers += 1;
+                            break;
+                        }
+                        state.waiters.push(me);
+                    }
+                    exec.block(me, false);
+                }
+                let (inner, poisoned) = match self.inner.try_read() {
+                    Ok(guard) => (guard, false),
+                    Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model read slot held but std lock busy")
+                    }
+                };
+                let guard = RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((exec, me)),
+                };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+            None => match self.inner.read() {
+                Ok(inner) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match rt::current() {
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                loop {
+                    {
+                        let mut state = lock_waiters(&self.model);
+                        if !state.held_exclusive && state.readers == 0 {
+                            state.held_exclusive = true;
+                            break;
+                        }
+                        state.waiters.push(me);
+                    }
+                    exec.block(me, false);
+                }
+                let (inner, poisoned) = match self.inner.try_write() {
+                    Ok(guard) => (guard, false),
+                    Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model write slot held but std lock busy")
+                    }
+                };
+                let guard = RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((exec, me)),
+                };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+            None => match self.inner.write() {
+                Ok(inner) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = self.model.take() {
+            release_model_lock(&exec, &self.lock.model, false);
+        }
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = self.model.take() {
+            release_model_lock(&exec, &self.lock.model, true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------------
+
+/// Model-aware unbounded channel (API subset of `std::sync::mpsc`,
+/// reusing std's error types so match arms stay identical).
+pub mod mpsc {
+    use super::Arc;
+    use crate::rt;
+    use std::collections::VecDeque;
+    use std::time::{Duration, Instant};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        rx_alive: bool,
+        /// Model thread id of a blocked receiver, if any.
+        rx_waiting: Option<usize>,
+    }
+
+    struct Chan<T> {
+        state: std::sync::Mutex<ChanState<T>>,
+        /// Fallback-mode blocking (no scheduler to park on).
+        cv: std::sync::Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn state(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: std::sync::Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                rx_alive: true,
+                rx_waiting: None,
+            }),
+            cv: std::sync::Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let model = rt::current();
+            if let Some((exec, me)) = &model {
+                exec.yield_point(*me);
+            }
+            let waiter = {
+                let mut state = self.chan.state();
+                if !state.rx_alive {
+                    return Err(SendError(value));
+                }
+                state.queue.push_back(value);
+                state.rx_waiting.take()
+            };
+            match model {
+                Some((exec, _)) => {
+                    if let Some(w) = waiter {
+                        exec.wake(&[w]);
+                    }
+                }
+                None => self.chan.cv.notify_one(),
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let waiter = {
+                let mut state = self.chan.state();
+                state.senders -= 1;
+                if state.senders == 0 {
+                    state.rx_waiting.take()
+                } else {
+                    None
+                }
+            };
+            match rt::current() {
+                Some((exec, _)) => {
+                    if let Some(w) = waiter {
+                        exec.wake(&[w]);
+                    }
+                }
+                None => self.chan.cv.notify_all(),
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match rt::current() {
+                Some((exec, me)) => loop {
+                    exec.yield_point(me);
+                    {
+                        let mut state = self.chan.state();
+                        if let Some(value) = state.queue.pop_front() {
+                            return Ok(value);
+                        }
+                        if state.senders == 0 {
+                            return Err(RecvError);
+                        }
+                        state.rx_waiting = Some(me);
+                    }
+                    exec.block(me, false);
+                },
+                None => {
+                    let mut state = self.chan.state();
+                    loop {
+                        if let Some(value) = state.queue.pop_front() {
+                            return Ok(value);
+                        }
+                        if state.senders == 0 {
+                            return Err(RecvError);
+                        }
+                        state = self.chan.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match rt::current() {
+                Some((exec, me)) => loop {
+                    exec.yield_point(me);
+                    {
+                        let mut state = self.chan.state();
+                        if let Some(value) = state.queue.pop_front() {
+                            return Ok(value);
+                        }
+                        if state.senders == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        state.rx_waiting = Some(me);
+                    }
+                    // Timed block: the timeout fires only on schedules
+                    // where nothing else can make progress.
+                    if exec.block(me, true) {
+                        let mut state = self.chan.state();
+                        state.rx_waiting = None;
+                        return match state.queue.pop_front() {
+                            Some(value) => Ok(value),
+                            None => Err(RecvTimeoutError::Timeout),
+                        };
+                    }
+                },
+                None => {
+                    let deadline = Instant::now() + timeout;
+                    let mut state = self.chan.state();
+                    loop {
+                        if let Some(value) = state.queue.pop_front() {
+                            return Ok(value);
+                        }
+                        if state.senders == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        let (next, _) = self
+                            .chan
+                            .cv
+                            .wait_timeout(state, deadline - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = next;
+                    }
+                }
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if let Some((exec, me)) = rt::current() {
+                exec.yield_point(me);
+            }
+            let mut state = self.chan.state();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over received values, ending at
+        /// disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state().rx_alive = false;
+        }
+    }
+
+    /// Borrowing blocking iterator (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator (`for value in receiver`).
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atomic
+// ---------------------------------------------------------------------------
+
+/// Model-aware atomics. Every operation is a scheduling point; under
+/// the sequentialized explorer all orderings behave as `SeqCst` (see
+/// the crate docs for what that does and does not verify).
+pub mod atomic {
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn yield_op() {
+        if let Some((exec, me)) = rt::current() {
+            exec.yield_point(me);
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ident, $prim:ty) => {
+            /// Model-aware integer atomic.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub const fn new(value: $prim) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    yield_op();
+                    self.inner.store(value, order)
+                }
+
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.swap(value, order)
+                }
+
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.fetch_add(value, order)
+                }
+
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.fetch_max(value, order)
+                }
+
+                pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                    yield_op();
+                    self.inner.fetch_min(value, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_op();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_op();
+                    // Weak CAS may fail spuriously on real hardware;
+                    // the model keeps it deterministic (strong) so
+                    // executions replay exactly.
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$prim, $prim>
+                where
+                    F: FnMut($prim) -> Option<$prim>,
+                {
+                    yield_op();
+                    self.inner.fetch_update(set_order, fetch_order, f)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, AtomicUsize, usize);
+    atomic_int!(AtomicU64, AtomicU64, u64);
+    atomic_int!(AtomicU32, AtomicU32, u32);
+
+    /// Model-aware boolean atomic.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(value: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_op();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            yield_op();
+            self.inner.store(value, order)
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            yield_op();
+            self.inner.swap(value, order)
+        }
+
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            yield_op();
+            self.inner.fetch_or(value, order)
+        }
+
+        pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+            yield_op();
+            self.inner.fetch_and(value, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            yield_op();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}

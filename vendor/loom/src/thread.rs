@@ -1,0 +1,145 @@
+//! Shimmed `std::thread` subset: `spawn`, `Builder`, `JoinHandle`,
+//! `yield_now`, `sleep`.
+//!
+//! Inside a model run (`loom::model`), spawns create *model threads*
+//! driven by the deterministic scheduler; outside one, everything
+//! delegates to real `std::thread`, so `--cfg loom` builds of code
+//! that never enters a model keep working.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Handle to a spawned thread; supports `join` and `is_finished`.
+pub struct JoinHandle<T> {
+    inner: HandleInner<T>,
+}
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<rt::Execution>,
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            HandleInner::Std(handle) => handle.join(),
+            HandleInner::Model { exec, tid, result } => {
+                let me = rt::current()
+                    .map(|(_, me)| me)
+                    .expect("model JoinHandle joined outside its model run");
+                exec.join_thread(me, tid);
+                // The child stores its value before finishing; a child
+                // that panicked instead failed the whole execution and
+                // unwound us inside join_thread.
+                let value = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread left no value");
+                Ok(value)
+            }
+        }
+    }
+
+    /// Whether the thread has run to completion.
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            HandleInner::Std(handle) => handle.is_finished(),
+            HandleInner::Model { exec, tid, .. } => exec.thread_finished(*tid),
+        }
+    }
+}
+
+/// Thread factory mirroring `std::thread::Builder` (name only — stack
+/// size is irrelevant to model threads and unused by this workspace).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            Some((exec, me)) => {
+                let tid = exec.register_thread();
+                let result = Arc::new(Mutex::new(None));
+                let slot = Arc::clone(&result);
+                exec.spawn_os(tid, move || {
+                    let value = f();
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                });
+                // Give the scheduler a chance to run the child right
+                // away — spawn is itself a visible concurrency event.
+                exec.yield_point(me);
+                Ok(JoinHandle {
+                    inner: HandleInner::Model { exec, tid, result },
+                })
+            }
+            None => {
+                let mut builder = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    builder = builder.name(name);
+                }
+                builder.spawn(f).map(|handle| JoinHandle {
+                    inner: HandleInner::Std(handle),
+                })
+            }
+        }
+    }
+}
+
+/// Spawns a thread (model thread inside `loom::model`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("thread spawn")
+}
+
+/// Yields: in a model run, hands the CPU to another runnable thread
+/// (free switch); otherwise delegates to the OS.
+pub fn yield_now() {
+    match rt::current() {
+        Some((exec, me)) => exec.yield_now_point(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Sleeping in a model is just a yield — model time is logical, and a
+/// sleep's only observable effect is letting other threads run.
+pub fn sleep(dur: Duration) {
+    match rt::current() {
+        Some((exec, me)) => exec.yield_now_point(me),
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// Model runs report a fixed parallelism of 2 so pool sizing stays
+/// small and the schedule tree tractable; outside a model this is the
+/// real value.
+pub fn available_parallelism() -> std::io::Result<std::num::NonZeroUsize> {
+    match rt::current() {
+        Some(_) => Ok(std::num::NonZeroUsize::new(2).expect("2 is non-zero")),
+        None => std::thread::available_parallelism(),
+    }
+}
