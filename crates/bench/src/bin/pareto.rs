@@ -1,0 +1,279 @@
+//! `pareto` — command-line Pareto-front tracer for workflow mapping
+//! instances.
+//!
+//! Reads one [`ProblemInstance`] as JSON (file argument or stdin) and
+//! traces its **(period, latency) Pareto front** through
+//! `repliflow-multicrit`: the exact ε-constraint enumeration on
+//! instances within the exact budget, the heuristic grid sweep beyond.
+//! The instance's own `objective` field is ignored — a front is always
+//! traced over the period × latency criteria pair (the `--objective-x`
+//! / `--objective-y` flags exist to make that contract explicit and
+//! reject anything else).
+//!
+//! ```text
+//! pareto instance.json                 # auto-routed front, human-readable
+//! pareto --engine exact i.json        # force the exact enumeration
+//! pareto --engine sweep i.json        # force the heuristic grid sweep
+//! pareto --points 8 i.json            # cap the front length
+//! pareto --quality thorough i.json    # thorough inner solves (sweep)
+//! pareto --json i.json                # canonical front JSON (byte-stable)
+//! pareto --csv i.json                 # one line per point, exact rationals
+//! pareto --remote HOST:PORT i.json    # trace on a repliflow-serve daemon
+//! cat inst.json | pareto -
+//! ```
+//!
+//! `--json` prints the front's **canonical JSON** exactly as
+//! [`FrontReport::canonical_json`] produced it; `--remote` output is
+//! byte-identical to local output for the same request because the
+//! daemon embeds that canonical object verbatim in its `pareto`
+//! response. The human-readable and CSV renderings are also built from
+//! the canonical object, so every output mode is identical local or
+//! remote.
+//!
+//! [`ProblemInstance`]: repliflow_core::instance::ProblemInstance
+//! [`FrontReport::canonical_json`]: repliflow_multicrit::FrontReport::canonical_json
+
+use repliflow_core::instance::ProblemInstance;
+use repliflow_multicrit::{FrontEnginePref, FrontRequest, FrontSolver};
+use repliflow_serve::{RemoteClient, RemoteParetoOptions};
+use repliflow_solver::{Budget, Quality, SolverService};
+use repliflow_sync::sync::Arc;
+use serde_json::{parse_value, Value};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pareto [--engine auto|exact|sweep] [--points N] \
+         [--quality fast|balanced|thorough] [--no-validate] \
+         [--objective-x period] [--objective-y latency] \
+         [--json | --csv] [--remote HOST:PORT] <instance.json | ->"
+    );
+    ExitCode::FAILURE
+}
+
+fn read_instance(path: &str) -> Result<ProblemInstance, String> {
+    let json = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    serde_json::from_str_streaming(&json)
+        .map_err(|e| format!("invalid instance JSON in {path}: {e}"))
+}
+
+/// A string field of a canonical point object (`"-"` when null or
+/// absent, so renderings never panic on a malformed tree).
+fn point_str<'a>(point: &'a Value, name: &str) -> &'a str {
+    match point.field(name) {
+        Some(Value::String(s)) => s,
+        Some(Value::Null) | None => "-",
+        Some(_) => "?",
+    }
+}
+
+/// Renders the canonical front object as the human-readable report.
+fn print_human(canonical: &Value) {
+    let str_of = |name: &str| canonical.field(name).and_then(Value::as_str).unwrap_or("?");
+    let bool_of = |name: &str| matches!(canonical.field(name), Some(Value::Bool(true)));
+    let empty = Vec::new();
+    let points = match canonical.field("points") {
+        Some(Value::Array(points)) => points,
+        _ => &empty,
+    };
+    println!("engine   : {}", str_of("engine"));
+    println!(
+        "front    : {}{}",
+        if bool_of("complete") {
+            "complete (provably every Pareto point)"
+        } else {
+            "approximate (heuristic sweep)"
+        },
+        if bool_of("truncated") {
+            ", truncated by budget"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "points   : {} ({} objective-space, x=period, y=latency)",
+        points.len(),
+        if points.len() == 1 {
+            "degenerate front: one point dominates"
+        } else {
+            "dominance-sorted"
+        }
+    );
+    for (i, point) in points.iter().enumerate() {
+        println!(
+            "point {:<2} : period {} latency {}{} [{}]",
+            i + 1,
+            point_str(point, "period"),
+            point_str(point, "latency"),
+            match point.field("reliability") {
+                Some(Value::String(r)) => format!(" reliability {r}"),
+                _ => String::new(),
+            },
+            point_str(point, "optimality"),
+        );
+        println!("mapping {:<1}: {}", i + 1, point_str(point, "mapping"));
+    }
+}
+
+/// Renders the canonical front object as CSV (exact rationals; the
+/// witness mappings are omitted — their rendering contains commas).
+fn print_csv(canonical: &Value) {
+    println!("index,period,latency,reliability,optimality");
+    if let Some(Value::Array(points)) = canonical.field("points") {
+        for (i, point) in points.iter().enumerate() {
+            let reliability = match point.field("reliability") {
+                Some(Value::String(r)) => r.as_str(),
+                _ => "",
+            };
+            println!(
+                "{},{},{},{},{}",
+                i + 1,
+                point_str(point, "period"),
+                point_str(point, "latency"),
+                reliability,
+                point_str(point, "optimality"),
+            );
+        }
+    }
+}
+
+enum OutputMode {
+    Human,
+    Json,
+    Csv,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = FrontEnginePref::Auto;
+    let mut points: Option<usize> = None;
+    let mut quality = Quality::Balanced;
+    let mut validate = true;
+    let mut mode = OutputMode::Human;
+    let mut remote: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => match it.next().as_deref().and_then(FrontEnginePref::parse) {
+                Some(pref) => engine = pref,
+                None => return usage(),
+            },
+            "--points" => match it.next().as_deref().and_then(|p| p.parse().ok()) {
+                Some(p) if p > 0 => points = Some(p),
+                _ => return usage(),
+            },
+            "--quality" => match it.next().as_deref().and_then(Quality::parse) {
+                Some(q) => quality = q,
+                None => return usage(),
+            },
+            // The front is always (period, latency); these flags pin
+            // the axes explicitly and reject any other pair instead of
+            // silently tracing something the caller did not ask for.
+            "--objective-x" => match it.next().as_deref() {
+                Some("period") => {}
+                _ => {
+                    eprintln!("error: only `--objective-x period` is supported (fronts are traced over period × latency)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--objective-y" => match it.next().as_deref() {
+                Some("latency") => {}
+                _ => {
+                    eprintln!("error: only `--objective-y latency` is supported (fronts are traced over period × latency)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--remote" => match it.next() {
+                Some(addr) => remote = Some(addr),
+                None => return usage(),
+            },
+            "--no-validate" => validate = false,
+            "--json" => mode = OutputMode::Json,
+            "--csv" => mode = OutputMode::Csv,
+            "-h" | "--help" => return usage(),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return usage();
+    };
+    let instance = match read_instance(path) {
+        Ok(instance) => instance,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Both paths produce the same canonical JSON text; everything
+    // downstream renders from it.
+    let canonical_text = if let Some(addr) = remote {
+        let mut client = match RemoteClient::connect(&addr) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let options = RemoteParetoOptions {
+            engine,
+            quality,
+            validate,
+            points,
+        };
+        match client.pareto(&instance, &options) {
+            Ok(report) => report.canonical_json(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut budget = Budget::default().quality(quality);
+        if let Some(points) = points {
+            budget = budget.max_front_points(points);
+        }
+        let solver = FrontSolver::new(Arc::new(SolverService::builder().build()));
+        let request = FrontRequest::new(instance)
+            .engine(engine)
+            .budget(budget)
+            .validate_witness(validate);
+        match solver.solve_front(&request) {
+            Ok(report) => report.canonical_json(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match mode {
+        OutputMode::Json => {
+            println!("{canonical_text}");
+        }
+        OutputMode::Human | OutputMode::Csv => {
+            let canonical = match parse_value(&canonical_text) {
+                Ok(value) => value,
+                Err(e) => {
+                    eprintln!("error: unparseable canonical front: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match mode {
+                OutputMode::Human => print_human(&canonical),
+                _ => print_csv(&canonical),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,205 @@
+//! End-to-end snapshot tests for the `pareto` CLI binary.
+//!
+//! Every `examples/instances/multicrit_*.json` golden instance has a
+//! `.front.expected` snapshot of the human-readable front report; the
+//! binary's output must match it byte-for-byte. Regenerate after an
+//! intentional change with:
+//!
+//! ```text
+//! for f in examples/instances/multicrit_*.json; do
+//!   cargo run --release -p repliflow-bench --bin pareto -- "$f" \
+//!     > "${f%.json}.front.expected"
+//! done
+//! ```
+//!
+//! `--json` output is additionally pinned against an **in-process**
+//! [`FrontSolver`] solve of the same instance: the CLI prints
+//! [`FrontReport::canonical_json`] verbatim, so the two must be
+//! byte-identical.
+//!
+//! [`FrontSolver`]: repliflow_multicrit::FrontSolver
+//! [`FrontReport::canonical_json`]: repliflow_multicrit::FrontReport::canonical_json
+
+use repliflow_core::instance::ProblemInstance;
+use repliflow_multicrit::{FrontRequest, FrontSolver};
+use repliflow_solver::{Budget, SolverService};
+use repliflow_sync::sync::Arc;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn instances_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("examples")
+        .join("instances")
+}
+
+/// The multicrit golden instances, sorted for deterministic order.
+fn multicrit_instances() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(instances_dir())
+        .expect("examples/instances must exist")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("multicrit_"))
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 2,
+        "expected at least two multicrit golden instances, found {}",
+        paths.len()
+    );
+    paths
+}
+
+fn run_pareto(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pareto"))
+        .args(args)
+        .output()
+        .expect("pareto binary must run")
+}
+
+#[test]
+fn human_front_reports_match_their_snapshots() {
+    for path in multicrit_instances() {
+        let expected_path = path.with_extension("").with_extension("front.expected");
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing front snapshot {} — regenerate per the module docs",
+                expected_path.display()
+            )
+        });
+        let out = run_pareto(&[path.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "pareto failed on {}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            out.stderr.is_empty(),
+            "pareto wrote to stderr on {}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            expected,
+            "front snapshot drift for {} — regenerate per the module docs if intentional",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn json_output_is_byte_identical_to_an_in_process_front_solve() {
+    let solver = FrontSolver::new(Arc::new(SolverService::builder().build()));
+    for path in multicrit_instances() {
+        let json = std::fs::read_to_string(&path).expect("golden instance must read");
+        let instance: ProblemInstance =
+            serde_json::from_str_streaming(&json).expect("golden instance must parse");
+        let report = solver
+            .solve_front(&FrontRequest::new(instance))
+            .expect("front solve must succeed on golden instances");
+        let out = run_pareto(&["--json", path.to_str().unwrap()]);
+        assert!(out.status.success());
+        let cli_json = String::from_utf8(out.stdout).expect("CLI JSON is UTF-8");
+        assert_eq!(
+            cli_json.trim_end(),
+            report.canonical_json(),
+            "CLI --json must print the canonical front verbatim for {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn csv_output_has_a_header_and_one_row_per_point() {
+    let path = instances_dir().join("multicrit_rel_latency.json");
+    let out = run_pareto(&["--csv", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("CSV is UTF-8");
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("index,period,latency,reliability,optimality"),
+        "CSV header must be stable"
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty(), "front must have at least one point");
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<&str> = row.split(',').collect();
+        assert_eq!(cells.len(), 5, "CSV rows carry exactly five cells: {row}");
+        assert_eq!(cells[0], (i + 1).to_string(), "indices are 1-based");
+        assert!(
+            !cells[3].is_empty(),
+            "failing platforms annotate reliability on every point"
+        );
+    }
+}
+
+#[test]
+fn points_flag_truncates_the_front_deterministically() {
+    let path = instances_dir().join("multicrit_pipeline_front.json");
+    let full = run_pareto(&["--csv", path.to_str().unwrap()]);
+    let capped = run_pareto(&["--csv", "--points", "1", path.to_str().unwrap()]);
+    assert!(full.status.success() && capped.status.success());
+    let full_rows: Vec<String> = String::from_utf8(full.stdout)
+        .unwrap()
+        .lines()
+        .skip(1)
+        .map(str::to_string)
+        .collect();
+    let capped_rows: Vec<String> = String::from_utf8(capped.stdout)
+        .unwrap()
+        .lines()
+        .skip(1)
+        .map(str::to_string)
+        .collect();
+    assert_eq!(capped_rows.len(), 1, "--points 1 keeps exactly one point");
+    assert_eq!(
+        capped_rows[0], full_rows[0],
+        "truncation keeps the prefix of the full front"
+    );
+
+    // The in-process truncation contract is the same: the capped budget
+    // yields the full front's first point.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let instance: ProblemInstance = serde_json::from_str_streaming(&json).unwrap();
+    let solver = FrontSolver::new(Arc::new(SolverService::builder().build()));
+    let capped = solver
+        .solve_front(&FrontRequest::new(instance).budget(Budget::default().max_front_points(1)))
+        .expect("capped front solve must succeed");
+    assert_eq!(capped.points.len(), 1);
+    assert!(capped.truncated);
+}
+
+#[test]
+fn objective_axis_flags_accept_only_the_period_latency_pair() {
+    let path = instances_dir().join("multicrit_pipeline_front.json");
+    let ok = run_pareto(&[
+        "--objective-x",
+        "period",
+        "--objective-y",
+        "latency",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok.status.success(), "the canonical axis pair is accepted");
+
+    for args in [["--objective-x", "latency"], ["--objective-y", "period"]] {
+        let bad = run_pareto(&[args[0], args[1], path.to_str().unwrap()]);
+        assert!(
+            !bad.status.success(),
+            "swapped axes must be rejected: {args:?}"
+        );
+        let stderr = String::from_utf8_lossy(&bad.stderr);
+        assert!(
+            stderr.contains("period × latency"),
+            "the rejection names the supported pair: {stderr}"
+        );
+    }
+}

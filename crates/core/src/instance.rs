@@ -26,6 +26,29 @@ pub enum Objective {
     LatencyUnderPeriod(Rat),
     /// Minimize the period subject to `latency <= bound`.
     PeriodUnderLatency(Rat),
+    /// Minimize the latency subject to `period < bound` (strict).
+    ///
+    /// The strict variants exist for the ε-constraint Pareto sweep:
+    /// over exact rationals there is no smallest ε, so "strictly better
+    /// than the previous front point" must be a first-class constraint
+    /// rather than a `bound - ε` approximation.
+    LatencyUnderPeriodStrict(Rat),
+    /// Minimize the period subject to `latency < bound` (strict).
+    PeriodUnderLatencyStrict(Rat),
+    /// Minimize the latency subject to the mapping's success
+    /// probability being at least `bound` (the reliability model of
+    /// Benoit/Rehn-Sonigo/Robert 2008 — see `crate::reliability`).
+    ///
+    /// Reliability depends on the *mapping*, not on the `(period,
+    /// latency)` pair, so [`Objective::score`]/[`Objective::meets_bound`]
+    /// treat this like plain [`Objective::Latency`]; the bound is
+    /// enforced where the mapping is in hand (the heuristic scoring
+    /// funnel, the exact enumerators, the registry's defense check) via
+    /// [`Objective::reliability_bound`].
+    LatencyUnderReliability(Rat),
+    /// Minimize the period subject to the mapping's success probability
+    /// being at least `bound`.
+    PeriodUnderReliability(Rat),
 }
 
 impl Objective {
@@ -52,17 +75,63 @@ impl Objective {
                     (Rat::INFINITY, latency)
                 }
             }
+            Objective::LatencyUnderPeriodStrict(bound) => {
+                if period < bound {
+                    (latency, period)
+                } else {
+                    (Rat::INFINITY, period)
+                }
+            }
+            Objective::PeriodUnderLatencyStrict(bound) => {
+                if latency < bound {
+                    (period, latency)
+                } else {
+                    (Rat::INFINITY, latency)
+                }
+            }
+            // reliability is a property of the mapping, not of the
+            // (period, latency) pair — enforced at the scoring funnel
+            // that has the mapping (see `Objective::reliability_bound`)
+            Objective::LatencyUnderReliability(_) => (latency, period),
+            Objective::PeriodUnderReliability(_) => (period, latency),
         }
     }
 
     /// Whether `(period, latency)` meets this objective's bi-criteria
-    /// bound (vacuously true for single-criterion objectives).
+    /// bound (vacuously true for single-criterion objectives, and for
+    /// the reliability-bounded ones — their bound constrains the
+    /// mapping, not this pair; see [`Objective::reliability_bound`]).
     pub fn meets_bound(self, period: Rat, latency: Rat) -> bool {
         match self {
-            Objective::Period | Objective::Latency => true,
+            Objective::Period
+            | Objective::Latency
+            | Objective::LatencyUnderReliability(_)
+            | Objective::PeriodUnderReliability(_) => true,
             Objective::LatencyUnderPeriod(bound) => period <= bound,
             Objective::PeriodUnderLatency(bound) => latency <= bound,
+            Objective::LatencyUnderPeriodStrict(bound) => period < bound,
+            Objective::PeriodUnderLatencyStrict(bound) => latency < bound,
         }
+    }
+
+    /// The success-probability lower bound of a reliability-constrained
+    /// objective (`None` for every other objective).
+    pub fn reliability_bound(self) -> Option<Rat> {
+        match self {
+            Objective::LatencyUnderReliability(bound)
+            | Objective::PeriodUnderReliability(bound) => Some(bound),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a strict (`<`) ε-constraint variant — the bound
+    /// form the Pareto-front sweep advances with (the paper's theorem
+    /// algorithms take non-strict bounds only).
+    pub fn is_strict(self) -> bool {
+        matches!(
+            self,
+            Objective::LatencyUnderPeriodStrict(_) | Objective::PeriodUnderLatencyStrict(_)
+        )
     }
 }
 
@@ -309,8 +378,12 @@ impl ProblemInstance {
             objective: match self.objective {
                 Objective::Period => ObjectiveClass::Period,
                 Objective::Latency => ObjectiveClass::Latency,
-                Objective::LatencyUnderPeriod(_) | Objective::PeriodUnderLatency(_) => {
-                    ObjectiveClass::BiCriteria
+                Objective::LatencyUnderPeriod(_)
+                | Objective::PeriodUnderLatency(_)
+                | Objective::LatencyUnderPeriodStrict(_)
+                | Objective::PeriodUnderLatencyStrict(_) => ObjectiveClass::BiCriteria,
+                Objective::LatencyUnderReliability(_) | Objective::PeriodUnderReliability(_) => {
+                    ObjectiveClass::Reliability
                 }
             },
         }
@@ -352,6 +425,10 @@ pub enum ObjectiveClass {
     Latency,
     /// Bi-criteria ("both").
     BiCriteria,
+    /// Reliability-constrained (period or latency under a success-
+    /// probability bound — the Benoit/Rehn-Sonigo/Robert 2008
+    /// extension; outside the source paper's Table 1).
+    Reliability,
 }
 
 /// One cell of Table 1.
@@ -385,6 +462,15 @@ impl Variant {
         use GraphClass::*;
         use ObjectiveClass::*;
         use PlatformClass::*;
+        // Reliability-constrained cells are outside the source paper's
+        // Table 1; the successor paper (Benoit/Rehn-Sonigo/Robert 2008)
+        // establishes NP-hardness for the heterogeneous bi-criteria
+        // latency/reliability problem, and we conservatively classify
+        // the whole column as hard: no polynomial paper algorithm is
+        // available, which keeps the paper engine unrouted here.
+        if self.objective == Reliability {
+            return NpHard("BRS'08");
+        }
         let graph = match self.graph {
             HomForkJoin => HomFork,
             HetForkJoin => HetFork,
@@ -417,6 +503,7 @@ impl Variant {
             (HomFork, Heterogeneous, true, _) => NpHard("Thm 13"),
             (HetFork, Heterogeneous, _, _) => NpHard("Thm 15"),
             (HomForkJoin | HetForkJoin, _, _, _) => unreachable!("normalized above"),
+            (_, _, _, Reliability) => unreachable!("handled by the early return above"),
         }
     }
 }
@@ -444,6 +531,7 @@ impl std::fmt::Display for Variant {
             ObjectiveClass::Period => "P",
             ObjectiveClass::Latency => "L",
             ObjectiveClass::BiCriteria => "both",
+            ObjectiveClass::Reliability => "reliability",
         };
         write!(f, "{g} / {p} / {dp} / {o}")
     }

@@ -26,6 +26,9 @@
 //! * [`fingerprint`] — canonical 128-bit instance identities (stable
 //!   under JSON field order and round-trips), the cache key substrate
 //!   of the serving layer;
+//! * [`reliability`] — the Benoit/Rehn-Sonigo/Robert 2008 failure
+//!   model: per-processor failure probabilities, mapping success
+//!   probabilities, and the reliability-bound degeneracy analysis;
 //! * [`dot`] — Figure 1/2 rendering (Graphviz DOT and ASCII).
 //!
 //! Higher-level crates build on this one: `repliflow-algorithms`
@@ -46,6 +49,7 @@ pub mod instance;
 pub mod mapping;
 pub mod platform;
 pub mod rational;
+pub mod reliability;
 pub mod workflow;
 
 /// The most used types, for glob import.

@@ -19,10 +19,76 @@ impl std::fmt::Display for ProcId {
     }
 }
 
-/// A set of `p` processors with integer speeds.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A set of `p` processors with integer speeds, optionally annotated
+/// with per-processor failure probabilities (the reliability model of
+/// Benoit/Rehn-Sonigo/Robert 2008 — see `crate::reliability`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Platform {
     speeds: Vec<u64>,
+    /// Per-processor failure probabilities `f_u ∈ [0, 1)`, parallel to
+    /// `speeds`. `None` means the platform is fail-free (every `f_u`
+    /// zero) — the representation every pre-reliability instance uses,
+    /// which is why the field is normalized: all-zero vectors collapse
+    /// to `None` so serialization, equality and fingerprints cannot
+    /// distinguish "no failure annotation" from "annotated fail-free".
+    failure: Option<Vec<Rat>>,
+}
+
+// Hand-written (the vendored derive has no `#[serde(skip)]`-style
+// support): a fail-free platform serializes exactly as it did before
+// the reliability model existed — `{"speeds": [...]}` — so existing
+// instance JSON, snapshots and fingerprints are untouched, and the
+// `failure` field appears only when some probability is nonzero.
+impl Serialize for Platform {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![(
+            String::from("speeds"),
+            serde::Serialize::serialize(&self.speeds),
+        )];
+        if let Some(failure) = &self.failure {
+            fields.push((
+                String::from("failure"),
+                serde::Serialize::serialize(failure),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Platform {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        let speeds: Vec<u64> = serde::Deserialize::deserialize(
+            value
+                .field("speeds")
+                .ok_or_else(|| serde::de::Error::missing_field("speeds", "Platform"))?,
+        )?;
+        let failure: Option<Vec<Rat>> = match value.field("failure") {
+            Some(v) => Some(serde::Deserialize::deserialize(v)?),
+            None => None,
+        };
+        Platform::try_build(speeds, failure).map_err(serde::de::Error::custom)
+    }
+}
+
+impl serde::DeserializeStream for Platform {
+    fn deserialize_stream(
+        parser: &mut serde::de::JsonParser<'_>,
+    ) -> Result<Self, serde::de::Error> {
+        let mut speeds: Option<Vec<u64>> = None;
+        let mut failure: Option<Vec<Rat>> = None;
+        parser.begin_object()?;
+        let mut first = true;
+        while let Some(key) = parser.object_next(first)? {
+            first = false;
+            match key.as_ref() {
+                "speeds" => speeds = Some(serde::DeserializeStream::deserialize_stream(parser)?),
+                "failure" => failure = Some(serde::DeserializeStream::deserialize_stream(parser)?),
+                _ => parser.skip_value()?,
+            }
+        }
+        let speeds = speeds.ok_or_else(|| serde::de::Error::missing_field("speeds", "Platform"))?;
+        Platform::try_build(speeds, failure).map_err(serde::de::Error::custom)
+    }
 }
 
 impl Platform {
@@ -39,7 +105,72 @@ impl Platform {
             speeds.iter().all(|&s| s > 0),
             "processor speeds must be positive"
         );
-        Platform { speeds }
+        Platform {
+            speeds,
+            failure: None,
+        }
+    }
+
+    /// Fallible constructor shared by the deserializers: validates the
+    /// speed and failure-probability invariants and applies the
+    /// fail-free normalization instead of panicking on untrusted input.
+    fn try_build(speeds: Vec<u64>, failure: Option<Vec<Rat>>) -> Result<Self, String> {
+        if speeds.is_empty() {
+            return Err("a platform needs at least one processor".into());
+        }
+        if speeds.contains(&0) {
+            return Err("processor speeds must be positive".into());
+        }
+        let failure = match failure {
+            None => None,
+            Some(probs) => {
+                if probs.len() != speeds.len() {
+                    return Err(format!(
+                        "failure probabilities cover {} processors but the platform has {}",
+                        probs.len(),
+                        speeds.len()
+                    ));
+                }
+                if probs.iter().any(|&f| f < Rat::ZERO || f >= Rat::ONE) {
+                    return Err("failure probabilities must lie in [0, 1)".into());
+                }
+                // normalize: an all-zero annotation IS the fail-free
+                // platform, not a distinguishable sibling of it
+                probs.iter().any(|&f| f != Rat::ZERO).then_some(probs)
+            }
+        };
+        Ok(Platform { speeds, failure })
+    }
+
+    /// Annotates the platform with per-processor failure probabilities
+    /// (builder style). An all-zero vector normalizes back to the
+    /// fail-free representation.
+    ///
+    /// # Panics
+    /// Panics if `probs` has a different length than the platform or
+    /// any probability lies outside `[0, 1)`.
+    pub fn with_failure_probs(self, probs: Vec<Rat>) -> Self {
+        Platform::try_build(self.speeds, Some(probs)).expect("invalid failure probabilities")
+    }
+
+    /// Failure probability `f_u` of processor `u` ([`Rat::ZERO`] on a
+    /// fail-free platform).
+    #[inline]
+    pub fn failure_prob(&self, proc: ProcId) -> Rat {
+        match &self.failure {
+            Some(probs) => probs[proc.0],
+            None => Rat::ZERO,
+        }
+    }
+
+    /// The failure-probability annotation, if any processor can fail.
+    pub fn failure_probs(&self) -> Option<&[Rat]> {
+        self.failure.as_deref()
+    }
+
+    /// Whether any processor has a nonzero failure probability.
+    pub fn can_fail(&self) -> bool {
+        self.failure.is_some()
     }
 
     /// Homogeneous platform: `p` processors of identical speed `s`.
@@ -200,5 +331,55 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: Platform = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn fail_free_platform_serializes_without_failure_field() {
+        let p = Platform::heterogeneous(vec![3, 2, 1]);
+        assert_eq!(serde_json::to_string(&p).unwrap(), r#"{"speeds":[3,2,1]}"#);
+        assert!(!p.can_fail());
+        assert_eq!(p.failure_prob(ProcId(1)), Rat::ZERO);
+    }
+
+    #[test]
+    fn failure_probs_round_trip_both_paths() {
+        let p = Platform::heterogeneous(vec![3, 2])
+            .with_failure_probs(vec![Rat::new(1, 10), Rat::ZERO]);
+        assert!(p.can_fail());
+        assert_eq!(p.failure_prob(ProcId(0)), Rat::new(1, 10));
+        assert_eq!(p.failure_prob(ProcId(1)), Rat::ZERO);
+        let json = serde_json::to_string(&p).unwrap();
+        let tree: Platform = serde_json::from_str(&json).unwrap();
+        let streamed: Platform = serde_json::from_str_streaming(&json).unwrap();
+        assert_eq!(p, tree);
+        assert_eq!(p, streamed);
+    }
+
+    #[test]
+    fn all_zero_failure_probs_normalize_to_fail_free() {
+        let p = Platform::homogeneous(2, 1).with_failure_probs(vec![Rat::ZERO, Rat::ZERO]);
+        assert!(!p.can_fail());
+        assert_eq!(p, Platform::homogeneous(2, 1));
+        assert_eq!(serde_json::to_string(&p).unwrap(), r#"{"speeds":[1,1]}"#);
+    }
+
+    #[test]
+    fn invalid_failure_probs_rejected() {
+        // wrong length
+        let json = r#"{"speeds":[1,1],"failure":[{"num":1,"den":10}]}"#;
+        assert!(serde_json::from_str::<Platform>(json).is_err());
+        assert!(serde_json::from_str_streaming::<Platform>(json).is_err());
+        // probability of one (certain failure) is out of range
+        let json = r#"{"speeds":[1],"failure":[{"num":1,"den":1}]}"#;
+        assert!(serde_json::from_str::<Platform>(json).is_err());
+        // negative probability
+        let json = r#"{"speeds":[1],"failure":[{"num":-1,"den":10}]}"#;
+        assert!(serde_json::from_str::<Platform>(json).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid failure probabilities")]
+    fn mismatched_failure_prob_length_panics() {
+        let _ = Platform::homogeneous(3, 1).with_failure_probs(vec![Rat::new(1, 10)]);
     }
 }

@@ -1,0 +1,242 @@
+//! The reliability model of Benoit/Rehn-Sonigo/Robert, *"Optimizing
+//! Latency and Reliability of Pipeline Workflow Applications"* (2008):
+//! processors fail independently with known probabilities, and
+//! replication buys reliability.
+//!
+//! Each processor `P_u` carries a failure probability `f_u ∈ [0, 1)`
+//! ([`Platform::failure_prob`]; absent annotations mean fail-free). A
+//! stage group survives according to its mode:
+//!
+//! * **Replicated** groups process every data set on every processor,
+//!   so the group fails only if *all* of its processors fail: success
+//!   probability `1 − Π f_u`.
+//! * **Data-parallel** groups split each data set across their
+//!   processors, so the group fails if *any* processor fails: success
+//!   probability `Π (1 − f_u)`.
+//!
+//! A mapping succeeds when every group does; failures are independent,
+//! so its reliability is the product of the group success
+//! probabilities. All arithmetic is exact ([`Rat`]), keeping
+//! reliability bounds decidable without floating-point ties.
+
+use crate::instance::{Objective, ProblemInstance};
+use crate::mapping::{Assignment, Mapping, Mode};
+use crate::platform::Platform;
+use crate::rational::Rat;
+
+/// Success probability of one stage group under the platform's failure
+/// probabilities: `1 − Π f_u` for replicated groups, `Π (1 − f_u)` for
+/// data-parallel ones. `1` on a fail-free platform.
+pub fn group_success(platform: &Platform, assignment: &Assignment) -> Rat {
+    match assignment.mode {
+        Mode::Replicated => {
+            let mut all_fail = Rat::ONE;
+            for &proc in assignment.procs() {
+                all_fail *= platform.failure_prob(proc);
+            }
+            Rat::ONE - all_fail
+        }
+        Mode::DataParallel => {
+            let mut all_live = Rat::ONE;
+            for &proc in assignment.procs() {
+                all_live *= Rat::ONE - platform.failure_prob(proc);
+            }
+            all_live
+        }
+    }
+}
+
+/// Success probability of a whole mapping: the product of
+/// [`group_success`] over its groups (group failures are independent).
+/// `1` on a fail-free platform.
+pub fn mapping_reliability(platform: &Platform, mapping: &Mapping) -> Rat {
+    let mut success = Rat::ONE;
+    for assignment in mapping.assignments() {
+        success *= group_success(platform, assignment);
+    }
+    success
+}
+
+/// What a reliability-constrained objective reduces to on a concrete
+/// instance — computed once per solve so engines can share the
+/// degeneracy analysis instead of re-deriving it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReliabilityReduction {
+    /// The objective carries no reliability bound; nothing to do.
+    NotBounded,
+    /// The bound is vacuous (fail-free platform with `bound <= 1`, or
+    /// any platform with `bound <= 0`): the objective is equivalent to
+    /// the carried unbounded counterpart, which any engine can solve.
+    Trivial(Objective),
+    /// The bound exceeds every attainable reliability (`bound > 1`):
+    /// provably infeasible before any search runs.
+    Unattainable,
+    /// The bound genuinely constrains the mapping space; engines must
+    /// filter by [`mapping_reliability`].
+    Binding(Rat),
+}
+
+/// Reduces `instance.objective`'s reliability bound against the
+/// instance's platform. See [`ReliabilityReduction`] for the cases.
+pub fn reduce(instance: &ProblemInstance) -> ReliabilityReduction {
+    let Some(bound) = instance.objective.reliability_bound() else {
+        return ReliabilityReduction::NotBounded;
+    };
+    let unbounded = match instance.objective {
+        Objective::LatencyUnderReliability(_) => Objective::Latency,
+        Objective::PeriodUnderReliability(_) => Objective::Period,
+        _ => unreachable!("reliability_bound() returned Some"),
+    };
+    if bound > Rat::ONE {
+        // no mapping reaches a success probability above one
+        ReliabilityReduction::Unattainable
+    } else if bound <= Rat::ZERO || !instance.platform.can_fail() {
+        // every legal mapping on a fail-free platform has reliability
+        // exactly one, so any bound <= 1 is met vacuously
+        ReliabilityReduction::Trivial(unbounded)
+    } else {
+        ReliabilityReduction::Binding(bound)
+    }
+}
+
+impl ProblemInstance {
+    /// Success probability of `mapping` on this instance's platform
+    /// ([`mapping_reliability`]); `1` when the platform is fail-free.
+    pub fn reliability(&self, mapping: &Mapping) -> Rat {
+        mapping_reliability(&self.platform, mapping)
+    }
+
+    /// Whether `mapping` meets this instance's reliability bound
+    /// (vacuously true for objectives without one).
+    pub fn meets_reliability_bound(&self, mapping: &Mapping) -> bool {
+        match self.objective.reliability_bound() {
+            None => true,
+            Some(bound) => self.reliability(mapping) >= bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ProcId;
+    use crate::workflow::Pipeline;
+
+    fn faulty_platform() -> Platform {
+        Platform::heterogeneous(vec![2, 1, 1]).with_failure_probs(vec![
+            Rat::new(1, 10),
+            Rat::new(1, 5),
+            Rat::ZERO,
+        ])
+    }
+
+    #[test]
+    fn replicated_group_multiplies_out_failures() {
+        let platform = faulty_platform();
+        let group = Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::Replicated);
+        // 1 - (1/10)(1/5) = 49/50
+        assert_eq!(group_success(&platform, &group), Rat::new(49, 50));
+    }
+
+    #[test]
+    fn data_parallel_group_needs_every_processor() {
+        let platform = faulty_platform();
+        let group = Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::DataParallel);
+        // (9/10)(4/5) = 18/25
+        assert_eq!(group_success(&platform, &group), Rat::new(18, 25));
+    }
+
+    #[test]
+    fn mapping_reliability_is_the_group_product() {
+        let platform = faulty_platform();
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::Replicated),
+            Assignment::single(1, ProcId(2)),
+        ]);
+        // (49/50) * 1
+        assert_eq!(mapping_reliability(&platform, &mapping), Rat::new(49, 50));
+    }
+
+    #[test]
+    fn fail_free_platform_is_perfectly_reliable() {
+        let platform = Platform::homogeneous(3, 1);
+        let mapping = Mapping::new(vec![
+            Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::Replicated),
+            Assignment::single(1, ProcId(2)),
+        ]);
+        assert_eq!(mapping_reliability(&platform, &mapping), Rat::ONE);
+    }
+
+    fn instance_with(objective: Objective, platform: Platform) -> ProblemInstance {
+        ProblemInstance::new(Pipeline::new(vec![3, 5]), platform, false, objective)
+    }
+
+    #[test]
+    fn reduction_cases() {
+        let bound = Rat::new(9, 10);
+        // unbounded objective: nothing to reduce
+        assert_eq!(
+            reduce(&instance_with(Objective::Period, faulty_platform())),
+            ReliabilityReduction::NotBounded
+        );
+        // fail-free platform: bound is vacuous
+        assert_eq!(
+            reduce(&instance_with(
+                Objective::LatencyUnderReliability(bound),
+                Platform::homogeneous(2, 1)
+            )),
+            ReliabilityReduction::Trivial(Objective::Latency)
+        );
+        assert_eq!(
+            reduce(&instance_with(
+                Objective::PeriodUnderReliability(bound),
+                Platform::homogeneous(2, 1)
+            )),
+            ReliabilityReduction::Trivial(Objective::Period)
+        );
+        // bound above one: unattainable even fail-free
+        assert_eq!(
+            reduce(&instance_with(
+                Objective::LatencyUnderReliability(Rat::new(11, 10)),
+                Platform::homogeneous(2, 1)
+            )),
+            ReliabilityReduction::Unattainable
+        );
+        // nonpositive bound: vacuous even on faulty platforms
+        assert_eq!(
+            reduce(&instance_with(
+                Objective::PeriodUnderReliability(Rat::ZERO),
+                faulty_platform()
+            )),
+            ReliabilityReduction::Trivial(Objective::Period)
+        );
+        // faulty platform with a real bound: binding
+        assert_eq!(
+            reduce(&instance_with(
+                Objective::LatencyUnderReliability(bound),
+                faulty_platform()
+            )),
+            ReliabilityReduction::Binding(bound)
+        );
+    }
+
+    #[test]
+    fn meets_reliability_bound_uses_the_mapping() {
+        let instance = instance_with(
+            Objective::LatencyUnderReliability(Rat::new(49, 50)),
+            faulty_platform(),
+        );
+        let replicated = Mapping::new(vec![
+            Assignment::new(vec![0], vec![ProcId(0), ProcId(1)], Mode::Replicated),
+            Assignment::single(1, ProcId(2)),
+        ]);
+        assert!(instance.meets_reliability_bound(&replicated));
+        // an unreplicated stage on the 1/10-failure processor misses it
+        let bare = Mapping::new(vec![
+            Assignment::single(0, ProcId(0)),
+            Assignment::single(1, ProcId(2)),
+        ]);
+        assert_eq!(instance.reliability(&bare), Rat::new(9, 10));
+        assert!(!instance.meets_reliability_bound(&bare));
+    }
+}

@@ -28,11 +28,23 @@ fn random_instances(count: usize, seed: u64) -> Vec<ProblemInstance> {
             } else {
                 gen.het_platform(procs, 1, 5)
             };
-            let objective = match i % 4 {
+            let objective = match i % 6 {
                 0 => Objective::Period,
                 1 => Objective::Latency,
                 2 => Objective::LatencyUnderPeriod(Rat::new(9 + i as i128, 2)),
-                _ => Objective::PeriodUnderLatency(Rat::int(20 + i as i128)),
+                3 => Objective::PeriodUnderLatency(Rat::int(20 + i as i128)),
+                4 => Objective::LatencyUnderReliability(Rat::new(80 + i as i128 % 20, 100)),
+                _ => Objective::PeriodUnderReliability(Rat::new(80 + i as i128 % 20, 100)),
+            };
+            // every third instance gets a failing platform, so the
+            // invariance properties also cover the `failure` field
+            let platform = if i % 3 == 0 {
+                let probs = (0..procs)
+                    .map(|u| Rat::new(1 + (i + u) as i128 % 4, 10))
+                    .collect();
+                platform.with_failure_probs(probs)
+            } else {
+                platform
             };
             let mut instance = ProblemInstance::new(workflow, platform, i % 2 == 1, objective);
             if i % 2 == 0 {
@@ -220,6 +232,142 @@ fn distinct_when_objective_or_bound_changes() {
         ..base.clone()
     };
     assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn distinct_when_failure_probabilities_change() {
+    let mut gen = Gen::new(0xF1_0A);
+    let base = ProblemInstance::new(
+        gen.pipeline(4, 1, 9),
+        repliflow_core::platform::Platform::heterogeneous(vec![3, 2, 1]),
+        true,
+        Objective::Latency,
+    );
+    let annotate = |probs: Vec<Rat>| ProblemInstance {
+        platform: repliflow_core::platform::Platform::heterogeneous(vec![3, 2, 1])
+            .with_failure_probs(probs),
+        ..base.clone()
+    };
+    let failing = annotate(vec![Rat::new(1, 10), Rat::new(1, 20), Rat::new(1, 4)]);
+    assert_ne!(
+        base.fingerprint(),
+        failing.fingerprint(),
+        "failure annotation not reflected"
+    );
+    assert_ne!(
+        failing.fingerprint(),
+        annotate(vec![Rat::new(1, 10), Rat::new(1, 20), Rat::new(1, 5)]).fingerprint(),
+        "single failure-probability change not reflected"
+    );
+    // per-processor assignment matters, not just the multiset
+    assert_ne!(
+        failing.fingerprint(),
+        annotate(vec![Rat::new(1, 4), Rat::new(1, 20), Rat::new(1, 10)]).fingerprint(),
+        "failure-probability permutation not reflected"
+    );
+    // the all-zero annotation IS the fail-free platform (normalized
+    // away), so caching treats the two spellings as one instance
+    assert_eq!(
+        base.fingerprint(),
+        annotate(vec![Rat::ZERO; 3]).fingerprint(),
+        "all-zero annotation must normalize to the fail-free platform"
+    );
+}
+
+#[test]
+fn distinct_when_reliability_bound_or_variant_changes() {
+    let mut gen = Gen::new(0xF1_0B);
+    let base = ProblemInstance::new(
+        gen.pipeline(4, 1, 9),
+        gen.het_platform(3, 1, 4).with_failure_probs(vec![
+            Rat::new(1, 10),
+            Rat::new(1, 20),
+            Rat::new(1, 4),
+        ]),
+        true,
+        Objective::Latency,
+    );
+    let with = |objective: Objective| ProblemInstance {
+        objective,
+        ..base.clone()
+    };
+    let bounded = with(Objective::LatencyUnderReliability(Rat::new(93, 100)));
+    assert_ne!(
+        base.fingerprint(),
+        bounded.fingerprint(),
+        "reliability bound not reflected"
+    );
+    assert_ne!(
+        bounded.fingerprint(),
+        with(Objective::LatencyUnderReliability(Rat::new(94, 100))).fingerprint(),
+        "reliability bound value not reflected"
+    );
+    assert_ne!(
+        bounded.fingerprint(),
+        with(Objective::PeriodUnderReliability(Rat::new(93, 100))).fingerprint(),
+        "reliability-bounded variant (latency vs period) not reflected"
+    );
+}
+
+#[test]
+fn every_objective_arm_has_distinct_fingerprint_coverage() {
+    // Fail-closed guard: this match has NO wildcard, so adding an
+    // `Objective` arm refuses to compile until the new variant is
+    // added both here and to the pairwise-distinctness matrix below.
+    fn exemplar(objective: &Objective) -> Objective {
+        match objective {
+            Objective::Period => Objective::Period,
+            Objective::Latency => Objective::Latency,
+            Objective::LatencyUnderPeriod(b) => Objective::LatencyUnderPeriod(*b),
+            Objective::PeriodUnderLatency(b) => Objective::PeriodUnderLatency(*b),
+            Objective::LatencyUnderReliability(b) => Objective::LatencyUnderReliability(*b),
+            Objective::PeriodUnderReliability(b) => Objective::PeriodUnderReliability(*b),
+            Objective::LatencyUnderPeriodStrict(b) => Objective::LatencyUnderPeriodStrict(*b),
+            Objective::PeriodUnderLatencyStrict(b) => Objective::PeriodUnderLatencyStrict(*b),
+        }
+    }
+    let bound = Rat::new(9, 10);
+    let arms = [
+        Objective::Period,
+        Objective::Latency,
+        Objective::LatencyUnderPeriod(bound),
+        Objective::PeriodUnderLatency(bound),
+        Objective::LatencyUnderReliability(bound),
+        Objective::PeriodUnderReliability(bound),
+        // strict (<) and inclusive (<=) bounds are different problems,
+        // so they must never share a cache entry
+        Objective::LatencyUnderPeriodStrict(bound),
+        Objective::PeriodUnderLatencyStrict(bound),
+    ];
+    let mut gen = Gen::new(0xF1_0C);
+    let base = ProblemInstance::new(
+        gen.pipeline(4, 1, 9),
+        gen.het_platform(3, 1, 4).with_failure_probs(vec![
+            Rat::new(1, 10),
+            Rat::new(1, 20),
+            Rat::new(1, 4),
+        ]),
+        true,
+        Objective::Period,
+    );
+    let mut prints: Vec<u128> = arms
+        .iter()
+        .map(|o| {
+            ProblemInstance {
+                objective: exemplar(o),
+                ..base.clone()
+            }
+            .fingerprint()
+            .as_u128()
+        })
+        .collect();
+    prints.sort_unstable();
+    prints.dedup();
+    assert_eq!(
+        prints.len(),
+        arms.len(),
+        "two objective variants share a fingerprint"
+    );
 }
 
 #[test]

@@ -578,6 +578,8 @@ impl<'a> Ctx<'a> {
         let infeasible = match objective {
             Objective::LatencyUnderPeriod(bound) => lb_period > bound,
             Objective::PeriodUnderLatency(bound) => lb_latency > bound,
+            Objective::LatencyUnderPeriodStrict(bound) => lb_period >= bound,
+            Objective::PeriodUnderLatencyStrict(bound) => lb_latency >= bound,
             _ => false,
         };
         if infeasible {
@@ -585,8 +587,14 @@ impl<'a> Ctx<'a> {
             return true;
         }
         let lb_primary = match objective {
-            Objective::Period | Objective::PeriodUnderLatency(_) => lb_period,
-            Objective::Latency | Objective::LatencyUnderPeriod(_) => lb_latency,
+            Objective::Period
+            | Objective::PeriodUnderLatency(_)
+            | Objective::PeriodUnderLatencyStrict(_)
+            | Objective::PeriodUnderReliability(_) => lb_period,
+            Objective::Latency
+            | Objective::LatencyUnderPeriod(_)
+            | Objective::LatencyUnderPeriodStrict(_)
+            | Objective::LatencyUnderReliability(_) => lb_latency,
         };
         if let Some(bound) = &self.bound {
             if lb_primary > bound.0 {
@@ -2107,12 +2115,7 @@ mod tests {
                 crate::forkjoin::enumerate_forkjoin(fj, platform, dp, &mut visit)
             }
         }
-        let goal = match instance.objective {
-            Objective::Period => Goal::MinPeriod,
-            Objective::Latency => Goal::MinLatency,
-            Objective::LatencyUnderPeriod(b) => Goal::MinLatencyUnderPeriod(b),
-            Objective::PeriodUnderLatency(b) => Goal::MinPeriodUnderLatency(b),
-        };
+        let goal = Goal::from(instance.objective);
         frontier
             .pick(goal)
             .map(|s| instance.objective.score(s.period, s.latency))

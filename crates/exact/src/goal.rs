@@ -15,6 +15,12 @@ pub enum Goal {
     MinLatencyUnderPeriod(Rat),
     /// Minimize the period among mappings with `latency <= bound`.
     MinPeriodUnderLatency(Rat),
+    /// Minimize the latency among mappings with `period < bound` — the
+    /// strict form the ε-constraint Pareto sweep needs (over exact
+    /// rationals there is no smallest ε to subtract from the bound).
+    MinLatencyUnderPeriodStrict(Rat),
+    /// Minimize the period among mappings with `latency < bound`.
+    MinPeriodUnderLatencyStrict(Rat),
 }
 
 /// A mapping together with both of its objective values.
@@ -110,6 +116,14 @@ impl Frontier {
             Goal::MinPeriodUnderLatency(bound) => {
                 self.points.iter().find(|q| q.latency <= bound).cloned()
             }
+            Goal::MinLatencyUnderPeriodStrict(bound) => {
+                // latest point with period < bound has the least latency
+                let idx = self.points.partition_point(|q| q.period < bound);
+                idx.checked_sub(1).map(|i| self.points[i].clone())
+            }
+            Goal::MinPeriodUnderLatencyStrict(bound) => {
+                self.points.iter().find(|q| q.latency < bound).cloned()
+            }
         }
     }
 }
@@ -178,6 +192,31 @@ mod tests {
         // infeasible constraints
         assert!(f.pick(Goal::MinLatencyUnderPeriod(Rat::int(2))).is_none());
         assert!(f.pick(Goal::MinPeriodUnderLatency(Rat::int(1))).is_none());
+    }
+
+    #[test]
+    fn pick_strict_goals() {
+        let mut f = Frontier::new();
+        f.insert(sol(3, 8));
+        f.insert(sol(5, 4));
+        f.insert(sol(8, 2));
+        // period < 5 excludes the (5, 4) point the closed goal picks
+        let s = f
+            .pick(Goal::MinLatencyUnderPeriodStrict(Rat::int(5)))
+            .unwrap();
+        assert_eq!((s.period, s.latency), (Rat::int(3), Rat::int(8)));
+        // latency < 4 excludes (5, 4); the next point is (8, 2)
+        let s = f
+            .pick(Goal::MinPeriodUnderLatencyStrict(Rat::int(4)))
+            .unwrap();
+        assert_eq!((s.period, s.latency), (Rat::int(8), Rat::int(2)));
+        // strict bounds at the frontier's extremes are infeasible
+        assert!(f
+            .pick(Goal::MinLatencyUnderPeriodStrict(Rat::int(3)))
+            .is_none());
+        assert!(f
+            .pick(Goal::MinPeriodUnderLatencyStrict(Rat::int(2)))
+            .is_none());
     }
 
     #[test]

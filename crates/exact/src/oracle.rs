@@ -19,6 +19,14 @@ impl From<Objective> for Goal {
             Objective::Latency => Goal::MinLatency,
             Objective::LatencyUnderPeriod(b) => Goal::MinLatencyUnderPeriod(b),
             Objective::PeriodUnderLatency(b) => Goal::MinPeriodUnderLatency(b),
+            Objective::LatencyUnderPeriodStrict(b) => Goal::MinLatencyUnderPeriodStrict(b),
+            Objective::PeriodUnderLatencyStrict(b) => Goal::MinPeriodUnderLatencyStrict(b),
+            // reliability constrains the mapping, not (period, latency):
+            // the Pareto frontier cannot express it, so the goal is the
+            // unbounded counterpart and callers that admit binding
+            // reliability bounds must filter mappings themselves
+            Objective::LatencyUnderReliability(_) => Goal::MinLatency,
+            Objective::PeriodUnderReliability(_) => Goal::MinPeriod,
         }
     }
 }

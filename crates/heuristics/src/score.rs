@@ -20,11 +20,22 @@ use repliflow_core::workflow::Pipeline;
 pub type Score = (Rat, Rat);
 
 /// Scores `mapping` for `instance` under its objective **and cost
-/// model** (any workflow shape).
+/// model** (any workflow shape). This is the one funnel that has the
+/// mapping in hand, so reliability-bounded objectives are enforced
+/// here: a mapping whose success probability misses the bound scores
+/// `+∞` in the primary slot, with the reliability *shortfall* as the
+/// tiebreak — so searches in the infeasible region are still pulled
+/// toward more reliable mappings.
 pub fn score_instance(instance: &ProblemInstance, mapping: &Mapping) -> Score {
     let (period, latency) = instance
         .objectives(mapping)
         .expect("scored mappings are valid");
+    if let Some(bound) = instance.objective.reliability_bound() {
+        let reliability = instance.reliability(mapping);
+        if reliability < bound {
+            return (Rat::INFINITY, Rat::ONE - reliability);
+        }
+    }
     rank(instance.objective, period, latency)
 }
 

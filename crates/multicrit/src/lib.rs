@@ -1,0 +1,53 @@
+//! # repliflow-multicrit
+//!
+//! Multi-criteria solving on top of `repliflow-solver`: instead of one
+//! [`SolveReport`] for one objective, a [`FrontRequest`] produces a
+//! [`FrontReport`] — the **(period, latency) Pareto front** of an
+//! instance, each point backed by a concrete, validated witness
+//! mapping and annotated with its success probability on platforms
+//! that can fail (`repliflow_core::reliability`).
+//!
+//! Two front engines, routed like the single-objective registry:
+//!
+//! * **`front-exact`** — ε-constraint enumeration of the *complete*
+//!   front: minimize period, then alternate "min latency under this
+//!   period" / "min period under *strictly* better latency"
+//!   ([`Objective::PeriodUnderLatencyStrict`]) until the strict bound
+//!   is proven unattainable. Every inner solve is a proven-optimal
+//!   single-objective solve, so every reported point lies on the true
+//!   front; a proven-infeasible advance proves the front complete.
+//!   Strict bounds (not `bound − ε`) are what make this sound over
+//!   exact rationals: there is no smallest ε between two rationals.
+//! * **`front-sweep`** — heuristic approximation beyond the exact
+//!   capacity: the two single-objective portfolio endpoints plus a
+//!   uniform grid of latency bounds in between, dominance-filtered
+//!   into a clean front. Never worse than the single-objective
+//!   portfolio at the endpoints (those very solves are candidates).
+//!
+//! [`FrontEnginePref::Auto`] picks `front-exact` whenever the instance
+//! fits the solve [`Budget`]'s exact-enumeration guards, `front-sweep`
+//! beyond. The [`Budget`] gains two front knobs for this crate:
+//! `max_front_points` (point ceiling; an over-long front is reported
+//! [`FrontReport::truncated`]) and `front_time_limit_ms` (wall-clock
+//! cap for the whole sweep).
+//!
+//! Determinism contract: a [`FrontReport`]'s
+//! [`canonical_json`](FrontReport::canonical_json) is byte-identical
+//! across runs, worker counts and serving layers (the daemon's
+//! `pareto` verb embeds it verbatim) — inner solves run sequentially
+//! through the deterministic solver service, and only
+//! deterministically-produced fronts are cached.
+//!
+//! [`SolveReport`]: repliflow_solver::SolveReport
+//! [`Budget`]: repliflow_solver::Budget
+//! [`Objective::PeriodUnderLatencyStrict`]: repliflow_core::instance::Objective::PeriodUnderLatencyStrict
+
+#![warn(missing_docs)]
+
+mod report;
+mod request;
+mod solver;
+
+pub use report::{FrontPoint, FrontReport};
+pub use request::{FrontEnginePref, FrontRequest};
+pub use solver::FrontSolver;

@@ -1,0 +1,106 @@
+//! The report side of the front API: the traced front, point by
+//! point, plus its canonical JSON form.
+
+use repliflow_core::mapping::Mapping;
+use repliflow_core::rational::Rat;
+use repliflow_solver::{Optimality, Provenance};
+use std::time::Duration;
+
+/// One point of a (period, latency) Pareto front, backed by a concrete
+/// witness mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontPoint {
+    /// Period of the witness mapping.
+    pub period: Rat,
+    /// Latency of the witness mapping.
+    pub latency: Rat,
+    /// Success probability of the witness mapping, on platforms with
+    /// failure probabilities attached (`None` on fail-free platforms —
+    /// where it would always be 1).
+    pub reliability: Option<Rat>,
+    /// The witness mapping achieving (period, latency).
+    pub mapping: Mapping,
+    /// Strength of this point: `Proven` from the exact enumeration,
+    /// `Heuristic` from the sweep.
+    pub optimality: Optimality,
+}
+
+/// The result of one front solve: the dominance-sorted points and how
+/// trustworthy the set is as a whole.
+#[derive(Clone, Debug)]
+pub struct FrontReport {
+    /// The front, sorted by strictly ascending period and strictly
+    /// descending latency (every report upholds this, exact or sweep).
+    pub points: Vec<FrontPoint>,
+    /// Whether the front is **provably complete**: the exact engine's
+    /// strict-bound advance was proven infeasible, so no Pareto point
+    /// is missing. Sweeps never set this.
+    pub complete: bool,
+    /// Whether the trace stopped early on [`Budget::max_front_points`]
+    /// or `front_time_limit_ms` — points past the cut are missing.
+    ///
+    /// [`Budget::max_front_points`]: repliflow_solver::Budget::max_front_points
+    pub truncated: bool,
+    /// `"front-exact"` or `"front-sweep"`.
+    pub engine_used: &'static str,
+    /// Whether this report was computed for this request or served from
+    /// the front cache (serving metadata, excluded from
+    /// [`FrontReport::canonical_json`]).
+    pub provenance: Provenance,
+    /// Wall-clock time spent computing the front (a cached report keeps
+    /// its original compute time).
+    pub wall_time: Duration,
+}
+
+impl FrontReport {
+    /// Canonical JSON form of everything **deterministic** in the
+    /// report — the full front minus `wall_time` and `provenance`
+    /// (serving metadata: a cache hit must be byte-identical to the
+    /// fresh computation it stands in for). The daemon's `pareto` verb
+    /// embeds these bytes verbatim, so a remote front solve is
+    /// byte-identical to an in-process one.
+    pub fn canonical_json(&self) -> String {
+        use serde_json::Value;
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("period".to_string(), Value::String(p.period.to_string())),
+                    ("latency".to_string(), Value::String(p.latency.to_string())),
+                    (
+                        "reliability".to_string(),
+                        match p.reliability {
+                            Some(r) => Value::String(r.to_string()),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("mapping".to_string(), Value::String(p.mapping.to_string())),
+                    (
+                        "optimality".to_string(),
+                        Value::String(p.optimality.to_string()),
+                    ),
+                ])
+            })
+            .collect();
+        let fields = vec![
+            (
+                "engine".to_string(),
+                Value::String(self.engine_used.to_string()),
+            ),
+            ("complete".to_string(), Value::Bool(self.complete)),
+            ("truncated".to_string(), Value::Bool(self.truncated)),
+            ("points".to_string(), Value::Array(points)),
+        ];
+        serde_json::to_string(&Value::Object(fields)).expect("front serialization is infallible")
+    }
+
+    /// Whether `points` is strictly dominance-sorted: period strictly
+    /// ascending, latency strictly descending. Every front this crate
+    /// produces upholds it (pinned by the property tests).
+    pub fn is_dominance_sorted(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[0].period < w[1].period && w[0].latency > w[1].latency)
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::protocol::{ErrorCode, PROTOCOL_VERSION};
 use repliflow_core::instance::ProblemInstance;
+use repliflow_multicrit::FrontEnginePref;
 use repliflow_solver::{EnginePref, Quality};
 use serde::{Serialize, Value};
 use serde_json::parse_value;
@@ -25,6 +26,16 @@ pub fn engine_wire_name(engine: EnginePref) -> &'static str {
         EnginePref::Paper => "paper",
         EnginePref::CommBb => "comm-bb",
         EnginePref::Hedged => "hedged",
+    }
+}
+
+/// The wire spelling of a [`FrontEnginePref`] (inverse of
+/// [`FrontEnginePref::parse`]).
+pub fn front_engine_wire_name(engine: FrontEnginePref) -> &'static str {
+    match engine {
+        FrontEnginePref::Auto => "auto",
+        FrontEnginePref::Exact => "exact",
+        FrontEnginePref::Sweep => "sweep",
     }
 }
 
@@ -181,6 +192,101 @@ impl RemoteReport {
     }
 }
 
+/// A pareto response as it crossed the wire. `canonical` is the
+/// daemon-side front's canonical JSON object, embedded verbatim —
+/// [`RemoteFrontReport::canonical_json`] re-serializes it
+/// byte-identically to what [`FrontReport::canonical_json`] produced
+/// in the daemon. The other fields are serving metadata.
+///
+/// [`FrontReport::canonical_json`]: repliflow_multicrit::FrontReport::canonical_json
+#[derive(Clone, Debug)]
+pub struct RemoteFrontReport {
+    /// The canonical front object (verbatim from the daemon).
+    pub canonical: Value,
+    /// Number of front points.
+    pub n_points: usize,
+    /// `computed` or `cached` (daemon-side front-cache provenance).
+    pub provenance: String,
+    /// Daemon-side front wall time in milliseconds.
+    pub wall_time_ms: f64,
+}
+
+impl RemoteFrontReport {
+    fn from_wire(ok: &Value) -> Result<RemoteFrontReport, RemoteError> {
+        let field = |name: &str| {
+            ok.field(name)
+                .ok_or_else(|| RemoteError::Protocol(format!("pareto payload missing `{name}`")))
+        };
+        let n_points = match field("n_points")? {
+            Value::Int(v) if (0..=u32::MAX as i128).contains(v) => *v as usize,
+            v => {
+                return Err(RemoteError::Protocol(format!(
+                    "`n_points` is not a count: {v:?}"
+                )));
+            }
+        };
+        let provenance = field("provenance")?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| RemoteError::Protocol("`provenance` is not a string".into()))?;
+        let wall_time_ms = match field("wall_time_ms")? {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            _ => {
+                return Err(RemoteError::Protocol(
+                    "`wall_time_ms` is not a number".into(),
+                ))
+            }
+        };
+        Ok(RemoteFrontReport {
+            canonical: field("canonical")?.clone(),
+            n_points,
+            provenance,
+            wall_time_ms,
+        })
+    }
+
+    /// The canonical JSON string — byte-identical to the daemon-side
+    /// [`FrontReport::canonical_json`] output.
+    ///
+    /// [`FrontReport::canonical_json`]: repliflow_multicrit::FrontReport::canonical_json
+    pub fn canonical_json(&self) -> String {
+        // Value trees always re-serialize; a "null" sentinel fails any
+        // downstream byte comparison loudly without panicking.
+        serde_json::to_string(&self.canonical).unwrap_or_else(|_| "null".into())
+    }
+
+    /// Whether the daemon served this front from its front cache.
+    pub fn is_cached(&self) -> bool {
+        self.provenance == "cached"
+    }
+}
+
+/// Per-request options for [`RemoteClient::pareto`]; mirrors the wire
+/// fields of the `pareto` verb.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteParetoOptions {
+    /// Front engine routing preference.
+    pub engine: FrontEnginePref,
+    /// Heuristic effort tier for every inner solve.
+    pub quality: Quality,
+    /// Per-point witness re-validation daemon-side.
+    pub validate: bool,
+    /// Optional override of the daemon budget's `max_front_points`.
+    pub points: Option<usize>,
+}
+
+impl Default for RemoteParetoOptions {
+    fn default() -> Self {
+        RemoteParetoOptions {
+            engine: FrontEnginePref::Auto,
+            quality: Quality::Balanced,
+            validate: true,
+            points: None,
+        }
+    }
+}
+
 /// Per-request options for [`RemoteClient::solve`]; mirrors the wire
 /// fields of the `solve` verb.
 #[derive(Clone, Copy, Debug)]
@@ -307,6 +413,33 @@ impl RemoteClient {
         }
         let ok = self.roundtrip(fields)?;
         RemoteReport::from_wire(&ok)
+    }
+
+    /// Traces one instance's (period, latency) Pareto front on the
+    /// daemon.
+    pub fn pareto(
+        &mut self,
+        instance: &ProblemInstance,
+        options: &RemoteParetoOptions,
+    ) -> Result<RemoteFrontReport, RemoteError> {
+        let mut fields = vec![
+            ("verb".to_string(), Value::String("pareto".into())),
+            ("instance".to_string(), instance.serialize()),
+            (
+                "engine".to_string(),
+                Value::String(front_engine_wire_name(options.engine).into()),
+            ),
+            (
+                "quality".to_string(),
+                Value::String(quality_wire_name(options.quality).into()),
+            ),
+            ("validate".to_string(), Value::Bool(options.validate)),
+        ];
+        if let Some(points) = options.points {
+            fields.push(("points".to_string(), Value::Int(points as i128)));
+        }
+        let ok = self.roundtrip(fields)?;
+        RemoteFrontReport::from_wire(&ok)
     }
 
     /// Fetches the daemon's metrics snapshot (the `stats` verb).

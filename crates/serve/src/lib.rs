@@ -7,9 +7,10 @@
 //! cache) in a TCP daemon speaking a line-delimited JSON protocol:
 //!
 //! * [`protocol`] — the wire grammar: versioned requests with echoed
-//!   ids, four verbs (`solve`, `stats`, `ping`, `shutdown`), structured
-//!   error envelopes. Malformed, oversized or mis-versioned lines get
-//!   an error response, never a dropped connection or a panic.
+//!   ids, five verbs (`solve`, `pareto`, `stats`, `ping`, `shutdown`),
+//!   structured error envelopes. Malformed, oversized or mis-versioned
+//!   lines get an error response, never a dropped connection or a
+//!   panic.
 //! * [`admission`] — bounded admission with immediate load-shedding
 //!   (`overloaded`), a per-connection in-flight cap, and counters.
 //! * [`server`] — the daemon: thread-per-connection accept loop,
@@ -24,10 +25,13 @@
 //! report is **byte-identical** to an in-process solve of the same
 //! instance — the daemon embeds [`SolveReport::canonical_json`]'s
 //! object verbatim in the response and the client re-serializes it
-//! without reordering (pinned by `tests/daemon.rs`).
+//! without reordering (pinned by `tests/daemon.rs`). The `pareto` verb
+//! extends the same guarantee to whole Pareto fronts
+//! ([`FrontReport::canonical_json`]).
 //!
 //! [`SolverService`]: repliflow_solver::SolverService
 //! [`SolveReport::canonical_json`]: repliflow_solver::SolveReport::canonical_json
+//! [`FrontReport::canonical_json`]: repliflow_multicrit::FrontReport::canonical_json
 
 pub mod admission;
 pub mod client;
@@ -38,8 +42,8 @@ pub mod signal;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats, RejectReason, Ticket};
 pub use client::{
-    engine_wire_name, quality_wire_name, RemoteClient, RemoteError, RemoteReport,
-    RemoteSolveOptions,
+    engine_wire_name, front_engine_wire_name, quality_wire_name, RemoteClient, RemoteError,
+    RemoteFrontReport, RemoteParetoOptions, RemoteReport, RemoteSolveOptions,
 };
 pub use protocol::{ErrorCode, DEFAULT_MAX_LINE_BYTES, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle, DEFAULT_PORT};

@@ -11,6 +11,8 @@
 //! {"v":1,"id":2,"verb":"stats"}
 //! {"v":1,"id":3,"verb":"ping"}
 //! {"v":1,"id":4,"verb":"shutdown"}
+//! {"v":1,"id":5,"verb":"pareto","instance":{...},"engine":"auto",
+//!  "quality":"balanced","validate":true,"points":16}
 //! ```
 //!
 //! * `v` — protocol version, required, must equal
@@ -19,13 +21,19 @@
 //! * `id` — required request id (string or integer), echoed verbatim
 //!   on the response so clients may pipeline requests and match
 //!   responses arriving in completion order.
-//! * `verb` — `solve`, `stats`, `ping` or `shutdown`.
+//! * `verb` — `solve`, `pareto`, `stats`, `ping` or `shutdown`.
 //! * `solve` only: `instance` (required; the same JSON accepted by the
 //!   `solve` CLI and golden instance files), plus optional `engine`
 //!   (`auto`/`exact`/`heuristic`/`paper`/`comm-bb`), `quality`
 //!   (`fast`/`balanced`/`thorough`), `validate` (bool, default true)
 //!   and `deadline_ms` (integer; the deadline clock starts when the
 //!   daemon parses the request, so it covers queueing).
+//! * `pareto` only: `instance` (required, same JSON; its `objective`
+//!   field is ignored — a front is always traced over period and
+//!   latency), plus optional `engine` (`auto`/`exact`/`sweep` — the
+//!   *front* engine vocabulary, not the solve one), `quality`,
+//!   `validate`, and `points` (positive integer overriding the
+//!   daemon budget's `max_front_points`).
 //!
 //! Unknown top-level fields are rejected (`bad_request`) instead of
 //! ignored: a client typo like `"dedline_ms"` must not silently solve
@@ -41,10 +49,11 @@
 //! ```
 //!
 //! `ok` payloads: a [report object](report_to_wire) for `solve`, a
-//! metrics snapshot for `stats`, `{"pong":true}` for `ping`,
-//! `{"draining":true}` for `shutdown`. Error codes are enumerated by
-//! [`ErrorCode`].
+//! [front object](front_to_wire) for `pareto`, a metrics snapshot for
+//! `stats`, `{"pong":true}` for `ping`, `{"draining":true}` for
+//! `shutdown`. Error codes are enumerated by [`ErrorCode`].
 
+use repliflow_multicrit::{FrontEnginePref, FrontReport};
 use repliflow_solver::{EnginePref, Quality, SolveError, SolveReport};
 use serde::{Deserialize, Value};
 use serde_json::parse_value;
@@ -152,6 +161,24 @@ pub struct SolveBody {
     pub deadline_ms: Option<u64>,
 }
 
+/// The pareto-specific body of a request.
+#[derive(Clone, Debug)]
+pub struct ParetoBody {
+    /// The instance whose (period, latency) front to trace; its
+    /// `objective` field is ignored (see
+    /// [`repliflow_multicrit::FrontRequest`]).
+    pub instance: repliflow_core::instance::ProblemInstance,
+    /// Front engine routing preference (default `auto`).
+    pub engine: FrontEnginePref,
+    /// Heuristic effort tier applied to every inner solve (default
+    /// `balanced`).
+    pub quality: Quality,
+    /// Per-point witness re-validation (default true).
+    pub validate: bool,
+    /// Optional override of the daemon budget's `max_front_points`.
+    pub points: Option<usize>,
+}
+
 /// A parsed request line.
 #[derive(Clone, Debug)]
 pub struct WireRequest {
@@ -167,6 +194,8 @@ pub struct WireRequest {
 pub enum Verb {
     /// Solve one instance.
     Solve(Box<SolveBody>),
+    /// Trace one instance's (period, latency) Pareto front.
+    Pareto(Box<ParetoBody>),
     /// Return the metrics snapshot.
     Stats,
     /// Liveness probe.
@@ -253,7 +282,6 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFailure> {
     let Some(verb) = root.field("verb").and_then(Value::as_str) else {
         return fail(ErrorCode::BadRequest, "missing `verb` string".to_string());
     };
-    let solve_only = ["instance", "engine", "quality", "validate", "deadline_ms"];
     let allowed: &[&str] = match verb {
         "solve" => &[
             "v",
@@ -265,6 +293,9 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFailure> {
             "validate",
             "deadline_ms",
         ],
+        "pareto" => &[
+            "v", "id", "verb", "instance", "engine", "quality", "validate", "points",
+        ],
         "stats" | "ping" | "shutdown" => &["v", "id", "verb"],
         other => {
             return fail(ErrorCode::BadRequest, format!("unknown verb `{other}`"));
@@ -272,10 +303,15 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFailure> {
     };
     for (key, _) in fields {
         if !allowed.contains(&key.as_str()) {
-            let hint = if solve_only.contains(&key.as_str()) {
-                format!(" (only valid on verb `solve`, not `{verb}`)")
-            } else {
-                String::new()
+            // Point a misplaced-but-known field at the verb it belongs
+            // to instead of calling it unknown.
+            let hint = match key.as_str() {
+                "deadline_ms" => format!(" (only valid on verb `solve`, not `{verb}`)"),
+                "points" => format!(" (only valid on verb `pareto`, not `{verb}`)"),
+                "instance" | "engine" | "quality" | "validate" => {
+                    format!(" (only valid on verbs `solve` and `pareto`, not `{verb}`)")
+                }
+                _ => String::new(),
             };
             return fail(
                 ErrorCode::BadRequest,
@@ -287,6 +323,74 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFailure> {
         "stats" => Verb::Stats,
         "ping" => Verb::Ping,
         "shutdown" => Verb::Shutdown,
+        "pareto" => {
+            let Some(instance_value) = root.field("instance") else {
+                return fail(
+                    ErrorCode::BadRequest,
+                    "verb `pareto` requires an `instance` object".to_string(),
+                );
+            };
+            let instance =
+                match repliflow_core::instance::ProblemInstance::deserialize(instance_value) {
+                    Ok(instance) => instance,
+                    Err(e) => {
+                        return fail(ErrorCode::BadRequest, format!("invalid instance: {e}"));
+                    }
+                };
+            let engine = match root.field("engine") {
+                None => FrontEnginePref::Auto,
+                Some(v) => match v.as_str().and_then(FrontEnginePref::parse) {
+                    Some(engine) => engine,
+                    None => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid front `engine` {v:?} (auto|exact|sweep)"),
+                        );
+                    }
+                },
+            };
+            let quality = match root.field("quality") {
+                None => Quality::Balanced,
+                Some(v) => match v.as_str().and_then(Quality::parse) {
+                    Some(quality) => quality,
+                    None => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid `quality` {v:?} (fast|balanced|thorough)"),
+                        );
+                    }
+                },
+            };
+            let validate = match root.field("validate") {
+                None => true,
+                Some(Value::Bool(b)) => *b,
+                Some(v) => {
+                    return fail(
+                        ErrorCode::BadRequest,
+                        format!("invalid `validate` {v:?} (boolean required)"),
+                    );
+                }
+            };
+            let points = match root.field("points") {
+                None => None,
+                Some(v) => match v.as_int() {
+                    Some(n) if (1..=u32::MAX as i128).contains(&n) => Some(n as usize),
+                    _ => {
+                        return fail(
+                            ErrorCode::BadRequest,
+                            format!("invalid `points` {v:?} (positive integer required)"),
+                        );
+                    }
+                },
+            };
+            Verb::Pareto(Box::new(ParetoBody {
+                instance,
+                engine,
+                quality,
+                validate,
+                points,
+            }))
+        }
         _solve => {
             let Some(instance_value) = root.field("instance") else {
                 return fail(
@@ -456,6 +560,34 @@ pub fn report_to_wire(report: &SolveReport) -> Value {
     ])
 }
 
+/// The `ok` payload of a pareto response. Mirrors [`report_to_wire`]:
+/// the `canonical` field embeds the front's
+/// [`canonical_json`](FrontReport::canonical_json) object **verbatim**
+/// — the deterministic front content a remote client re-serializes to
+/// get bytes identical to an in-process front solve — and the siblings
+/// carry serving metadata the canonical form deliberately excludes.
+pub fn front_to_wire(report: &FrontReport) -> Value {
+    // Our own serializer produced the canonical text, so the parse
+    // cannot fail; ship it as an opaque string rather than panicking
+    // the connection thread if that ever changes.
+    let canonical = match parse_value(&report.canonical_json()) {
+        Ok(value) => value,
+        Err(_) => Value::String(report.canonical_json()),
+    };
+    Value::Object(vec![
+        ("canonical".into(), canonical),
+        ("n_points".into(), Value::Int(report.points.len() as i128)),
+        (
+            "provenance".into(),
+            Value::String(report.provenance.to_string()),
+        ),
+        (
+            "wall_time_ms".into(),
+            Value::Float(report.wall_time.as_secs_f64() * 1e3),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +614,76 @@ mod tests {
         assert!(!body.validate);
         assert_eq!(body.deadline_ms, Some(250));
         assert_eq!(body.instance.workflow.n_stages(), 4);
+    }
+
+    #[test]
+    fn parses_a_full_pareto_request() {
+        let line = format!(
+            r#"{{"v":1,"id":"p-1","verb":"pareto","instance":{},"engine":"sweep",
+                "quality":"thorough","validate":false,"points":16}}"#,
+            instance_json()
+        );
+        let request = parse_request(&line).unwrap();
+        let Verb::Pareto(body) = request.verb else {
+            panic!("expected pareto verb");
+        };
+        assert_eq!(body.engine, FrontEnginePref::Sweep);
+        assert_eq!(body.quality, Quality::Thorough);
+        assert!(!body.validate);
+        assert_eq!(body.points, Some(16));
+        assert_eq!(body.instance.workflow.n_stages(), 4);
+    }
+
+    #[test]
+    fn pareto_defaults_mirror_solve_defaults() {
+        let line = format!(
+            r#"{{"v":1,"id":"p-2","verb":"pareto","instance":{}}}"#,
+            instance_json()
+        );
+        let Verb::Pareto(body) = parse_request(&line).unwrap().verb else {
+            panic!("expected pareto verb");
+        };
+        assert_eq!(body.engine, FrontEnginePref::Auto);
+        assert_eq!(body.quality, Quality::Balanced);
+        assert!(body.validate);
+        assert_eq!(body.points, None);
+    }
+
+    #[test]
+    fn pareto_rejects_the_solve_engine_vocabulary() {
+        let line = format!(
+            r#"{{"v":1,"id":"p-3","verb":"pareto","instance":{},"engine":"comm-bb"}}"#,
+            instance_json()
+        );
+        let failure = parse_request(&line).unwrap_err();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        assert!(failure.message.contains("auto|exact|sweep"));
+    }
+
+    #[test]
+    fn pareto_rejects_non_positive_points() {
+        for points in ["0", "-3", "\"many\""] {
+            let line = format!(
+                r#"{{"v":1,"id":"p-4","verb":"pareto","instance":{},"points":{points}}}"#,
+                instance_json()
+            );
+            let failure = parse_request(&line).unwrap_err();
+            assert_eq!(failure.code, ErrorCode::BadRequest);
+            assert!(failure.message.contains("points"), "{}", failure.message);
+        }
+    }
+
+    #[test]
+    fn misplaced_fields_name_the_right_verb() {
+        let failure = parse_request(r#"{"v":1,"id":"x","verb":"solve","instance":{},"points":4}"#)
+            .unwrap_err();
+        assert!(failure.message.contains("only valid on verb `pareto`"));
+        let line = format!(
+            r#"{{"v":1,"id":"x","verb":"pareto","instance":{},"deadline_ms":5}}"#,
+            instance_json()
+        );
+        let failure = parse_request(&line).unwrap_err();
+        assert!(failure.message.contains("only valid on verb `solve`"));
     }
 
     #[test]

@@ -42,10 +42,11 @@
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::protocol::{
-    err_response, ok_response, parse_request, report_to_wire, ErrorCode, Verb,
+    err_response, front_to_wire, ok_response, parse_request, report_to_wire, ErrorCode, Verb,
     DEFAULT_MAX_LINE_BYTES,
 };
 use crate::{metrics, signal};
+use repliflow_multicrit::{FrontRequest, FrontSolver};
 use repliflow_solver::{Budget, Deadline, SolveRequest, SolverService};
 use repliflow_sync::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use repliflow_sync::sync::{mpsc, Arc};
@@ -157,6 +158,7 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     service: Arc<SolverService>,
+    front: Arc<FrontSolver>,
     shared: Arc<ServerShared>,
 }
 
@@ -175,9 +177,18 @@ impl Server {
         if let Some(workers) = config.workers {
             builder = builder.workers(workers);
         }
+        let service = Arc::new(builder.build());
+        // Front cache geometry follows the solve cache's on/off switch:
+        // a daemon with solve caching disabled caches no fronts either.
+        let front = if config.cache_capacity == 0 {
+            FrontSolver::without_cache(Arc::clone(&service))
+        } else {
+            FrontSolver::new(Arc::clone(&service))
+        };
         Ok(Server {
             listener,
-            service: Arc::new(builder.build()),
+            service,
+            front: Arc::new(front),
             shared: Arc::new(ServerShared {
                 admission: Admission::new(config.admission),
                 draining: AtomicBool::new(false),
@@ -208,6 +219,11 @@ impl Server {
         &self.service
     }
 
+    /// The shared front solver behind the `pareto` verb.
+    pub fn front_solver(&self) -> &Arc<FrontSolver> {
+        &self.front
+    }
+
     /// Serves until drain is requested, then drains and returns. On a
     /// clean drain every admitted request has been answered and every
     /// connection closed by the time this returns.
@@ -215,6 +231,7 @@ impl Server {
         let Server {
             listener,
             service,
+            front,
             shared,
         } = self;
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -227,11 +244,12 @@ impl Server {
                     shared.connections_total.fetch_add(1, Ordering::Relaxed);
                     shared.connections_open.fetch_add(1, Ordering::Relaxed);
                     let service = Arc::clone(&service);
+                    let front = Arc::clone(&front);
                     let shared_conn = Arc::clone(&shared);
                     let spawned = repliflow_sync::thread::Builder::new()
                         .name("repliflow-serve-conn".into())
                         .spawn(move || {
-                            handle_connection(stream, &service, &shared_conn);
+                            handle_connection(stream, &service, &front, &shared_conn);
                             // relaxed: gauge metric only (see above).
                             shared_conn.connections_open.fetch_sub(1, Ordering::Relaxed);
                         });
@@ -362,7 +380,12 @@ impl<'a> LineReader<'a> {
 /// Serves one connection: reads requests until EOF/drain, answers via
 /// the writer thread, then waits for every admitted solve's response
 /// to flush before hanging up.
-fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &Arc<ServerShared>) {
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<SolverService>,
+    front: &Arc<FrontSolver>,
+    shared: &Arc<ServerShared>,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
@@ -407,7 +430,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &A
                 if line.trim().is_empty() {
                     continue;
                 }
-                handle_line(&line, service, shared, &conn_inflight, &tx);
+                handle_line(&line, service, front, shared, &conn_inflight, &tx);
             }
             Line::TooLong => {
                 let _ = tx.send(err_response(
@@ -433,6 +456,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<SolverService>, shared: &A
 fn handle_line(
     line: &str,
     service: &Arc<SolverService>,
+    front: &Arc<FrontSolver>,
     shared: &Arc<ServerShared>,
     conn_inflight: &Arc<AtomicUsize>,
     tx: &mpsc::Sender<String>,
@@ -506,6 +530,66 @@ fn handle_line(
                 drop(ticket);
                 let _ = tx.send(response);
             });
+        }
+        Verb::Pareto(body) => {
+            if shared.draining() {
+                let _ = tx.send(err_response(
+                    &id,
+                    ErrorCode::ShuttingDown,
+                    "daemon is draining; no new requests admitted",
+                ));
+                return;
+            }
+            let ticket = match shared.admission.try_admit(conn_inflight) {
+                Ok(ticket) => ticket,
+                Err(reason) => {
+                    let _ = tx.send(err_response(
+                        &id,
+                        ErrorCode::Overloaded,
+                        &reason.message(shared.admission.config()),
+                    ));
+                    return;
+                }
+            };
+            let mut budget = shared.default_budget.quality(body.quality);
+            if let Some(points) = body.points {
+                budget = budget.max_front_points(points);
+            }
+            let request = FrontRequest::new(body.instance)
+                .engine(body.engine)
+                .budget(budget)
+                .validate_witness(body.validate);
+            let front = Arc::clone(front);
+            let front_tx = tx.clone();
+            let front_id = id.clone();
+            // A front solve is a *sequence* of pool solves; running it
+            // on the connection thread would stall pipelined siblings
+            // behind the whole sweep, so it gets its own orchestration
+            // thread (the compute still runs on the shared pool, which
+            // bounds total solve concurrency).
+            let spawned = repliflow_sync::thread::Builder::new()
+                .name("repliflow-serve-front".into())
+                .spawn(move || {
+                    let response = match front.solve_front(&request) {
+                        Ok(report) => ok_response(&front_id, front_to_wire(&report)),
+                        Err(error) => {
+                            let (code, message) = ErrorCode::of_solve_error(&error);
+                            err_response(&front_id, code, &message)
+                        }
+                    };
+                    // Same release-before-answer ordering as solve.
+                    drop(ticket);
+                    let _ = front_tx.send(response);
+                });
+            if spawned.is_err() {
+                // Resource exhaustion: shed this request; the ticket
+                // (moved into the dropped closure) releases on drop.
+                let _ = tx.send(err_response(
+                    &id,
+                    ErrorCode::Overloaded,
+                    "cannot spawn a front orchestration thread; retry later",
+                ));
+            }
         }
     }
 }

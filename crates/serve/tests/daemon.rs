@@ -145,6 +145,68 @@ fn golden_roundtrips_are_byte_identical_to_in_process_solves() {
 }
 
 #[test]
+fn pareto_roundtrips_are_byte_identical_to_in_process_fronts() {
+    use repliflow_multicrit::{FrontRequest, FrontSolver};
+    use repliflow_serve::RemoteParetoOptions;
+    let (addr, handle, join) = start(ServerConfig::default());
+    let front = FrontSolver::new(repliflow_sync::sync::Arc::new(
+        SolverService::builder().build(),
+    ));
+    let mut client = RemoteClient::connect(addr).expect("client connects");
+    // A small point cap keeps the sweep over the large golden
+    // instances fast; the cut is deterministic, so byte-identity is
+    // exercised exactly as hard as with the full front.
+    let points = 6;
+    let budget = Budget::default().max_front_points(points);
+    let options = RemoteParetoOptions {
+        points: Some(points),
+        ..RemoteParetoOptions::default()
+    };
+    for path in golden_instances() {
+        let instance = load_instance(&path);
+        let local = front
+            .solve_front(&FrontRequest::new(instance.clone()).budget(budget))
+            .unwrap_or_else(|e| panic!("local front of {path:?} failed: {e}"));
+        let remote = client
+            .pareto(&instance, &options)
+            .unwrap_or_else(|e| panic!("remote front of {path:?} failed: {e}"));
+        assert_eq!(
+            remote.canonical_json(),
+            local.canonical_json(),
+            "remote front for {path:?} diverges from the in-process front"
+        );
+        assert_eq!(remote.n_points, local.points.len());
+        assert!(remote.wall_time_ms >= 0.0);
+    }
+    // A repeated front is served from the daemon's front cache,
+    // byte-identically.
+    let instance = load_instance(&golden_instances()[0]);
+    let local = front
+        .solve_front(&FrontRequest::new(instance.clone()).budget(budget))
+        .expect("local front");
+    let again = client
+        .pareto(&instance, &options)
+        .expect("cached remote front");
+    assert!(again.is_cached(), "second identical pareto should hit");
+    assert_eq!(again.canonical_json(), local.canonical_json());
+
+    // The points override changes the request (no false cache hit) and
+    // bounds the front length.
+    let capped = client
+        .pareto(
+            &instance,
+            &RemoteParetoOptions {
+                points: Some(1),
+                ..RemoteParetoOptions::default()
+            },
+        )
+        .expect("capped remote front");
+    assert!(capped.n_points <= 1);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
 fn concurrent_clients_each_get_consistent_reports() {
     let (addr, handle, join) = start(ServerConfig::default());
     // Reference canonical answers, solved once in-process.

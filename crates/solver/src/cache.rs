@@ -95,24 +95,24 @@ impl CacheStats {
 
 const NIL: usize = usize::MAX;
 
-struct Entry {
+struct Entry<V> {
     key: InstanceFingerprint,
-    report: Arc<SolveReport>,
+    report: Arc<V>,
     prev: usize,
     next: usize,
 }
 
-struct Inner {
+struct Inner<V> {
     index: HashMap<InstanceFingerprint, usize>,
-    entries: Vec<Entry>,
+    entries: Vec<Entry<V>>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
     stats: CacheStats,
 }
 
-impl Inner {
-    fn new() -> Inner {
+impl<V> Inner<V> {
+    fn new() -> Inner<V> {
         Inner {
             index: HashMap::new(),
             entries: Vec::new(),
@@ -149,7 +149,7 @@ impl Inner {
 
     /// One shard's LRU lookup. A hit hands back a pointer clone of the
     /// shared entry — O(1), no report deep-copy on the warm path.
-    fn get(&mut self, key: InstanceFingerprint) -> Option<Arc<SolveReport>> {
+    fn get(&mut self, key: InstanceFingerprint) -> Option<Arc<V>> {
         match self.index.get(&key).copied() {
             Some(i) => {
                 self.stats.hits += 1;
@@ -165,7 +165,7 @@ impl Inner {
     }
 
     /// One shard's LRU insert under a per-shard `capacity`.
-    fn insert(&mut self, key: InstanceFingerprint, report: Arc<SolveReport>, capacity: usize) {
+    fn insert(&mut self, key: InstanceFingerprint, report: Arc<V>, capacity: usize) {
         self.stats.insertions += 1;
         if let Some(i) = self.index.get(&key).copied() {
             self.entries[i].report = report;
@@ -207,22 +207,30 @@ impl Inner {
     }
 }
 
-/// A bounded, thread-safe, lock-striped LRU cache of [`SolveReport`]s
-/// keyed on request fingerprints. See the module docs for the sharding
-/// scheme and the serving layer's write-back rules.
-pub struct SolveCache {
+/// A bounded, thread-safe, lock-striped LRU over fingerprint keys —
+/// the one loom-modelchecked locking pattern behind every cache in the
+/// workspace. [`SolveCache`] instantiates it with [`SolveReport`]
+/// values for the solve cache; `repliflow-multicrit` reuses it with
+/// front reports so Pareto-front caching inherits the same verified
+/// concurrency behavior instead of growing a second lock discipline.
+pub struct ShardedLru<V> {
     /// Per-shard entry capacity (total capacity = `shard_capacity *
     /// shards.len()`).
     shard_capacity: usize,
     /// `log2(shards.len())` — the number of fingerprint high bits that
     /// select a shard.
     shard_bits: u32,
-    shards: Vec<Mutex<Inner>>,
+    shards: Vec<Mutex<Inner<V>>>,
 }
 
-impl std::fmt::Debug for SolveCache {
+/// A bounded, thread-safe, lock-striped LRU cache of [`SolveReport`]s
+/// keyed on request fingerprints. See the module docs for the sharding
+/// scheme and the serving layer's write-back rules.
+pub type SolveCache = ShardedLru<SolveReport>;
+
+impl<V> std::fmt::Debug for ShardedLru<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SolveCache")
+        f.debug_struct("ShardedLru")
             .field("capacity", &self.capacity())
             .field("shards", &self.shards.len())
             .field("len", &self.len())
@@ -231,13 +239,13 @@ impl std::fmt::Debug for SolveCache {
     }
 }
 
-impl SolveCache {
+impl<V> ShardedLru<V> {
     /// Single-shard cache holding at most `capacity` reports
     /// (`capacity` is clamped to at least 1 — use no cache at all to
     /// disable caching). Exactly the pre-sharding LRU semantics; the
     /// serving layer uses [`SolveCache::with_shards`].
-    pub fn new(capacity: usize) -> SolveCache {
-        SolveCache::with_shards(capacity, 1)
+    pub fn new(capacity: usize) -> ShardedLru<V> {
+        ShardedLru::with_shards(capacity, 1)
     }
 
     /// Cache striped over `shards` independent LRU shards with a
@@ -254,13 +262,13 @@ impl SolveCache {
     /// provides) the global behavior matches a single LRU of the same
     /// total capacity; a workload that fits in capacity behaves
     /// identically for any shard count.
-    pub fn with_shards(capacity: usize, shards: usize) -> SolveCache {
+    pub fn with_shards(capacity: usize, shards: usize) -> ShardedLru<V> {
         let capacity = capacity.max(1);
         // largest power of two ≤ capacity: the shard-count ceiling
         let floor_pow2 = 1usize << (usize::BITS - 1 - capacity.leading_zeros());
         let shards = shards.max(1).next_power_of_two().min(floor_pow2);
         let shard_capacity = capacity.div_ceil(shards);
-        SolveCache {
+        ShardedLru {
             shard_capacity,
             shard_bits: shards.trailing_zeros(),
             shards: (0..shards).map(|_| Mutex::new(Inner::new())).collect(),
@@ -280,7 +288,7 @@ impl SolveCache {
 
     /// The shard `key` lives in: the highest `log2(shards)` bits of the
     /// 128-bit fingerprint.
-    fn shard_for(&self, key: InstanceFingerprint) -> &Mutex<Inner> {
+    fn shard_for(&self, key: InstanceFingerprint) -> &Mutex<Inner<V>> {
         // `>> (128 - bits)` keeps exactly the top `bits` bits; a shift
         // by 128 (the 1-shard case) would overflow, so mask via u64
         // arithmetic on the top half instead.
@@ -306,7 +314,7 @@ impl SolveCache {
     /// Looks `key` up, marking the entry most recently used within its
     /// shard. Counts a hit or miss. Hits return a pointer clone of the
     /// shared entry — the report itself is never deep-copied.
-    pub fn get(&self, key: InstanceFingerprint) -> Option<Arc<SolveReport>> {
+    pub fn get(&self, key: InstanceFingerprint) -> Option<Arc<V>> {
         // A poisoned shard (a thread unwound while relinking the LRU
         // list) degrades to a miss: the intrusive links may be torn,
         // so the shard is treated as opaque rather than panicking the
@@ -322,7 +330,7 @@ impl SolveCache {
     /// [`Provenance::Cached`] or `Escalated` before insertion).
     ///
     /// [`Provenance::Cached`]: crate::Provenance::Cached
-    pub fn insert(&self, key: InstanceFingerprint, report: Arc<SolveReport>) {
+    pub fn insert(&self, key: InstanceFingerprint, report: Arc<V>) {
         // Poisoned shard: skip the write (degrade-to-miss, as in get).
         if let Ok(mut inner) = self.shard_for(key).lock() {
             inner.insert(key, report, self.shard_capacity);

@@ -36,49 +36,69 @@ impl Engine for CommExactEngine {
     }
 
     fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Result<EngineRun, SolveError> {
-        if !super::instance_fits(instance) {
-            return Err(SolveError::ExceedsExactCapacity {
-                n_stages: instance.workflow.n_stages(),
-                n_procs: instance.platform.n_procs(),
-            });
-        }
-        let platform = &instance.platform;
-        let dp = instance.allow_data_parallel;
-        let mut frontier = Frontier::new();
-        {
-            let mut visit = |m: &Mapping| {
-                let (period, latency) = instance
-                    .objectives(m)
-                    .expect("enumerated mappings are valid");
-                frontier.insert(Solution {
-                    mapping: m.clone(),
-                    period,
-                    latency,
-                });
-            };
-            match &instance.workflow {
-                Workflow::Pipeline(p) => {
-                    repliflow_exact::pipeline::enumerate_pipeline(p, platform, dp, &mut visit)
-                }
-                Workflow::Fork(f) => {
-                    repliflow_exact::fork::enumerate_fork(f, platform, dp, &mut visit)
-                }
-                Workflow::ForkJoin(fj) => {
-                    repliflow_exact::forkjoin::enumerate_forkjoin(fj, platform, dp, &mut visit)
+        solve_by_enumeration(instance)
+    }
+}
+
+/// Exhaustive exact solve of any instance (either cost model) by
+/// enumerating every legal mapping into a Pareto frontier and picking
+/// the instance's goal — including reliability-bounded objectives,
+/// which are enforced by filtering mappings *before* frontier insertion
+/// (the frontier's dominance eviction is oblivious to reliability, so a
+/// dominated-but-reliable mapping must never compete against an
+/// unreliable dominator). Shared by [`CommExactEngine`] (all its
+/// objectives) and [`ExactEngine`]'s reliability path, whose Pareto DP
+/// cannot express mapping-level constraints.
+///
+/// [`ExactEngine`]: super::ExactEngine
+pub(crate) fn solve_by_enumeration(instance: &ProblemInstance) -> Result<EngineRun, SolveError> {
+    if !super::instance_fits(instance) {
+        return Err(SolveError::ExceedsExactCapacity {
+            n_stages: instance.workflow.n_stages(),
+            n_procs: instance.platform.n_procs(),
+        });
+    }
+    let platform = &instance.platform;
+    let dp = instance.allow_data_parallel;
+    let reliability_bound = instance.objective.reliability_bound();
+    let mut frontier = Frontier::new();
+    {
+        let mut visit = |m: &Mapping| {
+            if let Some(bound) = reliability_bound {
+                if instance.reliability(m) < bound {
+                    return;
                 }
             }
+            let (period, latency) = instance
+                .objectives(m)
+                .expect("enumerated mappings are valid");
+            frontier.insert(Solution {
+                mapping: m.clone(),
+                period,
+                latency,
+            });
+        };
+        match &instance.workflow {
+            Workflow::Pipeline(p) => {
+                repliflow_exact::pipeline::enumerate_pipeline(p, platform, dp, &mut visit)
+            }
+            Workflow::Fork(f) => repliflow_exact::fork::enumerate_fork(f, platform, dp, &mut visit),
+            Workflow::ForkJoin(fj) => {
+                repliflow_exact::forkjoin::enumerate_forkjoin(fj, platform, dp, &mut visit)
+            }
         }
-        match frontier.pick(instance.objective.into()) {
-            Some(sol) => Ok(EngineRun::proven(orient(
-                instance.objective,
-                sol.mapping,
-                sol.period,
-                sol.latency,
-            ))),
-            // The enumeration is exhaustive, so an empty pick proves the
-            // bi-criteria bound unattainable under this cost model.
-            None => Err(SolveError::Infeasible { best_effort: None }),
-        }
+    }
+    match frontier.pick(instance.objective.into()) {
+        Some(sol) => Ok(EngineRun::proven(orient(
+            instance.objective,
+            sol.mapping,
+            sol.period,
+            sol.latency,
+        ))),
+        // The enumeration is exhaustive, so an empty pick proves the
+        // bound (bi-criteria or reliability) unattainable under this
+        // cost model.
+        None => Err(SolveError::Infeasible { best_effort: None }),
     }
 }
 

@@ -45,6 +45,21 @@ impl Engine for CommBbEngine {
                 n_procs: instance.platform.n_procs(),
             });
         }
+        // The search prunes on (period, latency) lower bounds alone;
+        // it cannot enforce a mapping-level reliability constraint, and
+        // a "proven" answer that violates the bound would be wrong.
+        // Refuse instead — the `Auto` route skips this engine for
+        // binding bounds (`FallbackReason::ReliabilityBound`), so this
+        // is only reachable via an explicit `comm-bb`/`hedged` override.
+        if matches!(
+            repliflow_core::reliability::reduce(instance),
+            repliflow_core::reliability::ReliabilityReduction::Binding(_)
+        ) {
+            return Err(SolveError::Unsupported {
+                engine: self.name(),
+                variant: instance.variant(),
+            });
+        }
         // Seed the incumbent from the heuristic portfolio: a good upper
         // bound up front is what makes the lower-bound pruning bite.
         let (seed_score, seed) = portfolio_best(instance, budget);

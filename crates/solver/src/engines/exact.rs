@@ -59,6 +59,16 @@ impl Engine for ExactEngine {
                 n_procs: instance.platform.n_procs(),
             });
         }
+        // A binding reliability bound constrains *mappings*, which the
+        // Pareto DP cannot express (its frontier eviction may discard
+        // the only reliable mappings): fall back to the enumeration
+        // path shared with `comm-exact`, which filters before inserting.
+        if matches!(
+            repliflow_core::reliability::reduce(instance),
+            repliflow_core::reliability::ReliabilityReduction::Binding(_)
+        ) {
+            return super::comm::solve_by_enumeration(instance);
+        }
         match repliflow_exact::solve(instance) {
             Some(sol) => Ok(EngineRun::proven(orient(instance.objective, sol))),
             // The frontier is exhaustive, so an empty pick proves the

@@ -73,11 +73,13 @@ pub(crate) fn push_fork_portfolio(
 /// that decides which criterion a report's `objective_value` carries.
 pub(crate) fn orient(objective: Objective, mapping: Mapping, period: Rat, latency: Rat) -> Solved {
     match objective {
-        Objective::Period | Objective::PeriodUnderLatency(_) => {
-            Solved::for_period(mapping, period, latency)
-        }
-        Objective::Latency | Objective::LatencyUnderPeriod(_) => {
-            Solved::for_latency(mapping, period, latency)
-        }
+        Objective::Period
+        | Objective::PeriodUnderLatency(_)
+        | Objective::PeriodUnderLatencyStrict(_)
+        | Objective::PeriodUnderReliability(_) => Solved::for_period(mapping, period, latency),
+        Objective::Latency
+        | Objective::LatencyUnderPeriod(_)
+        | Objective::LatencyUnderPeriodStrict(_)
+        | Objective::LatencyUnderReliability(_) => Solved::for_latency(mapping, period, latency),
     }
 }

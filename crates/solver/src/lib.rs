@@ -69,7 +69,7 @@ mod score;
 mod service;
 
 pub use batch::BatchOptions;
-pub use cache::{CacheStats, SolveCache};
+pub use cache::{CacheStats, ShardedLru, SolveCache};
 pub use engine::{Engine, EngineRun};
 pub use engines::{HedgeStats, HedgedEngine};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};

@@ -111,6 +111,17 @@ impl EngineRegistry {
                 if budget.allows_comm_exact(n_stages, n_procs) && exact_representable {
                     return Ok((&self.comm_exact, None));
                 }
+                // comm-bb cannot enforce a mapping-level reliability
+                // bound (its pruning sees only period/latency lower
+                // bounds), so binding bounds route straight to the
+                // heuristic portfolio, whose scorer rejects unreliable
+                // mappings.
+                if matches!(
+                    repliflow_core::reliability::reduce(instance),
+                    repliflow_core::reliability::ReliabilityReduction::Binding(_)
+                ) {
+                    return Ok((&self.comm_heuristic, Some(FallbackReason::ReliabilityBound)));
+                }
                 let stage_cap = budget
                     .max_comm_bb_stages
                     .min(repliflow_exact::comm_bb::MAX_STAGES);
@@ -270,6 +281,16 @@ impl EngineRegistry {
 
     /// Borrow-based core of [`EngineRegistry::solve`], shared with the
     /// batch path so fan-out never clones instances.
+    ///
+    /// Reliability-bounded objectives are *reduced* here before any
+    /// engine runs ([`reliability::reduce`]): a bound above 1 is proven
+    /// unattainable outright (no mapping of any kind can reach it), and
+    /// a bound that cannot bind — fail-free platform, or bound ≤ 0 —
+    /// solves as its unbounded counterpart while still reporting under
+    /// the requested variant. Only genuinely binding bounds reach the
+    /// engines.
+    ///
+    /// [`reliability::reduce`]: repliflow_core::reliability::reduce
     pub(crate) fn solve_parts(
         &self,
         instance: &repliflow_core::instance::ProblemInstance,
@@ -281,6 +302,64 @@ impl EngineRegistry {
     ) -> Result<SolveReport, SolveError> {
         let effective = Self::effective_budget(budget, deadline, cancel)?;
         let budget = &effective;
+        use repliflow_core::reliability::ReliabilityReduction;
+        match repliflow_core::reliability::reduce(instance) {
+            ReliabilityReduction::Unattainable => {
+                // success probabilities never exceed 1, so no engine
+                // could do better than proving this infeasible — but a
+                // mis-sized network is still a request error first.
+                if let CostModel::WithComm { network, .. } = &instance.cost_model {
+                    if network.n_procs() != instance.platform.n_procs() {
+                        return Err(SolveError::NetworkMismatch {
+                            expected: instance.platform.n_procs(),
+                            got: network.n_procs(),
+                        });
+                    }
+                }
+                let variant = instance.variant();
+                Ok(SolveReport {
+                    variant,
+                    complexity: variant.paper_complexity(),
+                    cost_model: instance.cost_model.clone(),
+                    engine_used: "reliability",
+                    optimality: Optimality::Infeasible,
+                    mapping: None,
+                    period: None,
+                    latency: None,
+                    objective_value: None,
+                    search: None,
+                    fallback: None,
+                    provenance: crate::report::Provenance::Computed,
+                    wall_time: std::time::Duration::ZERO,
+                })
+            }
+            ReliabilityReduction::Trivial(objective) => {
+                let relaxed = repliflow_core::instance::ProblemInstance {
+                    objective,
+                    ..instance.clone()
+                };
+                let mut report = self.solve_routed(&relaxed, pref, budget, validate_witness)?;
+                // classification follows the *requested* objective
+                report.variant = instance.variant();
+                report.complexity = report.variant.paper_complexity();
+                Ok(report)
+            }
+            ReliabilityReduction::NotBounded | ReliabilityReduction::Binding(_) => {
+                self.solve_routed(instance, pref, budget, validate_witness)
+            }
+        }
+    }
+
+    /// Routes and runs one solve under an already-effective budget (the
+    /// reliability reduction and serving controls have been applied by
+    /// [`EngineRegistry::solve_parts`]).
+    fn solve_routed(
+        &self,
+        instance: &repliflow_core::instance::ProblemInstance,
+        pref: EnginePref,
+        budget: &Budget,
+        validate_witness: bool,
+    ) -> Result<SolveReport, SolveError> {
         let variant = instance.variant();
         let n_stages = instance.workflow.n_stages();
         let n_procs = instance.platform.n_procs();
@@ -299,15 +378,23 @@ impl EngineRegistry {
             fallback = reason;
             engine
         } else if pref == EnginePref::Auto
-            && !self.paper.supports(&variant)
+            && (instance.objective.is_strict() || !self.paper.supports(&variant))
             && budget.allows_exact(n_stages, n_procs)
             && crate::engines::instance_fits(instance)
         {
             // Auto routing with the concrete instance in hand can use
             // the precise shape-aware capacity check (the variant-level
             // `resolve` has to approximate by stage count); everything
-            // else goes through the same resolution path.
+            // else goes through the same resolution path. Strict
+            // ε-constraint bounds bypass the paper engine even on
+            // polynomial cells: the theorem algorithms take non-strict
+            // bounds only.
             &self.exact
+        } else if pref == EnginePref::Auto && instance.objective.is_strict() {
+            // strict bound beyond exact capacity: the heuristic
+            // portfolio scores strict violations to +∞, so it is the
+            // only remaining route that respects the bound
+            &self.heuristic
         } else {
             self.resolve(pref, &variant, n_stages, n_procs, budget)?
         };
@@ -353,9 +440,11 @@ impl EngineRegistry {
             self.validate(instance, &solved)?;
         }
         // Defense in depth: an engine may legally return a mapping that
-        // misses a bi-criteria bound (heuristics); never report it as
-        // a solution.
-        let optimality = if meets_bound(instance, solved.period, solved.latency) {
+        // misses a bi-criteria or reliability bound (heuristics); never
+        // report it as a solution.
+        let optimality = if meets_bound(instance, solved.period, solved.latency)
+            && instance.meets_reliability_bound(&solved.mapping)
+        {
             optimality
         } else {
             Optimality::Infeasible

@@ -127,6 +127,12 @@ pub enum FallbackReason {
         /// The ceiling that rejected it.
         cap: usize,
     },
+    /// The objective carries a binding reliability bound, which the
+    /// branch-and-bound's (period, latency) pruning cannot enforce — a
+    /// "proven" result could silently violate the bound, so the route
+    /// declines to the comm-heuristic portfolio (whose scorer rejects
+    /// unreliable mappings) instead.
+    ReliabilityBound,
 }
 
 impl fmt::Display for FallbackReason {
@@ -140,6 +146,9 @@ impl fmt::Display for FallbackReason {
             }
             FallbackReason::CommBbForkLeaves { leaves, cap } => {
                 write!(f, "comm-bb declined: {leaves} fork leaves > cap {cap}")
+            }
+            FallbackReason::ReliabilityBound => {
+                write!(f, "comm-bb declined: binding reliability bound")
             }
         }
     }

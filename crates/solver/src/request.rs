@@ -153,6 +153,14 @@ pub struct Budget {
     pub quality: Quality,
     /// Seed for randomized heuristics (kept fixed for reproducibility).
     pub seed: u64,
+    /// Ceiling on the number of points a Pareto-front request
+    /// (`repliflow-multicrit`) enumerates or sweeps; a front that would
+    /// exceed it is reported truncated.
+    pub max_front_points: usize,
+    /// Wall-clock cap on one whole front solve, in milliseconds (`0` =
+    /// unlimited). A front that trips it is reported truncated at the
+    /// points completed so far.
+    pub front_time_limit_ms: u64,
 }
 
 impl Default for Budget {
@@ -178,6 +186,8 @@ impl Default for Budget {
             hedge_delay_ms: 25,
             quality: Quality::Balanced,
             seed: 0x5EED,
+            max_front_points: 32,
+            front_time_limit_ms: 60_000,
         }
     }
 }
@@ -239,6 +249,18 @@ impl Budget {
     /// Overrides the hedged engine's grace window (builder style).
     pub fn hedge_delay_ms(mut self, ms: u64) -> Budget {
         self.hedge_delay_ms = ms;
+        self
+    }
+
+    /// Overrides the Pareto-front point ceiling (builder style).
+    pub fn max_front_points(mut self, points: usize) -> Budget {
+        self.max_front_points = points;
+        self
+    }
+
+    /// Overrides the front solve time limit (builder style).
+    pub fn front_time_limit_ms(mut self, ms: u64) -> Budget {
+        self.front_time_limit_ms = ms;
         self
     }
 }
@@ -438,6 +460,8 @@ impl SolveRequest {
             b.bb_time_limit_ms,
             b.local_search_rounds as u64,
             b.hedge_delay_ms,
+            b.max_front_points as u64,
+            b.front_time_limit_ms,
         ] {
             hasher.write_u64(knob);
         }

@@ -102,6 +102,14 @@ fn every_budget_knob_is_part_of_the_key() {
             ..d
         },
         Budget {
+            max_front_points: d.max_front_points + 1,
+            ..d
+        },
+        Budget {
+            front_time_limit_ms: d.front_time_limit_ms + 1,
+            ..d
+        },
+        Budget {
             seed: d.seed + 1,
             ..d
         },
